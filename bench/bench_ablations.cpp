@@ -1,0 +1,238 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1  synopses heading threshold — the compression/error frontier
+//   A2  RMF* history window — accuracy at the 1-minute horizon
+//   A3  link-discovery mask resolution — throughput vs build cost
+//   A4  store partitions & columnar encoding — scan time and bytes/triple
+// Each knob is swept with everything else fixed, on the same workloads the
+// headline benches use.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "datagen/areas.h"
+#include "datagen/flight.h"
+#include "datagen/vessel.h"
+#include "geom/geo.h"
+#include "linkdiscovery/linker.h"
+#include "prediction/rmf.h"
+#include "rdf/vocab.h"
+#include "store/columnar.h"
+#include "store/kgstore.h"
+#include "synopses/critical_points.h"
+
+using namespace tcmf;
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ablations ===\n");
+
+  // ---------------- A1: synopses heading threshold ----------------
+  {
+    std::printf("\n[A1] synopses heading threshold "
+                "(compression vs reconstruction error):\n");
+    datagen::VesselSimConfig config;
+    config.vessel_count = 20;
+    config.duration_ms = 3 * kMillisPerHour;
+    config.position_noise_m = 10.0;
+    config.gap_probability = 0.0;
+    Rng rng(5);
+    auto ports = datagen::MakePorts(rng, config.extent, 8);
+    auto fishing = datagen::MakeRegionsNear(
+        rng, datagen::AreaCentroids(ports), 5, "fishing", 10000, 25000,
+        8000, 20000);
+    datagen::VesselSimulator sim(config, ports, fishing, nullptr);
+    auto data = sim.Run();
+
+    std::printf("  %-12s %12s %12s %12s\n", "threshold", "compression",
+                "rmse (m)", "max (m)");
+    for (double threshold : {4.0, 8.0, 12.0, 20.0, 35.0, 60.0}) {
+      synopses::SynopsesConfig sc = synopses::SynopsesConfig::ForMaritime();
+      sc.heading_threshold_deg = threshold;
+      synopses::SynopsesGenerator gen(sc);
+      std::unordered_map<uint64_t, std::vector<synopses::CriticalPoint>>
+          synopses_map;
+      for (const Position& p : data.stream) {
+        for (auto& cp : gen.Observe(p)) {
+          synopses_map[cp.pos.entity_id].push_back(cp);
+        }
+      }
+      for (auto& cp : gen.Flush()) {
+        synopses_map[cp.pos.entity_id].push_back(cp);
+      }
+      double se = 0.0, max_m = 0.0;
+      size_t n = 0;
+      for (const auto& traj : data.truth) {
+        auto err = synopses::EvaluateReconstruction(
+            traj, synopses_map[traj.entity_id]);
+        se += err.rmse_m * err.rmse_m * traj.points.size();
+        n += traj.points.size();
+        max_m = std::max(max_m, err.max_m);
+      }
+      std::printf("  %9.0f deg %11.1f%% %12.0f %12.0f\n", threshold,
+                  100.0 * gen.CompressionRatio(), std::sqrt(se / n), max_m);
+    }
+    std::printf("  (looser thresholds compress more but reconstruct worse "
+                "— the 12 deg default sits at the knee)\n");
+  }
+
+  // ---------------- A2: RMF* window size ----------------
+  {
+    std::printf("\n[A2] RMF* history window (mean error at 1-minute "
+                "look-ahead):\n");
+    datagen::FlightSimConfig config;
+    config.flight_count = 20;
+    config.position_noise_m = 30.0;
+    Rng wrng(23);
+    datagen::WeatherField weather(wrng, config.extent, 20.0);
+    datagen::FlightSimulator sim(config, datagen::DefaultOriginAirport(),
+                                 datagen::DefaultDestinationAirport(),
+                                 &weather);
+    auto flights = sim.Run();
+
+    std::printf("  %-10s %14s\n", "window", "mean err @ 64 s");
+    for (size_t window : {6, 9, 12, 18, 30}) {
+      RunningStats err;
+      for (const auto& f : flights) {
+        prediction::RmfStarPredictor::Options options;
+        options.window = window;
+        prediction::RmfStarPredictor star(options);
+        const auto& pts = f.actual.points;
+        for (size_t i = 0; i + 8 < pts.size(); ++i) {
+          star.Observe(pts[i]);
+          if (i < 30 || i % 5 != 0) continue;
+          auto predicted = star.Predict(8);
+          err.Add(geom::HaversineM(predicted[7].loc.lon,
+                                   predicted[7].loc.lat, pts[i + 8].lon,
+                                   pts[i + 8].lat));
+        }
+      }
+      std::printf("  %-10zu %12.0f m\n", window, err.mean());
+    }
+    std::printf("  (short windows chase noise; long windows smear "
+                "manoeuvres)\n");
+  }
+
+  // ---------------- A3: link-discovery mask resolution ----------------
+  {
+    std::printf("\n[A3] cell-mask resolution (throughput vs one-off build "
+                "cost):\n");
+    datagen::VesselSimConfig config;
+    config.vessel_count = 40;
+    config.duration_ms = 3 * kMillisPerHour;
+    config.report_interval_ms = 5000;
+    Rng rng(9);
+    auto ports = datagen::MakePorts(rng, config.extent, 12);
+    auto regions = datagen::MakeRegionsNear(
+        rng, datagen::AreaCentroids(ports), 400, "natura", 2000, 9000,
+        25000, 120000, 60, 140);
+    datagen::VesselSimulator sim(config, ports, {}, nullptr);
+    auto data = sim.Run();
+    synopses::SynopsesGenerator gen(synopses::SynopsesConfig::ForMaritime());
+    std::vector<Position> points;
+    for (const Position& p : data.stream) {
+      for (auto& cp : gen.Observe(p)) points.push_back(cp.pos);
+    }
+    while (points.size() < 20000 && !points.empty()) {
+      points.insert(points.end(), points.begin(),
+                    points.begin() + std::min<size_t>(points.size(), 5000));
+    }
+
+    std::printf("  %-12s %14s %12s %12s\n", "resolution", "entities/s",
+                "mask skips", "build ms");
+    for (int resolution : {0, 4, 8, 16, 32}) {
+      linkdiscovery::LinkerConfig lc;
+      lc.extent = config.extent;
+      lc.near_distance_m = 500.0;
+      lc.use_masks = resolution > 0;
+      lc.mask_resolution = std::max(1, resolution);
+      double build_start = NowMs();
+      linkdiscovery::SpatioTemporalLinker linker(lc, regions);
+      double build_ms = NowMs() - build_start;
+      double run_start = NowMs();
+      for (const Position& p : points) linker.Observe(p);
+      double run_ms = NowMs() - run_start;
+      std::printf("  %-12s %14.0f %12zu %12.0f\n",
+                  resolution == 0 ? "off" : StrFormat("%dx%d", resolution,
+                                                      resolution)
+                                                .c_str(),
+                  points.size() / (run_ms / 1000.0),
+                  linker.stats().mask_skips, build_ms);
+    }
+    std::printf("  (finer masks skip more points; the build cost is paid "
+                "once per catalog)\n");
+  }
+
+  // ---------------- A4: store partitions + columnar encoding -------------
+  {
+    std::printf("\n[A4] store partitioning and columnar encoding:\n");
+    geom::StCellEncoder encoder({-6, 35, 10, 44}, 10, 0,
+                                15 * kMillisPerMinute);
+    datagen::VesselSimConfig config;
+    config.vessel_count = 60;
+    config.duration_ms = 2 * kMillisPerHour;
+    Rng rng(13);
+    auto ports = datagen::MakePorts(rng, config.extent, 10);
+    datagen::VesselSimulator sim(config, ports, {}, nullptr);
+    auto data = sim.Run();
+
+    std::printf("  %-12s %14s %12s\n", "partitions", "scan ms", "rows");
+    for (size_t partitions : {1, 2, 4, 8, 16}) {
+      store::KnowledgeStore kg(encoder, partitions);
+      for (const Position& p : data.stream) {
+        rdf::Term node = rdf::Iri(
+            "http://tcmf/node/" + std::to_string(p.entity_id) + "/" +
+            std::to_string(p.t));
+        kg.AddPositionNode(node, p.lon, p.lat, p.t);
+        kg.Add({node, rdf::Iri(rdf::vocab::kHasSpeed),
+                rdf::DoubleLiteral(p.speed_mps)});
+      }
+      kg.Compile();
+      store::StarQuery query;
+      query.predicate_ids = {
+          kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasSpeed)),
+          kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasTimestamp))};
+      store::StarQueryMetrics best;
+      best.wall_ms = 1e18;
+      size_t rows = 0;
+      for (int run = 0; run < 3; ++run) {
+        store::StarQueryMetrics m;
+        rows = kg.RunStar(query, store::StarPlan::kTriplesTableScan, &m)
+                   .size();
+        if (m.wall_ms < best.wall_ms) best = m;
+      }
+      std::printf("  %-12zu %14.1f %12zu\n", partitions, best.wall_ms, rows);
+
+      if (partitions == 8) {
+        // Columnar encoding payoff: persisted size vs raw 24 B/triple.
+        std::string dir = "/tmp/tcmf_ablation_store";
+        if (kg.SaveTriples(dir).ok()) {
+          size_t bytes = 0;
+          for (const auto& entry :
+               std::filesystem::directory_iterator(dir)) {
+            bytes += std::filesystem::file_size(entry.path());
+          }
+          std::printf("  columnar files at 8 partitions: %.1f bytes/triple "
+                      "(raw struct: 24)\n",
+                      static_cast<double>(bytes) / kg.size());
+          std::filesystem::remove_all(dir);
+        }
+      }
+    }
+    std::printf("  (partition-parallel scans help until per-partition work "
+                "is too small; delta+varint columns cut storage)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 10 reproduction: time-mask exploration. Top of the figure: time
+// series of vessel counts and near-location events in 1-hour steps, with
+// a query selecting the intervals containing at least one event. Bottom:
+// the density of the trajectories during the selected times vs the
+// remaining times. We reproduce both summaries and report how strongly
+// the densities differ (events co-occur with concentrated traffic).
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/areas.h"
+#include "datagen/vessel.h"
+#include "linkdiscovery/linker.h"
+#include "va/density.h"
+#include "va/timemask.h"
+
+using namespace tcmf;
+
+int main() {
+  std::printf("=== Figure 10: time-mask filtering and dynamic summaries "
+              "===\n\n");
+
+  datagen::VesselSimConfig config;
+  config.vessel_count = 20;
+  config.duration_ms = 24 * kMillisPerHour;
+  Rng rng(61);
+  auto ports = datagen::MakePorts(rng, config.extent, 6);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+
+  // Near-location events between moving vessels (the figure's event set).
+  linkdiscovery::LinkerConfig lc;
+  lc.extent = config.extent;
+  lc.near_distance_m = 400.0;
+  lc.temporal_window_ms = 30 * kMillisPerSecond;
+  lc.link_moving_pairs = true;
+  linkdiscovery::SpatioTemporalLinker linker(lc, {});
+  std::vector<TimeMs> event_times;
+  for (const Position& p : data.stream) {
+    // Moored vessels sharing a port stay "near" forever; the interesting
+    // near-location events are between vessels under way.
+    if (p.speed_mps < 1.0) continue;
+    for (const auto& link : linker.Observe(p)) {
+      if (link.object_is_entity) event_times.push_back(p.t);
+    }
+  }
+
+  // Top panel: hourly counts of active vessels and events.
+  const size_t kBins = 24;
+  std::vector<std::set<uint64_t>> vessels_per_bin(kBins);
+  std::vector<size_t> events_per_bin(kBins, 0);
+  for (const Position& p : data.stream) {
+    size_t bin = static_cast<size_t>(p.t / kMillisPerHour);
+    if (bin < kBins) vessels_per_bin[bin].insert(p.entity_id);
+  }
+  for (TimeMs t : event_times) {
+    size_t bin = static_cast<size_t>(t / kMillisPerHour);
+    if (bin < kBins) ++events_per_bin[bin];
+  }
+  std::printf("hour | vessels | near-location events | selected\n");
+  for (size_t b = 0; b < kBins; ++b) {
+    std::printf("%4zu | %7zu | %20zu | %s\n", b, vessels_per_bin[b].size(),
+                events_per_bin[b], events_per_bin[b] > 0 ? "*" : "");
+  }
+
+  // The time mask: hours containing at least one event.
+  va::TimeMask mask = va::TimeMask::FromBinnedCondition(
+      0, config.duration_ms, kMillisPerHour,
+      [&](size_t b) { return b < kBins && events_per_bin[b] > 0; });
+  va::TimeMask complement = mask.Complement(0, config.duration_ms);
+  std::printf("\nmask: %zu intervals, %.1f h selected of %.1f h total\n",
+              mask.intervals().size(),
+              static_cast<double>(mask.TotalDuration()) / kMillisPerHour,
+              static_cast<double>(config.duration_ms) / kMillisPerHour);
+
+  // Bottom panel: densities inside vs outside the mask.
+  va::DensityMap density_in(config.extent, 60, 22);
+  va::DensityMap density_out(config.extent, 60, 22);
+  for (const Position& p : data.stream) {
+    (mask.Contains(p.t) ? density_in : density_out).Add(p.lon, p.lat);
+  }
+  std::printf("\ntrajectory density during event times (%zu positions):\n%s",
+              density_in.total(), density_in.RenderAscii().c_str());
+  std::printf("\ntrajectory density during remaining times (%zu positions):"
+              "\n%s",
+              density_out.total(), density_out.RenderAscii().c_str());
+  std::printf("\ndifference (+: more traffic share during event times):\n%s",
+              density_in.RenderDiffAscii(density_out).c_str());
+
+  (void)complement;
+  std::printf("\npaper: comparing the two densities reveals where the\n"
+              "traffic was when the events occurred — the time mask makes\n"
+              "cross-dataset temporal relationships visible.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 11 reproduction: relevance-aware trajectory clustering for air
+// traffic analysis. Paper setup: arrival flights over four days clustered
+// by their final parts; a runway change on day 1 produces a route-cluster
+// mix visibly different from days 2-4, shown as a time histogram of
+// arrivals colored by cluster. We simulate four days of arrivals with a
+// runway change active on day 1 only, cluster the approach phases with
+// the relevance-aware distance, and print the per-day histogram.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "datagen/flight.h"
+#include "datagen/weather.h"
+#include "geom/geo.h"
+#include "va/density.h"
+#include "va/relevance.h"
+
+using namespace tcmf;
+
+int main() {
+  std::printf("=== Figure 11: relevance-aware clustering of arrivals ===\n\n");
+
+  // Four days of arrivals; day 1 has the runway change.
+  std::vector<datagen::SimulatedFlight> flights;
+  Rng wrng(71);
+  datagen::FlightSimConfig base;
+  base.flight_count = 30;
+  base.departure_spread_ms = 20 * kMillisPerHour;
+  datagen::WeatherField weather(wrng, base.extent, 15.0);
+  for (int day = 0; day < 4; ++day) {
+    datagen::FlightSimConfig config = base;
+    config.seed = 100 + day;
+    config.first_departure = static_cast<TimeMs>(day) * 24 * kMillisPerHour;
+    // Day 1 (index 0): active runway change for all arrivals.
+    config.runway_change_probability = day == 0 ? 0.9 : 0.02;
+    datagen::FlightSimulator sim(config, datagen::DefaultOriginAirport(),
+                                 datagen::DefaultDestinationAirport(),
+                                 &weather);
+    for (auto& f : sim.Run()) flights.push_back(std::move(f));
+  }
+
+  // Relevance: only the final approach (low altitude near the
+  // destination) matters; cruise and takeoff are irrelevant.
+  geom::LonLat dest = datagen::DefaultDestinationAirport().loc;
+  std::vector<va::FlaggedTrajectory> flagged;
+  for (const auto& f : flights) {
+    flagged.push_back(va::FlagByPredicate(
+        f.actual, [&](const Position& p) {
+          return p.alt_m < 3500.0 &&
+                 geom::HaversineM(p.lon, p.lat, dest.lon, dest.lat) < 60000.0;
+        }));
+  }
+  auto labels = va::ClusterByRelevantParts(flagged, 4000.0, 3, 4);
+
+  int clusters = 0;
+  for (int l : labels) clusters = std::max(clusters, l + 1);
+  std::printf("%zu arrivals clustered by final-approach similarity: "
+              "%d clusters\n\n", flights.size(), clusters);
+
+  // Figure 11 top: arrivals per 4-hour bin, stacked by cluster.
+  va::TimeHistogram hist(0, 4 * kMillisPerHour, 24, clusters + 1);
+  for (size_t i = 0; i < flights.size(); ++i) {
+    TimeMs arrival = flights[i].actual.points.back().t;
+    hist.Add(arrival, labels[i] < 0 ? clusters : labels[i]);
+  }
+  std::printf("arrivals per 4 h, stacked by cluster "
+              "(last column = noise):\n%s\n", hist.Render().c_str());
+
+  // Per-day cluster mix (the day-1 anomaly).
+  std::printf("cluster mix per day:\n");
+  std::printf("%-6s", "day");
+  for (int c = 0; c < clusters; ++c) std::printf(" cluster%-2d", c);
+  std::printf(" noise\n");
+  for (int day = 0; day < 4; ++day) {
+    std::map<int, size_t> mix;
+    for (size_t i = 0; i < flights.size(); ++i) {
+      TimeMs arrival = flights[i].actual.points.back().t;
+      if (arrival / (24 * kMillisPerHour) == day) ++mix[labels[i]];
+    }
+    std::printf("%-6d", day + 1);
+    for (int c = 0; c < clusters; ++c) std::printf(" %9zu", mix[c]);
+    std::printf(" %5zu\n", mix[-1]);
+  }
+
+  // Quantify the anomaly: the dominant day-1 cluster should be rare on
+  // days 2-4 (the runway-change approach pattern).
+  std::map<int, size_t> day1, rest;
+  for (size_t i = 0; i < flights.size(); ++i) {
+    TimeMs arrival = flights[i].actual.points.back().t;
+    if (labels[i] < 0) continue;
+    (arrival / (24 * kMillisPerHour) == 0 ? day1 : rest)[labels[i]]++;
+  }
+  int day1_dominant = -1;
+  size_t best = 0;
+  for (auto& [c, n] : day1) {
+    if (n > best) {
+      best = n;
+      day1_dominant = c;
+    }
+  }
+  if (day1_dominant >= 0) {
+    std::printf("\nday-1 dominant cluster %d: %zu of day-1 arrivals vs "
+                "%zu across days 2-4\n",
+                day1_dominant, day1[day1_dominant], rest[day1_dominant]);
+  }
+  std::printf("\npaper: the day-1 runway change shows up as a route cluster\n"
+              "dominating day 1 and (near-)absent on the other days.\n");
+  return 0;
+}

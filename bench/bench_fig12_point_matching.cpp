@@ -1,0 +1,135 @@
+// Figure 12 reproduction: point matching between predicted and actual
+// trajectories. The figure shows the histogram of matched-point
+// proportions over a set of trajectory predictions, with a significantly
+// mismatched outlier pair caused by a short-term change of active
+// runways. We predict each flight's second half with RMF* from its first
+// half, match predictions against the actual track, print the histogram,
+// and drill into the worst outlier (which we inject as a runway change).
+
+#include <cstdio>
+#include <vector>
+
+#include "datagen/flight.h"
+#include "datagen/weather.h"
+#include "geom/geo.h"
+#include "prediction/rmf.h"
+#include "va/pointmatch.h"
+
+using namespace tcmf;
+
+namespace {
+
+/// Predicts the continuation of `actual` from its first `split` points
+/// using RMF* applied iteratively (predict 8, observe truth, repeat) —
+/// the rolling short-term prediction regime of the real-time layer.
+Trajectory PredictContinuation(const Trajectory& actual, size_t split) {
+  Trajectory predicted;
+  predicted.entity_id = actual.entity_id;
+  prediction::RmfStarPredictor star;
+  for (size_t i = 0; i < split; ++i) star.Observe(actual.points[i]);
+  for (size_t i = split; i < actual.points.size(); i += 14) {
+    for (auto& pp : star.Predict(14)) {
+      Position p;
+      p.entity_id = actual.entity_id;
+      p.t = pp.t;
+      p.lon = pp.loc.lon;
+      p.lat = pp.loc.lat;
+      p.alt_m = pp.alt_m;
+      predicted.points.push_back(p);
+    }
+    // Advance the predictor with the truth (rolling re-prediction).
+    for (size_t k = i; k < std::min(i + 14, actual.points.size()); ++k) {
+      star.Observe(actual.points[k]);
+    }
+  }
+  return predicted;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 12: point matching of predicted vs actual "
+              "trajectories ===\n\n");
+
+  datagen::FlightSimConfig config;
+  config.flight_count = 39;
+  config.runway_change_probability = 0.0;  // injected manually below
+  config.holding_probability = 0.0;
+  config.position_noise_m = 30.0;
+  Rng wrng(81);
+  datagen::WeatherField weather(wrng, config.extent, 18.0);
+  datagen::FlightSimulator sim(config, datagen::DefaultOriginAirport(),
+                               datagen::DefaultDestinationAirport(),
+                               &weather);
+  auto flights = sim.Run();
+  // The outlier: one flight with a short-term runway change (both takeoff
+  // and landing affected, per the figure caption).
+  {
+    datagen::FlightSimConfig outlier_config = config;
+    outlier_config.flight_count = 1;
+    outlier_config.seed = 4242;
+    outlier_config.runway_change_probability = 1.0;
+    outlier_config.holding_probability = 1.0;
+    datagen::FlightSimulator outlier_sim(
+        outlier_config, datagen::DefaultOriginAirport(),
+        datagen::DefaultDestinationAirport(), &weather);
+    flights.push_back(outlier_sim.Run()[0]);
+  }
+
+  std::vector<Trajectory> predicted, actual;
+  for (const auto& f : flights) {
+    size_t split = f.actual.points.size() / 2;
+    predicted.push_back(PredictContinuation(f.actual, split));
+    Trajectory tail;
+    tail.entity_id = f.actual.entity_id;
+    tail.points.assign(f.actual.points.begin() + split,
+                       f.actual.points.end());
+    actual.push_back(std::move(tail));
+  }
+
+  va::PointMatchOptions options;
+  options.max_distance_m = 1000.0;
+  options.max_time_diff_ms = 30 * kMillisPerSecond;
+  va::BatchMatchReport report =
+      va::MatchBatch(predicted, actual, options, 0.8);
+
+  std::printf("matched-point proportion histogram over %zu prediction "
+              "pairs:\n\n", report.pairs.size());
+  for (size_t b = 0; b < report.proportion_histogram.bucket_count(); ++b) {
+    std::printf("  [%.1f, %.1f) %4zu |", report.proportion_histogram.bucket_lo(b),
+                report.proportion_histogram.bucket_lo(b) + 0.1,
+                report.proportion_histogram.bucket(b));
+    for (size_t i = 0; i < report.proportion_histogram.bucket(b); ++i) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\noutliers below 0.8 matched proportion: %zu\n",
+              report.outliers.size());
+  for (size_t idx : report.outliers) {
+    const auto& r = report.pairs[idx];
+    const auto& f = flights[idx];
+    std::printf("  flight %llu: %.0f%% matched (runway change: %s, "
+                "holding: %s)\n",
+                static_cast<unsigned long long>(f.plan.flight_id),
+                100.0 * r.matched_proportion,
+                f.had_runway_change ? "yes" : "no",
+                f.had_holding ? "yes" : "no");
+  }
+
+  double regular_mean = 0.0;
+  size_t regular_n = 0;
+  for (size_t i = 0; i + 1 < report.pairs.size(); ++i) {
+    regular_mean += report.pairs[i].matched_proportion;
+    ++regular_n;
+  }
+  std::printf("\nregular flights: mean matched proportion %.2f; "
+              "injected runway-change flight: %.2f\n",
+              regular_mean / regular_n,
+              report.pairs.back().matched_proportion);
+  std::printf("\npaper: the histogram concentrates near 1.0 with the\n"
+              "runway-change pair standing out as a low-proportion outlier\n"
+              "the analyst can drill into on the map.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 5(a) reproduction: RMF* future-location-prediction accuracy over
+// look-ahead time frames. Paper setup: complete flights between two
+// airports (Barcelona-Madrid), 8 s sampling, up to 8 look-ahead steps
+// (~1 min); average 2-D error roughly 1-1.2 km at one minute, error
+// distribution skewed toward zero. We evaluate on simulated flights over
+// the same airport pair, sweeping the look-ahead horizon, focusing on the
+// non-linear phases (takeoff/climb/turns) as the paper does, with the
+// plain RMF recurrence as the baseline it improves upon.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "datagen/flight.h"
+#include "datagen/weather.h"
+#include "geom/geo.h"
+#include "prediction/rmf.h"
+
+using namespace tcmf;
+
+namespace {
+
+struct Errors {
+  RunningStats per_step[8];  ///< 2-D error per look-ahead step
+};
+
+void Evaluate(const Trajectory& flight, Errors* rmf_err, Errors* star_err,
+              bool nonlinear_only) {
+  prediction::RmfPredictor rmf(3, 12);
+  prediction::RmfStarPredictor star;
+  const auto& pts = flight.points;
+  for (size_t i = 0; i + 8 < pts.size(); ++i) {
+    rmf.Observe(pts[i]);
+    star.Observe(pts[i]);
+    if (i < 12) continue;  // warm-up
+    if (nonlinear_only &&
+        star.mode() == prediction::MotionMode::kLinear) {
+      continue;
+    }
+    auto p_rmf = rmf.Predict(8);
+    auto p_star = star.Predict(8);
+    for (int k = 0; k < 8; ++k) {
+      const Position& truth = pts[i + 1 + k];
+      rmf_err->per_step[k].Add(geom::HaversineM(
+          p_rmf[k].loc.lon, p_rmf[k].loc.lat, truth.lon, truth.lat));
+      star_err->per_step[k].Add(geom::HaversineM(
+          p_star[k].loc.lon, p_star[k].loc.lat, truth.lon, truth.lat));
+    }
+  }
+}
+
+void PrintTable(const char* title, const Errors& rmf_err,
+                const Errors& star_err) {
+  std::printf("%s\n", title);
+  std::printf("%-18s %12s %12s %12s %12s\n", "look-ahead", "RMF mean",
+              "RMF* mean", "RMF* stdev", "RMF* median");
+  for (int k = 0; k < 8; ++k) {
+    std::printf("%6d s (step %d) %10.0f m %10.0f m %10.0f m %10.0f m\n",
+                (k + 1) * 8, k + 1, rmf_err.per_step[k].mean(),
+                star_err.per_step[k].mean(), star_err.per_step[k].stddev(),
+                star_err.per_step[k].median());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5(a): RMF* prediction accuracy vs look-ahead ===\n");
+  std::printf("(flights %s -> %s, 8 s sampling, 8 look-ahead steps)\n\n",
+              datagen::DefaultOriginAirport().code.c_str(),
+              datagen::DefaultDestinationAirport().code.c_str());
+
+  datagen::FlightSimConfig config;
+  config.flight_count = 40;
+  config.position_noise_m = 30.0;
+  Rng wrng(23);
+  datagen::WeatherField weather(wrng, config.extent, 20.0);
+  datagen::FlightSimulator sim(config, datagen::DefaultOriginAirport(),
+                               datagen::DefaultDestinationAirport(),
+                               &weather);
+  auto flights = sim.Run();
+
+  Errors rmf_all, star_all, rmf_nl, star_nl;
+  for (const auto& f : flights) {
+    Evaluate(f.actual, &rmf_all, &star_all, /*nonlinear_only=*/false);
+    Evaluate(f.actual, &rmf_nl, &star_nl, /*nonlinear_only=*/true);
+  }
+
+  PrintTable("all flight phases:", rmf_all, star_all);
+  PrintTable("non-linear phases only (the hard case the paper evaluates):",
+             rmf_nl, star_nl);
+
+  // Error distribution at the 1-minute horizon (skewness check).
+  std::printf("RMF* error distribution at ~1 min look-ahead:\n");
+  std::printf("  mean %.0f m, median %.0f m, stdev %.0f m "
+              "(median < mean => skewed toward zero, as in the paper)\n",
+              star_all.per_step[7].mean(), star_all.per_step[7].median(),
+              star_all.per_step[7].stddev());
+  std::printf(
+      "\npaper: ~1000 m mean, ~500 m stdev at one minute look-ahead, "
+      "skewed toward zero;\nRMF alone 'results to very low prediction "
+      "accuracy' in these domains.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Section 4.2.4 reproduction: spatio-temporal link discovery throughput
+// with and without cell masks. Paper numbers: 4,765,647 critical points
+// against 8,599 regions produced 381,262 dul:within and 9,122
+// geosparql:nearTo relations at 23.09 entities/s without masks vs 123.51
+// entities/s with masks (~5.3x); point-vs-port nearTo ran at 328.53
+// entities/s. We run a scaled version of the same workload and report the
+// same columns; the shape to match is the mask speedup factor and the
+// relative magnitude of the relation counts.
+
+#include <chrono>
+#include <cstdio>
+
+#include "datagen/areas.h"
+#include "datagen/vessel.h"
+#include "linkdiscovery/linker.h"
+#include "synopses/critical_points.h"
+
+using namespace tcmf;
+
+namespace {
+
+struct RunResult {
+  double entities_per_s;
+  size_t within;
+  size_t near;
+  size_t polygon_tests;
+  size_t mask_skips;
+};
+
+template <typename Linker>
+RunResult Drive(Linker& linker, const std::vector<Position>& points) {
+  auto start = std::chrono::steady_clock::now();
+  for (const Position& p : points) linker.Observe(p);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  RunResult out;
+  out.entities_per_s = points.size() / seconds;
+  out.within = linker.stats().links_within;
+  out.near = linker.stats().links_near_area;
+  out.polygon_tests = linker.stats().polygon_tests;
+  out.mask_skips = 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 4.2.4: spatio-temporal link discovery ===\n\n");
+
+  // Workload: critical points from simulated traffic vs a dense region
+  // catalog hugging the traffic (as Natura2000 + fishing zones hug the
+  // European coast in the paper's Figure 4).
+  datagen::VesselSimConfig config;
+  config.vessel_count = 80;
+  config.duration_ms = 4 * kMillisPerHour;
+  config.report_interval_ms = 5000;
+  Rng rng(9);
+  auto ports = datagen::MakePorts(rng, config.extent, 15);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+
+  synopses::SynopsesGenerator gen(synopses::SynopsesConfig::ForMaritime());
+  std::vector<Position> critical;
+  for (const Position& p : data.stream) {
+    for (auto& cp : gen.Observe(p)) critical.push_back(cp.pos);
+  }
+  // Region catalog: detailed coastline-like polygons (real Natura2000
+  // shapes have hundreds of vertices), anchored to the traffic corridors
+  // but offset beyond the nearTo distance — the paper's Figure 4 regime,
+  // where most points share a grid cell with regions yet need no
+  // refinement, which is exactly what the cell mask detects.
+  std::vector<geom::LonLat> anchors = datagen::AreaCentroids(ports);
+  auto regions = datagen::MakeRegionsNear(rng, anchors, 800, "natura", 2000,
+                                          9000, 30000, 150000,
+                                          /*min_vertices=*/120,
+                                          /*max_vertices=*/280);
+
+  // Scale up the point stream by re-running it (same spatial structure).
+  std::vector<Position> workload = critical;
+  while (workload.size() < 30000) {
+    workload.insert(workload.end(), critical.begin(), critical.end());
+  }
+  std::printf("workload: %zu critical points vs %zu regions\n\n",
+              workload.size(), regions.size());
+
+  std::printf("%-28s %14s %10s %10s %14s %12s\n", "method", "entities/s",
+              "within", "nearTo", "polygon tests", "mask skips");
+
+  linkdiscovery::LinkerConfig lc;
+  lc.extent = config.extent;
+  lc.near_distance_m = 500.0;
+    lc.grid_cols = 24;
+  lc.grid_rows = 24;
+  lc.mask_resolution = 32;
+
+  // Naive baseline (no blocking at all).
+  {
+    // The naive baseline is far slower: run it on a subsample and scale.
+    std::vector<Position> sample(workload.begin(),
+                                 workload.begin() + workload.size() / 50);
+    linkdiscovery::NaiveLinker naive(lc.near_distance_m, regions);
+    RunResult r = Drive(naive, sample);
+    std::printf("%-28s %14.1f %10zu %10zu %14zu %12s\n",
+                "no blocking (naive)", r.entities_per_s, r.within * 50,
+                r.near * 50, r.polygon_tests * 50, "-");
+  }
+
+  // Grid blocking, masks off.
+  double no_mask_rate = 0.0;
+  {
+    lc.use_masks = false;
+    linkdiscovery::SpatioTemporalLinker linker(lc, regions);
+    RunResult r = Drive(linker, workload);
+    no_mask_rate = r.entities_per_s;
+    std::printf("%-28s %14.1f %10zu %10zu %14zu %12zu\n",
+                "equi-grid, no masks", r.entities_per_s, r.within, r.near,
+                linker.stats().polygon_tests, linker.stats().mask_skips);
+  }
+
+  // Grid blocking + cell masks.
+  double mask_rate = 0.0;
+  {
+    lc.use_masks = true;
+    linkdiscovery::SpatioTemporalLinker linker(lc, regions);
+    RunResult r = Drive(linker, workload);
+    mask_rate = r.entities_per_s;
+    std::printf("%-28s %14.1f %10zu %10zu %14zu %12zu\n",
+                "equi-grid + cell masks", r.entities_per_s, r.within, r.near,
+                linker.stats().polygon_tests, linker.stats().mask_skips);
+  }
+  std::printf("\nmask speedup over no-mask blocking: %.2fx "
+              "(paper: 123.51 / 23.09 = 5.35x)\n",
+              mask_rate / no_mask_rate);
+
+  // Point-vs-port nearTo (paper: 328.53 entities/s, 2,536,967 relations).
+  {
+    linkdiscovery::LinkerConfig pc;
+    pc.extent = config.extent;
+    pc.near_distance_m = 5000.0;
+    pc.use_masks = true;
+    linkdiscovery::SpatioTemporalLinker linker(pc, ports);
+    RunResult r = Drive(linker, workload);
+    std::printf("\nnearTo vs %zu ports: %.1f entities/s, %zu within, "
+                "%zu nearTo relations\n",
+                ports.size(), r.entities_per_s, r.within, r.near);
+  }
+
+  // Moving-pair proximity with temporal book-keeping.
+  {
+    linkdiscovery::LinkerConfig mc;
+    mc.extent = config.extent;
+    mc.near_distance_m = 2000.0;
+    mc.temporal_window_ms = 2 * kMillisPerMinute;
+    mc.link_moving_pairs = true;
+    linkdiscovery::SpatioTemporalLinker linker(mc, {});
+    auto start = std::chrono::steady_clock::now();
+    for (const Position& p : critical) linker.Observe(p);
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    std::printf("moving-pair proximity: %.1f entities/s, %zu nearTo "
+                "relations among vessels, %zu candidate pairs\n",
+                critical.size() / seconds,
+                linker.stats().links_near_entity,
+                linker.stats().pair_candidates);
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the hot inner loops every
+// experiment leans on: geodesic math, grid/cell indexing, synopses
+// observation, dictionary interning, channel transport, and CEP stepping.
+
+#include <benchmark/benchmark.h>
+
+#include "cep/automaton.h"
+#include "cep/pattern.h"
+#include "common/rng.h"
+#include "geom/geo.h"
+#include "geom/grid.h"
+#include "geom/stcell.h"
+#include "rdf/dictionary.h"
+#include "stream/channel.h"
+#include "synopses/critical_points.h"
+
+namespace tcmf {
+namespace {
+
+void BM_Haversine(benchmark::State& state) {
+  Rng rng(1);
+  double lon1 = rng.Uniform(-6, 10), lat1 = rng.Uniform(35, 44);
+  double lon2 = rng.Uniform(-6, 10), lat2 = rng.Uniform(35, 44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::HaversineM(lon1, lat1, lon2, lat2));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_PolygonContains(benchmark::State& state) {
+  geom::Polygon poly = geom::Polygon::Circle({2.0, 40.0}, 20000.0,
+                                             static_cast<int>(state.range(0)));
+  Rng rng(2);
+  std::vector<geom::LonLat> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back({rng.Uniform(1.5, 2.5), rng.Uniform(39.5, 40.5)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.Contains(probes[i++ % probes.size()]));
+  }
+}
+BENCHMARK(BM_PolygonContains)->Arg(12)->Arg(64)->Arg(256);
+
+void BM_GridCellOf(benchmark::State& state) {
+  geom::EquiGrid grid({-6, 35, 10, 44}, 64, 64);
+  Rng rng(3);
+  std::vector<geom::LonLat> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back({rng.Uniform(-6, 10), rng.Uniform(35, 44)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = probes[i++ % probes.size()];
+    benchmark::DoNotOptimize(grid.CellOf(p.lon, p.lat));
+  }
+}
+BENCHMARK(BM_GridCellOf);
+
+void BM_StCellEncode(benchmark::State& state) {
+  geom::StCellEncoder encoder({-6, 35, 10, 44}, 10, 0, kMillisPerHour);
+  Rng rng(4);
+  double lon = rng.Uniform(-6, 10), lat = rng.Uniform(35, 44);
+  TimeMs t = 12345678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(lon, lat, t));
+  }
+}
+BENCHMARK(BM_StCellEncode);
+
+void BM_SynopsesObserve(benchmark::State& state) {
+  // Pre-generate a realistic position stream, then measure Observe.
+  Rng rng(5);
+  std::vector<Position> stream;
+  geom::LonLat pos{2.0, 40.0};
+  double heading = 90.0;
+  for (int i = 0; i < 8192; ++i) {
+    Position p;
+    p.entity_id = i % 16;
+    p.t = (i / 16) * 10000;
+    heading = geom::NormalizeDeg(heading + rng.Uniform(-3, 3));
+    pos = geom::Destination(pos, heading, 60.0);
+    p.lon = pos.lon;
+    p.lat = pos.lat;
+    p.speed_mps = 6.0;
+    p.heading_deg = heading;
+    stream.push_back(p);
+  }
+  synopses::SynopsesGenerator gen(synopses::SynopsesConfig::ForMaritime());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Observe(stream[i++ % stream.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynopsesObserve);
+
+void BM_DictionaryEncode(benchmark::State& state) {
+  rdf::Dictionary dict;
+  Rng rng(6);
+  std::vector<rdf::Term> terms;
+  for (int i = 0; i < 4096; ++i) {
+    terms.push_back(rdf::Iri("http://tcmf/node/" +
+                             std::to_string(rng.UniformInt(0, 2048))));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Encode(terms[i++ % terms.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryEncode);
+
+void BM_ChannelPushPop(benchmark::State& state) {
+  stream::Channel<int> channel(1024);
+  for (auto _ : state) {
+    channel.Push(1);
+    benchmark::DoNotOptimize(channel.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void BM_DfaStep(benchmark::State& state) {
+  using namespace cep;
+  Pattern r = Pattern::Seq({Pattern::Symbol(0),
+                            Pattern::Star(Pattern::Or({Pattern::Symbol(0),
+                                                       Pattern::Symbol(1)})),
+                            Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 5);
+  Rng rng(7);
+  std::vector<int> symbols;
+  for (int i = 0; i < 4096; ++i) {
+    symbols.push_back(static_cast<int>(rng.UniformInt(0, 4)));
+  }
+  int s = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    s = dfa.Next(s, symbols[i++ % symbols.size()]);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DfaStep);
+
+}  // namespace
+}  // namespace tcmf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Section 4.2.3 reproduction: RDF generation throughput. The paper
+// reports ~10,500 input records transformed to RDF per second (lower for
+// sources with complicated geometries), comfortably ahead of the 2 s
+// per-entity reporting period.
+
+#include <chrono>
+#include <cstdio>
+
+#include "datagen/areas.h"
+#include "datagen/vessel.h"
+#include "datagen/weather.h"
+#include "geom/geometry.h"
+#include "rdf/rdfgen.h"
+#include "rdf/vocab.h"
+
+using namespace tcmf;
+
+namespace {
+
+double MeasureRecordsPerSecond(rdf::TripleGenerator& gen,
+                               rdf::DataConnector& source, size_t* records,
+                               size_t* triples) {
+  size_t sink_count = 0;
+  auto start = std::chrono::steady_clock::now();
+  size_t n = gen.Run(source, [&](const rdf::Triple&) { ++sink_count; });
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  *records = n;
+  *triples = sink_count;
+  return n / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 4.2.3: RDF generation throughput ===\n\n");
+
+  // --- Surveillance positions (the dominant stream) ---
+  {
+    datagen::VesselSimConfig config;
+    config.vessel_count = 100;
+    config.duration_ms = 2 * kMillisPerHour;
+    Rng rng(3);
+    auto ports = datagen::MakePorts(rng, config.extent, 12);
+    datagen::VesselSimulator sim(config, ports, {}, nullptr);
+    auto data = sim.Run();
+    std::vector<stream::Record> records;
+    records.reserve(data.stream.size());
+    for (const Position& p : data.stream) {
+      records.push_back(stream::PositionToRecord(p));
+    }
+
+    rdf::GraphTemplate tmpl;
+    rdf::VariableVector vars;
+    rdf::MakePositionTemplate("http://tcmf/", &tmpl, &vars);
+    rdf::TripleGenerator gen(std::move(tmpl), std::move(vars));
+    rdf::VectorConnector source(std::move(records));
+    size_t n, triples;
+    double rps = MeasureRecordsPerSecond(gen, source, &n, &triples);
+    std::printf("surveillance positions : %8zu records -> %9zu triples, "
+                "%8.0f records/s, %8.0f triples/s\n",
+                n, triples, rps, rps * triples / n);
+  }
+
+  // --- Weather forecast grids ---
+  {
+    geom::BBox extent{-6.0, 35.0, 10.0, 44.0};
+    Rng rng(4);
+    datagen::WeatherField weather(rng, extent);
+    std::vector<stream::Record> records;
+    for (TimeMs t = 0; t < 48 * kMillisPerHour; t += 3 * kMillisPerHour) {
+      auto grid = weather.ForecastGrid(t, 48, 27);
+      records.insert(records.end(), grid.begin(), grid.end());
+    }
+    rdf::GraphTemplate tmpl;
+    rdf::VariableVector vars;
+    rdf::MakeWeatherTemplate("http://tcmf/", &tmpl, &vars);
+    rdf::TripleGenerator gen(std::move(tmpl), std::move(vars));
+    rdf::VectorConnector source(std::move(records));
+    size_t n, triples;
+    double rps = MeasureRecordsPerSecond(gen, source, &n, &triples);
+    std::printf("weather forecasts      : %8zu records -> %9zu triples, "
+                "%8.0f records/s, %8.0f triples/s\n",
+                n, triples, rps, rps * triples / n);
+  }
+
+  // --- Contextual geometries (complicated WKT slows conversion) ---
+  {
+    geom::BBox extent{-6.0, 35.0, 10.0, 44.0};
+    Rng rng(5);
+    auto regions = datagen::MakeRegions(rng, extent, 4000, "natura", 5000,
+                                        60000);
+    std::vector<stream::Record> records;
+    records.reserve(regions.size());
+    for (const auto& a : regions) {
+      stream::Record r;
+      r.Set("id", static_cast<int64_t>(a.id));
+      r.Set("name", a.name);
+      r.Set("kind", a.kind);
+      r.Set("wkt", geom::ToWktPolygon(a.shape));
+      records.push_back(std::move(r));
+    }
+    rdf::GraphTemplate tmpl;
+    rdf::VariableVector vars;
+    vars.DefineFieldIri("region", "id", "http://tcmf/area/");
+    vars.DefineFieldLiteral("name", "name");
+    // The geometry variable parses + re-serializes the WKT (the
+    // "complicated geometries" cost the paper mentions).
+    vars.Define("wkt", [](const stream::Record& r) -> std::optional<rdf::Term> {
+      auto wkt = r.GetString("wkt");
+      if (!wkt) return std::nullopt;
+      Result<geom::Polygon> poly = geom::ParseWktPolygon(*wkt);
+      if (!poly.ok()) return std::nullopt;
+      return rdf::TypedLiteral(geom::ToWktPolygon(poly.value()),
+                               rdf::vocab::kWktLiteral);
+    });
+    tmpl.Add(rdf::TemplateSlot::Var("region"),
+             rdf::TemplateSlot::Const(rdf::Iri(rdf::vocab::kType)),
+             rdf::TemplateSlot::Const(rdf::Iri(rdf::vocab::kRegion)));
+    tmpl.Add(rdf::TemplateSlot::Var("region"),
+             rdf::TemplateSlot::Const(rdf::Iri(rdf::vocab::kHasName)),
+             rdf::TemplateSlot::Var("name"));
+    tmpl.Add(rdf::TemplateSlot::Var("region"),
+             rdf::TemplateSlot::Const(rdf::Iri(rdf::vocab::kAsWKT)),
+             rdf::TemplateSlot::Var("wkt"));
+    rdf::TripleGenerator gen(std::move(tmpl), std::move(vars));
+    rdf::VectorConnector source(std::move(records));
+    size_t n, triples;
+    double rps = MeasureRecordsPerSecond(gen, source, &n, &triples);
+    std::printf("contextual geometries  : %8zu records -> %9zu triples, "
+                "%8.0f records/s, %8.0f triples/s\n",
+                n, triples, rps, rps * triples / n);
+  }
+
+  std::printf(
+      "\npaper: ~10,500 records/s overall; geometry-heavy sources slower.\n"
+      "The shape to match: sustained throughput orders of magnitude above\n"
+      "the >= 2 s per-entity reporting period.\n");
+  return 0;
+}

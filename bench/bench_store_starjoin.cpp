@@ -1,0 +1,126 @@
+// Section 4.2.5 reproduction: star-join queries with spatio-temporal
+// constraints over the knowledge-graph store. Paper: over 269M triples
+// from surveillance + weather + contextual sources, the spatio-temporal
+// dictionary encoding improves star-join processing time by a factor of
+// ~5 versus enforcing the constraints in a post-processing step. We build
+// a scaled store (same three source families) and compare the physical
+// plans across query selectivities; the shape to match is the ~5x gap
+// between post-filtering and encoding pushdown.
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "datagen/areas.h"
+#include "datagen/vessel.h"
+#include "datagen/weather.h"
+#include "rdf/vocab.h"
+#include "store/kgstore.h"
+#include "synopses/critical_points.h"
+
+using namespace tcmf;
+
+int main() {
+  std::printf("=== Section 4.2.5: spatio-temporal star joins ===\n\n");
+
+  const geom::BBox extent{-6.0, 35.0, 10.0, 44.0};
+  geom::StCellEncoder encoder(extent, 10, 0, 15 * kMillisPerMinute);
+  store::KnowledgeStore kg(encoder, 16);
+
+  // --- Surveillance nodes ---
+  datagen::VesselSimConfig config;
+  config.vessel_count = 150;
+  config.duration_ms = 6 * kMillisPerHour;
+  config.report_interval_ms = 10000;
+  Rng rng(13);
+  auto ports = datagen::MakePorts(rng, extent, 15);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+  size_t nodes = 0;
+  for (const Position& p : data.stream) {
+    rdf::Term node =
+        rdf::Iri("http://tcmf/node/" + std::to_string(p.entity_id) + "/" +
+                 std::to_string(p.t));
+    kg.AddPositionNode(node, p.lon, p.lat, p.t);
+    kg.Add({node, rdf::Iri(rdf::vocab::kHasSpeed),
+            rdf::DoubleLiteral(p.speed_mps)});
+    kg.Add({node, rdf::Iri(rdf::vocab::kHasHeading),
+            rdf::DoubleLiteral(p.heading_deg)});
+    ++nodes;
+  }
+
+  // --- Weather nodes ---
+  datagen::WeatherField weather(rng, extent);
+  size_t weather_nodes = 0;
+  for (TimeMs t = 0; t < config.duration_ms; t += 3 * kMillisPerHour) {
+    for (const auto& rec : weather.ForecastGrid(t, 24, 16)) {
+      rdf::Term node = rdf::Iri(
+          "http://tcmf/weather/" + std::to_string(t) + "/" +
+          std::to_string(weather_nodes));
+      kg.AddPositionNode(node, rec.GetNumeric("lon").value(),
+                         rec.GetNumeric("lat").value(), t);
+      kg.Add({node, rdf::Iri(rdf::vocab::kHasWindSpeed),
+              rdf::DoubleLiteral(rec.GetNumeric("severity").value() * 25)});
+      ++weather_nodes;
+    }
+  }
+  kg.Compile();
+  std::printf("store: %zu triples (%zu surveillance + %zu weather nodes), "
+              "%zu partitions\n\n",
+              kg.size(), nodes, weather_nodes, kg.partitions());
+
+  store::StarQuery query;
+  query.predicate_ids = {
+      kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasSpeed)),
+      kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasHeading)),
+      kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasTimestamp)),
+      kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kAsWKT))};
+  query.has_st_constraint = true;
+
+  kg.BuildPropertyTable(query.predicate_ids);
+  std::printf("star query: ?n hasSpeed ?s . ?n hasHeading ?h . "
+              "?n hasTimestamp ?t . ?n asWKT ?w  + st-box filter\n\n");
+  std::printf("%-12s %-36s %8s %12s %12s %10s %10s\n", "selectivity",
+              "plan", "rows", "scanned", "st-filters", "ms", "speedup");
+
+  for (double frac : {0.1, 0.2, 0.4}) {
+    query.st_box.bounds = {0.0, 37.0, 0.0 + 16.0 * frac, 37.0 + 9.0 * frac};
+    query.st_box.t_begin = kMillisPerHour;
+    query.st_box.t_end =
+        kMillisPerHour +
+        static_cast<TimeMs>(config.duration_ms * frac);
+
+    double base_ms = 0.0;
+    for (store::StarPlan plan :
+         {store::StarPlan::kTriplesTableScan,
+          store::StarPlan::kVerticalPartition,
+          store::StarPlan::kPropertyTable,
+          store::StarPlan::kVerticalPartitionPushdown,
+          store::StarPlan::kPropertyTablePushdown}) {
+      // Best of 3 runs to stabilize timings.
+      store::StarQueryMetrics best;
+      best.wall_ms = 1e18;
+      size_t rows = 0;
+      for (int run = 0; run < 3; ++run) {
+        store::StarQueryMetrics m;
+        rows = kg.RunStar(query, plan, &m).size();
+        if (m.wall_ms < best.wall_ms) best = m;
+      }
+      if (plan == store::StarPlan::kVerticalPartition) {
+        base_ms = best.wall_ms;
+      }
+      bool is_pushdown =
+          plan == store::StarPlan::kVerticalPartitionPushdown ||
+          plan == store::StarPlan::kPropertyTablePushdown;
+      double speedup =
+          is_pushdown && best.wall_ms > 0 ? base_ms / best.wall_ms : 0.0;
+      std::printf("%-12.2f %-36s %8zu %12zu %12zu %10.2f %10s\n", frac,
+                  store::StarPlanName(plan), rows, best.triples_scanned,
+                  best.st_filter_evaluations, best.wall_ms,
+                  speedup > 0 ? StrFormat("%.1fx", speedup).c_str() : "-");
+    }
+    std::printf("\n");
+  }
+  std::printf("paper: ~5x faster star joins with the spatio-temporal\n"
+              "dictionary encoding vs post-processing the constraints.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// ATM scenario (Section 2): flight-plan adherence monitoring, route
+// clustering, per-waypoint deviation prediction with the Hybrid
+// Clustering/HMM model, and sector demand counting.
+
+#include <cstdio>
+#include <map>
+
+#include "datagen/areas.h"
+#include "datagen/flight.h"
+#include "datagen/weather.h"
+#include "insitu/lowlevel.h"
+#include "prediction/trajpred.h"
+#include "va/demand.h"
+#include "va/relevance.h"
+
+using namespace tcmf;
+
+namespace {
+
+prediction::TpExample MakeExample(const datagen::SimulatedFlight& flight,
+                                  const datagen::WeatherField& weather) {
+  prediction::TpExample ex;
+  std::vector<geom::LonLat> wps;
+  std::vector<TimeMs> etas;
+  for (const auto& wp : flight.plan.waypoints) {
+    wps.push_back(wp.loc);
+    etas.push_back(wp.eta);
+    prediction::EnrichedPoint ep;
+    ep.loc = wp.loc;
+    ep.t = wp.eta;
+    auto w = weather.Sample(wp.loc.lon, wp.loc.lat, wp.eta);
+    ep.features = {w.severity,
+                   static_cast<double>(flight.aircraft.cls) / 2.0};
+    ex.reference.push_back(ep);
+  }
+  ex.deviations_m = prediction::WaypointDeviations(wps, etas, flight.actual);
+  return ex;
+}
+
+}  // namespace
+
+int main() {
+  datagen::FlightSimConfig config;
+  config.flight_count = 60;
+  config.airway_count = 3;
+  Rng rng(31);
+  datagen::WeatherField weather(rng, config.extent, 22.0);
+  datagen::FlightSimulator sim(config, datagen::DefaultOriginAirport(),
+                               datagen::DefaultDestinationAirport(),
+                               &weather);
+  auto flights = sim.Run();
+  std::printf("=== ATM flow analysis: %zu flights %s -> %s ===\n\n",
+              flights.size(), flights[0].plan.origin.c_str(),
+              flights[0].plan.destination.c_str());
+
+  // --- Flight-plan adherence ---
+  double total_dev = 0.0;
+  size_t waypoints = 0;
+  for (const auto& f : flights) {
+    prediction::TpExample ex = MakeExample(f, weather);
+    for (size_t i = 1; i + 1 < ex.deviations_m.size(); ++i) {
+      total_dev += std::fabs(ex.deviations_m[i]);
+      ++waypoints;
+    }
+  }
+  std::printf("mean |cross-track deviation| from plan: %.0f m over %zu "
+              "waypoint passages\n",
+              total_dev / waypoints, waypoints);
+
+  // --- Route clustering on the cruise phase only (relevance-aware) ---
+  std::vector<va::FlaggedTrajectory> flagged;
+  for (const auto& f : flights) {
+    flagged.push_back(va::FlagByPredicate(
+        f.actual, [](const Position& p) { return p.alt_m > 5000.0; }));
+  }
+  auto labels = va::ClusterByRelevantParts(flagged, 25000.0, 3, 3);
+  std::map<int, size_t> cluster_sizes;
+  for (int l : labels) ++cluster_sizes[l];
+  std::printf("\ncruise-phase route clusters:\n");
+  for (const auto& [label, count] : cluster_sizes) {
+    if (label < 0) {
+      std::printf("  noise      : %zu flights\n", count);
+    } else {
+      std::printf("  cluster %2d : %zu flights\n", label, count);
+    }
+  }
+
+  // --- Hybrid Clustering/HMM deviation prediction ---
+  std::vector<prediction::TpExample> examples;
+  for (const auto& f : flights) examples.push_back(MakeExample(f, weather));
+  size_t train_n = examples.size() * 3 / 4;
+  std::vector<prediction::TpExample> train(examples.begin(),
+                                           examples.begin() + train_n);
+  prediction::HybridTpOptions options;
+  options.erp.spatial_scale_m = 20000.0;
+  options.reachability_threshold = 3.0;
+  auto model = prediction::HybridTpModel::Train(train, options);
+  std::printf("\nhybrid TP model: %d clusters, %zu parameters\n",
+              model.cluster_count(), model.TotalParameters());
+
+  double se = 0.0;
+  size_t n = 0;
+  for (size_t i = train_n; i < examples.size(); ++i) {
+    auto predicted = model.PredictDeviations(examples[i].reference, {});
+    for (size_t w = 1; w + 1 < predicted.size(); ++w) {
+      double err = predicted[w] - examples[i].deviations_m[w];
+      se += err * err;
+      ++n;
+    }
+  }
+  std::printf("held-out per-waypoint deviation RMSE: %.0f m (%zu waypoints)\n",
+              std::sqrt(se / n), n);
+
+  // --- Sector demand: entries per airspace sector ---
+  auto sectors = datagen::MakeSectors(config.extent, 4, 3);
+  insitu::AreaTransitionDetector detector(sectors, config.extent);
+  std::map<uint64_t, size_t> demand;
+  for (const auto& f : flights) {
+    for (const Position& p : f.actual.points) {
+      for (const auto& event : detector.Observe(p)) {
+        if (event.type == insitu::AreaEvent::Type::kEntry) {
+          ++demand[event.area_id];
+        }
+      }
+    }
+  }
+  std::printf("\nsector demand (entries):\n");
+  for (const auto& [sector, count] : demand) {
+    std::printf("  sector %llu: %zu\n",
+                static_cast<unsigned long long>(sector), count);
+  }
+
+  // --- Demand/capacity balance: overloads trigger regulations ---
+  va::SectorDemandMonitor monitor(kMillisPerHour);
+  insitu::AreaTransitionDetector detector2(sectors, config.extent);
+  for (const auto& f : flights) {
+    for (const Position& p : f.actual.points) {
+      for (const auto& event : detector2.Observe(p)) {
+        if (event.type == insitu::AreaEvent::Type::kEntry) {
+          monitor.RecordEntry(event.area_id, event.t);
+        }
+      }
+    }
+  }
+  auto overloads = monitor.DetectOverloads({}, /*default_capacity=*/8);
+  std::printf("\ndemand/capacity: %zu overloaded sector-hours at capacity 8"
+              " (each would publish a regulation)\n", overloads.size());
+  for (size_t i = 0; i < std::min<size_t>(overloads.size(), 5); ++i) {
+    std::printf("  sector %llu at %+.0f h: demand %zu > capacity %zu\n",
+                static_cast<unsigned long long>(overloads[i].sector),
+                static_cast<double>(overloads[i].bin_start) / kMillisPerHour,
+                overloads[i].demand, overloads[i].capacity);
+  }
+  return 0;
+}

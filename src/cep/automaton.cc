@@ -1,0 +1,242 @@
+#include "cep/automaton.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/strings.h"
+
+namespace tcmf::cep {
+
+namespace {
+
+/// Thompson NFA with epsilon transitions (symbol -1).
+struct Nfa {
+  struct Edge {
+    int symbol;  // -1 = epsilon
+    int to;
+  };
+  std::vector<std::vector<Edge>> states;
+
+  int AddState() {
+    states.emplace_back();
+    return static_cast<int>(states.size()) - 1;
+  }
+  void AddEdge(int from, int symbol, int to) {
+    states[from].push_back({symbol, to});
+  }
+};
+
+struct Fragment {
+  int start;
+  int accept;
+};
+
+Fragment Build(Nfa& nfa, const Pattern& p) {
+  switch (p.kind()) {
+    case Pattern::Kind::kSymbol: {
+      int s = nfa.AddState();
+      int a = nfa.AddState();
+      nfa.AddEdge(s, p.symbol(), a);
+      return {s, a};
+    }
+    case Pattern::Kind::kSeq: {
+      if (p.children().empty()) {
+        int s = nfa.AddState();
+        return {s, s};
+      }
+      Fragment first = Build(nfa, p.children()[0]);
+      Fragment acc = first;
+      for (size_t i = 1; i < p.children().size(); ++i) {
+        Fragment next = Build(nfa, p.children()[i]);
+        nfa.AddEdge(acc.accept, -1, next.start);
+        acc.accept = next.accept;
+      }
+      return acc;
+    }
+    case Pattern::Kind::kOr: {
+      int s = nfa.AddState();
+      int a = nfa.AddState();
+      for (const Pattern& child : p.children()) {
+        Fragment f = Build(nfa, child);
+        nfa.AddEdge(s, -1, f.start);
+        nfa.AddEdge(f.accept, -1, a);
+      }
+      return {s, a};
+    }
+    case Pattern::Kind::kStar: {
+      int s = nfa.AddState();
+      int a = nfa.AddState();
+      Fragment f = Build(nfa, p.children()[0]);
+      nfa.AddEdge(s, -1, f.start);
+      nfa.AddEdge(s, -1, a);
+      nfa.AddEdge(f.accept, -1, f.start);
+      nfa.AddEdge(f.accept, -1, a);
+      return {s, a};
+    }
+  }
+  int s = nfa.AddState();
+  return {s, s};
+}
+
+std::set<int> EpsilonClosure(const Nfa& nfa, const std::set<int>& states) {
+  std::set<int> closure = states;
+  std::queue<int> work;
+  for (int s : states) work.push(s);
+  while (!work.empty()) {
+    int s = work.front();
+    work.pop();
+    for (const Nfa::Edge& e : nfa.states[s]) {
+      if (e.symbol == -1 && closure.insert(e.to).second) work.push(e.to);
+    }
+  }
+  return closure;
+}
+
+Dfa SubsetConstruct(const Nfa& nfa, int start, int accept,
+                    int alphabet_size) {
+  Dfa dfa;
+  dfa.alphabet_size = alphabet_size;
+  std::map<std::set<int>, int> ids;
+  std::vector<std::set<int>> subsets;
+
+  std::set<int> s0 = EpsilonClosure(nfa, {start});
+  ids[s0] = 0;
+  subsets.push_back(s0);
+  std::queue<int> work;
+  work.push(0);
+
+  while (!work.empty()) {
+    int id = work.front();
+    work.pop();
+    std::set<int> current = subsets[id];
+    for (int sym = 0; sym < alphabet_size; ++sym) {
+      std::set<int> moved;
+      for (int s : current) {
+        for (const Nfa::Edge& e : nfa.states[s]) {
+          if (e.symbol == sym) moved.insert(e.to);
+        }
+      }
+      std::set<int> closure = EpsilonClosure(nfa, moved);
+      auto [it, inserted] =
+          ids.try_emplace(closure, static_cast<int>(subsets.size()));
+      if (inserted) {
+        subsets.push_back(closure);
+        work.push(it->second);
+      }
+      // Transition recorded after all states are known (resize below).
+      if (dfa.next.size() <
+          (static_cast<size_t>(id) + 1) * alphabet_size) {
+        dfa.next.resize((static_cast<size_t>(id) + 1) * alphabet_size, 0);
+      }
+      dfa.next[static_cast<size_t>(id) * alphabet_size + sym] = it->second;
+    }
+  }
+  dfa.state_count = static_cast<int>(subsets.size());
+  dfa.next.resize(static_cast<size_t>(dfa.state_count) * alphabet_size, 0);
+  dfa.is_final.assign(dfa.state_count, false);
+  for (int i = 0; i < dfa.state_count; ++i) {
+    dfa.is_final[i] = subsets[i].contains(accept);
+  }
+  return dfa;
+}
+
+/// Moore partition-refinement minimization (keeps state 0 the start).
+Dfa Minimize(const Dfa& dfa) {
+  int n = dfa.state_count;
+  std::vector<int> part(n);
+  for (int i = 0; i < n; ++i) part[i] = dfa.is_final[i] ? 1 : 0;
+
+  while (true) {
+    // Signature: (part, parts of successors per symbol).
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> next_part(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(dfa.alphabet_size + 1);
+      sig.push_back(part[i]);
+      for (int sym = 0; sym < dfa.alphabet_size; ++sym) {
+        sig.push_back(part[dfa.Next(i, sym)]);
+      }
+      auto [it, inserted] =
+          sig_ids.try_emplace(sig, static_cast<int>(sig_ids.size()));
+      next_part[i] = it->second;
+    }
+    if (next_part == part) break;
+    part = std::move(next_part);
+  }
+
+  // Renumber so the start state's class becomes 0.
+  int classes = *std::max_element(part.begin(), part.end()) + 1;
+  std::vector<int> remap(classes, -1);
+  int next_id = 0;
+  remap[part[0]] = next_id++;
+  for (int i = 0; i < n; ++i) {
+    if (remap[part[i]] == -1) remap[part[i]] = next_id++;
+  }
+
+  Dfa out;
+  out.alphabet_size = dfa.alphabet_size;
+  out.state_count = classes;
+  out.next.assign(static_cast<size_t>(classes) * dfa.alphabet_size, 0);
+  out.is_final.assign(classes, false);
+  for (int i = 0; i < n; ++i) {
+    int c = remap[part[i]];
+    out.is_final[c] = dfa.is_final[i];
+    for (int sym = 0; sym < dfa.alphabet_size; ++sym) {
+      out.next[static_cast<size_t>(c) * dfa.alphabet_size + sym] =
+          remap[part[dfa.Next(i, sym)]];
+    }
+  }
+  return out;
+}
+
+Pattern AnySymbol(int alphabet_size) {
+  std::vector<Pattern> symbols;
+  symbols.reserve(alphabet_size);
+  for (int s = 0; s < alphabet_size; ++s) symbols.push_back(Pattern::Symbol(s));
+  return Pattern::Or(std::move(symbols));
+}
+
+}  // namespace
+
+std::string Dfa::ToString() const {
+  std::string out = StrFormat("DFA: %d states, alphabet %d\n", state_count,
+                              alphabet_size);
+  for (int s = 0; s < state_count; ++s) {
+    out += StrFormat("  state %d%s:", s, is_final[s] ? " [final]" : "");
+    for (int sym = 0; sym < alphabet_size; ++sym) {
+      out += StrFormat(" %d->%d", sym, Next(s, sym));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Dfa CompileDfa(const Pattern& pattern, int alphabet_size) {
+  Nfa nfa;
+  Fragment f = Build(nfa, pattern);
+  return Minimize(SubsetConstruct(nfa, f.start, f.accept, alphabet_size));
+}
+
+Dfa CompileStreamingDfa(const Pattern& pattern, int alphabet_size) {
+  Pattern copy = pattern;
+  Pattern streaming = Pattern::Seq(
+      {Pattern::Star(AnySymbol(alphabet_size)), std::move(copy)});
+  return CompileDfa(streaming, alphabet_size);
+}
+
+std::vector<size_t> Detect(const Dfa& dfa, const std::vector<int>& stream) {
+  std::vector<size_t> detections;
+  int state = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    int sym = stream[i];
+    if (sym < 0 || sym >= dfa.alphabet_size) continue;
+    state = dfa.Next(state, sym);
+    if (dfa.is_final[state]) detections.push_back(i);
+  }
+  return detections;
+}
+
+}  // namespace tcmf::cep

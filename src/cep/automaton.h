@@ -1,0 +1,44 @@
+#ifndef TCMF_CEP_AUTOMATON_H_
+#define TCMF_CEP_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "cep/pattern.h"
+
+namespace tcmf::cep {
+
+/// A deterministic finite automaton over the event alphabet, with a total
+/// transition function (table form). State 0 is the start state.
+struct Dfa {
+  int alphabet_size = 0;
+  int state_count = 0;
+  /// next[state * alphabet_size + symbol]
+  std::vector<int> next;
+  std::vector<bool> is_final;
+
+  int Next(int state, int symbol) const {
+    return next[static_cast<size_t>(state) * alphabet_size + symbol];
+  }
+
+  /// Multi-line table rendering (used by the Figure 6 bench).
+  std::string ToString() const;
+};
+
+/// Compiles the *streaming* DFA of a pattern R: the automaton of Σ*·R,
+/// which is in a final state exactly when some suffix of the stream read
+/// so far matches R — the recognition semantics of Section 6 (a detection
+/// occurs every time the DFA reaches a final state).
+Dfa CompileStreamingDfa(const Pattern& pattern, int alphabet_size);
+
+/// Compiles the plain DFA of R itself (matching from the start only) —
+/// used in tests to validate the construction.
+Dfa CompileDfa(const Pattern& pattern, int alphabet_size);
+
+/// Runs the DFA over a symbol sequence; returns the indexes at which a
+/// detection (final state) occurred.
+std::vector<size_t> Detect(const Dfa& dfa, const std::vector<int>& stream);
+
+}  // namespace tcmf::cep
+
+#endif  // TCMF_CEP_AUTOMATON_H_

@@ -1,0 +1,180 @@
+#include "cep/forecast.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tcmf::cep {
+
+WayebEngine::WayebEngine(const Dfa& dfa, const MarkovInputModel& input,
+                         const Options& options)
+    : pmc_(dfa, input), options_(options), context_(input.InitialContext()) {
+  intervals_.resize(pmc_.state_count());
+  for (int s = 0; s < pmc_.state_count(); ++s) {
+    std::vector<double> wt = pmc_.WaitingTime(s, options_.horizon);
+    intervals_[s] = PatternMarkovChain::SmallestInterval(wt,
+                                                         options_.threshold);
+  }
+}
+
+WayebEngine::StepResult WayebEngine::Observe(int symbol) {
+  StepResult out;
+  if (symbol < 0 || symbol >= pmc_.dfa().alphabet_size) {
+    ++index_;
+    return out;
+  }
+  dfa_state_ = pmc_.dfa().Next(dfa_state_, symbol);
+  context_ = pmc_.input().UpdateContext(context_, symbol);
+  out.detected = pmc_.dfa().is_final[dfa_state_];
+  if (out.detected) suppressed_until_ = 0;
+
+  if (!out.detected) {
+    int pmc_state = pmc_.StateOf(dfa_state_, context_);
+    const auto& interval = intervals_[pmc_state];
+    bool suppressed =
+        options_.suppress_overlapping && index_ < suppressed_until_;
+    if (interval.has_value() && !suppressed) {
+      out.forecast_emitted = true;
+      out.forecast.at = index_;
+      out.forecast.start = interval->start;
+      out.forecast.end = interval->end;
+      out.forecast.prob = interval->prob;
+      suppressed_until_ = index_ + interval->end + 1;
+    }
+  }
+  ++index_;
+  return out;
+}
+
+ForecastScore ScoreForecasts(const Dfa& dfa, const MarkovInputModel& input,
+                             const std::vector<int>& stream, double threshold,
+                             int horizon, bool suppress_overlapping) {
+  WayebEngine::Options options;
+  options.threshold = threshold;
+  options.horizon = horizon;
+  options.suppress_overlapping = suppress_overlapping;
+  WayebEngine engine(dfa, input, options);
+
+  std::vector<size_t> detections;
+  std::vector<Forecast> forecasts;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    WayebEngine::StepResult r = engine.Observe(stream[i]);
+    if (r.detected) detections.push_back(i);
+    if (r.forecast_emitted) forecasts.push_back(r.forecast);
+  }
+
+  ForecastScore score;
+  score.forecasts = forecasts.size();
+  double spread_sum = 0.0;
+  for (const Forecast& f : forecasts) {
+    size_t lo = f.at + f.start;
+    size_t hi = f.at + f.end;
+    spread_sum += f.end - f.start + 1;
+    auto it = std::lower_bound(detections.begin(), detections.end(), lo);
+    if (it != detections.end() && *it <= hi) ++score.correct;
+  }
+  if (score.forecasts > 0) {
+    score.precision =
+        static_cast<double>(score.correct) / score.forecasts;
+    score.mean_spread = spread_sum / score.forecasts;
+  }
+  return score;
+}
+
+int CriticalPointSymbol(const synopses::CriticalPoint& cp) {
+  if (cp.type != synopses::CriticalPointType::kChangeInHeading) {
+    return kOther;
+  }
+  double h = cp.pos.heading_deg;
+  if (h >= 315.0 || h < 45.0) return kTurnNorth;
+  if (h < 135.0) return kTurnEast;
+  if (h < 225.0) return kTurnSouth;
+  return kTurnWest;
+}
+
+
+int SymbolClassifier::Define(std::string name, Predicate predicate) {
+  names_.push_back(std::move(name));
+  predicates_.push_back(std::move(predicate));
+  return static_cast<int>(names_.size()) - 1;
+}
+
+int SymbolClassifier::Classify(const synopses::CriticalPoint& cp) const {
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (predicates_[i](cp)) return static_cast<int>(i);
+  }
+  return other_symbol();
+}
+
+int SymbolClassifier::SymbolOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  if (name == "other") return other_symbol();
+  return -1;
+}
+
+const std::string& SymbolClassifier::NameOf(int symbol) const {
+  static const std::string kOtherName = "other";
+  if (symbol >= 0 && symbol < static_cast<int>(names_.size())) {
+    return names_[symbol];
+  }
+  return kOtherName;
+}
+
+Result<Pattern> SymbolClassifier::CompileNamedPattern(
+    const std::string& text) const {
+  // Replace every name token with its symbol index, then reuse the
+  // numeric pattern parser.
+  std::string numeric;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      std::string name = text.substr(pos, end - pos);
+      int symbol = SymbolOf(name);
+      if (symbol < 0) {
+        return Status::ParseError("unknown predicate name: " + name);
+      }
+      numeric += std::to_string(symbol);
+      pos = end;
+    } else {
+      numeric += c;
+      ++pos;
+    }
+  }
+  return ParsePattern(numeric);
+}
+
+SymbolClassifier MakeHeadingClassifier() {
+  using synopses::CriticalPointType;
+  SymbolClassifier classifier;
+  auto turn_between = [](double lo, double hi) {
+    return [lo, hi](const synopses::CriticalPoint& cp) {
+      if (cp.type != CriticalPointType::kChangeInHeading) return false;
+      double h = cp.pos.heading_deg;
+      if (lo > hi) return h >= lo || h < hi;  // wraps through north
+      return h >= lo && h < hi;
+    };
+  };
+  classifier.Define("north", turn_between(315.0, 45.0));
+  classifier.Define("east", turn_between(45.0, 135.0));
+  classifier.Define("south", turn_between(135.0, 225.0));
+  classifier.Define("west", turn_between(225.0, 315.0));
+  return classifier;
+}
+
+Pattern NorthToSouthReversalPattern() {
+  return Pattern::Seq(
+      {Pattern::Symbol(kTurnNorth),
+       Pattern::Star(Pattern::Or(
+           {Pattern::Symbol(kTurnNorth), Pattern::Symbol(kTurnEast)})),
+       Pattern::Symbol(kTurnSouth)});
+}
+
+}  // namespace tcmf::cep

@@ -1,0 +1,139 @@
+#ifndef TCMF_CEP_FORECAST_H_
+#define TCMF_CEP_FORECAST_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cep/pmc.h"
+#include "common/position.h"
+#include "synopses/critical_points.h"
+
+namespace tcmf::cep {
+
+/// An emitted forecast: at stream index `at`, the engine predicted the
+/// complex event would be detected between `at + start` and `at + end`
+/// (event-count distance), with waiting-time mass `prob`.
+struct Forecast {
+  size_t at = 0;
+  int start = 0;
+  int end = 0;
+  double prob = 0.0;
+};
+
+/// The online recognition & forecasting engine (the Wayeb system of
+/// Section 6): tracks the streaming DFA state and input context, emits a
+/// detection whenever the DFA reaches a final state, and per event emits
+/// the smallest forecast interval meeting the threshold.
+class WayebEngine {
+ public:
+  struct Options {
+    double threshold = 0.5;
+    int horizon = 50;
+    /// When true a new forecast is only emitted after the previous one's
+    /// interval has elapsed or a detection occurred.
+    bool suppress_overlapping = true;
+  };
+
+  WayebEngine(const Dfa& dfa, const MarkovInputModel& input,
+              const Options& options);
+
+  struct StepResult {
+    bool detected = false;
+    bool forecast_emitted = false;
+    Forecast forecast;
+  };
+
+  /// Processes one symbol.
+  StepResult Observe(int symbol);
+
+  size_t events_processed() const { return index_; }
+  const PatternMarkovChain& pmc() const { return pmc_; }
+
+ private:
+  PatternMarkovChain pmc_;
+  Options options_;
+  int dfa_state_ = 0;
+  int context_;
+  size_t index_ = 0;
+  /// Precomputed per-PMC-state smallest intervals.
+  std::vector<std::optional<PatternMarkovChain::Interval>> intervals_;
+  size_t suppressed_until_ = 0;
+};
+
+/// Forecast quality metrics for Figure 8.
+struct ForecastScore {
+  size_t forecasts = 0;
+  size_t correct = 0;   ///< a detection fell inside the interval
+  double precision = 0.0;
+  double mean_spread = 0.0;  ///< mean interval length
+};
+
+/// Runs engine over `stream` and scores every emitted forecast against the
+/// actual detections.
+ForecastScore ScoreForecasts(const Dfa& dfa, const MarkovInputModel& input,
+                             const std::vector<int>& stream, double threshold,
+                             int horizon, bool suppress_overlapping = true);
+
+/// Heading-bucket symbols for turn events (the NorthToSouthReversal
+/// pattern of Section 6): N/E/S/W ChangeInHeading events plus a catch-all
+/// "other" symbol for every other critical point.
+enum HeadingSymbol : int {
+  kTurnNorth = 0,
+  kTurnEast = 1,
+  kTurnSouth = 2,
+  kTurnWest = 3,
+  kOther = 4,
+  kHeadingSymbolCount = 5,
+};
+
+/// Maps a critical point to its HeadingSymbol.
+int CriticalPointSymbol(const synopses::CriticalPoint& cp);
+
+/// Attribute-predicate symbol classifier — a step toward the
+/// "relationality" challenge of Section 6 (handling events with
+/// attributes and predicates like IsHeading(North) without a separate
+/// pre-processing stage). Each named predicate claims one symbol; an
+/// event maps to the first predicate it satisfies, or to the implicit
+/// final "other" symbol. Patterns are then written over predicate names.
+class SymbolClassifier {
+ public:
+  using Predicate = std::function<bool(const synopses::CriticalPoint&)>;
+
+  /// Registers a predicate; returns its symbol index.
+  int Define(std::string name, Predicate predicate);
+
+  /// First-match classification; events matching nothing map to
+  /// other_symbol() (always = predicate count).
+  int Classify(const synopses::CriticalPoint& cp) const;
+
+  /// Alphabet size including the implicit "other" symbol.
+  int alphabet_size() const { return static_cast<int>(names_.size()) + 1; }
+  int other_symbol() const { return static_cast<int>(names_.size()); }
+
+  /// Symbol index of a named predicate; -1 when unknown.
+  int SymbolOf(const std::string& name) const;
+  const std::string& NameOf(int symbol) const;
+
+  /// Compiles a pattern written over predicate names, e.g.
+  /// "north (north|east)* south" with the names defined on this
+  /// classifier. Whitespace-separated names with (), |, *, + as in
+  /// ParsePattern.
+  Result<Pattern> CompileNamedPattern(const std::string& text) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Predicate> predicates_;
+};
+
+/// The classifier behind CriticalPointSymbol: heading buckets north/
+/// east/south/west on ChangeInHeading events.
+SymbolClassifier MakeHeadingClassifier();
+
+/// The paper's example pattern:
+///   R = TurnNorth (TurnNorth + TurnEast)* TurnSouth
+Pattern NorthToSouthReversalPattern();
+
+}  // namespace tcmf::cep
+
+#endif  // TCMF_CEP_FORECAST_H_

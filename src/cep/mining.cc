@@ -1,0 +1,144 @@
+#include "cep/mining.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tcmf::cep {
+
+namespace {
+
+/// A projected occurrence: sequence index + position after the last
+/// matched symbol.
+struct Projection {
+  size_t sequence;
+  size_t next_pos;
+};
+
+/// Extends the projections by one symbol under the gap constraint;
+/// returns per-symbol projected databases.
+std::map<int, std::vector<Projection>> Extend(
+    const std::vector<std::vector<int>>& sequences,
+    const std::vector<Projection>& projections, size_t max_gap) {
+  std::map<int, std::vector<Projection>> out;
+  for (const Projection& proj : projections) {
+    const std::vector<int>& seq = sequences[proj.sequence];
+    size_t limit = max_gap == SIZE_MAX
+                       ? seq.size()
+                       : std::min(seq.size(), proj.next_pos + max_gap + 1);
+    for (size_t pos = proj.next_pos; pos < limit; ++pos) {
+      // All occurrence positions are kept (with a gap constraint the
+      // earliest match alone would miss later, still-extensible ones);
+      // exact duplicates from overlapping parents are dropped.
+      auto& list = out[seq[pos]];
+      if (!list.empty() && list.back().sequence == proj.sequence &&
+          list.back().next_pos == pos + 1) {
+        continue;
+      }
+      list.push_back({proj.sequence, pos + 1});
+    }
+  }
+  return out;
+}
+
+size_t DistinctSequences(const std::vector<Projection>& projections) {
+  size_t count = 0;
+  size_t last = SIZE_MAX;
+  for (const Projection& p : projections) {
+    if (p.sequence != last) {
+      ++count;
+      last = p.sequence;
+    }
+  }
+  return count;
+}
+
+void Mine(const std::vector<std::vector<int>>& sequences,
+          const MiningOptions& options, std::vector<int>& prefix,
+          const std::vector<Projection>& projections,
+          std::vector<SequentialPattern>* out) {
+  if (prefix.size() >= options.max_length) return;
+  for (auto& [symbol, projected] : Extend(sequences, projections,
+                                          prefix.empty() ? SIZE_MAX
+                                                         : options.max_gap)) {
+    size_t support = DistinctSequences(projected);
+    if (support < options.min_support) continue;
+    prefix.push_back(symbol);
+    out->push_back({prefix, support});
+    Mine(sequences, options, prefix, projected, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SequentialPattern> MineSequentialPatterns(
+    const std::vector<std::vector<int>>& sequences,
+    const MiningOptions& options) {
+  std::vector<Projection> root;
+  root.reserve(sequences.size());
+  for (size_t i = 0; i < sequences.size(); ++i) root.push_back({i, 0});
+  std::vector<SequentialPattern> out;
+  std::vector<int> prefix;
+  Mine(sequences, options, prefix, root, &out);
+  std::sort(out.begin(), out.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.symbols.size() != b.symbols.size()) {
+                return a.symbols.size() > b.symbols.size();
+              }
+              return a.symbols < b.symbols;
+            });
+  return out;
+}
+
+Pattern ToGapTolerantPattern(const SequentialPattern& mined,
+                             int alphabet_size, size_t max_gap) {
+  std::vector<Pattern> any_symbols;
+  any_symbols.reserve(alphabet_size);
+  for (int s = 0; s < alphabet_size; ++s) {
+    any_symbols.push_back(Pattern::Symbol(s));
+  }
+  Pattern any = Pattern::Or(any_symbols);
+
+  std::vector<Pattern> parts;
+  for (size_t i = 0; i < mined.symbols.size(); ++i) {
+    if (i > 0 && max_gap > 0) {
+      // (epsilon | any | any any | ... ) up to max_gap fillers, expressed
+      // without epsilon as optional nesting: each filler slot is
+      // (any | nothing) — encoded as Or over explicit lengths.
+      std::vector<Pattern> gap_options;
+      for (size_t k = 1; k <= max_gap; ++k) {
+        std::vector<Pattern> fill(k, any);
+        gap_options.push_back(k == 1 ? any : Pattern::Seq(std::move(fill)));
+      }
+      // Zero-length gap handled by alternating the whole remainder:
+      // Seq(prev, Or(next, gap next)). Simpler: wrap gap as
+      // Or(gap_options)* bounded is awkward in this AST, so use
+      // Star(any) limited by construction: we emulate the bound with
+      // explicit alternatives including the empty case via pattern
+      // algebra below.
+      // Build: Or(next, Seq(g1, next), Seq(g2, next), ...)
+      std::vector<Pattern> alternatives;
+      alternatives.push_back(Pattern::Symbol(mined.symbols[i]));
+      for (Pattern& g : gap_options) {
+        alternatives.push_back(
+            Pattern::Seq({g, Pattern::Symbol(mined.symbols[i])}));
+      }
+      parts.push_back(Pattern::Or(std::move(alternatives)));
+    } else {
+      parts.push_back(Pattern::Symbol(mined.symbols[i]));
+    }
+  }
+  if (parts.size() == 1) return std::move(parts[0]);
+  return Pattern::Seq(std::move(parts));
+}
+
+Pattern ToSequencePattern(const SequentialPattern& mined) {
+  std::vector<Pattern> parts;
+  parts.reserve(mined.symbols.size());
+  for (int s : mined.symbols) parts.push_back(Pattern::Symbol(s));
+  if (parts.size() == 1) return std::move(parts[0]);
+  return Pattern::Seq(std::move(parts));
+}
+
+}  // namespace tcmf::cep

@@ -1,0 +1,55 @@
+#ifndef TCMF_CEP_MINING_H_
+#define TCMF_CEP_MINING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cep/pattern.h"
+
+namespace tcmf::cep {
+
+/// Sequential pattern mining over event-symbol sequences: the offline
+/// "complex event analyser [that] operates on the historical data and
+/// discovers patterns of events to be predicted" (Section 3), also
+/// addressing the conclusions' challenge of "learning/refining patterns
+/// by exploiting examples". PrefixSpan-style projection with an optional
+/// gap constraint.
+struct SequentialPattern {
+  std::vector<int> symbols;
+  /// Number of input sequences containing the pattern.
+  size_t support = 0;
+};
+
+struct MiningOptions {
+  /// Minimum number of sequences a pattern must occur in.
+  size_t min_support = 2;
+  /// Maximum pattern length.
+  size_t max_length = 5;
+  /// Maximum number of skipped events between consecutive pattern
+  /// symbols (0 = strictly contiguous; SIZE_MAX = classic subsequences).
+  size_t max_gap = 2;
+};
+
+/// Mines frequent sequential patterns; results are sorted by support
+/// (descending), then by length (descending), then lexicographically.
+/// Single-symbol patterns are included.
+std::vector<SequentialPattern> MineSequentialPatterns(
+    const std::vector<std::vector<int>>& sequences,
+    const MiningOptions& options);
+
+/// Lifts a mined pattern into the forecasting engine's pattern language
+/// (a plain sequence; the analyst generalizes it with iteration or
+/// disjunction as needed).
+Pattern ToSequencePattern(const SequentialPattern& mined);
+
+/// Lifts a mined pattern with the same gap semantics it was mined under:
+/// between consecutive symbols, up to `max_gap` arbitrary events of the
+/// `alphabet_size`-symbol alphabet may intervene. This is the pattern to
+/// hand to the forecasting engine so detection frequency matches the
+/// mined support.
+Pattern ToGapTolerantPattern(const SequentialPattern& mined,
+                             int alphabet_size, size_t max_gap);
+
+}  // namespace tcmf::cep
+
+#endif  // TCMF_CEP_MINING_H_

@@ -1,0 +1,175 @@
+#include "cep/pattern.h"
+
+#include <cctype>
+
+namespace tcmf::cep {
+
+namespace {
+
+/// Recursive-descent parser over the grammar documented in pattern.h.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Pattern> Parse() {
+    Result<Pattern> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    return expr;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<Pattern> ParseExpr() {
+    Result<Pattern> first = ParseSeq();
+    if (!first.ok()) return first;
+    std::vector<Pattern> options;
+    options.push_back(std::move(first).value());
+    while (Peek('|')) {
+      ++pos_;
+      Result<Pattern> next = ParseSeq();
+      if (!next.ok()) return next;
+      options.push_back(std::move(next).value());
+    }
+    if (options.size() == 1) return std::move(options[0]);
+    return Pattern::Or(std::move(options));
+  }
+
+  Result<Pattern> ParseSeq() {
+    std::vector<Pattern> parts;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] == ')' || text_[pos_] == '|') {
+        break;
+      }
+      Result<Pattern> part = ParsePostfix();
+      if (!part.ok()) return part;
+      parts.push_back(std::move(part).value());
+    }
+    if (parts.empty()) return Status::ParseError("empty sequence");
+    if (parts.size() == 1) return std::move(parts[0]);
+    return Pattern::Seq(std::move(parts));
+  }
+
+  Result<Pattern> ParsePostfix() {
+    Result<Pattern> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    Pattern out = std::move(atom).value();
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '*' || text_[pos_] == '+')) {
+      out = text_[pos_] == '*' ? Pattern::Star(std::move(out))
+                               : Pattern::Plus(std::move(out));
+      ++pos_;
+    }
+    return out;
+  }
+
+  Result<Pattern> ParseAtom() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    if (text_[pos_] == '(') {
+      ++pos_;
+      Result<Pattern> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Peek(')')) return Status::ParseError("missing ')'");
+      ++pos_;
+      return inner;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::ParseError("expected symbol or '(' at offset " +
+                                std::to_string(pos_));
+    }
+    int value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return Pattern::Symbol(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Pattern Pattern::Symbol(int symbol) {
+  Pattern p;
+  p.kind_ = Kind::kSymbol;
+  p.symbol_ = symbol;
+  return p;
+}
+
+Pattern Pattern::Seq(std::vector<Pattern> parts) {
+  Pattern p;
+  p.kind_ = Kind::kSeq;
+  p.children_ = std::move(parts);
+  return p;
+}
+
+Pattern Pattern::Or(std::vector<Pattern> parts) {
+  Pattern p;
+  p.kind_ = Kind::kOr;
+  p.children_ = std::move(parts);
+  return p;
+}
+
+Pattern Pattern::Star(Pattern inner) {
+  Pattern p;
+  p.kind_ = Kind::kStar;
+  p.children_.push_back(std::move(inner));
+  return p;
+}
+
+Pattern Pattern::Plus(Pattern inner) {
+  Pattern copy = inner;
+  return Seq({std::move(copy), Star(std::move(inner))});
+}
+
+std::string Pattern::ToString() const {
+  switch (kind_) {
+    case Kind::kSymbol:
+      return std::to_string(symbol_);
+    case Kind::kSeq: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " ";
+        out += children_[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += "|";
+        out += children_[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kStar:
+      return children_[0].ToString() + "*";
+  }
+  return "?";
+}
+
+}  // namespace tcmf::cep

@@ -1,0 +1,56 @@
+#ifndef TCMF_CEP_PATTERN_H_
+#define TCMF_CEP_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcmf::cep {
+
+/// A symbolic regular-expression pattern over a finite event alphabet
+/// {0, .., alphabet_size-1}: the complex-event definition language of
+/// Section 6 (sequence, disjunction, iteration).
+class Pattern {
+ public:
+  enum class Kind { kSymbol, kSeq, kOr, kStar };
+
+  /// Single event type.
+  static Pattern Symbol(int symbol);
+  /// Concatenation: parts in order.
+  static Pattern Seq(std::vector<Pattern> parts);
+  /// Disjunction.
+  static Pattern Or(std::vector<Pattern> parts);
+  /// Kleene iteration (zero or more).
+  static Pattern Star(Pattern inner);
+  /// One or more (sugar: P Seq Star(P)).
+  static Pattern Plus(Pattern inner);
+
+  Kind kind() const { return kind_; }
+  int symbol() const { return symbol_; }
+  const std::vector<Pattern>& children() const { return children_; }
+
+  /// Text rendering for logs, e.g. "(0 (0|1)* 2)".
+  std::string ToString() const;
+
+ private:
+  Pattern() = default;
+
+  Kind kind_ = Kind::kSymbol;
+  int symbol_ = 0;
+  std::vector<Pattern> children_;
+};
+
+/// Parses the textual pattern language used by ToString():
+///   expr    := seq ('|' seq)*          (alternation, lowest precedence)
+///   seq     := postfix+                (whitespace-separated sequence)
+///   postfix := atom ('*' | '+')*       (iteration)
+///   atom    := INTEGER | '(' expr ')'
+/// e.g. "0 (0|1)* 2" is the NorthToSouthReversal shape. Symbols must be
+/// non-negative integers.
+Result<Pattern> ParsePattern(const std::string& text);
+
+}  // namespace tcmf::cep
+
+#endif  // TCMF_CEP_PATTERN_H_

@@ -1,0 +1,154 @@
+#include "cep/pmc.h"
+
+#include <cmath>
+
+namespace tcmf::cep {
+
+namespace {
+
+int IntPow(int base, int exp) {
+  int out = 1;
+  for (int i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace
+
+MarkovInputModel::MarkovInputModel(int alphabet_size, int order)
+    : alphabet_size_(alphabet_size),
+      order_(order < 0 ? 0 : order),
+      context_count_(IntPow(alphabet_size, order_)),
+      probs_(static_cast<size_t>(context_count_) * alphabet_size,
+             1.0 / alphabet_size) {}
+
+void MarkovInputModel::Fit(const std::vector<int>& stream, double smoothing) {
+  std::vector<double> counts(probs_.size(), smoothing);
+  int context = InitialContext();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    int sym = stream[i];
+    if (sym < 0 || sym >= alphabet_size_) continue;
+    // Skip the first `order` positions: their contexts are padding.
+    if (static_cast<int>(i) >= order_) {
+      counts[static_cast<size_t>(context) * alphabet_size_ + sym] += 1.0;
+    }
+    context = UpdateContext(context, sym);
+  }
+  for (int c = 0; c < context_count_; ++c) {
+    double total = 0.0;
+    for (int s = 0; s < alphabet_size_; ++s) {
+      total += counts[static_cast<size_t>(c) * alphabet_size_ + s];
+    }
+    for (int s = 0; s < alphabet_size_; ++s) {
+      probs_[static_cast<size_t>(c) * alphabet_size_ + s] =
+          counts[static_cast<size_t>(c) * alphabet_size_ + s] / total;
+    }
+  }
+}
+
+void MarkovInputModel::ObserveOnline(int symbol, double decay) {
+  if (symbol < 0 || symbol >= alphabet_size_) return;
+  if (!online_started_) {
+    // Seed the decayed counts from the current distribution with an
+    // effective sample size of alphabet_size per context (a weak prior
+    // that new evidence quickly overrides).
+    online_counts_.assign(probs_.size(), 0.0);
+    for (size_t i = 0; i < probs_.size(); ++i) {
+      online_counts_[i] = probs_[i] * alphabet_size_;
+    }
+    online_context_ = InitialContext();
+    online_started_ = true;
+  }
+  size_t row = static_cast<size_t>(online_context_) * alphabet_size_;
+  for (int s = 0; s < alphabet_size_; ++s) online_counts_[row + s] *= decay;
+  online_counts_[row + symbol] += 1.0;
+  double total = 0.0;
+  for (int s = 0; s < alphabet_size_; ++s) total += online_counts_[row + s];
+  for (int s = 0; s < alphabet_size_; ++s) {
+    probs_[row + s] = online_counts_[row + s] / total;
+  }
+  online_context_ = UpdateContext(online_context_, symbol);
+}
+
+double MarkovInputModel::Prob(int context, int symbol) const {
+  return probs_[static_cast<size_t>(context) * alphabet_size_ + symbol];
+}
+
+int MarkovInputModel::UpdateContext(int context, int symbol) const {
+  if (order_ == 0) return 0;
+  // Drop the oldest symbol (most significant digit), append the new one.
+  int base = IntPow(alphabet_size_, order_ - 1);
+  return (context % base) * alphabet_size_ + symbol;
+}
+
+PatternMarkovChain::PatternMarkovChain(const Dfa& dfa,
+                                       const MarkovInputModel& input)
+    : dfa_(dfa), input_(input) {
+  state_count_ = dfa_.state_count * input_.context_count();
+  edges_.resize(state_count_);
+  for (int q = 0; q < dfa_.state_count; ++q) {
+    for (int c = 0; c < input_.context_count(); ++c) {
+      int s = StateOf(q, c);
+      edges_[s].reserve(input_.alphabet_size());
+      for (int y = 0; y < input_.alphabet_size(); ++y) {
+        int q2 = dfa_.Next(q, y);
+        int c2 = input_.UpdateContext(c, y);
+        edges_[s].push_back(
+            {StateOf(q2, c2), input_.Prob(c, y), dfa_.is_final[q2]});
+      }
+    }
+  }
+}
+
+std::vector<double> PatternMarkovChain::WaitingTime(int pmc_state,
+                                                    int horizon) const {
+  // w_k(s) = sum over edges: to final -> prob * [k == 1];
+  //          to non-final  -> prob * w_{k-1}(target).
+  // Computed over all states per step (dynamic programming in k).
+  std::vector<double> out;
+  out.reserve(horizon);
+  std::vector<double> w_prev(state_count_, 0.0);  // w_1 per state
+  for (int s = 0; s < state_count_; ++s) {
+    for (const Edge& e : edges_[s]) {
+      if (e.target_final) w_prev[s] += e.prob;
+    }
+  }
+  out.push_back(w_prev[pmc_state]);
+  std::vector<double> w_cur(state_count_, 0.0);
+  for (int k = 2; k <= horizon; ++k) {
+    for (int s = 0; s < state_count_; ++s) {
+      double sum = 0.0;
+      for (const Edge& e : edges_[s]) {
+        if (!e.target_final) sum += e.prob * w_prev[e.target];
+      }
+      w_cur[s] = sum;
+    }
+    out.push_back(w_cur[pmc_state]);
+    std::swap(w_prev, w_cur);
+  }
+  return out;
+}
+
+std::optional<PatternMarkovChain::Interval>
+PatternMarkovChain::SmallestInterval(const std::vector<double>& waiting_time,
+                                     double theta) {
+  const int n = static_cast<int>(waiting_time.size());
+  std::optional<Interval> best;
+  double window = 0.0;
+  int lo = 0;
+  for (int hi = 0; hi < n; ++hi) {
+    window += waiting_time[hi];
+    while (window - waiting_time[lo] >= theta && lo < hi) {
+      window -= waiting_time[lo];
+      ++lo;
+    }
+    if (window >= theta) {
+      int length = hi - lo + 1;
+      if (!best.has_value() || length < best->end - best->start + 1) {
+        best = Interval{lo + 1, hi + 1, window};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tcmf::cep

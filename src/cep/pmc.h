@@ -1,0 +1,109 @@
+#ifndef TCMF_CEP_PMC_H_
+#define TCMF_CEP_PMC_H_
+
+#include <optional>
+#include <vector>
+
+#include "cep/automaton.h"
+
+namespace tcmf::cep {
+
+/// Order-m Markov model of the input event stream: P(next symbol | last m
+/// symbols). Order 0 = i.i.d. Contexts are encoded base-alphabet_size;
+/// before m symbols have been seen the shorter history is padded with
+/// symbol 0.
+class MarkovInputModel {
+ public:
+  MarkovInputModel(int alphabet_size, int order);
+
+  /// Maximum-likelihood fit with Laplace smoothing over a training stream.
+  void Fit(const std::vector<int>& stream, double smoothing = 1.0);
+
+  /// Online update for non-stationary streams (the Section 6 challenge:
+  /// "the statistical properties of a stream may change over time"):
+  /// exponentially decays past counts at `decay` per observation and adds
+  /// the new transition, so the model tracks drifting processes. Call
+  /// with each symbol in stream order; mix freely with an initial Fit().
+  void ObserveOnline(int symbol, double decay = 0.999);
+
+  double Prob(int context, int symbol) const;
+
+  int alphabet_size() const { return alphabet_size_; }
+  int order() const { return order_; }
+  int context_count() const { return context_count_; }
+
+  /// Context after observing `symbol` in `context` (sliding window).
+  int UpdateContext(int context, int symbol) const;
+  /// Initial (all-zero-padded) context.
+  int InitialContext() const { return 0; }
+
+ private:
+  int alphabet_size_;
+  int order_;
+  int context_count_;
+  /// probs_[context * alphabet + symbol]
+  std::vector<double> probs_;
+  /// Decayed counts backing ObserveOnline (lazily initialized from
+  /// probs_ on the first online observation).
+  std::vector<double> online_counts_;
+  int online_context_ = 0;
+  bool online_started_ = false;
+};
+
+/// Pattern Markov Chain (Alevizos et al., DEBS 2017 — Section 6): the
+/// product of the streaming DFA with the order-m input model. Provides
+/// waiting-time distributions (probability that the DFA first reaches a
+/// final state in exactly k steps) per PMC state, and the smallest
+/// forecast interval whose mass exceeds a threshold.
+class PatternMarkovChain {
+ public:
+  PatternMarkovChain(const Dfa& dfa, const MarkovInputModel& input);
+
+  int state_count() const { return state_count_; }
+  int StateOf(int dfa_state, int context) const {
+    return dfa_state * input_.context_count() + context;
+  }
+  int DfaStateOf(int pmc_state) const {
+    return pmc_state / input_.context_count();
+  }
+  bool IsFinal(int pmc_state) const {
+    return dfa_.is_final[DfaStateOf(pmc_state)];
+  }
+
+  /// Waiting-time distribution: element k-1 is P(first hit of a final
+  /// state in exactly k steps | pmc_state), for k = 1..horizon.
+  std::vector<double> WaitingTime(int pmc_state, int horizon) const;
+
+  /// A forecast interval [start, end] in steps ahead (1-based, inclusive)
+  /// with total waiting-time mass `prob`.
+  struct Interval {
+    int start = 0;
+    int end = 0;
+    double prob = 0.0;
+  };
+
+  /// Smallest-length interval of the waiting-time distribution with mass
+  /// >= theta (single-pass two-pointer scan, as in the paper); nullopt
+  /// when even the full horizon cannot reach theta.
+  static std::optional<Interval> SmallestInterval(
+      const std::vector<double>& waiting_time, double theta);
+
+  const Dfa& dfa() const { return dfa_; }
+  const MarkovInputModel& input() const { return input_; }
+
+ private:
+  struct Edge {
+    int target;
+    double prob;
+    bool target_final;
+  };
+
+  Dfa dfa_;
+  MarkovInputModel input_;
+  int state_count_;
+  std::vector<std::vector<Edge>> edges_;
+};
+
+}  // namespace tcmf::cep
+
+#endif  // TCMF_CEP_PMC_H_

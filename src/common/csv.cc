@@ -1,0 +1,100 @@
+#include "common/csv.h"
+
+namespace tcmf {
+
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string CsvEscape(const std::string& field, char delim) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvReader::Open(const std::string& path, bool has_header, char delim) {
+  delim_ = delim;
+  in_.open(path);
+  if (!in_.is_open()) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  if (has_header) {
+    std::string line;
+    if (std::getline(in_, line)) {
+      header_ = ParseCsvLine(line, delim_);
+    }
+  }
+  return Status::Ok();
+}
+
+bool CsvReader::Next(std::vector<std::string>* row) {
+  std::string line;
+  if (!std::getline(in_, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  *row = ParseCsvLine(line, delim_);
+  ++rows_read_;
+  return true;
+}
+
+Status CsvWriter::Open(const std::string& path, char delim) {
+  delim_ = delim;
+  out_.open(path);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open CSV file for writing: " + path);
+  }
+  return Status::Ok();
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    out_ << CsvEscape(row[i], delim_);
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::IoError("error closing CSV file");
+  return Status::Ok();
+}
+
+}  // namespace tcmf

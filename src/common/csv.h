@@ -1,0 +1,62 @@
+#ifndef TCMF_COMMON_CSV_H_
+#define TCMF_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcmf {
+
+/// Parses one CSV line honouring double-quoted fields with embedded commas
+/// and doubled quotes ("" -> ").
+std::vector<std::string> ParseCsvLine(const std::string& line,
+                                      char delim = ',');
+
+/// Escapes a field for CSV output (quotes it when it contains the delimiter,
+/// a quote, or a newline).
+std::string CsvEscape(const std::string& field, char delim = ',');
+
+/// Streaming CSV reader over a file. Usage:
+///   CsvReader reader;
+///   TCMF_RETURN_IF_ERROR(reader.Open(path));
+///   std::vector<std::string> row;
+///   while (reader.Next(&row)) { ... }
+class CsvReader {
+ public:
+  CsvReader() = default;
+
+  /// Opens `path`; when `has_header` is true the first row is consumed into
+  /// header().
+  Status Open(const std::string& path, bool has_header = false,
+              char delim = ',');
+
+  /// Reads the next row; returns false at end of file.
+  bool Next(std::vector<std::string>* row);
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t rows_read() const { return rows_read_; }
+
+ private:
+  std::ifstream in_;
+  std::vector<std::string> header_;
+  char delim_ = ',';
+  size_t rows_read_ = 0;
+};
+
+/// Buffered CSV writer.
+class CsvWriter {
+ public:
+  Status Open(const std::string& path, char delim = ',');
+  void WriteRow(const std::vector<std::string>& row);
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  char delim_ = ',';
+};
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_CSV_H_

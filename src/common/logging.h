@@ -1,0 +1,41 @@
+#ifndef TCMF_COMMON_LOGGING_H_
+#define TCMF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tcmf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via the TCMF_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tcmf
+
+#define TCMF_LOG(level)                                                     \
+  ::tcmf::internal_logging::LogMessage(::tcmf::LogLevel::level, __FILE__, \
+                                       __LINE__)                            \
+      .stream()
+
+#endif  // TCMF_COMMON_LOGGING_H_

@@ -1,0 +1,47 @@
+#ifndef TCMF_COMMON_POSITION_H_
+#define TCMF_COMMON_POSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcmf {
+
+/// Milliseconds since the epoch. All event time in the library is TimeMs.
+using TimeMs = int64_t;
+
+constexpr TimeMs kMillisPerSecond = 1000;
+constexpr TimeMs kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr TimeMs kMillisPerHour = 60 * kMillisPerMinute;
+
+/// Domain of a moving entity. The paper's two use cases.
+enum class Domain { kMaritime, kAviation };
+
+/// A single surveillance report (AIS or ADS-B like): the raw unit of
+/// data-in-motion across the whole system.
+struct Position {
+  /// Entity identifier (MMSI-like for vessels, ICAO24-like for aircraft).
+  uint64_t entity_id = 0;
+  TimeMs t = 0;
+  double lon = 0.0;  ///< degrees, [-180, 180]
+  double lat = 0.0;  ///< degrees, [-90, 90]
+  double alt_m = 0.0;  ///< altitude above ground, meters (0 for vessels)
+  double speed_mps = 0.0;    ///< ground speed, meters/second
+  double heading_deg = 0.0;  ///< course over ground, [0, 360)
+  double vrate_mps = 0.0;    ///< vertical rate, meters/second (aviation)
+};
+
+/// A time-ordered sequence of positions of one entity.
+struct Trajectory {
+  uint64_t entity_id = 0;
+  std::vector<Position> points;
+
+  bool empty() const { return points.empty(); }
+  size_t size() const { return points.size(); }
+  TimeMs start_time() const { return points.empty() ? 0 : points.front().t; }
+  TimeMs end_time() const { return points.empty() ? 0 : points.back().t; }
+};
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_POSITION_H_

@@ -1,0 +1,124 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcmf {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  // Find cell k such that heights_[k] <= x < heights_[k+1].
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (x >= heights_[i]) k = i;
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three middle markers with parabolic interpolation.
+  for (int i = 1; i < 4; ++i) {
+    double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      int sign = d >= 0 ? 1 : -1;
+      double np = positions_[i] + sign;
+      double hp = heights_[i] +
+                  sign / (positions_[i + 1] - positions_[i - 1]) *
+                      ((positions_[i] - positions_[i - 1] + sign) *
+                           (heights_[i + 1] - heights_[i]) /
+                           (positions_[i + 1] - positions_[i]) +
+                       (positions_[i + 1] - positions_[i] - sign) *
+                           (heights_[i] - heights_[i - 1]) /
+                           (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        // Fall back to linear interpolation.
+        heights_[i] = heights_[i] + sign * (heights_[i + sign] - heights_[i]) /
+                                        (positions_[i + sign] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over the small buffer.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    size_t idx = static_cast<size_t>(q_ * (count_ - 1) + 0.5);
+    return sorted[std::min(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  double delta = x - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (x - mean_);
+  median_.Add(x);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double new_mean = mean_ + delta * other.count_ / n;
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) * other.count_ / n;
+  mean_ = new_mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+  // Median estimators cannot be merged exactly; keep the larger side's.
+  if (other.count_ > count_ - other.count_) median_ = other.median_;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), width_((hi - lo) / buckets), counts_(buckets, 0) {}
+
+void Histogram::Add(double x) {
+  long long idx = static_cast<long long>((x - lo_) / width_);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long long>(counts_.size())) {
+    idx = static_cast<long long>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+}  // namespace tcmf

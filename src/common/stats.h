@@ -1,0 +1,89 @@
+#ifndef TCMF_COMMON_STATS_H_
+#define TCMF_COMMON_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tcmf {
+
+/// Online P² quantile estimator (Jain & Chlamtac 1985): tracks a single
+/// quantile with O(1) memory — used by the in-situ layer to expose medians
+/// over unbounded streams without buffering them (Section 4.2.1).
+class P2Quantile {
+ public:
+  /// `q` in (0, 1); 0.5 tracks the median.
+  explicit P2Quantile(double q = 0.5);
+
+  void Add(double x);
+
+  /// Current estimate; exact for fewer than 5 observations.
+  double Value() const;
+
+  size_t count() const { return count_; }
+
+ private:
+  double q_;
+  size_t count_ = 0;
+  // Marker heights, positions and desired positions per the P^2 paper.
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+/// Streaming summary of a numeric property: min / max / mean / variance
+/// (Welford) / median (P²). This is the per-trajectory metadata block the
+/// paper's low-level event detector emits (Section 4.2.1).
+class RunningStats {
+ public:
+  RunningStats() : median_(0.5) {}
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const { return count_ ? m2_ / count_ : 0.0; }
+  double stddev() const;
+  double median() const { return median_.Value(); }
+
+  /// Merges another summary into this one (parallel aggregation).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  P2Quantile median_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used by the VA point-matching and precision reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t bucket(size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(size_t i) const { return lo_ + i * width_; }
+  size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_STATS_H_

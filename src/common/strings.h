@@ -1,0 +1,38 @@
+#ifndef TCMF_COMMON_STRINGS_H_
+#define TCMF_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcmf {
+
+/// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string StrToLower(std::string_view s);
+
+/// Strict parse of the whole string; fails on trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+Result<long long> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_STRINGS_H_

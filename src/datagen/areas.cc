@@ -1,0 +1,124 @@
+#include "datagen/areas.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "geom/geo.h"
+
+namespace tcmf::datagen {
+
+using geom::Area;
+using geom::BBox;
+using geom::LonLat;
+using geom::Polygon;
+
+std::vector<Area> MakeRegions(Rng& rng, const BBox& extent, size_t count,
+                              const std::string& kind, double min_radius_m,
+                              double max_radius_m) {
+  std::vector<Area> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LonLat center{rng.Uniform(extent.min_lon, extent.max_lon),
+                  rng.Uniform(extent.min_lat, extent.max_lat)};
+    double base_radius = rng.Uniform(min_radius_m, max_radius_m);
+    // Irregular star-convex ring: radius wobbles around the base value.
+    int verts = static_cast<int>(rng.UniformInt(6, 12));
+    std::vector<LonLat> ring;
+    ring.reserve(verts);
+    for (int v = 0; v < verts; ++v) {
+      double bearing = 360.0 * v / verts;
+      double radius = base_radius * rng.Uniform(0.6, 1.3);
+      ring.push_back(geom::Destination(center, bearing, radius));
+    }
+    Area area;
+    area.id = out.size() + 1;
+    area.name = StrFormat("%s_%03zu", kind.c_str(), i);
+    area.kind = kind;
+    area.shape = Polygon(std::move(ring));
+    out.push_back(std::move(area));
+  }
+  return out;
+}
+
+std::vector<Area> MakeRegionsNear(Rng& rng,
+                                  const std::vector<LonLat>& anchors,
+                                  size_t count, const std::string& kind,
+                                  double min_radius_m, double max_radius_m,
+                                  double min_offset_m, double max_offset_m,
+                                  int min_vertices, int max_vertices) {
+  std::vector<Area> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LonLat anchor = anchors.empty()
+                        ? LonLat{0.0, 0.0}
+                        : anchors[static_cast<size_t>(rng.UniformInt(
+                              0, static_cast<int64_t>(anchors.size()) - 1))];
+    LonLat center = geom::Destination(
+        anchor, rng.Uniform(0.0, 360.0),
+        rng.Uniform(min_offset_m, max_offset_m));
+    double base_radius = rng.Uniform(min_radius_m, max_radius_m);
+    int verts = static_cast<int>(rng.UniformInt(min_vertices, max_vertices));
+    std::vector<LonLat> ring;
+    ring.reserve(verts);
+    for (int v = 0; v < verts; ++v) {
+      double bearing = 360.0 * v / verts;
+      ring.push_back(
+          geom::Destination(center, bearing, base_radius * rng.Uniform(0.6, 1.3)));
+    }
+    Area area;
+    area.id = 1000 + out.size();
+    area.name = StrFormat("%s_near_%03zu", kind.c_str(), i);
+    area.kind = kind;
+    area.shape = Polygon(std::move(ring));
+    out.push_back(std::move(area));
+  }
+  return out;
+}
+
+std::vector<LonLat> AreaCentroids(const std::vector<Area>& areas) {
+  std::vector<LonLat> out;
+  out.reserve(areas.size());
+  for (const Area& a : areas) out.push_back(a.shape.Centroid());
+  return out;
+}
+
+std::vector<Area> MakePorts(Rng& rng, const BBox& extent, size_t count) {
+  std::vector<Area> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LonLat center{rng.Uniform(extent.min_lon, extent.max_lon),
+                  rng.Uniform(extent.min_lat, extent.max_lat)};
+    Area area;
+    area.id = 100000 + i;
+    area.name = StrFormat("port_%03zu", i);
+    area.kind = "port";
+    area.shape = Polygon::Circle(center, rng.Uniform(800.0, 2500.0), 12);
+    out.push_back(std::move(area));
+  }
+  return out;
+}
+
+std::vector<Area> MakeSectors(const BBox& extent, int cols, int rows) {
+  std::vector<Area> out;
+  out.reserve(static_cast<size_t>(cols) * rows);
+  double w = extent.width() / cols;
+  double h = extent.height() / rows;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      BBox box;
+      box.min_lon = extent.min_lon + c * w;
+      box.max_lon = box.min_lon + w;
+      box.min_lat = extent.min_lat + r * h;
+      box.max_lat = box.min_lat + h;
+      Area area;
+      area.id = 200000 + static_cast<uint64_t>(r) * cols + c;
+      area.name = StrFormat("sector_%02d_%02d", c, r);
+      area.kind = "sector";
+      area.shape = Polygon::FromBBox(box);
+      out.push_back(std::move(area));
+    }
+  }
+  return out;
+}
+
+}  // namespace tcmf::datagen

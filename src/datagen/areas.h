@@ -1,0 +1,50 @@
+#ifndef TCMF_DATAGEN_AREAS_H_
+#define TCMF_DATAGEN_AREAS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/geometry.h"
+
+namespace tcmf::datagen {
+
+/// Synthetic stand-ins for the paper's contextual ESRI shapefile sources
+/// (Table 1): protected/fishing regions (the Natura2000-like catalog used
+/// by link discovery), ports, and airspace sectors.
+
+/// Generates `count` irregular convex-ish regions of kind `kind` inside
+/// `extent`, with radii drawn from [min_radius_m, max_radius_m].
+std::vector<geom::Area> MakeRegions(Rng& rng, const geom::BBox& extent,
+                                    size_t count, const std::string& kind,
+                                    double min_radius_m, double max_radius_m);
+
+/// Like MakeRegions, but region centers are placed within
+/// [min_offset_m, max_offset_m] of randomly chosen anchor points (e.g.
+/// port centroids or sampled traffic positions), so the catalog actually
+/// interacts with the traffic the simulators produce.
+std::vector<geom::Area> MakeRegionsNear(Rng& rng,
+                                        const std::vector<geom::LonLat>& anchors,
+                                        size_t count, const std::string& kind,
+                                        double min_radius_m,
+                                        double max_radius_m,
+                                        double min_offset_m,
+                                        double max_offset_m,
+                                        int min_vertices = 6,
+                                        int max_vertices = 12);
+
+/// Centroids of a set of areas (convenience for anchoring).
+std::vector<geom::LonLat> AreaCentroids(const std::vector<geom::Area>& areas);
+
+/// Generates `count` port areas: small circular footprints whose centers
+/// double as route endpoints for the vessel simulator.
+std::vector<geom::Area> MakePorts(Rng& rng, const geom::BBox& extent,
+                                  size_t count);
+
+/// Partitions `extent` into a cols x rows lattice of rectangular airspace
+/// sectors (the ATM sector-configuration context).
+std::vector<geom::Area> MakeSectors(const geom::BBox& extent, int cols,
+                                    int rows);
+
+}  // namespace tcmf::datagen
+
+#endif  // TCMF_DATAGEN_AREAS_H_

@@ -1,0 +1,272 @@
+#include "datagen/flight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "geom/geo.h"
+
+namespace tcmf::datagen {
+
+using geom::AngleDiffDeg;
+using geom::BearingDeg;
+using geom::Destination;
+using geom::HaversineM;
+using geom::LonLat;
+using geom::NormalizeDeg;
+
+Airport DefaultOriginAirport() {
+  return {"LEBL", {2.08, 41.30}, 70.0};  // Barcelona-like
+}
+
+Airport DefaultDestinationAirport() {
+  return {"LEMD", {-3.57, 40.49}, 180.0};  // Madrid-like
+}
+
+FlightSimulator::FlightSimulator(const FlightSimConfig& config,
+                                 Airport origin, Airport destination,
+                                 const WeatherField* weather)
+    : config_(config),
+      origin_(std::move(origin)),
+      destination_(std::move(destination)),
+      weather_(weather) {
+  // Build shared airways: laterally offset great-circle chains between the
+  // two airports, so that flights on the same airway cluster tightly.
+  Rng rng(config_.seed);
+  double total = HaversineM(origin_.loc, destination_.loc);
+  double course = BearingDeg(origin_.loc, destination_.loc);
+  for (size_t a = 0; a < config_.airway_count; ++a) {
+    std::vector<PlanWaypoint> chain;
+    // Offset grows toward mid-route then shrinks: a "bow" around the
+    // direct track, distinct per airway.
+    double side = (a % 2 == 0) ? 1.0 : -1.0;
+    double magnitude = 15000.0 + 22000.0 * static_cast<double>(a);
+    for (size_t w = 0; w < config_.waypoints_per_airway; ++w) {
+      double frac =
+          static_cast<double>(w + 1) / (config_.waypoints_per_airway + 1);
+      LonLat on_track = Destination(origin_.loc, course, total * frac);
+      double bow = std::sin(frac * geom::kPi) * magnitude * side;
+      LonLat wp = Destination(on_track, NormalizeDeg(course + 90.0), bow);
+      PlanWaypoint pw;
+      pw.name = StrFormat("WPT%zu_%zu", a, w);
+      pw.loc = wp;
+      chain.push_back(pw);
+    }
+    airways_.push_back(std::move(chain));
+  }
+}
+
+FlightPlan FlightSimulator::MakePlan(Rng& rng, uint64_t flight_id,
+                                     const AircraftInfo& aircraft,
+                                     int airway_id, TimeMs departure) {
+  FlightPlan plan;
+  plan.flight_id = flight_id;
+  plan.icao24 = aircraft.icao24;
+  plan.origin = origin_.code;
+  plan.destination = destination_.code;
+  plan.airway_id = airway_id;
+  plan.departure_time = departure;
+
+  const std::vector<PlanWaypoint>& airway = airways_[airway_id];
+  double cruise_alt = aircraft.cruise_alt_m * rng.Uniform(0.95, 1.05);
+  double speed = aircraft.cruise_speed_mps;
+
+  // Assemble: origin, en-route waypoints at cruise altitude, destination.
+  PlanWaypoint start;
+  start.name = origin_.code;
+  start.loc = origin_.loc;
+  start.alt_m = 0.0;
+  start.eta = departure;
+  plan.waypoints.push_back(start);
+
+  TimeMs t = departure;
+  LonLat prev = origin_.loc;
+  for (const PlanWaypoint& wp : airway) {
+    PlanWaypoint p = wp;
+    p.alt_m = cruise_alt;
+    t += static_cast<TimeMs>(HaversineM(prev, wp.loc) / speed *
+                             kMillisPerSecond);
+    p.eta = t;
+    prev = wp.loc;
+    plan.waypoints.push_back(p);
+  }
+  PlanWaypoint end;
+  end.name = destination_.code;
+  end.loc = destination_.loc;
+  end.alt_m = 0.0;
+  end.eta = t + static_cast<TimeMs>(HaversineM(prev, destination_.loc) /
+                                    speed * kMillisPerSecond);
+  plan.waypoints.push_back(end);
+  return plan;
+}
+
+Trajectory FlightSimulator::FlyPlan(Rng& rng, const FlightPlan& plan,
+                                    const AircraftInfo& aircraft,
+                                    bool holding, bool runway_change) {
+  Trajectory traj;
+  traj.entity_id = plan.flight_id;
+
+  const double dt =
+      static_cast<double>(config_.report_interval_ms) / kMillisPerSecond;
+  double cruise_alt = plan.waypoints.size() > 2
+                          ? plan.waypoints[1].alt_m
+                          : aircraft.cruise_alt_m;
+
+  // Build the lateral target list: per-waypoint weather-driven offsets from
+  // plan. The offset depends deterministically on the cross-wind at the
+  // waypoint plus noise — learnable structure for the TP models.
+  std::vector<LonLat> targets;
+  for (size_t i = 1; i < plan.waypoints.size(); ++i) {
+    const PlanWaypoint& wp = plan.waypoints[i];
+    LonLat target = wp.loc;
+    if (weather_ != nullptr && i + 1 < plan.waypoints.size()) {
+      WeatherSample w = weather_->Sample(wp.loc.lon, wp.loc.lat, wp.eta);
+      double course = BearingDeg(plan.waypoints[i - 1].loc, wp.loc);
+      // Cross-track wind component (positive pushes right of course).
+      double course_rad = geom::DegToRad(course);
+      double cross = w.wind_east_mps * std::cos(course_rad) -
+                     w.wind_north_mps * std::sin(course_rad);
+      double offset = cross / 25.0 * config_.weather_deviation_m +
+                      rng.Gaussian(0.0, 0.08 * config_.weather_deviation_m);
+      target = Destination(wp.loc, NormalizeDeg(course + 90.0), offset);
+    }
+    targets.push_back(target);
+  }
+
+  // Holding pattern: insert a racetrack before final approach.
+  if (holding && targets.size() >= 2) {
+    LonLat fix = targets[targets.size() - 2];
+    std::vector<LonLat> racetrack;
+    for (int leg = 0; leg < 4; ++leg) {
+      racetrack.push_back(
+          Destination(fix, NormalizeDeg(90.0 * leg), 6000.0));
+    }
+    targets.insert(targets.end() - 1, racetrack.begin(), racetrack.end());
+  }
+
+  // Runway change: approach the destination from the opposite side.
+  if (runway_change) {
+    double approach = NormalizeDeg(destination_.runway_heading_deg + 180.0);
+    LonLat far_fix = Destination(destination_.loc, approach, 15000.0);
+    targets.insert(targets.end() - 1, far_fix);
+  }
+
+  // Kinematic state.
+  LonLat pos = plan.waypoints.front().loc;
+  double heading = BearingDeg(pos, targets.front());
+  double alt = 0.0;
+  double speed = 80.0;  // takeoff roll end speed
+  double cruise_speed = aircraft.cruise_speed_mps;
+  double climb_rate = aircraft.climb_rate_mps;
+  size_t next = 0;
+  const double turn_rate = 3.0;  // deg/s standard-rate-ish
+
+  TimeMs t = plan.departure_time;
+  const TimeMs hard_stop =
+      plan.departure_time + 8 * kMillisPerHour;  // safety bound
+
+  // Observation noise applied to emitted positions (ADS-B jitter); the
+  // kinematic state itself stays clean.
+  auto emit_point = [&](double vrate) {
+    Position p;
+    p.entity_id = plan.flight_id;
+    p.t = t;
+    LonLat observed = pos;
+    if (config_.position_noise_m > 0) {
+      observed = Destination(
+          pos, rng.Uniform(0.0, 360.0),
+          std::fabs(rng.Gaussian(0.0, config_.position_noise_m)));
+    }
+    p.lon = observed.lon;
+    p.lat = observed.lat;
+    p.alt_m = alt;
+    p.speed_mps = speed;
+    p.heading_deg = heading;
+    p.vrate_mps = vrate;
+    traj.points.push_back(p);
+  };
+
+  // Takeoff roll: a few on-ground reports before rotation, so the takeoff
+  // transition is observable in the surveillance stream.
+  speed = 30.0;
+  for (int g = 0; g < 3; ++g) {
+    if (g > 0) t += config_.report_interval_ms;
+    emit_point(0.0);
+    speed += 25.0;
+    pos = Destination(pos, heading, speed * dt * 0.5);
+  }
+  // The main loop advances t by one report interval before emitting, so
+  // the first airborne report lands exactly one interval after the roll.
+
+  while (next < targets.size() && t < hard_stop) {
+    const LonLat& wp = targets[next];
+    double dist_to_wp = HaversineM(pos, wp);
+    double dist_to_dest = HaversineM(pos, destination_.loc);
+    bool final_leg = next + 1 == targets.size();
+
+    // Lateral guidance.
+    double desired = BearingDeg(pos, wp);
+    double diff = AngleDiffDeg(desired, heading);
+    double max_turn = turn_rate * dt;
+    heading = NormalizeDeg(heading + std::clamp(diff, -max_turn, max_turn));
+
+    // Vertical profile: climb to cruise; start descending once the
+    // remaining distance fits the descent cone (time to lose the current
+    // altitude at 0.8x climb rate, flown at the current speed, with
+    // margin); flare to 0 at the destination.
+    double descent_distance =
+        speed * (alt / (0.8 * climb_rate)) * 1.25 + 3000.0;
+    double vrate = 0.0;
+    if (dist_to_dest < descent_distance) {
+      vrate = -climb_rate * 0.8;
+    } else if (alt < cruise_alt) {
+      vrate = climb_rate;
+    }
+    alt = std::clamp(alt + vrate * dt, 0.0, cruise_alt);
+
+    // Speed schedule: slower low, faster at cruise.
+    double target_speed =
+        80.0 + (cruise_speed - 80.0) * std::min(1.0, alt / (cruise_alt * 0.6));
+    speed += (target_speed - speed) * std::min(1.0, 0.1 * dt);
+
+    pos = Destination(pos, heading, speed * dt);
+    t += config_.report_interval_ms;
+    emit_point(vrate);
+
+    if (dist_to_wp < std::max(1200.0, speed * dt * 2.5)) {
+      ++next;
+    }
+    // Touch-down: terminate once low and close on the final leg.
+    if (final_leg && alt <= 1.0 && dist_to_dest < 3000.0) break;
+  }
+  return traj;
+}
+
+std::vector<SimulatedFlight> FlightSimulator::Run() {
+  Rng master(config_.seed);
+  std::vector<AircraftInfo> fleet =
+      MakeAircraftRegistry(master, config_.flight_count);
+  std::vector<SimulatedFlight> out;
+  out.reserve(config_.flight_count);
+  for (size_t i = 0; i < config_.flight_count; ++i) {
+    Rng rng = master.Fork();
+    int airway =
+        static_cast<int>(rng.UniformInt(0, airways_.size() - 1));
+    TimeMs departure =
+        config_.first_departure +
+        static_cast<TimeMs>(rng.Uniform(
+            0.0, static_cast<double>(config_.departure_spread_ms)));
+    SimulatedFlight flight;
+    flight.aircraft = fleet[i];
+    flight.plan = MakePlan(rng, 500000 + i, fleet[i], airway, departure);
+    flight.had_holding = rng.Bernoulli(config_.holding_probability);
+    flight.had_runway_change =
+        rng.Bernoulli(config_.runway_change_probability);
+    flight.actual = FlyPlan(rng, flight.plan, fleet[i], flight.had_holding,
+                            flight.had_runway_change);
+    out.push_back(std::move(flight));
+  }
+  return out;
+}
+
+}  // namespace tcmf::datagen

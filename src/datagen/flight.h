@@ -1,0 +1,111 @@
+#ifndef TCMF_DATAGEN_FLIGHT_H_
+#define TCMF_DATAGEN_FLIGHT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/position.h"
+#include "common/rng.h"
+#include "datagen/registry.h"
+#include "datagen/weather.h"
+#include "geom/geometry.h"
+
+namespace tcmf::datagen {
+
+/// An airport with a (simplified) single runway orientation.
+struct Airport {
+  std::string code;
+  geom::LonLat loc;
+  double runway_heading_deg = 90.0;
+};
+
+/// One waypoint of an intended (planned) trajectory, with planned altitude
+/// and estimated time over.
+struct PlanWaypoint {
+  std::string name;
+  geom::LonLat loc;
+  double alt_m = 0.0;
+  TimeMs eta = 0;
+};
+
+/// A filed flight plan: the "intended trajectory" of the ATM domain.
+struct FlightPlan {
+  uint64_t flight_id = 0;
+  uint64_t icao24 = 0;
+  std::string origin;
+  std::string destination;
+  /// Airway (shared en-route waypoint chain) this plan follows; flights on
+  /// the same airway form natural route clusters.
+  int airway_id = 0;
+  TimeMs departure_time = 0;
+  std::vector<PlanWaypoint> waypoints;
+};
+
+/// A simulated flight: its plan, the aircraft, and what actually got flown.
+struct SimulatedFlight {
+  FlightPlan plan;
+  AircraftInfo aircraft;
+  /// ADS-B-rate observed positions (position_noise_m jitter applied).
+  Trajectory actual;
+  bool had_holding = false;
+  bool had_runway_change = false;
+};
+
+/// Configuration of the ADS-B-like aviation simulator.
+struct FlightSimConfig {
+  geom::BBox extent{-10.0, 35.0, 5.0, 45.0};
+  size_t flight_count = 100;
+  size_t airway_count = 3;
+  /// En-route waypoints per airway.
+  size_t waypoints_per_airway = 6;
+  TimeMs first_departure = 0;
+  TimeMs departure_spread_ms = 12 * kMillisPerHour;
+  TimeMs report_interval_ms = 8 * kMillisPerSecond;
+  /// Cross-track deviation scale (meters per unit weather severity).
+  double weather_deviation_m = 4000.0;
+  double position_noise_m = 30.0;
+  double holding_probability = 0.03;
+  double runway_change_probability = 0.03;
+  uint64_t seed = 11;
+};
+
+/// Simulates flights between two airports along shared airways, with
+/// weather-driven lateral deviations from plan, climb/cruise/descent
+/// vertical profiles, occasional holding patterns and runway changes.
+/// The deviation structure is learnable from (waypoint, weather, aircraft
+/// class) — exactly what Section 5's Hybrid Clustering/HMM exploits.
+class FlightSimulator {
+ public:
+  FlightSimulator(const FlightSimConfig& config, Airport origin,
+                  Airport destination, const WeatherField* weather);
+
+  std::vector<SimulatedFlight> Run();
+
+  /// The generated airway waypoint chains (route-cluster ground truth).
+  const std::vector<std::vector<PlanWaypoint>>& airways() const {
+    return airways_;
+  }
+
+ private:
+  FlightPlan MakePlan(Rng& rng, uint64_t flight_id,
+                      const AircraftInfo& aircraft, int airway_id,
+                      TimeMs departure);
+  Trajectory FlyPlan(Rng& rng, const FlightPlan& plan,
+                     const AircraftInfo& aircraft, bool holding,
+                     bool runway_change);
+
+  FlightSimConfig config_;
+  Airport origin_;
+  Airport destination_;
+  const WeatherField* weather_;
+  std::vector<std::vector<PlanWaypoint>> airways_;
+};
+
+/// Default airport pair used by the experiments (Barcelona/Madrid-like
+/// separation, per the Figure 5(a) setup).
+Airport DefaultOriginAirport();
+Airport DefaultDestinationAirport();
+
+}  // namespace tcmf::datagen
+
+#endif  // TCMF_DATAGEN_FLIGHT_H_

@@ -1,0 +1,113 @@
+#include "datagen/registry.h"
+
+#include "common/strings.h"
+
+namespace tcmf::datagen {
+
+const char* VesselTypeName(VesselType type) {
+  switch (type) {
+    case VesselType::kFishing:
+      return "fishing";
+    case VesselType::kCargo:
+      return "cargo";
+    case VesselType::kTanker:
+      return "tanker";
+    case VesselType::kFerry:
+      return "ferry";
+    case VesselType::kPassenger:
+      return "passenger";
+  }
+  return "unknown";
+}
+
+const char* AircraftClassName(AircraftClass cls) {
+  switch (cls) {
+    case AircraftClass::kLight:
+      return "light";
+    case AircraftClass::kMedium:
+      return "medium";
+    case AircraftClass::kHeavy:
+      return "heavy";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr const char* kFlags[] = {"GR", "ES", "FR", "IT", "DE", "PA", "MT"};
+}  // namespace
+
+std::vector<VesselInfo> MakeVesselRegistry(Rng& rng, size_t count,
+                                           double fishing_fraction) {
+  std::vector<VesselInfo> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    VesselInfo v;
+    v.mmsi = 200000000 + i;
+    if (rng.Bernoulli(fishing_fraction)) {
+      v.type = VesselType::kFishing;
+      v.length_m = rng.Uniform(12.0, 40.0);
+      v.max_speed_mps = rng.Uniform(4.0, 7.0);
+    } else {
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          v.type = VesselType::kCargo;
+          v.length_m = rng.Uniform(80.0, 300.0);
+          v.max_speed_mps = rng.Uniform(6.0, 11.0);
+          break;
+        case 1:
+          v.type = VesselType::kTanker;
+          v.length_m = rng.Uniform(100.0, 330.0);
+          v.max_speed_mps = rng.Uniform(5.0, 9.0);
+          break;
+        case 2:
+          v.type = VesselType::kFerry;
+          v.length_m = rng.Uniform(40.0, 200.0);
+          v.max_speed_mps = rng.Uniform(9.0, 14.0);
+          break;
+        default:
+          v.type = VesselType::kPassenger;
+          v.length_m = rng.Uniform(50.0, 250.0);
+          v.max_speed_mps = rng.Uniform(8.0, 12.0);
+          break;
+      }
+    }
+    v.name = StrFormat("%s_%05zu", VesselTypeName(v.type), i);
+    v.flag = kFlags[rng.UniformInt(0, 6)];
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<AircraftInfo> MakeAircraftRegistry(Rng& rng, size_t count) {
+  std::vector<AircraftInfo> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    AircraftInfo a;
+    a.icao24 = 0xA00000 + i;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        a.cls = AircraftClass::kLight;
+        a.cruise_speed_mps = rng.Uniform(120.0, 170.0);
+        a.cruise_alt_m = rng.Uniform(5000.0, 8000.0);
+        a.climb_rate_mps = rng.Uniform(6.0, 10.0);
+        break;
+      case 1:
+        a.cls = AircraftClass::kMedium;
+        a.cruise_speed_mps = rng.Uniform(200.0, 240.0);
+        a.cruise_alt_m = rng.Uniform(9000.0, 11500.0);
+        a.climb_rate_mps = rng.Uniform(10.0, 15.0);
+        break;
+      default:
+        a.cls = AircraftClass::kHeavy;
+        a.cruise_speed_mps = rng.Uniform(230.0, 260.0);
+        a.cruise_alt_m = rng.Uniform(10000.0, 12500.0);
+        a.climb_rate_mps = rng.Uniform(8.0, 12.0);
+        break;
+    }
+    a.tail_number = StrFormat("TC-%04zu", i);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace tcmf::datagen

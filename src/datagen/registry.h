@@ -1,0 +1,52 @@
+#ifndef TCMF_DATAGEN_REGISTRY_H_
+#define TCMF_DATAGEN_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tcmf::datagen {
+
+/// Vessel classes used across the simulator and the scenarios of Section 2.
+enum class VesselType { kFishing, kCargo, kTanker, kFerry, kPassenger };
+
+const char* VesselTypeName(VesselType type);
+
+/// One row of the vessel-register contextual source (Table 1).
+struct VesselInfo {
+  uint64_t mmsi = 0;
+  std::string name;
+  VesselType type = VesselType::kCargo;
+  std::string flag;
+  double length_m = 0.0;
+  double max_speed_mps = 0.0;
+};
+
+/// Aircraft size classes (the "aircraft size" enrichment feature of
+/// Section 5's Hybrid Clustering/HMM).
+enum class AircraftClass { kLight, kMedium, kHeavy };
+
+const char* AircraftClassName(AircraftClass cls);
+
+/// One row of the aircraft-register contextual source.
+struct AircraftInfo {
+  uint64_t icao24 = 0;
+  std::string tail_number;
+  AircraftClass cls = AircraftClass::kMedium;
+  double cruise_speed_mps = 0.0;
+  double cruise_alt_m = 0.0;
+  double climb_rate_mps = 0.0;
+};
+
+/// Generates `count` registry rows with type mix `fishing_fraction` of
+/// fishing vessels and the remainder split over commercial classes.
+std::vector<VesselInfo> MakeVesselRegistry(Rng& rng, size_t count,
+                                           double fishing_fraction = 0.4);
+
+std::vector<AircraftInfo> MakeAircraftRegistry(Rng& rng, size_t count);
+
+}  // namespace tcmf::datagen
+
+#endif  // TCMF_DATAGEN_REGISTRY_H_

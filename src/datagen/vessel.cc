@@ -1,0 +1,333 @@
+#include "datagen/vessel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/geo.h"
+
+namespace tcmf::datagen {
+
+using geom::AngleDiffDeg;
+using geom::BearingDeg;
+using geom::Destination;
+using geom::HaversineM;
+using geom::LonLat;
+using geom::NormalizeDeg;
+
+namespace {
+
+/// Per-vessel mutable simulation state.
+struct VesselState {
+  VesselInfo info;
+  LonLat pos;
+  double heading_deg = 0.0;
+  double speed_mps = 0.0;
+  double target_speed_mps = 0.0;
+  double turn_rate_deg_s = 1.0;
+  std::vector<LonLat> route;  ///< remaining waypoints
+  size_t next_wp = 0;
+  // Fishing-specific behaviour: when trawling the vessel runs parallel
+  // passes inside a fishing area, reversing heading at each end.
+  bool is_fishing_leg = false;
+  int trawl_legs_left = 0;
+  LonLat trawl_anchor;
+  double trawl_heading = 0.0;
+  // Communication-gap state.
+  TimeMs gap_until = -1;
+  // Port dwell before the next voyage (-1 = not dwelling).
+  TimeMs dwell_until = -1;
+  Rng rng{0};
+};
+
+LonLat RandomPointIn(Rng& rng, const geom::BBox& box) {
+  return {rng.Uniform(box.min_lon, box.max_lon),
+          rng.Uniform(box.min_lat, box.max_lat)};
+}
+
+LonLat AreaCenterOrRandom(Rng& rng, const std::vector<geom::Area>& areas,
+                          const geom::BBox& extent, size_t* index_out) {
+  if (areas.empty()) {
+    *index_out = 0;
+    return RandomPointIn(rng, extent);
+  }
+  size_t idx = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(areas.size()) - 1));
+  *index_out = idx;
+  return areas[idx].shape.Centroid();
+}
+
+/// Destination reachable within `max_range_m` of `from`: a random choice
+/// among the up-to-3 nearest qualifying areas (nearest overall when none
+/// qualifies). Keeps voyages completable within the simulation horizon.
+LonLat ReachableAreaCenter(Rng& rng, const std::vector<geom::Area>& areas,
+                           const geom::BBox& extent, const LonLat& from,
+                           double max_range_m) {
+  if (areas.empty()) {
+    double bearing = rng.Uniform(0.0, 360.0);
+    double dist = rng.Uniform(0.3, 1.0) * max_range_m;
+    return Destination(from, bearing, dist);
+  }
+  std::vector<std::pair<double, size_t>> by_distance;
+  by_distance.reserve(areas.size());
+  for (size_t i = 0; i < areas.size(); ++i) {
+    LonLat c = areas[i].shape.Centroid();
+    double d = HaversineM(from, c);
+    if (d > 1000.0) by_distance.push_back({d, i});  // skip "here"
+  }
+  if (by_distance.empty()) return RandomPointIn(rng, extent);
+  std::sort(by_distance.begin(), by_distance.end());
+  size_t qualifying = 0;
+  while (qualifying < by_distance.size() &&
+         by_distance[qualifying].first <= max_range_m) {
+    ++qualifying;
+  }
+  if (qualifying == 0) {
+    // No catalog area in range: use a local destination instead (a small
+    // boat does not cross the basin; it works its local grounds).
+    double bearing = rng.Uniform(0.0, 360.0);
+    return Destination(from, bearing, rng.Uniform(0.3, 1.0) * max_range_m);
+  }
+  size_t pool = std::min<size_t>(3, qualifying);
+  size_t pick = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(pool) - 1));
+  return areas[by_distance[pick].second].shape.Centroid();
+}
+
+/// Intermediate waypoints along the from->to track with lateral jitter, so
+/// voyages are mostly straight legs with occasional course changes.
+std::vector<LonLat> RouteVia(Rng& rng, const LonLat& from, const LonLat& to,
+                             int hops) {
+  std::vector<LonLat> out;
+  double total = HaversineM(from, to);
+  double course = BearingDeg(from, to);
+  for (int h = 1; h <= hops; ++h) {
+    double frac = static_cast<double>(h) / (hops + 1);
+    LonLat on_track = Destination(from, course, total * frac);
+    double lateral = rng.Uniform(-0.12, 0.12) * total;
+    out.push_back(Destination(on_track, NormalizeDeg(course + 90.0), lateral));
+  }
+  out.push_back(to);
+  return out;
+}
+
+}  // namespace
+
+VesselSimulator::VesselSimulator(const VesselSimConfig& config,
+                                 std::vector<geom::Area> ports,
+                                 std::vector<geom::Area> fishing_areas,
+                                 const WeatherField* weather)
+    : config_(config),
+      ports_(std::move(ports)),
+      fishing_areas_(std::move(fishing_areas)),
+      weather_(weather) {}
+
+VesselSimOutput VesselSimulator::Run() {
+  Rng master(config_.seed);
+  VesselSimOutput out;
+  out.registry =
+      MakeVesselRegistry(master, config_.vessel_count, config_.fishing_fraction);
+
+  // Initialize per-vessel states and routes.
+  std::vector<VesselState> states;
+  states.reserve(out.registry.size());
+  for (const VesselInfo& info : out.registry) {
+    VesselState s;
+    s.info = info;
+    s.rng = master.Fork();
+    size_t idx;
+    s.pos = AreaCenterOrRandom(s.rng, ports_, config_.extent, &idx);
+    s.target_speed_mps = info.max_speed_mps * s.rng.Uniform(0.7, 0.95);
+    // Route: a destination reachable within the simulation horizon
+    // (fishing vessels head to a fishing area and must get there early
+    // enough to trawl; commercial traffic sails port to port), reached
+    // via 1-3 jittered on-track waypoints.
+    double duration_s =
+        static_cast<double>(config_.duration_ms) / kMillisPerSecond;
+    double reach_m = s.target_speed_mps * duration_s;
+    int hops = static_cast<int>(s.rng.UniformInt(1, 3));
+    LonLat destination;
+    if (info.type == VesselType::kFishing) {
+      destination = ReachableAreaCenter(s.rng, fishing_areas_, config_.extent,
+                                        s.pos, 0.30 * reach_m);
+      s.trawl_legs_left = static_cast<int>(s.rng.UniformInt(6, 14));
+    } else {
+      destination = ReachableAreaCenter(s.rng, ports_, config_.extent, s.pos,
+                                        0.80 * reach_m);
+    }
+    s.route = RouteVia(s.rng, s.pos, destination, hops);
+    s.speed_mps = s.target_speed_mps;
+    s.heading_deg =
+        s.route.empty() ? 0.0 : BearingDeg(s.pos, s.route.front());
+    s.turn_rate_deg_s = info.type == VesselType::kFishing ? 3.0 : 0.6;
+    states.push_back(std::move(s));
+  }
+
+  out.truth.resize(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.truth[i].entity_id = states[i].info.mmsi;
+  }
+
+  const double dt = static_cast<double>(config_.report_interval_ms) /
+                    kMillisPerSecond;
+  const TimeMs end_time = config_.start_time + config_.duration_ms;
+
+  for (TimeMs t = config_.start_time; t < end_time;
+       t += config_.report_interval_ms) {
+    for (size_t vi = 0; vi < states.size(); ++vi) {
+      VesselState& s = states[vi];
+
+      // --- Behaviour/navigation update ---
+      bool stationary = false;
+      if (s.next_wp < s.route.size()) {
+        const LonLat& wp = s.route[s.next_wp];
+        double dist = HaversineM(s.pos, wp);
+        if (dist < std::max(300.0, s.speed_mps * dt * 2)) {
+          ++s.next_wp;
+          if (s.next_wp >= s.route.size()) {
+            if (s.info.type == VesselType::kFishing &&
+                s.trawl_legs_left > 0) {
+              double leg_len = s.rng.Uniform(1500.0, 4000.0);
+              if (!s.is_fishing_leg) {
+                // Arrived at the fishing ground: start the first pass.
+                s.is_fishing_leg = true;
+                s.trawl_anchor = s.pos;
+                s.trawl_heading = s.rng.Uniform(0.0, 360.0);
+                s.target_speed_mps = s.rng.Uniform(1.0, 2.2);
+              } else {
+                // Completed a pass: reverse (with jitter) for the next.
+                --s.trawl_legs_left;
+                s.trawl_heading = NormalizeDeg(s.trawl_heading + 180.0 +
+                                               s.rng.Uniform(-15.0, 15.0));
+              }
+              if (s.trawl_legs_left > 0) {
+                s.route.push_back(
+                    Destination(s.pos, s.trawl_heading, leg_len));
+              } else {
+                // Trawling done: head home.
+                size_t pidx;
+                s.route.push_back(AreaCenterOrRandom(s.rng, ports_,
+                                                     config_.extent, &pidx));
+                s.is_fishing_leg = false;
+                s.target_speed_mps = s.info.max_speed_mps * 0.8;
+              }
+            } else {
+              // Voyage complete: dwell in port, then sail again.
+              s.target_speed_mps = 0.0;
+              s.dwell_until =
+                  t + static_cast<TimeMs>(
+                          s.rng.Uniform(20.0, 90.0) * kMillisPerMinute);
+            }
+          }
+        } else {
+          double desired = BearingDeg(s.pos, wp);
+          double diff = AngleDiffDeg(desired, s.heading_deg);
+          double max_turn = s.turn_rate_deg_s * dt;
+          s.heading_deg =
+              NormalizeDeg(s.heading_deg +
+                           std::clamp(diff, -max_turn, max_turn));
+        }
+      } else {
+        stationary = true;
+        // Depart on a new voyage once the port dwell elapses.
+        if (s.dwell_until >= 0 && t >= s.dwell_until) {
+          s.dwell_until = -1;
+          double duration_s =
+              static_cast<double>(config_.duration_ms) / kMillisPerSecond;
+          s.target_speed_mps = s.info.max_speed_mps * s.rng.Uniform(0.7, 0.95);
+          double reach_m = s.target_speed_mps * duration_s;
+          LonLat destination;
+          if (s.info.type == VesselType::kFishing) {
+            destination = ReachableAreaCenter(s.rng, fishing_areas_,
+                                              config_.extent, s.pos,
+                                              0.30 * reach_m);
+            s.trawl_legs_left = static_cast<int>(s.rng.UniformInt(6, 14));
+            s.is_fishing_leg = false;
+          } else {
+            destination = ReachableAreaCenter(s.rng, ports_, config_.extent,
+                                              s.pos, 0.80 * reach_m);
+          }
+          s.route = RouteVia(s.rng, s.pos, destination,
+                             static_cast<int>(s.rng.UniformInt(1, 3)));
+          s.next_wp = 0;
+          s.heading_deg = BearingDeg(s.pos, s.route.front());
+        }
+      }
+
+      // Weather slows vessels down.
+      double weather_factor = 1.0;
+      if (weather_ != nullptr) {
+        WeatherSample w = weather_->Sample(s.pos.lon, s.pos.lat, t);
+        weather_factor = 1.0 - 0.4 * w.severity;
+      }
+      double effective_target = s.target_speed_mps * weather_factor;
+      // First-order speed relaxation.
+      s.speed_mps += (effective_target - s.speed_mps) * std::min(1.0, 0.2 * dt);
+      if (s.speed_mps < 0.05) s.speed_mps = 0.0;
+
+      // Advance position.
+      if (s.speed_mps > 0.0) {
+        s.pos = Destination(s.pos, s.heading_deg, s.speed_mps * dt);
+      }
+      (void)stationary;
+
+      // --- Emission ---
+      Position truth;
+      truth.entity_id = s.info.mmsi;
+      truth.t = t;
+      truth.lon = s.pos.lon;
+      truth.lat = s.pos.lat;
+      truth.speed_mps = s.speed_mps;
+      truth.heading_deg = s.heading_deg;
+      out.truth[vi].points.push_back(truth);
+
+      // Stationary vessels report less often.
+      bool slow = s.speed_mps < 0.3;
+      if (slow && config_.stationary_interval_factor > 1) {
+        int64_t tick =
+            (t - config_.start_time) / config_.report_interval_ms;
+        if (tick % config_.stationary_interval_factor != 0) continue;
+      }
+
+      ++out.total_reports_generated;
+
+      // Communication gaps.
+      if (s.gap_until >= 0 && t < s.gap_until) {
+        ++out.reports_lost_to_gaps;
+        continue;
+      }
+      s.gap_until = -1;
+      if (s.rng.Bernoulli(config_.gap_probability)) {
+        double len = s.rng.Exponential(
+            1.0 / static_cast<double>(config_.gap_duration_mean_ms));
+        s.gap_until = t + static_cast<TimeMs>(len);
+        ++out.reports_lost_to_gaps;
+        continue;
+      }
+
+      Position noisy = truth;
+      if (config_.position_noise_m > 0) {
+        double bearing = s.rng.Uniform(0.0, 360.0);
+        double offset = std::fabs(s.rng.Gaussian(0.0, config_.position_noise_m));
+        LonLat jittered = Destination(s.pos, bearing, offset);
+        noisy.lon = jittered.lon;
+        noisy.lat = jittered.lat;
+      }
+      if (config_.outlier_probability > 0 &&
+          s.rng.Bernoulli(config_.outlier_probability)) {
+        LonLat off = Destination(s.pos, s.rng.Uniform(0.0, 360.0),
+                                 config_.outlier_offset_m);
+        noisy.lon = off.lon;
+        noisy.lat = off.lat;
+      }
+      out.stream.push_back(noisy);
+    }
+  }
+
+  std::stable_sort(out.stream.begin(), out.stream.end(),
+                   [](const Position& a, const Position& b) {
+                     return a.t < b.t;
+                   });
+  return out;
+}
+
+}  // namespace tcmf::datagen

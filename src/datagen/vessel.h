@@ -1,0 +1,76 @@
+#ifndef TCMF_DATAGEN_VESSEL_H_
+#define TCMF_DATAGEN_VESSEL_H_
+
+#include <vector>
+
+#include "common/position.h"
+#include "common/rng.h"
+#include "datagen/registry.h"
+#include "datagen/weather.h"
+#include "geom/geometry.h"
+
+namespace tcmf::datagen {
+
+/// Configuration of the AIS-like maritime traffic simulator.
+struct VesselSimConfig {
+  geom::BBox extent{-6.0, 35.0, 10.0, 44.0};  ///< western Mediterranean-ish
+  size_t vessel_count = 50;
+  TimeMs start_time = 0;
+  TimeMs duration_ms = 6 * kMillisPerHour;
+  /// Base AIS reporting interval for a moving vessel.
+  TimeMs report_interval_ms = 10 * kMillisPerSecond;
+  /// Reporting interval multiplier when (nearly) stationary — class-A AIS
+  /// reports every 3 minutes at anchor.
+  int stationary_interval_factor = 18;
+  /// Standard deviation of GPS position jitter, meters.
+  double position_noise_m = 15.0;
+  /// Probability per report of starting a communication gap.
+  double gap_probability = 0.0015;
+  TimeMs gap_duration_mean_ms = 12 * kMillisPerMinute;
+  /// Probability per report of a gross position outlier (data veracity).
+  double outlier_probability = 0.0;
+  double outlier_offset_m = 20000.0;
+  /// Fraction of fishing vessels (they trawl inside fishing areas).
+  double fishing_fraction = 0.4;
+  uint64_t seed = 7;
+};
+
+/// Result of a maritime simulation run.
+struct VesselSimOutput {
+  std::vector<VesselInfo> registry;
+  /// Per-vessel noise-free ground truth at every report time (including
+  /// reports suppressed by communication gaps).
+  std::vector<Trajectory> truth;
+  /// The merged, time-ordered noisy surveillance stream actually "received".
+  std::vector<Position> stream;
+  /// Per-vessel index into `registry`/`truth` by entity id.
+  size_t total_reports_generated = 0;
+  size_t reports_lost_to_gaps = 0;
+};
+
+/// Simulates port-to-port commercial traffic plus trawling fishing vessels
+/// (Section 2 maritime scenarios). Motion is kinematically consistent:
+/// headings/speeds in emitted positions match successive displacements, so
+/// the synopses generator and predictors see realistic dynamics.
+class VesselSimulator {
+ public:
+  /// `ports` supplies route endpoints; `fishing_areas` the trawling zones.
+  /// Both may be empty (random sea points are used instead). `weather` may
+  /// be null (calm seas).
+  VesselSimulator(const VesselSimConfig& config,
+                  std::vector<geom::Area> ports,
+                  std::vector<geom::Area> fishing_areas,
+                  const WeatherField* weather);
+
+  VesselSimOutput Run();
+
+ private:
+  VesselSimConfig config_;
+  std::vector<geom::Area> ports_;
+  std::vector<geom::Area> fishing_areas_;
+  const WeatherField* weather_;
+};
+
+}  // namespace tcmf::datagen
+
+#endif  // TCMF_DATAGEN_VESSEL_H_

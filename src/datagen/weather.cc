@@ -1,0 +1,78 @@
+#include "datagen/weather.h"
+
+#include <cmath>
+
+#include "geom/geo.h"
+
+namespace tcmf::datagen {
+
+WeatherField::WeatherField(Rng& rng, const geom::BBox& extent,
+                           double max_wind_mps)
+    : extent_(extent), max_wind_mps_(max_wind_mps) {
+  // 6 random long-wavelength modes. Wavelengths span 2-10 degrees,
+  // periods 6-48 hours.
+  for (int i = 0; i < 6; ++i) {
+    Mode m;
+    double wavelength = rng.Uniform(2.0, 10.0);
+    double direction = rng.Uniform(0.0, 2 * geom::kPi);
+    m.kx = std::cos(direction) / wavelength;
+    m.ky = std::sin(direction) / wavelength;
+    m.omega = 1.0 / rng.Uniform(6.0, 48.0);
+    m.phase = rng.Uniform(0.0, 2 * geom::kPi);
+    double amp = rng.Uniform(0.2, 1.0);
+    double amp_dir = rng.Uniform(0.0, 2 * geom::kPi);
+    m.amp_e = amp * std::cos(amp_dir);
+    m.amp_n = amp * std::sin(amp_dir);
+    modes_.push_back(m);
+  }
+}
+
+WeatherSample WeatherField::Sample(double lon, double lat, TimeMs t) const {
+  double hours = static_cast<double>(t) / kMillisPerHour;
+  double e = 0.0, n = 0.0;
+  for (const Mode& m : modes_) {
+    double arg = 2 * geom::kPi *
+                     (m.kx * lon + m.ky * lat + m.omega * hours) +
+                 m.phase;
+    double s = std::sin(arg);
+    e += m.amp_e * s;
+    n += m.amp_n * s;
+  }
+  // Normalize by mode count so magnitudes stay within max_wind.
+  double scale = max_wind_mps_ / static_cast<double>(modes_.size());
+  WeatherSample out;
+  out.wind_east_mps = e * scale;
+  out.wind_north_mps = n * scale;
+  double speed = std::hypot(out.wind_east_mps, out.wind_north_mps);
+  out.severity = std::min(1.0, speed / max_wind_mps_);
+  out.wave_height_m = 0.2 + 6.0 * out.severity * out.severity;
+  return out;
+}
+
+std::vector<stream::Record> WeatherField::ForecastGrid(TimeMs t, int cols,
+                                                       int rows) const {
+  std::vector<stream::Record> out;
+  out.reserve(static_cast<size_t>(cols) * rows);
+  double w = extent_.width() / cols;
+  double h = extent_.height() / rows;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double lon = extent_.min_lon + (c + 0.5) * w;
+      double lat = extent_.min_lat + (r + 0.5) * h;
+      WeatherSample s = Sample(lon, lat, t);
+      stream::Record rec;
+      rec.set_event_time(t);
+      rec.Set("t", static_cast<int64_t>(t));
+      rec.Set("lon", lon);
+      rec.Set("lat", lat);
+      rec.Set("wind_east_mps", s.wind_east_mps);
+      rec.Set("wind_north_mps", s.wind_north_mps);
+      rec.Set("severity", s.severity);
+      rec.Set("wave_height_m", s.wave_height_m);
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+}  // namespace tcmf::datagen

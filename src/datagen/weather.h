@@ -1,0 +1,55 @@
+#ifndef TCMF_DATAGEN_WEATHER_H_
+#define TCMF_DATAGEN_WEATHER_H_
+
+#include <vector>
+
+#include "common/position.h"
+#include "common/rng.h"
+#include "geom/geometry.h"
+#include "stream/record.h"
+
+namespace tcmf::datagen {
+
+/// A sampled weather state at one point in space-time.
+struct WeatherSample {
+  double wind_east_mps = 0.0;
+  double wind_north_mps = 0.0;
+  /// 0 (calm) .. 1 (severe): drives vessel slowdown and flight deviation.
+  double severity = 0.0;
+  /// Significant wave height (maritime), meters.
+  double wave_height_m = 0.0;
+};
+
+/// Smooth synthetic weather field — the stand-in for the paper's sea-state
+/// and weather-forecast sources. Built from a few random long-wavelength
+/// sinusoidal modes so it is continuous in space and time (no data files
+/// needed) yet non-trivial to predict from positions alone.
+class WeatherField {
+ public:
+  WeatherField(Rng& rng, const geom::BBox& extent, double max_wind_mps = 25.0);
+
+  WeatherSample Sample(double lon, double lat, TimeMs t) const;
+
+  /// Emits a forecast grid at time `t` with `cols` x `rows` cells — the
+  /// analogue of one GRIB forecast file (used by the RDFizer and Table 1).
+  std::vector<stream::Record> ForecastGrid(TimeMs t, int cols,
+                                           int rows) const;
+
+  const geom::BBox& extent() const { return extent_; }
+
+ private:
+  struct Mode {
+    double kx, ky;      // spatial frequency (cycles per degree)
+    double omega;       // temporal frequency (cycles per hour)
+    double phase;
+    double amp_e, amp_n;
+  };
+
+  geom::BBox extent_;
+  double max_wind_mps_;
+  std::vector<Mode> modes_;
+};
+
+}  // namespace tcmf::datagen
+
+#endif  // TCMF_DATAGEN_WEATHER_H_

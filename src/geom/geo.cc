@@ -1,0 +1,97 @@
+#include "geom/geo.h"
+
+#include <cmath>
+
+namespace tcmf::geom {
+
+double DegToRad(double deg) { return deg * kPi / 180.0; }
+double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+double NormalizeDeg(double deg) {
+  double d = std::fmod(deg, 360.0);
+  if (d < 0) d += 360.0;
+  return d;
+}
+
+double AngleDiffDeg(double a, double b) {
+  double d = std::fmod(a - b, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+double HaversineM(const LonLat& a, const LonLat& b) {
+  return HaversineM(a.lon, a.lat, b.lon, b.lat);
+}
+
+double HaversineM(double lon1, double lat1, double lon2, double lat2) {
+  double phi1 = DegToRad(lat1);
+  double phi2 = DegToRad(lat2);
+  double dphi = DegToRad(lat2 - lat1);
+  double dlambda = DegToRad(lon2 - lon1);
+  double s = std::sin(dphi / 2);
+  double t = std::sin(dlambda / 2);
+  double h = s * s + std::cos(phi1) * std::cos(phi2) * t * t;
+  return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double BearingDeg(const LonLat& a, const LonLat& b) {
+  double phi1 = DegToRad(a.lat);
+  double phi2 = DegToRad(b.lat);
+  double dlambda = DegToRad(b.lon - a.lon);
+  double y = std::sin(dlambda) * std::cos(phi2);
+  double x = std::cos(phi1) * std::sin(phi2) -
+             std::sin(phi1) * std::cos(phi2) * std::cos(dlambda);
+  return NormalizeDeg(RadToDeg(std::atan2(y, x)));
+}
+
+LonLat Destination(const LonLat& origin, double bearing_deg,
+                   double distance_m) {
+  double delta = distance_m / kEarthRadiusM;
+  double theta = DegToRad(bearing_deg);
+  double phi1 = DegToRad(origin.lat);
+  double lambda1 = DegToRad(origin.lon);
+  double phi2 = std::asin(std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta));
+  double lambda2 =
+      lambda1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(phi1),
+                           std::cos(delta) - std::sin(phi1) * std::sin(phi2));
+  LonLat out;
+  out.lat = RadToDeg(phi2);
+  out.lon = RadToDeg(lambda2);
+  if (out.lon > 180.0) out.lon -= 360.0;
+  if (out.lon < -180.0) out.lon += 360.0;
+  return out;
+}
+
+Enu ToEnu(const LonLat& ref, const LonLat& p) {
+  double coslat = std::cos(DegToRad(ref.lat));
+  Enu out;
+  out.x = DegToRad(p.lon - ref.lon) * kEarthRadiusM * coslat;
+  out.y = DegToRad(p.lat - ref.lat) * kEarthRadiusM;
+  return out;
+}
+
+LonLat FromEnu(const LonLat& ref, const Enu& p) {
+  double coslat = std::cos(DegToRad(ref.lat));
+  LonLat out;
+  out.lon = ref.lon + RadToDeg(p.x / (kEarthRadiusM * coslat));
+  out.lat = ref.lat + RadToDeg(p.y / kEarthRadiusM);
+  return out;
+}
+
+double Distance3dM(const Position& a, const Position& b) {
+  double h = HaversineM(a.lon, a.lat, b.lon, b.lat);
+  double dz = a.alt_m - b.alt_m;
+  return std::sqrt(h * h + dz * dz);
+}
+
+double CrossTrackM(const LonLat& a, const LonLat& b, const LonLat& p) {
+  double d13 = HaversineM(a, p) / kEarthRadiusM;
+  double theta13 = DegToRad(BearingDeg(a, p));
+  double theta12 = DegToRad(BearingDeg(a, b));
+  double xt = std::asin(std::sin(d13) * std::sin(theta13 - theta12));
+  return std::fabs(xt) * kEarthRadiusM;
+}
+
+}  // namespace tcmf::geom

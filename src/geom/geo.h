@@ -1,0 +1,60 @@
+#ifndef TCMF_GEOM_GEO_H_
+#define TCMF_GEOM_GEO_H_
+
+#include "common/position.h"
+
+namespace tcmf::geom {
+
+/// Mean Earth radius, meters (spherical model — adequate for surveillance
+/// scales; the paper's components never need ellipsoidal accuracy).
+constexpr double kEarthRadiusM = 6371008.8;
+
+constexpr double kPi = 3.14159265358979323846;
+
+double DegToRad(double deg);
+double RadToDeg(double rad);
+
+/// Normalizes an angle to [0, 360).
+double NormalizeDeg(double deg);
+
+/// Signed smallest difference a-b in degrees, in (-180, 180].
+double AngleDiffDeg(double a, double b);
+
+/// A geographic coordinate in degrees.
+struct LonLat {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+/// Great-circle distance in meters (haversine).
+double HaversineM(const LonLat& a, const LonLat& b);
+double HaversineM(double lon1, double lat1, double lon2, double lat2);
+
+/// Initial great-circle bearing from a to b, degrees in [0, 360).
+double BearingDeg(const LonLat& a, const LonLat& b);
+
+/// Point reached from `origin` moving `distance_m` along `bearing_deg`.
+LonLat Destination(const LonLat& origin, double bearing_deg,
+                   double distance_m);
+
+/// Local tangent-plane (ENU) coordinates in meters relative to a reference.
+/// Valid for the regional extents used throughout (hundreds of km).
+struct Enu {
+  double x = 0.0;  ///< east, meters
+  double y = 0.0;  ///< north, meters
+};
+
+Enu ToEnu(const LonLat& ref, const LonLat& p);
+LonLat FromEnu(const LonLat& ref, const Enu& p);
+
+/// 3-D distance in meters between two positions (horizontal great-circle
+/// plus altitude difference).
+double Distance3dM(const Position& a, const Position& b);
+
+/// Cross-track distance of point p from the great-circle path a->b, meters
+/// (sign dropped). Used by prediction error metrics.
+double CrossTrackM(const LonLat& a, const LonLat& b, const LonLat& p);
+
+}  // namespace tcmf::geom
+
+#endif  // TCMF_GEOM_GEO_H_

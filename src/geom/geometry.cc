@@ -1,0 +1,212 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace tcmf::geom {
+
+Polygon::Polygon(std::vector<LonLat> ring) : ring_(std::move(ring)) {
+  if (ring_.empty()) return;
+  // Drop an explicit closing vertex if present.
+  if (ring_.size() > 1 &&
+      ring_.front().lon == ring_.back().lon &&
+      ring_.front().lat == ring_.back().lat) {
+    ring_.pop_back();
+  }
+  bbox_.min_lon = bbox_.max_lon = ring_[0].lon;
+  bbox_.min_lat = bbox_.max_lat = ring_[0].lat;
+  for (const LonLat& p : ring_) {
+    bbox_.min_lon = std::min(bbox_.min_lon, p.lon);
+    bbox_.max_lon = std::max(bbox_.max_lon, p.lon);
+    bbox_.min_lat = std::min(bbox_.min_lat, p.lat);
+    bbox_.max_lat = std::max(bbox_.max_lat, p.lat);
+  }
+}
+
+Polygon Polygon::Circle(const LonLat& center, double radius_m, int segments) {
+  std::vector<LonLat> ring;
+  ring.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    double bearing = 360.0 * i / segments;
+    ring.push_back(Destination(center, bearing, radius_m));
+  }
+  return Polygon(std::move(ring));
+}
+
+Polygon Polygon::FromBBox(const BBox& box) {
+  return Polygon({{box.min_lon, box.min_lat},
+                  {box.max_lon, box.min_lat},
+                  {box.max_lon, box.max_lat},
+                  {box.min_lon, box.max_lat}});
+}
+
+bool Polygon::Contains(double lon, double lat) const {
+  if (ring_.size() < 3) return false;
+  if (!bbox_.Contains(lon, lat)) return false;
+  bool inside = false;
+  size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    double xi = ring_[i].lon, yi = ring_[i].lat;
+    double xj = ring_[j].lon, yj = ring_[j].lat;
+    bool crosses = ((yi > lat) != (yj > lat)) &&
+                   (lon < (xj - xi) * (lat - yi) / (yj - yi) + xi);
+    if (crosses) inside = !inside;
+  }
+  return inside;
+}
+
+double Polygon::DistanceM(const LonLat& p) const {
+  if (ring_.size() < 2) return std::numeric_limits<double>::infinity();
+  if (Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best, PointSegmentDistanceM(p, ring_[j], ring_[i]));
+  }
+  return best;
+}
+
+double Polygon::PlanarArea() const {
+  double area = 0.0;
+  size_t n = ring_.size();
+  if (n < 3) return 0.0;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    area += (ring_[j].lon + ring_[i].lon) * (ring_[j].lat - ring_[i].lat);
+  }
+  return std::fabs(area) / 2.0;
+}
+
+LonLat Polygon::Centroid() const {
+  LonLat c;
+  if (ring_.empty()) return c;
+  for (const LonLat& p : ring_) {
+    c.lon += p.lon;
+    c.lat += p.lat;
+  }
+  c.lon /= ring_.size();
+  c.lat /= ring_.size();
+  return c;
+}
+
+double PointSegmentDistanceM(const LonLat& p, const LonLat& a,
+                             const LonLat& b) {
+  // Project into a local tangent plane centred at `a`.
+  Enu pe = ToEnu(a, p);
+  Enu be = ToEnu(a, b);
+  double len2 = be.x * be.x + be.y * be.y;
+  if (len2 <= 0.0) return HaversineM(p, a);
+  double t = (pe.x * be.x + pe.y * be.y) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  double dx = pe.x - t * be.x;
+  double dy = pe.y - t * be.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string ToWktPoint(const LonLat& p) {
+  return StrFormat("POINT (%.6f %.6f)", p.lon, p.lat);
+}
+
+std::string ToWktLineString(const std::vector<LonLat>& pts) {
+  std::string out = "LINESTRING (";
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.6f %.6f", pts[i].lon, pts[i].lat);
+  }
+  out += ")";
+  return out;
+}
+
+std::string ToWktPolygon(const Polygon& poly) {
+  std::string out = "POLYGON ((";
+  const auto& ring = poly.ring();
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.6f %.6f", ring[i].lon, ring[i].lat);
+  }
+  if (!ring.empty()) {
+    out += StrFormat(", %.6f %.6f", ring[0].lon, ring[0].lat);
+  }
+  out += "))";
+  return out;
+}
+
+namespace {
+
+// Parses "x y, x y, ..." coordinate lists.
+Result<std::vector<LonLat>> ParseCoordList(std::string_view body) {
+  std::vector<LonLat> pts;
+  for (const std::string& pair : StrSplit(body, ',')) {
+    std::string_view trimmed = StrTrim(pair);
+    size_t space = trimmed.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::ParseError("bad WKT coordinate pair: '" +
+                                std::string(trimmed) + "'");
+    }
+    Result<double> lon = ParseDouble(trimmed.substr(0, space));
+    Result<double> lat = ParseDouble(trimmed.substr(space + 1));
+    if (!lon.ok()) return lon.status();
+    if (!lat.ok()) return lat.status();
+    pts.push_back({lon.value(), lat.value()});
+  }
+  return pts;
+}
+
+// Extracts the text between the first '(' at `depth` parens and its match.
+Result<std::string> InnerParens(const std::string& wkt, int depth) {
+  size_t start = 0;
+  int d = 0;
+  for (size_t i = 0; i < wkt.size(); ++i) {
+    if (wkt[i] == '(') {
+      ++d;
+      if (d == depth) start = i + 1;
+    } else if (wkt[i] == ')') {
+      if (d == depth) return wkt.substr(start, i - start);
+      --d;
+    }
+  }
+  return Status::ParseError("unbalanced parentheses in WKT");
+}
+
+}  // namespace
+
+Result<LonLat> ParseWktPoint(const std::string& wkt) {
+  if (!StrStartsWith(StrToLower(wkt), "point")) {
+    return Status::ParseError("not a WKT POINT: " + wkt);
+  }
+  Result<std::string> body = InnerParens(wkt, 1);
+  if (!body.ok()) return body.status();
+  Result<std::vector<LonLat>> pts = ParseCoordList(body.value());
+  if (!pts.ok()) return pts.status();
+  if (pts.value().size() != 1) {
+    return Status::ParseError("POINT must have exactly one coordinate");
+  }
+  return pts.value()[0];
+}
+
+Result<std::vector<LonLat>> ParseWktLineString(const std::string& wkt) {
+  if (!StrStartsWith(StrToLower(wkt), "linestring")) {
+    return Status::ParseError("not a WKT LINESTRING: " + wkt);
+  }
+  Result<std::string> body = InnerParens(wkt, 1);
+  if (!body.ok()) return body.status();
+  return ParseCoordList(body.value());
+}
+
+Result<Polygon> ParseWktPolygon(const std::string& wkt) {
+  if (!StrStartsWith(StrToLower(wkt), "polygon")) {
+    return Status::ParseError("not a WKT POLYGON: " + wkt);
+  }
+  Result<std::string> body = InnerParens(wkt, 2);
+  if (!body.ok()) return body.status();
+  Result<std::vector<LonLat>> pts = ParseCoordList(body.value());
+  if (!pts.ok()) return pts.status();
+  if (pts.value().size() < 4) {
+    return Status::ParseError("POLYGON ring needs at least 4 vertices");
+  }
+  return Polygon(std::move(pts).value());
+}
+
+}  // namespace tcmf::geom

@@ -1,0 +1,96 @@
+#ifndef TCMF_GEOM_GEOMETRY_H_
+#define TCMF_GEOM_GEOMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/geo.h"
+
+namespace tcmf::geom {
+
+/// Axis-aligned bounding box in lon/lat degrees.
+struct BBox {
+  double min_lon = 0.0, min_lat = 0.0, max_lon = 0.0, max_lat = 0.0;
+
+  bool Contains(double lon, double lat) const {
+    return lon >= min_lon && lon <= max_lon && lat >= min_lat &&
+           lat <= max_lat;
+  }
+  bool Intersects(const BBox& other) const {
+    return !(other.min_lon > max_lon || other.max_lon < min_lon ||
+             other.min_lat > max_lat || other.max_lat < min_lat);
+  }
+  double width() const { return max_lon - min_lon; }
+  double height() const { return max_lat - min_lat; }
+};
+
+/// Simple polygon (single outer ring, implicit closure, no holes): the
+/// shape of every area of interest in the system — protected areas, fishing
+/// zones, airspace sectors, port footprints.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<LonLat> ring);
+
+  /// Regular n-gon approximation of a circle around `center`.
+  static Polygon Circle(const LonLat& center, double radius_m,
+                        int segments = 24);
+  /// Rectangle from a bounding box.
+  static Polygon FromBBox(const BBox& box);
+
+  const std::vector<LonLat>& ring() const { return ring_; }
+  const BBox& bbox() const { return bbox_; }
+  bool empty() const { return ring_.empty(); }
+
+  /// Even-odd rule point-in-polygon test (bbox pre-filtered).
+  bool Contains(double lon, double lat) const;
+  bool Contains(const LonLat& p) const { return Contains(p.lon, p.lat); }
+
+  /// Great-circle distance from p to the polygon boundary or 0 when inside.
+  double DistanceM(const LonLat& p) const;
+
+  /// Signed area in square degrees (planar; used only for relative
+  /// comparisons and mask coverage heuristics).
+  double PlanarArea() const;
+
+  /// Polygon centroid (planar approximation).
+  LonLat Centroid() const;
+
+ private:
+  std::vector<LonLat> ring_;
+  BBox bbox_;
+};
+
+/// A named geographic area of interest (Natura2000 zone, sector, port...).
+struct Area {
+  uint64_t id = 0;
+  std::string name;
+  std::string kind;  ///< e.g. "protected", "fishing", "sector", "port"
+  Polygon shape;
+};
+
+/// Distance in meters from a point to a great-circle segment a-b
+/// (planar ENU approximation around the segment — accurate at the scales
+/// the library operates on).
+double PointSegmentDistanceM(const LonLat& p, const LonLat& a,
+                             const LonLat& b);
+
+// --- WKT (Well-Known Text) support: the interchange format the paper's
+// RDF generators extract from shapefiles (Section 4.2.3). ---
+
+/// Serializes "POINT (lon lat)".
+std::string ToWktPoint(const LonLat& p);
+/// Serializes "LINESTRING (lon lat, ...)".
+std::string ToWktLineString(const std::vector<LonLat>& pts);
+/// Serializes "POLYGON ((lon lat, ...))"; repeats the first vertex.
+std::string ToWktPolygon(const Polygon& poly);
+
+/// Parses POINT / LINESTRING / POLYGON (outer ring only).
+Result<LonLat> ParseWktPoint(const std::string& wkt);
+Result<std::vector<LonLat>> ParseWktLineString(const std::string& wkt);
+Result<Polygon> ParseWktPolygon(const std::string& wkt);
+
+}  // namespace tcmf::geom
+
+#endif  // TCMF_GEOM_GEOMETRY_H_

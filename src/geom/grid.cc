@@ -1,0 +1,74 @@
+#include "geom/grid.h"
+
+#include <algorithm>
+
+namespace tcmf::geom {
+
+EquiGrid::EquiGrid(const BBox& extent, uint32_t cols, uint32_t rows)
+    : extent_(extent),
+      cols_(cols == 0 ? 1 : cols),
+      rows_(rows == 0 ? 1 : rows),
+      cell_w_(extent.width() / (cols == 0 ? 1 : cols)),
+      cell_h_(extent.height() / (rows == 0 ? 1 : rows)) {}
+
+void EquiGrid::ColRowOf(double lon, double lat, uint32_t* col,
+                        uint32_t* row) const {
+  double fx = (lon - extent_.min_lon) / cell_w_;
+  double fy = (lat - extent_.min_lat) / cell_h_;
+  int64_t c = static_cast<int64_t>(fx);
+  int64_t r = static_cast<int64_t>(fy);
+  c = std::clamp<int64_t>(c, 0, cols_ - 1);
+  r = std::clamp<int64_t>(r, 0, rows_ - 1);
+  *col = static_cast<uint32_t>(c);
+  *row = static_cast<uint32_t>(r);
+}
+
+uint32_t EquiGrid::CellOf(double lon, double lat) const {
+  uint32_t col, row;
+  ColRowOf(lon, lat, &col, &row);
+  return CellIndex(col, row);
+}
+
+BBox EquiGrid::CellBounds(uint32_t cell) const {
+  uint32_t row = cell / cols_;
+  uint32_t col = cell % cols_;
+  BBox out;
+  out.min_lon = extent_.min_lon + col * cell_w_;
+  out.max_lon = out.min_lon + cell_w_;
+  out.min_lat = extent_.min_lat + row * cell_h_;
+  out.max_lat = out.min_lat + cell_h_;
+  return out;
+}
+
+std::vector<uint32_t> EquiGrid::CellsIntersecting(const BBox& box) const {
+  uint32_t c0, r0, c1, r1;
+  ColRowOf(box.min_lon, box.min_lat, &c0, &r0);
+  ColRowOf(box.max_lon, box.max_lat, &c1, &r1);
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(c1 - c0 + 1) * (r1 - r0 + 1));
+  for (uint32_t r = r0; r <= r1; ++r) {
+    for (uint32_t c = c0; c <= c1; ++c) {
+      out.push_back(CellIndex(c, r));
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> EquiGrid::Neighborhood(uint32_t cell) const {
+  int64_t row = cell / cols_;
+  int64_t col = cell % cols_;
+  std::vector<uint32_t> out;
+  out.reserve(9);
+  for (int64_t dr = -1; dr <= 1; ++dr) {
+    for (int64_t dc = -1; dc <= 1; ++dc) {
+      int64_t r = row + dr;
+      int64_t c = col + dc;
+      if (r < 0 || c < 0 || r >= rows_ || c >= cols_) continue;
+      out.push_back(CellIndex(static_cast<uint32_t>(c),
+                              static_cast<uint32_t>(r)));
+    }
+  }
+  return out;
+}
+
+}  // namespace tcmf::geom

@@ -1,0 +1,53 @@
+#ifndef TCMF_GEOM_GRID_H_
+#define TCMF_GEOM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace tcmf::geom {
+
+/// Equi-grid space partitioning over a bounding box (Section 4.2.4): the
+/// blocking structure used by link discovery and the spatial half of the
+/// store's spatio-temporal encoding. Cells are indexed row-major.
+class EquiGrid {
+ public:
+  EquiGrid(const BBox& extent, uint32_t cols, uint32_t rows);
+
+  uint32_t cols() const { return cols_; }
+  uint32_t rows() const { return rows_; }
+  uint32_t cell_count() const { return cols_ * rows_; }
+  const BBox& extent() const { return extent_; }
+
+  /// Cell index of a point; out-of-extent points clamp to edge cells.
+  uint32_t CellOf(double lon, double lat) const;
+
+  /// Column/row of a point (clamped).
+  void ColRowOf(double lon, double lat, uint32_t* col, uint32_t* row) const;
+
+  uint32_t CellIndex(uint32_t col, uint32_t row) const {
+    return row * cols_ + col;
+  }
+
+  /// Geographic bounds of a cell.
+  BBox CellBounds(uint32_t cell) const;
+
+  /// Indexes of all cells whose bounds intersect `box`.
+  std::vector<uint32_t> CellsIntersecting(const BBox& box) const;
+
+  /// Indexes of the 3x3 neighbourhood (including `cell`), clipped at the
+  /// grid edges. Used for proximity (nearTo) candidate generation.
+  std::vector<uint32_t> Neighborhood(uint32_t cell) const;
+
+ private:
+  BBox extent_;
+  uint32_t cols_;
+  uint32_t rows_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace tcmf::geom
+
+#endif  // TCMF_GEOM_GRID_H_

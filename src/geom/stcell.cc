@@ -1,0 +1,96 @@
+#include "geom/stcell.h"
+
+#include <algorithm>
+
+namespace tcmf::geom {
+
+namespace {
+
+// Spreads the low 16 bits of x so there is a zero bit between each.
+uint32_t SpreadBits16(uint32_t x) {
+  x &= 0x0000FFFF;
+  x = (x | (x << 8)) & 0x00FF00FF;
+  x = (x | (x << 4)) & 0x0F0F0F0F;
+  x = (x | (x << 2)) & 0x33333333;
+  x = (x | (x << 1)) & 0x55555555;
+  return x;
+}
+
+uint16_t CompactBits16(uint32_t x) {
+  x &= 0x55555555;
+  x = (x | (x >> 1)) & 0x33333333;
+  x = (x | (x >> 2)) & 0x0F0F0F0F;
+  x = (x | (x >> 4)) & 0x00FF00FF;
+  x = (x | (x >> 8)) & 0x0000FFFF;
+  return static_cast<uint16_t>(x);
+}
+
+}  // namespace
+
+uint32_t MortonInterleave16(uint16_t x, uint16_t y) {
+  return SpreadBits16(x) | (SpreadBits16(y) << 1);
+}
+
+void MortonDeinterleave16(uint32_t z, uint16_t* x, uint16_t* y) {
+  *x = CompactBits16(z);
+  *y = CompactBits16(z >> 1);
+}
+
+StCellEncoder::StCellEncoder(const BBox& extent, uint32_t bits, TimeMs t0,
+                             TimeMs slot_ms)
+    : extent_(extent),
+      bits_(std::min<uint32_t>(bits, 16)),
+      t0_(t0),
+      slot_ms_(slot_ms <= 0 ? 1 : slot_ms) {}
+
+uint64_t StCellEncoder::Encode(double lon, double lat, TimeMs t) const {
+  uint32_t n = side();
+  double fx = (lon - extent_.min_lon) / extent_.width() * n;
+  double fy = (lat - extent_.min_lat) / extent_.height() * n;
+  int64_t cx = std::clamp<int64_t>(static_cast<int64_t>(fx), 0, n - 1);
+  int64_t cy = std::clamp<int64_t>(static_cast<int64_t>(fy), 0, n - 1);
+  int64_t slot = (t - t0_) / slot_ms_;
+  slot = std::clamp<int64_t>(slot, 0, 0xFFFF);
+  uint32_t z = MortonInterleave16(static_cast<uint16_t>(cx),
+                                  static_cast<uint16_t>(cy));
+  return (static_cast<uint64_t>(slot) << 32) | z;
+}
+
+StCellEncoder::Cell StCellEncoder::Decode(uint64_t id) const {
+  uint16_t cx, cy;
+  MortonDeinterleave16(static_cast<uint32_t>(id & 0xFFFFFFFF), &cx, &cy);
+  uint64_t slot = (id >> 32) & 0xFFFF;
+  uint32_t n = side();
+  double cw = extent_.width() / n;
+  double ch = extent_.height() / n;
+  Cell out;
+  out.bounds.min_lon = extent_.min_lon + cx * cw;
+  out.bounds.max_lon = out.bounds.min_lon + cw;
+  out.bounds.min_lat = extent_.min_lat + cy * ch;
+  out.bounds.max_lat = out.bounds.min_lat + ch;
+  out.t_begin = t0_ + static_cast<TimeMs>(slot) * slot_ms_;
+  out.t_end = out.t_begin + slot_ms_;
+  return out;
+}
+
+bool StCellEncoder::MayIntersect(uint64_t id, const StBox& box) const {
+  // Integer-only comparison: reconstruct cell coordinates, compare against
+  // the box's precomputed cell range. Cheap relative to decoding geometry.
+  uint16_t cx, cy;
+  MortonDeinterleave16(static_cast<uint32_t>(id & 0xFFFFFFFF), &cx, &cy);
+  int64_t slot = static_cast<int64_t>((id >> 32) & 0xFFFF);
+
+  uint32_t n = side();
+  double cw = extent_.width() / n;
+  double ch = extent_.height() / n;
+  int64_t c0 = static_cast<int64_t>((box.bounds.min_lon - extent_.min_lon) / cw);
+  int64_t c1 = static_cast<int64_t>((box.bounds.max_lon - extent_.min_lon) / cw);
+  int64_t r0 = static_cast<int64_t>((box.bounds.min_lat - extent_.min_lat) / ch);
+  int64_t r1 = static_cast<int64_t>((box.bounds.max_lat - extent_.min_lat) / ch);
+  int64_t s0 = (box.t_begin - t0_) / slot_ms_;
+  int64_t s1 = (box.t_end - t0_) / slot_ms_;
+  return cx >= c0 && cx <= c1 && cy >= r0 && cy <= r1 && slot >= s0 &&
+         slot <= s1;
+}
+
+}  // namespace tcmf::geom

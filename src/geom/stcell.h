@@ -1,0 +1,64 @@
+#ifndef TCMF_GEOM_STCELL_H_
+#define TCMF_GEOM_STCELL_H_
+
+#include <cstdint>
+
+#include "common/position.h"
+#include "geom/geometry.h"
+
+namespace tcmf::geom {
+
+/// Spatio-temporal cell encoder (Section 4.2.5): maps an approximate
+/// (lon, lat, time) to a single integer identifier by bit-interleaving the
+/// cell coordinates of a fixed space/time discretization. The store's
+/// dictionary assigns these ids to spatio-temporal entities so that query
+/// evaluation can prune triples against a spatio-temporal box with pure
+/// integer tests, before any string or geometry work.
+///
+/// Layout of the 64-bit id:
+///   [63:48] reserved zero | [47:32] time slot | [31:0] Z-order of (col,row)
+class StCellEncoder {
+ public:
+  /// `bits` per spatial axis (grid is 2^bits x 2^bits), and the length of a
+  /// time slot in milliseconds.
+  StCellEncoder(const BBox& extent, uint32_t bits, TimeMs t0,
+                TimeMs slot_ms);
+
+  uint64_t Encode(double lon, double lat, TimeMs t) const;
+
+  /// Decodes an id back to its cell bounds and time slot.
+  struct Cell {
+    BBox bounds;
+    TimeMs t_begin = 0;
+    TimeMs t_end = 0;
+  };
+  Cell Decode(uint64_t id) const;
+
+  /// A query box in space and time.
+  struct StBox {
+    BBox bounds;
+    TimeMs t_begin = 0;
+    TimeMs t_end = 0;
+  };
+
+  /// True when the cell identified by `id` can intersect `box` —
+  /// the integer-only pruning test used during query evaluation.
+  bool MayIntersect(uint64_t id, const StBox& box) const;
+
+  uint32_t bits() const { return bits_; }
+  uint32_t side() const { return 1u << bits_; }
+
+ private:
+  BBox extent_;
+  uint32_t bits_;
+  TimeMs t0_;
+  TimeMs slot_ms_;
+};
+
+/// Interleaves the low 16 bits of x and y (Morton / Z-order).
+uint32_t MortonInterleave16(uint16_t x, uint16_t y);
+void MortonDeinterleave16(uint32_t z, uint16_t* x, uint16_t* y);
+
+}  // namespace tcmf::geom
+
+#endif  // TCMF_GEOM_STCELL_H_

@@ -1,0 +1,89 @@
+#include "insitu/crossstream.h"
+
+#include <cmath>
+
+#include "geom/geo.h"
+
+namespace tcmf::insitu {
+
+std::optional<Position> CrossStreamFuser::Observe(const Position& report) {
+  ++stats_.reports_in;
+  auto it = tracks_.find(report.entity_id);
+
+  // New or stale track: adopt the report as the initial state.
+  if (it == tracks_.end() ||
+      report.t - it->second.state.t > options_.track_timeout_ms) {
+    Track track;
+    track.state = report;
+    track.last_emit = report.t;
+    tracks_[report.entity_id] = track;
+    ++stats_.tracks_started;
+    ++stats_.emitted;
+    return report;
+  }
+
+  Track& track = it->second;
+  if (report.t < track.state.t) {
+    // Late cross-receiver duplicate of an already-fused observation.
+    ++stats_.duplicates_merged;
+    return std::nullopt;
+  }
+
+  double dt = static_cast<double>(report.t - track.state.t) /
+              kMillisPerSecond;
+
+  // Dead-reckon the track to the report time.
+  geom::LonLat predicted = geom::Destination(
+      {track.state.lon, track.state.lat}, track.state.heading_deg,
+      track.state.speed_mps * dt);
+
+  // Innovation gating: contradicting sources are rejected.
+  double innovation =
+      geom::HaversineM(predicted.lon, predicted.lat, report.lon, report.lat);
+  double gate = options_.gate_base_m + options_.gate_per_second_m * dt;
+  if (innovation > gate) {
+    ++stats_.contradictions_rejected;
+    return std::nullopt;
+  }
+
+  // Alpha-beta update in the ENU frame of the prediction.
+  geom::Enu residual = geom::ToEnu(predicted, {report.lon, report.lat});
+  geom::LonLat fused = geom::FromEnu(
+      predicted, {options_.alpha * residual.x, options_.alpha * residual.y});
+
+  double rad = geom::DegToRad(track.state.heading_deg);
+  double vx = track.state.speed_mps * std::sin(rad);
+  double vy = track.state.speed_mps * std::cos(rad);
+  if (dt > 0.1) {
+    // The velocity gain divides by the elapsed time; cross-receiver
+    // skews make dt arbitrarily small, so floor it at the nominal
+    // reporting interval to keep the noise amplification bounded.
+    double dt_eff = std::max(
+        dt, static_cast<double>(options_.dedupe_window_ms) /
+                kMillisPerSecond * 2.0);
+    vx += options_.beta * residual.x / dt_eff;
+    vy += options_.beta * residual.y / dt_eff;
+  }
+
+  track.state.lon = fused.lon;
+  track.state.lat = fused.lat;
+  track.state.t = report.t;
+  track.state.speed_mps = std::hypot(vx, vy);
+  if (track.state.speed_mps > 0.05) {
+    track.state.heading_deg =
+        geom::NormalizeDeg(geom::RadToDeg(std::atan2(vx, vy)));
+  }
+  track.state.alt_m = report.alt_m;
+  track.state.vrate_mps = report.vrate_mps;
+
+  // Same-observation window: refine silently instead of re-emitting.
+  if (report.t - track.last_emit < options_.dedupe_window_ms) {
+    ++stats_.duplicates_merged;
+    return std::nullopt;
+  }
+  track.last_emit = report.t;
+  ++stats_.emitted;
+  return track.state;
+}
+
+}  // namespace tcmf::insitu

@@ -1,0 +1,67 @@
+#ifndef TCMF_INSITU_CROSSSTREAM_H_
+#define TCMF_INSITU_CROSSSTREAM_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/position.h"
+
+namespace tcmf::insitu {
+
+/// Cross-stream fusion (the "next step" of Section 4.2.2: correlating
+/// surveillance data from multiple — and perhaps contradicting — sources
+/// into a coherent trajectory representation). Each entity is tracked by
+/// an alpha-beta filter over all sources: duplicated observations within
+/// the dedupe window refine the estimate instead of duplicating output,
+/// and contradicting reports are gated by their innovation against the
+/// dead-reckoned state.
+struct FusionOptions {
+  /// Reports of one entity closer in time than this are treated as the
+  /// same observation seen by different receivers: merged, not re-emitted.
+  TimeMs dedupe_window_ms = 3 * kMillisPerSecond;
+  /// Innovation gate: a report further than this from the dead-reckoned
+  /// position (plus speed allowance) is a contradiction and is rejected.
+  double gate_base_m = 500.0;
+  /// Extra gate allowance per second since the last update.
+  double gate_per_second_m = 60.0;
+  /// Alpha-beta filter gains.
+  double alpha = 0.5;
+  double beta = 0.15;
+  /// A track is dropped (restarted on next report) after this silence.
+  TimeMs track_timeout_ms = 10 * kMillisPerMinute;
+};
+
+struct FusionStats {
+  size_t reports_in = 0;
+  size_t emitted = 0;
+  size_t duplicates_merged = 0;
+  size_t contradictions_rejected = 0;
+  size_t tracks_started = 0;
+};
+
+/// Streaming fuser: feed reports from any number of sources in arrival
+/// order; returns the fused position to forward downstream (or nullopt
+/// when the report was merged into the current estimate or rejected).
+class CrossStreamFuser {
+ public:
+  explicit CrossStreamFuser(const FusionOptions& options)
+      : options_(options) {}
+
+  std::optional<Position> Observe(const Position& report);
+
+  const FusionStats& stats() const { return stats_; }
+
+ private:
+  struct Track {
+    Position state;       ///< fused position + velocity (speed/heading)
+    TimeMs last_emit = 0;
+  };
+
+  FusionOptions options_;
+  std::unordered_map<uint64_t, Track> tracks_;
+  FusionStats stats_;
+};
+
+}  // namespace tcmf::insitu
+
+#endif  // TCMF_INSITU_CROSSSTREAM_H_

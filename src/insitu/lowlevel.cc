@@ -1,0 +1,139 @@
+#include "insitu/lowlevel.h"
+
+#include "geom/geo.h"
+
+namespace tcmf::insitu {
+
+void TrajectoryStatsTracker::Observe(const Position& p) {
+  EntityStats& s = stats_[p.entity_id];
+  s.speed.Add(p.speed_mps);
+  if (s.has_last) {
+    double dt = static_cast<double>(p.t - s.last.t) / kMillisPerSecond;
+    if (dt > 0) {
+      s.acceleration.Add((p.speed_mps - s.last.speed_mps) / dt);
+      s.report_interval_s.Add(dt);
+    }
+  }
+  s.last = p;
+  s.has_last = true;
+}
+
+const TrajectoryStatsTracker::EntityStats* TrajectoryStatsTracker::Get(
+    uint64_t entity_id) const {
+  auto it = stats_.find(entity_id);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+AreaTransitionDetector::AreaTransitionDetector(std::vector<geom::Area> areas,
+                                               const geom::BBox& extent,
+                                               uint32_t grid_cols,
+                                               uint32_t grid_rows)
+    : areas_(std::move(areas)),
+      grid_(extent, grid_cols, grid_rows),
+      cell_areas_(grid_.cell_count()) {
+  for (uint32_t i = 0; i < areas_.size(); ++i) {
+    for (uint32_t cell : grid_.CellsIntersecting(areas_[i].shape.bbox())) {
+      cell_areas_[cell].push_back(i);
+    }
+  }
+}
+
+std::vector<AreaEvent> AreaTransitionDetector::Observe(const Position& p) {
+  std::vector<AreaEvent> events;
+  std::unordered_set<uint64_t>& inside = inside_[p.entity_id];
+
+  uint32_t cell = grid_.CellOf(p.lon, p.lat);
+  std::unordered_set<uint64_t> now;
+  for (uint32_t ai : cell_areas_[cell]) {
+    if (areas_[ai].shape.Contains(p.lon, p.lat)) {
+      now.insert(areas_[ai].id);
+    }
+  }
+
+  for (uint64_t area_id : now) {
+    if (!inside.contains(area_id)) {
+      // Find kind for the event (linear scan acceptable: events are rare).
+      std::string kind;
+      for (const geom::Area& a : areas_) {
+        if (a.id == area_id) {
+          kind = a.kind;
+          break;
+        }
+      }
+      events.push_back({AreaEvent::Type::kEntry, p.entity_id, area_id, kind,
+                        p.t, p.lon, p.lat});
+    }
+  }
+  for (uint64_t area_id : inside) {
+    if (!now.contains(area_id)) {
+      std::string kind;
+      for (const geom::Area& a : areas_) {
+        if (a.id == area_id) {
+          kind = a.kind;
+          break;
+        }
+      }
+      events.push_back({AreaEvent::Type::kExit, p.entity_id, area_id, kind,
+                        p.t, p.lon, p.lat});
+    }
+  }
+  inside = std::move(now);
+  return events;
+}
+
+std::vector<uint64_t> AreaTransitionDetector::CurrentAreas(
+    uint64_t entity_id) const {
+  auto it = inside_.find(entity_id);
+  if (it == inside_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+const char* CleanVerdictName(CleanVerdict v) {
+  switch (v) {
+    case CleanVerdict::kOk:
+      return "ok";
+    case CleanVerdict::kDuplicate:
+      return "duplicate";
+    case CleanVerdict::kOutOfOrder:
+      return "out_of_order";
+    case CleanVerdict::kSpeedSpike:
+      return "speed_spike";
+    case CleanVerdict::kOutOfRange:
+      return "out_of_range";
+  }
+  return "unknown";
+}
+
+CleanVerdict StreamCleaner::Observe(const Position& p) {
+  CleanVerdict verdict = CleanVerdict::kOk;
+  if (!options_.extent.Contains(p.lon, p.lat)) {
+    verdict = CleanVerdict::kOutOfRange;
+  } else {
+    auto it = last_.find(p.entity_id);
+    if (it != last_.end()) {
+      const Position& last = it->second;
+      if (p.t == last.t) {
+        verdict = CleanVerdict::kDuplicate;
+      } else if (p.t < last.t) {
+        verdict = CleanVerdict::kOutOfOrder;
+      } else {
+        double dt = static_cast<double>(p.t - last.t) / kMillisPerSecond;
+        double implied =
+            geom::HaversineM(last.lon, last.lat, p.lon, p.lat) / dt;
+        if (implied > options_.max_speed_mps) {
+          verdict = CleanVerdict::kSpeedSpike;
+        }
+      }
+    }
+  }
+  if (verdict == CleanVerdict::kOk) {
+    last_[p.entity_id] = p;
+    ++accepted_;
+  } else {
+    ++rejected_;
+    ++rejects_by_kind_[verdict];
+  }
+  return verdict;
+}
+
+}  // namespace tcmf::insitu

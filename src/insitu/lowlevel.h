@@ -1,0 +1,123 @@
+#ifndef TCMF_INSITU_LOWLEVEL_H_
+#define TCMF_INSITU_LOWLEVEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/position.h"
+#include "common/stats.h"
+#include "geom/geometry.h"
+#include "geom/grid.h"
+
+namespace tcmf::insitu {
+
+/// Per-trajectory streaming metadata: min/max/mean/median of speed and
+/// acceleration, as computed by the paper's in-situ low-level detector
+/// (Section 4.2.1) to support downstream data-quality assessment.
+class TrajectoryStatsTracker {
+ public:
+  /// Folds one position report of one entity into its running summary.
+  void Observe(const Position& p);
+
+  struct EntityStats {
+    RunningStats speed;
+    RunningStats acceleration;
+    RunningStats report_interval_s;
+    Position last;
+    bool has_last = false;
+  };
+
+  /// nullptr when the entity has not been seen.
+  const EntityStats* Get(uint64_t entity_id) const;
+
+  const std::unordered_map<uint64_t, EntityStats>& all() const {
+    return stats_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, EntityStats> stats_;
+};
+
+/// A low-level area-transition event: an entity entering or leaving an
+/// area of interest.
+struct AreaEvent {
+  enum class Type { kEntry, kExit };
+  Type type = Type::kEntry;
+  uint64_t entity_id = 0;
+  uint64_t area_id = 0;
+  std::string area_kind;
+  TimeMs t = 0;
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+/// Streaming detector of entry/exit events against a catalog of areas,
+/// accelerated by an equi-grid over area bounding boxes so each position
+/// only tests areas overlapping its cell.
+class AreaTransitionDetector {
+ public:
+  AreaTransitionDetector(std::vector<geom::Area> areas,
+                         const geom::BBox& extent, uint32_t grid_cols = 64,
+                         uint32_t grid_rows = 64);
+
+  /// Processes one report; returns the transitions it triggered.
+  std::vector<AreaEvent> Observe(const Position& p);
+
+  /// Areas currently containing the entity (by id).
+  std::vector<uint64_t> CurrentAreas(uint64_t entity_id) const;
+
+  const std::vector<geom::Area>& areas() const { return areas_; }
+
+ private:
+  std::vector<geom::Area> areas_;
+  geom::EquiGrid grid_;
+  /// cell -> indexes of areas whose bbox overlaps the cell.
+  std::vector<std::vector<uint32_t>> cell_areas_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> inside_;
+};
+
+/// Verdict of the online cleaner for one report.
+enum class CleanVerdict {
+  kOk = 0,
+  kDuplicate,       ///< same entity and timestamp as the previous report
+  kOutOfOrder,      ///< timestamp earlier than the last accepted report
+  kSpeedSpike,      ///< implied speed between reports is physically absurd
+  kOutOfRange,      ///< coordinates outside the configured extent
+};
+
+const char* CleanVerdictName(CleanVerdict v);
+
+/// Online per-entity data cleaning (Section 3 "online data cleaning of
+/// erroneous data"): single pass, O(1) state per entity.
+class StreamCleaner {
+ public:
+  struct Options {
+    double max_speed_mps = 350.0;  ///< above this, the jump is an outlier
+    geom::BBox extent{-180.0, -90.0, 180.0, 90.0};
+  };
+
+  explicit StreamCleaner(const Options& options) : options_(options) {}
+
+  /// Classifies the report and (only when kOk) commits it as the entity's
+  /// new last-known position.
+  CleanVerdict Observe(const Position& p);
+
+  size_t accepted() const { return accepted_; }
+  size_t rejected() const { return rejected_; }
+  const std::unordered_map<CleanVerdict, size_t>& rejects_by_kind() const {
+    return rejects_by_kind_;
+  }
+
+ private:
+  Options options_;
+  std::unordered_map<uint64_t, Position> last_;
+  size_t accepted_ = 0;
+  size_t rejected_ = 0;
+  std::unordered_map<CleanVerdict, size_t> rejects_by_kind_;
+};
+
+}  // namespace tcmf::insitu
+
+#endif  // TCMF_INSITU_LOWLEVEL_H_

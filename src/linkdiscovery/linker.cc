@@ -1,0 +1,187 @@
+#include "linkdiscovery/linker.h"
+
+#include <cmath>
+
+#include "geom/geo.h"
+
+namespace tcmf::linkdiscovery {
+
+using geom::Area;
+using geom::BBox;
+using geom::LonLat;
+
+namespace {
+
+/// Dilates a bbox by approximately `meters` in every direction.
+BBox Dilate(const BBox& box, double meters) {
+  double dlat = meters / geom::kEarthRadiusM * 180.0 / geom::kPi;
+  double coslat = std::cos(geom::DegToRad((box.min_lat + box.max_lat) / 2));
+  double dlon = coslat > 1e-6 ? dlat / coslat : 180.0;
+  BBox out = box;
+  out.min_lon -= dlon;
+  out.max_lon += dlon;
+  out.min_lat -= dlat;
+  out.max_lat += dlat;
+  return out;
+}
+
+}  // namespace
+
+SpatioTemporalLinker::SpatioTemporalLinker(const LinkerConfig& config,
+                                           std::vector<Area> regions)
+    : config_(config),
+      regions_(std::move(regions)),
+      grid_(config.extent, config.grid_cols, config.grid_rows),
+      cell_regions_(grid_.cell_count()),
+      cell_mask_(grid_.cell_count()),
+      cell_points_(grid_.cell_count()) {
+  // Blocking: register each region with every cell its dilated bbox
+  // overlaps (dilation accounts for the nearTo distance).
+  for (uint32_t i = 0; i < regions_.size(); ++i) {
+    BBox dilated = Dilate(regions_[i].shape.bbox(), config_.near_distance_m);
+    for (uint32_t cell : grid_.CellsIntersecting(dilated)) {
+      cell_regions_[cell].push_back(i);
+    }
+  }
+
+  // Mask construction: a subcell is free iff no candidate region of the
+  // cell is within near_distance + subcell half-diagonal of its center.
+  if (config_.use_masks) {
+    int k = config_.mask_resolution;
+    for (uint32_t cell = 0; cell < grid_.cell_count(); ++cell) {
+      const std::vector<uint32_t>& candidates = cell_regions_[cell];
+      if (candidates.empty()) continue;  // empty vector: whole cell free
+      BBox bounds = grid_.CellBounds(cell);
+      double sub_w = bounds.width() / k;
+      double sub_h = bounds.height() / k;
+      // Half-diagonal of a subcell, in meters.
+      LonLat c0{bounds.min_lon, bounds.min_lat};
+      LonLat c1{bounds.min_lon + sub_w, bounds.min_lat + sub_h};
+      double half_diag = geom::HaversineM(c0, c1) / 2.0;
+      std::vector<bool> mask(static_cast<size_t>(k) * k, false);
+      for (int sy = 0; sy < k; ++sy) {
+        for (int sx = 0; sx < k; ++sx) {
+          LonLat center{bounds.min_lon + (sx + 0.5) * sub_w,
+                        bounds.min_lat + (sy + 0.5) * sub_h};
+          bool free = true;
+          for (uint32_t ri : candidates) {
+            if (regions_[ri].shape.DistanceM(center) <=
+                config_.near_distance_m + half_diag) {
+              free = false;
+              break;
+            }
+          }
+          mask[static_cast<size_t>(sy) * k + sx] = free;
+        }
+      }
+      cell_mask_[cell] = std::move(mask);
+    }
+  }
+}
+
+void SpatioTemporalLinker::CleanCell(std::deque<CellEntry>& cell,
+                                     TimeMs now) {
+  while (!cell.empty() && now - cell.front().t > config_.temporal_window_ms) {
+    cell.pop_front();
+  }
+}
+
+std::vector<Link> SpatioTemporalLinker::Observe(const Position& p) {
+  ++stats_.points_processed;
+  std::vector<Link> out;
+  uint32_t cell = grid_.CellOf(p.lon, p.lat);
+
+  // --- Point-area relations ---
+  const std::vector<uint32_t>& candidates = cell_regions_[cell];
+  bool skip_regions = candidates.empty();
+  if (!skip_regions && config_.use_masks && !cell_mask_[cell].empty()) {
+    BBox bounds = grid_.CellBounds(cell);
+    int k = config_.mask_resolution;
+    int sx = std::min<int>(
+        k - 1, static_cast<int>((p.lon - bounds.min_lon) / bounds.width() * k));
+    int sy = std::min<int>(
+        k - 1,
+        static_cast<int>((p.lat - bounds.min_lat) / bounds.height() * k));
+    if (sx >= 0 && sy >= 0 &&
+        cell_mask_[cell][static_cast<size_t>(sy) * k + sx]) {
+      skip_regions = true;
+      ++stats_.mask_skips;
+    }
+  }
+  if (!skip_regions) {
+    LonLat loc{p.lon, p.lat};
+    for (uint32_t ri : candidates) {
+      const Area& area = regions_[ri];
+      ++stats_.polygon_tests;
+      if (area.shape.Contains(loc)) {
+        out.push_back({Link::Relation::kWithin, p.entity_id, p.t, area.id,
+                       false});
+        ++stats_.links_within;
+        continue;
+      }
+      ++stats_.distance_tests;
+      if (area.shape.DistanceM(loc) <= config_.near_distance_m) {
+        out.push_back({Link::Relation::kNearTo, p.entity_id, p.t, area.id,
+                       false});
+        ++stats_.links_near_area;
+      }
+    }
+  }
+
+  // --- Point-point proximity ---
+  if (config_.link_moving_pairs) {
+    for (uint32_t ncell : grid_.Neighborhood(cell)) {
+      std::deque<CellEntry>& entries = cell_points_[ncell];
+      CleanCell(entries, p.t);
+      for (const CellEntry& e : entries) {
+        if (e.entity_id == p.entity_id) continue;
+        ++stats_.pair_candidates;
+        if (std::llabs(p.t - e.t) > config_.temporal_window_ms) continue;
+        ++stats_.distance_tests;
+        if (geom::HaversineM(p.lon, p.lat, e.lon, e.lat) <=
+            config_.near_distance_m) {
+          out.push_back({Link::Relation::kNearTo, p.entity_id, p.t,
+                         e.entity_id, true});
+          ++stats_.links_near_entity;
+        }
+      }
+    }
+    cell_points_[cell].push_back({p.entity_id, p.t, p.lon, p.lat});
+  }
+  return out;
+}
+
+double SpatioTemporalLinker::FullyFreeCellFraction() const {
+  size_t free_cells = 0;
+  for (const std::vector<uint32_t>& candidates : cell_regions_) {
+    if (candidates.empty()) ++free_cells;
+  }
+  return static_cast<double>(free_cells) / cell_regions_.size();
+}
+
+NaiveLinker::NaiveLinker(double near_distance_m, std::vector<Area> regions)
+    : near_distance_m_(near_distance_m), regions_(std::move(regions)) {}
+
+std::vector<Link> NaiveLinker::Observe(const Position& p) {
+  ++stats_.points_processed;
+  std::vector<Link> out;
+  LonLat loc{p.lon, p.lat};
+  for (const Area& area : regions_) {
+    ++stats_.polygon_tests;
+    if (area.shape.Contains(loc)) {
+      out.push_back({Link::Relation::kWithin, p.entity_id, p.t, area.id,
+                     false});
+      ++stats_.links_within;
+      continue;
+    }
+    ++stats_.distance_tests;
+    if (area.shape.DistanceM(loc) <= near_distance_m_) {
+      out.push_back({Link::Relation::kNearTo, p.entity_id, p.t, area.id,
+                     false});
+      ++stats_.links_near_area;
+    }
+  }
+  return out;
+}
+
+}  // namespace tcmf::linkdiscovery

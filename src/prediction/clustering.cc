@@ -1,0 +1,166 @@
+#include "prediction/clustering.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace tcmf::prediction {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Memoizing symmetric distance cache.
+class DistCache {
+ public:
+  DistCache(size_t n, const DistanceFn& fn) : n_(n), fn_(fn) {}
+
+  double operator()(size_t i, size_t j) {
+    if (i == j) return 0.0;
+    if (i > j) std::swap(i, j);
+    uint64_t key = static_cast<uint64_t>(i) * n_ + j;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    double d = fn_(i, j);
+    cache_.emplace(key, d);
+    return d;
+  }
+
+ private:
+  size_t n_;
+  const DistanceFn& fn_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace
+
+OpticsResult RunOptics(size_t n, const DistanceFn& distance,
+                       const OpticsOptions& options) {
+  OpticsResult out;
+  out.reachability.assign(n, kInf);
+  out.core_distance.assign(n, kInf);
+  if (n == 0) return out;
+
+  DistCache dist(n, distance);
+  std::vector<bool> processed(n, false);
+
+  // Core distance of `i`: distance to its min_pts-th neighbour within eps.
+  auto core_distance = [&](size_t i) {
+    std::vector<double> ds;
+    ds.reserve(n - 1);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d = dist(i, j);
+      if (d <= options.eps) ds.push_back(d);
+    }
+    if (ds.size() < options.min_pts) return kInf;
+    std::nth_element(ds.begin(), ds.begin() + (options.min_pts - 1),
+                     ds.end());
+    return ds[options.min_pts - 1];
+  };
+
+  // Min-heap of (reachability, item); stale entries skipped on pop.
+  using Entry = std::pair<double, size_t>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (processed[seed]) continue;
+    processed[seed] = true;
+    out.ordering.push_back(seed);
+    out.core_distance[seed] = core_distance(seed);
+    if (out.core_distance[seed] == kInf) continue;
+
+    std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+    auto update = [&](size_t center) {
+      double cd = out.core_distance[center];
+      for (size_t j = 0; j < n; ++j) {
+        if (processed[j]) continue;
+        double d = dist(center, j);
+        if (d > options.eps) continue;
+        double reach = std::max(cd, d);
+        if (reach < out.reachability[j]) {
+          out.reachability[j] = reach;
+          heap.push({reach, j});
+        }
+      }
+    };
+    update(seed);
+
+    while (!heap.empty()) {
+      auto [reach, item] = heap.top();
+      heap.pop();
+      if (processed[item]) continue;
+      if (reach > out.reachability[item]) continue;  // stale
+      processed[item] = true;
+      out.ordering.push_back(item);
+      out.core_distance[item] = core_distance(item);
+      if (out.core_distance[item] != kInf) update(item);
+    }
+  }
+  return out;
+}
+
+std::vector<int> ExtractClusters(const OpticsResult& result,
+                                 double reachability_threshold,
+                                 size_t min_cluster_size) {
+  size_t n = result.ordering.size();
+  std::vector<int> labels(n, -1);
+  int current = -1;
+  std::vector<size_t> pending;  // items of the cluster being built
+
+  auto commit = [&](std::vector<size_t>& items) {
+    if (items.size() >= min_cluster_size) {
+      ++current;
+      for (size_t i : items) labels[i] = current;
+    }
+    items.clear();
+  };
+
+  for (size_t k = 0; k < n; ++k) {
+    size_t item = result.ordering[k];
+    if (result.reachability[item] > reachability_threshold) {
+      // Reachability spike: previous cluster ends; this item starts a new
+      // one only if it is a core point at the threshold scale.
+      commit(pending);
+      if (result.core_distance[item] <= reachability_threshold) {
+        pending.push_back(item);
+      }
+    } else {
+      pending.push_back(item);
+    }
+  }
+  commit(pending);
+  return labels;
+}
+
+int ClusterCount(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+size_t ClusterMedoid(const std::vector<int>& labels, int cluster,
+                     const DistanceFn& distance) {
+  std::vector<size_t> members;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == cluster) members.push_back(i);
+  }
+  if (members.empty()) return std::numeric_limits<size_t>::max();
+  size_t best = members[0];
+  double best_sum = kInf;
+  for (size_t i : members) {
+    double sum = 0.0;
+    for (size_t j : members) {
+      if (i != j) sum += distance(i, j);
+    }
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace tcmf::prediction

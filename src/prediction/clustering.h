@@ -1,0 +1,49 @@
+#ifndef TCMF_PREDICTION_CLUSTERING_H_
+#define TCMF_PREDICTION_CLUSTERING_H_
+
+#include <functional>
+#include <vector>
+
+namespace tcmf::prediction {
+
+/// Distance oracle over item indexes [0, n). Implementations typically
+/// close over ErpDistance on enriched sequences.
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+struct OpticsOptions {
+  /// Neighbourhood radius.
+  double eps = 1e9;
+  /// Minimum neighbours for a core point.
+  size_t min_pts = 4;
+};
+
+/// Output of the OPTICS ordering pass.
+struct OpticsResult {
+  std::vector<size_t> ordering;       ///< visit order of all items
+  std::vector<double> reachability;   ///< reachability dist per item (inf = undefined)
+  std::vector<double> core_distance;  ///< core dist per item (inf = not core)
+};
+
+/// OPTICS (Ankerst et al.) over an arbitrary metric — the clustering stage
+/// of SemT-OPTICS [25]: robust density-based ordering using the enriched
+/// ERP distance. O(n^2) distance evaluations (distances are memoized).
+OpticsResult RunOptics(size_t n, const DistanceFn& distance,
+                       const OpticsOptions& options);
+
+/// Extracts flat clusters from the OPTICS ordering by reachability
+/// threshold; returns cluster id per item (-1 = noise).
+std::vector<int> ExtractClusters(const OpticsResult& result,
+                                 double reachability_threshold,
+                                 size_t min_cluster_size = 2);
+
+/// Number of clusters in a labelling (ignoring noise).
+int ClusterCount(const std::vector<int>& labels);
+
+/// Index of the medoid (minimum summed distance to members) of `cluster`.
+/// Returns SIZE_MAX when the cluster is empty.
+size_t ClusterMedoid(const std::vector<int>& labels, int cluster,
+                     const DistanceFn& distance);
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_CLUSTERING_H_

@@ -1,0 +1,51 @@
+#include "prediction/erp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcmf::prediction {
+
+double EnrichedPointDistance(const EnrichedPoint& a, const EnrichedPoint& b,
+                             const ErpOptions& options) {
+  double horizontal = geom::HaversineM(a.loc, b.loc);
+  double dz = a.alt_m - b.alt_m;
+  double spatial =
+      std::sqrt(horizontal * horizontal + dz * dz) / options.spatial_scale_m;
+  double feat = 0.0;
+  size_t n = std::min(a.features.size(), b.features.size());
+  for (size_t i = 0; i < n; ++i) {
+    double d = a.features[i] - b.features[i];
+    feat += d * d;
+  }
+  // Missing features on one side count as full disagreement.
+  feat += static_cast<double>(
+      std::max(a.features.size(), b.features.size()) - n);
+  feat = std::sqrt(feat);
+  return options.spatial_weight * spatial + options.feature_weight * feat;
+}
+
+double ErpDistance(const EnrichedSequence& a, const EnrichedSequence& b,
+                   const ErpOptions& options) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<double>(m) * options.gap_penalty;
+  if (m == 0) return static_cast<double>(n) * options.gap_penalty;
+
+  // Rolling two-row DP.
+  std::vector<double> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j * options.gap_penalty;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i * options.gap_penalty;
+    for (size_t j = 1; j <= m; ++j) {
+      double subst =
+          prev[j - 1] + EnrichedPointDistance(a[i - 1], b[j - 1], options);
+      double del = prev[j] + options.gap_penalty;
+      double ins = cur[j - 1] + options.gap_penalty;
+      cur[j] = std::min({subst, del, ins});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace tcmf::prediction

@@ -1,0 +1,49 @@
+#ifndef TCMF_PREDICTION_ERP_H_
+#define TCMF_PREDICTION_ERP_H_
+
+#include <vector>
+
+#include "common/position.h"
+#include "geom/geo.h"
+
+namespace tcmf::prediction {
+
+/// A reference point of an enriched trajectory: a spatial position plus the
+/// enrichment feature vector the datAcron ontology links to it (weather
+/// severity, aircraft/vessel class, temporal features...). The similarity
+/// used by SemT-OPTICS decomposes into a spatio-temporal part and an
+/// enrichment part (Section 5).
+struct EnrichedPoint {
+  geom::LonLat loc;
+  double alt_m = 0.0;
+  TimeMs t = 0;
+  std::vector<double> features;
+};
+
+using EnrichedSequence = std::vector<EnrichedPoint>;
+
+/// Weights of the decomposed distance.
+struct ErpOptions {
+  /// Scale dividing the spatial distance (meters) before mixing.
+  double spatial_scale_m = 10000.0;
+  double spatial_weight = 1.0;
+  double feature_weight = 1.0;
+  /// Gap element for the Real Penalty: a point at this cost substitutes a
+  /// skipped element (classical ERP uses distance to a fixed origin; we
+  /// use a constant penalty in normalized units).
+  double gap_penalty = 1.0;
+};
+
+/// Pointwise enriched distance (normalized units).
+double EnrichedPointDistance(const EnrichedPoint& a, const EnrichedPoint& b,
+                             const ErpOptions& options);
+
+/// Edit distance with Real Penalty between enriched sequences, O(n*m) DP.
+/// Metric (unlike DTW) because the gap cost is fixed — the property [10]
+/// establishes and SemT-OPTICS relies on.
+double ErpDistance(const EnrichedSequence& a, const EnrichedSequence& b,
+                   const ErpOptions& options);
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_ERP_H_

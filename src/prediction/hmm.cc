@@ -1,0 +1,268 @@
+#include "prediction/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tcmf::prediction {
+
+namespace {
+
+void NormalizeRow(std::vector<double>& row) {
+  double sum = 0.0;
+  for (double v : row) sum += v;
+  if (sum <= 0.0) {
+    double u = 1.0 / row.size();
+    for (double& v : row) v = u;
+    return;
+  }
+  for (double& v : row) v /= sum;
+}
+
+}  // namespace
+
+Hmm::Hmm(size_t states, size_t symbols)
+    : n_(std::max<size_t>(1, states)),
+      m_(std::max<size_t>(1, symbols)),
+      a_(n_, std::vector<double>(n_, 1.0 / n_)),
+      b_(n_, std::vector<double>(m_, 1.0 / m_)),
+      pi_(n_, 1.0 / n_) {}
+
+void Hmm::InitRandom(Rng& rng) {
+  for (auto& row : a_) {
+    for (double& v : row) v = rng.Uniform(0.5, 1.5);
+    NormalizeRow(row);
+  }
+  for (auto& row : b_) {
+    for (double& v : row) v = rng.Uniform(0.5, 1.5);
+    NormalizeRow(row);
+  }
+  for (double& v : pi_) v = rng.Uniform(0.5, 1.5);
+  NormalizeRow(pi_);
+}
+
+bool Hmm::Forward(const std::vector<int>& seq,
+                  std::vector<std::vector<double>>* alpha,
+                  std::vector<double>* scale) const {
+  const size_t len = seq.size();
+  alpha->assign(len, std::vector<double>(n_, 0.0));
+  scale->assign(len, 0.0);
+  if (len == 0) return false;
+  for (size_t i = 0; i < n_; ++i) {
+    int o = seq[0];
+    (*alpha)[0][i] = pi_[i] * (o >= 0 && o < static_cast<int>(m_)
+                                   ? b_[i][o]
+                                   : 0.0);
+    (*scale)[0] += (*alpha)[0][i];
+  }
+  if ((*scale)[0] <= 0.0) return false;
+  for (size_t i = 0; i < n_; ++i) (*alpha)[0][i] /= (*scale)[0];
+
+  for (size_t t = 1; t < len; ++t) {
+    int o = seq[t];
+    if (o < 0 || o >= static_cast<int>(m_)) return false;
+    for (size_t j = 0; j < n_; ++j) {
+      double sum = 0.0;
+      for (size_t i = 0; i < n_; ++i) sum += (*alpha)[t - 1][i] * a_[i][j];
+      (*alpha)[t][j] = sum * b_[j][o];
+      (*scale)[t] += (*alpha)[t][j];
+    }
+    if ((*scale)[t] <= 0.0) return false;
+    for (size_t j = 0; j < n_; ++j) (*alpha)[t][j] /= (*scale)[t];
+  }
+  return true;
+}
+
+double Hmm::LogLikelihood(const std::vector<int>& sequence) const {
+  std::vector<std::vector<double>> alpha;
+  std::vector<double> scale;
+  if (!Forward(sequence, &alpha, &scale)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double ll = 0.0;
+  for (double s : scale) ll += std::log(s);
+  return ll;
+}
+
+double Hmm::Train(const std::vector<std::vector<int>>& sequences,
+                  int iterations, double tol) {
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Accumulators with Laplace smoothing.
+    std::vector<std::vector<double>> a_num(n_, std::vector<double>(n_, 1e-6));
+    std::vector<std::vector<double>> b_num(n_, std::vector<double>(m_, 1e-6));
+    std::vector<double> pi_num(n_, 1e-6);
+    double total_ll = 0.0;
+
+    for (const std::vector<int>& seq : sequences) {
+      const size_t len = seq.size();
+      if (len == 0) continue;
+      std::vector<std::vector<double>> alpha;
+      std::vector<double> scale;
+      if (!Forward(seq, &alpha, &scale)) continue;
+      for (double s : scale) total_ll += std::log(s);
+
+      // Scaled backward pass.
+      std::vector<std::vector<double>> beta(len,
+                                            std::vector<double>(n_, 0.0));
+      for (size_t i = 0; i < n_; ++i) beta[len - 1][i] = 1.0;
+      for (size_t t = len - 1; t-- > 0;) {
+        int o = seq[t + 1];
+        for (size_t i = 0; i < n_; ++i) {
+          double sum = 0.0;
+          for (size_t j = 0; j < n_; ++j) {
+            sum += a_[i][j] * b_[j][o] * beta[t + 1][j];
+          }
+          beta[t][i] = sum / scale[t + 1];
+        }
+      }
+
+      // Gamma / xi accumulation.
+      for (size_t t = 0; t < len; ++t) {
+        double norm = 0.0;
+        for (size_t i = 0; i < n_; ++i) norm += alpha[t][i] * beta[t][i];
+        if (norm <= 0.0) continue;
+        for (size_t i = 0; i < n_; ++i) {
+          double gamma = alpha[t][i] * beta[t][i] / norm;
+          b_num[i][seq[t]] += gamma;
+          if (t == 0) pi_num[i] += gamma;
+        }
+        if (t + 1 < len) {
+          int o = seq[t + 1];
+          double xin = 0.0;
+          for (size_t i = 0; i < n_; ++i) {
+            for (size_t j = 0; j < n_; ++j) {
+              xin += alpha[t][i] * a_[i][j] * b_[j][o] * beta[t + 1][j];
+            }
+          }
+          if (xin > 0.0) {
+            for (size_t i = 0; i < n_; ++i) {
+              for (size_t j = 0; j < n_; ++j) {
+                a_num[i][j] += alpha[t][i] * a_[i][j] * b_[j][o] *
+                               beta[t + 1][j] / xin;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    for (size_t i = 0; i < n_; ++i) {
+      NormalizeRow(a_num[i]);
+      NormalizeRow(b_num[i]);
+    }
+    NormalizeRow(pi_num);
+    a_ = std::move(a_num);
+    b_ = std::move(b_num);
+    pi_ = std::move(pi_num);
+
+    if (std::isfinite(prev_ll) && total_ll - prev_ll < tol) {
+      return total_ll;
+    }
+    prev_ll = total_ll;
+  }
+  return prev_ll;
+}
+
+std::vector<int> Hmm::Viterbi(const std::vector<int>& sequence) const {
+  const size_t len = sequence.size();
+  if (len == 0) return {};
+  std::vector<std::vector<double>> delta(len, std::vector<double>(n_));
+  std::vector<std::vector<int>> psi(len, std::vector<int>(n_, 0));
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+
+  auto log_safe = [](double v) {
+    return v > 0 ? std::log(v) : -1e30;
+  };
+  for (size_t i = 0; i < n_; ++i) {
+    int o = sequence[0];
+    delta[0][i] =
+        log_safe(pi_[i]) +
+        (o >= 0 && o < static_cast<int>(m_) ? log_safe(b_[i][o]) : kNegInf);
+  }
+  for (size_t t = 1; t < len; ++t) {
+    int o = sequence[t];
+    for (size_t j = 0; j < n_; ++j) {
+      double best = kNegInf;
+      int arg = 0;
+      for (size_t i = 0; i < n_; ++i) {
+        double v = delta[t - 1][i] + log_safe(a_[i][j]);
+        if (v > best) {
+          best = v;
+          arg = static_cast<int>(i);
+        }
+      }
+      delta[t][j] =
+          best +
+          (o >= 0 && o < static_cast<int>(m_) ? log_safe(b_[j][o]) : kNegInf);
+      psi[t][j] = arg;
+    }
+  }
+  std::vector<int> path(len);
+  int arg = 0;
+  double best = kNegInf;
+  for (size_t i = 0; i < n_; ++i) {
+    if (delta[len - 1][i] > best) {
+      best = delta[len - 1][i];
+      arg = static_cast<int>(i);
+    }
+  }
+  path[len - 1] = arg;
+  for (size_t t = len - 1; t-- > 0;) path[t] = psi[t + 1][path[t + 1]];
+  return path;
+}
+
+std::vector<double> Hmm::PredictObservation(const std::vector<int>& prefix,
+                                            int ahead) const {
+  // State belief after the prefix.
+  std::vector<double> belief = pi_;
+  if (!prefix.empty()) {
+    std::vector<std::vector<double>> alpha;
+    std::vector<double> scale;
+    if (Forward(prefix, &alpha, &scale)) {
+      belief = alpha.back();
+      NormalizeRow(belief);
+    }
+  }
+  // Evolve `ahead - 1` transitions (the first prediction step applies one
+  // transition when a prefix exists, none when predicting the first
+  // observation from pi).
+  int hops = prefix.empty() ? ahead - 1 : ahead;
+  for (int h = 0; h < hops; ++h) {
+    std::vector<double> next(n_, 0.0);
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < n_; ++j) next[j] += belief[i] * a_[i][j];
+    }
+    belief = std::move(next);
+  }
+  std::vector<double> dist(m_, 0.0);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t k = 0; k < m_; ++k) dist[k] += belief[i] * b_[i][k];
+  }
+  return dist;
+}
+
+double Hmm::PredictExpectedValue(
+    const std::vector<int>& prefix, int ahead,
+    const std::vector<double>& symbol_values) const {
+  std::vector<double> dist = PredictObservation(prefix, ahead);
+  double expect = 0.0;
+  for (size_t k = 0; k < m_ && k < symbol_values.size(); ++k) {
+    expect += dist[k] * symbol_values[k];
+  }
+  return expect;
+}
+
+int Quantize(double value, double lo, double hi, int buckets) {
+  if (buckets <= 1) return 0;
+  double f = (value - lo) / (hi - lo);
+  int b = static_cast<int>(f * buckets);
+  return std::clamp(b, 0, buckets - 1);
+}
+
+double BucketCenter(int bucket, double lo, double hi, int buckets) {
+  double width = (hi - lo) / buckets;
+  return lo + (bucket + 0.5) * width;
+}
+
+}  // namespace tcmf::prediction

@@ -1,0 +1,75 @@
+#ifndef TCMF_PREDICTION_HMM_H_
+#define TCMF_PREDICTION_HMM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tcmf::prediction {
+
+/// Discrete hidden Markov model with Baum-Welch training, Viterbi
+/// decoding, and forward prediction of future observation distributions —
+/// the probabilistic engine of the paper's TP approaches (Section 5).
+class Hmm {
+ public:
+  /// `states` hidden states, `symbols` observation alphabet size.
+  Hmm(size_t states, size_t symbols);
+
+  /// Randomizes parameters (rows normalized) — the Baum-Welch start point.
+  void InitRandom(Rng& rng);
+
+  /// Baum-Welch EM over observation sequences. Stops after `iterations`
+  /// or when the total log-likelihood improves by less than `tol`.
+  /// Returns the final total log-likelihood.
+  double Train(const std::vector<std::vector<int>>& sequences,
+               int iterations = 30, double tol = 1e-4);
+
+  /// Log-likelihood of one sequence (forward algorithm, scaled).
+  double LogLikelihood(const std::vector<int>& sequence) const;
+
+  /// Most likely state path for a sequence.
+  std::vector<int> Viterbi(const std::vector<int>& sequence) const;
+
+  /// Distribution over observations at step `ahead` (1-based) given an
+  /// observed prefix (may be empty: prediction from the initial
+  /// distribution alone).
+  std::vector<double> PredictObservation(const std::vector<int>& prefix,
+                                         int ahead) const;
+
+  /// Expected observation value at step `ahead`, mapping symbol k to
+  /// `symbol_values[k]` (e.g. bucket centers of quantized deviations).
+  double PredictExpectedValue(const std::vector<int>& prefix, int ahead,
+                              const std::vector<double>& symbol_values) const;
+
+  size_t states() const { return n_; }
+  size_t symbols() const { return m_; }
+  /// Parameter count (transition + emission + initial) — the resource
+  /// metric the paper compares across TP approaches.
+  size_t ParameterCount() const { return n_ * n_ + n_ * m_ + n_; }
+
+  const std::vector<std::vector<double>>& transitions() const { return a_; }
+  const std::vector<std::vector<double>>& emissions() const { return b_; }
+  const std::vector<double>& initial() const { return pi_; }
+
+ private:
+  /// Scaled forward pass; returns per-step scaling factors and fills
+  /// alpha. Returns false for impossible sequences.
+  bool Forward(const std::vector<int>& seq,
+               std::vector<std::vector<double>>* alpha,
+               std::vector<double>* scale) const;
+
+  size_t n_, m_;
+  std::vector<std::vector<double>> a_;   ///< n x n transition
+  std::vector<std::vector<double>> b_;   ///< n x m emission
+  std::vector<double> pi_;               ///< initial distribution
+};
+
+/// Quantizes a real value into one of `buckets` symbols over [lo, hi]
+/// (clamped); BucketCenter maps back.
+int Quantize(double value, double lo, double hi, int buckets);
+double BucketCenter(int bucket, double lo, double hi, int buckets);
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_HMM_H_

@@ -1,0 +1,132 @@
+#include "prediction/kinetic.h"
+
+#include <algorithm>
+
+namespace tcmf::prediction {
+
+PlanFollowingPredictor::PlanFollowingPredictor(
+    std::vector<KineticWaypoint> plan, const KineticPerformance& performance)
+    : plan_(std::move(plan)), performance_(performance) {}
+
+Position PlanFollowingPredictor::PredictAt(TimeMs t) const {
+  Position out;
+  if (plan_.empty()) return out;
+  if (t <= plan_.front().eta) {
+    out.t = t;
+    out.lon = plan_.front().loc.lon;
+    out.lat = plan_.front().loc.lat;
+    out.alt_m = plan_.front().alt_m;
+    return out;
+  }
+  if (t >= plan_.back().eta) {
+    out.t = t;
+    out.lon = plan_.back().loc.lon;
+    out.lat = plan_.back().loc.lat;
+    out.alt_m = plan_.back().alt_m;
+    return out;
+  }
+  // Find the bracketing leg.
+  size_t hi = 1;
+  while (hi < plan_.size() && plan_[hi].eta < t) ++hi;
+  const KineticWaypoint& a = plan_[hi - 1];
+  const KineticWaypoint& b = plan_[hi];
+  double f = static_cast<double>(t - a.eta) /
+             static_cast<double>(b.eta - a.eta);
+
+  double leg_m = geom::HaversineM(a.loc, b.loc);
+  double leg_s = static_cast<double>(b.eta - a.eta) / kMillisPerSecond;
+  double ground_speed = leg_s > 0 ? leg_m / leg_s : 0.0;
+  double bearing = geom::BearingDeg(a.loc, b.loc);
+  geom::LonLat pos = geom::Destination(a.loc, bearing, leg_m * f);
+
+  // Altitude: planned profile, rate-limited by the performance model.
+  double planned_alt = a.alt_m + f * (b.alt_m - a.alt_m);
+  double max_change =
+      performance_.climb_rate_mps * f * leg_s;
+  double alt = a.alt_m + std::clamp(planned_alt - a.alt_m, -max_change,
+                                    max_change);
+
+  out.t = t;
+  out.lon = pos.lon;
+  out.lat = pos.lat;
+  out.alt_m = alt;
+  out.speed_mps = std::min(ground_speed, performance_.cruise_speed_mps * 1.2);
+  out.heading_deg = bearing;
+  out.vrate_mps = leg_s > 0 ? (b.alt_m - a.alt_m) / leg_s : 0.0;
+  return out;
+}
+
+Position PlanFollowingPredictor::PredictFrom(const Position& current,
+                                             TimeMs look_ahead_ms) const {
+  if (plan_.size() < 2) {
+    Position out = current;
+    out.t = current.t + look_ahead_ms;
+    return out;
+  }
+  // Project the current position onto the plan polyline: nearest leg.
+  size_t best_leg = 0;
+  double best_d = 1e30;
+  double best_frac = 0.0;
+  for (size_t i = 0; i + 1 < plan_.size(); ++i) {
+    geom::Enu a{0, 0};
+    geom::Enu b = geom::ToEnu(plan_[i].loc, plan_[i + 1].loc);
+    geom::Enu p = geom::ToEnu(plan_[i].loc, {current.lon, current.lat});
+    double len2 = b.x * b.x + b.y * b.y;
+    double frac = len2 > 0 ? (p.x * b.x + p.y * b.y) / len2 : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    double dx = p.x - frac * b.x;
+    double dy = p.y - frac * b.y;
+    double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best_leg = i;
+      best_frac = frac;
+    }
+    (void)a;
+  }
+  // Advance along the remaining path at the observed (or planned) speed.
+  double speed = current.speed_mps > 20.0
+                     ? current.speed_mps
+                     : performance_.cruise_speed_mps;
+  double remaining =
+      speed * static_cast<double>(look_ahead_ms) / kMillisPerSecond;
+  size_t leg = best_leg;
+  double frac = best_frac;
+  geom::LonLat pos{current.lon, current.lat};
+  // Snap laterally onto the plan over the first leg advance (the kinetic
+  // model assumes the aircraft returns to the route).
+  while (leg + 1 < plan_.size() && remaining > 0) {
+    double leg_m = geom::HaversineM(plan_[leg].loc, plan_[leg + 1].loc);
+    double left_on_leg = leg_m * (1.0 - frac);
+    double bearing = geom::BearingDeg(plan_[leg].loc, plan_[leg + 1].loc);
+    if (remaining < left_on_leg) {
+      geom::LonLat on_leg = geom::Destination(plan_[leg].loc, bearing,
+                                              leg_m * frac + remaining);
+      pos = on_leg;
+      remaining = 0;
+    } else {
+      pos = plan_[leg + 1].loc;
+      remaining -= left_on_leg;
+      ++leg;
+      frac = 0.0;
+    }
+  }
+  Position out = current;
+  out.t = current.t + look_ahead_ms;
+  out.lon = pos.lon;
+  out.lat = pos.lat;
+  return out;
+}
+
+std::vector<Position> PlanFollowingPredictor::Predict(TimeMs from,
+                                                      TimeMs interval_ms,
+                                                      size_t steps) const {
+  std::vector<Position> out;
+  out.reserve(steps);
+  for (size_t k = 1; k <= steps; ++k) {
+    out.push_back(PredictAt(from + static_cast<TimeMs>(k) * interval_ms));
+  }
+  return out;
+}
+
+}  // namespace tcmf::prediction

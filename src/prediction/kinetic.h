@@ -1,0 +1,61 @@
+#ifndef TCMF_PREDICTION_KINETIC_H_
+#define TCMF_PREDICTION_KINETIC_H_
+
+#include <vector>
+
+#include "common/position.h"
+#include "geom/geo.h"
+
+namespace tcmf::prediction {
+
+/// The *kinetic* approach of Section 5: predict by flying the intended
+/// trajectory with a (simplified, BADA-like) performance model — maximal
+/// accuracy when the entity follows its plan, no ability to adapt when it
+/// deviates (weather rerouting, holdings, runway changes), and parameter
+/// sensitivity over longer horizons. The data-driven predictors
+/// (RMF*/hybrid HMM) are evaluated against this in the benches.
+struct KineticWaypoint {
+  geom::LonLat loc;
+  double alt_m = 0.0;
+  TimeMs eta = 0;
+};
+
+/// Performance envelope (the BADA substitute of DESIGN.md).
+struct KineticPerformance {
+  double cruise_speed_mps = 220.0;
+  double climb_rate_mps = 12.0;
+};
+
+/// Flies the plan: position at time t is the point reached by traversing
+/// the waypoint legs at the planned schedule (linear in time between
+/// ETAs), with altitude following the planned profile. Before the first
+/// ETA it holds the first waypoint; after the last it holds the last.
+class PlanFollowingPredictor {
+ public:
+  PlanFollowingPredictor(std::vector<KineticWaypoint> plan,
+                         const KineticPerformance& performance);
+
+  /// Predicted state at time t.
+  Position PredictAt(TimeMs t) const;
+
+  /// Predicted positions at `steps` report intervals after `from`.
+  std::vector<Position> Predict(TimeMs from, TimeMs interval_ms,
+                                size_t steps) const;
+
+  /// Kinetic short-term prediction re-anchored on the current observed
+  /// state (how an FMS extrapolates): projects `current` onto the plan
+  /// path and advances along it at the planned ground speed for
+  /// `look_ahead_ms`. Robust to schedule slip; still blind to lateral
+  /// deviations from the planned route.
+  Position PredictFrom(const Position& current, TimeMs look_ahead_ms) const;
+
+  const std::vector<KineticWaypoint>& plan() const { return plan_; }
+
+ private:
+  std::vector<KineticWaypoint> plan_;
+  KineticPerformance performance_;
+};
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_KINETIC_H_

@@ -1,0 +1,56 @@
+#include "prediction/linalg.h"
+
+#include <cmath>
+
+namespace tcmf::prediction {
+
+bool SolveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= a[i][c] * b[c];
+    b[i] = sum / a[i][i];
+  }
+  return true;
+}
+
+std::vector<double> LeastSquares(const std::vector<std::vector<double>>& m,
+                                 const std::vector<double>& y) {
+  if (m.empty()) return {};
+  const size_t rows = m.size();
+  const size_t cols = m[0].size();
+  if (rows < cols) return {};
+  // Normal equations: (M^T M) x = M^T y, with a small ridge term for
+  // numerical stability on near-collinear windows.
+  std::vector<std::vector<double>> mtm(cols, std::vector<double>(cols, 0.0));
+  std::vector<double> mty(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < cols; ++i) {
+      for (size_t j = 0; j < cols; ++j) mtm[i][j] += m[r][i] * m[r][j];
+      mty[i] += m[r][i] * y[r];
+    }
+  }
+  for (size_t i = 0; i < cols; ++i) mtm[i][i] += 1e-9;
+  if (!SolveLinearSystem(mtm, mty)) return {};
+  return mty;
+}
+
+}  // namespace tcmf::prediction

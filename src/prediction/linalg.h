@@ -1,0 +1,22 @@
+#ifndef TCMF_PREDICTION_LINALG_H_
+#define TCMF_PREDICTION_LINALG_H_
+
+#include <vector>
+
+namespace tcmf::prediction {
+
+/// Solves the dense linear system A x = b (n x n) by Gaussian elimination
+/// with partial pivoting. Returns false when the system is singular
+/// (within tolerance). A and b are modified in place; the solution lands
+/// in b. Sizes here are tiny (recurrence orders / polynomial fits).
+bool SolveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b);
+
+/// Ordinary least squares: finds x minimizing ||M x - y||^2 via normal
+/// equations (M is rows x cols, rows >= cols). Returns empty on failure.
+std::vector<double> LeastSquares(const std::vector<std::vector<double>>& m,
+                                 const std::vector<double>& y);
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_LINALG_H_

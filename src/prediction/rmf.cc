@@ -1,0 +1,316 @@
+#include "prediction/rmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prediction/linalg.h"
+
+namespace tcmf::prediction {
+
+using geom::Enu;
+using geom::LonLat;
+
+namespace {
+
+/// Median report interval of a history window, seconds.
+double EstimateDt(const std::deque<Position>& history) {
+  if (history.size() < 2) return 1.0;
+  std::vector<double> dts;
+  dts.reserve(history.size() - 1);
+  for (size_t i = 1; i < history.size(); ++i) {
+    dts.push_back(static_cast<double>(history[i].t - history[i - 1].t) /
+                  kMillisPerSecond);
+  }
+  std::nth_element(dts.begin(), dts.begin() + dts.size() / 2, dts.end());
+  double dt = dts[dts.size() / 2];
+  return dt > 0 ? dt : 1.0;
+}
+
+/// Fits z_t = sum c_i z_{t-i} and rolls it forward `steps` times.
+std::vector<double> FitAndExtrapolate(const std::vector<double>& series,
+                                      int order, size_t steps) {
+  const size_t n = series.size();
+  std::vector<double> out;
+  if (n < static_cast<size_t>(order) + 1) return out;
+  std::vector<std::vector<double>> m;
+  std::vector<double> y;
+  for (size_t t = order; t < n; ++t) {
+    std::vector<double> row(order);
+    for (int i = 0; i < order; ++i) row[i] = series[t - 1 - i];
+    m.push_back(std::move(row));
+    y.push_back(series[t]);
+  }
+  std::vector<double> c = LeastSquares(m, y);
+  if (c.empty()) return out;
+  std::vector<double> tail(series.end() - order, series.end());
+  // tail is ordered oldest..newest; recurrence uses newest-first indexing.
+  out.reserve(steps);
+  for (size_t s = 0; s < steps; ++s) {
+    double next = 0.0;
+    for (int i = 0; i < order; ++i) {
+      next += c[i] * tail[tail.size() - 1 - i];
+    }
+    out.push_back(next);
+    tail.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+RmfPredictor::RmfPredictor(int order, size_t window)
+    : order_(std::max(1, order)), window_(std::max<size_t>(window, 4)) {}
+
+void RmfPredictor::Observe(const Position& p) {
+  if (!history_.empty() && p.t <= history_.back().t) return;
+  history_.push_back(p);
+  while (history_.size() > window_) history_.pop_front();
+}
+
+std::vector<PredictedPoint> RmfPredictor::Predict(size_t steps) const {
+  std::vector<PredictedPoint> out;
+  if (history_.size() < 2) return out;
+  const Position& last = history_.back();
+  LonLat ref{last.lon, last.lat};
+  double dt = EstimateDt(history_);
+
+  std::vector<double> xs, ys, zs;
+  for (const Position& p : history_) {
+    Enu e = geom::ToEnu(ref, {p.lon, p.lat});
+    xs.push_back(e.x);
+    ys.push_back(e.y);
+    zs.push_back(p.alt_m);
+  }
+  std::vector<double> fx = FitAndExtrapolate(xs, order_, steps);
+  std::vector<double> fy = FitAndExtrapolate(ys, order_, steps);
+  std::vector<double> fz = FitAndExtrapolate(zs, order_, steps);
+
+  // Fallback: constant-velocity when the fit is unavailable.
+  double vx = 0.0, vy = 0.0, vz = 0.0;
+  if (fx.empty() || fy.empty()) {
+    const Position& prev = history_[history_.size() - 2];
+    double span = static_cast<double>(last.t - prev.t) / kMillisPerSecond;
+    if (span <= 0) span = dt;
+    Enu pe = geom::ToEnu(ref, {prev.lon, prev.lat});
+    vx = -pe.x / span;
+    vy = -pe.y / span;
+    vz = (last.alt_m - prev.alt_m) / span;
+  }
+
+  for (size_t s = 0; s < steps; ++s) {
+    PredictedPoint pp;
+    pp.t = last.t + static_cast<TimeMs>((s + 1) * dt * kMillisPerSecond);
+    double x = fx.empty() ? vx * dt * (s + 1) : fx[s];
+    double y = fy.empty() ? vy * dt * (s + 1) : fy[s];
+    double z = fz.empty() ? last.alt_m + vz * dt * (s + 1) : fz[s];
+    pp.loc = geom::FromEnu(ref, {x, y});
+    pp.alt_m = std::max(0.0, z);
+    out.push_back(pp);
+  }
+  return out;
+}
+
+const char* MotionPatternName(MotionPattern p) {
+  switch (p) {
+    case MotionPattern::kLinear:
+      return "linear";
+    case MotionPattern::kCircular:
+      return "circular";
+    case MotionPattern::kQuadratic:
+      return "quadratic";
+  }
+  return "unknown";
+}
+
+RmfStarPredictor::RmfStarPredictor(const Options& options)
+    : options_(options) {}
+
+void RmfStarPredictor::HintNonLinear() { hint_nonlinear_ = true; }
+
+void RmfStarPredictor::Observe(const Position& p) {
+  if (!history_.empty() && p.t <= history_.back().t) return;
+  history_.push_back(p);
+  while (history_.size() > options_.window) history_.pop_front();
+  if (history_.size() < 4) {
+    mode_ = MotionMode::kLinear;
+    return;
+  }
+
+  // Drift detection: mean absolute heading change per report over the
+  // recent half of the window, and vertical-rate swing.
+  double heading_drift = 0.0;
+  size_t count = 0;
+  size_t start = history_.size() / 2;
+  for (size_t i = start + 1; i < history_.size(); ++i) {
+    heading_drift += std::fabs(geom::AngleDiffDeg(
+        history_[i].heading_deg, history_[i - 1].heading_deg));
+    ++count;
+  }
+  if (count > 0) heading_drift /= count;
+  double vrate_change =
+      std::fabs(history_.back().vrate_mps - history_[start].vrate_mps);
+
+  bool nonlinear = heading_drift > options_.heading_drift_threshold_deg ||
+                   vrate_change > options_.vrate_change_threshold_mps ||
+                   hint_nonlinear_;
+  // The explicit hint decays once the drift detector reports steady motion.
+  if (hint_nonlinear_ &&
+      heading_drift < options_.heading_drift_threshold_deg / 2) {
+    hint_nonlinear_ = false;
+  }
+  mode_ = nonlinear ? MotionMode::kPattern : MotionMode::kLinear;
+}
+
+std::vector<PredictedPoint> RmfStarPredictor::Predict(size_t steps) const {
+  std::vector<PredictedPoint> out;
+  if (history_.size() < 2) return out;
+  const Position& last = history_.back();
+  LonLat ref{last.lon, last.lat};
+  double dt = EstimateDt(history_);
+
+  // Altitude: linear in the mean vertical rate (clamped at ground).
+  double mean_vrate = 0.0;
+  for (const Position& p : history_) mean_vrate += p.vrate_mps;
+  mean_vrate /= history_.size();
+
+  // Relative times and ENU coordinates of the window.
+  std::vector<double> ts, xs, ys;
+  for (const Position& p : history_) {
+    ts.push_back(static_cast<double>(p.t - last.t) / kMillisPerSecond);
+    Enu e = geom::ToEnu(ref, {p.lon, p.lat});
+    xs.push_back(e.x);
+    ys.push_back(e.y);
+  }
+
+  auto emit = [&](size_t step, double x, double y) {
+    PredictedPoint pp;
+    pp.t = last.t + static_cast<TimeMs>((step + 1) * dt * kMillisPerSecond);
+    pp.loc = geom::FromEnu(ref, {x, y});
+    pp.alt_m = std::max(0.0, last.alt_m + mean_vrate * dt * (step + 1));
+    out.push_back(pp);
+  };
+
+  // Mean ground velocity over the last few reports (robust linear basis).
+  auto mean_velocity = [&](size_t k) {
+    k = std::min(k, history_.size() - 1);
+    size_t first = history_.size() - 1 - k;
+    double span = static_cast<double>(history_.back().t - history_[first].t) /
+                  kMillisPerSecond;
+    Enu e0 = geom::ToEnu(ref, {history_[first].lon, history_[first].lat});
+    if (span <= 0) span = dt * k;
+    return Enu{-e0.x / span, -e0.y / span};
+  };
+
+  if (mode_ == MotionMode::kLinear) {
+    last_pattern_ = MotionPattern::kLinear;
+    Enu v = mean_velocity(3);
+    for (size_t s = 0; s < steps; ++s) {
+      emit(s, v.x * dt * (s + 1), v.y * dt * (s + 1));
+    }
+    return out;
+  }
+
+  // --- Pattern mode: fit candidate primitives, pick the best residual ---
+  struct Fit {
+    MotionPattern pattern;
+    double residual = 1e30;
+  };
+  Fit best{MotionPattern::kLinear, 1e30};
+
+  // Linear LS fit x = a + b t.
+  std::vector<std::vector<double>> m1;
+  for (double t : ts) m1.push_back({1.0, t});
+  std::vector<double> lx = LeastSquares(m1, xs);
+  std::vector<double> ly = LeastSquares(m1, ys);
+  if (!lx.empty() && !ly.empty()) {
+    double r = 0.0;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      double ex = lx[0] + lx[1] * ts[i] - xs[i];
+      double ey = ly[0] + ly[1] * ts[i] - ys[i];
+      r += std::hypot(ex, ey);
+    }
+    r /= ts.size();
+    if (r < best.residual) best = {MotionPattern::kLinear, r};
+  }
+
+  // Quadratic LS fit x = a + b t + c t^2.
+  std::vector<std::vector<double>> m2;
+  for (double t : ts) m2.push_back({1.0, t, t * t});
+  std::vector<double> qx = LeastSquares(m2, xs);
+  std::vector<double> qy = LeastSquares(m2, ys);
+  if (!qx.empty() && !qy.empty()) {
+    double r = 0.0;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      double ex = qx[0] + qx[1] * ts[i] + qx[2] * ts[i] * ts[i] - xs[i];
+      double ey = qy[0] + qy[1] * ts[i] + qy[2] * ts[i] * ts[i] - ys[i];
+      r += std::hypot(ex, ey);
+    }
+    r /= ts.size();
+    if (r < best.residual) best = {MotionPattern::kQuadratic, r};
+  }
+
+  // Circular: constant speed + constant turn rate replay over the window.
+  double omega = 0.0;
+  double speed = 0.0;
+  {
+    size_t n = history_.size();
+    double total_turn = 0.0;
+    for (size_t i = 1; i < n; ++i) {
+      total_turn += geom::AngleDiffDeg(history_[i].heading_deg,
+                                       history_[i - 1].heading_deg);
+      speed += history_[i].speed_mps;
+    }
+    double span = static_cast<double>(history_.back().t - history_.front().t) /
+                  kMillisPerSecond;
+    omega = span > 0 ? total_turn / span : 0.0;  // deg/s
+    speed /= std::max<size_t>(1, n - 1);
+    // Replay from the window start and measure residual.
+    LonLat sim{history_.front().lon, history_.front().lat};
+    double hdg = history_.front().heading_deg;
+    double r = 0.0;
+    for (size_t i = 1; i < n; ++i) {
+      double step_s = static_cast<double>(history_[i].t - history_[i - 1].t) /
+                      kMillisPerSecond;
+      hdg = geom::NormalizeDeg(hdg + omega * step_s);
+      sim = geom::Destination(sim, hdg, history_[i].speed_mps * step_s);
+      r += geom::HaversineM(sim, {history_[i].lon, history_[i].lat});
+    }
+    r /= std::max<size_t>(1, n - 1);
+    if (std::fabs(omega) > 0.05 && r < best.residual) {
+      best = {MotionPattern::kCircular, r};
+    }
+  }
+
+  last_pattern_ = best.pattern;
+  switch (best.pattern) {
+    case MotionPattern::kLinear: {
+      for (size_t s = 0; s < steps; ++s) {
+        double t = dt * (s + 1);
+        emit(s, lx[0] + lx[1] * t, ly[0] + ly[1] * t);
+      }
+      break;
+    }
+    case MotionPattern::kQuadratic: {
+      for (size_t s = 0; s < steps; ++s) {
+        double t = dt * (s + 1);
+        emit(s, qx[0] + qx[1] * t + qx[2] * t * t,
+             qy[0] + qy[1] * t + qy[2] * t * t);
+      }
+      break;
+    }
+    case MotionPattern::kCircular: {
+      LonLat sim = ref;
+      double hdg = last.heading_deg;
+      for (size_t s = 0; s < steps; ++s) {
+        hdg = geom::NormalizeDeg(hdg + omega * dt);
+        sim = geom::Destination(sim, hdg, speed * dt);
+        Enu e = geom::ToEnu(ref, sim);
+        emit(s, e.x, e.y);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tcmf::prediction

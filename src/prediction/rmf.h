@@ -1,0 +1,99 @@
+#ifndef TCMF_PREDICTION_RMF_H_
+#define TCMF_PREDICTION_RMF_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/position.h"
+#include "geom/geo.h"
+
+namespace tcmf::prediction {
+
+/// A predicted future location (with altitude for aviation).
+struct PredictedPoint {
+  TimeMs t = 0;
+  geom::LonLat loc;
+  double alt_m = 0.0;
+};
+
+/// Base Recursive Motion Function predictor (Tao et al., SIGMOD 2004):
+/// fits a scalar linear recurrence z_t = sum_i c_i z_{t-i} per coordinate
+/// (local ENU x, y, altitude) over the recent window and extrapolates it
+/// recursively. This is the paper's FLP baseline; it degrades badly during
+/// manoeuvres (Section 5).
+class RmfPredictor {
+ public:
+  /// `order` = recurrence depth f; `window` = number of recent positions
+  /// retained for fitting (>= 2 * order recommended).
+  explicit RmfPredictor(int order = 3, size_t window = 12);
+
+  /// Feeds the entity's next position (stream order, one entity per
+  /// predictor instance).
+  void Observe(const Position& p);
+
+  /// Predicts the next `steps` positions, one report interval apart
+  /// (the interval is estimated from the observed stream).
+  std::vector<PredictedPoint> Predict(size_t steps) const;
+
+  bool ready() const { return history_.size() > static_cast<size_t>(order_); }
+
+ private:
+  int order_;
+  size_t window_;
+  std::deque<Position> history_;
+};
+
+/// Motion regime the RMF* mode switcher is in.
+enum class MotionMode {
+  kLinear = 0,    ///< steady course: plain linear extrapolation
+  kPattern,       ///< manoeuvre: best-fitting motion primitive
+};
+
+/// Motion primitives tried in pattern mode.
+enum class MotionPattern { kLinear = 0, kCircular, kQuadratic };
+
+const char* MotionPatternName(MotionPattern p);
+
+/// RMF* (Section 5): linear extrapolation on steady segments, and on
+/// detected drift to a non-linear phase (turn onset, altitude change, or
+/// an explicit critical-point hint) switches to pattern-matching mode,
+/// fitting linear/circular/quadratic primitives over the recent window
+/// and extrapolating the best by residual.
+class RmfStarPredictor {
+ public:
+  struct Options {
+    size_t window = 12;
+    /// Mean absolute heading delta (deg/report) above which the motion is
+    /// considered a non-linear phase.
+    double heading_drift_threshold_deg = 1.5;
+    /// Vertical-rate change (m/s) signalling an altitude transition.
+    double vrate_change_threshold_mps = 2.0;
+  };
+
+  RmfStarPredictor() : RmfStarPredictor(Options{}) {}
+  explicit RmfStarPredictor(const Options& options);
+
+  void Observe(const Position& p);
+
+  /// Marks the entity as entering a non-linear phase (critical-point hint
+  /// from the Synopses Generator); RMF* switches to pattern mode without
+  /// waiting for the drift detector.
+  void HintNonLinear();
+
+  std::vector<PredictedPoint> Predict(size_t steps) const;
+
+  MotionMode mode() const { return mode_; }
+  MotionPattern last_pattern() const { return last_pattern_; }
+  bool ready() const { return history_.size() >= 4; }
+
+ private:
+  Options options_;
+  std::deque<Position> history_;
+  MotionMode mode_ = MotionMode::kLinear;
+  mutable MotionPattern last_pattern_ = MotionPattern::kLinear;
+  bool hint_nonlinear_ = false;
+};
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_RMF_H_

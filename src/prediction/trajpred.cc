@@ -1,0 +1,235 @@
+#include "prediction/trajpred.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/geo.h"
+
+namespace tcmf::prediction {
+
+using geom::LonLat;
+
+std::vector<double> WaypointDeviations(
+    const std::vector<LonLat>& plan_waypoints, const std::vector<TimeMs>& etas,
+    const Trajectory& actual) {
+  std::vector<double> out;
+  if (plan_waypoints.size() < 2 || actual.points.empty()) return out;
+  out.reserve(plan_waypoints.size());
+
+  // Time-interpolated actual position.
+  auto position_at = [&](TimeMs t) -> LonLat {
+    const auto& pts = actual.points;
+    if (t <= pts.front().t) return {pts.front().lon, pts.front().lat};
+    if (t >= pts.back().t) return {pts.back().lon, pts.back().lat};
+    size_t lo = 0, hi = pts.size() - 1;
+    while (hi - lo > 1) {
+      size_t mid = (lo + hi) / 2;
+      if (pts[mid].t <= t) lo = mid;
+      else hi = mid;
+    }
+    double f = static_cast<double>(t - pts[lo].t) /
+               static_cast<double>(pts[hi].t - pts[lo].t);
+    return {pts[lo].lon + f * (pts[hi].lon - pts[lo].lon),
+            pts[lo].lat + f * (pts[hi].lat - pts[lo].lat)};
+  };
+
+  for (size_t i = 0; i < plan_waypoints.size(); ++i) {
+    LonLat at = position_at(etas[i]);
+    // Leg direction: inbound leg for interior/final waypoints, outbound
+    // for the first.
+    const LonLat& a = plan_waypoints[i == 0 ? 0 : i - 1];
+    const LonLat& b = plan_waypoints[i == 0 ? 1 : i];
+    // Signed cross-track in the local frame of the waypoint: positive to
+    // the right of the leg course.
+    geom::Enu p = geom::ToEnu(b, at);
+    double course = geom::DegToRad(geom::BearingDeg(a, b));
+    // Unit vector to the right of the course: (cos, -sin) in ENU of
+    // (east, north) when course measured from north clockwise.
+    double right_e = std::cos(course);
+    double right_n = -std::sin(course);
+    out.push_back(p.x * right_e + p.y * right_n);
+  }
+  return out;
+}
+
+int HybridTpModel::QuantizeDeviation(double d) const {
+  return Quantize(d, -options_.deviation_range_m, options_.deviation_range_m,
+                  options_.deviation_buckets);
+}
+
+std::vector<double> HybridTpModel::SymbolValues() const {
+  std::vector<double> values(options_.deviation_buckets);
+  for (int k = 0; k < options_.deviation_buckets; ++k) {
+    values[k] = BucketCenter(k, -options_.deviation_range_m,
+                             options_.deviation_range_m,
+                             options_.deviation_buckets);
+  }
+  return values;
+}
+
+HybridTpModel HybridTpModel::Train(const std::vector<TpExample>& examples,
+                                   const HybridTpOptions& options) {
+  HybridTpModel model;
+  model.options_ = options;
+  if (examples.empty()) return model;
+
+  // Stage 1: SemT-OPTICS clustering by enriched ERP distance.
+  DistanceFn dist = [&](size_t i, size_t j) {
+    return ErpDistance(examples[i].reference, examples[j].reference,
+                       options.erp);
+  };
+  OpticsResult optics = RunOptics(examples.size(), dist, options.optics);
+  model.labels_ = ExtractClusters(optics, options.reachability_threshold,
+                                  options.min_cluster_size);
+  int clusters = ClusterCount(model.labels_);
+
+  // Degenerate case: everything noise -> single cluster of all examples.
+  if (clusters == 0) {
+    model.labels_.assign(examples.size(), 0);
+    clusters = 1;
+  }
+
+  // Stage 2: one HMM per cluster over quantized deviation sequences,
+  // keyed by the medoid's reference points.
+  Rng rng(options.seed);
+  for (int c = 0; c < clusters; ++c) {
+    ClusterModel cm;
+    size_t medoid = ClusterMedoid(model.labels_, c, dist);
+    if (medoid == std::numeric_limits<size_t>::max()) continue;
+    cm.medoid_reference = examples[medoid].reference;
+
+    std::vector<std::vector<int>> sequences;
+    for (size_t i = 0; i < examples.size(); ++i) {
+      if (model.labels_[i] != c) continue;
+      std::vector<int> seq;
+      seq.reserve(examples[i].deviations_m.size());
+      for (double d : examples[i].deviations_m) {
+        seq.push_back(model.QuantizeDeviation(d));
+      }
+      sequences.push_back(std::move(seq));
+      ++cm.members;
+    }
+    cm.hmm = Hmm(options.hmm_states, options.deviation_buckets);
+    cm.hmm.InitRandom(rng);
+    cm.hmm.Train(sequences, options.hmm_iterations);
+    model.clusters_.push_back(std::move(cm));
+  }
+  return model;
+}
+
+int HybridTpModel::AssignCluster(const EnrichedSequence& reference) const {
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    double d =
+        ErpDistance(reference, clusters_[c].medoid_reference, options_.erp);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<double> HybridTpModel::PredictDeviations(
+    const EnrichedSequence& reference,
+    const std::vector<double>& observed_prefix) const {
+  std::vector<double> out(reference.size(), 0.0);
+  int c = AssignCluster(reference);
+  if (c < 0) return out;
+  const Hmm& hmm = clusters_[c].hmm;
+  std::vector<double> symbol_values = SymbolValues();
+
+  std::vector<int> prefix;
+  prefix.reserve(observed_prefix.size());
+  for (double d : observed_prefix) prefix.push_back(QuantizeDeviation(d));
+
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (i < observed_prefix.size()) {
+      out[i] = observed_prefix[i];  // already observed
+      continue;
+    }
+    int ahead = static_cast<int>(i) - static_cast<int>(observed_prefix.size()) + 1;
+    out[i] = hmm.PredictExpectedValue(prefix, ahead, symbol_values);
+  }
+  return out;
+}
+
+size_t HybridTpModel::TotalParameters() const {
+  size_t total = 0;
+  for (const ClusterModel& c : clusters_) total += c.hmm.ParameterCount();
+  return total;
+}
+
+size_t HybridTpModel::ClusterSize(int c) const {
+  if (c < 0 || c >= static_cast<int>(clusters_.size())) return 0;
+  return clusters_[c].members;
+}
+
+int BlindHmmTp::CellOf(double lon, double lat) const {
+  int k = options_.grid_side;
+  double fx = (lon - options_.extent.min_lon) / options_.extent.width() * k;
+  double fy = (lat - options_.extent.min_lat) / options_.extent.height() * k;
+  int cx = std::clamp(static_cast<int>(fx), 0, k - 1);
+  int cy = std::clamp(static_cast<int>(fy), 0, k - 1);
+  return cy * k + cx;
+}
+
+LonLat BlindHmmTp::CellCenter(int cell) const {
+  int k = options_.grid_side;
+  int cx = cell % k;
+  int cy = cell / k;
+  double w = options_.extent.width() / k;
+  double h = options_.extent.height() / k;
+  return {options_.extent.min_lon + (cx + 0.5) * w,
+          options_.extent.min_lat + (cy + 0.5) * h};
+}
+
+BlindHmmTp BlindHmmTp::Train(const std::vector<Trajectory>& trajectories,
+                             const Options& options) {
+  BlindHmmTp model(options);
+  std::vector<std::vector<int>> sequences;
+  sequences.reserve(trajectories.size());
+  for (const Trajectory& traj : trajectories) {
+    std::vector<int> seq;
+    seq.reserve(traj.points.size());
+    for (const Position& p : traj.points) {
+      seq.push_back(model.CellOf(p.lon, p.lat));
+    }
+    model.training_observations_ += seq.size();
+    sequences.push_back(std::move(seq));
+  }
+  model.hmm_ = Hmm(options.hmm_states,
+                   static_cast<size_t>(options.grid_side) *
+                       options.grid_side);
+  Rng rng(options.seed);
+  model.hmm_.InitRandom(rng);
+  model.hmm_.Train(sequences, options.hmm_iterations);
+  return model;
+}
+
+LonLat BlindHmmTp::PredictPosition(const Trajectory& prefix,
+                                   int ahead) const {
+  std::vector<int> seq;
+  seq.reserve(prefix.points.size());
+  for (const Position& p : prefix.points) {
+    seq.push_back(CellOf(p.lon, p.lat));
+  }
+  std::vector<double> dist = hmm_.PredictObservation(seq, ahead);
+  double lon = 0.0, lat = 0.0, mass = 0.0;
+  for (size_t cell = 0; cell < dist.size(); ++cell) {
+    if (dist[cell] <= 0.0) continue;
+    LonLat c = CellCenter(static_cast<int>(cell));
+    lon += dist[cell] * c.lon;
+    lat += dist[cell] * c.lat;
+    mass += dist[cell];
+  }
+  if (mass > 0) {
+    lon /= mass;
+    lat /= mass;
+  }
+  return {lon, lat};
+}
+
+}  // namespace tcmf::prediction

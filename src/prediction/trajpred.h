@@ -1,0 +1,128 @@
+#ifndef TCMF_PREDICTION_TRAJPRED_H_
+#define TCMF_PREDICTION_TRAJPRED_H_
+
+#include <vector>
+
+#include "common/position.h"
+#include "geom/geometry.h"
+#include "prediction/clustering.h"
+#include "prediction/erp.h"
+#include "prediction/hmm.h"
+
+namespace tcmf::prediction {
+
+/// One training example for the TP task: the enriched reference points of
+/// the intended trajectory (flight-plan waypoints with weather/aircraft
+/// enrichment) and the observed signed cross-track deviation (meters) of
+/// the actual flight at each reference point.
+struct TpExample {
+  EnrichedSequence reference;
+  std::vector<double> deviations_m;  ///< parallel to reference
+};
+
+/// Signed cross-track deviation (meters) of `actual` at each reference
+/// waypoint: the actual position at the waypoint's ETA (time-interpolated)
+/// projected against the inbound plan leg. Positive = right of course.
+std::vector<double> WaypointDeviations(
+    const std::vector<geom::LonLat>& plan_waypoints,
+    const std::vector<TimeMs>& etas, const Trajectory& actual);
+
+/// Hyper-parameters of the Hybrid Clustering/HMM TP model (Section 5).
+struct HybridTpOptions {
+  /// Deviations are quantized into this many symbols over
+  /// [-deviation_range_m, +deviation_range_m].
+  int deviation_buckets = 15;
+  double deviation_range_m = 6000.0;
+  size_t hmm_states = 4;
+  int hmm_iterations = 30;
+  ErpOptions erp;
+  OpticsOptions optics{/*eps=*/1e9, /*min_pts=*/3};
+  double reachability_threshold = 1.5;
+  size_t min_cluster_size = 3;
+  uint64_t seed = 5;
+};
+
+/// The Hybrid Clustering/HMM trajectory predictor: SemT-OPTICS clusters
+/// training flights by the ERP distance over enriched reference points;
+/// one compact HMM per cluster models the per-waypoint deviation process,
+/// trained on the cluster members and keyed by the cluster medoid.
+class HybridTpModel {
+ public:
+  static HybridTpModel Train(const std::vector<TpExample>& examples,
+                             const HybridTpOptions& options);
+
+  /// Index of the cluster whose medoid reference is ERP-nearest.
+  /// Returns -1 when the model is empty.
+  int AssignCluster(const EnrichedSequence& reference) const;
+
+  /// Predicted per-waypoint deviations for a flight with the given
+  /// enriched reference points. `observed_prefix` (possibly empty) holds
+  /// already-observed deviations at the first waypoints and conditions
+  /// the HMM belief.
+  std::vector<double> PredictDeviations(
+      const EnrichedSequence& reference,
+      const std::vector<double>& observed_prefix) const;
+
+  int cluster_count() const { return static_cast<int>(clusters_.size()); }
+  /// Training-set cluster labels (noise = -1), parallel to `examples`.
+  const std::vector<int>& training_labels() const { return labels_; }
+  /// Total model parameters across all cluster HMMs (resource metric).
+  size_t TotalParameters() const;
+
+  /// Members of cluster `c` in the training set.
+  size_t ClusterSize(int c) const;
+
+ private:
+  struct ClusterModel {
+    EnrichedSequence medoid_reference;
+    Hmm hmm{1, 1};
+    size_t members = 0;
+  };
+
+  int QuantizeDeviation(double d) const;
+  std::vector<double> SymbolValues() const;
+
+  HybridTpOptions options_;
+  std::vector<ClusterModel> clusters_;
+  std::vector<int> labels_;
+};
+
+/// The "blind" HMM baseline: a single HMM over coarse spatial grid cells
+/// of full-rate raw positions, with no clustering, reference points or
+/// enrichment ([8][9]-style). Predicts future positions as the expected
+/// cell centroid. Orders of magnitude more parameters and training data
+/// for far worse accuracy — the comparison of Section 5.
+class BlindHmmTp {
+ public:
+  struct Options {
+    geom::BBox extent;
+    int grid_side = 24;  ///< symbols = grid_side^2
+    size_t hmm_states = 8;
+    int hmm_iterations = 10;
+    uint64_t seed = 9;
+  };
+
+  static BlindHmmTp Train(const std::vector<Trajectory>& trajectories,
+                          const Options& options);
+
+  /// Expected position `ahead` steps after the end of `prefix`.
+  geom::LonLat PredictPosition(const Trajectory& prefix, int ahead) const;
+
+  size_t TotalParameters() const { return hmm_.ParameterCount(); }
+  size_t training_observations() const { return training_observations_; }
+
+  /// Symbol for a position (exposed for evaluation).
+  int CellOf(double lon, double lat) const;
+  geom::LonLat CellCenter(int cell) const;
+
+ private:
+  BlindHmmTp(const Options& options) : options_(options), hmm_(1, 1) {}
+
+  Options options_;
+  Hmm hmm_;
+  size_t training_observations_ = 0;
+};
+
+}  // namespace tcmf::prediction
+
+#endif  // TCMF_PREDICTION_TRAJPRED_H_

@@ -1,0 +1,72 @@
+#include "rdf/bgp.h"
+
+namespace tcmf::rdf {
+
+namespace {
+
+// Resolves one pattern slot under the current binding: returns the bound
+// id, 0 for a free variable (wildcard), or kUnsatisfiable when a constant
+// term was never interned (no triple can match).
+constexpr uint64_t kUnsatisfiable = ~0ull;
+
+uint64_t ResolveSlot(const Graph& graph, const PatternTerm& slot,
+                     const Binding& binding) {
+  if (slot.is_var) {
+    auto it = binding.find(slot.var);
+    return it == binding.end() ? 0 : it->second;
+  }
+  uint64_t id = graph.dictionary().Lookup(slot.term);
+  return id == Dictionary::kNoId ? kUnsatisfiable : id;
+}
+
+void Recurse(const Graph& graph, const std::vector<TriplePattern>& patterns,
+             size_t depth, Binding& binding, std::vector<Binding>* out) {
+  if (depth == patterns.size()) {
+    out->push_back(binding);
+    return;
+  }
+  const TriplePattern& pat = patterns[depth];
+  uint64_t s = ResolveSlot(graph, pat.s, binding);
+  uint64_t p = ResolveSlot(graph, pat.p, binding);
+  uint64_t o = ResolveSlot(graph, pat.o, binding);
+  if (s == kUnsatisfiable || p == kUnsatisfiable || o == kUnsatisfiable) {
+    return;
+  }
+  graph.Match(s, p, o, [&](const EncodedTriple& t) {
+    // Bind free variables; remember which we added to undo after descent.
+    std::vector<std::string> added;
+    auto bind = [&](const PatternTerm& slot, uint64_t was, uint64_t value) {
+      if (slot.is_var && was == 0) {
+        auto [it, inserted] = binding.try_emplace(slot.var, value);
+        if (inserted) {
+          added.push_back(slot.var);
+        } else if (it->second != value) {
+          return false;  // same variable bound twice inconsistently
+        }
+      }
+      return true;
+    };
+    bool ok = bind(pat.s, s, t.s) && bind(pat.p, p, t.p) && bind(pat.o, o, t.o);
+    if (ok) Recurse(graph, patterns, depth + 1, binding, out);
+    for (const std::string& v : added) binding.erase(v);
+  });
+}
+
+}  // namespace
+
+std::vector<Binding> EvaluateBgp(const Graph& graph,
+                                 const std::vector<TriplePattern>& patterns) {
+  std::vector<Binding> out;
+  Binding binding;
+  Recurse(graph, patterns, 0, binding, &out);
+  return out;
+}
+
+std::optional<Term> BoundTerm(const Graph& graph, const Binding& binding,
+                              const std::string& var) {
+  auto it = binding.find(var);
+  if (it == binding.end()) return std::nullopt;
+  return graph.dictionary().Decode(it->second);
+}
+
+}  // namespace tcmf::rdf

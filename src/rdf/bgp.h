@@ -1,0 +1,52 @@
+#ifndef TCMF_RDF_BGP_H_
+#define TCMF_RDF_BGP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace tcmf::rdf {
+
+/// One slot of a triple pattern: either a variable ("?x") or a constant
+/// term. The SPARQL-subset query surface of the real-time knowledge graph.
+struct PatternTerm {
+  bool is_var = false;
+  std::string var;  ///< variable name without '?'
+  Term term;        ///< constant when !is_var
+
+  static PatternTerm Var(std::string name) {
+    PatternTerm p;
+    p.is_var = true;
+    p.var = std::move(name);
+    return p;
+  }
+  static PatternTerm Const(Term t) {
+    PatternTerm p;
+    p.term = std::move(t);
+    return p;
+  }
+};
+
+struct TriplePattern {
+  PatternTerm s, p, o;
+};
+
+/// A solution row: variable name -> bound term id (decode via the graph's
+/// dictionary).
+using Binding = std::unordered_map<std::string, uint64_t>;
+
+/// Evaluates a basic graph pattern by index-nested-loop joins in pattern
+/// order, backtracking over bindings. Suitable for the star and path
+/// queries the paper's workflows use.
+std::vector<Binding> EvaluateBgp(const Graph& graph,
+                                 const std::vector<TriplePattern>& patterns);
+
+/// Decodes one bound variable from a binding; nullopt when unbound.
+std::optional<Term> BoundTerm(const Graph& graph, const Binding& binding,
+                              const std::string& var);
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_BGP_H_

@@ -1,0 +1,34 @@
+#include "rdf/dictionary.h"
+
+namespace tcmf::rdf {
+
+uint64_t Dictionary::Encode(const Term& term) {
+  std::string key = TermKey(term);
+  auto [it, inserted] = ids_.try_emplace(std::move(key), terms_.size() + 1);
+  if (inserted) terms_.push_back(term);
+  return it->second;
+}
+
+uint64_t Dictionary::Lookup(const Term& term) const {
+  auto it = ids_.find(TermKey(term));
+  return it == ids_.end() ? kNoId : it->second;
+}
+
+std::optional<Term> Dictionary::Decode(uint64_t id) const {
+  if (id == kNoId || id > terms_.size()) return std::nullopt;
+  return terms_[id - 1];
+}
+
+EncodedTriple Dictionary::Encode(const Triple& triple) {
+  return {Encode(triple.s), Encode(triple.p), Encode(triple.o)};
+}
+
+std::optional<Triple> Dictionary::Decode(const EncodedTriple& t) const {
+  auto s = Decode(t.s);
+  auto p = Decode(t.p);
+  auto o = Decode(t.o);
+  if (!s || !p || !o) return std::nullopt;
+  return Triple{std::move(*s), std::move(*p), std::move(*o)};
+}
+
+}  // namespace tcmf::rdf

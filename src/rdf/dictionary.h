@@ -1,0 +1,41 @@
+#ifndef TCMF_RDF_DICTIONARY_H_
+#define TCMF_RDF_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace tcmf::rdf {
+
+/// Bidirectional term <-> id dictionary (the in-memory "REDIS" side of the
+/// paper's store, Section 4.2.5). Ids are dense and start at 1; id 0 is
+/// reserved as "no term" / wildcard.
+class Dictionary {
+ public:
+  static constexpr uint64_t kNoId = 0;
+
+  /// Returns the id of `term`, interning it on first sight.
+  uint64_t Encode(const Term& term);
+
+  /// Id of `term` or kNoId when never interned (does not intern).
+  uint64_t Lookup(const Term& term) const;
+
+  /// Decoded term for an id; nullopt for kNoId / unknown ids.
+  std::optional<Term> Decode(uint64_t id) const;
+
+  EncodedTriple Encode(const Triple& triple);
+  std::optional<Triple> Decode(const EncodedTriple& t) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint64_t> ids_;
+  std::vector<Term> terms_;  ///< index = id - 1
+};
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_DICTIONARY_H_

@@ -1,0 +1,131 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace tcmf::rdf {
+
+void Graph::Add(const Triple& triple) { AddEncoded(dict_.Encode(triple)); }
+
+void Graph::AddEncoded(const EncodedTriple& triple) {
+  triples_.push_back(triple);
+  indexes_dirty_ = true;
+}
+
+void Graph::EnsureIndexes() const {
+  if (!indexes_dirty_) return;
+  size_t n = triples_.size();
+  spo_.resize(n);
+  pos_.resize(n);
+  osp_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) spo_[i] = pos_[i] = osp_[i] = i;
+  auto key_spo = [this](uint32_t i) {
+    const EncodedTriple& t = triples_[i];
+    return std::tuple(t.s, t.p, t.o);
+  };
+  auto key_pos = [this](uint32_t i) {
+    const EncodedTriple& t = triples_[i];
+    return std::tuple(t.p, t.o, t.s);
+  };
+  auto key_osp = [this](uint32_t i) {
+    const EncodedTriple& t = triples_[i];
+    return std::tuple(t.o, t.s, t.p);
+  };
+  std::sort(spo_.begin(), spo_.end(),
+            [&](uint32_t a, uint32_t b) { return key_spo(a) < key_spo(b); });
+  std::sort(pos_.begin(), pos_.end(),
+            [&](uint32_t a, uint32_t b) { return key_pos(a) < key_pos(b); });
+  std::sort(osp_.begin(), osp_.end(),
+            [&](uint32_t a, uint32_t b) { return key_osp(a) < key_osp(b); });
+  indexes_dirty_ = false;
+}
+
+namespace {
+
+// Binary-searches the sorted permutation `index` for the range whose
+// primary key equals `key1` (and secondary equals `key2` when nonzero).
+template <typename KeyFn>
+std::pair<size_t, size_t> EqualRange(const std::vector<uint32_t>& index,
+                                     KeyFn key, uint64_t key1,
+                                     uint64_t key2) {
+  auto first = std::partition_point(
+      index.begin(), index.end(), [&](uint32_t i) {
+        auto [a, b, c] = key(i);
+        (void)c;
+        if (a != key1) return a < key1;
+        if (key2 != 0 && b != key2) return b < key2;
+        return false;
+      });
+  auto last = std::partition_point(
+      first, index.end(), [&](uint32_t i) {
+        auto [a, b, c] = key(i);
+        (void)c;
+        if (a != key1) return false;
+        if (key2 != 0 && b != key2) return b <= key2;
+        return true;
+      });
+  return {static_cast<size_t>(first - index.begin()),
+          static_cast<size_t>(last - index.begin())};
+}
+
+}  // namespace
+
+void Graph::Match(uint64_t s, uint64_t p, uint64_t o,
+                  const std::function<void(const EncodedTriple&)>& fn) const {
+  EnsureIndexes();
+  auto emit_if = [&](uint32_t i) {
+    const EncodedTriple& t = triples_[i];
+    if ((s == 0 || t.s == s) && (p == 0 || t.p == p) &&
+        (o == 0 || t.o == o)) {
+      fn(t);
+    }
+  };
+
+  if (s != 0) {
+    auto key = [this](uint32_t i) {
+      const EncodedTriple& t = triples_[i];
+      return std::tuple(t.s, t.p, t.o);
+    };
+    auto [lo, hi] = EqualRange(spo_, key, s, p);
+    for (size_t i = lo; i < hi; ++i) emit_if(spo_[i]);
+  } else if (p != 0) {
+    auto key = [this](uint32_t i) {
+      const EncodedTriple& t = triples_[i];
+      return std::tuple(t.p, t.o, t.s);
+    };
+    auto [lo, hi] = EqualRange(pos_, key, p, o);
+    for (size_t i = lo; i < hi; ++i) emit_if(pos_[i]);
+  } else if (o != 0) {
+    auto key = [this](uint32_t i) {
+      const EncodedTriple& t = triples_[i];
+      return std::tuple(t.o, t.s, t.p);
+    };
+    auto [lo, hi] = EqualRange(osp_, key, o, 0);
+    for (size_t i = lo; i < hi; ++i) emit_if(osp_[i]);
+  } else {
+    for (const EncodedTriple& t : triples_) fn(t);
+  }
+}
+
+std::vector<Triple> Graph::MatchDecoded(const Term* s, const Term* p,
+                                        const Term* o) const {
+  uint64_t sid = s ? dict_.Lookup(*s) : 0;
+  uint64_t pid = p ? dict_.Lookup(*p) : 0;
+  uint64_t oid = o ? dict_.Lookup(*o) : 0;
+  // A bound term that was never interned matches nothing.
+  if ((s && sid == 0) || (p && pid == 0) || (o && oid == 0)) return {};
+  std::vector<Triple> out;
+  Match(sid, pid, oid, [&](const EncodedTriple& t) {
+    auto decoded = dict_.Decode(t);
+    if (decoded) out.push_back(std::move(*decoded));
+  });
+  return out;
+}
+
+size_t Graph::Count(uint64_t s, uint64_t p, uint64_t o) const {
+  size_t n = 0;
+  Match(s, p, o, [&](const EncodedTriple&) { ++n; });
+  return n;
+}
+
+}  // namespace tcmf::rdf

@@ -1,0 +1,59 @@
+#ifndef TCMF_RDF_GRAPH_H_
+#define TCMF_RDF_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace tcmf::rdf {
+
+/// In-memory triple store with lazily-built SPO/POS/OSP sorted indexes.
+/// This is the knowledge-graph working set of the real-time layer; the
+/// batch store with layouts and spatio-temporal pruning lives in
+/// src/store.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a decoded triple (interning its terms).
+  void Add(const Triple& triple);
+  /// Adds a pre-encoded triple (ids must come from dictionary()).
+  void AddEncoded(const EncodedTriple& triple);
+
+  size_t size() const { return triples_.size(); }
+
+  Dictionary& dictionary() { return dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Matches a pattern where Dictionary::kNoId slots are wildcards; calls
+  /// `fn` for every matching encoded triple. Uses whichever index fits the
+  /// bound slots.
+  void Match(uint64_t s, uint64_t p, uint64_t o,
+             const std::function<void(const EncodedTriple&)>& fn) const;
+
+  /// Convenience: materializes matches as decoded triples.
+  std::vector<Triple> MatchDecoded(const Term* s, const Term* p,
+                                   const Term* o) const;
+
+  /// Number of triples matching a pattern.
+  size_t Count(uint64_t s, uint64_t p, uint64_t o) const;
+
+  const std::vector<EncodedTriple>& triples() const { return triples_; }
+
+ private:
+  enum class Order { kSpo, kPos, kOsp };
+
+  void EnsureIndexes() const;
+
+  Dictionary dict_;
+  std::vector<EncodedTriple> triples_;
+  // Sorted permutation indexes, rebuilt on demand after inserts.
+  mutable std::vector<uint32_t> spo_, pos_, osp_;
+  mutable bool indexes_dirty_ = true;
+};
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_GRAPH_H_

@@ -1,0 +1,35 @@
+#ifndef TCMF_RDF_NTRIPLES_H_
+#define TCMF_RDF_NTRIPLES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace tcmf::rdf {
+
+/// N-Triples interchange (the flat-file RDF format the batch layer
+/// exchanges with external tooling). Escaping covers the characters the
+/// library emits: backslash, quote, newline, tab, carriage return.
+
+/// Serializes one term ("<iri>", "\"lit\"^^<dt>", "_:b") with escaping.
+std::string ToNTriplesTerm(const Term& term);
+
+/// One "s p o ." line (no trailing newline).
+std::string ToNTriplesLine(const Triple& triple);
+
+/// Parses one N-Triples line; comments (#...) and blank lines yield
+/// kNotFound (callers skip those).
+Result<Triple> ParseNTriplesLine(const std::string& line);
+
+/// Writes the whole graph to `path`.
+Status WriteNTriples(const Graph& graph, const std::string& path);
+
+/// Streams triples from `path` into `graph`; returns the number loaded.
+/// Malformed lines abort with ParseError (strict mode).
+Result<size_t> ReadNTriples(const std::string& path, Graph* graph);
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_NTRIPLES_H_

@@ -1,0 +1,246 @@
+#include "rdf/rdfgen.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "rdf/vocab.h"
+
+namespace tcmf::rdf {
+
+void VariableVector::Define(std::string name, VariableFn fn) {
+  for (auto& [n, f] : vars_) {
+    if (n == name) {
+      f = std::move(fn);
+      return;
+    }
+  }
+  vars_.emplace_back(std::move(name), std::move(fn));
+}
+
+void VariableVector::DefineFieldLiteral(const std::string& name,
+                                        const std::string& field) {
+  Define(name, [field](const stream::Record& r) -> std::optional<Term> {
+    if (auto s = r.GetString(field)) return Literal(*s);
+    if (auto d = r.GetNumeric(field)) return DoubleLiteral(*d);
+    return std::nullopt;
+  });
+}
+
+void VariableVector::DefineFieldDouble(const std::string& name,
+                                       const std::string& field) {
+  Define(name, [field](const stream::Record& r) -> std::optional<Term> {
+    if (auto d = r.GetNumeric(field)) return DoubleLiteral(*d);
+    return std::nullopt;
+  });
+}
+
+void VariableVector::DefineFieldInt(const std::string& name,
+                                    const std::string& field) {
+  Define(name, [field](const stream::Record& r) -> std::optional<Term> {
+    if (auto i = r.GetInt(field)) return IntLiteral(*i);
+    return std::nullopt;
+  });
+}
+
+void VariableVector::DefineFieldIri(const std::string& name,
+                                    const std::string& field,
+                                    const std::string& prefix) {
+  Define(name,
+         [field, prefix](const stream::Record& r) -> std::optional<Term> {
+           if (auto i = r.GetInt(field)) {
+             return Iri(prefix + std::to_string(*i));
+           }
+           if (auto s = r.GetString(field)) return Iri(prefix + *s);
+           return std::nullopt;
+         });
+}
+
+std::optional<Term> VariableVector::Resolve(
+    const std::string& name, const stream::Record& record) const {
+  for (const auto& [n, fn] : vars_) {
+    if (n == name) return fn(record);
+  }
+  return std::nullopt;
+}
+
+bool VariableVector::Has(const std::string& name) const {
+  for (const auto& [n, fn] : vars_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+void GraphTemplate::Add(TemplateSlot s, TemplateSlot p, TemplateSlot o) {
+  patterns_.push_back({std::move(s), std::move(p), std::move(o)});
+}
+
+std::vector<Triple> GraphTemplate::Generate(const stream::Record& record,
+                                            const VariableVector& vars) const {
+  std::vector<Triple> out;
+  out.reserve(patterns_.size());
+  for (const Pattern& pat : patterns_) {
+    auto resolve = [&](const TemplateSlot& slot) -> std::optional<Term> {
+      if (!slot.is_var) return slot.constant;
+      return vars.Resolve(slot.var, record);
+    };
+    std::optional<Term> s = resolve(pat.s);
+    std::optional<Term> p = resolve(pat.p);
+    std::optional<Term> o = resolve(pat.o);
+    if (s && p && o) {
+      out.push_back(Triple{std::move(*s), std::move(*p), std::move(*o)});
+    }
+  }
+  return out;
+}
+
+std::optional<stream::Record> VectorConnector::Next() {
+  if (pos_ >= records_.size()) return std::nullopt;
+  return records_[pos_++];
+}
+
+Result<std::unique_ptr<CsvConnector>> CsvConnector::Open(
+    const std::string& path) {
+  auto connector = std::unique_ptr<CsvConnector>(new CsvConnector());
+  TCMF_RETURN_IF_ERROR(connector->reader_.Open(path, /*has_header=*/true));
+  return connector;
+}
+
+std::optional<stream::Record> CsvConnector::Next() {
+  std::vector<std::string> row;
+  if (!reader_.Next(&row)) return std::nullopt;
+  stream::Record rec;
+  const auto& header = reader_.header();
+  for (size_t i = 0; i < row.size() && i < header.size(); ++i) {
+    // Numeric-looking fields become numbers; everything else stays string.
+    Result<double> d = ParseDouble(row[i]);
+    Result<long long> n = ParseInt(row[i]);
+    if (n.ok()) {
+      rec.Set(header[i], static_cast<int64_t>(n.value()));
+    } else if (d.ok()) {
+      rec.Set(header[i], d.value());
+    } else {
+      rec.Set(header[i], row[i]);
+    }
+  }
+  return rec;
+}
+
+std::optional<stream::Record> TransformConnector::Next() {
+  while (true) {
+    std::optional<stream::Record> rec = inner_->Next();
+    if (!rec.has_value()) return std::nullopt;
+    std::optional<stream::Record> transformed = fn_(std::move(*rec));
+    if (transformed.has_value()) return transformed;
+    // Filtered out: pull the next one.
+  }
+}
+
+size_t TripleGenerator::Run(DataConnector& source,
+                            const std::function<void(const Triple&)>& sink) {
+  size_t count = 0;
+  while (std::optional<stream::Record> rec = source.Next()) {
+    for (const Triple& t : template_.Generate(*rec, vars_)) {
+      sink(t);
+      ++triples_;
+    }
+    ++count;
+    ++records_;
+  }
+  return count;
+}
+
+void MakePositionTemplate(const std::string& node_prefix,
+                          GraphTemplate* tmpl, VariableVector* vars) {
+  vars->Define("node", [node_prefix](
+                           const stream::Record& r) -> std::optional<Term> {
+    auto id = r.GetInt("entity_id");
+    auto t = r.GetInt("t");
+    if (!id || !t) return std::nullopt;
+    return Iri(StrFormat("%snode/%lld/%lld", node_prefix.c_str(),
+                         static_cast<long long>(*id),
+                         static_cast<long long>(*t)));
+  });
+  vars->DefineFieldIri("entity", "entity_id",
+                       std::string(vocab::kDatacron) + "obj/");
+  vars->DefineFieldInt("t", "t");
+  vars->DefineFieldDouble("speed", "speed_mps");
+  vars->DefineFieldDouble("heading", "heading_deg");
+  vars->DefineFieldDouble("altitude", "alt_m");
+  vars->Define("wkt", [](const stream::Record& r) -> std::optional<Term> {
+    auto lon = r.GetNumeric("lon");
+    auto lat = r.GetNumeric("lat");
+    if (!lon || !lat) return std::nullopt;
+    return TypedLiteral(StrFormat("POINT (%.6f %.6f)", *lon, *lat),
+                        vocab::kWktLiteral);
+  });
+
+  tmpl->Add(TemplateSlot::Var("node"), TemplateSlot::Const(Iri(vocab::kType)),
+            TemplateSlot::Const(Iri(vocab::kSemanticNode)));
+  tmpl->Add(TemplateSlot::Var("node"),
+            TemplateSlot::Const(Iri(vocab::kOfMovingObject)),
+            TemplateSlot::Var("entity"));
+  tmpl->Add(TemplateSlot::Var("node"),
+            TemplateSlot::Const(Iri(vocab::kHasTimestamp)),
+            TemplateSlot::Var("t"));
+  tmpl->Add(TemplateSlot::Var("node"),
+            TemplateSlot::Const(Iri(vocab::kHasSpeed)),
+            TemplateSlot::Var("speed"));
+  tmpl->Add(TemplateSlot::Var("node"),
+            TemplateSlot::Const(Iri(vocab::kHasHeading)),
+            TemplateSlot::Var("heading"));
+  tmpl->Add(TemplateSlot::Var("node"),
+            TemplateSlot::Const(Iri(vocab::kHasAltitude)),
+            TemplateSlot::Var("altitude"));
+  tmpl->Add(TemplateSlot::Var("node"),
+            TemplateSlot::Const(Iri(vocab::kAsWKT)),
+            TemplateSlot::Var("wkt"));
+}
+
+void MakeWeatherTemplate(const std::string& node_prefix, GraphTemplate* tmpl,
+                         VariableVector* vars) {
+  vars->Define("cell", [node_prefix](
+                           const stream::Record& r) -> std::optional<Term> {
+    auto t = r.GetInt("t");
+    auto lon = r.GetNumeric("lon");
+    auto lat = r.GetNumeric("lat");
+    if (!t || !lon || !lat) return std::nullopt;
+    return Iri(StrFormat("%sweather/%lld/%.3f/%.3f", node_prefix.c_str(),
+                         static_cast<long long>(*t), *lon, *lat));
+  });
+  vars->DefineFieldInt("t", "t");
+  vars->Define("wind", [](const stream::Record& r) -> std::optional<Term> {
+    auto e = r.GetNumeric("wind_east_mps");
+    auto n = r.GetNumeric("wind_north_mps");
+    if (!e || !n) return std::nullopt;
+    return DoubleLiteral(std::hypot(*e, *n));
+  });
+  vars->DefineFieldDouble("wave", "wave_height_m");
+  vars->DefineFieldDouble("severity", "severity");
+  vars->Define("wkt", [](const stream::Record& r) -> std::optional<Term> {
+    auto lon = r.GetNumeric("lon");
+    auto lat = r.GetNumeric("lat");
+    if (!lon || !lat) return std::nullopt;
+    return TypedLiteral(StrFormat("POINT (%.6f %.6f)", *lon, *lat),
+                        vocab::kWktLiteral);
+  });
+
+  tmpl->Add(TemplateSlot::Var("cell"), TemplateSlot::Const(Iri(vocab::kType)),
+            TemplateSlot::Const(Iri(vocab::kWeatherCondition)));
+  tmpl->Add(TemplateSlot::Var("cell"),
+            TemplateSlot::Const(Iri(vocab::kHasTimestamp)),
+            TemplateSlot::Var("t"));
+  tmpl->Add(TemplateSlot::Var("cell"),
+            TemplateSlot::Const(Iri(vocab::kHasWindSpeed)),
+            TemplateSlot::Var("wind"));
+  tmpl->Add(TemplateSlot::Var("cell"),
+            TemplateSlot::Const(Iri(vocab::kHasWaveHeight)),
+            TemplateSlot::Var("wave"));
+  tmpl->Add(TemplateSlot::Var("cell"),
+            TemplateSlot::Const(Iri(vocab::kHasSeverity)),
+            TemplateSlot::Var("severity"));
+  tmpl->Add(TemplateSlot::Var("cell"),
+            TemplateSlot::Const(Iri(vocab::kAsWKT)),
+            TemplateSlot::Var("wkt"));
+}
+
+}  // namespace tcmf::rdf

@@ -1,0 +1,186 @@
+#ifndef TCMF_RDF_RDFGEN_H_
+#define TCMF_RDF_RDFGEN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "rdf/term.h"
+#include "stream/record.h"
+
+namespace tcmf::rdf {
+
+/// The generic RDF generation framework of Section 4.2.3: a *data
+/// connector* pulls records from a source (applying cleaning/derivation),
+/// and a *triple generator* converts each record into triples according to
+/// a *graph template* whose slots reference a *variable vector*.
+
+/// Produces one value (term) from a record; returning nullopt suppresses
+/// every pattern referencing the variable for that record.
+using VariableFn =
+    std::function<std::optional<Term>(const stream::Record&)>;
+
+/// Named derived variables: lets graph templates refer both to datasource
+/// fields and to values generated during conversion (IRI minting, unit
+/// conversions, WKT extraction...).
+class VariableVector {
+ public:
+  /// Registers a derived variable.
+  void Define(std::string name, VariableFn fn);
+
+  /// Convenience: variable bound to a record field rendered as a plain or
+  /// typed literal.
+  void DefineFieldLiteral(const std::string& name, const std::string& field);
+  void DefineFieldDouble(const std::string& name, const std::string& field);
+  void DefineFieldInt(const std::string& name, const std::string& field);
+  /// Variable bound to an IRI minted as prefix + field value.
+  void DefineFieldIri(const std::string& name, const std::string& field,
+                      const std::string& prefix);
+
+  /// Resolves a variable against a record; nullopt when undefined or the
+  /// variable function abstains.
+  std::optional<Term> Resolve(const std::string& name,
+                              const stream::Record& record) const;
+
+  bool Has(const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, VariableFn>> vars_;
+};
+
+/// One slot of a template pattern: constant term or variable reference.
+struct TemplateSlot {
+  bool is_var = false;
+  std::string var;
+  Term constant;
+
+  static TemplateSlot Var(std::string name) {
+    TemplateSlot s;
+    s.is_var = true;
+    s.var = std::move(name);
+    return s;
+  }
+  static TemplateSlot Const(Term t) {
+    TemplateSlot s;
+    s.constant = std::move(t);
+    return s;
+  }
+};
+
+/// A graph template: triple patterns over constants and variables
+/// (Figure 3 of the paper). Patterns whose variables cannot be resolved
+/// for a record are skipped for that record (open-world generation).
+class GraphTemplate {
+ public:
+  void Add(TemplateSlot s, TemplateSlot p, TemplateSlot o);
+
+  /// Instantiates the template for one record.
+  std::vector<Triple> Generate(const stream::Record& record,
+                               const VariableVector& vars) const;
+
+  size_t pattern_count() const { return patterns_.size(); }
+
+ private:
+  struct Pattern {
+    TemplateSlot s, p, o;
+  };
+  std::vector<Pattern> patterns_;
+};
+
+/// Pulls records from a source, optionally filtering and enriching them
+/// before triple generation — the "data connector" component.
+class DataConnector {
+ public:
+  virtual ~DataConnector() = default;
+
+  /// Next record, or nullopt at end of source.
+  virtual std::optional<stream::Record> Next() = 0;
+};
+
+/// Connector over a pre-materialized record vector (used for streams that
+/// were already ingested, and in tests).
+class VectorConnector : public DataConnector {
+ public:
+  explicit VectorConnector(std::vector<stream::Record> records)
+      : records_(std::move(records)) {}
+
+  std::optional<stream::Record> Next() override;
+
+ private:
+  std::vector<stream::Record> records_;
+  size_t pos_ = 0;
+};
+
+/// Connector over a CSV file with a header row: each row becomes a record
+/// with string fields named by the header; numeric-looking fields are
+/// parsed into numbers.
+class CsvConnector : public DataConnector {
+ public:
+  /// Opens the file; surface errors early.
+  static Result<std::unique_ptr<CsvConnector>> Open(const std::string& path);
+
+  std::optional<stream::Record> Next() override;
+
+ private:
+  CsvConnector() = default;
+  CsvReader reader_;
+};
+
+/// Wraps a connector with a transform (cleaning, value computation,
+/// filtering — return nullopt to drop the record).
+class TransformConnector : public DataConnector {
+ public:
+  TransformConnector(
+      std::unique_ptr<DataConnector> inner,
+      std::function<std::optional<stream::Record>(stream::Record)> fn)
+      : inner_(std::move(inner)), fn_(std::move(fn)) {}
+
+  std::optional<stream::Record> Next() override;
+
+ private:
+  std::unique_ptr<DataConnector> inner_;
+  std::function<std::optional<stream::Record>(stream::Record)> fn_;
+};
+
+/// Drives connector -> template -> sink; the "RDFizer" of Figure 2.
+class TripleGenerator {
+ public:
+  TripleGenerator(GraphTemplate tmpl, VariableVector vars)
+      : template_(std::move(tmpl)), vars_(std::move(vars)) {}
+
+  /// Converts every record from `source`, passing triples to `sink`.
+  /// Returns the number of records processed.
+  size_t Run(DataConnector& source,
+             const std::function<void(const Triple&)>& sink);
+
+  /// Converts a single record.
+  std::vector<Triple> GenerateOne(const stream::Record& record) const {
+    return template_.Generate(record, vars_);
+  }
+
+  size_t records_processed() const { return records_; }
+  size_t triples_generated() const { return triples_; }
+
+ private:
+  GraphTemplate template_;
+  VariableVector vars_;
+  size_t records_ = 0;
+  size_t triples_ = 0;
+};
+
+/// Prebuilt template + variables for surveillance positions (the
+/// datAcron ontology's RawPosition/SemanticNode pattern). `node_prefix`
+/// mints node IRIs; records must carry entity_id/t/lon/lat/speed/heading.
+void MakePositionTemplate(const std::string& node_prefix,
+                          GraphTemplate* tmpl, VariableVector* vars);
+
+/// Prebuilt template + variables for weather grid records.
+void MakeWeatherTemplate(const std::string& node_prefix, GraphTemplate* tmpl,
+                         VariableVector* vars);
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_RDFGEN_H_

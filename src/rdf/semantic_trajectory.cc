@@ -1,0 +1,84 @@
+#include "rdf/semantic_trajectory.h"
+
+#include "common/strings.h"
+#include "rdf/vocab.h"
+
+namespace tcmf::rdf {
+
+namespace {
+
+using synopses::CriticalPoint;
+using synopses::CriticalPointType;
+
+/// A new trajectory part begins after stops and communication gaps: they
+/// delimit behavioural episodes (sail - fish - sail, flight legs...).
+bool StartsNewPart(CriticalPointType type) {
+  return type == CriticalPointType::kStopEnd ||
+         type == CriticalPointType::kGapEnd ||
+         type == CriticalPointType::kTakeoff;
+}
+
+}  // namespace
+
+SemanticTrajectoryStats BuildSemanticTrajectory(
+    const std::string& prefix, uint64_t entity_id,
+    const std::vector<CriticalPoint>& critical_points, Graph* graph) {
+  SemanticTrajectoryStats stats;
+  if (critical_points.empty()) return stats;
+
+  size_t before = graph->size();
+  Term entity =
+      Iri(StrFormat("%sobj/%llu", prefix.c_str(),
+                    static_cast<unsigned long long>(entity_id)));
+  Term trajectory =
+      Iri(StrFormat("%strajectory/%llu", prefix.c_str(),
+                    static_cast<unsigned long long>(entity_id)));
+  graph->Add({trajectory, Iri(vocab::kType), Iri(vocab::kTrajectory)});
+  graph->Add({trajectory, Iri(vocab::kOfMovingObject), entity});
+  ++stats.trajectories;
+
+  size_t part_index = 0;
+  Term part;
+  auto open_part = [&](TimeMs t) {
+    part = Iri(StrFormat("%strajectory/%llu/part/%zu", prefix.c_str(),
+                         static_cast<unsigned long long>(entity_id),
+                         part_index++));
+    graph->Add({part, Iri(vocab::kType), Iri(vocab::kTrajectoryPart)});
+    graph->Add({trajectory, Iri(vocab::kHasPart), part});
+    graph->Add({part, Iri(vocab::kHasTimestamp), IntLiteral(t)});
+    ++stats.parts;
+  };
+  open_part(critical_points.front().pos.t);
+
+  for (const CriticalPoint& cp : critical_points) {
+    if (StartsNewPart(cp.type) && stats.nodes > 0) {
+      open_part(cp.pos.t);
+    }
+    Term node = Iri(StrFormat(
+        "%snode/%llu/%lld", prefix.c_str(),
+        static_cast<unsigned long long>(entity_id),
+        static_cast<long long>(cp.pos.t)));
+    graph->Add({node, Iri(vocab::kType), Iri(vocab::kSemanticNode)});
+    graph->Add({part, Iri(vocab::kHasNode), node});
+    graph->Add({node, Iri(vocab::kHasTimestamp), IntLiteral(cp.pos.t)});
+    graph->Add({node, Iri(vocab::kAsWKT),
+                TypedLiteral(StrFormat("POINT (%.6f %.6f)", cp.pos.lon,
+                                       cp.pos.lat),
+                             vocab::kWktLiteral)});
+    // The event annotation: what happened at this node.
+    Term event = Iri(StrFormat(
+        "%sevent/%llu/%lld/%s", prefix.c_str(),
+        static_cast<unsigned long long>(entity_id),
+        static_cast<long long>(cp.pos.t),
+        synopses::CriticalPointTypeName(cp.type)));
+    graph->Add({event, Iri(vocab::kType), Iri(vocab::kEvent)});
+    graph->Add({event, Iri(vocab::kEventType),
+                Literal(synopses::CriticalPointTypeName(cp.type))});
+    graph->Add({event, Iri(vocab::kOccurs), node});
+    ++stats.nodes;
+  }
+  stats.triples = graph->size() - before;
+  return stats;
+}
+
+}  // namespace tcmf::rdf

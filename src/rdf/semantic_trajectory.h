@@ -1,0 +1,36 @@
+#ifndef TCMF_RDF_SEMANTIC_TRAJECTORY_H_
+#define TCMF_RDF_SEMANTIC_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "synopses/critical_points.h"
+
+namespace tcmf::rdf {
+
+/// Materializes the datAcron ontology's structured-trajectory pattern
+/// (paper Figure 3): a Trajectory is segmented into TrajectoryParts, each
+/// holding a temporally ordered sequence of SemanticNodes; nodes carry
+/// the critical-point event annotations. Segmentation follows the
+/// episodes the synopses reveal: a new part starts at every stop(-end)
+/// and at every communication gap — the "meaningful trajectory segments,
+/// each revealing specific behaviour" of Section 4.1.
+struct SemanticTrajectoryStats {
+  size_t trajectories = 0;
+  size_t parts = 0;
+  size_t nodes = 0;
+  size_t triples = 0;
+};
+
+/// Builds the structured representation for one entity's critical points
+/// (time-ordered) into `graph`. `prefix` mints IRIs
+/// (<prefix>trajectory/<entity>, .../part/<n>, .../node/<t>).
+SemanticTrajectoryStats BuildSemanticTrajectory(
+    const std::string& prefix, uint64_t entity_id,
+    const std::vector<synopses::CriticalPoint>& critical_points,
+    Graph* graph);
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_SEMANTIC_TRAJECTORY_H_

@@ -1,0 +1,390 @@
+#include "rdf/sparql.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace tcmf::rdf {
+
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Minimal tokenizer: IRIs, prefixed names, variables, literals, numbers,
+/// punctuation and keywords.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  /// Next token; empty string at end of input.
+  Result<std::string> Next() {
+    SkipWs();
+    if (pos_ >= text_.size()) return std::string();
+    char c = text_[pos_];
+    if (c == '<') {
+      // '<' starts an IRI only when a '>' closes it before whitespace;
+      // otherwise it is the less-than operator.
+      size_t end = pos_ + 1;
+      while (end < text_.size() &&
+             !std::isspace(static_cast<unsigned char>(text_[end])) &&
+             text_[end] != '>') {
+        ++end;
+      }
+      if (end < text_.size() && text_[end] == '>') {
+        std::string token = text_.substr(pos_, end - pos_ + 1);
+        pos_ = end + 1;
+        return token;
+      }
+      // Fall through to operator handling below.
+    }
+    if (c == '"') {
+      size_t end = pos_ + 1;
+      while (end < text_.size() && text_[end] != '"') {
+        if (text_[end] == '\\') ++end;
+        ++end;
+      }
+      if (end >= text_.size()) {
+        return Status::ParseError("unterminated literal");
+      }
+      // Include a ^^<datatype> suffix if present.
+      size_t stop = end + 1;
+      if (stop + 1 < text_.size() && text_[stop] == '^' &&
+          text_[stop + 1] == '^') {
+        size_t dt_end = text_.find('>', stop);
+        if (dt_end == std::string::npos) {
+          return Status::ParseError("unterminated datatype");
+        }
+        stop = dt_end + 1;
+      }
+      std::string token = text_.substr(pos_, stop - pos_);
+      pos_ = stop;
+      return token;
+    }
+    if (std::string("{}().,*").find(c) != std::string::npos) {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (std::string("<>=!&").find(c) != std::string::npos) {
+      // Comparison / logical operators.
+      size_t end = pos_;
+      while (end < text_.size() &&
+             std::string("<>=!&").find(text_[end]) != std::string::npos) {
+        ++end;
+      }
+      std::string token = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      return token;
+    }
+    // Bare word: variable, prefixed name, keyword or number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            std::string("?_:.-+").find(text_[end]) != std::string::npos)) {
+      ++end;
+    }
+    if (end == pos_) {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "'");
+    }
+    std::string token = text_.substr(pos_, end - pos_);
+    // A trailing '.' on a word is the triple terminator, not part of it
+    // (unless the word is a number like "3.5").
+    while (!token.empty() && token.back() == '.' &&
+           !(token.size() > 1 &&
+             std::isdigit(static_cast<unsigned char>(token[0])) &&
+             ParseDouble(token).ok())) {
+      token.pop_back();
+      --end;
+    }
+    pos_ = end;
+    return token;
+  }
+
+  /// Peeks without consuming.
+  Result<std::string> Peek() {
+    size_t saved = pos_;
+    Result<std::string> token = Next();
+    pos_ = saved;
+    return token;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool IsVariable(const std::string& token) {
+  return token.size() > 1 && token[0] == '?';
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Resolves one pattern-term token against the prefix map.
+Result<PatternTerm> ResolveTerm(
+    const std::string& token,
+    const std::map<std::string, std::string>& prefixes) {
+  if (IsVariable(token)) return PatternTerm::Var(token.substr(1));
+  if (token == "a") return PatternTerm::Const(Iri(kRdfType));
+  if (token.size() >= 2 && token.front() == '<' && token.back() == '>') {
+    return PatternTerm::Const(Iri(token.substr(1, token.size() - 2)));
+  }
+  if (!token.empty() && token.front() == '"') {
+    size_t close = token.find('"', 1);
+    if (close == std::string::npos) {
+      return Status::ParseError("bad literal: " + token);
+    }
+    std::string lexical = token.substr(1, close - 1);
+    if (close + 2 < token.size() && token[close + 1] == '^' &&
+        token[close + 2] == '^') {
+      std::string dt = token.substr(close + 3);
+      if (dt.size() >= 2 && dt.front() == '<' && dt.back() == '>') {
+        dt = dt.substr(1, dt.size() - 2);
+      }
+      return PatternTerm::Const(TypedLiteral(lexical, dt));
+    }
+    return PatternTerm::Const(Literal(lexical));
+  }
+  // Numeric constant: double or integer literal.
+  if (ParseInt(token).ok()) {
+    return PatternTerm::Const(IntLiteral(ParseInt(token).value()));
+  }
+  if (ParseDouble(token).ok()) {
+    return PatternTerm::Const(DoubleLiteral(ParseDouble(token).value()));
+  }
+  // Prefixed name.
+  size_t colon = token.find(':');
+  if (colon != std::string::npos) {
+    std::string prefix = token.substr(0, colon + 1);
+    auto it = prefixes.find(prefix);
+    if (it == prefixes.end()) {
+      return Status::ParseError("unknown prefix: " + prefix);
+    }
+    return PatternTerm::Const(Iri(it->second + token.substr(colon + 1)));
+  }
+  return Status::ParseError("cannot parse term: " + token);
+}
+
+/// Parses "FILTER( cond [&& cond]* )" — the FILTER keyword has already
+/// been consumed. Appends each condition to `out`.
+Status ParseFilter(Lexer& lexer, std::vector<SparqlQuery::Filter>* out) {
+  auto expect = [&](const std::string& want) -> Status {
+    Result<std::string> token = lexer.Next();
+    if (!token.ok()) return token.status();
+    if (token.value() != want) {
+      return Status::ParseError("expected '" + want + "', got '" +
+                                token.value() + "'");
+    }
+    return Status::Ok();
+  };
+  TCMF_RETURN_IF_ERROR(expect("("));
+  while (true) {
+    SparqlQuery::Filter filter;
+    Result<std::string> var = lexer.Next();
+    if (!var.ok()) return var.status();
+    if (!IsVariable(var.value())) {
+      return Status::ParseError("FILTER condition must start with a "
+                                "variable");
+    }
+    filter.var = var.value().substr(1);
+    Result<std::string> op = lexer.Next();
+    if (!op.ok()) return op.status();
+    using Op = SparqlQuery::Filter::Op;
+    if (op.value() == "<") filter.op = Op::kLt;
+    else if (op.value() == "<=") filter.op = Op::kLe;
+    else if (op.value() == ">") filter.op = Op::kGt;
+    else if (op.value() == ">=") filter.op = Op::kGe;
+    else if (op.value() == "=" || op.value() == "==") filter.op = Op::kEq;
+    else if (op.value() == "!=") filter.op = Op::kNe;
+    else return Status::ParseError("unknown operator: " + op.value());
+    Result<std::string> value = lexer.Next();
+    if (!value.ok()) return value.status();
+    Result<double> number = ParseDouble(value.value());
+    if (!number.ok()) {
+      return Status::ParseError("FILTER value must be numeric: " +
+                                value.value());
+    }
+    filter.value = number.value();
+    out->push_back(filter);
+    Result<std::string> next = lexer.Next();
+    if (!next.ok()) return next.status();
+    if (next.value() == ")") return Status::Ok();
+    if (next.value() != "&&") {
+      return Status::ParseError("expected ')' or '&&', got '" +
+                                next.value() + "'");
+    }
+  }
+}
+
+}  // namespace
+
+Result<SparqlQuery> ParseSparql(const std::string& text) {
+  Lexer lexer(text);
+  SparqlQuery query;
+  std::map<std::string, std::string> prefixes;
+
+  // Header: PREFIX* SELECT vars WHERE {
+  while (true) {
+    Result<std::string> token = lexer.Next();
+    if (!token.ok()) return token.status();
+    std::string upper = Upper(token.value());
+    if (upper == "PREFIX") {
+      Result<std::string> name = lexer.Next();
+      Result<std::string> iri = lexer.Next();
+      if (!name.ok()) return name.status();
+      if (!iri.ok()) return iri.status();
+      if (iri.value().size() < 2 || iri.value().front() != '<') {
+        return Status::ParseError("PREFIX needs an IRI");
+      }
+      prefixes[name.value()] =
+          iri.value().substr(1, iri.value().size() - 2);
+      continue;
+    }
+    if (upper == "SELECT") break;
+    return Status::ParseError("expected PREFIX or SELECT, got '" +
+                              token.value() + "'");
+  }
+
+  // Projection.
+  while (true) {
+    Result<std::string> token = lexer.Peek();
+    if (!token.ok()) return token.status();
+    if (Upper(token.value()) == "WHERE" || token.value() == "{") break;
+    Result<std::string> var = lexer.Next();
+    if (!var.ok()) return var.status();
+    if (var.value() == "*") continue;  // SELECT * = empty projection
+    if (!IsVariable(var.value())) {
+      return Status::ParseError("SELECT expects variables, got '" +
+                                var.value() + "'");
+    }
+    query.select.push_back(var.value().substr(1));
+  }
+  {
+    Result<std::string> token = lexer.Next();
+    if (!token.ok()) return token.status();
+    if (Upper(token.value()) == "WHERE") {
+      token = lexer.Next();
+      if (!token.ok()) return token.status();
+    }
+    if (token.value() != "{") {
+      return Status::ParseError("expected '{'");
+    }
+  }
+
+  // Body: triple patterns and FILTERs until '}'.
+  while (true) {
+    Result<std::string> token = lexer.Next();
+    if (!token.ok()) return token.status();
+    if (token.value() == "}") break;
+    if (token.value().empty()) {
+      return Status::ParseError("unexpected end of query (missing '}')");
+    }
+    if (token.value() == ".") continue;
+    if (Upper(token.value()) == "FILTER") {
+      TCMF_RETURN_IF_ERROR(ParseFilter(lexer, &query.filters));
+      continue;
+    }
+    // A triple pattern: subject predicate object.
+    Result<PatternTerm> s = ResolveTerm(token.value(), prefixes);
+    if (!s.ok()) return s.status();
+    Result<std::string> p_token = lexer.Next();
+    if (!p_token.ok()) return p_token.status();
+    Result<PatternTerm> p = ResolveTerm(p_token.value(), prefixes);
+    if (!p.ok()) return p.status();
+    Result<std::string> o_token = lexer.Next();
+    if (!o_token.ok()) return o_token.status();
+    Result<PatternTerm> o = ResolveTerm(o_token.value(), prefixes);
+    if (!o.ok()) return o.status();
+    query.patterns.push_back({s.value(), p.value(), o.value()});
+  }
+  if (query.patterns.empty()) {
+    return Status::ParseError("empty graph pattern");
+  }
+  return query;
+}
+
+SelectResult EvaluateSparql(const Graph& graph, const SparqlQuery& query) {
+  SelectResult out;
+  std::vector<Binding> solutions = EvaluateBgp(graph, query.patterns);
+
+  // Projection: explicit SELECT list or all variables in pattern order.
+  if (!query.select.empty()) {
+    out.vars = query.select;
+  } else {
+    std::set<std::string> seen;
+    for (const TriplePattern& pat : query.patterns) {
+      for (const PatternTerm* term : {&pat.s, &pat.p, &pat.o}) {
+        if (term->is_var && seen.insert(term->var).second) {
+          out.vars.push_back(term->var);
+        }
+      }
+    }
+  }
+
+  using Op = SparqlQuery::Filter::Op;
+  for (const Binding& binding : solutions) {
+    bool keep = true;
+    for (const SparqlQuery::Filter& filter : query.filters) {
+      std::optional<Term> term = BoundTerm(graph, binding, filter.var);
+      if (!term || term->kind != Term::Kind::kLiteral) {
+        keep = false;
+        break;
+      }
+      Result<double> value = ParseDouble(term->lexical);
+      if (!value.ok()) {
+        keep = false;
+        break;
+      }
+      double v = value.value();
+      switch (filter.op) {
+        case Op::kLt: keep = v < filter.value; break;
+        case Op::kLe: keep = v <= filter.value; break;
+        case Op::kGt: keep = v > filter.value; break;
+        case Op::kGe: keep = v >= filter.value; break;
+        case Op::kEq: keep = v == filter.value; break;
+        case Op::kNe: keep = v != filter.value; break;
+      }
+      if (!keep) break;
+    }
+    if (!keep) continue;
+    std::vector<Term> row;
+    row.reserve(out.vars.size());
+    bool complete = true;
+    for (const std::string& var : out.vars) {
+      std::optional<Term> term = BoundTerm(graph, binding, var);
+      if (!term) {
+        complete = false;
+        break;
+      }
+      row.push_back(std::move(*term));
+    }
+    if (complete) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<SelectResult> RunSparql(const Graph& graph, const std::string& text) {
+  Result<SparqlQuery> query = ParseSparql(text);
+  if (!query.ok()) return query.status();
+  return EvaluateSparql(graph, query.value());
+}
+
+}  // namespace tcmf::rdf

@@ -1,0 +1,62 @@
+#ifndef TCMF_RDF_SPARQL_H_
+#define TCMF_RDF_SPARQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/bgp.h"
+#include "rdf/graph.h"
+
+namespace tcmf::rdf {
+
+/// A SPARQL subset sufficient for the paper's workflows ("anyone who can
+/// write simple SPARQL queries", Section 4.2.3): SELECT over one basic
+/// graph pattern with numeric FILTERs.
+///
+///   PREFIX dc: <http://www.datacron-project.eu/datAcron#>
+///   SELECT ?n ?v
+///   WHERE {
+///     ?n a dc:SemanticNode .
+///     ?n dc:hasSpeed ?v .
+///     FILTER(?v >= 3.0)
+///     FILTER(?v < 10)
+///   }
+///
+/// Supported: PREFIX declarations; `a` for rdf:type; IRIs in <>; prefixed
+/// names; variables; plain, typed and numeric literals; FILTER with
+/// comparisons (<, <=, >, >=, =, !=) between a variable and a numeric
+/// constant, combined with &&.
+struct SparqlQuery {
+  /// Projection; empty = SELECT * (all variables).
+  std::vector<std::string> select;
+  std::vector<TriplePattern> patterns;
+
+  struct Filter {
+    std::string var;
+    enum class Op { kLt, kLe, kGt, kGe, kEq, kNe } op = Op::kLt;
+    double value = 0.0;
+  };
+  std::vector<Filter> filters;
+};
+
+/// Parses the query text.
+Result<SparqlQuery> ParseSparql(const std::string& text);
+
+/// A solved SELECT: variable names and one row of decoded terms per
+/// solution (row order follows `vars`).
+struct SelectResult {
+  std::vector<std::string> vars;
+  std::vector<std::vector<Term>> rows;
+};
+
+/// Evaluates the query against the graph (BGP join + numeric filters;
+/// a filter on an unbound or non-numeric binding rejects the row).
+SelectResult EvaluateSparql(const Graph& graph, const SparqlQuery& query);
+
+/// Parse + evaluate in one call.
+Result<SelectResult> RunSparql(const Graph& graph, const std::string& text);
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_SPARQL_H_

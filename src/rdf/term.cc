@@ -1,0 +1,78 @@
+#include "rdf/term.h"
+
+#include "common/strings.h"
+
+namespace tcmf::rdf {
+
+namespace {
+constexpr const char* kXsdDouble = "http://www.w3.org/2001/XMLSchema#double";
+constexpr const char* kXsdLong = "http://www.w3.org/2001/XMLSchema#long";
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kIri:
+      return "<" + lexical + ">";
+    case Kind::kBlank:
+      return "_:" + lexical;
+    case Kind::kLiteral:
+      if (datatype.empty()) return "\"" + lexical + "\"";
+      return "\"" + lexical + "\"^^<" + datatype + ">";
+  }
+  return lexical;
+}
+
+Term Iri(std::string iri) {
+  Term t;
+  t.kind = Term::Kind::kIri;
+  t.lexical = std::move(iri);
+  return t;
+}
+
+Term Blank(std::string label) {
+  Term t;
+  t.kind = Term::Kind::kBlank;
+  t.lexical = std::move(label);
+  return t;
+}
+
+Term Literal(std::string value) {
+  Term t;
+  t.kind = Term::Kind::kLiteral;
+  t.lexical = std::move(value);
+  return t;
+}
+
+Term TypedLiteral(std::string value, std::string datatype) {
+  Term t;
+  t.kind = Term::Kind::kLiteral;
+  t.lexical = std::move(value);
+  t.datatype = std::move(datatype);
+  return t;
+}
+
+Term DoubleLiteral(double value) {
+  return TypedLiteral(StrFormat("%.9g", value), kXsdDouble);
+}
+
+Term IntLiteral(int64_t value) {
+  return TypedLiteral(std::to_string(value), kXsdLong);
+}
+
+std::string TermKey(const Term& term) {
+  std::string key;
+  key.reserve(term.lexical.size() + term.datatype.size() + 2);
+  key += static_cast<char>('0' + static_cast<int>(term.kind));
+  key += term.lexical;
+  if (!term.datatype.empty()) {
+    key += '^';
+    key += term.datatype;
+  }
+  return key;
+}
+
+std::string Triple::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+}
+
+}  // namespace tcmf::rdf

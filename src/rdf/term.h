@@ -1,0 +1,62 @@
+#ifndef TCMF_RDF_TERM_H_
+#define TCMF_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcmf::rdf {
+
+/// An RDF term: IRI, literal (with optional datatype), or blank node.
+/// Stored decoded; the Dictionary maps terms to dense integer ids for the
+/// store and indexes.
+struct Term {
+  enum class Kind : uint8_t { kIri = 0, kLiteral = 1, kBlank = 2 };
+
+  Kind kind = Kind::kIri;
+  std::string lexical;
+  /// Datatype IRI for typed literals; empty for plain literals and IRIs.
+  std::string datatype;
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical &&
+           datatype == other.datatype;
+  }
+
+  /// N-Triples-style rendering: <iri>, "literal"^^<dt>, _:blank.
+  std::string ToString() const;
+};
+
+/// Convenience constructors.
+Term Iri(std::string iri);
+Term Blank(std::string label);
+Term Literal(std::string value);
+Term TypedLiteral(std::string value, std::string datatype);
+Term DoubleLiteral(double value);
+Term IntLiteral(int64_t value);
+
+/// Canonical encoding used as the dictionary key (kind-prefixed so IRIs and
+/// literals with equal lexical forms stay distinct).
+std::string TermKey(const Term& term);
+
+/// A decoded triple.
+struct Triple {
+  Term s, p, o;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  std::string ToString() const;
+};
+
+/// A dictionary-encoded triple: the unit the store operates on.
+struct EncodedTriple {
+  uint64_t s = 0, p = 0, o = 0;
+
+  bool operator==(const EncodedTriple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_TERM_H_

@@ -1,0 +1,87 @@
+#ifndef TCMF_RDF_VOCAB_H_
+#define TCMF_RDF_VOCAB_H_
+
+namespace tcmf::rdf::vocab {
+
+/// The datAcron ontology vocabulary (Section 4.1, [27]) — the subset the
+/// library's RDFizers and analytics use, plus the external terms the
+/// ontology builds on (DUL events, GeoSPARQL relations).
+
+// Namespaces.
+inline constexpr char kDatacron[] = "http://www.datacron-project.eu/datAcron#";
+inline constexpr char kDul[] =
+    "http://www.ontologydesignpatterns.org/ont/dul/DUL.owl#";
+inline constexpr char kGeo[] = "http://www.opengis.net/ont/geosparql#";
+inline constexpr char kRdf[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+
+// Classes.
+inline constexpr char kTrajectory[] =
+    "http://www.datacron-project.eu/datAcron#Trajectory";
+inline constexpr char kTrajectoryPart[] =
+    "http://www.datacron-project.eu/datAcron#TrajectoryPart";
+inline constexpr char kSemanticNode[] =
+    "http://www.datacron-project.eu/datAcron#SemanticNode";
+inline constexpr char kRawPosition[] =
+    "http://www.datacron-project.eu/datAcron#RawPosition";
+inline constexpr char kMovingObject[] =
+    "http://www.datacron-project.eu/datAcron#MovingObject";
+inline constexpr char kVessel[] =
+    "http://www.datacron-project.eu/datAcron#Vessel";
+inline constexpr char kAircraft[] =
+    "http://www.datacron-project.eu/datAcron#Aircraft";
+inline constexpr char kEvent[] =
+    "http://www.ontologydesignpatterns.org/ont/dul/DUL.owl#Event";
+inline constexpr char kWeatherCondition[] =
+    "http://www.datacron-project.eu/datAcron#WeatherCondition";
+inline constexpr char kRegion[] =
+    "http://www.datacron-project.eu/datAcron#Region";
+inline constexpr char kPort[] = "http://www.datacron-project.eu/datAcron#Port";
+
+// Properties.
+inline constexpr char kType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kHasPart[] =
+    "http://www.datacron-project.eu/datAcron#hasPart";
+inline constexpr char kHasNode[] =
+    "http://www.datacron-project.eu/datAcron#hasSemanticNode";
+inline constexpr char kOfMovingObject[] =
+    "http://www.datacron-project.eu/datAcron#ofMovingObject";
+inline constexpr char kHasGeometry[] =
+    "http://www.opengis.net/ont/geosparql#hasGeometry";
+inline constexpr char kAsWKT[] = "http://www.opengis.net/ont/geosparql#asWKT";
+inline constexpr char kWithin[] =
+    "http://www.ontologydesignpatterns.org/ont/dul/DUL.owl#hasLocation";
+inline constexpr char kNearTo[] =
+    "http://www.opengis.net/ont/geosparql#nearTo";
+inline constexpr char kHasTimestamp[] =
+    "http://www.datacron-project.eu/datAcron#hasTimestamp";
+inline constexpr char kHasSpeed[] =
+    "http://www.datacron-project.eu/datAcron#hasSpeed";
+inline constexpr char kHasHeading[] =
+    "http://www.datacron-project.eu/datAcron#hasHeading";
+inline constexpr char kHasAltitude[] =
+    "http://www.datacron-project.eu/datAcron#hasAltitude";
+inline constexpr char kEventType[] =
+    "http://www.datacron-project.eu/datAcron#eventType";
+inline constexpr char kOccurs[] =
+    "http://www.datacron-project.eu/datAcron#occurs";
+inline constexpr char kHasStCell[] =
+    "http://www.datacron-project.eu/datAcron#hasSpatioTemporalCell";
+inline constexpr char kHasWindSpeed[] =
+    "http://www.datacron-project.eu/datAcron#hasWindSpeed";
+inline constexpr char kHasWaveHeight[] =
+    "http://www.datacron-project.eu/datAcron#hasWaveHeight";
+inline constexpr char kHasSeverity[] =
+    "http://www.datacron-project.eu/datAcron#hasSeverity";
+inline constexpr char kHasName[] =
+    "http://www.datacron-project.eu/datAcron#hasName";
+inline constexpr char kHasKind[] =
+    "http://www.datacron-project.eu/datAcron#hasKind";
+
+// Datatypes.
+inline constexpr char kWktLiteral[] =
+    "http://www.opengis.net/ont/geosparql#wktLiteral";
+
+}  // namespace tcmf::rdf::vocab
+
+#endif  // TCMF_RDF_VOCAB_H_

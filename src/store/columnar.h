@@ -1,0 +1,34 @@
+#ifndef TCMF_STORE_COLUMNAR_H_
+#define TCMF_STORE_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace tcmf::store {
+
+/// Varint + delta encoding for sorted-ish uint64 columns — the compression
+/// the paper gets from Parquet's columnar layout (Section 4.2.5), enough to
+/// measure layout effects without the real format.
+void AppendVarint(std::string* out, uint64_t v);
+/// Reads one varint at `*pos`, advancing it. Returns false on truncation.
+bool ReadVarint(const std::string& data, size_t* pos, uint64_t* out);
+
+/// Encodes a column with zig-zag deltas between consecutive values.
+std::string EncodeColumn(const std::vector<uint64_t>& values);
+Result<std::vector<uint64_t>> DecodeColumn(const std::string& data);
+
+/// One on-disk partition of encoded triples, stored column-wise:
+/// header | S column | P column | O column. Triples should be sorted by
+/// (s,p,o) before writing for best compression.
+Status WriteTriplePartition(const std::string& path,
+                            const std::vector<rdf::EncodedTriple>& triples);
+Result<std::vector<rdf::EncodedTriple>> ReadTriplePartition(
+    const std::string& path);
+
+}  // namespace tcmf::store
+
+#endif  // TCMF_STORE_COLUMNAR_H_

@@ -1,0 +1,397 @@
+#include "store/kgstore.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/strings.h"
+#include "geom/geometry.h"
+#include "rdf/vocab.h"
+#include "store/columnar.h"
+
+namespace tcmf::store {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* StarPlanName(StarPlan plan) {
+  switch (plan) {
+    case StarPlan::kTriplesTableScan:
+      return "triples-table-scan";
+    case StarPlan::kVerticalPartition:
+      return "vertical-partitioning";
+    case StarPlan::kVerticalPartitionPushdown:
+      return "vertical-partitioning+st-pushdown";
+    case StarPlan::kPropertyTable:
+      return "property-table";
+    case StarPlan::kPropertyTablePushdown:
+      return "property-table+st-pushdown";
+  }
+  return "unknown";
+}
+
+KnowledgeStore::KnowledgeStore(const geom::StCellEncoder& encoder,
+                               size_t partitions)
+    : encoder_(encoder), partitions_(partitions == 0 ? 1 : partitions) {}
+
+void KnowledgeStore::Add(const rdf::Triple& triple) {
+  rdf::EncodedTriple enc = dict_.Encode(triple);
+  partitions_[next_partition_].push_back(enc);
+  next_partition_ = (next_partition_ + 1) % partitions_.size();
+  ++total_triples_;
+  compiled_ = false;
+}
+
+void KnowledgeStore::AddPositionNode(const rdf::Term& subject, double lon,
+                                     double lat, TimeMs t) {
+  uint64_t cell = encoder_.Encode(lon, lat, t);
+  Add(rdf::Triple{subject, rdf::Iri(rdf::vocab::kHasStCell),
+                  rdf::IntLiteral(static_cast<int64_t>(cell))});
+  Add(rdf::Triple{subject, rdf::Iri(rdf::vocab::kAsWKT),
+                  rdf::TypedLiteral(StrFormat("POINT (%.6f %.6f)", lon, lat),
+                                    rdf::vocab::kWktLiteral)});
+  Add(rdf::Triple{subject, rdf::Iri(rdf::vocab::kHasTimestamp),
+                  rdf::IntLiteral(t)});
+  uint64_t sid = dict_.Encode(subject);
+  subject_stcell_[sid] = cell;
+  subject_pos_[sid] = {lon, lat, t};
+}
+
+void KnowledgeStore::Compile() {
+  vertical_.clear();
+  for (const auto& partition : partitions_) {
+    for (const rdf::EncodedTriple& t : partition) {
+      vertical_[t.p].push_back({t.s, t.o});
+    }
+  }
+  for (auto& [p, list] : vertical_) {
+    std::sort(list.begin(), list.end(), [](const SO& a, const SO& b) {
+      return a.s < b.s || (a.s == b.s && a.o < b.o);
+    });
+  }
+  compiled_ = true;
+  property_tables_.clear();
+}
+
+void KnowledgeStore::BuildPropertyTable(
+    const std::vector<uint64_t>& predicate_ids) {
+  if (!compiled_) Compile();
+  PropertyTable table;
+  table.columns = predicate_ids;
+  // Subjects = those appearing in every requested column (complete rows
+  // only: the property table materializes the star join).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> rows;
+  for (size_t col = 0; col < predicate_ids.size(); ++col) {
+    auto it = vertical_.find(predicate_ids[col]);
+    if (it == vertical_.end()) {
+      property_tables_.push_back(std::move(table));
+      return;  // empty table: one column has no triples
+    }
+    for (const SO& so : it->second) {
+      auto [rit, inserted] = rows.try_emplace(
+          so.s, std::vector<uint64_t>(predicate_ids.size(), 0));
+      if (rit->second[col] == 0) rit->second[col] = so.o;
+    }
+  }
+  for (auto& [s, row] : rows) {
+    bool complete = true;
+    for (uint64_t o : row) complete = complete && o != 0;
+    if (!complete) continue;
+    table.subjects.push_back(s);
+  }
+  std::sort(table.subjects.begin(), table.subjects.end());
+  table.rows.reserve(table.subjects.size());
+  for (uint64_t s : table.subjects) table.rows.push_back(rows[s]);
+  property_tables_.push_back(std::move(table));
+}
+
+const KnowledgeStore::PropertyTable* KnowledgeStore::FindPropertyTable(
+    const std::vector<uint64_t>& predicate_ids) const {
+  for (const PropertyTable& table : property_tables_) {
+    bool all = true;
+    for (uint64_t pid : predicate_ids) {
+      if (std::find(table.columns.begin(), table.columns.end(), pid) ==
+          table.columns.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &table;
+  }
+  return nullptr;
+}
+
+bool KnowledgeStore::ExactStMatch(
+    uint64_t subject, const geom::StCellEncoder::StBox& box) const {
+  // Deliberately pays the realistic post-processing cost: fetch the WKT
+  // and timestamp literals of the subject and parse them, exactly what a
+  // layout without pushdown has to do for every candidate.
+  static const rdf::Term kWktPred = rdf::Iri(rdf::vocab::kAsWKT);
+  static const rdf::Term kTsPred = rdf::Iri(rdf::vocab::kHasTimestamp);
+  uint64_t wkt_pid = dict_.Lookup(kWktPred);
+  uint64_t ts_pid = dict_.Lookup(kTsPred);
+  auto fetch = [&](uint64_t pid) -> const SO* {
+    auto it = vertical_.find(pid);
+    if (it == vertical_.end()) return nullptr;
+    const std::vector<SO>& list = it->second;
+    auto pos = std::lower_bound(
+        list.begin(), list.end(), subject,
+        [](const SO& so, uint64_t s) { return so.s < s; });
+    if (pos == list.end() || pos->s != subject) return nullptr;
+    return &*pos;
+  };
+  const SO* wkt = fetch(wkt_pid);
+  const SO* ts = fetch(ts_pid);
+  if (wkt == nullptr || ts == nullptr) return false;
+
+  std::optional<rdf::Term> wkt_term = dict_.Decode(wkt->o);
+  std::optional<rdf::Term> ts_term = dict_.Decode(ts->o);
+  if (!wkt_term || !ts_term) return false;
+  Result<geom::LonLat> point = geom::ParseWktPoint(wkt_term->lexical);
+  Result<long long> t = ParseInt(ts_term->lexical);
+  if (!point.ok() || !t.ok()) return false;
+  return box.bounds.Contains(point.value().lon, point.value().lat) &&
+         t.value() >= box.t_begin && t.value() <= box.t_end;
+}
+
+std::vector<StarRow> KnowledgeStore::RunStar(const StarQuery& query,
+                                             StarPlan plan,
+                                             StarQueryMetrics* metrics) const {
+  StarQueryMetrics local;
+  Clock::time_point start = Clock::now();
+  std::vector<StarRow> rows;
+  const size_t k = query.predicate_ids.size();
+
+  auto finish = [&](std::vector<StarRow> result) {
+    local.rows = result.size();
+    local.wall_ms = ElapsedMs(start);
+    if (metrics != nullptr) *metrics = local;
+    return result;
+  };
+
+  if (k == 0) return finish({});
+
+  if (plan == StarPlan::kTriplesTableScan) {
+    // Full scan of every partition, hash-joining subject -> slot values.
+    // Partition groups are scanned by parallel workers.
+    size_t workers = std::min<size_t>(
+        partitions_.size(),
+        std::max<unsigned>(1, std::thread::hardware_concurrency()));
+    std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> maps(
+        workers);
+    std::vector<size_t> scanned(workers, 0);
+    std::vector<std::thread> threads;
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (size_t pi = w; pi < partitions_.size(); pi += workers) {
+          for (const rdf::EncodedTriple& t : partitions_[pi]) {
+            ++scanned[w];
+            for (size_t slot = 0; slot < k; ++slot) {
+              if (t.p == query.predicate_ids[slot]) {
+                auto [it, inserted] = maps[w].try_emplace(
+                    t.s, std::vector<uint64_t>(k, 0));
+                if (it->second[slot] == 0) it->second[slot] = t.o;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    std::unordered_map<uint64_t, std::vector<uint64_t>> merged;
+    for (size_t w = 0; w < workers; ++w) {
+      local.triples_scanned += scanned[w];
+      for (auto& [s, slots] : maps[w]) {
+        auto [it, inserted] = merged.try_emplace(s, slots);
+        if (!inserted) {
+          for (size_t slot = 0; slot < k; ++slot) {
+            if (it->second[slot] == 0) it->second[slot] = slots[slot];
+          }
+        }
+      }
+    }
+    for (auto& [s, slots] : merged) {
+      bool complete = std::all_of(slots.begin(), slots.end(),
+                                  [](uint64_t o) { return o != 0; });
+      if (!complete) continue;
+      ++local.candidate_subjects;
+      if (query.has_st_constraint) {
+        ++local.st_filter_evaluations;
+        if (!ExactStMatch(s, query.st_box)) continue;
+      }
+      rows.push_back({s, slots});
+    }
+    return finish(std::move(rows));
+  }
+
+  // The remaining layouts require Compile().
+  if (!compiled_) return finish({});
+
+  if (plan == StarPlan::kPropertyTable ||
+      plan == StarPlan::kPropertyTablePushdown) {
+    const PropertyTable* table = FindPropertyTable(query.predicate_ids);
+    if (table == nullptr) return finish({});
+    // Map query slots to table columns.
+    std::vector<size_t> col_of(k);
+    for (size_t i = 0; i < k; ++i) {
+      col_of[i] = static_cast<size_t>(
+          std::find(table->columns.begin(), table->columns.end(),
+                    query.predicate_ids[i]) -
+          table->columns.begin());
+    }
+    bool pushdown = plan == StarPlan::kPropertyTablePushdown &&
+                    query.has_st_constraint;
+    for (size_t i = 0; i < table->subjects.size(); ++i) {
+      uint64_t s = table->subjects[i];
+      ++local.triples_scanned;  // one wide-row visit
+      if (pushdown) {
+        auto it = subject_stcell_.find(s);
+        if (it == subject_stcell_.end() ||
+            !encoder_.MayIntersect(it->second, query.st_box)) {
+          continue;
+        }
+      }
+      ++local.candidate_subjects;
+      if (query.has_st_constraint) {
+        ++local.st_filter_evaluations;
+        if (!ExactStMatch(s, query.st_box)) continue;
+      }
+      StarRow row;
+      row.subject = s;
+      row.objects.reserve(k);
+      for (size_t slot = 0; slot < k; ++slot) {
+        row.objects.push_back(table->rows[i][col_of[slot]]);
+      }
+      rows.push_back(std::move(row));
+    }
+    return finish(std::move(rows));
+  }
+
+  // Gather the per-predicate sorted lists.
+  std::vector<const std::vector<SO>*> lists;
+  for (uint64_t pid : query.predicate_ids) {
+    auto it = vertical_.find(pid);
+    if (it == vertical_.end()) return finish({});
+    lists.push_back(&it->second);
+  }
+
+  auto probe = [&](const std::vector<SO>& list, uint64_t s) -> uint64_t {
+    auto pos =
+        std::lower_bound(list.begin(), list.end(), s,
+                         [](const SO& so, uint64_t key) { return so.s < key; });
+    if (pos == list.end() || pos->s != s) return 0;
+    return pos->o;
+  };
+
+  if (plan == StarPlan::kVerticalPartition) {
+    // Drive from the smallest predicate list.
+    size_t driver = 0;
+    for (size_t i = 1; i < k; ++i) {
+      if (lists[i]->size() < lists[driver]->size()) driver = i;
+    }
+    local.triples_scanned += lists[driver]->size();
+    uint64_t prev_s = 0;
+    for (const SO& so : *lists[driver]) {
+      if (so.s == prev_s) continue;  // distinct subjects
+      prev_s = so.s;
+      StarRow row;
+      row.subject = so.s;
+      row.objects.assign(k, 0);
+      row.objects[driver] = so.o;
+      bool complete = true;
+      for (size_t i = 0; i < k && complete; ++i) {
+        if (i == driver) continue;
+        local.triples_scanned += 1;  // one indexed probe
+        row.objects[i] = probe(*lists[i], so.s);
+        if (row.objects[i] == 0) complete = false;
+      }
+      if (!complete) continue;
+      ++local.candidate_subjects;
+      if (query.has_st_constraint) {
+        ++local.st_filter_evaluations;
+        if (!ExactStMatch(so.s, query.st_box)) continue;
+      }
+      rows.push_back(std::move(row));
+    }
+    return finish(std::move(rows));
+  }
+
+  // kVerticalPartitionPushdown: integer st-cell pre-filter first.
+  if (!query.has_st_constraint) {
+    // Without a constraint the pushdown degenerates to the vertical plan.
+    return RunStar(query, StarPlan::kVerticalPartition, metrics);
+  }
+  for (const auto& [s, cell] : subject_stcell_) {
+    ++local.triples_scanned;  // side-index probe (integer compare)
+    if (!encoder_.MayIntersect(cell, query.st_box)) continue;
+    StarRow row;
+    row.subject = s;
+    row.objects.assign(k, 0);
+    bool complete = true;
+    for (size_t i = 0; i < k && complete; ++i) {
+      local.triples_scanned += 1;
+      row.objects[i] = probe(*lists[i], s);
+      if (row.objects[i] == 0) complete = false;
+    }
+    if (!complete) continue;
+    ++local.candidate_subjects;
+    ++local.st_filter_evaluations;
+    if (!ExactStMatch(s, query.st_box)) continue;
+    rows.push_back(std::move(row));
+  }
+  return finish(std::move(rows));
+}
+
+Status KnowledgeStore::SaveTriples(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir);
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    std::vector<rdf::EncodedTriple> sorted = partitions_[i];
+    std::sort(sorted.begin(), sorted.end(),
+              [](const rdf::EncodedTriple& a, const rdf::EncodedTriple& b) {
+                return std::tuple(a.s, a.p, a.o) < std::tuple(b.s, b.p, b.o);
+              });
+    TCMF_RETURN_IF_ERROR(WriteTriplePartition(
+        dir + StrFormat("/partition-%04zu.col", i), sorted));
+  }
+  return Status::Ok();
+}
+
+Result<size_t> KnowledgeStore::LoadTriples(const std::string& dir) {
+  size_t loaded = 0;
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    std::string path = dir + StrFormat("/partition-%04zu.col", i);
+    if (!std::filesystem::exists(path)) break;
+    Result<std::vector<rdf::EncodedTriple>> part = ReadTriplePartition(path);
+    if (!part.ok()) return part.status();
+    partitions_[i] = std::move(part).value();
+    loaded += partitions_[i].size();
+  }
+  total_triples_ = 0;
+  for (const auto& p : partitions_) total_triples_ += p.size();
+  compiled_ = false;
+  return loaded;
+}
+
+bool KnowledgeStore::LookupPosition(uint64_t subject, double* lon,
+                                    double* lat, TimeMs* t) const {
+  auto it = subject_pos_.find(subject);
+  if (it == subject_pos_.end()) return false;
+  *lon = it->second.lon;
+  *lat = it->second.lat;
+  *t = it->second.t;
+  return true;
+}
+
+}  // namespace tcmf::store

@@ -1,0 +1,143 @@
+#ifndef TCMF_STORE_KGSTORE_H_
+#define TCMF_STORE_KGSTORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/position.h"
+#include "common/status.h"
+#include "geom/stcell.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace tcmf::store {
+
+/// Physical layout / plan selector for star queries (Section 4.2.5):
+/// the paper's "one-triples-table" vs vertical partitioning, each with or
+/// without the spatio-temporal dictionary-encoding pushdown.
+enum class StarPlan {
+  kTriplesTableScan = 0,      ///< full scan + hash join + late st-filter
+  kVerticalPartition,         ///< per-predicate merge join + late st-filter
+  kVerticalPartitionPushdown, ///< integer st-cell pre-filter, then join
+  kPropertyTable,             ///< pre-joined wide rows + late st-filter
+  kPropertyTablePushdown,     ///< property table + integer st pre-filter
+};
+
+const char* StarPlanName(StarPlan plan);
+
+/// A star query: all listed predicates must be present on the subject,
+/// optionally constrained to a spatio-temporal box.
+struct StarQuery {
+  std::vector<uint64_t> predicate_ids;
+  bool has_st_constraint = false;
+  geom::StCellEncoder::StBox st_box;
+};
+
+/// One result row of a star query: the subject plus the object bound per
+/// queried predicate (first match).
+struct StarRow {
+  uint64_t subject = 0;
+  std::vector<uint64_t> objects;  ///< parallel to StarQuery::predicate_ids
+};
+
+struct StarQueryMetrics {
+  size_t triples_scanned = 0;
+  size_t candidate_subjects = 0;
+  size_t st_filter_evaluations = 0;  ///< exact (string/geometry) st checks
+  size_t rows = 0;
+  double wall_ms = 0.0;
+};
+
+/// Batch knowledge-graph store: dictionary-encoded triples, partitioned,
+/// with per-layout star-join evaluation and spatio-temporal pruning via
+/// the StCellEncoder integer ids. Partition-parallel scans use a thread
+/// per partition group (the local stand-in for Spark executors).
+class KnowledgeStore {
+ public:
+  /// `encoder` defines the spatio-temporal discretization; `partitions`
+  /// the number of storage partitions.
+  KnowledgeStore(const geom::StCellEncoder& encoder, size_t partitions = 8);
+
+  rdf::Dictionary& dictionary() { return dict_; }
+  const rdf::Dictionary& dictionary() const { return dict_; }
+
+  /// Adds a triple. Triples whose predicate is vocab::kHasStCell with an
+  /// integer-literal object also feed the subject -> st-cell side index
+  /// (the paper's dictionary-encoding of approximate positions).
+  void Add(const rdf::Triple& triple);
+
+  /// Registers the exact position of a subject for final st filtering
+  /// (the store keeps it alongside the WKT literal, as decoding WKT at
+  /// query time is exactly the "post-processing cost" being measured).
+  /// Also assigns the subject's st-cell id.
+  void AddPositionNode(const rdf::Term& subject, double lon, double lat,
+                       TimeMs t);
+
+  /// Freezes ingestion: builds the vertical-partitioning layout and sorts
+  /// runs. Must be called before RunStar.
+  void Compile();
+
+  /// Materializes a property table over `predicate_ids` (one wide row per
+  /// subject holding the first object per predicate). Property-table
+  /// plans serve any star query whose predicates are a subset of a built
+  /// table's columns. Requires Compile() first.
+  void BuildPropertyTable(const std::vector<uint64_t>& predicate_ids);
+
+  /// Evaluates a star query under the chosen plan.
+  std::vector<StarRow> RunStar(const StarQuery& query, StarPlan plan,
+                               StarQueryMetrics* metrics) const;
+
+  /// Persists/loads the triples table as columnar partition files under
+  /// `dir` (partition-%04zu.col). Dictionary is not persisted (ids only).
+  Status SaveTriples(const std::string& dir) const;
+  Result<size_t> LoadTriples(const std::string& dir);
+
+  size_t size() const { return total_triples_; }
+  size_t partitions() const { return partitions_.size(); }
+  const geom::StCellEncoder& encoder() const { return encoder_; }
+
+  /// Exact spatio-temporal point of a subject (for verification); false
+  /// when the subject has no registered position.
+  bool LookupPosition(uint64_t subject, double* lon, double* lat,
+                      TimeMs* t) const;
+
+ private:
+  struct SO {
+    uint64_t s, o;
+  };
+
+  bool ExactStMatch(uint64_t subject,
+                    const geom::StCellEncoder::StBox& box) const;
+
+  geom::StCellEncoder encoder_;
+  rdf::Dictionary dict_;
+  std::vector<std::vector<rdf::EncodedTriple>> partitions_;
+  size_t total_triples_ = 0;
+  size_t next_partition_ = 0;
+
+  /// Vertical partitioning: predicate -> (s,o) pairs sorted by s.
+  std::unordered_map<uint64_t, std::vector<SO>> vertical_;
+  /// Property tables: columns (predicate ids) + rows sorted by subject.
+  struct PropertyTable {
+    std::vector<uint64_t> columns;
+    std::vector<uint64_t> subjects;        ///< sorted
+    std::vector<std::vector<uint64_t>> rows;  ///< parallel to subjects
+  };
+  std::vector<PropertyTable> property_tables_;
+  const PropertyTable* FindPropertyTable(
+      const std::vector<uint64_t>& predicate_ids) const;
+  /// subject -> st cell id (integer approximation of position+time).
+  std::unordered_map<uint64_t, uint64_t> subject_stcell_;
+  struct ExactPos {
+    double lon, lat;
+    TimeMs t;
+  };
+  std::unordered_map<uint64_t, ExactPos> subject_pos_;
+  bool compiled_ = false;
+};
+
+}  // namespace tcmf::store
+
+#endif  // TCMF_STORE_KGSTORE_H_

@@ -1,0 +1,251 @@
+#ifndef TCMF_STREAM_PIPELINE_H_
+#define TCMF_STREAM_PIPELINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/channel.h"
+
+namespace tcmf::stream {
+
+/// Owns the threads of a dataflow job. Build a graph with Flow<T>, then
+/// Run() blocks until every source is exhausted and every stage has
+/// drained — the in-process equivalent of submitting a Flink job.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  ~Pipeline() { Run(); }
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Registers a stage thread. Internal — called by Flow operators.
+  void AddThread(std::function<void()> body) {
+    threads_.emplace_back(std::move(body));
+  }
+
+  /// Joins all stage threads; idempotent.
+  void Run() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+/// Per-key processing function with explicit state: the Flink
+/// KeyedProcessFunction analogue. Called once per element with the state
+/// slot for the element's key; may emit any number of outputs via `emit`.
+template <typename T, typename Out, typename State>
+using KeyedProcessFn =
+    std::function<void(const T& element, State& state,
+                       const std::function<void(Out)>& emit)>;
+
+/// Called for every live key when the stream ends, to flush pending state.
+template <typename Out, typename State>
+using KeyedFlushFn =
+    std::function<void(uint64_t key, State& state,
+                       const std::function<void(Out)>& emit)>;
+
+/// A typed edge in the dataflow graph. Flow values are cheap handles:
+/// they share the underlying channel.
+template <typename T>
+class Flow {
+ public:
+  Flow(Pipeline* pipeline, std::shared_ptr<Channel<T>> channel)
+      : pipeline_(pipeline), channel_(std::move(channel)) {}
+
+  /// Source from a pull function; the function returns nullopt when the
+  /// stream is exhausted.
+  static Flow<T> FromGenerator(Pipeline* pipeline,
+                               std::function<std::optional<T>()> next,
+                               size_t capacity = 1024) {
+    auto channel = std::make_shared<Channel<T>>(capacity);
+    pipeline->AddThread([channel, next = std::move(next)]() mutable {
+      while (true) {
+        std::optional<T> item = next();
+        if (!item.has_value()) break;
+        if (!channel->Push(std::move(*item))) break;
+      }
+      channel->Close();
+    });
+    return Flow<T>(pipeline, std::move(channel));
+  }
+
+  /// Source from a pre-materialized vector.
+  static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
+                            size_t capacity = 1024) {
+    auto it = std::make_shared<size_t>(0);
+    auto data = std::make_shared<std::vector<T>>(std::move(items));
+    return FromGenerator(
+        pipeline,
+        [it, data]() -> std::optional<T> {
+          if (*it >= data->size()) return std::nullopt;
+          return (*data)[(*it)++];
+        },
+        capacity);
+  }
+
+  /// 1:1 transform.
+  template <typename Out>
+  Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity = 1024) {
+    auto out = std::make_shared<Channel<Out>>(capacity);
+    auto in = channel_;
+    pipeline_->AddThread([in, out, fn = std::move(fn)] {
+      while (auto item = in->Pop()) {
+        if (!out->Push(fn(*item))) break;
+      }
+      out->Close();
+    });
+    return Flow<Out>(pipeline_, std::move(out));
+  }
+
+  /// 1:N transform.
+  template <typename Out>
+  Flow<Out> FlatMap(std::function<std::vector<Out>(const T&)> fn,
+                    size_t capacity = 1024) {
+    auto out = std::make_shared<Channel<Out>>(capacity);
+    auto in = channel_;
+    pipeline_->AddThread([in, out, fn = std::move(fn)] {
+      while (auto item = in->Pop()) {
+        for (Out& o : fn(*item)) {
+          if (!out->Push(std::move(o))) return;
+        }
+      }
+      out->Close();
+    });
+    return Flow<Out>(pipeline_, std::move(out));
+  }
+
+  /// Keeps elements satisfying the predicate.
+  Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity = 1024) {
+    auto out = std::make_shared<Channel<T>>(capacity);
+    auto in = channel_;
+    pipeline_->AddThread([in, out, pred = std::move(pred)] {
+      while (auto item = in->Pop()) {
+        if (pred(*item)) {
+          if (!out->Push(std::move(*item))) break;
+        }
+      }
+      out->Close();
+    });
+    return Flow<T>(pipeline_, std::move(out));
+  }
+
+  /// Keyed stateful processing with per-key state of type State.
+  /// State instances are default-constructed on first sight of a key.
+  /// `flush` (optional) runs for every key at end-of-stream.
+  template <typename Out, typename State>
+  Flow<Out> KeyedProcess(std::function<uint64_t(const T&)> key_fn,
+                         KeyedProcessFn<T, Out, State> process,
+                         KeyedFlushFn<Out, State> flush = nullptr,
+                         size_t capacity = 1024) {
+    auto out = std::make_shared<Channel<Out>>(capacity);
+    auto in = channel_;
+    pipeline_->AddThread([in, out, key_fn = std::move(key_fn),
+                          process = std::move(process),
+                          flush = std::move(flush)] {
+      std::unordered_map<uint64_t, State> states;
+      bool open = true;
+      auto emit = [&](Out o) {
+        if (open && !out->Push(std::move(o))) open = false;
+      };
+      while (auto item = in->Pop()) {
+        State& state = states[key_fn(*item)];
+        process(*item, state, emit);
+        if (!open) break;
+      }
+      if (open && flush) {
+        for (auto& [key, state] : states) flush(key, state, emit);
+      }
+      out->Close();
+    });
+    return Flow<Out>(pipeline_, std::move(out));
+  }
+
+  /// Keyed stateful processing with `parallelism` worker threads: elements
+  /// are hash-partitioned by key, each worker owns the state of its key
+  /// range (the Flink keyed-stream execution model). Output order across
+  /// workers is nondeterministic; per-key order is preserved.
+  template <typename Out, typename State>
+  Flow<Out> KeyedProcessParallel(std::function<uint64_t(const T&)> key_fn,
+                                 KeyedProcessFn<T, Out, State> process,
+                                 size_t parallelism,
+                                 KeyedFlushFn<Out, State> flush = nullptr,
+                                 size_t capacity = 1024) {
+    if (parallelism <= 1) {
+      return KeyedProcess<Out, State>(std::move(key_fn), std::move(process),
+                                      std::move(flush), capacity);
+    }
+    auto out = std::make_shared<Channel<Out>>(capacity);
+    auto in = channel_;
+    // Partition router: one input channel per worker.
+    auto partitions =
+        std::make_shared<std::vector<std::shared_ptr<Channel<T>>>>();
+    for (size_t w = 0; w < parallelism; ++w) {
+      partitions->push_back(std::make_shared<Channel<T>>(capacity));
+    }
+    pipeline_->AddThread([in, partitions, key_fn, parallelism] {
+      while (auto item = in->Pop()) {
+        size_t w = std::hash<uint64_t>{}(key_fn(*item)) % parallelism;
+        if (!(*partitions)[w]->Push(std::move(*item))) break;
+      }
+      for (auto& p : *partitions) p->Close();
+    });
+    // Workers share the output channel; the last one to finish closes it.
+    auto live_workers = std::make_shared<std::atomic<size_t>>(parallelism);
+    for (size_t w = 0; w < parallelism; ++w) {
+      auto my_in = (*partitions)[w];
+      pipeline_->AddThread([my_in, out, key_fn, process, flush,
+                            live_workers] {
+        std::unordered_map<uint64_t, State> states;
+        bool open = true;
+        auto emit = [&](Out o) {
+          if (open && !out->Push(std::move(o))) open = false;
+        };
+        while (auto item = my_in->Pop()) {
+          State& state = states[key_fn(*item)];
+          process(*item, state, emit);
+          if (!open) break;
+        }
+        if (open && flush) {
+          for (auto& [key, state] : states) flush(key, state, emit);
+        }
+        if (live_workers->fetch_sub(1) == 1) out->Close();
+      });
+    }
+    return Flow<Out>(pipeline_, std::move(out));
+  }
+
+  /// Terminal: applies `fn` to every element.
+  void Sink(std::function<void(const T&)> fn) {
+    auto in = channel_;
+    pipeline_->AddThread([in, fn = std::move(fn)] {
+      while (auto item = in->Pop()) fn(*item);
+    });
+  }
+
+  /// Terminal: collects all elements into `out` (caller keeps it alive
+  /// until Pipeline::Run returns).
+  void CollectInto(std::vector<T>* out) {
+    Sink([out](const T& item) { out->push_back(item); });
+  }
+
+  std::shared_ptr<Channel<T>> channel() const { return channel_; }
+
+ private:
+  Pipeline* pipeline_;
+  std::shared_ptr<Channel<T>> channel_;
+};
+
+}  // namespace tcmf::stream
+
+#endif  // TCMF_STREAM_PIPELINE_H_

@@ -1,0 +1,116 @@
+#include "stream/record.h"
+
+#include "common/strings.h"
+
+namespace tcmf::stream {
+
+std::string ValueToString(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return ""; }
+    std::string operator()(int64_t x) const { return std::to_string(x); }
+    std::string operator()(double x) const { return StrFormat("%.6g", x); }
+    std::string operator()(const std::string& x) const { return x; }
+    std::string operator()(bool x) const { return x ? "true" : "false"; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+void Record::Set(std::string name, Value value) {
+  for (auto& [k, v] : fields_) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+const Value* Record::Find(const std::string& name) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool Record::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::optional<int64_t> Record::GetInt(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) return std::nullopt;
+  if (const int64_t* x = std::get_if<int64_t>(v)) return *x;
+  return std::nullopt;
+}
+
+std::optional<double> Record::GetDouble(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) return std::nullopt;
+  if (const double* x = std::get_if<double>(v)) return *x;
+  return std::nullopt;
+}
+
+std::optional<std::string> Record::GetString(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) return std::nullopt;
+  if (const std::string* x = std::get_if<std::string>(v)) return *x;
+  return std::nullopt;
+}
+
+std::optional<bool> Record::GetBool(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) return std::nullopt;
+  if (const bool* x = std::get_if<bool>(v)) return *x;
+  return std::nullopt;
+}
+
+std::optional<double> Record::GetNumeric(const std::string& name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) return std::nullopt;
+  if (const double* x = std::get_if<double>(v)) return *x;
+  if (const int64_t* x = std::get_if<int64_t>(v)) {
+    return static_cast<double>(*x);
+  }
+  return std::nullopt;
+}
+
+std::string Record::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].first;
+    out += "=";
+    out += ValueToString(fields_[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+Record PositionToRecord(const Position& p) {
+  Record r;
+  r.set_event_time(p.t);
+  r.Set("entity_id", static_cast<int64_t>(p.entity_id));
+  r.Set("t", static_cast<int64_t>(p.t));
+  r.Set("lon", p.lon);
+  r.Set("lat", p.lat);
+  r.Set("alt_m", p.alt_m);
+  r.Set("speed_mps", p.speed_mps);
+  r.Set("heading_deg", p.heading_deg);
+  r.Set("vrate_mps", p.vrate_mps);
+  return r;
+}
+
+Position RecordToPosition(const Record& r) {
+  Position p;
+  p.entity_id = static_cast<uint64_t>(r.GetInt("entity_id").value_or(0));
+  p.t = r.GetInt("t").value_or(0);
+  p.lon = r.GetNumeric("lon").value_or(0.0);
+  p.lat = r.GetNumeric("lat").value_or(0.0);
+  p.alt_m = r.GetNumeric("alt_m").value_or(0.0);
+  p.speed_mps = r.GetNumeric("speed_mps").value_or(0.0);
+  p.heading_deg = r.GetNumeric("heading_deg").value_or(0.0);
+  p.vrate_mps = r.GetNumeric("vrate_mps").value_or(0.0);
+  return p;
+}
+
+}  // namespace tcmf::stream

@@ -1,0 +1,70 @@
+#ifndef TCMF_STREAM_RECORD_H_
+#define TCMF_STREAM_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/position.h"
+
+namespace tcmf::stream {
+
+/// A dynamically-typed field value. Records are the generic row format
+/// flowing between heterogeneous sources and the RDF generators — the role
+/// JSON/CSV messages play on the paper's Kafka topics.
+using Value = std::variant<std::monostate, int64_t, double, std::string, bool>;
+
+/// Returns a printable form of a value ("" for null).
+std::string ValueToString(const Value& v);
+
+/// A flat, schema-less record: ordered (field, value) pairs plus an event
+/// timestamp. Field lookup is linear — records are small (tens of fields).
+class Record {
+ public:
+  Record() = default;
+
+  TimeMs event_time() const { return event_time_; }
+  void set_event_time(TimeMs t) { event_time_ = t; }
+
+  /// Sets a field, overwriting any existing value under the same name.
+  void Set(std::string name, Value value);
+
+  /// Null-state queries and typed getters; Get* return nullopt when the
+  /// field is absent or has a different type.
+  bool Has(const std::string& name) const;
+  std::optional<int64_t> GetInt(const std::string& name) const;
+  std::optional<double> GetDouble(const std::string& name) const;
+  std::optional<std::string> GetString(const std::string& name) const;
+  std::optional<bool> GetBool(const std::string& name) const;
+
+  /// Numeric convenience: int fields widen to double.
+  std::optional<double> GetNumeric(const std::string& name) const;
+
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+  size_t size() const { return fields_.size(); }
+
+  /// "{a=1, b=x}" — for logs and tests.
+  std::string ToString() const;
+
+ private:
+  const Value* Find(const std::string& name) const;
+
+  TimeMs event_time_ = 0;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Converts a surveillance position into the generic record form used by
+/// the RDFizers and the dashboard sinks.
+Record PositionToRecord(const Position& p);
+
+/// Reverse mapping; fails silently to zeros for missing fields.
+Position RecordToPosition(const Record& r);
+
+}  // namespace tcmf::stream
+
+#endif  // TCMF_STREAM_RECORD_H_

@@ -1,0 +1,87 @@
+#ifndef TCMF_STREAM_WINDOW_H_
+#define TCMF_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/position.h"
+
+namespace tcmf::stream {
+
+/// Tumbling event-time window assembler with bounded lateness — a
+/// single-key building block the operators compose per key. Feed elements
+/// with their event times; completed windows are emitted once the
+/// watermark (max event time - allowed lateness) passes their end.
+template <typename T, typename Acc>
+class TumblingWindower {
+ public:
+  struct WindowResult {
+    TimeMs window_start = 0;
+    TimeMs window_end = 0;
+    Acc value{};
+  };
+
+  /// `add` folds an element into the per-window accumulator.
+  TumblingWindower(TimeMs window_ms, TimeMs allowed_lateness_ms,
+                   std::function<void(Acc&, const T&, TimeMs)> add)
+      : window_ms_(window_ms <= 0 ? 1 : window_ms),
+        lateness_ms_(allowed_lateness_ms),
+        add_(std::move(add)) {}
+
+  /// Feeds one element; returns any windows closed by the advancing
+  /// watermark (possibly empty). Late elements beyond the watermark are
+  /// dropped and counted.
+  std::vector<WindowResult> Add(const T& element, TimeMs event_time) {
+    if (event_time < watermark_) {
+      ++late_dropped_;
+      return Flush(watermark_);
+    }
+    TimeMs start = WindowStart(event_time);
+    add_(windows_[start], element, event_time);
+    if (event_time > max_event_time_) {
+      max_event_time_ = event_time;
+      watermark_ = max_event_time_ - lateness_ms_;
+    }
+    return Flush(watermark_);
+  }
+
+  /// Emits every remaining open window (end of stream).
+  std::vector<WindowResult> Close() {
+    return Flush(std::numeric_limits<TimeMs>::max());
+  }
+
+  size_t late_dropped() const { return late_dropped_; }
+  TimeMs watermark() const { return watermark_; }
+
+ private:
+  TimeMs WindowStart(TimeMs t) const {
+    TimeMs start = t - (t % window_ms_);
+    if (t < 0 && t % window_ms_ != 0) start -= window_ms_;
+    return start;
+  }
+
+  std::vector<WindowResult> Flush(TimeMs up_to) {
+    std::vector<WindowResult> out;
+    auto it = windows_.begin();
+    while (it != windows_.end() && it->first + window_ms_ <= up_to) {
+      out.push_back({it->first, it->first + window_ms_, std::move(it->second)});
+      it = windows_.erase(it);
+    }
+    return out;
+  }
+
+  TimeMs window_ms_;
+  TimeMs lateness_ms_;
+  std::function<void(Acc&, const T&, TimeMs)> add_;
+  std::map<TimeMs, Acc> windows_;
+  TimeMs max_event_time_ = std::numeric_limits<TimeMs>::min();
+  TimeMs watermark_ = std::numeric_limits<TimeMs>::min();
+  size_t late_dropped_ = 0;
+};
+
+}  // namespace tcmf::stream
+
+#endif  // TCMF_STREAM_WINDOW_H_

@@ -1,0 +1,81 @@
+#include "synopses/batch_simplify.h"
+
+#include <cmath>
+
+#include "geom/geo.h"
+#include "geom/geometry.h"
+
+namespace tcmf::synopses {
+
+namespace {
+
+/// Spatial distance from points[i] to the segment points[lo]..points[hi].
+double SpatialError(const std::vector<Position>& points, size_t lo,
+                    size_t hi, size_t i) {
+  return geom::PointSegmentDistanceM(
+      {points[i].lon, points[i].lat}, {points[lo].lon, points[lo].lat},
+      {points[hi].lon, points[hi].lat});
+}
+
+/// Synchronized Euclidean distance: points[i] vs the time-interpolated
+/// position on the chord.
+double SedError(const std::vector<Position>& points, size_t lo, size_t hi,
+                size_t i) {
+  const Position& a = points[lo];
+  const Position& b = points[hi];
+  double f = b.t == a.t ? 0.0
+                        : static_cast<double>(points[i].t - a.t) /
+                              static_cast<double>(b.t - a.t);
+  double lon = a.lon + f * (b.lon - a.lon);
+  double lat = a.lat + f * (b.lat - a.lat);
+  return geom::HaversineM(points[i].lon, points[i].lat, lon, lat);
+}
+
+template <typename ErrorFn>
+void Recurse(const std::vector<Position>& points, size_t lo, size_t hi,
+             double epsilon_m, const ErrorFn& error,
+             std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = 0.0;
+  size_t worst_i = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    double e = error(points, lo, hi, i);
+    if (e > worst) {
+      worst = e;
+      worst_i = i;
+    }
+  }
+  if (worst > epsilon_m) {
+    (*keep)[worst_i] = true;
+    Recurse(points, lo, worst_i, epsilon_m, error, keep);
+    Recurse(points, worst_i, hi, epsilon_m, error, keep);
+  }
+}
+
+template <typename ErrorFn>
+std::vector<Position> Simplify(const std::vector<Position>& points,
+                               double epsilon_m, const ErrorFn& error) {
+  if (points.size() <= 2) return points;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = keep.back() = true;
+  Recurse(points, 0, points.size() - 1, epsilon_m, error, &keep);
+  std::vector<Position> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Position> DouglasPeucker(const std::vector<Position>& points,
+                                     double epsilon_m) {
+  return Simplify(points, epsilon_m, SpatialError);
+}
+
+std::vector<Position> DouglasPeuckerSed(const std::vector<Position>& points,
+                                        double epsilon_m) {
+  return Simplify(points, epsilon_m, SedError);
+}
+
+}  // namespace tcmf::synopses

@@ -1,0 +1,30 @@
+#ifndef TCMF_SYNOPSES_BATCH_SIMPLIFY_H_
+#define TCMF_SYNOPSES_BATCH_SIMPLIFY_H_
+
+#include <vector>
+
+#include "common/position.h"
+
+namespace tcmf::synopses {
+
+/// Batch trajectory simplification (Douglas-Peucker with a spatial error
+/// bound) — the class of "costly trajectory simplification algorithms
+/// operating in batch fashion" ([16][17] in the paper) that the Synopses
+/// Generator deliberately avoids. Implemented as the comparison baseline:
+/// it needs the complete trajectory before emitting anything (full-
+/// trajectory latency) while the Synopses Generator is single-pass.
+///
+/// Returns the retained positions (always includes the endpoints).
+std::vector<Position> DouglasPeucker(const std::vector<Position>& points,
+                                     double epsilon_m);
+
+/// Time-ratio synchronized Euclidean distance variant: the error of a
+/// point is measured against the position interpolated *at its timestamp*
+/// between the segment endpoints (the spatio-temporal error measure of
+/// [20]); better suited to moving objects than pure spatial distance.
+std::vector<Position> DouglasPeuckerSed(const std::vector<Position>& points,
+                                        double epsilon_m);
+
+}  // namespace tcmf::synopses
+
+#endif  // TCMF_SYNOPSES_BATCH_SIMPLIFY_H_

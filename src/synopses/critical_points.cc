@@ -1,0 +1,244 @@
+#include "synopses/critical_points.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/geo.h"
+
+namespace tcmf::synopses {
+
+const char* CriticalPointTypeName(CriticalPointType type) {
+  switch (type) {
+    case CriticalPointType::kStart:
+      return "start";
+    case CriticalPointType::kEnd:
+      return "end";
+    case CriticalPointType::kStop:
+      return "stop";
+    case CriticalPointType::kStopEnd:
+      return "stop_end";
+    case CriticalPointType::kSlowMotionStart:
+      return "slow_motion_start";
+    case CriticalPointType::kSlowMotionEnd:
+      return "slow_motion_end";
+    case CriticalPointType::kChangeInHeading:
+      return "change_in_heading";
+    case CriticalPointType::kSpeedChange:
+      return "speed_change";
+    case CriticalPointType::kGapStart:
+      return "gap_start";
+    case CriticalPointType::kGapEnd:
+      return "gap_end";
+    case CriticalPointType::kChangeInAltitude:
+      return "change_in_altitude";
+    case CriticalPointType::kTakeoff:
+      return "takeoff";
+    case CriticalPointType::kLanding:
+      return "landing";
+  }
+  return "unknown";
+}
+
+SynopsesConfig SynopsesConfig::ForMaritime() { return SynopsesConfig{}; }
+
+SynopsesConfig SynopsesConfig::ForAviation() {
+  SynopsesConfig c;
+  c.domain = Domain::kAviation;
+  c.stop_speed_mps = 2.0;
+  c.slow_speed_mps = 60.0;
+  c.heading_threshold_deg = 8.0;
+  c.speed_change_ratio = 0.15;
+  c.gap_threshold_ms = 2 * kMillisPerMinute;
+  c.min_emission_spacing_ms = 4 * kMillisPerSecond;
+  return c;
+}
+
+SynopsesGenerator::SynopsesGenerator(const SynopsesConfig& config)
+    : config_(config) {}
+
+bool SynopsesGenerator::RateLimited(EntityState& s, CriticalPointType type,
+                                    TimeMs t) const {
+  auto it = s.last_emit_by_type.find(static_cast<int>(type));
+  return it != s.last_emit_by_type.end() &&
+         t - it->second < config_.min_emission_spacing_ms;
+}
+
+void SynopsesGenerator::Emit(std::vector<CriticalPoint>* out, EntityState& s,
+                             const Position& p, CriticalPointType type) {
+  s.last_emit_by_type[static_cast<int>(type)] = p.t;
+  out->push_back({p, type});
+  ++critical_count_;
+}
+
+std::vector<CriticalPoint> SynopsesGenerator::Observe(const Position& p) {
+  ++raw_count_;
+  std::vector<CriticalPoint> out;
+  EntityState& s = states_[p.entity_id];
+
+  if (!s.started) {
+    s.started = true;
+    s.airborne = p.alt_m > config_.ground_altitude_m;
+    Emit(&out, s, p, CriticalPointType::kStart);
+    s.last = p;
+    s.window.push_back(p);
+    return out;
+  }
+
+  // Reject regressions in time (cleaning is upstream; stay robust anyway).
+  if (p.t <= s.last.t) return out;
+
+  // --- Communication gap ---
+  if (p.t - s.last.t >= config_.gap_threshold_ms) {
+    if (!RateLimited(s, CriticalPointType::kGapStart, s.last.t)) {
+      Emit(&out, s, s.last, CriticalPointType::kGapStart);
+    }
+    Emit(&out, s, p, CriticalPointType::kGapEnd);
+    s.window.clear();  // course before the gap no longer informative
+  }
+
+  // --- Stop detection ---
+  bool is_stationary = p.speed_mps < config_.stop_speed_mps;
+  if (is_stationary) {
+    if (!s.in_stop) {
+      s.in_stop = true;
+      s.stop_since = p.t;
+      s.stop_emitted = false;
+    } else if (!s.stop_emitted &&
+               p.t - s.stop_since >= config_.stop_min_duration_ms) {
+      Emit(&out, s, p, CriticalPointType::kStop);
+      s.stop_emitted = true;
+    }
+  } else if (s.in_stop) {
+    if (s.stop_emitted) Emit(&out, s, p, CriticalPointType::kStopEnd);
+    s.in_stop = false;
+  }
+
+  // --- Slow motion ---
+  bool is_slow = !is_stationary && p.speed_mps < config_.slow_speed_mps;
+  if (is_slow) {
+    if (!s.in_slow) {
+      s.in_slow = true;
+      s.slow_since = p.t;
+      s.slow_emitted = false;
+    } else if (!s.slow_emitted &&
+               p.t - s.slow_since >= config_.slow_min_duration_ms) {
+      Emit(&out, s, p, CriticalPointType::kSlowMotionStart);
+      s.slow_emitted = true;
+    }
+  } else if (s.in_slow) {
+    if (s.slow_emitted) Emit(&out, s, p, CriticalPointType::kSlowMotionEnd);
+    s.in_slow = false;
+  }
+
+  // --- Change in heading w.r.t. mean velocity vector of recent course ---
+  if (!is_stationary && s.window.size() >= 2) {
+    double ve = 0.0, vn = 0.0;
+    for (const Position& q : s.window) {
+      double rad = geom::DegToRad(q.heading_deg);
+      ve += q.speed_mps * std::sin(rad);
+      vn += q.speed_mps * std::cos(rad);
+    }
+    double mean_heading =
+        geom::NormalizeDeg(geom::RadToDeg(std::atan2(ve, vn)));
+    double mean_speed = std::hypot(ve, vn) / s.window.size();
+    double dev = std::fabs(geom::AngleDiffDeg(p.heading_deg, mean_heading));
+    if (dev > config_.heading_threshold_deg &&
+        !RateLimited(s, CriticalPointType::kChangeInHeading, p.t)) {
+      Emit(&out, s, p, CriticalPointType::kChangeInHeading);
+      s.window.clear();  // restart course estimate at the turn
+    }
+
+    // --- Speed change w.r.t. recent mean speed ---
+    if (mean_speed > 0.2) {
+      double ratio = std::fabs(p.speed_mps - mean_speed) / mean_speed;
+      if (ratio > config_.speed_change_ratio &&
+          !RateLimited(s, CriticalPointType::kSpeedChange, p.t)) {
+        Emit(&out, s, p, CriticalPointType::kSpeedChange);
+      }
+    }
+  }
+
+  // --- Aviation: altitude events ---
+  if (config_.domain == Domain::kAviation) {
+    bool airborne_now = p.alt_m > config_.ground_altitude_m;
+    if (!s.airborne && airborne_now) {
+      // The previous report was the last on the ground.
+      Emit(&out, s, s.last, CriticalPointType::kTakeoff);
+    } else if (s.airborne && !airborne_now) {
+      Emit(&out, s, p, CriticalPointType::kLanding);
+    }
+    s.airborne = airborne_now;
+
+    bool steep = std::fabs(p.vrate_mps) > config_.altitude_rate_threshold_mps;
+    if (steep != s.climbing_or_descending &&
+        !RateLimited(s, CriticalPointType::kChangeInAltitude, p.t)) {
+      Emit(&out, s, p, CriticalPointType::kChangeInAltitude);
+    }
+    s.climbing_or_descending = steep;
+  }
+
+  s.window.push_back(p);
+  while (s.window.size() > config_.course_window) s.window.pop_front();
+  s.last = p;
+  return out;
+}
+
+std::vector<CriticalPoint> SynopsesGenerator::Flush() {
+  std::vector<CriticalPoint> out;
+  for (auto& [id, s] : states_) {
+    if (s.started) Emit(&out, s, s.last, CriticalPointType::kEnd);
+  }
+  return out;
+}
+
+double SynopsesGenerator::CompressionRatio() const {
+  if (raw_count_ == 0) return 0.0;
+  double kept = static_cast<double>(critical_count_);
+  return std::max(0.0, 1.0 - kept / static_cast<double>(raw_count_));
+}
+
+Position InterpolateSynopsis(const std::vector<CriticalPoint>& synopsis,
+                             TimeMs t) {
+  Position out;
+  if (synopsis.empty()) return out;
+  if (t <= synopsis.front().pos.t) return synopsis.front().pos;
+  if (t >= synopsis.back().pos.t) return synopsis.back().pos;
+  // Binary search for the bracketing pair.
+  size_t lo = 0, hi = synopsis.size() - 1;
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (synopsis[mid].pos.t <= t) lo = mid;
+    else hi = mid;
+  }
+  const Position& a = synopsis[lo].pos;
+  const Position& b = synopsis[hi].pos;
+  double f = b.t == a.t ? 0.0
+                        : static_cast<double>(t - a.t) /
+                              static_cast<double>(b.t - a.t);
+  out = a;
+  out.t = t;
+  out.lon = a.lon + f * (b.lon - a.lon);
+  out.lat = a.lat + f * (b.lat - a.lat);
+  out.alt_m = a.alt_m + f * (b.alt_m - a.alt_m);
+  out.speed_mps = a.speed_mps + f * (b.speed_mps - a.speed_mps);
+  return out;
+}
+
+ReconstructionError EvaluateReconstruction(
+    const Trajectory& raw, const std::vector<CriticalPoint>& synopsis) {
+  ReconstructionError err;
+  if (raw.points.empty() || synopsis.empty()) return err;
+  double sum = 0.0, sum2 = 0.0;
+  for (const Position& p : raw.points) {
+    Position approx = InterpolateSynopsis(synopsis, p.t);
+    double d = geom::HaversineM(p.lon, p.lat, approx.lon, approx.lat);
+    sum += d;
+    sum2 += d * d;
+    err.max_m = std::max(err.max_m, d);
+  }
+  err.mean_m = sum / raw.points.size();
+  err.rmse_m = std::sqrt(sum2 / raw.points.size());
+  return err;
+}
+
+}  // namespace tcmf::synopses

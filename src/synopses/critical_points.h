@@ -1,0 +1,130 @@
+#ifndef TCMF_SYNOPSES_CRITICAL_POINTS_H_
+#define TCMF_SYNOPSES_CRITICAL_POINTS_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/position.h"
+
+namespace tcmf::synopses {
+
+/// The critical-point vocabulary of Section 4.2.2, covering both domains.
+enum class CriticalPointType {
+  kStart = 0,        ///< first report of a trajectory
+  kEnd,              ///< last report (emitted on flush)
+  kStop,             ///< entity became stationary
+  kStopEnd,          ///< entity resumed moving after a stop
+  kSlowMotionStart,  ///< sustained low-speed movement began
+  kSlowMotionEnd,    ///< low-speed movement ended
+  kChangeInHeading,  ///< turn beyond threshold w.r.t. recent mean velocity
+  kSpeedChange,      ///< speed rate-of-change beyond threshold
+  kGapStart,         ///< last report before a communication gap
+  kGapEnd,           ///< first report after a communication gap
+  kChangeInAltitude, ///< climb/descent rate beyond threshold (aviation)
+  kTakeoff,          ///< last on-ground report before getting airborne
+  kLanding,          ///< first on-ground report after flight
+};
+
+const char* CriticalPointTypeName(CriticalPointType type);
+
+/// A critical point: a retained position annotated with why it was kept.
+struct CriticalPoint {
+  Position pos;
+  CriticalPointType type = CriticalPointType::kStart;
+};
+
+/// Thresholds of the single-pass heuristics. Defaults are tuned for AIS;
+/// ForAviation() returns ADS-B-rate settings.
+struct SynopsesConfig {
+  double stop_speed_mps = 0.5;
+  TimeMs stop_min_duration_ms = 60 * kMillisPerSecond;
+  double slow_speed_mps = 2.5;
+  TimeMs slow_min_duration_ms = 60 * kMillisPerSecond;
+  /// Heading deviation (degrees) from the mean velocity vector of the
+  /// recent course that triggers a ChangeInHeading point.
+  double heading_threshold_deg = 12.0;
+  /// Number of recent points forming the "recent course" window.
+  size_t course_window = 6;
+  /// Relative speed change w.r.t. recent mean speed that triggers a
+  /// SpeedChange point.
+  double speed_change_ratio = 0.25;
+  TimeMs gap_threshold_ms = 10 * kMillisPerMinute;
+  /// Vertical-rate magnitude (m/s) that triggers ChangeInAltitude points
+  /// (aviation only). Points are emitted on threshold crossings.
+  double altitude_rate_threshold_mps = 5.0;
+  /// Altitude below which an aircraft counts as on the ground.
+  double ground_altitude_m = 10.0;
+  /// Minimum time between consecutive emitted critical points of the same
+  /// type for one entity — a noise guard on top of the base heuristics.
+  TimeMs min_emission_spacing_ms = 5 * kMillisPerSecond;
+  Domain domain = Domain::kMaritime;
+
+  static SynopsesConfig ForMaritime();
+  static SynopsesConfig ForAviation();
+};
+
+/// Single-pass, per-entity streaming Synopses Generator. Feed every raw
+/// position through Observe(); it returns the critical points (possibly
+/// none) that the report triggered. O(course_window) state per entity.
+class SynopsesGenerator {
+ public:
+  explicit SynopsesGenerator(const SynopsesConfig& config);
+
+  /// Processes one raw report.
+  std::vector<CriticalPoint> Observe(const Position& p);
+
+  /// Emits kEnd points for all live entities (end of stream).
+  std::vector<CriticalPoint> Flush();
+
+  size_t raw_count() const { return raw_count_; }
+  size_t critical_count() const { return critical_count_; }
+  /// Fraction of raw positions dropped, in [0, 1].
+  double CompressionRatio() const;
+
+ private:
+  struct EntityState {
+    std::deque<Position> window;  ///< recent course (≤ course_window)
+    bool started = false;
+    bool in_stop = false;
+    bool in_slow = false;
+    TimeMs stop_since = 0;
+    TimeMs slow_since = 0;
+    bool stop_emitted = false;
+    bool slow_emitted = false;
+    bool airborne = false;
+    bool climbing_or_descending = false;
+    Position last;
+    std::unordered_map<int, TimeMs> last_emit_by_type;
+  };
+
+  bool RateLimited(EntityState& s, CriticalPointType type, TimeMs t) const;
+  void Emit(std::vector<CriticalPoint>* out, EntityState& s,
+            const Position& p, CriticalPointType type);
+
+  SynopsesConfig config_;
+  std::unordered_map<uint64_t, EntityState> states_;
+  size_t raw_count_ = 0;
+  size_t critical_count_ = 0;
+};
+
+/// Reconstructs an approximate trajectory from a synopsis by linear
+/// space-time interpolation and reports approximation quality against the
+/// raw trajectory (Section 4.2.2's "tolerable error" evaluation).
+struct ReconstructionError {
+  double mean_m = 0.0;
+  double max_m = 0.0;
+  double rmse_m = 0.0;
+};
+
+ReconstructionError EvaluateReconstruction(
+    const Trajectory& raw, const std::vector<CriticalPoint>& synopsis);
+
+/// Interpolated position of the synopsis at time t (clamped to ends).
+Position InterpolateSynopsis(const std::vector<CriticalPoint>& synopsis,
+                             TimeMs t);
+
+}  // namespace tcmf::synopses
+
+#endif  // TCMF_SYNOPSES_CRITICAL_POINTS_H_

@@ -1,0 +1,59 @@
+#include "va/demand.h"
+
+#include <algorithm>
+
+namespace tcmf::va {
+
+void SectorDemandMonitor::RecordEntry(uint64_t sector, TimeMs t) {
+  ++counts_[sector][BinOf(t)];
+  ++total_entries_;
+}
+
+size_t SectorDemandMonitor::Demand(uint64_t sector, TimeMs t) const {
+  auto sit = counts_.find(sector);
+  if (sit == counts_.end()) return 0;
+  auto bit = sit->second.find(BinOf(t));
+  return bit == sit->second.end() ? 0 : bit->second;
+}
+
+std::vector<SectorDemandMonitor::Overload>
+SectorDemandMonitor::DetectOverloads(
+    const std::unordered_map<uint64_t, size_t>& capacities,
+    size_t default_capacity) const {
+  std::vector<Overload> out;
+  for (const auto& [sector, bins] : counts_) {
+    auto cit = capacities.find(sector);
+    size_t capacity =
+        cit == capacities.end() ? default_capacity : cit->second;
+    for (const auto& [bin, demand] : bins) {
+      if (demand > capacity) {
+        out.push_back({sector, bin * bin_ms_, demand, capacity});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Overload& a, const Overload& b) {
+              return a.bin_start < b.bin_start ||
+                     (a.bin_start == b.bin_start && a.sector < b.sector);
+            });
+  return out;
+}
+
+double SectorDemandMonitor::ForecastDemand(uint64_t sector, TimeMs t) const {
+  auto sit = counts_.find(sector);
+  if (sit == counts_.end()) return 0.0;
+  const int64_t bins_per_day = (24 * kMillisPerHour) / bin_ms_;
+  if (bins_per_day <= 0) return 0.0;
+  int64_t target = BinOf(t);
+  double sum = 0.0;
+  size_t days = 0;
+  for (int64_t bin = target - bins_per_day; bin >= 0;
+       bin -= bins_per_day) {
+    auto bit = sit->second.find(bin);
+    sum += bit == sit->second.end() ? 0.0 : static_cast<double>(bit->second);
+    ++days;
+  }
+  return days == 0 ? 0.0 : sum / days;
+}
+
+}  // namespace tcmf::va

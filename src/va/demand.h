@@ -1,0 +1,62 @@
+#ifndef TCMF_VA_DEMAND_H_
+#define TCMF_VA_DEMAND_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/position.h"
+
+namespace tcmf::va {
+
+/// Demand/capacity monitoring for airspace sectors (Section 2: "maintaining
+/// the balance between the demand ... and the capacity is one of the main
+/// challenges"; "the number of published regulations could be more
+/// accurately forecasted"). Counts sector entries per time bin, flags
+/// overloads against declared capacities (the situations that trigger ATM
+/// regulations), and forecasts demand with a seasonal-naive model over the
+/// daily cycle.
+class SectorDemandMonitor {
+ public:
+  /// `bin_ms` is the demand-counting period (e.g. 1 hour).
+  explicit SectorDemandMonitor(TimeMs bin_ms) : bin_ms_(bin_ms) {}
+
+  /// Records one sector entry at time t.
+  void RecordEntry(uint64_t sector, TimeMs t);
+
+  /// Demand (entries) of a sector in the bin containing t.
+  size_t Demand(uint64_t sector, TimeMs t) const;
+
+  /// An overload: demand above the declared capacity in one bin —
+  /// the condition under which a regulation would be published.
+  struct Overload {
+    uint64_t sector = 0;
+    TimeMs bin_start = 0;
+    size_t demand = 0;
+    size_t capacity = 0;
+  };
+
+  /// All overloads against per-sector capacities (sectors missing from
+  /// the map use `default_capacity`).
+  std::vector<Overload> DetectOverloads(
+      const std::unordered_map<uint64_t, size_t>& capacities,
+      size_t default_capacity) const;
+
+  /// Seasonal-naive demand forecast for the bin containing `t`: the mean
+  /// demand of the same time-of-day bin over the preceding days. Returns
+  /// 0 when no history exists.
+  double ForecastDemand(uint64_t sector, TimeMs t) const;
+
+  size_t total_entries() const { return total_entries_; }
+
+ private:
+  int64_t BinOf(TimeMs t) const { return t / bin_ms_; }
+
+  TimeMs bin_ms_;
+  /// sector -> bin index -> count.
+  std::unordered_map<uint64_t, std::unordered_map<int64_t, size_t>> counts_;
+  size_t total_entries_ = 0;
+};
+
+}  // namespace tcmf::va
+
+#endif  // TCMF_VA_DEMAND_H_

@@ -1,0 +1,127 @@
+#include "va/density.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace tcmf::va {
+
+DensityMap::DensityMap(const geom::BBox& extent, int cols, int rows)
+    : extent_(extent),
+      cols_(std::max(1, cols)),
+      rows_(std::max(1, rows)),
+      cells_(static_cast<size_t>(cols_) * rows_, 0) {}
+
+void DensityMap::Add(double lon, double lat) {
+  if (!extent_.Contains(lon, lat)) return;
+  int c = std::min<int>(
+      cols_ - 1,
+      static_cast<int>((lon - extent_.min_lon) / extent_.width() * cols_));
+  int r = std::min<int>(
+      rows_ - 1,
+      static_cast<int>((lat - extent_.min_lat) / extent_.height() * rows_));
+  ++cells_[static_cast<size_t>(r) * cols_ + c];
+  ++total_;
+}
+
+void DensityMap::AddAll(const std::vector<Position>& positions) {
+  for (const Position& p : positions) Add(p.lon, p.lat);
+}
+
+std::string DensityMap::RenderAscii() const {
+  static const char kRamp[] = " .:-=+*%@#";
+  size_t max_count = 0;
+  for (size_t c : cells_) max_count = std::max(max_count, c);
+  std::string out;
+  out.reserve(static_cast<size_t>(rows_) * (cols_ + 1));
+  for (int r = rows_ - 1; r >= 0; --r) {  // north at top
+    for (int c = 0; c < cols_; ++c) {
+      size_t count = At(c, r);
+      int level = 0;
+      if (max_count > 0 && count > 0) {
+        level = 1 + static_cast<int>(8.0 * count / max_count);
+        level = std::min(level, 9);
+      }
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DensityMap::RenderDiffAscii(const DensityMap& other) const {
+  std::string out;
+  if (other.cols_ != cols_ || other.rows_ != rows_) return out;
+  double self_total = std::max<size_t>(1, total_);
+  double other_total = std::max<size_t>(1, other.total_);
+  for (int r = rows_ - 1; r >= 0; --r) {
+    for (int c = 0; c < cols_; ++c) {
+      double d = At(c, r) / self_total - other.At(c, r) / other_total;
+      char ch = '.';
+      if (d > 0.002) ch = '+';
+      else if (d > 0.0005) ch = 'p';
+      else if (d < -0.002) ch = '-';
+      else if (d < -0.0005) ch = 'm';
+      else if (At(c, r) + other.At(c, r) == 0) ch = ' ';
+      out += ch;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DensityMap::ToCsv() const {
+  std::string out = "col,row,count\n";
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (At(c, r) > 0) {
+        out += StrFormat("%d,%d,%zu\n", c, r, At(c, r));
+      }
+    }
+  }
+  return out;
+}
+
+TimeHistogram::TimeHistogram(TimeMs t0, TimeMs bin_ms, size_t bins,
+                             int labels)
+    : t0_(t0),
+      bin_ms_(bin_ms <= 0 ? 1 : bin_ms),
+      bins_(bins),
+      labels_(std::max(1, labels)),
+      counts_(bins * static_cast<size_t>(labels_), 0) {}
+
+void TimeHistogram::Add(TimeMs t, int label) {
+  if (t < t0_) return;
+  size_t bin = static_cast<size_t>((t - t0_) / bin_ms_);
+  if (bin >= bins_) return;
+  if (label < 0 || label >= labels_) label = labels_ - 1;
+  ++counts_[bin * labels_ + label];
+}
+
+size_t TimeHistogram::Count(size_t bin, int label) const {
+  return counts_[bin * labels_ + label];
+}
+
+size_t TimeHistogram::BinTotal(size_t bin) const {
+  size_t total = 0;
+  for (int l = 0; l < labels_; ++l) total += Count(bin, l);
+  return total;
+}
+
+std::string TimeHistogram::Render() const {
+  std::string out;
+  for (size_t b = 0; b < bins_; ++b) {
+    double hour =
+        static_cast<double>(t0_ + static_cast<TimeMs>(b) * bin_ms_) /
+        kMillisPerHour;
+    out += StrFormat("%7.1fh %5zu |", hour, BinTotal(b));
+    for (int l = 0; l < labels_; ++l) {
+      out += StrFormat(" %4zu", Count(b, l));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tcmf::va

@@ -1,0 +1,74 @@
+#ifndef TCMF_VA_DENSITY_H_
+#define TCMF_VA_DENSITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/position.h"
+#include "geom/geometry.h"
+
+namespace tcmf::va {
+
+/// Spatial density raster: the summary representation behind the map
+/// displays of Figures 10 and 11. Counts positions per grid cell;
+/// renders to ASCII (for terminal dashboards) or CSV (for plotting).
+class DensityMap {
+ public:
+  DensityMap(const geom::BBox& extent, int cols, int rows);
+
+  void Add(double lon, double lat);
+  void AddAll(const std::vector<Position>& positions);
+
+  size_t total() const { return total_; }
+  size_t At(int col, int row) const {
+    return cells_[static_cast<size_t>(row) * cols_ + col];
+  }
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+
+  /// Cellwise difference density (this - other), normalized by each map's
+  /// total, rendered as +/- intensity. Maps must have equal shape.
+  std::string RenderDiffAscii(const DensityMap& other) const;
+
+  /// ASCII art: ' ' (empty) through '#' (max density), row 0 at top
+  /// (north).
+  std::string RenderAscii() const;
+
+  /// "col,row,count" lines.
+  std::string ToCsv() const;
+
+ private:
+  geom::BBox extent_;
+  int cols_;
+  int rows_;
+  std::vector<size_t> cells_;
+  size_t total_ = 0;
+};
+
+/// Time histogram with per-label stacked counts (Figure 11's colored
+/// bars): bins of `bin_ms` from t0; labels are small non-negative ints.
+class TimeHistogram {
+ public:
+  TimeHistogram(TimeMs t0, TimeMs bin_ms, size_t bins, int labels);
+
+  void Add(TimeMs t, int label);
+
+  size_t Count(size_t bin, int label) const;
+  size_t BinTotal(size_t bin) const;
+  size_t bins() const { return bins_; }
+  int labels() const { return labels_; }
+
+  /// One row per bin: "bin_start_hour  total  [per-label counts]".
+  std::string Render() const;
+
+ private:
+  TimeMs t0_;
+  TimeMs bin_ms_;
+  size_t bins_;
+  int labels_;
+  std::vector<size_t> counts_;  ///< bin * labels + label
+};
+
+}  // namespace tcmf::va
+
+#endif  // TCMF_VA_DENSITY_H_

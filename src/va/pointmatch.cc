@@ -1,0 +1,61 @@
+#include "va/pointmatch.h"
+
+#include <algorithm>
+
+#include "geom/geo.h"
+
+namespace tcmf::va {
+
+PointMatchResult MatchTrajectories(const Trajectory& predicted,
+                                   const Trajectory& actual,
+                                   const PointMatchOptions& options) {
+  PointMatchResult out;
+  out.predicted_points = predicted.points.size();
+  if (predicted.points.empty() || actual.points.empty()) return out;
+
+  double matched_distance_sum = 0.0;
+  size_t lo = 0;  // sliding lower bound into `actual` (both time-ordered)
+  for (const Position& p : predicted.points) {
+    while (lo < actual.points.size() &&
+           actual.points[lo].t < p.t - options.max_time_diff_ms) {
+      ++lo;
+    }
+    double best = -1.0;
+    for (size_t i = lo; i < actual.points.size(); ++i) {
+      const Position& a = actual.points[i];
+      if (a.t > p.t + options.max_time_diff_ms) break;
+      double d = geom::Distance3dM(p, a);
+      if (best < 0 || d < best) best = d;
+    }
+    if (best >= 0 && best <= options.max_distance_m) {
+      ++out.matched_points;
+      matched_distance_sum += best;
+    }
+  }
+  out.matched_proportion =
+      static_cast<double>(out.matched_points) / out.predicted_points;
+  if (out.matched_points > 0) {
+    out.mean_matched_distance_m = matched_distance_sum / out.matched_points;
+  }
+  return out;
+}
+
+BatchMatchReport MatchBatch(const std::vector<Trajectory>& predicted,
+                            const std::vector<Trajectory>& actual,
+                            const PointMatchOptions& options,
+                            double outlier_threshold) {
+  BatchMatchReport report;
+  size_t n = std::min(predicted.size(), actual.size());
+  report.pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PointMatchResult r = MatchTrajectories(predicted[i], actual[i], options);
+    report.proportion_histogram.Add(r.matched_proportion);
+    if (r.matched_proportion < outlier_threshold) {
+      report.outliers.push_back(i);
+    }
+    report.pairs.push_back(r);
+  }
+  return report;
+}
+
+}  // namespace tcmf::va

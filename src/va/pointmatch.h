@@ -1,0 +1,49 @@
+#ifndef TCMF_VA_POINTMATCH_H_
+#define TCMF_VA_POINTMATCH_H_
+
+#include <vector>
+
+#include "common/position.h"
+#include "common/stats.h"
+
+namespace tcmf::va {
+
+/// Point-matching comparison of a predicted trajectory against the actual
+/// one (Figure 12): each predicted point matches when an actual point
+/// exists within the space-time tolerance. The per-pair matched proportion
+/// feeds a histogram across a whole prediction run; low-proportion pairs
+/// are the outliers the analyst drills into.
+struct PointMatchOptions {
+  double max_distance_m = 2000.0;
+  TimeMs max_time_diff_ms = 30 * kMillisPerSecond;
+};
+
+struct PointMatchResult {
+  size_t predicted_points = 0;
+  size_t matched_points = 0;
+  double matched_proportion = 0.0;
+  double mean_matched_distance_m = 0.0;
+};
+
+/// Matches `predicted` against `actual` (both time-ordered).
+PointMatchResult MatchTrajectories(const Trajectory& predicted,
+                                   const Trajectory& actual,
+                                   const PointMatchOptions& options);
+
+/// Batch evaluation over pairs: returns per-pair results and a 10-bucket
+/// histogram of matched proportions over [0, 1].
+struct BatchMatchReport {
+  std::vector<PointMatchResult> pairs;
+  Histogram proportion_histogram{0.0, 1.0, 10};
+  /// Indexes of pairs whose proportion is below `outlier_threshold`.
+  std::vector<size_t> outliers;
+};
+
+BatchMatchReport MatchBatch(const std::vector<Trajectory>& predicted,
+                            const std::vector<Trajectory>& actual,
+                            const PointMatchOptions& options,
+                            double outlier_threshold = 0.5);
+
+}  // namespace tcmf::va
+
+#endif  // TCMF_VA_POINTMATCH_H_

@@ -1,0 +1,80 @@
+#include "va/quality.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "geom/geo.h"
+
+namespace tcmf::va {
+
+namespace {
+
+/// A coordinate looks rounded when it sits on a 0.01-degree lattice —
+/// the telltale of truncated-precision feeds in [5]'s typology.
+bool LooksRounded(double v) {
+  double scaled = v * 100.0;
+  return std::fabs(scaled - std::round(scaled)) < 1e-9;
+}
+
+}  // namespace
+
+QualityReport AssessQuality(const std::vector<Trajectory>& trajectories,
+                            const QualityOptions& options) {
+  QualityReport report;
+  report.entities = trajectories.size();
+  for (const Trajectory& traj : trajectories) {
+    report.positions += traj.points.size();
+    if (traj.points.size() <= 1) {
+      ++report.single_report_entities;
+      continue;
+    }
+    for (size_t i = 1; i < traj.points.size(); ++i) {
+      const Position& prev = traj.points[i - 1];
+      const Position& cur = traj.points[i];
+      if (cur.t == prev.t) {
+        ++report.duplicate_timestamps;
+        continue;
+      }
+      if (cur.t < prev.t) {
+        ++report.out_of_order;
+        continue;
+      }
+      double dt = static_cast<double>(cur.t - prev.t) / kMillisPerSecond;
+      report.report_interval_s.Add(dt);
+      if (cur.t - prev.t >= options.gap_threshold_ms) ++report.gaps;
+      double implied =
+          geom::HaversineM(prev.lon, prev.lat, cur.lon, cur.lat) / dt;
+      if (implied > options.max_speed_mps) ++report.speed_spikes;
+    }
+    for (const Position& p : traj.points) {
+      if (p.lon < options.extent_min_lon || p.lon > options.extent_max_lon ||
+          p.lat < options.extent_min_lat || p.lat > options.extent_max_lat) {
+        ++report.out_of_extent;
+      }
+      if (LooksRounded(p.lon) && LooksRounded(p.lat)) {
+        ++report.coordinate_rounding_suspects;
+      }
+    }
+  }
+  return report;
+}
+
+std::string QualityReport::Render() const {
+  std::string out;
+  out += StrFormat("movement data quality report\n");
+  out += StrFormat("  entities: %zu, positions: %zu\n", entities, positions);
+  out += StrFormat("  temporal: %zu duplicate ts, %zu out-of-order, %zu gaps\n",
+                   duplicate_timestamps, out_of_order, gaps);
+  out += StrFormat("  report interval: mean=%.1fs median=%.1fs max=%.1fs\n",
+                   report_interval_s.mean(), report_interval_s.median(),
+                   report_interval_s.max());
+  out += StrFormat("  spatial: %zu speed spikes, %zu out of extent, "
+                   "%zu rounding suspects\n",
+                   speed_spikes, out_of_extent,
+                   coordinate_rounding_suspects);
+  out += StrFormat("  mover set: %zu single-report entities\n",
+                   single_report_entities);
+  return out;
+}
+
+}  // namespace tcmf::va

@@ -1,0 +1,50 @@
+#ifndef TCMF_VA_QUALITY_H_
+#define TCMF_VA_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/position.h"
+#include "common/stats.h"
+
+namespace tcmf::va {
+
+/// Movement-data quality assessment ([5]): a typology of quality problems
+/// computed per entity and aggregated — the automated half of the paper's
+/// interactive visual reporting framework for data curation.
+struct QualityReport {
+  size_t entities = 0;
+  size_t positions = 0;
+
+  // Temporal properties.
+  size_t duplicate_timestamps = 0;
+  size_t out_of_order = 0;
+  size_t gaps = 0;  ///< intervals above the gap threshold
+  RunningStats report_interval_s;
+
+  // Spatial properties.
+  size_t speed_spikes = 0;    ///< implied speed above the physical bound
+  size_t out_of_extent = 0;
+  size_t coordinate_rounding_suspects = 0;  ///< low-precision coordinates
+
+  // Mover-set properties.
+  size_t single_report_entities = 0;
+
+  /// Multi-line text rendering.
+  std::string Render() const;
+};
+
+struct QualityOptions {
+  TimeMs gap_threshold_ms = 10 * kMillisPerMinute;
+  double max_speed_mps = 350.0;
+  double extent_min_lon = -180.0, extent_min_lat = -90.0;
+  double extent_max_lon = 180.0, extent_max_lat = 90.0;
+};
+
+/// Assesses a batch of per-entity trajectories.
+QualityReport AssessQuality(const std::vector<Trajectory>& trajectories,
+                            const QualityOptions& options);
+
+}  // namespace tcmf::va
+
+#endif  // TCMF_VA_QUALITY_H_

@@ -1,0 +1,80 @@
+#include "va/relevance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/geo.h"
+
+namespace tcmf::va {
+
+FlaggedTrajectory FlagByPredicate(
+    const Trajectory& traj,
+    const std::function<bool(const Position&)>& predicate) {
+  FlaggedTrajectory out;
+  out.traj = traj;
+  out.relevant.reserve(traj.points.size());
+  for (const Position& p : traj.points) out.relevant.push_back(predicate(p));
+  return out;
+}
+
+namespace {
+
+std::vector<geom::LonLat> RelevantPoints(const FlaggedTrajectory& t,
+                                         size_t stride = 1) {
+  std::vector<geom::LonLat> out;
+  for (size_t i = 0; i < t.traj.points.size(); i += stride) {
+    if (i < t.relevant.size() && t.relevant[i]) {
+      out.push_back({t.traj.points[i].lon, t.traj.points[i].lat});
+    }
+  }
+  return out;
+}
+
+double DirectedMeanNn(const std::vector<geom::LonLat>& from,
+                      const std::vector<geom::LonLat>& to) {
+  double sum = 0.0;
+  for (const geom::LonLat& p : from) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const geom::LonLat& q : to) {
+      best = std::min(best, geom::HaversineM(p, q));
+    }
+    sum += best;
+  }
+  return sum / from.size();
+}
+
+}  // namespace
+
+double RelevantPartDistanceM(const FlaggedTrajectory& a,
+                             const FlaggedTrajectory& b) {
+  // Subsample long trajectories to bound the O(n*m) nearest-neighbour
+  // cost; route-level similarity is insensitive to this.
+  auto pick_stride = [](const FlaggedTrajectory& t) {
+    size_t n = t.traj.points.size();
+    return std::max<size_t>(1, n / 150);
+  };
+  std::vector<geom::LonLat> pa = RelevantPoints(a, pick_stride(a));
+  std::vector<geom::LonLat> pb = RelevantPoints(b, pick_stride(b));
+  if (pa.empty() || pb.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return (DirectedMeanNn(pa, pb) + DirectedMeanNn(pb, pa)) / 2.0;
+}
+
+std::vector<int> ClusterByRelevantParts(
+    const std::vector<FlaggedTrajectory>& trajectories,
+    double reachability_threshold_m, size_t min_pts,
+    size_t min_cluster_size) {
+  prediction::DistanceFn dist = [&](size_t i, size_t j) {
+    return RelevantPartDistanceM(trajectories[i], trajectories[j]);
+  };
+  prediction::OpticsOptions options;
+  options.eps = std::numeric_limits<double>::infinity();
+  options.min_pts = min_pts;
+  prediction::OpticsResult result =
+      prediction::RunOptics(trajectories.size(), dist, options);
+  return prediction::ExtractClusters(result, reachability_threshold_m,
+                                     min_cluster_size);
+}
+
+}  // namespace tcmf::va

@@ -1,0 +1,42 @@
+#ifndef TCMF_VA_RELEVANCE_H_
+#define TCMF_VA_RELEVANCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/position.h"
+#include "prediction/clustering.h"
+
+namespace tcmf::va {
+
+/// A trajectory with per-point relevance flags ([6], Figure 11): the
+/// analyst interactively marks which parts matter for the current task
+/// (e.g. only the final approach of a flight, not the cruise).
+struct FlaggedTrajectory {
+  Trajectory traj;
+  std::vector<bool> relevant;  ///< parallel to traj.points
+};
+
+/// Flags points by a predicate (e.g. altitude below a ceiling, inside a
+/// spatial filter, within a time mask).
+FlaggedTrajectory FlagByPredicate(
+    const Trajectory& traj,
+    const std::function<bool(const Position&)>& predicate);
+
+/// Distance between the *relevant parts* of two trajectories: mean of
+/// symmetric nearest-neighbour spatial distances over relevant points
+/// only (a route-similarity distance that ignores irrelevant elements).
+/// Returns +inf when either side has no relevant points.
+double RelevantPartDistanceM(const FlaggedTrajectory& a,
+                             const FlaggedTrajectory& b);
+
+/// Clusters trajectories by the relevant-part distance via OPTICS.
+/// Returns labels (-1 = noise).
+std::vector<int> ClusterByRelevantParts(
+    const std::vector<FlaggedTrajectory>& trajectories,
+    double reachability_threshold_m, size_t min_pts = 3,
+    size_t min_cluster_size = 3);
+
+}  // namespace tcmf::va
+
+#endif  // TCMF_VA_RELEVANCE_H_

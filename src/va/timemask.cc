@@ -1,0 +1,86 @@
+#include "va/timemask.h"
+
+#include <algorithm>
+
+namespace tcmf::va {
+
+TimeMask::TimeMask(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  // Merge overlapping / touching intervals.
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= iv.begin) continue;
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+TimeMask TimeMask::FromBinnedCondition(
+    TimeMs t0, TimeMs t1, TimeMs bin_ms,
+    const std::function<bool(size_t)>& condition) {
+  std::vector<Interval> intervals;
+  size_t bins = bin_ms > 0 ? static_cast<size_t>((t1 - t0 + bin_ms - 1) / bin_ms) : 0;
+  for (size_t b = 0; b < bins; ++b) {
+    if (condition(b)) {
+      TimeMs begin = t0 + static_cast<TimeMs>(b) * bin_ms;
+      intervals.push_back({begin, std::min(begin + bin_ms, t1)});
+    }
+  }
+  return TimeMask(std::move(intervals));
+}
+
+TimeMask TimeMask::AroundEvents(const std::vector<TimeMs>& event_times,
+                                TimeMs pad_ms) {
+  std::vector<Interval> intervals;
+  intervals.reserve(event_times.size());
+  for (TimeMs t : event_times) {
+    intervals.push_back({t - pad_ms, t + pad_ms});
+  }
+  return TimeMask(std::move(intervals));
+}
+
+bool TimeMask::Contains(TimeMs t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeMs value, const Interval& iv) { return value < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return t >= it->begin && t < it->end;
+}
+
+TimeMask TimeMask::Complement(TimeMs t0, TimeMs t1) const {
+  std::vector<Interval> out;
+  TimeMs cursor = t0;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= t0) continue;
+    if (iv.begin >= t1) break;
+    if (iv.begin > cursor) out.push_back({cursor, std::min(iv.begin, t1)});
+    cursor = std::max(cursor, iv.end);
+  }
+  if (cursor < t1) out.push_back({cursor, t1});
+  return TimeMask(std::move(out));
+}
+
+std::vector<Position> TimeMask::Filter(const Trajectory& traj) const {
+  std::vector<Position> out;
+  for (const Position& p : traj.points) {
+    if (Contains(p.t)) out.push_back(p);
+  }
+  return out;
+}
+
+TimeMs TimeMask::TotalDuration() const {
+  TimeMs total = 0;
+  for (const Interval& iv : intervals_) total += iv.end - iv.begin;
+  return total;
+}
+
+}  // namespace tcmf::va

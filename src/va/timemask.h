@@ -1,0 +1,53 @@
+#ifndef TCMF_VA_TIMEMASK_H_
+#define TCMF_VA_TIMEMASK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/position.h"
+
+namespace tcmf::va {
+
+/// A time mask ([7], Figure 10): a set of disjoint time intervals selected
+/// by query conditions over arbitrary attributes, used to filter
+/// time-referenced objects (events, trajectory segments) and compare what
+/// happened inside vs outside the selected times.
+class TimeMask {
+ public:
+  struct Interval {
+    TimeMs begin = 0;
+    TimeMs end = 0;  ///< exclusive
+  };
+
+  TimeMask() = default;
+  /// Intervals are normalized: sorted and overlaps merged.
+  explicit TimeMask(std::vector<Interval> intervals);
+
+  /// Builds a mask from a binned condition: bins of `bin_ms` covering
+  /// [t0, t1); bin b is selected when `condition(b)` is true. Adjacent
+  /// selected bins merge.
+  static TimeMask FromBinnedCondition(TimeMs t0, TimeMs t1, TimeMs bin_ms,
+                                      const std::function<bool(size_t)>& condition);
+
+  /// Mask of +-pad_ms around each event time.
+  static TimeMask AroundEvents(const std::vector<TimeMs>& event_times,
+                               TimeMs pad_ms);
+
+  bool Contains(TimeMs t) const;
+
+  /// Complement within [t0, t1).
+  TimeMask Complement(TimeMs t0, TimeMs t1) const;
+
+  /// Positions of a trajectory falling inside the mask.
+  std::vector<Position> Filter(const Trajectory& traj) const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  TimeMs TotalDuration() const;
+
+ private:
+  std::vector<Interval> intervals_;  ///< sorted, disjoint
+};
+
+}  // namespace tcmf::va
+
+#endif  // TCMF_VA_TIMEMASK_H_

@@ -1,0 +1,623 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "cep/automaton.h"
+#include "cep/forecast.h"
+#include "cep/pattern.h"
+#include "cep/pmc.h"
+#include "common/rng.h"
+
+namespace tcmf::cep {
+namespace {
+
+// --------------------------------------------------------------- Pattern
+
+TEST(PatternTest, ToStringForms) {
+  Pattern r = Pattern::Seq({Pattern::Symbol(0),
+                            Pattern::Star(Pattern::Or({Pattern::Symbol(0),
+                                                       Pattern::Symbol(1)})),
+                            Pattern::Symbol(2)});
+  EXPECT_EQ(r.ToString(), "(0 (0|1)* 2)");
+}
+
+TEST(PatternTest, PlusDesugarsToSeqStar) {
+  Pattern p = Pattern::Plus(Pattern::Symbol(1));
+  ASSERT_EQ(p.kind(), Pattern::Kind::kSeq);
+  ASSERT_EQ(p.children().size(), 2u);
+  EXPECT_EQ(p.children()[0].kind(), Pattern::Kind::kSymbol);
+  EXPECT_EQ(p.children()[1].kind(), Pattern::Kind::kStar);
+}
+
+// ------------------------------------------------------------- Automaton
+
+/// Checks whether the plain DFA accepts a whole word.
+bool Accepts(const Dfa& dfa, const std::vector<int>& word) {
+  int state = 0;
+  for (int sym : word) state = dfa.Next(state, sym);
+  return dfa.is_final[state];
+}
+
+TEST(AutomatonTest, SymbolDfa) {
+  Dfa dfa = CompileDfa(Pattern::Symbol(1), 2);
+  EXPECT_TRUE(Accepts(dfa, {1}));
+  EXPECT_FALSE(Accepts(dfa, {0}));
+  EXPECT_FALSE(Accepts(dfa, {}));
+  EXPECT_FALSE(Accepts(dfa, {1, 1}));
+}
+
+TEST(AutomatonTest, SeqDfa) {
+  // R = acc over {a=0, b=1, c=2} — the paper's Figure 6(a) pattern.
+  Pattern r = Pattern::Seq(
+      {Pattern::Symbol(0), Pattern::Symbol(2), Pattern::Symbol(2)});
+  Dfa dfa = CompileDfa(r, 3);
+  EXPECT_TRUE(Accepts(dfa, {0, 2, 2}));
+  EXPECT_FALSE(Accepts(dfa, {0, 2}));
+  EXPECT_FALSE(Accepts(dfa, {0, 2, 2, 2}));
+  EXPECT_FALSE(Accepts(dfa, {1, 2, 2}));
+}
+
+TEST(AutomatonTest, OrDfa) {
+  Pattern r = Pattern::Or({Pattern::Symbol(0), Pattern::Symbol(1)});
+  Dfa dfa = CompileDfa(r, 3);
+  EXPECT_TRUE(Accepts(dfa, {0}));
+  EXPECT_TRUE(Accepts(dfa, {1}));
+  EXPECT_FALSE(Accepts(dfa, {2}));
+}
+
+TEST(AutomatonTest, StarDfa) {
+  Pattern r = Pattern::Star(Pattern::Symbol(0));
+  Dfa dfa = CompileDfa(r, 2);
+  EXPECT_TRUE(Accepts(dfa, {}));
+  EXPECT_TRUE(Accepts(dfa, {0}));
+  EXPECT_TRUE(Accepts(dfa, {0, 0, 0}));
+  EXPECT_FALSE(Accepts(dfa, {0, 1}));
+}
+
+TEST(AutomatonTest, ComplexPattern) {
+  // R = 0 (0|1)* 2: the NorthToSouthReversal shape.
+  Pattern r = Pattern::Seq({Pattern::Symbol(0),
+                            Pattern::Star(Pattern::Or({Pattern::Symbol(0),
+                                                       Pattern::Symbol(1)})),
+                            Pattern::Symbol(2)});
+  Dfa dfa = CompileDfa(r, 3);
+  EXPECT_TRUE(Accepts(dfa, {0, 2}));
+  EXPECT_TRUE(Accepts(dfa, {0, 0, 1, 0, 2}));
+  EXPECT_FALSE(Accepts(dfa, {0, 2, 1}));
+  EXPECT_FALSE(Accepts(dfa, {1, 2}));
+  EXPECT_FALSE(Accepts(dfa, {0, 2, 2}));
+}
+
+TEST(AutomatonTest, StreamingDfaForFig6PatternHasFourStates) {
+  // Σ* a c c over Σ = {a, b, c}: the paper's Figure 6(a) DFA (4 states).
+  Pattern r = Pattern::Seq(
+      {Pattern::Symbol(0), Pattern::Symbol(2), Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 3);
+  EXPECT_EQ(dfa.state_count, 4);
+  int finals = 0;
+  for (bool f : dfa.is_final) finals += f;
+  EXPECT_EQ(finals, 1);
+}
+
+TEST(AutomatonTest, DetectFindsAllSuffixMatches) {
+  Pattern r = Pattern::Seq(
+      {Pattern::Symbol(0), Pattern::Symbol(2), Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 3);
+  //                 0  1  2  3  4  5  6  7  8
+  std::vector<int> s{0, 2, 2, 1, 0, 0, 2, 2, 2};
+  auto detections = Detect(dfa, s);
+  ASSERT_EQ(detections.size(), 2u);
+  EXPECT_EQ(detections[0], 2u);
+  EXPECT_EQ(detections[1], 7u);
+}
+
+TEST(AutomatonTest, DetectSkipsOutOfAlphabetSymbols) {
+  Dfa dfa = CompileStreamingDfa(Pattern::Symbol(0), 2);
+  auto detections = Detect(dfa, {5, 0, -1, 0});
+  EXPECT_EQ(detections.size(), 2u);
+}
+
+TEST(AutomatonTest, MinimizationKeepsLanguage) {
+  // Random patterns: streaming DFA detection must match brute-force
+  // suffix matching via the plain DFA.
+  Rng rng(1);
+  Pattern r = Pattern::Seq({Pattern::Symbol(1),
+                            Pattern::Or({Pattern::Symbol(0),
+                                         Pattern::Seq({Pattern::Symbol(2),
+                                                       Pattern::Symbol(2)})}),
+                            Pattern::Symbol(1)});
+  Dfa plain = CompileDfa(r, 3);
+  Dfa streaming = CompileStreamingDfa(r, 3);
+  std::vector<int> stream;
+  for (int i = 0; i < 400; ++i) {
+    stream.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  auto detections = Detect(streaming, stream);
+  // Brute force: i is a detection iff some suffix ending at i matches R.
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    bool match = false;
+    for (size_t start = 0; start <= i && !match; ++start) {
+      std::vector<int> word(stream.begin() + start, stream.begin() + i + 1);
+      if (Accepts(plain, word)) match = true;
+    }
+    if (match) expected.push_back(i);
+  }
+  EXPECT_EQ(detections, expected);
+}
+
+// ------------------------------------------------------------------- PMC
+
+TEST(MarkovModelTest, Order0FitMatchesFrequencies) {
+  MarkovInputModel model(3, 0);
+  std::vector<int> stream;
+  for (int i = 0; i < 600; ++i) stream.push_back(i % 3 == 0 ? 0 : 1);
+  model.Fit(stream, 0.0001);
+  EXPECT_NEAR(model.Prob(0, 0), 1.0 / 3, 0.01);
+  EXPECT_NEAR(model.Prob(0, 1), 2.0 / 3, 0.01);
+  EXPECT_NEAR(model.Prob(0, 2), 0.0, 0.01);
+}
+
+TEST(MarkovModelTest, Order1CapturesTransitions) {
+  MarkovInputModel model(2, 1);
+  // Deterministic alternation 0101...
+  std::vector<int> stream;
+  for (int i = 0; i < 500; ++i) stream.push_back(i % 2);
+  model.Fit(stream, 0.001);
+  EXPECT_GT(model.Prob(0, 1), 0.99);
+  EXPECT_GT(model.Prob(1, 0), 0.99);
+}
+
+TEST(MarkovModelTest, ContextUpdateSlidesWindow) {
+  MarkovInputModel model(3, 2);
+  int ctx = model.InitialContext();
+  ctx = model.UpdateContext(ctx, 1);  // history [0,1]
+  ctx = model.UpdateContext(ctx, 2);  // history [1,2]
+  EXPECT_EQ(ctx, 1 * 3 + 2);
+  ctx = model.UpdateContext(ctx, 0);  // history [2,0]
+  EXPECT_EQ(ctx, 2 * 3 + 0);
+}
+
+TEST(MarkovModelTest, ProbabilitiesNormalized) {
+  MarkovInputModel model(4, 2);
+  Rng rng(2);
+  std::vector<int> stream;
+  for (int i = 0; i < 2000; ++i) {
+    stream.push_back(static_cast<int>(rng.UniformInt(0, 3)));
+  }
+  model.Fit(stream);
+  for (int c = 0; c < model.context_count(); ++c) {
+    double sum = 0;
+    for (int s = 0; s < 4; ++s) sum += model.Prob(c, s);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+
+TEST(MarkovModelTest, OnlineUpdateTracksDrift) {
+  // Regime A: after 0 comes 1. Regime B: after 0 comes 2. The online
+  // update must forget A and learn B.
+  MarkovInputModel model(3, 1);
+  Rng rng(21);
+  std::vector<int> regime_a;
+  for (int i = 0; i < 4000; ++i) regime_a.push_back(i % 2);  // 0 1 0 1 ...
+  model.Fit(regime_a, 0.1);
+  EXPECT_GT(model.Prob(0, 1), 0.9);
+
+  // Stream regime B online: 0 2 0 2 ...
+  for (int i = 0; i < 4000; ++i) {
+    model.ObserveOnline(i % 2 == 0 ? 0 : 2, /*decay=*/0.995);
+  }
+  EXPECT_GT(model.Prob(0, 2), 0.8);
+  EXPECT_LT(model.Prob(0, 1), 0.2);
+}
+
+TEST(MarkovModelTest, OnlineUpdateKeepsRowsNormalized) {
+  MarkovInputModel model(4, 1);
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    model.ObserveOnline(static_cast<int>(rng.UniformInt(0, 3)));
+  }
+  for (int c = 0; c < model.context_count(); ++c) {
+    double sum = 0;
+    for (int s = 0; s < 4; ++s) sum += model.Prob(c, s);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovModelTest, OnlineIgnoresOutOfAlphabetSymbols) {
+  MarkovInputModel model(2, 1);
+  model.ObserveOnline(-1);
+  model.ObserveOnline(5);
+  double sum = model.Prob(0, 0) + model.Prob(0, 1);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+class PmcTest : public ::testing::Test {
+ protected:
+  PmcTest() {
+    // Figure 6: R = acc over {a,b,c}, i.i.d.-ish input.
+    pattern_ = Pattern::Seq(
+        {Pattern::Symbol(0), Pattern::Symbol(2), Pattern::Symbol(2)});
+    dfa_ = CompileStreamingDfa(pattern_, 3);
+  }
+  Pattern pattern_ = Pattern::Symbol(0);
+  Dfa dfa_;
+};
+
+TEST_F(PmcTest, Order0ChainHasDfaStateCount) {
+  MarkovInputModel input(3, 0);
+  PatternMarkovChain pmc(dfa_, input);
+  EXPECT_EQ(pmc.state_count(), dfa_.state_count);
+}
+
+TEST_F(PmcTest, Order1ChainHasProductStateCount) {
+  MarkovInputModel input(3, 1);
+  PatternMarkovChain pmc(dfa_, input);
+  EXPECT_EQ(pmc.state_count(), dfa_.state_count * 3);
+}
+
+TEST_F(PmcTest, WaitingTimeSumsTowardOne) {
+  // With positive transition probabilities everywhere the DFA hits a final
+  // state eventually: waiting-time mass approaches 1 as horizon grows.
+  MarkovInputModel input(3, 0);
+  std::vector<int> uniform_stream;
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    uniform_stream.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  input.Fit(uniform_stream);
+  PatternMarkovChain pmc(dfa_, input);
+  auto wt = pmc.WaitingTime(0, 400);
+  double total = std::accumulate(wt.begin(), wt.end(), 0.0);
+  EXPECT_GT(total, 0.98);
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST_F(PmcTest, WaitingTimeMatchesSimulation) {
+  // Property check: analytic waiting times against Monte Carlo.
+  MarkovInputModel input(3, 0);
+  Rng rng(4);
+  std::vector<int> train;
+  for (int i = 0; i < 5000; ++i) {
+    train.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  input.Fit(train);
+  PatternMarkovChain pmc(dfa_, input);
+  auto wt = pmc.WaitingTime(pmc.StateOf(0, 0), 30);
+
+  // Simulate: from DFA state 0, uniform symbols, first hit of final.
+  std::vector<double> simulated(30, 0.0);
+  const int kTrials = 60000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int state = 0;
+    for (int k = 1; k <= 30; ++k) {
+      int sym = static_cast<int>(rng.UniformInt(0, 2));
+      state = dfa_.Next(state, sym);
+      if (dfa_.is_final[state]) {
+        simulated[k - 1] += 1.0;
+        break;
+      }
+    }
+  }
+  for (int k = 0; k < 30; ++k) {
+    EXPECT_NEAR(wt[k], simulated[k] / kTrials, 0.01) << "k=" << k + 1;
+  }
+}
+
+TEST(SmallestIntervalTest, FindsTightestWindow) {
+  std::vector<double> wt = {0.05, 0.1, 0.4, 0.3, 0.1, 0.05};
+  auto iv = PatternMarkovChain::SmallestInterval(wt, 0.6);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->start, 3);  // steps 3..4 = 0.4 + 0.3 = 0.7
+  EXPECT_EQ(iv->end, 4);
+  EXPECT_NEAR(iv->prob, 0.7, 1e-9);
+}
+
+TEST(SmallestIntervalTest, SingleStepSuffices) {
+  std::vector<double> wt = {0.05, 0.9, 0.05};
+  auto iv = PatternMarkovChain::SmallestInterval(wt, 0.5);
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->start, 2);
+  EXPECT_EQ(iv->end, 2);
+}
+
+TEST(SmallestIntervalTest, UnreachableThreshold) {
+  std::vector<double> wt = {0.1, 0.1, 0.1};
+  EXPECT_FALSE(PatternMarkovChain::SmallestInterval(wt, 0.9).has_value());
+}
+
+TEST(SmallestIntervalTest, EmptyDistribution) {
+  EXPECT_FALSE(PatternMarkovChain::SmallestInterval({}, 0.5).has_value());
+}
+
+// -------------------------------------------------------------- Forecast
+
+/// A strictly 2nd-order stream over {0,1,2}: what follows a 0 depends on
+/// the symbol *before* the 0. After "1 0" a 2 almost always follows;
+/// after "2 0" a 2 never does. An order-1 model can only see the blended
+/// P(2|0) and is therefore miscalibrated in both contexts; an order-2
+/// model is exact.
+std::vector<int> MarkovStream(Rng& rng, int length) {
+  std::vector<int> out;
+  int a = 1, b = 1;
+  for (int i = 0; i < length; ++i) {
+    int next;
+    if (b == 0) {
+      if (a == 1) {
+        next = rng.Bernoulli(0.95) ? 2 : 1;
+      } else {
+        next = rng.Bernoulli(0.95) ? 1 : 0;
+      }
+    } else {
+      double u = rng.Uniform(0.0, 1.0);
+      next = u < 0.5 ? 0 : (u < 0.8 ? (b == 1 ? 2 : 1) : b);
+    }
+    out.push_back(next);
+    a = b;
+    b = next;
+  }
+  return out;
+}
+
+TEST(WayebEngineTest, DetectsAndForecasts) {
+  Pattern r = Pattern::Seq(
+      {Pattern::Symbol(0), Pattern::Symbol(2), Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 3);
+  MarkovInputModel input(3, 1);
+  Rng rng(5);
+  std::vector<int> train;
+  for (int i = 0; i < 5000; ++i) {
+    train.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  input.Fit(train);
+  WayebEngine::Options options;
+  options.threshold = 0.3;
+  options.horizon = 40;
+  WayebEngine engine(dfa, input, options);
+  size_t detections = 0, forecasts = 0;
+  for (int i = 0; i < 3000; ++i) {
+    auto r2 = engine.Observe(static_cast<int>(rng.UniformInt(0, 2)));
+    detections += r2.detected;
+    forecasts += r2.forecast_emitted;
+  }
+  EXPECT_GT(detections, 0u);
+  EXPECT_GT(forecasts, 0u);
+}
+
+TEST(ScoreForecastsTest, PrecisionIncreasesWithThreshold) {
+  // Well-specified model (order 2 on an order-2 stream): the Figure 8
+  // shape — precision grows with the threshold, at the cost of spread.
+  Pattern r = Pattern::Seq({Pattern::Symbol(0), Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 3);
+  Rng rng(6);
+  std::vector<int> train = MarkovStream(rng, 30000);
+  std::vector<int> test = MarkovStream(rng, 30000);
+  MarkovInputModel input(3, 2);
+  input.Fit(train);
+  ForecastScore low = ScoreForecasts(dfa, input, test, 0.2, 200);
+  ForecastScore high = ScoreForecasts(dfa, input, test, 0.75, 200);
+  ASSERT_GT(low.forecasts, 0u);
+  ASSERT_GT(high.forecasts, 0u);
+  EXPECT_GT(high.precision, low.precision);
+  // Higher confidence costs wider intervals.
+  EXPECT_GT(high.mean_spread, low.mean_spread);
+}
+
+TEST(ScoreForecastsTest, HigherOrderHelpsOnOrder2Stream) {
+  // Pattern Σ*(0 2) on the strictly-2nd-order stream: the order-1 model
+  // blends P(2 | "1 0") = 0.95 with P(2 | "x 0") = 0 and emits
+  // one-step forecasts after *every* 0, failing in the bad contexts.
+  // The order-2 model forecasts per context and is calibrated.
+  Pattern r = Pattern::Seq({Pattern::Symbol(0), Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 3);
+  Rng rng(7);
+  std::vector<int> train = MarkovStream(rng, 40000);
+  std::vector<int> test = MarkovStream(rng, 40000);
+  MarkovInputModel m1(3, 1), m2(3, 2);
+  m1.Fit(train);
+  m2.Fit(train);
+  ForecastScore s1 = ScoreForecasts(dfa, m1, test, 0.3, 100);
+  ForecastScore s2 = ScoreForecasts(dfa, m2, test, 0.3, 100);
+  ASSERT_GT(s1.forecasts, 0u);
+  ASSERT_GT(s2.forecasts, 0u);
+  EXPECT_GT(s2.precision, s1.precision + 0.05);
+}
+
+// ---------------------------------------------------------- Symbol map
+
+synopses::CriticalPoint Turn(double heading) {
+  synopses::CriticalPoint cp;
+  cp.type = synopses::CriticalPointType::kChangeInHeading;
+  cp.pos.heading_deg = heading;
+  return cp;
+}
+
+TEST(SymbolMapTest, HeadingBuckets) {
+  EXPECT_EQ(CriticalPointSymbol(Turn(0.0)), kTurnNorth);
+  EXPECT_EQ(CriticalPointSymbol(Turn(350.0)), kTurnNorth);
+  EXPECT_EQ(CriticalPointSymbol(Turn(90.0)), kTurnEast);
+  EXPECT_EQ(CriticalPointSymbol(Turn(180.0)), kTurnSouth);
+  EXPECT_EQ(CriticalPointSymbol(Turn(270.0)), kTurnWest);
+}
+
+TEST(SymbolMapTest, NonTurnIsOther) {
+  synopses::CriticalPoint cp;
+  cp.type = synopses::CriticalPointType::kStop;
+  EXPECT_EQ(CriticalPointSymbol(cp), kOther);
+}
+
+TEST(SymbolMapTest, ReversalPatternDetectsNorthToSouth) {
+  Pattern r = NorthToSouthReversalPattern();
+  Dfa dfa = CompileStreamingDfa(r, kHeadingSymbolCount);
+  // N N E S -> detection at the S.
+  std::vector<int> stream = {kTurnWest, kTurnNorth, kTurnNorth, kTurnEast,
+                             kTurnSouth, kTurnWest};
+  auto detections = Detect(dfa, stream);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0], 4u);
+}
+
+TEST(SymbolMapTest, ReversalPatternRejectsInterruptedSequence) {
+  Pattern r = NorthToSouthReversalPattern();
+  Dfa dfa = CompileStreamingDfa(r, kHeadingSymbolCount);
+  // A West turn breaks the (N|E)* bridge.
+  std::vector<int> stream = {kTurnNorth, kTurnWest, kTurnSouth};
+  EXPECT_TRUE(Detect(dfa, stream).empty());
+}
+
+
+TEST(PatternParserTest, ParsesReversalShape) {
+  auto p = ParsePattern("0 (0|1)* 2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().ToString(), "(0 (0|1)* 2)");
+  // Language equivalence with the hand-built pattern.
+  Pattern manual = Pattern::Seq(
+      {Pattern::Symbol(0),
+       Pattern::Star(Pattern::Or({Pattern::Symbol(0), Pattern::Symbol(1)})),
+       Pattern::Symbol(2)});
+  Dfa a = CompileStreamingDfa(p.value(), 3);
+  Dfa b = CompileStreamingDfa(manual, 3);
+  Rng rng(9);
+  std::vector<int> stream;
+  for (int i = 0; i < 500; ++i) {
+    stream.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  EXPECT_EQ(Detect(a, stream), Detect(b, stream));
+}
+
+TEST(PatternParserTest, PlusAndNesting) {
+  auto p = ParsePattern("(0 1)+ | 2*");
+  ASSERT_TRUE(p.ok());
+  Dfa dfa = CompileDfa(p.value(), 3);
+  auto accepts = [&](std::vector<int> w) {
+    int s = 0;
+    for (int sym : w) s = dfa.Next(s, sym);
+    return dfa.is_final[s];
+  };
+  EXPECT_TRUE(accepts({0, 1}));
+  EXPECT_TRUE(accepts({0, 1, 0, 1}));
+  EXPECT_TRUE(accepts({}));        // 2* matches empty
+  EXPECT_TRUE(accepts({2, 2, 2}));
+  EXPECT_FALSE(accepts({0}));
+  EXPECT_FALSE(accepts({1, 0}));
+}
+
+TEST(PatternParserTest, MultiDigitSymbols) {
+  auto p = ParsePattern("12 3");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.value().kind(), Pattern::Kind::kSeq);
+  EXPECT_EQ(p.value().children()[0].symbol(), 12);
+}
+
+TEST(PatternParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("(0 1").ok());
+  EXPECT_FALSE(ParsePattern("0 | ").ok());
+  EXPECT_FALSE(ParsePattern("a b").ok());
+  EXPECT_FALSE(ParsePattern("0 ) 1").ok());
+  EXPECT_FALSE(ParsePattern("*").ok());
+}
+
+TEST(PatternParserTest, RoundTripThroughToString) {
+  for (const char* text : {"0", "0 1 2", "(0|1)", "0* 1+ (2 0)*"}) {
+    auto p = ParsePattern(text);
+    ASSERT_TRUE(p.ok()) << text;
+    auto again = ParsePattern(p.value().ToString());
+    ASSERT_TRUE(again.ok()) << p.value().ToString();
+    EXPECT_EQ(again.value().ToString(), p.value().ToString());
+  }
+}
+
+
+TEST(SymbolClassifierTest, MatchesLegacyHeadingMapping) {
+  SymbolClassifier classifier = MakeHeadingClassifier();
+  EXPECT_EQ(classifier.alphabet_size(), kHeadingSymbolCount);
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    synopses::CriticalPoint cp;
+    cp.type = rng.Bernoulli(0.7)
+                  ? synopses::CriticalPointType::kChangeInHeading
+                  : synopses::CriticalPointType::kStop;
+    cp.pos.heading_deg = rng.Uniform(0.0, 360.0);
+    EXPECT_EQ(classifier.Classify(cp), CriticalPointSymbol(cp));
+  }
+}
+
+TEST(SymbolClassifierTest, FirstMatchWinsAndOtherFallsThrough) {
+  SymbolClassifier classifier;
+  classifier.Define("fast", [](const synopses::CriticalPoint& cp) {
+    return cp.pos.speed_mps > 10;
+  });
+  classifier.Define("moving", [](const synopses::CriticalPoint& cp) {
+    return cp.pos.speed_mps > 1;
+  });
+  synopses::CriticalPoint cp;
+  cp.pos.speed_mps = 20;
+  EXPECT_EQ(classifier.Classify(cp), 0);  // fast wins over moving
+  cp.pos.speed_mps = 5;
+  EXPECT_EQ(classifier.Classify(cp), 1);
+  cp.pos.speed_mps = 0.1;
+  EXPECT_EQ(classifier.Classify(cp), classifier.other_symbol());
+}
+
+TEST(SymbolClassifierTest, CompilesNamedPatterns) {
+  SymbolClassifier classifier = MakeHeadingClassifier();
+  auto named = classifier.CompileNamedPattern("north (north|east)* south");
+  ASSERT_TRUE(named.ok()) << named.status().ToString();
+  Dfa a = CompileStreamingDfa(named.value(), classifier.alphabet_size());
+  Dfa b = CompileStreamingDfa(NorthToSouthReversalPattern(),
+                              kHeadingSymbolCount);
+  Rng rng(32);
+  std::vector<int> stream;
+  for (int i = 0; i < 500; ++i) {
+    stream.push_back(static_cast<int>(rng.UniformInt(0, 4)));
+  }
+  EXPECT_EQ(Detect(a, stream), Detect(b, stream));
+}
+
+TEST(SymbolClassifierTest, UnknownNameRejected) {
+  SymbolClassifier classifier = MakeHeadingClassifier();
+  EXPECT_FALSE(classifier.CompileNamedPattern("north upward").ok());
+}
+
+TEST(SymbolClassifierTest, NamesRoundTrip) {
+  SymbolClassifier classifier = MakeHeadingClassifier();
+  EXPECT_EQ(classifier.SymbolOf("south"), 2);
+  EXPECT_EQ(classifier.NameOf(2), "south");
+  EXPECT_EQ(classifier.SymbolOf("other"), classifier.other_symbol());
+  EXPECT_EQ(classifier.SymbolOf("nope"), -1);
+}
+
+// Threshold sweep as a property: precision at theta is within [0, 1] and
+// forecast counts decrease (or intervals widen) with theta.
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, ScoresAreSane) {
+  double theta = GetParam();
+  Pattern r = Pattern::Seq({Pattern::Symbol(0), Pattern::Symbol(2)});
+  Dfa dfa = CompileStreamingDfa(r, 3);
+  Rng rng(8);
+  std::vector<int> stream;
+  for (int i = 0; i < 10000; ++i) {
+    stream.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  MarkovInputModel input(3, 1);
+  input.Fit(stream);
+  ForecastScore score = ScoreForecasts(dfa, input, stream, theta, 50);
+  EXPECT_GE(score.precision, 0.0);
+  EXPECT_LE(score.precision, 1.0);
+  if (score.forecasts > 0) {
+    EXPECT_GE(score.mean_spread, 1.0);
+    // Precision should be at least in the ballpark of theta (the model
+    // is fitted on the same stream).
+    EXPECT_GT(score.precision, theta * 0.6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThresholdSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace tcmf::cep

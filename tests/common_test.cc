@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <random>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace tcmf {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad speed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad speed");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad speed");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    TCMF_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// --------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  auto parts = StrSplit(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(StringsTest, SplitSingleToken) {
+  auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\na b\r "), "a b");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StrStartsWith("POLYGON ((", "POLYGON"));
+  EXPECT_FALSE(StrStartsWith("POLY", "POLYGON"));
+  EXPECT_TRUE(StrEndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(StrEndsWith("csv", "file.csv"));
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(StrToLower("PoLyGoN"), "polygon");
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2.25 ").value(), -2.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, ParseIntValid) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+}
+
+TEST(StringsTest, ParseIntRejectsFloatsAndGarbage) {
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  auto fields = ParseCsvLine("a,\"b,c\",d");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST(CsvTest, ParseDoubledQuote) {
+  auto fields = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvTest, EscapeRoundTrip) {
+  std::string tricky = "a,\"b\"\nc";
+  std::string escaped = CsvEscape(tricky);
+  auto fields = ParseCsvLine(escaped);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], tricky);
+}
+
+TEST(CsvTest, WriterReaderRoundTrip) {
+  std::string path = testing::TempDir() + "/tcmf_csv_test.csv";
+  {
+    CsvWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    writer.WriteRow({"id", "name"});
+    writer.WriteRow({"1", "alpha, beta"});
+    writer.WriteRow({"2", "plain"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  CsvReader reader;
+  ASSERT_TRUE(reader.Open(path, /*has_header=*/true).ok());
+  ASSERT_EQ(reader.header().size(), 2u);
+  EXPECT_EQ(reader.header()[1], "name");
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row[1], "alpha, beta");
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row[0], "2");
+  EXPECT_FALSE(reader.Next(&row));
+  EXPECT_EQ(reader.rows_read(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OpenMissingFileFails) {
+  CsvReader reader;
+  EXPECT_EQ(reader.Open("/nonexistent/nope.csv").code(),
+            StatusCode::kIoError);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSinglePass) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian(10.0, 3.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(P2QuantileTest, ExactForSmallCounts) {
+  P2Quantile q(0.5);
+  q.Add(3.0);
+  q.Add(1.0);
+  q.Add(2.0);
+  EXPECT_DOUBLE_EQ(q.Value(), 2.0);
+}
+
+TEST(P2QuantileTest, MedianConvergesOnUniform) {
+  Rng rng(7);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 20000; ++i) q.Add(rng.Uniform(0.0, 100.0));
+  EXPECT_NEAR(q.Value(), 50.0, 3.0);
+}
+
+TEST(P2QuantileTest, NinetiethPercentileOnUniform) {
+  Rng rng(11);
+  P2Quantile q(0.9);
+  for (int i = 0; i < 20000; ++i) q.Add(rng.Uniform(0.0, 100.0));
+  EXPECT_NEAR(q.Value(), 90.0, 4.0);
+}
+
+TEST(P2QuantileTest, MedianOnGaussian) {
+  Rng rng(13);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 20000; ++i) q.Add(rng.Gaussian(42.0, 10.0));
+  EXPECT_NEAR(q.Value(), 42.0, 1.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalWeights) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9000; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0] / 9000.0, 1.0 / 9, 0.02);
+  EXPECT_NEAR(counts[2] / 9000.0, 6.0 / 9, 0.02);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The fork and parent should produce different streams.
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Uniform(0, 1) != child.Uniform(0, 1)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace tcmf

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datagen/areas.h"
+#include "datagen/flight.h"
+#include "datagen/registry.h"
+#include "datagen/vessel.h"
+#include "datagen/weather.h"
+#include "geom/geo.h"
+
+namespace tcmf::datagen {
+namespace {
+
+const geom::BBox kExtent{-6.0, 35.0, 10.0, 44.0};
+
+// ----------------------------------------------------------------- Areas
+
+TEST(AreasTest, MakeRegionsCountAndKind) {
+  Rng rng(1);
+  auto regions = MakeRegions(rng, kExtent, 20, "protected", 5000, 30000);
+  ASSERT_EQ(regions.size(), 20u);
+  for (const auto& r : regions) {
+    EXPECT_EQ(r.kind, "protected");
+    EXPECT_FALSE(r.shape.empty());
+    EXPECT_GE(r.shape.ring().size(), 6u);
+  }
+}
+
+TEST(AreasTest, RegionsHaveUniqueIds) {
+  Rng rng(2);
+  auto regions = MakeRegions(rng, kExtent, 50, "fishing", 5000, 30000);
+  std::set<uint64_t> ids;
+  for (const auto& r : regions) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(AreasTest, RegionContainsOwnCentroid) {
+  Rng rng(3);
+  auto regions = MakeRegions(rng, kExtent, 30, "x", 10000, 40000);
+  int contained = 0;
+  for (const auto& r : regions) {
+    if (r.shape.Contains(r.shape.Centroid())) ++contained;
+  }
+  // Star-convex-ish construction: centroid inside for virtually all.
+  EXPECT_GE(contained, 28);
+}
+
+TEST(AreasTest, PortsAreSmall) {
+  Rng rng(4);
+  auto ports = MakePorts(rng, kExtent, 10);
+  ASSERT_EQ(ports.size(), 10u);
+  for (const auto& p : ports) {
+    EXPECT_EQ(p.kind, "port");
+    EXPECT_LT(p.shape.bbox().width(), 0.2);
+  }
+}
+
+TEST(AreasTest, SectorsTileExtent) {
+  auto sectors = MakeSectors(kExtent, 4, 3);
+  ASSERT_EQ(sectors.size(), 12u);
+  // Every probe point inside the extent falls in exactly one sector.
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double lon = rng.Uniform(kExtent.min_lon + 0.01, kExtent.max_lon - 0.01);
+    double lat = rng.Uniform(kExtent.min_lat + 0.01, kExtent.max_lat - 0.01);
+    int hits = 0;
+    for (const auto& s : sectors) {
+      if (s.shape.Contains(lon, lat)) ++hits;
+    }
+    EXPECT_GE(hits, 1);
+    EXPECT_LE(hits, 2);  // boundary points can double-count
+  }
+}
+
+// -------------------------------------------------------------- Registry
+
+TEST(RegistryTest, VesselMixRespectsFishingFraction) {
+  Rng rng(6);
+  auto fleet = MakeVesselRegistry(rng, 2000, 0.4);
+  size_t fishing = 0;
+  for (const auto& v : fleet) {
+    if (v.type == VesselType::kFishing) ++fishing;
+  }
+  EXPECT_NEAR(static_cast<double>(fishing) / fleet.size(), 0.4, 0.05);
+}
+
+TEST(RegistryTest, VesselIdsUniqueAndFieldsPlausible) {
+  Rng rng(7);
+  auto fleet = MakeVesselRegistry(rng, 100);
+  std::set<uint64_t> ids;
+  for (const auto& v : fleet) {
+    ids.insert(v.mmsi);
+    EXPECT_GT(v.length_m, 0);
+    EXPECT_GT(v.max_speed_mps, 0);
+    EXPECT_FALSE(v.name.empty());
+    EXPECT_FALSE(v.flag.empty());
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(RegistryTest, AircraftClassesCoverAll) {
+  Rng rng(8);
+  auto fleet = MakeAircraftRegistry(rng, 300);
+  std::set<AircraftClass> seen;
+  for (const auto& a : fleet) {
+    seen.insert(a.cls);
+    EXPECT_GT(a.cruise_speed_mps, 100);
+    EXPECT_GT(a.cruise_alt_m, 4000);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RegistryTest, TypeNames) {
+  EXPECT_STREQ(VesselTypeName(VesselType::kFishing), "fishing");
+  EXPECT_STREQ(VesselTypeName(VesselType::kTanker), "tanker");
+  EXPECT_STREQ(AircraftClassName(AircraftClass::kHeavy), "heavy");
+}
+
+// --------------------------------------------------------------- Weather
+
+TEST(WeatherTest, SampleWithinBounds) {
+  Rng rng(9);
+  WeatherField field(rng, kExtent, 25.0);
+  for (int i = 0; i < 200; ++i) {
+    double lon = rng.Uniform(kExtent.min_lon, kExtent.max_lon);
+    double lat = rng.Uniform(kExtent.min_lat, kExtent.max_lat);
+    WeatherSample s = field.Sample(lon, lat, i * kMillisPerHour);
+    EXPECT_LE(std::hypot(s.wind_east_mps, s.wind_north_mps), 25.0 + 1e-9);
+    EXPECT_GE(s.severity, 0.0);
+    EXPECT_LE(s.severity, 1.0);
+    EXPECT_GT(s.wave_height_m, 0.0);
+  }
+}
+
+TEST(WeatherTest, SmoothInSpace) {
+  Rng rng(10);
+  WeatherField field(rng, kExtent);
+  WeatherSample a = field.Sample(2.0, 40.0, 0);
+  WeatherSample b = field.Sample(2.001, 40.001, 0);
+  EXPECT_NEAR(a.wind_east_mps, b.wind_east_mps, 0.2);
+  EXPECT_NEAR(a.wind_north_mps, b.wind_north_mps, 0.2);
+}
+
+TEST(WeatherTest, VariesInTime) {
+  Rng rng(11);
+  WeatherField field(rng, kExtent);
+  WeatherSample a = field.Sample(2.0, 40.0, 0);
+  WeatherSample b = field.Sample(2.0, 40.0, 24 * kMillisPerHour);
+  EXPECT_NE(a.wind_east_mps, b.wind_east_mps);
+}
+
+TEST(WeatherTest, DeterministicForSeed) {
+  Rng rng1(12), rng2(12);
+  WeatherField f1(rng1, kExtent), f2(rng2, kExtent);
+  WeatherSample a = f1.Sample(3.0, 41.0, 5 * kMillisPerHour);
+  WeatherSample b = f2.Sample(3.0, 41.0, 5 * kMillisPerHour);
+  EXPECT_DOUBLE_EQ(a.wind_east_mps, b.wind_east_mps);
+}
+
+TEST(WeatherTest, ForecastGridShapeAndFields) {
+  Rng rng(13);
+  WeatherField field(rng, kExtent);
+  auto grid = field.ForecastGrid(3 * kMillisPerHour, 8, 5);
+  ASSERT_EQ(grid.size(), 40u);
+  for (const auto& rec : grid) {
+    EXPECT_TRUE(rec.Has("wind_east_mps"));
+    EXPECT_TRUE(rec.Has("severity"));
+    EXPECT_EQ(rec.GetInt("t").value(), 3 * kMillisPerHour);
+    double lon = rec.GetNumeric("lon").value();
+    EXPECT_GE(lon, kExtent.min_lon);
+    EXPECT_LE(lon, kExtent.max_lon);
+  }
+}
+
+// ---------------------------------------------------------------- Vessel
+
+class VesselSimTest : public ::testing::Test {
+ protected:
+  VesselSimOutput Simulate(VesselSimConfig config) {
+    Rng rng(100);
+    auto ports = MakePorts(rng, config.extent, 6);
+    auto fishing = MakeRegions(rng, config.extent, 4, "fishing", 15000, 40000);
+    VesselSimulator sim(config, ports, fishing, nullptr);
+    return sim.Run();
+  }
+};
+
+TEST_F(VesselSimTest, ProducesAllVessels) {
+  VesselSimConfig config;
+  config.vessel_count = 10;
+  config.duration_ms = kMillisPerHour;
+  VesselSimOutput out = Simulate(config);
+  EXPECT_EQ(out.registry.size(), 10u);
+  EXPECT_EQ(out.truth.size(), 10u);
+  for (const auto& traj : out.truth) EXPECT_FALSE(traj.empty());
+}
+
+TEST_F(VesselSimTest, StreamIsTimeOrdered) {
+  VesselSimConfig config;
+  config.vessel_count = 8;
+  config.duration_ms = kMillisPerHour;
+  VesselSimOutput out = Simulate(config);
+  for (size_t i = 1; i < out.stream.size(); ++i) {
+    EXPECT_LE(out.stream[i - 1].t, out.stream[i].t);
+  }
+}
+
+TEST_F(VesselSimTest, TruthIsKinematicallyConsistent) {
+  VesselSimConfig config;
+  config.vessel_count = 5;
+  config.duration_ms = 2 * kMillisPerHour;
+  VesselSimOutput out = Simulate(config);
+  for (const auto& traj : out.truth) {
+    for (size_t i = 1; i < traj.points.size(); ++i) {
+      const Position& a = traj.points[i - 1];
+      const Position& b = traj.points[i];
+      double dt = static_cast<double>(b.t - a.t) / kMillisPerSecond;
+      double dist = geom::HaversineM(a.lon, a.lat, b.lon, b.lat);
+      // Displacement should be explained by the reported speed (the
+      // position was advanced with b's speed over the tick).
+      EXPECT_LE(dist, 16.0 * dt + 50.0)
+          << "vessel " << traj.entity_id << " step " << i;
+    }
+  }
+}
+
+TEST_F(VesselSimTest, GapsReduceStreamSize) {
+  VesselSimConfig with_gaps;
+  with_gaps.vessel_count = 10;
+  with_gaps.duration_ms = 2 * kMillisPerHour;
+  with_gaps.gap_probability = 0.05;
+  VesselSimConfig no_gaps = with_gaps;
+  no_gaps.gap_probability = 0.0;
+  VesselSimOutput a = Simulate(with_gaps);
+  VesselSimOutput b = Simulate(no_gaps);
+  EXPECT_LT(a.stream.size(), b.stream.size());
+  EXPECT_GT(a.reports_lost_to_gaps, 0u);
+}
+
+TEST_F(VesselSimTest, DeterministicForSeed) {
+  VesselSimConfig config;
+  config.vessel_count = 4;
+  config.duration_ms = kMillisPerHour;
+  VesselSimOutput a = Simulate(config);
+  VesselSimOutput b = Simulate(config);
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  for (size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stream[i].lon, b.stream[i].lon);
+  }
+}
+
+TEST_F(VesselSimTest, PositionsStayNearExtent) {
+  VesselSimConfig config;
+  config.vessel_count = 10;
+  config.duration_ms = 3 * kMillisPerHour;
+  VesselSimOutput out = Simulate(config);
+  for (const Position& p : out.stream) {
+    EXPECT_GT(p.lon, config.extent.min_lon - 2.0);
+    EXPECT_LT(p.lon, config.extent.max_lon + 2.0);
+    EXPECT_GT(p.lat, config.extent.min_lat - 2.0);
+    EXPECT_LT(p.lat, config.extent.max_lat + 2.0);
+  }
+}
+
+TEST_F(VesselSimTest, FishingVesselsTurnMore) {
+  VesselSimConfig config;
+  config.vessel_count = 40;
+  config.duration_ms = 4 * kMillisPerHour;
+  config.fishing_fraction = 0.5;
+  VesselSimOutput out = Simulate(config);
+  double fishing_turn = 0.0, other_turn = 0.0;
+  size_t fishing_n = 0, other_n = 0;
+  for (size_t v = 0; v < out.registry.size(); ++v) {
+    const auto& traj = out.truth[v];
+    double total = 0.0;
+    for (size_t i = 1; i < traj.points.size(); ++i) {
+      total += std::fabs(geom::AngleDiffDeg(traj.points[i].heading_deg,
+                                            traj.points[i - 1].heading_deg));
+    }
+    if (out.registry[v].type == VesselType::kFishing) {
+      fishing_turn += total;
+      ++fishing_n;
+    } else {
+      other_turn += total;
+      ++other_n;
+    }
+  }
+  ASSERT_GT(fishing_n, 0u);
+  ASSERT_GT(other_n, 0u);
+  EXPECT_GT(fishing_turn / fishing_n, 1.5 * other_turn / other_n);
+}
+
+// ---------------------------------------------------------------- Flight
+
+class FlightSimTest : public ::testing::Test {
+ protected:
+  std::vector<SimulatedFlight> Simulate(FlightSimConfig config) {
+    FlightSimulator sim(config, DefaultOriginAirport(),
+                        DefaultDestinationAirport(), nullptr);
+    return sim.Run();
+  }
+};
+
+TEST_F(FlightSimTest, ProducesRequestedFlights) {
+  FlightSimConfig config;
+  config.flight_count = 10;
+  auto flights = Simulate(config);
+  ASSERT_EQ(flights.size(), 10u);
+  for (const auto& f : flights) {
+    EXPECT_FALSE(f.actual.points.empty());
+    EXPECT_GE(f.plan.waypoints.size(), 4u);
+  }
+}
+
+TEST_F(FlightSimTest, FlightsReachDestination) {
+  FlightSimConfig config;
+  config.flight_count = 8;
+  auto flights = Simulate(config);
+  geom::LonLat dest = DefaultDestinationAirport().loc;
+  for (const auto& f : flights) {
+    const Position& last = f.actual.points.back();
+    EXPECT_LT(geom::HaversineM(last.lon, last.lat, dest.lon, dest.lat),
+              30000.0)
+        << "flight " << f.plan.flight_id;
+  }
+}
+
+TEST_F(FlightSimTest, AltitudeProfileClimbsAndDescends) {
+  FlightSimConfig config;
+  config.flight_count = 5;
+  auto flights = Simulate(config);
+  for (const auto& f : flights) {
+    double max_alt = 0.0;
+    for (const Position& p : f.actual.points) {
+      max_alt = std::max(max_alt, p.alt_m);
+    }
+    EXPECT_GT(max_alt, 4000.0);
+    EXPECT_LT(f.actual.points.back().alt_m, max_alt * 0.3);
+    EXPECT_LT(f.actual.points.front().alt_m, max_alt * 0.3);
+  }
+}
+
+TEST_F(FlightSimTest, PlanEtasMonotone) {
+  FlightSimConfig config;
+  config.flight_count = 5;
+  auto flights = Simulate(config);
+  for (const auto& f : flights) {
+    for (size_t i = 1; i < f.plan.waypoints.size(); ++i) {
+      EXPECT_GT(f.plan.waypoints[i].eta, f.plan.waypoints[i - 1].eta);
+    }
+  }
+}
+
+TEST_F(FlightSimTest, AirwaysProduceRouteClusters) {
+  FlightSimConfig config;
+  config.flight_count = 30;
+  config.airway_count = 3;
+  auto flights = Simulate(config);
+  std::set<int> airways;
+  for (const auto& f : flights) airways.insert(f.plan.airway_id);
+  EXPECT_GE(airways.size(), 2u);
+  // Same-airway flights should be laterally much closer than
+  // different-airway flights at mid-route.
+  auto mid_point = [](const SimulatedFlight& f) {
+    return f.actual.points[f.actual.points.size() / 2];
+  };
+  double same_sum = 0, diff_sum = 0;
+  int same_n = 0, diff_n = 0;
+  for (size_t i = 0; i < flights.size(); ++i) {
+    for (size_t j = i + 1; j < flights.size(); ++j) {
+      Position a = mid_point(flights[i]);
+      Position b = mid_point(flights[j]);
+      double d = geom::HaversineM(a.lon, a.lat, b.lon, b.lat);
+      if (flights[i].plan.airway_id == flights[j].plan.airway_id) {
+        same_sum += d;
+        ++same_n;
+      } else {
+        diff_sum += d;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same_sum / same_n, diff_sum / diff_n);
+}
+
+TEST_F(FlightSimTest, WeatherCreatesDeviationsFromPlan) {
+  FlightSimConfig config;
+  config.flight_count = 12;
+  config.seed = 77;
+  Rng wrng(55);
+  WeatherField weather(wrng, config.extent, 25.0);
+  FlightSimulator with_weather(config, DefaultOriginAirport(),
+                               DefaultDestinationAirport(), &weather);
+  FlightSimulator without(config, DefaultOriginAirport(),
+                          DefaultDestinationAirport(), nullptr);
+  auto fw = with_weather.Run();
+  auto fo = without.Run();
+  auto mean_deviation = [](const std::vector<SimulatedFlight>& flights) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& f : flights) {
+      for (size_t w = 1; w + 1 < f.plan.waypoints.size(); ++w) {
+        const auto& wp = f.plan.waypoints[w];
+        double best = 1e18;
+        for (const Position& p : f.actual.points) {
+          best = std::min(best, geom::HaversineM(p.lon, p.lat, wp.loc.lon,
+                                                 wp.loc.lat));
+        }
+        sum += best;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  EXPECT_GT(mean_deviation(fw), mean_deviation(fo));
+}
+
+TEST_F(FlightSimTest, ReportIntervalRespected) {
+  FlightSimConfig config;
+  config.flight_count = 3;
+  config.report_interval_ms = 8000;
+  auto flights = Simulate(config);
+  for (const auto& f : flights) {
+    for (size_t i = 1; i < f.actual.points.size(); ++i) {
+      EXPECT_EQ(f.actual.points[i].t - f.actual.points[i - 1].t, 8000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcmf::datagen

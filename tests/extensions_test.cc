@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cep/automaton.h"
+#include "cep/mining.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "geom/geo.h"
+#include "insitu/crossstream.h"
+#include "prediction/cpa.h"
+#include "prediction/kinetic.h"
+
+namespace tcmf {
+namespace {
+
+Position MakePos(uint64_t id, TimeMs t, double lon, double lat,
+                 double speed = 5.0, double heading = 90.0) {
+  Position p;
+  p.entity_id = id;
+  p.t = t;
+  p.lon = lon;
+  p.lat = lat;
+  p.speed_mps = speed;
+  p.heading_deg = heading;
+  return p;
+}
+
+// ------------------------------------------------------------------- CPA
+
+TEST(CpaTest, HeadOnCollisionCourse) {
+  // a eastbound, b westbound, 10 km apart on the same latitude.
+  Position a = MakePos(1, 0, 5.0, 40.0, 5.0, 90.0);
+  geom::LonLat bloc = geom::Destination({5.0, 40.0}, 90.0, 10000.0);
+  Position b = MakePos(2, 0, bloc.lon, bloc.lat, 5.0, 270.0);
+  prediction::CpaResult cpa = prediction::ComputeCpa(a, b);
+  EXPECT_NEAR(cpa.distance_now_m, 10000.0, 50.0);
+  EXPECT_NEAR(cpa.tcpa_s, 1000.0, 20.0);  // closing at 10 m/s
+  EXPECT_LT(cpa.dcpa_m, 100.0);
+}
+
+TEST(CpaTest, ParallelCoursesKeepSeparation) {
+  Position a = MakePos(1, 0, 5.0, 40.0, 5.0, 0.0);
+  geom::LonLat bloc = geom::Destination({5.0, 40.0}, 90.0, 3000.0);
+  Position b = MakePos(2, 0, bloc.lon, bloc.lat, 5.0, 0.0);
+  prediction::CpaResult cpa = prediction::ComputeCpa(a, b);
+  EXPECT_NEAR(cpa.dcpa_m, 3000.0, 50.0);
+}
+
+TEST(CpaTest, DivergingReportsNowAsClosest) {
+  // b directly ahead of a but moving away faster.
+  Position a = MakePos(1, 0, 5.0, 40.0, 5.0, 90.0);
+  geom::LonLat bloc = geom::Destination({5.0, 40.0}, 90.0, 2000.0);
+  Position b = MakePos(2, 0, bloc.lon, bloc.lat, 10.0, 90.0);
+  prediction::CpaResult cpa = prediction::ComputeCpa(a, b);
+  EXPECT_DOUBLE_EQ(cpa.tcpa_s, 0.0);
+  EXPECT_NEAR(cpa.dcpa_m, cpa.distance_now_m, 1.0);
+}
+
+TEST(CpaTest, StaleReportAdvancedToNow) {
+  // b reported 100 s ago moving east at 10 m/s: its position should be
+  // advanced ~1 km before the CPA evaluation.
+  Position a = MakePos(1, 100000, 5.0, 40.0, 0.0, 0.0);
+  Position b = MakePos(2, 0, 5.0, 40.1, 10.0, 90.0);
+  prediction::CpaResult moved = prediction::ComputeCpa(a, b);
+  Position b_now = b;
+  geom::LonLat advanced = geom::Destination({b.lon, b.lat}, 90.0, 1000.0);
+  b_now.t = 100000;
+  b_now.lon = advanced.lon;
+  b_now.lat = advanced.lat;
+  prediction::CpaResult direct = prediction::ComputeCpa(a, b_now);
+  EXPECT_NEAR(moved.distance_now_m, direct.distance_now_m, 20.0);
+}
+
+TEST(CpaScreenTest, WarnsOnceUntilCleared) {
+  prediction::CpaScreenOptions options;
+  options.dcpa_m = 500.0;
+  options.tcpa_s = 3600.0;
+  prediction::CpaScreen screen(options);
+  Position a = MakePos(1, 0, 5.0, 40.0, 5.0, 90.0);
+  geom::LonLat bloc = geom::Destination({5.0, 40.0}, 90.0, 5000.0);
+  Position b = MakePos(2, 0, bloc.lon, bloc.lat, 5.0, 270.0);
+  EXPECT_TRUE(screen.Observe(a).empty());  // nothing else known yet
+  auto w1 = screen.Observe(b);
+  ASSERT_EQ(w1.size(), 1u);
+  // Repeated risky report: no duplicate warning.
+  b.t = 10000;
+  EXPECT_TRUE(screen.Observe(b).empty());
+  // b turns away: condition clears...
+  b.t = 20000;
+  b.heading_deg = 90.0;
+  b.speed_mps = 10.0;
+  EXPECT_TRUE(screen.Observe(b).empty());
+  // ...and turning back re-warns.
+  b.t = 30000;
+  b.heading_deg = 270.0;
+  auto w2 = screen.Observe(b);
+  EXPECT_EQ(w2.size(), 1u);
+}
+
+TEST(CpaScreenTest, RangeGateSkipsFarPairs) {
+  prediction::CpaScreenOptions options;
+  options.max_range_m = 10000.0;
+  prediction::CpaScreen screen(options);
+  screen.Observe(MakePos(1, 0, 5.0, 40.0));
+  screen.Observe(MakePos(2, 0, 8.0, 43.0));  // hundreds of km away
+  EXPECT_EQ(screen.pairs_evaluated(), 0u);
+}
+
+// ----------------------------------------------------------- CrossStream
+
+class CrossStreamTest : public ::testing::Test {
+ protected:
+  /// Truth: eastbound at 6 m/s reporting every 10 s for `count` steps.
+  std::vector<Position> Truth(int count) {
+    std::vector<Position> out;
+    geom::LonLat pos{3.0, 40.0};
+    for (int i = 0; i < count; ++i) {
+      out.push_back(MakePos(7, i * 10000, pos.lon, pos.lat, 6.0, 90.0));
+      pos = geom::Destination(pos, 90.0, 60.0);
+    }
+    return out;
+  }
+
+  Position Jitter(const Position& p, Rng& rng, double noise_m) {
+    Position out = p;
+    geom::LonLat moved = geom::Destination(
+        {p.lon, p.lat}, rng.Uniform(0, 360),
+        std::fabs(rng.Gaussian(0, noise_m)));
+    out.lon = moved.lon;
+    out.lat = moved.lat;
+    return out;
+  }
+};
+
+TEST_F(CrossStreamTest, DuplicateReceiverReportsMerged) {
+  insitu::CrossStreamFuser fuser(insitu::FusionOptions{});
+  Rng rng(1);
+  auto truth = Truth(50);
+  size_t emitted = 0;
+  for (const Position& p : truth) {
+    // Two receivers see (almost) the same observation.
+    Position r1 = Jitter(p, rng, 20.0);
+    Position r2 = Jitter(p, rng, 20.0);
+    r2.t += 500;  // slight receive skew
+    emitted += fuser.Observe(r1).has_value();
+    emitted += fuser.Observe(r2).has_value();
+  }
+  EXPECT_EQ(emitted, truth.size());  // one fused output per observation
+  EXPECT_EQ(fuser.stats().duplicates_merged, truth.size() - 1 + 1);
+}
+
+TEST_F(CrossStreamTest, ContradictingSourceRejected) {
+  insitu::CrossStreamFuser fuser(insitu::FusionOptions{});
+  Rng rng(2);
+  auto truth = Truth(30);
+  size_t rejected_probe = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    fuser.Observe(Jitter(truth[i], rng, 15.0));
+    if (i == 20) {
+      // A spoofed/contradicting report 30 km off.
+      Position bogus = truth[i];
+      geom::LonLat off = geom::Destination({bogus.lon, bogus.lat}, 0.0,
+                                           30000.0);
+      bogus.lon = off.lon;
+      bogus.lat = off.lat;
+      bogus.t += 1000;
+      rejected_probe += !fuser.Observe(bogus).has_value();
+    }
+  }
+  EXPECT_EQ(rejected_probe, 1u);
+  EXPECT_GE(fuser.stats().contradictions_rejected, 1u);
+}
+
+TEST_F(CrossStreamTest, FusionReducesNoise) {
+  // Fused two-receiver stream should track the truth more closely than a
+  // single noisy receiver.
+  Rng rng(3);
+  auto truth = Truth(200);
+  insitu::FusionOptions options;
+  insitu::CrossStreamFuser fuser(options);
+  RunningStats single_err, fused_err;
+  for (const Position& p : truth) {
+    Position r1 = Jitter(p, rng, 60.0);
+    Position r2 = Jitter(p, rng, 60.0);
+    r2.t += 400;
+    single_err.Add(geom::HaversineM(r1.lon, r1.lat, p.lon, p.lat));
+    auto f1 = fuser.Observe(r1);
+    auto f2 = fuser.Observe(r2);
+    const Position* fused = f1 ? &*f1 : (f2 ? &*f2 : nullptr);
+    if (fused != nullptr) {
+      fused_err.Add(geom::HaversineM(fused->lon, fused->lat, p.lon, p.lat));
+    }
+  }
+  EXPECT_LT(fused_err.mean(), single_err.mean());
+}
+
+TEST_F(CrossStreamTest, TrackRestartsAfterTimeout) {
+  insitu::FusionOptions options;
+  options.track_timeout_ms = 5 * kMillisPerMinute;
+  insitu::CrossStreamFuser fuser(options);
+  fuser.Observe(MakePos(7, 0, 3.0, 40.0));
+  // 10 minutes later, far away: would fail the gate, but the track has
+  // timed out so it restarts instead of rejecting.
+  auto out = fuser.Observe(MakePos(7, 10 * kMillisPerMinute, 4.0, 41.0));
+  EXPECT_TRUE(out.has_value());
+  EXPECT_EQ(fuser.stats().tracks_started, 2u);
+}
+
+// ---------------------------------------------------------------- Mining
+
+TEST(MiningTest, FindsPlantedPattern) {
+  // Pattern [1, 2, 3] planted in most sequences with noise between.
+  Rng rng(4);
+  std::vector<std::vector<int>> sequences;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<int> seq;
+    for (int i = 0; i < 3; ++i) {
+      seq.push_back(static_cast<int>(rng.UniformInt(4, 6)));
+    }
+    seq.push_back(1);
+    seq.push_back(static_cast<int>(rng.UniformInt(4, 6)));
+    seq.push_back(2);
+    seq.push_back(3);
+    sequences.push_back(seq);
+  }
+  cep::MiningOptions options;
+  options.min_support = 8;
+  options.max_length = 3;
+  options.max_gap = 1;
+  auto patterns = cep::MineSequentialPatterns(sequences, options);
+  bool found = false;
+  for (const auto& p : patterns) {
+    if (p.symbols == std::vector<int>({1, 2, 3})) {
+      found = true;
+      EXPECT_EQ(p.support, 10u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MiningTest, GapConstraintExcludesSpreadPatterns) {
+  std::vector<std::vector<int>> sequences = {
+      {1, 9, 9, 9, 2},
+      {1, 9, 9, 9, 2},
+  };
+  cep::MiningOptions tight;
+  tight.min_support = 2;
+  tight.max_gap = 0;
+  auto patterns = cep::MineSequentialPatterns(sequences, tight);
+  for (const auto& p : patterns) {
+    EXPECT_NE(p.symbols, std::vector<int>({1, 2}));
+  }
+  cep::MiningOptions loose = tight;
+  loose.max_gap = 5;
+  patterns = cep::MineSequentialPatterns(sequences, loose);
+  bool found = false;
+  for (const auto& p : patterns) found |= p.symbols == std::vector<int>({1, 2});
+  EXPECT_TRUE(found);
+}
+
+TEST(MiningTest, GapAllowsLaterOccurrence) {
+  // The earliest '1' cannot reach '2' within the gap, but a later one
+  // can: the miner must still find [1, 2].
+  std::vector<std::vector<int>> sequences = {
+      {1, 9, 9, 9, 1, 2},
+      {1, 2},
+  };
+  cep::MiningOptions options;
+  options.min_support = 2;
+  options.max_gap = 0;
+  auto patterns = cep::MineSequentialPatterns(sequences, options);
+  bool found = false;
+  for (const auto& p : patterns) found |= p.symbols == std::vector<int>({1, 2});
+  EXPECT_TRUE(found);
+}
+
+TEST(MiningTest, SupportCountsSequencesNotOccurrences) {
+  std::vector<std::vector<int>> sequences = {{1, 1, 1, 1}, {2}};
+  cep::MiningOptions options;
+  options.min_support = 1;
+  options.max_length = 1;
+  auto patterns = cep::MineSequentialPatterns(sequences, options);
+  for (const auto& p : patterns) {
+    if (p.symbols == std::vector<int>({1})) EXPECT_EQ(p.support, 1u);
+  }
+}
+
+TEST(MiningTest, ResultsSortedBySupport) {
+  std::vector<std::vector<int>> sequences = {{1, 2}, {1, 2}, {1, 3}};
+  cep::MiningOptions options;
+  options.min_support = 1;
+  auto patterns = cep::MineSequentialPatterns(sequences, options);
+  for (size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_GE(patterns[i - 1].support, patterns[i].support);
+  }
+}
+
+
+TEST(MiningTest, GapTolerantPatternMatchesMinedSemantics) {
+  cep::SequentialPattern mined;
+  mined.symbols = {1, 2};
+  cep::Pattern strict = cep::ToSequencePattern(mined);
+  cep::Pattern loose = cep::ToGapTolerantPattern(mined, 4, 2);
+  cep::Dfa strict_dfa = cep::CompileStreamingDfa(strict, 4);
+  cep::Dfa loose_dfa = cep::CompileStreamingDfa(loose, 4);
+  // "1 0 2": one filler event — loose matches, strict does not.
+  EXPECT_TRUE(cep::Detect(strict_dfa, {1, 0, 2}).empty());
+  EXPECT_EQ(cep::Detect(loose_dfa, {1, 0, 2}).size(), 1u);
+  // Two fillers: still within max_gap.
+  EXPECT_EQ(cep::Detect(loose_dfa, {1, 0, 0, 2}).size(), 1u);
+  // Three fillers: beyond the gap bound.
+  EXPECT_TRUE(cep::Detect(loose_dfa, {1, 0, 0, 0, 2}).empty());
+  // Adjacent occurrence matches both.
+  EXPECT_EQ(cep::Detect(strict_dfa, {1, 2}).size(), 1u);
+  EXPECT_EQ(cep::Detect(loose_dfa, {1, 2}).size(), 1u);
+}
+
+TEST(MiningTest, GapTolerantZeroGapEqualsStrict) {
+  cep::SequentialPattern mined;
+  mined.symbols = {0, 1, 2};
+  cep::Pattern strict = cep::ToSequencePattern(mined);
+  cep::Pattern zero = cep::ToGapTolerantPattern(mined, 3, 0);
+  cep::Dfa a = cep::CompileStreamingDfa(strict, 3);
+  cep::Dfa b = cep::CompileStreamingDfa(zero, 3);
+  Rng rng(5);
+  std::vector<int> stream;
+  for (int i = 0; i < 300; ++i) {
+    stream.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+  }
+  EXPECT_EQ(cep::Detect(a, stream), cep::Detect(b, stream));
+}
+
+TEST(MiningTest, MinedPatternFeedsDetector) {
+  cep::SequentialPattern mined;
+  mined.symbols = {0, 2};
+  cep::Pattern pattern = cep::ToSequencePattern(mined);
+  cep::Dfa dfa = cep::CompileStreamingDfa(pattern, 3);
+  auto detections = cep::Detect(dfa, {0, 2, 1, 0, 2});
+  EXPECT_EQ(detections.size(), 2u);
+}
+
+// --------------------------------------------------------------- Kinetic
+
+class KineticTest : public ::testing::Test {
+ protected:
+  KineticTest() {
+    plan_ = {
+        {{0.0, 40.0}, 0.0, 0},
+        {{0.5, 40.0}, 8000.0, 600000},    // 10 min
+        {{1.0, 40.0}, 8000.0, 1200000},   // 20 min
+        {{1.5, 40.0}, 0.0, 1800000},      // 30 min
+    };
+  }
+  std::vector<prediction::KineticWaypoint> plan_;
+  prediction::KineticPerformance perf_;
+};
+
+TEST_F(KineticTest, HoldsEndsOutsideSchedule) {
+  prediction::PlanFollowingPredictor predictor(plan_, perf_);
+  Position before = predictor.PredictAt(-5000);
+  EXPECT_DOUBLE_EQ(before.lon, 0.0);
+  Position after = predictor.PredictAt(99999999);
+  EXPECT_DOUBLE_EQ(after.lon, 1.5);
+  EXPECT_DOUBLE_EQ(after.alt_m, 0.0);
+}
+
+TEST_F(KineticTest, InterpolatesAlongLegs) {
+  prediction::PlanFollowingPredictor predictor(plan_, perf_);
+  Position mid = predictor.PredictAt(900000);  // midway leg 2
+  EXPECT_NEAR(mid.lon, 0.75, 0.01);
+  EXPECT_NEAR(mid.alt_m, 8000.0, 1.0);
+  EXPECT_NEAR(mid.heading_deg, 90.0, 2.0);
+}
+
+TEST_F(KineticTest, AccurateWhenFlightFollowsPlan) {
+  prediction::PlanFollowingPredictor predictor(plan_, perf_);
+  // "Actual" = exactly the plan: kinetic error ~0 at every probe.
+  for (TimeMs t : {300000, 600000, 1000000, 1500000}) {
+    Position p = predictor.PredictAt(t);
+    Position q = predictor.PredictAt(t);
+    EXPECT_DOUBLE_EQ(p.lon, q.lon);
+    EXPECT_GE(p.speed_mps, 0.0);
+  }
+}
+
+TEST_F(KineticTest, PredictSeriesAdvances) {
+  prediction::PlanFollowingPredictor predictor(plan_, perf_);
+  auto series = predictor.Predict(0, 60000, 5);
+  ASSERT_EQ(series.size(), 5u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].lon, series[i - 1].lon);
+    EXPECT_EQ(series[i].t - series[i - 1].t, 60000);
+  }
+}
+
+TEST_F(KineticTest, EmptyPlanSafe) {
+  prediction::PlanFollowingPredictor predictor({}, perf_);
+  Position p = predictor.PredictAt(1000);
+  EXPECT_DOUBLE_EQ(p.lon, 0.0);
+}
+
+}  // namespace
+}  // namespace tcmf

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/geo.h"
+#include "geom/geometry.h"
+#include "geom/grid.h"
+#include "geom/stcell.h"
+
+namespace tcmf::geom {
+namespace {
+
+// ------------------------------------------------------------------- Geo
+
+TEST(GeoTest, NormalizeDeg) {
+  EXPECT_DOUBLE_EQ(NormalizeDeg(370.0), 10.0);
+  EXPECT_DOUBLE_EQ(NormalizeDeg(-10.0), 350.0);
+  EXPECT_DOUBLE_EQ(NormalizeDeg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeDeg(720.0), 0.0);
+}
+
+TEST(GeoTest, AngleDiff) {
+  EXPECT_DOUBLE_EQ(AngleDiffDeg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(AngleDiffDeg(350.0, 10.0), -20.0);
+  EXPECT_DOUBLE_EQ(AngleDiffDeg(180.0, 0.0), 180.0);
+  EXPECT_DOUBLE_EQ(AngleDiffDeg(90.0, 90.0), 0.0);
+}
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  double d = HaversineM(0.0, 0.0, 0.0, 1.0);
+  EXPECT_NEAR(d, 111195.0, 100.0);
+}
+
+TEST(GeoTest, HaversineZero) {
+  EXPECT_DOUBLE_EQ(HaversineM(5.0, 40.0, 5.0, 40.0), 0.0);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  EXPECT_DOUBLE_EQ(HaversineM(2.0, 41.0, -3.5, 40.5),
+                   HaversineM(-3.5, 40.5, 2.0, 41.0));
+}
+
+TEST(GeoTest, BearingCardinal) {
+  LonLat origin{0.0, 40.0};
+  EXPECT_NEAR(BearingDeg(origin, {0.0, 41.0}), 0.0, 0.1);     // north
+  EXPECT_NEAR(BearingDeg(origin, {1.0, 40.0}), 90.0, 0.5);    // east
+  EXPECT_NEAR(BearingDeg(origin, {0.0, 39.0}), 180.0, 0.1);   // south
+  EXPECT_NEAR(BearingDeg(origin, {-1.0, 40.0}), 270.0, 0.5);  // west
+}
+
+TEST(GeoTest, DestinationRoundTrip) {
+  LonLat a{2.1, 41.4};
+  for (double bearing : {0.0, 45.0, 133.0, 278.0}) {
+    LonLat b = Destination(a, bearing, 25000.0);
+    EXPECT_NEAR(HaversineM(a, b), 25000.0, 1.0);
+    EXPECT_NEAR(BearingDeg(a, b), bearing, 0.2);
+  }
+}
+
+TEST(GeoTest, EnuRoundTrip) {
+  LonLat ref{5.0, 43.0};
+  LonLat p{5.3, 43.2};
+  Enu e = ToEnu(ref, p);
+  LonLat back = FromEnu(ref, e);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+}
+
+TEST(GeoTest, EnuApproximatesHaversine) {
+  LonLat ref{5.0, 43.0};
+  LonLat p{5.1, 43.05};
+  Enu e = ToEnu(ref, p);
+  EXPECT_NEAR(std::hypot(e.x, e.y), HaversineM(ref, p),
+              HaversineM(ref, p) * 0.01);
+}
+
+TEST(GeoTest, Distance3dIncludesAltitude) {
+  Position a, b;
+  a.lon = b.lon = 3.0;
+  a.lat = b.lat = 40.0;
+  a.alt_m = 0;
+  b.alt_m = 3000;
+  EXPECT_DOUBLE_EQ(Distance3dM(a, b), 3000.0);
+}
+
+TEST(GeoTest, CrossTrackOnTrackIsZero) {
+  // Meridians are great circles: points on the track have zero cross-track.
+  LonLat a{3.0, 40.0}, b{3.0, 42.0};
+  LonLat mid{3.0, 41.0};
+  EXPECT_NEAR(CrossTrackM(a, b, mid), 0.0, 1.0);
+}
+
+TEST(GeoTest, CrossTrackOffset) {
+  LonLat a{0.0, 40.0}, b{0.0, 42.0};  // northbound track
+  LonLat p{0.1, 41.0};                // east of track
+  EXPECT_NEAR(CrossTrackM(a, b, p), HaversineM(0.0, 41.0, 0.1, 41.0), 100.0);
+}
+
+// -------------------------------------------------------------- Geometry
+
+TEST(BBoxTest, ContainsAndIntersects) {
+  BBox box{0, 0, 10, 5};
+  EXPECT_TRUE(box.Contains(5, 2));
+  EXPECT_TRUE(box.Contains(0, 0));   // inclusive edges
+  EXPECT_TRUE(box.Contains(10, 5));
+  EXPECT_FALSE(box.Contains(-1, 2));
+  EXPECT_FALSE(box.Contains(5, 6));
+  EXPECT_TRUE(box.Intersects({9, 4, 12, 8}));
+  EXPECT_FALSE(box.Intersects({11, 0, 12, 5}));
+}
+
+TEST(PolygonTest, SquareContains) {
+  Polygon sq({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_TRUE(sq.Contains(0.5, 0.5));
+  EXPECT_FALSE(sq.Contains(1.5, 0.5));
+  EXPECT_FALSE(sq.Contains(0.5, -0.1));
+}
+
+TEST(PolygonTest, ExplicitClosureDropped) {
+  Polygon sq({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}});
+  EXPECT_EQ(sq.ring().size(), 4u);
+  EXPECT_TRUE(sq.Contains(0.5, 0.5));
+}
+
+TEST(PolygonTest, ConcavePolygon) {
+  // A "U" shape: the notch interior is outside.
+  Polygon u({{0, 0}, {3, 0}, {3, 3}, {2, 3}, {2, 1}, {1, 1}, {1, 3}, {0, 3}});
+  EXPECT_TRUE(u.Contains(0.5, 2.0));   // left arm
+  EXPECT_TRUE(u.Contains(2.5, 2.0));   // right arm
+  EXPECT_FALSE(u.Contains(1.5, 2.0));  // notch
+  EXPECT_TRUE(u.Contains(1.5, 0.5));   // base
+}
+
+TEST(PolygonTest, BBoxComputed) {
+  Polygon p({{2, 3}, {5, 1}, {4, 6}});
+  EXPECT_DOUBLE_EQ(p.bbox().min_lon, 2);
+  EXPECT_DOUBLE_EQ(p.bbox().max_lon, 5);
+  EXPECT_DOUBLE_EQ(p.bbox().min_lat, 1);
+  EXPECT_DOUBLE_EQ(p.bbox().max_lat, 6);
+}
+
+TEST(PolygonTest, CircleContainsCenterNotOutside) {
+  LonLat c{5.0, 40.0};
+  Polygon circle = Polygon::Circle(c, 10000.0, 32);
+  EXPECT_TRUE(circle.Contains(c));
+  LonLat outside = Destination(c, 90.0, 15000.0);
+  EXPECT_FALSE(circle.Contains(outside));
+  LonLat inside = Destination(c, 90.0, 5000.0);
+  EXPECT_TRUE(circle.Contains(inside));
+}
+
+TEST(PolygonTest, DistanceInsideIsZero) {
+  Polygon sq({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_DOUBLE_EQ(sq.DistanceM({0.5, 0.5}), 0.0);
+}
+
+TEST(PolygonTest, DistanceOutside) {
+  LonLat c{5.0, 40.0};
+  Polygon circle = Polygon::Circle(c, 10000.0, 64);
+  LonLat p = Destination(c, 0.0, 20000.0);
+  EXPECT_NEAR(circle.DistanceM(p), 10000.0, 300.0);
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  Polygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  LonLat c = sq.Centroid();
+  EXPECT_NEAR(c.lon, 1.0, 1e-12);
+  EXPECT_NEAR(c.lat, 1.0, 1e-12);
+}
+
+TEST(PolygonTest, PlanarAreaOfUnitSquare) {
+  Polygon sq({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_NEAR(sq.PlanarArea(), 1.0, 1e-12);
+}
+
+TEST(PointSegmentTest, PerpendicularAndEndpoints) {
+  LonLat a{0.0, 40.0}, b{1.0, 40.0};
+  // Point above the middle of the segment.
+  LonLat mid{0.5, 40.1};
+  EXPECT_NEAR(PointSegmentDistanceM(mid, a, b),
+              HaversineM(0.5, 40.0, 0.5, 40.1), 200.0);
+  // Point beyond endpoint a clamps to a.
+  LonLat beyond{-0.5, 40.0};
+  EXPECT_NEAR(PointSegmentDistanceM(beyond, a, b), HaversineM(beyond, a),
+              200.0);
+}
+
+// ------------------------------------------------------------------- WKT
+
+TEST(WktTest, PointRoundTrip) {
+  LonLat p{-3.5671, 40.4912};
+  auto parsed = ParseWktPoint(ToWktPoint(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed.value().lon, p.lon, 1e-6);
+  EXPECT_NEAR(parsed.value().lat, p.lat, 1e-6);
+}
+
+TEST(WktTest, PointCaseInsensitive) {
+  auto parsed = ParseWktPoint("point (1.5 2.5)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().lon, 1.5);
+}
+
+TEST(WktTest, PointRejectsBadInput) {
+  EXPECT_FALSE(ParseWktPoint("LINESTRING (0 0, 1 1)").ok());
+  EXPECT_FALSE(ParseWktPoint("POINT (1)").ok());
+  EXPECT_FALSE(ParseWktPoint("POINT (a b)").ok());
+}
+
+TEST(WktTest, LineStringRoundTrip) {
+  std::vector<LonLat> pts{{0, 0}, {1, 0.5}, {2, 1}};
+  auto parsed = ParseWktLineString(ToWktLineString(pts));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_NEAR(parsed.value()[1].lat, 0.5, 1e-6);
+}
+
+TEST(WktTest, PolygonRoundTrip) {
+  Polygon sq({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  auto parsed = ParseWktPolygon(ToWktPolygon(sq));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ring().size(), 4u);
+  EXPECT_TRUE(parsed.value().Contains(0.5, 0.5));
+}
+
+TEST(WktTest, PolygonRejectsTooFewVertices) {
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 1, 0 0))").ok());
+}
+
+// ------------------------------------------------------------------ Grid
+
+TEST(EquiGridTest, CellAssignment) {
+  EquiGrid grid({0, 0, 10, 10}, 10, 10);
+  EXPECT_EQ(grid.CellOf(0.5, 0.5), 0u);
+  EXPECT_EQ(grid.CellOf(9.5, 0.5), 9u);
+  EXPECT_EQ(grid.CellOf(0.5, 9.5), 90u);
+  EXPECT_EQ(grid.CellOf(9.5, 9.5), 99u);
+}
+
+TEST(EquiGridTest, OutOfExtentClamps) {
+  EquiGrid grid({0, 0, 10, 10}, 10, 10);
+  EXPECT_EQ(grid.CellOf(-5, -5), 0u);
+  EXPECT_EQ(grid.CellOf(15, 15), 99u);
+}
+
+TEST(EquiGridTest, CellBoundsInverse) {
+  EquiGrid grid({-6, 35, 10, 44}, 32, 16);
+  for (uint32_t cell : {0u, 5u, 100u, 511u}) {
+    BBox b = grid.CellBounds(cell);
+    double lon = (b.min_lon + b.max_lon) / 2;
+    double lat = (b.min_lat + b.max_lat) / 2;
+    EXPECT_EQ(grid.CellOf(lon, lat), cell);
+  }
+}
+
+TEST(EquiGridTest, CellsIntersecting) {
+  EquiGrid grid({0, 0, 10, 10}, 10, 10);
+  auto cells = grid.CellsIntersecting({1.5, 1.5, 3.5, 2.5});
+  // Columns 1-3, rows 1-2 -> 6 cells.
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(EquiGridTest, NeighborhoodInterior) {
+  EquiGrid grid({0, 0, 10, 10}, 10, 10);
+  EXPECT_EQ(grid.Neighborhood(55).size(), 9u);
+}
+
+TEST(EquiGridTest, NeighborhoodCorner) {
+  EquiGrid grid({0, 0, 10, 10}, 10, 10);
+  EXPECT_EQ(grid.Neighborhood(0).size(), 4u);
+  EXPECT_EQ(grid.Neighborhood(99).size(), 4u);
+}
+
+TEST(EquiGridTest, DegenerateSingleCell) {
+  EquiGrid grid({0, 0, 10, 10}, 0, 0);
+  EXPECT_EQ(grid.cell_count(), 1u);
+  EXPECT_EQ(grid.CellOf(5, 5), 0u);
+}
+
+// ---------------------------------------------------------------- StCell
+
+TEST(MortonTest, RoundTrip) {
+  for (uint16_t x : {0, 1, 255, 65535}) {
+    for (uint16_t y : {0, 7, 1024}) {
+      uint32_t z = MortonInterleave16(x, y);
+      uint16_t rx, ry;
+      MortonDeinterleave16(z, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(MortonTest, KnownValues) {
+  EXPECT_EQ(MortonInterleave16(0, 0), 0u);
+  EXPECT_EQ(MortonInterleave16(1, 0), 1u);
+  EXPECT_EQ(MortonInterleave16(0, 1), 2u);
+  EXPECT_EQ(MortonInterleave16(1, 1), 3u);
+}
+
+class StCellTest : public ::testing::Test {
+ protected:
+  BBox extent_{-6, 35, 10, 44};
+  StCellEncoder encoder_{extent_, 8, 0, kMillisPerHour};
+};
+
+TEST_F(StCellTest, EncodeDecodeConsistent) {
+  double lon = 2.5, lat = 41.2;
+  TimeMs t = 5 * kMillisPerHour + 12345;
+  uint64_t id = encoder_.Encode(lon, lat, t);
+  StCellEncoder::Cell cell = encoder_.Decode(id);
+  EXPECT_TRUE(cell.bounds.Contains(lon, lat));
+  EXPECT_GE(t, cell.t_begin);
+  EXPECT_LT(t, cell.t_end);
+}
+
+TEST_F(StCellTest, DifferentTimesDifferentIds) {
+  uint64_t a = encoder_.Encode(2.5, 41.2, 0);
+  uint64_t b = encoder_.Encode(2.5, 41.2, 2 * kMillisPerHour);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(StCellTest, MayIntersectTrueForContainingBox) {
+  uint64_t id = encoder_.Encode(2.5, 41.2, kMillisPerHour);
+  StCellEncoder::StBox box;
+  box.bounds = {2.0, 41.0, 3.0, 42.0};
+  box.t_begin = 0;
+  box.t_end = 3 * kMillisPerHour;
+  EXPECT_TRUE(encoder_.MayIntersect(id, box));
+}
+
+TEST_F(StCellTest, MayIntersectFalseForDisjointSpace) {
+  uint64_t id = encoder_.Encode(2.5, 41.2, kMillisPerHour);
+  StCellEncoder::StBox box;
+  box.bounds = {-5.9, 35.1, -5.0, 36.0};
+  box.t_begin = 0;
+  box.t_end = 3 * kMillisPerHour;
+  EXPECT_FALSE(encoder_.MayIntersect(id, box));
+}
+
+TEST_F(StCellTest, MayIntersectFalseForDisjointTime) {
+  uint64_t id = encoder_.Encode(2.5, 41.2, 10 * kMillisPerHour);
+  StCellEncoder::StBox box;
+  box.bounds = {2.0, 41.0, 3.0, 42.0};
+  box.t_begin = 0;
+  box.t_end = 2 * kMillisPerHour;
+  EXPECT_FALSE(encoder_.MayIntersect(id, box));
+}
+
+TEST_F(StCellTest, NoFalseNegatives) {
+  // Property: any point inside the query box must have MayIntersect true.
+  Rng rng(3);
+  StCellEncoder::StBox box;
+  box.bounds = {0.0, 38.0, 4.0, 41.0};
+  box.t_begin = 2 * kMillisPerHour;
+  box.t_end = 9 * kMillisPerHour;
+  for (int i = 0; i < 500; ++i) {
+    double lon = rng.Uniform(box.bounds.min_lon, box.bounds.max_lon);
+    double lat = rng.Uniform(box.bounds.min_lat, box.bounds.max_lat);
+    TimeMs t = static_cast<TimeMs>(
+        rng.Uniform(static_cast<double>(box.t_begin),
+                    static_cast<double>(box.t_end)));
+    uint64_t id = encoder_.Encode(lon, lat, t);
+    EXPECT_TRUE(encoder_.MayIntersect(id, box))
+        << "lon=" << lon << " lat=" << lat << " t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace tcmf::geom

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "geom/geo.h"
+#include "insitu/lowlevel.h"
+
+namespace tcmf::insitu {
+namespace {
+
+Position MakePos(uint64_t id, TimeMs t, double lon, double lat,
+                 double speed = 5.0) {
+  Position p;
+  p.entity_id = id;
+  p.t = t;
+  p.lon = lon;
+  p.lat = lat;
+  p.speed_mps = speed;
+  return p;
+}
+
+// ------------------------------------------------------------ StatsTracker
+
+TEST(StatsTrackerTest, TracksSpeedStats) {
+  TrajectoryStatsTracker tracker;
+  tracker.Observe(MakePos(1, 0, 0, 40, 2.0));
+  tracker.Observe(MakePos(1, 10000, 0.001, 40, 4.0));
+  tracker.Observe(MakePos(1, 20000, 0.002, 40, 6.0));
+  const auto* s = tracker.Get(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->speed.count(), 3u);
+  EXPECT_DOUBLE_EQ(s->speed.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s->speed.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s->speed.mean(), 4.0);
+}
+
+TEST(StatsTrackerTest, AccelerationFromConsecutiveReports) {
+  TrajectoryStatsTracker tracker;
+  tracker.Observe(MakePos(1, 0, 0, 40, 0.0));
+  tracker.Observe(MakePos(1, 10000, 0, 40, 5.0));  // +0.5 m/s^2
+  const auto* s = tracker.Get(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->acceleration.count(), 1u);
+  EXPECT_NEAR(s->acceleration.mean(), 0.5, 1e-9);
+  EXPECT_NEAR(s->report_interval_s.mean(), 10.0, 1e-9);
+}
+
+TEST(StatsTrackerTest, EntitiesAreIndependent) {
+  TrajectoryStatsTracker tracker;
+  tracker.Observe(MakePos(1, 0, 0, 40, 2.0));
+  tracker.Observe(MakePos(2, 0, 0, 41, 9.0));
+  EXPECT_DOUBLE_EQ(tracker.Get(1)->speed.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.Get(2)->speed.mean(), 9.0);
+  EXPECT_EQ(tracker.Get(99), nullptr);
+}
+
+// ------------------------------------------------------ AreaTransitions
+
+class AreaDetectorTest : public ::testing::Test {
+ protected:
+  AreaDetectorTest() {
+    geom::Area a;
+    a.id = 7;
+    a.kind = "protected";
+    a.shape = geom::Polygon({{1, 1}, {2, 1}, {2, 2}, {1, 2}});
+    areas_.push_back(a);
+    geom::Area b;
+    b.id = 8;
+    b.kind = "fishing";
+    b.shape = geom::Polygon({{1.5, 1.5}, {3, 1.5}, {3, 3}, {1.5, 3}});
+    areas_.push_back(b);
+  }
+
+  std::vector<geom::Area> areas_;
+  geom::BBox extent_{0, 0, 5, 5};
+};
+
+TEST_F(AreaDetectorTest, EntryAndExit) {
+  AreaTransitionDetector detector(areas_, extent_);
+  auto e1 = detector.Observe(MakePos(1, 0, 0.5, 0.5));
+  EXPECT_TRUE(e1.empty());
+  auto e2 = detector.Observe(MakePos(1, 1000, 1.2, 1.2));
+  ASSERT_EQ(e2.size(), 1u);
+  EXPECT_EQ(e2[0].type, AreaEvent::Type::kEntry);
+  EXPECT_EQ(e2[0].area_id, 7u);
+  EXPECT_EQ(e2[0].area_kind, "protected");
+  auto e3 = detector.Observe(MakePos(1, 2000, 0.5, 0.5));
+  ASSERT_EQ(e3.size(), 1u);
+  EXPECT_EQ(e3[0].type, AreaEvent::Type::kExit);
+}
+
+TEST_F(AreaDetectorTest, OverlappingAreasBothReported) {
+  AreaTransitionDetector detector(areas_, extent_);
+  auto events = detector.Observe(MakePos(1, 0, 1.7, 1.7));  // in both
+  EXPECT_EQ(events.size(), 2u);
+  auto current = detector.CurrentAreas(1);
+  EXPECT_EQ(current.size(), 2u);
+}
+
+TEST_F(AreaDetectorTest, CrossingBetweenAreas) {
+  AreaTransitionDetector detector(areas_, extent_);
+  detector.Observe(MakePos(1, 0, 1.2, 1.2));     // enter 7
+  auto events = detector.Observe(MakePos(1, 1, 2.5, 2.5));  // leave 7, enter 8
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_entry8 = false, saw_exit7 = false;
+  for (const auto& e : events) {
+    if (e.type == AreaEvent::Type::kEntry && e.area_id == 8) saw_entry8 = true;
+    if (e.type == AreaEvent::Type::kExit && e.area_id == 7) saw_exit7 = true;
+  }
+  EXPECT_TRUE(saw_entry8);
+  EXPECT_TRUE(saw_exit7);
+}
+
+TEST_F(AreaDetectorTest, NoRepeatedEntryWhileInside) {
+  AreaTransitionDetector detector(areas_, extent_);
+  detector.Observe(MakePos(1, 0, 1.2, 1.2));
+  auto events = detector.Observe(MakePos(1, 1, 1.3, 1.3));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(AreaDetectorTest, EntitiesTrackedIndependently) {
+  AreaTransitionDetector detector(areas_, extent_);
+  detector.Observe(MakePos(1, 0, 1.2, 1.2));
+  auto events = detector.Observe(MakePos(2, 0, 1.2, 1.2));
+  ASSERT_EQ(events.size(), 1u);  // entity 2 gets its own entry event
+  EXPECT_EQ(events[0].entity_id, 2u);
+}
+
+// ---------------------------------------------------------- StreamCleaner
+
+TEST(StreamCleanerTest, AcceptsNormalProgression) {
+  StreamCleaner cleaner(StreamCleaner::Options{});
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 0, 0, 40)), CleanVerdict::kOk);
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 10000, 0.001, 40)),
+            CleanVerdict::kOk);
+  EXPECT_EQ(cleaner.accepted(), 2u);
+  EXPECT_EQ(cleaner.rejected(), 0u);
+}
+
+TEST(StreamCleanerTest, RejectsDuplicateTimestamp) {
+  StreamCleaner cleaner(StreamCleaner::Options{});
+  cleaner.Observe(MakePos(1, 5000, 0, 40));
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 5000, 0.1, 40)),
+            CleanVerdict::kDuplicate);
+}
+
+TEST(StreamCleanerTest, RejectsOutOfOrder) {
+  StreamCleaner cleaner(StreamCleaner::Options{});
+  cleaner.Observe(MakePos(1, 5000, 0, 40));
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 1000, 0, 40)),
+            CleanVerdict::kOutOfOrder);
+}
+
+TEST(StreamCleanerTest, RejectsSpeedSpike) {
+  StreamCleaner::Options options;
+  options.max_speed_mps = 20.0;
+  StreamCleaner cleaner(options);
+  cleaner.Observe(MakePos(1, 0, 0, 40));
+  // 1 degree longitude in 10 s: ~8.5 km/s.
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 10000, 1.0, 40)),
+            CleanVerdict::kSpeedSpike);
+  // The spike is not committed: the next sane report is judged against
+  // the pre-spike position.
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 20000, 0.001, 40)),
+            CleanVerdict::kOk);
+}
+
+TEST(StreamCleanerTest, RejectsOutOfRange) {
+  StreamCleaner::Options options;
+  options.extent = {0, 0, 10, 10};
+  StreamCleaner cleaner(options);
+  EXPECT_EQ(cleaner.Observe(MakePos(1, 0, 50, 50)),
+            CleanVerdict::kOutOfRange);
+}
+
+TEST(StreamCleanerTest, RejectCountsByKind) {
+  StreamCleaner cleaner(StreamCleaner::Options{});
+  cleaner.Observe(MakePos(1, 1000, 0, 40));
+  cleaner.Observe(MakePos(1, 1000, 0, 40));
+  cleaner.Observe(MakePos(1, 500, 0, 40));
+  cleaner.Observe(MakePos(1, 500, 0, 40));
+  const auto& by_kind = cleaner.rejects_by_kind();
+  EXPECT_EQ(by_kind.at(CleanVerdict::kDuplicate), 1u);
+  EXPECT_EQ(by_kind.at(CleanVerdict::kOutOfOrder), 2u);
+}
+
+TEST(StreamCleanerTest, VerdictNames) {
+  EXPECT_STREQ(CleanVerdictName(CleanVerdict::kOk), "ok");
+  EXPECT_STREQ(CleanVerdictName(CleanVerdict::kSpeedSpike), "speed_spike");
+}
+
+}  // namespace
+}  // namespace tcmf::insitu

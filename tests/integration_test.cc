@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "cep/forecast.h"
+#include "common/rng.h"
+#include "datagen/areas.h"
+#include "datagen/flight.h"
+#include "datagen/vessel.h"
+#include "datagen/weather.h"
+#include "insitu/lowlevel.h"
+#include "linkdiscovery/linker.h"
+#include "prediction/rmf.h"
+#include "prediction/trajpred.h"
+#include "rdf/bgp.h"
+#include "rdf/graph.h"
+#include "rdf/rdfgen.h"
+#include "rdf/vocab.h"
+#include "store/kgstore.h"
+#include "stream/pipeline.h"
+#include "synopses/critical_points.h"
+#include "va/quality.h"
+
+namespace tcmf {
+namespace {
+
+/// The real-time layer of Figure 2, end to end on maritime data:
+/// surveillance stream -> cleaning -> synopses -> RDFization -> link
+/// discovery -> complex event detection.
+TEST(MaritimePipelineIntegration, RealTimeLayerEndToEnd) {
+  datagen::VesselSimConfig config;
+  config.vessel_count = 20;
+  config.duration_ms = 4 * kMillisPerHour;
+  config.gap_probability = 0.002;
+  config.fishing_fraction = 0.5;
+  Rng rng(1);
+  auto ports = datagen::MakePorts(rng, config.extent, 8);
+  auto regions =
+      datagen::MakeRegions(rng, config.extent, 12, "protected", 8000, 30000);
+  datagen::WeatherField weather(rng, config.extent);
+  datagen::VesselSimulator sim(config, ports, regions, &weather);
+  auto data = sim.Run();
+  ASSERT_FALSE(data.stream.empty());
+
+  // In-situ cleaning.
+  insitu::StreamCleaner::Options clean_options;
+  clean_options.extent = config.extent;
+  insitu::StreamCleaner cleaner(clean_options);
+  std::vector<Position> cleaned;
+  for (const Position& p : data.stream) {
+    if (cleaner.Observe(p) == insitu::CleanVerdict::kOk) cleaned.push_back(p);
+  }
+  EXPECT_GT(cleaner.accepted(), data.stream.size() * 9 / 10);
+
+  // Synopses generation.
+  synopses::SynopsesGenerator synopses_gen(
+      synopses::SynopsesConfig::ForMaritime());
+  std::vector<synopses::CriticalPoint> critical;
+  for (const Position& p : cleaned) {
+    for (auto& cp : synopses_gen.Observe(p)) critical.push_back(cp);
+  }
+  EXPECT_GT(synopses_gen.CompressionRatio(), 0.4);
+  EXPECT_FALSE(critical.empty());
+
+  // RDFization of critical points into the real-time knowledge graph.
+  rdf::GraphTemplate tmpl;
+  rdf::VariableVector vars;
+  rdf::MakePositionTemplate("http://tcmf/", &tmpl, &vars);
+  rdf::TripleGenerator rdfizer(std::move(tmpl), std::move(vars));
+  rdf::Graph graph;
+  for (const auto& cp : critical) {
+    for (const rdf::Triple& t :
+         rdfizer.GenerateOne(stream::PositionToRecord(cp.pos))) {
+      graph.Add(t);
+    }
+  }
+  EXPECT_GT(graph.size(), critical.size() * 5);
+
+  // The graph answers a star query covering every node. Two critical
+  // points of the same entity can share a timestamp (e.g. a stop plus a
+  // speed change at one report), merging into one node, so compare
+  // against distinct (entity, t) pairs.
+  std::set<std::pair<uint64_t, TimeMs>> distinct_nodes;
+  for (const auto& cp : critical) {
+    distinct_nodes.insert({cp.pos.entity_id, cp.pos.t});
+  }
+  auto rows = rdf::EvaluateBgp(
+      graph,
+      {{rdf::PatternTerm::Var("n"),
+        rdf::PatternTerm::Const(rdf::Iri(rdf::vocab::kType)),
+        rdf::PatternTerm::Const(rdf::Iri(rdf::vocab::kSemanticNode))},
+       {rdf::PatternTerm::Var("n"),
+        rdf::PatternTerm::Const(rdf::Iri(rdf::vocab::kHasSpeed)),
+        rdf::PatternTerm::Var("v")}});
+  EXPECT_GE(rows.size(), distinct_nodes.size());
+
+  // Link discovery over the critical points.
+  linkdiscovery::LinkerConfig link_config;
+  link_config.extent = config.extent;
+  link_config.link_moving_pairs = true;
+  linkdiscovery::SpatioTemporalLinker linker(link_config, regions);
+  size_t links = 0;
+  for (const auto& cp : critical) links += linker.Observe(cp.pos).size();
+  EXPECT_EQ(linker.stats().points_processed, critical.size());
+  (void)links;  // link counts depend on where traffic happens to sail
+  // Points placed at region centroids must produce within links.
+  Position probe;
+  probe.entity_id = 999;
+  probe.t = 0;
+  geom::LonLat centroid = regions[0].shape.Centroid();
+  probe.lon = centroid.lon;
+  probe.lat = centroid.lat;
+  auto probe_links = linker.Observe(probe);
+  ASSERT_FALSE(probe_links.empty());
+  EXPECT_EQ(probe_links[0].relation,
+            linkdiscovery::Link::Relation::kWithin);
+
+  // Complex event detection: heading reversals of fishing vessels.
+  cep::Pattern pattern = cep::NorthToSouthReversalPattern();
+  cep::Dfa dfa =
+      cep::CompileStreamingDfa(pattern, cep::kHeadingSymbolCount);
+  std::unordered_map<uint64_t, std::vector<int>> symbol_streams;
+  for (const auto& cp : critical) {
+    symbol_streams[cp.pos.entity_id].push_back(
+        cep::CriticalPointSymbol(cp));
+  }
+  size_t total_detections = 0;
+  for (const auto& [entity, symbols] : symbol_streams) {
+    total_detections += cep::Detect(dfa, symbols).size();
+  }
+  // With 10 trawling vessels executing ~180 degree reversals, at least
+  // one north-to-south reversal must be detected.
+  EXPECT_GT(total_detections, 0u);
+}
+
+/// The batch layer: RDFize critical points + weather into the store and
+/// check plans agree and pushdown prunes.
+TEST(BatchLayerIntegration, StoreServesSpatioTemporalStarQueries) {
+  datagen::VesselSimConfig config;
+  config.vessel_count = 10;
+  config.duration_ms = 2 * kMillisPerHour;
+  Rng rng(2);
+  auto ports = datagen::MakePorts(rng, config.extent, 5);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+
+  geom::StCellEncoder encoder(config.extent, 8, config.start_time,
+                              15 * kMillisPerMinute);
+  store::KnowledgeStore kg(encoder, 4);
+  synopses::SynopsesGenerator gen(synopses::SynopsesConfig::ForMaritime());
+  size_t nodes = 0;
+  for (const Position& p : data.stream) {
+    for (auto& cp : gen.Observe(p)) {
+      rdf::Term node = rdf::Iri(
+          "http://tcmf/node/" + std::to_string(cp.pos.entity_id) + "/" +
+          std::to_string(cp.pos.t));
+      kg.AddPositionNode(node, cp.pos.lon, cp.pos.lat, cp.pos.t);
+      kg.Add({node, rdf::Iri(rdf::vocab::kHasSpeed),
+              rdf::DoubleLiteral(cp.pos.speed_mps)});
+      ++nodes;
+    }
+  }
+  ASSERT_GT(nodes, 20u);
+  kg.Compile();
+
+  store::StarQuery query;
+  query.predicate_ids = {
+      kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasSpeed)),
+      kg.dictionary().Lookup(rdf::Iri(rdf::vocab::kHasTimestamp))};
+  query.has_st_constraint = true;
+  query.st_box.bounds = {-2.0, 37.0, 6.0, 42.0};
+  query.st_box.t_begin = 0;
+  query.st_box.t_end = kMillisPerHour;
+
+  store::StarQueryMetrics m_scan, m_push;
+  auto r1 = kg.RunStar(query, store::StarPlan::kTriplesTableScan, &m_scan);
+  auto r2 = kg.RunStar(query, store::StarPlan::kVerticalPartitionPushdown,
+                       &m_push);
+  EXPECT_EQ(r1.size(), r2.size());
+  // Verify every returned subject really satisfies the constraint.
+  for (const auto& row : r2) {
+    double lon, lat;
+    TimeMs t;
+    ASSERT_TRUE(kg.LookupPosition(row.subject, &lon, &lat, &t));
+    EXPECT_TRUE(query.st_box.bounds.Contains(lon, lat));
+    EXPECT_GE(t, query.st_box.t_begin);
+    EXPECT_LE(t, query.st_box.t_end);
+  }
+}
+
+/// Aviation: simulator -> synopses (takeoff/landing) -> FLP comparison ->
+/// hybrid TP training on enriched waypoint deviations.
+TEST(AviationPipelineIntegration, PredictionStackEndToEnd) {
+  datagen::FlightSimConfig config;
+  config.flight_count = 30;
+  config.seed = 3;
+  Rng wrng(4);
+  datagen::WeatherField weather(wrng, config.extent, 20.0);
+  datagen::FlightSimulator sim(config, datagen::DefaultOriginAirport(),
+                               datagen::DefaultDestinationAirport(),
+                               &weather);
+  auto flights = sim.Run();
+  ASSERT_EQ(flights.size(), 30u);
+
+  // Synopses: every flight takes off; aviation config detects it.
+  synopses::SynopsesGenerator gen(synopses::SynopsesConfig::ForAviation());
+  size_t takeoffs = 0;
+  for (const auto& f : flights) {
+    for (const Position& p : f.actual.points) {
+      for (auto& cp : gen.Observe(p)) {
+        takeoffs += cp.type == synopses::CriticalPointType::kTakeoff;
+      }
+    }
+  }
+  EXPECT_GE(takeoffs, flights.size() / 2);
+
+  // FLP on one flight's climb phase: RMF* at least as good as RMF.
+  const auto& flight = flights[0].actual;
+  ASSERT_GT(flight.points.size(), 60u);
+  prediction::RmfPredictor rmf(3, 12);
+  prediction::RmfStarPredictor star;
+  for (size_t i = 0; i < 40; ++i) {
+    rmf.Observe(flight.points[i]);
+    star.Observe(flight.points[i]);
+  }
+  auto rmf_pred = rmf.Predict(8);
+  auto star_pred = star.Predict(8);
+  auto error = [&](const std::vector<prediction::PredictedPoint>& pred) {
+    double sum = 0;
+    for (size_t k = 0; k < pred.size(); ++k) {
+      const Position& truth = flight.points[40 + k];
+      sum += geom::HaversineM(pred[k].loc.lon, pred[k].loc.lat, truth.lon,
+                              truth.lat);
+    }
+    return sum / pred.size();
+  };
+  EXPECT_LT(error(star_pred), 8000.0);
+  EXPECT_LT(error(star_pred), error(rmf_pred) * 3.0);
+
+  // Hybrid TP: build examples from plans + weather enrichment.
+  std::vector<prediction::TpExample> examples;
+  for (const auto& f : flights) {
+    prediction::TpExample ex;
+    std::vector<geom::LonLat> wps;
+    std::vector<TimeMs> etas;
+    for (const auto& wp : f.plan.waypoints) {
+      wps.push_back(wp.loc);
+      etas.push_back(wp.eta);
+      prediction::EnrichedPoint ep;
+      ep.loc = wp.loc;
+      ep.t = wp.eta;
+      auto w = weather.Sample(wp.loc.lon, wp.loc.lat, wp.eta);
+      ep.features = {w.severity,
+                     static_cast<double>(f.aircraft.cls) / 2.0};
+      ex.reference.push_back(ep);
+    }
+    ex.deviations_m = prediction::WaypointDeviations(wps, etas, f.actual);
+    ASSERT_EQ(ex.deviations_m.size(), ex.reference.size());
+    examples.push_back(std::move(ex));
+  }
+  prediction::HybridTpOptions tp_options;
+  tp_options.erp.spatial_scale_m = 20000.0;
+  tp_options.reachability_threshold = 3.0;
+  prediction::HybridTpModel model =
+      prediction::HybridTpModel::Train(examples, tp_options);
+  EXPECT_GE(model.cluster_count(), 1);
+  auto predicted = model.PredictDeviations(examples[0].reference, {});
+  EXPECT_EQ(predicted.size(), examples[0].reference.size());
+}
+
+/// The synopses generator as a KeyedProcess operator on the stream
+/// substrate must produce exactly what direct invocation produces.
+TEST(StreamIntegration, SynopsesOperatorParity) {
+  datagen::VesselSimConfig config;
+  config.vessel_count = 6;
+  config.duration_ms = kMillisPerHour;
+  Rng rng(5);
+  auto ports = datagen::MakePorts(rng, config.extent, 4);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+
+  // Direct invocation.
+  synopses::SynopsesGenerator direct(synopses::SynopsesConfig::ForMaritime());
+  std::vector<synopses::CriticalPoint> expected;
+  for (const Position& p : data.stream) {
+    for (auto& cp : direct.Observe(p)) expected.push_back(cp);
+  }
+
+  // As a dataflow job: source -> keyed synopses operator -> sink.
+  // Each key gets its own generator instance (parallelism-safe state).
+  struct SynopsisState {
+    std::unique_ptr<synopses::SynopsesGenerator> gen;
+  };
+  stream::Pipeline pipeline;
+  std::vector<synopses::CriticalPoint> actual;
+  stream::Flow<Position>::FromVector(&pipeline, data.stream)
+      .KeyedProcess<synopses::CriticalPoint, SynopsisState>(
+          [](const Position& p) { return p.entity_id; },
+          [](const Position& p, SynopsisState& state,
+             const std::function<void(synopses::CriticalPoint)>& emit) {
+            if (!state.gen) {
+              state.gen = std::make_unique<synopses::SynopsesGenerator>(
+                  synopses::SynopsesConfig::ForMaritime());
+            }
+            for (auto& cp : state.gen->Observe(p)) emit(cp);
+          })
+      .CollectInto(&actual);
+  pipeline.Run();
+
+  ASSERT_EQ(actual.size(), expected.size());
+  // Same critical points per entity (global order may differ).
+  auto key = [](const synopses::CriticalPoint& cp) {
+    return std::tuple(cp.pos.entity_id, cp.pos.t, static_cast<int>(cp.type));
+  };
+  auto sort_key = [&](std::vector<synopses::CriticalPoint>& v) {
+    std::sort(v.begin(), v.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  };
+  sort_key(actual);
+  sort_key(expected);
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(key(actual[i]), key(expected[i]));
+  }
+}
+
+/// Data quality: the injected veracity problems are found by the report.
+TEST(QualityIntegration, InjectedProblemsDetected) {
+  datagen::VesselSimConfig config;
+  config.vessel_count = 12;
+  config.duration_ms = 2 * kMillisPerHour;
+  config.gap_probability = 0.01;
+  config.outlier_probability = 0.01;
+  Rng rng(6);
+  auto ports = datagen::MakePorts(rng, config.extent, 4);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+
+  // Group stream into per-entity trajectories.
+  std::unordered_map<uint64_t, Trajectory> by_entity;
+  for (const Position& p : data.stream) {
+    by_entity[p.entity_id].points.push_back(p);
+  }
+  std::vector<Trajectory> trajs;
+  for (auto& [id, t] : by_entity) trajs.push_back(std::move(t));
+
+  va::QualityOptions options;
+  options.max_speed_mps = 50.0;
+  va::QualityReport report = va::AssessQuality(trajs, options);
+  EXPECT_GT(report.gaps, 0u);         // injected comm gaps
+  EXPECT_GT(report.speed_spikes, 0u); // injected outliers
+}
+
+}  // namespace
+}  // namespace tcmf

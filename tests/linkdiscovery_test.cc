@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/areas.h"
+#include "geom/geo.h"
+#include "linkdiscovery/linker.h"
+
+namespace tcmf::linkdiscovery {
+namespace {
+
+const geom::BBox kExtent{0.0, 35.0, 10.0, 44.0};
+
+Position MakePos(uint64_t id, TimeMs t, double lon, double lat) {
+  Position p;
+  p.entity_id = id;
+  p.t = t;
+  p.lon = lon;
+  p.lat = lat;
+  return p;
+}
+
+std::vector<geom::Area> TwoRegions() {
+  std::vector<geom::Area> regions;
+  geom::Area a;
+  a.id = 1;
+  a.kind = "protected";
+  a.shape = geom::Polygon::Circle({2.0, 38.0}, 20000.0, 24);
+  regions.push_back(a);
+  geom::Area b;
+  b.id = 2;
+  b.kind = "fishing";
+  b.shape = geom::Polygon::Circle({7.0, 42.0}, 30000.0, 24);
+  regions.push_back(b);
+  return regions;
+}
+
+LinkerConfig BaseConfig() {
+  LinkerConfig config;
+  config.extent = kExtent;
+  config.near_distance_m = 5000.0;
+  return config;
+}
+
+TEST(LinkerTest, WithinDetected) {
+  SpatioTemporalLinker linker(BaseConfig(), TwoRegions());
+  auto links = linker.Observe(MakePos(1, 0, 2.0, 38.0));
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].relation, Link::Relation::kWithin);
+  EXPECT_EQ(links[0].object_id, 1u);
+  EXPECT_FALSE(links[0].object_is_entity);
+}
+
+TEST(LinkerTest, NearToDetectedOutsideButClose) {
+  SpatioTemporalLinker linker(BaseConfig(), TwoRegions());
+  // ~23 km from center = ~3 km outside the 20 km circle.
+  geom::LonLat p = geom::Destination({2.0, 38.0}, 90.0, 23000.0);
+  auto links = linker.Observe(MakePos(1, 0, p.lon, p.lat));
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].relation, Link::Relation::kNearTo);
+}
+
+TEST(LinkerTest, FarPointProducesNothing) {
+  SpatioTemporalLinker linker(BaseConfig(), TwoRegions());
+  auto links = linker.Observe(MakePos(1, 0, 5.0, 40.0));
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkerTest, MaskSkipsOpenSeaPoints) {
+  LinkerConfig config = BaseConfig();
+  config.use_masks = true;
+  SpatioTemporalLinker linker(config, TwoRegions());
+  // Observe many points in region-free water near (but in the same cells
+  // as) nothing; most land in fully-free cells, but points in candidate
+  // cells far from the region should hit the mask.
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    double lon = rng.Uniform(kExtent.min_lon, kExtent.max_lon);
+    double lat = rng.Uniform(kExtent.min_lat, kExtent.max_lat);
+    linker.Observe(MakePos(1, i, lon, lat));
+  }
+  EXPECT_GT(linker.stats().mask_skips, 0u);
+}
+
+TEST(LinkerTest, MaskNeverChangesResults) {
+  // Property: masks are a pure optimization — identical links with and
+  // without them, on points saturating the area around regions.
+  auto regions = TwoRegions();
+  LinkerConfig with = BaseConfig();
+  with.use_masks = true;
+  LinkerConfig without = BaseConfig();
+  without.use_masks = false;
+  SpatioTemporalLinker lw(with, regions);
+  SpatioTemporalLinker lo(without, regions);
+
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    // Concentrate samples around region 1's boundary (the tricky zone).
+    geom::LonLat p = geom::Destination({2.0, 38.0}, rng.Uniform(0, 360),
+                                       rng.Uniform(0, 60000.0));
+    Position pos = MakePos(1, i, p.lon, p.lat);
+    auto a = lw.Observe(pos);
+    auto b = lo.Observe(pos);
+    ASSERT_EQ(a.size(), b.size()) << "at " << p.lon << "," << p.lat;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].relation, b[k].relation);
+      EXPECT_EQ(a[k].object_id, b[k].object_id);
+    }
+  }
+  // And the masked run must have done measurably fewer polygon tests.
+  EXPECT_LT(lw.stats().polygon_tests, lo.stats().polygon_tests);
+}
+
+TEST(LinkerTest, BlockingMatchesNaiveBaseline) {
+  Rng rng(7);
+  auto regions = datagen::MakeRegions(rng, kExtent, 25, "zone", 8000, 40000);
+  LinkerConfig config = BaseConfig();
+  SpatioTemporalLinker grid_linker(config, regions);
+  NaiveLinker naive(config.near_distance_m, regions);
+
+  for (int i = 0; i < 2000; ++i) {
+    double lon = rng.Uniform(kExtent.min_lon, kExtent.max_lon);
+    double lat = rng.Uniform(kExtent.min_lat, kExtent.max_lat);
+    Position pos = MakePos(1, i, lon, lat);
+    auto a = grid_linker.Observe(pos);
+    auto b = naive.Observe(pos);
+    std::multiset<uint64_t> ga, gb;
+    for (const auto& l : a) ga.insert(l.object_id * 2 +
+                                      (l.relation == Link::Relation::kWithin));
+    for (const auto& l : b) gb.insert(l.object_id * 2 +
+                                      (l.relation == Link::Relation::kWithin));
+    ASSERT_EQ(ga, gb) << "mismatch at point " << i;
+  }
+}
+
+TEST(LinkerTest, MovingPairProximity) {
+  LinkerConfig config = BaseConfig();
+  config.link_moving_pairs = true;
+  config.temporal_window_ms = 60000;
+  SpatioTemporalLinker linker(config, {});
+  linker.Observe(MakePos(1, 0, 5.0, 40.0));
+  // Second entity 2 km away, 30 s later: nearTo.
+  geom::LonLat near = geom::Destination({5.0, 40.0}, 45.0, 2000.0);
+  auto links = linker.Observe(MakePos(2, 30000, near.lon, near.lat));
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].relation, Link::Relation::kNearTo);
+  EXPECT_TRUE(links[0].object_is_entity);
+  EXPECT_EQ(links[0].object_id, 1u);
+}
+
+TEST(LinkerTest, TemporalWindowExcludesOldPoints) {
+  LinkerConfig config = BaseConfig();
+  config.link_moving_pairs = true;
+  config.temporal_window_ms = 60000;
+  SpatioTemporalLinker linker(config, {});
+  linker.Observe(MakePos(1, 0, 5.0, 40.0));
+  // Same place but 10 minutes later: outside the temporal window.
+  auto links = linker.Observe(MakePos(2, 600000, 5.001, 40.001));
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkerTest, SameEntityNeverLinksToItself) {
+  LinkerConfig config = BaseConfig();
+  config.link_moving_pairs = true;
+  SpatioTemporalLinker linker(config, {});
+  linker.Observe(MakePos(1, 0, 5.0, 40.0));
+  auto links = linker.Observe(MakePos(1, 10000, 5.0005, 40.0005));
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkerTest, SpatiallyDistantPairsExcluded) {
+  LinkerConfig config = BaseConfig();
+  config.link_moving_pairs = true;
+  SpatioTemporalLinker linker(config, {});
+  linker.Observe(MakePos(1, 0, 5.0, 40.0));
+  // 50 km away at the same time: too far.
+  geom::LonLat far = geom::Destination({5.0, 40.0}, 0.0, 50000.0);
+  auto links = linker.Observe(MakePos(2, 1000, far.lon, far.lat));
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkerTest, StatsAccumulate) {
+  SpatioTemporalLinker linker(BaseConfig(), TwoRegions());
+  linker.Observe(MakePos(1, 0, 2.0, 38.0));
+  linker.Observe(MakePos(1, 1, 5.0, 40.0));
+  EXPECT_EQ(linker.stats().points_processed, 2u);
+  EXPECT_EQ(linker.stats().links_within, 1u);
+}
+
+TEST(LinkerTest, FullyFreeCellFractionHighForSparseRegions) {
+  SpatioTemporalLinker linker(BaseConfig(), TwoRegions());
+  EXPECT_GT(linker.FullyFreeCellFraction(), 0.8);
+}
+
+}  // namespace
+}  // namespace tcmf::linkdiscovery

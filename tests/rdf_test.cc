@@ -1,0 +1,709 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "rdf/bgp.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/rdfgen.h"
+#include "rdf/semantic_trajectory.h"
+#include "rdf/sparql.h"
+#include "rdf/term.h"
+#include "rdf/vocab.h"
+
+namespace tcmf::rdf {
+namespace {
+
+// ------------------------------------------------------------------ Term
+
+TEST(TermTest, Constructors) {
+  EXPECT_EQ(Iri("http://x/a").kind, Term::Kind::kIri);
+  EXPECT_EQ(Literal("v").kind, Term::Kind::kLiteral);
+  EXPECT_EQ(Blank("b1").kind, Term::Kind::kBlank);
+  EXPECT_EQ(TypedLiteral("5", "http://x/int").datatype, "http://x/int");
+}
+
+TEST(TermTest, ToStringForms) {
+  EXPECT_EQ(Iri("http://x/a").ToString(), "<http://x/a>");
+  EXPECT_EQ(Literal("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Blank("n").ToString(), "_:n");
+  EXPECT_EQ(TypedLiteral("5", "http://x/i").ToString(),
+            "\"5\"^^<http://x/i>");
+}
+
+TEST(TermTest, NumericLiterals) {
+  Term d = DoubleLiteral(2.5);
+  EXPECT_EQ(d.lexical, "2.5");
+  Term i = IntLiteral(-7);
+  EXPECT_EQ(i.lexical, "-7");
+}
+
+TEST(TermTest, KeyDistinguishesKinds) {
+  EXPECT_NE(TermKey(Iri("x")), TermKey(Literal("x")));
+  EXPECT_NE(TermKey(Literal("x")), TermKey(Blank("x")));
+  EXPECT_NE(TermKey(Literal("5")),
+            TermKey(TypedLiteral("5", "http://x/int")));
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Iri("a"), Iri("a"));
+  EXPECT_FALSE(Iri("a") == Literal("a"));
+}
+
+// ------------------------------------------------------------ Dictionary
+
+TEST(DictionaryTest, EncodeIsStable) {
+  Dictionary dict;
+  uint64_t a = dict.Encode(Iri("x"));
+  uint64_t b = dict.Encode(Iri("x"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, IdsAreDenseFromOne) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Encode(Iri("a")), 1u);
+  EXPECT_EQ(dict.Encode(Iri("b")), 2u);
+  EXPECT_EQ(dict.Encode(Literal("a")), 3u);
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  Dictionary dict;
+  Term t = TypedLiteral("3.5", "http://x/d");
+  uint64_t id = dict.Encode(t);
+  auto back = dict.Decode(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(DictionaryTest, LookupWithoutInterning) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Lookup(Iri("missing")), Dictionary::kNoId);
+  dict.Encode(Iri("there"));
+  EXPECT_NE(dict.Lookup(Iri("there")), Dictionary::kNoId);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, DecodeInvalidId) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Decode(0).has_value());
+  EXPECT_FALSE(dict.Decode(99).has_value());
+}
+
+TEST(DictionaryTest, TripleRoundTrip) {
+  Dictionary dict;
+  Triple t{Iri("s"), Iri("p"), Literal("o")};
+  EncodedTriple enc = dict.Encode(t);
+  auto back = dict.Decode(enc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+// ----------------------------------------------------------------- Graph
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() {
+    graph_.Add({Iri("s1"), Iri("type"), Iri("Vessel")});
+    graph_.Add({Iri("s2"), Iri("type"), Iri("Vessel")});
+    graph_.Add({Iri("s3"), Iri("type"), Iri("Aircraft")});
+    graph_.Add({Iri("s1"), Iri("speed"), DoubleLiteral(5.0)});
+    graph_.Add({Iri("s2"), Iri("speed"), DoubleLiteral(8.0)});
+  }
+  Graph graph_;
+};
+
+TEST_F(GraphTest, SizeCounts) { EXPECT_EQ(graph_.size(), 5u); }
+
+TEST_F(GraphTest, MatchBySubject) {
+  Term s1 = Iri("s1");
+  auto triples = graph_.MatchDecoded(&s1, nullptr, nullptr);
+  EXPECT_EQ(triples.size(), 2u);
+}
+
+TEST_F(GraphTest, MatchByPredicateObject) {
+  Term type = Iri("type");
+  Term vessel = Iri("Vessel");
+  auto triples = graph_.MatchDecoded(nullptr, &type, &vessel);
+  EXPECT_EQ(triples.size(), 2u);
+}
+
+TEST_F(GraphTest, MatchByObjectOnly) {
+  Term aircraft = Iri("Aircraft");
+  auto triples = graph_.MatchDecoded(nullptr, nullptr, &aircraft);
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].s, Iri("s3"));
+}
+
+TEST_F(GraphTest, MatchAllWildcard) {
+  auto triples = graph_.MatchDecoded(nullptr, nullptr, nullptr);
+  EXPECT_EQ(triples.size(), 5u);
+}
+
+TEST_F(GraphTest, MatchUnknownTermIsEmpty) {
+  Term nothing = Iri("unseen");
+  EXPECT_TRUE(graph_.MatchDecoded(&nothing, nullptr, nullptr).empty());
+}
+
+TEST_F(GraphTest, CountMatchesMatch) {
+  uint64_t type = graph_.dictionary().Lookup(Iri("type"));
+  EXPECT_EQ(graph_.Count(0, type, 0), 3u);
+}
+
+TEST_F(GraphTest, MatchAfterIncrementalAdd) {
+  Term s9 = Iri("s9");
+  EXPECT_TRUE(graph_.MatchDecoded(&s9, nullptr, nullptr).empty());
+  graph_.Add({Iri("s9"), Iri("type"), Iri("Vessel")});
+  EXPECT_EQ(graph_.MatchDecoded(&s9, nullptr, nullptr).size(), 1u);
+  Term type = Iri("type");
+  Term vessel = Iri("Vessel");
+  EXPECT_EQ(graph_.MatchDecoded(nullptr, &type, &vessel).size(), 3u);
+}
+
+// ------------------------------------------------------------------- BGP
+
+class BgpTest : public ::testing::Test {
+ protected:
+  BgpTest() {
+    graph_.Add({Iri("v1"), Iri("type"), Iri("Vessel")});
+    graph_.Add({Iri("v2"), Iri("type"), Iri("Vessel")});
+    graph_.Add({Iri("v1"), Iri("flag"), Literal("GR")});
+    graph_.Add({Iri("v2"), Iri("flag"), Literal("ES")});
+    graph_.Add({Iri("v1"), Iri("inside"), Iri("area1")});
+    graph_.Add({Iri("area1"), Iri("kind"), Literal("protected")});
+  }
+  Graph graph_;
+};
+
+TEST_F(BgpTest, SinglePattern) {
+  auto rows = EvaluateBgp(
+      graph_, {{PatternTerm::Var("v"), PatternTerm::Const(Iri("type")),
+                PatternTerm::Const(Iri("Vessel"))}});
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(BgpTest, JoinAcrossPatterns) {
+  // Vessels inside a protected area.
+  std::vector<TriplePattern> patterns = {
+      {PatternTerm::Var("v"), PatternTerm::Const(Iri("type")),
+       PatternTerm::Const(Iri("Vessel"))},
+      {PatternTerm::Var("v"), PatternTerm::Const(Iri("inside")),
+       PatternTerm::Var("a")},
+      {PatternTerm::Var("a"), PatternTerm::Const(Iri("kind")),
+       PatternTerm::Const(Literal("protected"))},
+  };
+  auto rows = EvaluateBgp(graph_, patterns);
+  ASSERT_EQ(rows.size(), 1u);
+  auto v = BoundTerm(graph_, rows[0], "v");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Iri("v1"));
+}
+
+TEST_F(BgpTest, NoMatchReturnsEmpty) {
+  auto rows = EvaluateBgp(
+      graph_, {{PatternTerm::Var("v"), PatternTerm::Const(Iri("type")),
+                PatternTerm::Const(Iri("Submarine"))}});
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(BgpTest, UnknownConstantShortCircuits) {
+  auto rows = EvaluateBgp(
+      graph_, {{PatternTerm::Var("v"), PatternTerm::Const(Iri("never_seen")),
+                PatternTerm::Var("o")}});
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(BgpTest, VariableReuseWithinPattern) {
+  graph_.Add({Iri("self"), Iri("sameAs"), Iri("self")});
+  auto rows = EvaluateBgp(
+      graph_, {{PatternTerm::Var("x"), PatternTerm::Const(Iri("sameAs")),
+                PatternTerm::Var("x")}});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(*BoundTerm(graph_, rows[0], "x"), Iri("self"));
+}
+
+TEST_F(BgpTest, MultipleResultsBindAllVariables) {
+  std::vector<TriplePattern> patterns = {
+      {PatternTerm::Var("v"), PatternTerm::Const(Iri("type")),
+       PatternTerm::Const(Iri("Vessel"))},
+      {PatternTerm::Var("v"), PatternTerm::Const(Iri("flag")),
+       PatternTerm::Var("f")},
+  };
+  auto rows = EvaluateBgp(graph_, patterns);
+  ASSERT_EQ(rows.size(), 2u);
+  std::set<std::string> flags;
+  for (const auto& row : rows) {
+    flags.insert(BoundTerm(graph_, row, "f")->lexical);
+  }
+  EXPECT_EQ(flags, (std::set<std::string>{"GR", "ES"}));
+}
+
+// ---------------------------------------------------------------- RDFGen
+
+TEST(VariableVectorTest, FieldBindings) {
+  VariableVector vars;
+  vars.DefineFieldLiteral("name", "name");
+  vars.DefineFieldDouble("speed", "speed");
+  vars.DefineFieldInt("count", "count");
+  vars.DefineFieldIri("entity", "id", "http://x/obj/");
+
+  stream::Record r;
+  r.Set("name", std::string("alpha"));
+  r.Set("speed", 5.5);
+  r.Set("count", static_cast<int64_t>(3));
+  r.Set("id", static_cast<int64_t>(42));
+
+  EXPECT_EQ(vars.Resolve("name", r)->lexical, "alpha");
+  EXPECT_EQ(vars.Resolve("speed", r)->lexical, "5.5");
+  EXPECT_EQ(vars.Resolve("count", r)->lexical, "3");
+  EXPECT_EQ(vars.Resolve("entity", r)->lexical, "http://x/obj/42");
+  EXPECT_FALSE(vars.Resolve("undefined", r).has_value());
+}
+
+TEST(VariableVectorTest, MissingFieldAbstains) {
+  VariableVector vars;
+  vars.DefineFieldDouble("speed", "speed");
+  stream::Record r;
+  EXPECT_FALSE(vars.Resolve("speed", r).has_value());
+}
+
+TEST(GraphTemplateTest, GeneratesTriplesPerPattern) {
+  VariableVector vars;
+  vars.DefineFieldIri("s", "id", "http://x/");
+  vars.DefineFieldDouble("speed", "speed");
+  GraphTemplate tmpl;
+  tmpl.Add(TemplateSlot::Var("s"), TemplateSlot::Const(Iri("hasSpeed")),
+           TemplateSlot::Var("speed"));
+  tmpl.Add(TemplateSlot::Var("s"), TemplateSlot::Const(Iri("type")),
+           TemplateSlot::Const(Iri("Node")));
+
+  stream::Record r;
+  r.Set("id", static_cast<int64_t>(1));
+  r.Set("speed", 7.0);
+  auto triples = tmpl.Generate(r, vars);
+  ASSERT_EQ(triples.size(), 2u);
+  EXPECT_EQ(triples[0].p, Iri("hasSpeed"));
+}
+
+TEST(GraphTemplateTest, SkipsPatternsWithUnresolvedVariables) {
+  VariableVector vars;
+  vars.DefineFieldIri("s", "id", "http://x/");
+  vars.DefineFieldDouble("speed", "speed");
+  GraphTemplate tmpl;
+  tmpl.Add(TemplateSlot::Var("s"), TemplateSlot::Const(Iri("hasSpeed")),
+           TemplateSlot::Var("speed"));
+  tmpl.Add(TemplateSlot::Var("s"), TemplateSlot::Const(Iri("type")),
+           TemplateSlot::Const(Iri("Node")));
+
+  stream::Record r;
+  r.Set("id", static_cast<int64_t>(1));  // no speed field
+  auto triples = tmpl.Generate(r, vars);
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].p, Iri("type"));
+}
+
+TEST(ConnectorTest, VectorConnectorDrains) {
+  stream::Record a, b;
+  a.Set("x", static_cast<int64_t>(1));
+  b.Set("x", static_cast<int64_t>(2));
+  VectorConnector conn({a, b});
+  EXPECT_EQ(conn.Next()->GetInt("x").value(), 1);
+  EXPECT_EQ(conn.Next()->GetInt("x").value(), 2);
+  EXPECT_FALSE(conn.Next().has_value());
+}
+
+TEST(ConnectorTest, TransformFiltersAndMaps) {
+  std::vector<stream::Record> records;
+  for (int i = 0; i < 6; ++i) {
+    stream::Record r;
+    r.Set("x", static_cast<int64_t>(i));
+    records.push_back(r);
+  }
+  TransformConnector conn(
+      std::make_unique<VectorConnector>(records),
+      [](stream::Record r) -> std::optional<stream::Record> {
+        if (r.GetInt("x").value() % 2 != 0) return std::nullopt;
+        r.Set("doubled", r.GetInt("x").value() * 2);
+        return r;
+      });
+  int count = 0;
+  while (auto r = conn.Next()) {
+    EXPECT_EQ(r->GetInt("doubled").value(), r->GetInt("x").value() * 2);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ConnectorTest, CsvConnectorParsesTypes) {
+  std::string path = testing::TempDir() + "/tcmf_rdfgen.csv";
+  {
+    std::ofstream out(path);
+    out << "id,name,speed\n1,alpha,5.5\n2,beta,6.25\n";
+  }
+  auto conn = CsvConnector::Open(path);
+  ASSERT_TRUE(conn.ok());
+  auto r = conn.value()->Next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->GetInt("id").value(), 1);
+  EXPECT_EQ(r->GetString("name").value(), "alpha");
+  EXPECT_DOUBLE_EQ(r->GetDouble("speed").value(), 5.5);
+  std::remove(path.c_str());
+}
+
+TEST(ConnectorTest, CsvConnectorMissingFile) {
+  EXPECT_FALSE(CsvConnector::Open("/no/such/file.csv").ok());
+}
+
+TEST(TripleGeneratorTest, RunCountsRecordsAndTriples) {
+  GraphTemplate tmpl;
+  VariableVector vars;
+  MakePositionTemplate("http://x/", &tmpl, &vars);
+
+  std::vector<stream::Record> records;
+  for (int i = 0; i < 10; ++i) {
+    Position p;
+    p.entity_id = 100 + i;
+    p.t = i * 1000;
+    p.lon = 2.0;
+    p.lat = 41.0;
+    p.speed_mps = 5.0;
+    p.heading_deg = 90.0;
+    records.push_back(stream::PositionToRecord(p));
+  }
+  VectorConnector conn(std::move(records));
+  TripleGenerator gen(std::move(tmpl), std::move(vars));
+  Graph graph;
+  size_t n = gen.Run(conn, [&](const Triple& t) { graph.Add(t); });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(gen.records_processed(), 10u);
+  // 7 patterns per record.
+  EXPECT_EQ(gen.triples_generated(), 70u);
+  EXPECT_EQ(graph.size(), 70u);
+}
+
+TEST(TripleGeneratorTest, PositionTemplateProducesOntologyTerms) {
+  GraphTemplate tmpl;
+  VariableVector vars;
+  MakePositionTemplate("http://x/", &tmpl, &vars);
+  Position p;
+  p.entity_id = 7;
+  p.t = 1234;
+  p.lon = 2.5;
+  p.lat = 41.5;
+  TripleGenerator gen(std::move(tmpl), std::move(vars));
+  auto triples = gen.GenerateOne(stream::PositionToRecord(p));
+  bool has_type = false, has_wkt = false;
+  for (const Triple& t : triples) {
+    if (t.p == Iri(vocab::kType) && t.o == Iri(vocab::kSemanticNode)) {
+      has_type = true;
+    }
+    if (t.p == Iri(vocab::kAsWKT)) {
+      has_wkt = true;
+      EXPECT_EQ(t.o.datatype, vocab::kWktLiteral);
+      EXPECT_TRUE(t.o.lexical.find("POINT") == 0);
+    }
+  }
+  EXPECT_TRUE(has_type);
+  EXPECT_TRUE(has_wkt);
+}
+
+TEST(TripleGeneratorTest, WeatherTemplate) {
+  GraphTemplate tmpl;
+  VariableVector vars;
+  MakeWeatherTemplate("http://x/", &tmpl, &vars);
+  stream::Record r;
+  r.Set("t", static_cast<int64_t>(3600000));
+  r.Set("lon", 2.0);
+  r.Set("lat", 40.0);
+  r.Set("wind_east_mps", 3.0);
+  r.Set("wind_north_mps", 4.0);
+  r.Set("severity", 0.2);
+  r.Set("wave_height_m", 1.5);
+  TripleGenerator gen(std::move(tmpl), std::move(vars));
+  auto triples = gen.GenerateOne(r);
+  EXPECT_EQ(triples.size(), 6u);
+  bool wind_ok = false;
+  for (const Triple& t : triples) {
+    if (t.p == Iri(vocab::kHasWindSpeed)) {
+      EXPECT_EQ(t.o.lexical, "5");  // hypot(3,4)
+      wind_ok = true;
+    }
+  }
+  EXPECT_TRUE(wind_ok);
+}
+
+
+
+// --------------------------------------------------- SemanticTrajectory
+
+class SemanticTrajectoryTest : public ::testing::Test {
+ protected:
+  static synopses::CriticalPoint CP(TimeMs t,
+                                    synopses::CriticalPointType type) {
+    synopses::CriticalPoint cp;
+    cp.pos.entity_id = 42;
+    cp.pos.t = t;
+    cp.pos.lon = 2.0 + t / 1e6;
+    cp.pos.lat = 40.0;
+    cp.type = type;
+    return cp;
+  }
+};
+
+TEST_F(SemanticTrajectoryTest, BuildsFigureThreeStructure) {
+  using synopses::CriticalPointType;
+  std::vector<synopses::CriticalPoint> cps = {
+      CP(0, CriticalPointType::kStart),
+      CP(1000, CriticalPointType::kChangeInHeading),
+      CP(2000, CriticalPointType::kStop),
+      CP(3000, CriticalPointType::kStopEnd),  // new part
+      CP(4000, CriticalPointType::kSpeedChange),
+      CP(5000, CriticalPointType::kEnd),
+  };
+  Graph graph;
+  SemanticTrajectoryStats stats =
+      BuildSemanticTrajectory("http://x/", 42, cps, &graph);
+  EXPECT_EQ(stats.trajectories, 1u);
+  EXPECT_EQ(stats.parts, 2u);  // split at the stop end
+  EXPECT_EQ(stats.nodes, 6u);
+  EXPECT_EQ(stats.triples, graph.size());
+
+  // Trajectory -> hasPart -> part -> hasNode -> node chain queryable.
+  auto rows = EvaluateBgp(
+      graph,
+      {{PatternTerm::Var("traj"), PatternTerm::Const(Iri(vocab::kType)),
+        PatternTerm::Const(Iri(vocab::kTrajectory))},
+       {PatternTerm::Var("traj"), PatternTerm::Const(Iri(vocab::kHasPart)),
+        PatternTerm::Var("part")},
+       {PatternTerm::Var("part"), PatternTerm::Const(Iri(vocab::kHasNode)),
+        PatternTerm::Var("node")}});
+  EXPECT_EQ(rows.size(), 6u);  // every node reachable from the trajectory
+}
+
+TEST_F(SemanticTrajectoryTest, EventsAnnotateNodes) {
+  using synopses::CriticalPointType;
+  std::vector<synopses::CriticalPoint> cps = {
+      CP(0, CriticalPointType::kStart),
+      CP(1000, CriticalPointType::kChangeInHeading),
+  };
+  Graph graph;
+  BuildSemanticTrajectory("http://x/", 42, cps, &graph);
+  auto rows = EvaluateBgp(
+      graph,
+      {{PatternTerm::Var("e"), PatternTerm::Const(Iri(vocab::kEventType)),
+        PatternTerm::Const(Literal("change_in_heading"))},
+       {PatternTerm::Var("e"), PatternTerm::Const(Iri(vocab::kOccurs)),
+        PatternTerm::Var("n")}});
+  ASSERT_EQ(rows.size(), 1u);
+}
+
+TEST_F(SemanticTrajectoryTest, EmptyInputIsNoop) {
+  Graph graph;
+  SemanticTrajectoryStats stats =
+      BuildSemanticTrajectory("http://x/", 42, {}, &graph);
+  EXPECT_EQ(stats.trajectories, 0u);
+  EXPECT_EQ(graph.size(), 0u);
+}
+
+TEST_F(SemanticTrajectoryTest, GapsAndTakeoffsOpenParts) {
+  using synopses::CriticalPointType;
+  std::vector<synopses::CriticalPoint> cps = {
+      CP(0, CriticalPointType::kStart),
+      CP(1000, CriticalPointType::kGapStart),
+      CP(60000, CriticalPointType::kGapEnd),    // new part
+      CP(70000, CriticalPointType::kTakeoff),   // new part
+      CP(80000, CriticalPointType::kLanding),
+  };
+  Graph graph;
+  SemanticTrajectoryStats stats =
+      BuildSemanticTrajectory("http://x/", 7, cps, &graph);
+  EXPECT_EQ(stats.parts, 3u);
+}
+
+
+// ---------------------------------------------------------------- SPARQL
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  SparqlTest() {
+    auto add_node = [&](int i, double speed) {
+      Term node = Iri("http://x/n/" + std::to_string(i));
+      graph_.Add({node, Iri(vocab::kType), Iri(vocab::kSemanticNode)});
+      graph_.Add({node, Iri(vocab::kHasSpeed), DoubleLiteral(speed)});
+      graph_.Add({node, Iri(vocab::kHasTimestamp),
+                  IntLiteral(1000 * i)});
+    };
+    add_node(0, 2.0);
+    add_node(1, 5.0);
+    add_node(2, 8.0);
+    add_node(3, 11.0);
+  }
+  Graph graph_;
+};
+
+TEST_F(SparqlTest, SelectWithPrefixAndType) {
+  auto result = RunSparql(graph_, R"(
+    PREFIX dc: <http://www.datacron-project.eu/datAcron#>
+    SELECT ?n ?v
+    WHERE {
+      ?n a dc:SemanticNode .
+      ?n dc:hasSpeed ?v .
+    }
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().vars, (std::vector<std::string>{"n", "v"}));
+  EXPECT_EQ(result.value().rows.size(), 4u);
+}
+
+TEST_F(SparqlTest, NumericFiltersApply) {
+  auto result = RunSparql(graph_, R"(
+    PREFIX dc: <http://www.datacron-project.eu/datAcron#>
+    SELECT ?n WHERE {
+      ?n dc:hasSpeed ?v .
+      FILTER(?v >= 4.0 && ?v < 10)
+    }
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 2u);  // speeds 5 and 8
+}
+
+TEST_F(SparqlTest, MultipleFilterClauses) {
+  auto result = RunSparql(graph_, R"(
+    PREFIX dc: <http://www.datacron-project.eu/datAcron#>
+    SELECT ?n WHERE {
+      ?n dc:hasSpeed ?v .
+      ?n dc:hasTimestamp ?t .
+      FILTER(?v > 1)
+      FILTER(?t <= 2000)
+    }
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 3u);  // t in {0,1000,2000}
+}
+
+TEST_F(SparqlTest, SelectStarProjectsAllVariables) {
+  auto result = RunSparql(graph_, R"(
+    PREFIX dc: <http://www.datacron-project.eu/datAcron#>
+    SELECT * WHERE { ?n dc:hasSpeed ?v . }
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().vars, (std::vector<std::string>{"n", "v"}));
+}
+
+TEST_F(SparqlTest, ExplicitIriAndLiteralTerms) {
+  graph_.Add({Iri("http://x/n/0"), Iri("http://x/flag"), Literal("GR")});
+  auto result = RunSparql(graph_, R"(
+    SELECT ?n WHERE { ?n <http://x/flag> "GR" . }
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0][0].lexical, "http://x/n/0");
+}
+
+TEST_F(SparqlTest, CommentsIgnored) {
+  auto result = RunSparql(graph_, R"(
+    # find fast nodes
+    PREFIX dc: <http://www.datacron-project.eu/datAcron#>
+    SELECT ?n WHERE {
+      ?n dc:hasSpeed ?v .  # the speed annotation
+      FILTER(?v > 10)
+    }
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().rows.size(), 1u);
+}
+
+TEST_F(SparqlTest, ParseErrors) {
+  EXPECT_FALSE(RunSparql(graph_, "SELECT ?n WHERE { }").ok());
+  EXPECT_FALSE(RunSparql(graph_, "SELECT ?n { ?n dc:x ?v . }").ok());
+  EXPECT_FALSE(RunSparql(graph_, "WHERE { ?a ?b ?c . }").ok());
+  EXPECT_FALSE(
+      RunSparql(graph_, "SELECT ?n WHERE { ?n <http://x/p ?v . }").ok());
+  EXPECT_FALSE(RunSparql(
+                   graph_,
+                   "SELECT ?n WHERE { ?n <http://x/p> ?v . FILTER(?v ~ 3) }")
+                   .ok());
+  EXPECT_FALSE(
+      RunSparql(graph_, "SELECT ?n WHERE { ?n <http://x/p> ?v .").ok());
+}
+
+TEST_F(SparqlTest, FilterOnNonNumericBindingRejectsRow) {
+  graph_.Add({Iri("http://x/n/0"), Iri("http://x/name"), Literal("alpha")});
+  auto result = RunSparql(graph_, R"(
+    SELECT ?n WHERE {
+      ?n <http://x/name> ?name .
+      FILTER(?name > 0)
+    }
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().rows.empty());
+}
+
+// -------------------------------------------------------------- NTriples
+
+TEST(NTriplesTest, TermForms) {
+  EXPECT_EQ(ToNTriplesTerm(Iri("http://x/a")), "<http://x/a>");
+  EXPECT_EQ(ToNTriplesTerm(Literal("v")), "\"v\"");
+  EXPECT_EQ(ToNTriplesTerm(Blank("b1")), "_:b1");
+  EXPECT_EQ(ToNTriplesTerm(TypedLiteral("5", "http://x/int")),
+            "\"5\"^^<http://x/int>");
+}
+
+TEST(NTriplesTest, EscapingRoundTrip) {
+  Triple t{Iri("s"), Iri("p"),
+           Literal("line1\nline2 \"quoted\" back\\slash\ttab")};
+  auto parsed = ParseNTriplesLine(ToNTriplesLine(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), t);
+}
+
+TEST(NTriplesTest, ParseLineForms) {
+  auto t = ParseNTriplesLine(
+      "<http://x/s> <http://x/p> \"3.5\"^^<http://x/d> .");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().o.datatype, "http://x/d");
+  auto b = ParseNTriplesLine("_:n1 <http://x/p> <http://x/o> .");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().s.kind, Term::Kind::kBlank);
+}
+
+TEST(NTriplesTest, CommentsAndBlanksSkipped) {
+  EXPECT_EQ(ParseNTriplesLine("# a comment").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseNTriplesLine("   ").status().code(), StatusCode::kNotFound);
+}
+
+TEST(NTriplesTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> <o>").ok());  // no dot
+  EXPECT_FALSE(ParseNTriplesLine("<s <p> <o> .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> \"unterminated .").ok());
+}
+
+TEST(NTriplesTest, GraphFileRoundTrip) {
+  Graph graph;
+  graph.Add({Iri("http://x/v1"), Iri("http://x/type"), Iri("http://x/V")});
+  graph.Add({Iri("http://x/v1"), Iri("http://x/name"), Literal("alpha")});
+  graph.Add({Iri("http://x/v1"), Iri("http://x/speed"), DoubleLiteral(5.5)});
+  std::string path = testing::TempDir() + "/tcmf_graph.nt";
+  ASSERT_TRUE(WriteNTriples(graph, path).ok());
+  Graph loaded;
+  auto n = ReadNTriples(path, &loaded);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);
+  EXPECT_EQ(loaded.size(), graph.size());
+  Term v1 = Iri("http://x/v1");
+  EXPECT_EQ(loaded.MatchDecoded(&v1, nullptr, nullptr).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, ReadMissingFileFails) {
+  Graph g;
+  EXPECT_FALSE(ReadNTriples("/no/such/file.nt", &g).ok());
+}
+
+}  // namespace
+}  // namespace tcmf::rdf

@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <unordered_map>
+#include <numeric>
+#include <thread>
+
+#include "common/rng.h"
+#include "stream/channel.h"
+#include "stream/pipeline.h"
+#include "stream/record.h"
+#include "stream/window.h"
+
+namespace tcmf::stream {
+namespace {
+
+// ---------------------------------------------------------------- Record
+
+TEST(RecordTest, SetAndGetTyped) {
+  Record r;
+  r.Set("i", static_cast<int64_t>(5));
+  r.Set("d", 2.5);
+  r.Set("s", std::string("x"));
+  r.Set("b", true);
+  EXPECT_EQ(r.GetInt("i").value(), 5);
+  EXPECT_DOUBLE_EQ(r.GetDouble("d").value(), 2.5);
+  EXPECT_EQ(r.GetString("s").value(), "x");
+  EXPECT_TRUE(r.GetBool("b").value());
+}
+
+TEST(RecordTest, TypeMismatchReturnsNullopt) {
+  Record r;
+  r.Set("i", static_cast<int64_t>(5));
+  EXPECT_FALSE(r.GetDouble("i").has_value());
+  EXPECT_FALSE(r.GetString("i").has_value());
+}
+
+TEST(RecordTest, GetNumericWidensInt) {
+  Record r;
+  r.Set("i", static_cast<int64_t>(5));
+  r.Set("d", 2.5);
+  EXPECT_DOUBLE_EQ(r.GetNumeric("i").value(), 5.0);
+  EXPECT_DOUBLE_EQ(r.GetNumeric("d").value(), 2.5);
+}
+
+TEST(RecordTest, MissingField) {
+  Record r;
+  EXPECT_FALSE(r.Has("nope"));
+  EXPECT_FALSE(r.GetInt("nope").has_value());
+}
+
+TEST(RecordTest, OverwriteKeepsSingleField) {
+  Record r;
+  r.Set("x", static_cast<int64_t>(1));
+  r.Set("x", static_cast<int64_t>(2));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.GetInt("x").value(), 2);
+}
+
+TEST(RecordTest, PositionRoundTrip) {
+  Position p;
+  p.entity_id = 123456;
+  p.t = 987654321;
+  p.lon = 2.5;
+  p.lat = 41.3;
+  p.alt_m = 9500;
+  p.speed_mps = 230;
+  p.heading_deg = 271.5;
+  p.vrate_mps = -8.5;
+  Position back = RecordToPosition(PositionToRecord(p));
+  EXPECT_EQ(back.entity_id, p.entity_id);
+  EXPECT_EQ(back.t, p.t);
+  EXPECT_DOUBLE_EQ(back.lon, p.lon);
+  EXPECT_DOUBLE_EQ(back.heading_deg, p.heading_deg);
+  EXPECT_DOUBLE_EQ(back.vrate_mps, p.vrate_mps);
+}
+
+TEST(RecordTest, ValueToStringForms) {
+  EXPECT_EQ(ValueToString(Value{std::monostate{}}), "");
+  EXPECT_EQ(ValueToString(Value{static_cast<int64_t>(7)}), "7");
+  EXPECT_EQ(ValueToString(Value{true}), "true");
+  EXPECT_EQ(ValueToString(Value{std::string("s")}), "s");
+}
+
+// --------------------------------------------------------------- Channel
+
+TEST(ChannelTest, FifoOrder) {
+  Channel<int> ch(10);
+  ch.Push(1);
+  ch.Push(2);
+  ch.Push(3);
+  EXPECT_EQ(ch.Pop().value(), 1);
+  EXPECT_EQ(ch.Pop().value(), 2);
+  EXPECT_EQ(ch.Pop().value(), 3);
+}
+
+TEST(ChannelTest, CloseDrainsThenNullopt) {
+  Channel<int> ch(10);
+  ch.Push(1);
+  ch.Close();
+  EXPECT_EQ(ch.Pop().value(), 1);
+  EXPECT_FALSE(ch.Pop().has_value());
+}
+
+TEST(ChannelTest, PushAfterCloseFails) {
+  Channel<int> ch(10);
+  ch.Close();
+  EXPECT_FALSE(ch.Push(1));
+  EXPECT_FALSE(ch.TryPush(1));
+}
+
+TEST(ChannelTest, TryPushRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.TryPush(1));
+  EXPECT_TRUE(ch.TryPush(2));
+  EXPECT_FALSE(ch.TryPush(3));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ChannelTest, TryPopEmpty) {
+  Channel<int> ch(2);
+  EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(ChannelTest, BlockingBackpressure) {
+  Channel<int> ch(1);
+  ch.Push(0);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ch.Push(1);  // blocks until consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(ch.Pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(ch.Pop().value(), 1);
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Channel<int> ch(16);
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&ch] {
+      for (int i = 0; i < kPerProducer; ++i) ch.Push(1);
+    });
+  }
+  std::thread closer([&] {
+    for (std::thread& t : producers) t.join();
+    ch.Close();
+  });
+  long long sum = 0;
+  while (auto v = ch.Pop()) sum += *v;
+  closer.join();
+  EXPECT_EQ(sum, 4 * kPerProducer);
+}
+
+// -------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, SourceMapSink) {
+  Pipeline pipeline;
+  std::vector<int> input(100);
+  std::iota(input.begin(), input.end(), 0);
+  std::vector<int> output;
+  Flow<int>::FromVector(&pipeline, input)
+      .Map<int>([](const int& x) { return x * 2; })
+      .CollectInto(&output);
+  pipeline.Run();
+  ASSERT_EQ(output.size(), 100u);
+  EXPECT_EQ(output[10], 20);
+  EXPECT_EQ(output[99], 198);
+}
+
+TEST(PipelineTest, FilterDropsElements) {
+  Pipeline pipeline;
+  std::vector<int> output;
+  Flow<int>::FromVector(&pipeline, {1, 2, 3, 4, 5, 6})
+      .Filter([](const int& x) { return x % 2 == 0; })
+      .CollectInto(&output);
+  pipeline.Run();
+  EXPECT_EQ(output, std::vector<int>({2, 4, 6}));
+}
+
+TEST(PipelineTest, FlatMapExpands) {
+  Pipeline pipeline;
+  std::vector<int> output;
+  Flow<int>::FromVector(&pipeline, {1, 3})
+      .FlatMap<int>([](const int& x) {
+        return std::vector<int>{x, x + 1};
+      })
+      .CollectInto(&output);
+  pipeline.Run();
+  EXPECT_EQ(output, std::vector<int>({1, 2, 3, 4}));
+}
+
+TEST(PipelineTest, GeneratorSource) {
+  Pipeline pipeline;
+  int counter = 0;
+  std::vector<int> output;
+  Flow<int>::FromGenerator(&pipeline,
+                           [&counter]() -> std::optional<int> {
+                             if (counter >= 5) return std::nullopt;
+                             return counter++;
+                           })
+      .CollectInto(&output);
+  pipeline.Run();
+  EXPECT_EQ(output.size(), 5u);
+}
+
+TEST(PipelineTest, KeyedProcessMaintainsPerKeyState) {
+  Pipeline pipeline;
+  // Running sum per key; emit the sum at every element.
+  std::vector<std::pair<uint64_t, int>> input = {
+      {1, 10}, {2, 100}, {1, 5}, {2, 1}, {1, 1}};
+  std::vector<int> output;
+  Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input)
+      .KeyedProcess<int, int>(
+          [](const std::pair<uint64_t, int>& e) { return e.first; },
+          [](const std::pair<uint64_t, int>& e, int& sum,
+             const std::function<void(int)>& emit) {
+            sum += e.second;
+            emit(sum);
+          })
+      .CollectInto(&output);
+  pipeline.Run();
+  EXPECT_EQ(output, std::vector<int>({10, 100, 15, 101, 16}));
+}
+
+TEST(PipelineTest, KeyedProcessFlushRunsPerKey) {
+  Pipeline pipeline;
+  std::vector<std::pair<uint64_t, int>> input = {{1, 1}, {2, 2}, {1, 3}};
+  std::vector<int> output;
+  Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input)
+      .KeyedProcess<int, int>(
+          [](const std::pair<uint64_t, int>& e) { return e.first; },
+          [](const std::pair<uint64_t, int>& e, int& sum,
+             const std::function<void(int)>&) { sum += e.second; },
+          [](uint64_t, int& sum, const std::function<void(int)>& emit) {
+            emit(sum);
+          })
+      .CollectInto(&output);
+  pipeline.Run();
+  std::sort(output.begin(), output.end());
+  EXPECT_EQ(output, std::vector<int>({2, 4}));
+}
+
+TEST(PipelineTest, MultiStageChain) {
+  Pipeline pipeline;
+  std::vector<int> input(1000);
+  std::iota(input.begin(), input.end(), 0);
+  std::vector<int> output;
+  Flow<int>::FromVector(&pipeline, input)
+      .Map<int>([](const int& x) { return x + 1; })
+      .Filter([](const int& x) { return x % 3 == 0; })
+      .Map<int>([](const int& x) { return x / 3; })
+      .CollectInto(&output);
+  pipeline.Run();
+  ASSERT_EQ(output.size(), 333u);
+  EXPECT_EQ(output[0], 1);
+  EXPECT_EQ(output[332], 333);
+}
+
+
+TEST(PipelineTest, ParallelKeyedProcessMatchesSequential) {
+  // Same per-key sums whether run on 1 or 4 workers.
+  std::vector<std::pair<uint64_t, int>> input;
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    input.push_back({static_cast<uint64_t>(rng.UniformInt(0, 15)),
+                     static_cast<int>(rng.UniformInt(1, 9))});
+  }
+  auto run = [&](size_t parallelism) {
+    Pipeline pipeline;
+    std::vector<std::pair<uint64_t, int>> output;
+    Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input)
+        .KeyedProcessParallel<std::pair<uint64_t, int>, int>(
+            [](const std::pair<uint64_t, int>& e) { return e.first; },
+            [](const std::pair<uint64_t, int>& e, int& sum,
+               const std::function<void(std::pair<uint64_t, int>)>&) {
+              sum += e.second;
+            },
+            parallelism,
+            [](uint64_t key, int& sum,
+               const std::function<void(std::pair<uint64_t, int>)>& emit) {
+              emit({key, sum});
+            })
+        .CollectInto(&output);
+    pipeline.Run();
+    std::sort(output.begin(), output.end());
+    return output;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(PipelineTest, ParallelKeyedPreservesPerKeyOrder) {
+  // Each key's elements must be processed in stream order even across
+  // 4 workers: emit running counts and check monotonicity per key.
+  std::vector<std::pair<uint64_t, int>> input;
+  for (int i = 0; i < 500; ++i) {
+    input.push_back({static_cast<uint64_t>(i % 7), i});
+  }
+  Pipeline pipeline;
+  std::vector<std::pair<uint64_t, int>> output;
+  Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input)
+      .KeyedProcessParallel<std::pair<uint64_t, int>, int>(
+          [](const std::pair<uint64_t, int>& e) { return e.first; },
+          [](const std::pair<uint64_t, int>& e, int& last,
+             const std::function<void(std::pair<uint64_t, int>)>& emit) {
+            emit({e.first, e.second});
+            last = e.second;
+          },
+          4)
+      .CollectInto(&output);
+  pipeline.Run();
+  std::unordered_map<uint64_t, int> last_seen;
+  for (const auto& [key, value] : output) {
+    auto it = last_seen.find(key);
+    if (it != last_seen.end()) EXPECT_GT(value, it->second);
+    last_seen[key] = value;
+  }
+  EXPECT_EQ(output.size(), input.size());
+}
+
+// ---------------------------------------------------------------- Window
+
+TEST(WindowTest, TumblingAssignsByEventTime) {
+  TumblingWindower<int, int> w(
+      1000, 0, [](int& acc, const int& v, TimeMs) { acc += v; });
+  EXPECT_TRUE(w.Add(1, 100).empty());
+  EXPECT_TRUE(w.Add(2, 900).empty());
+  auto closed = w.Add(3, 1100);  // watermark passes window [0, 1000)
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].window_start, 0);
+  EXPECT_EQ(closed[0].value, 3);
+  auto rest = w.Close();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].value, 3);
+}
+
+TEST(WindowTest, AllowedLatenessHoldsWindowsOpen) {
+  TumblingWindower<int, int> w(
+      1000, 500, [](int& acc, const int& v, TimeMs) { acc += v; });
+  w.Add(1, 100);
+  // Watermark = 1100 - 500 = 600 < 1000: window [0,1000) stays open.
+  EXPECT_TRUE(w.Add(2, 1100).empty());
+  // Late-but-allowed element still lands in [0, 1000).
+  w.Add(10, 700);
+  auto closed = w.Add(3, 1600);  // watermark 1100 closes [0, 1000)
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].value, 11);  // 1 + the late 10
+  auto rest = w.Close();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].value, 5);  // 2 + 3 in [1000, 2000)
+}
+
+TEST(WindowTest, TooLateElementsDropped) {
+  TumblingWindower<int, int> w(
+      1000, 0, [](int& acc, const int& v, TimeMs) { acc += v; });
+  w.Add(1, 100);
+  w.Add(2, 2500);  // watermark 2500, closes [0,1000) and [1000,2000)
+  w.Add(99, 100);  // too late
+  EXPECT_EQ(w.late_dropped(), 1u);
+  auto rest = w.Close();
+  ASSERT_EQ(rest.size(), 1u);  // only [2000, 3000) with the value 2
+  EXPECT_EQ(rest[0].value, 2);
+}
+
+TEST(WindowTest, MultipleWindowsCloseInOrder) {
+  TumblingWindower<int, int> w(
+      10, 0, [](int& acc, const int&, TimeMs) { ++acc; });
+  w.Add(0, 5);
+  w.Add(0, 15);
+  w.Add(0, 25);
+  auto closed = w.Add(0, 35);
+  // Windows [0,10) [10,20) [20,30) all closed by watermark 35.
+  std::vector<TimeMs> starts;
+  for (auto& c : closed) starts.push_back(c.window_start);
+  // First two closed earlier; ensure ordering is non-decreasing overall.
+  EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+}
+
+}  // namespace
+}  // namespace tcmf::stream

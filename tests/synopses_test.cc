@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "datagen/areas.h"
+#include "datagen/vessel.h"
+#include "geom/geo.h"
+#include "synopses/batch_simplify.h"
+#include "synopses/critical_points.h"
+
+namespace tcmf::synopses {
+namespace {
+
+/// Builds a straight-line cruise at constant speed/heading.
+std::vector<Position> StraightLine(uint64_t id, TimeMs t0, int count,
+                                   TimeMs interval_ms, double speed = 6.0,
+                                   double heading = 90.0) {
+  std::vector<Position> out;
+  geom::LonLat pos{3.0, 40.0};
+  for (int i = 0; i < count; ++i) {
+    Position p;
+    p.entity_id = id;
+    p.t = t0 + i * interval_ms;
+    p.lon = pos.lon;
+    p.lat = pos.lat;
+    p.speed_mps = speed;
+    p.heading_deg = heading;
+    out.push_back(p);
+    pos = geom::Destination(
+        pos, heading,
+        speed * static_cast<double>(interval_ms) / kMillisPerSecond);
+  }
+  return out;
+}
+
+std::vector<CriticalPoint> Feed(SynopsesGenerator& gen,
+                                const std::vector<Position>& stream) {
+  std::vector<CriticalPoint> out;
+  for (const Position& p : stream) {
+    for (CriticalPoint& cp : gen.Observe(p)) out.push_back(cp);
+  }
+  return out;
+}
+
+size_t CountType(const std::vector<CriticalPoint>& cps,
+                 CriticalPointType type) {
+  size_t n = 0;
+  for (const auto& cp : cps) {
+    if (cp.type == type) ++n;
+  }
+  return n;
+}
+
+TEST(SynopsesTest, FirstReportIsStart) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto cps = Feed(gen, StraightLine(1, 0, 1, 10000));
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].type, CriticalPointType::kStart);
+}
+
+TEST(SynopsesTest, StraightCruiseEmitsAlmostNothing) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto cps = Feed(gen, StraightLine(1, 0, 500, 10000));
+  // Only the start point; >99% compression on a straight course.
+  EXPECT_LE(cps.size(), 3u);
+  EXPECT_GT(gen.CompressionRatio(), 0.99);
+}
+
+TEST(SynopsesTest, FlushEmitsEnd) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  Feed(gen, StraightLine(1, 0, 10, 10000));
+  auto end = gen.Flush();
+  ASSERT_EQ(end.size(), 1u);
+  EXPECT_EQ(end[0].type, CriticalPointType::kEnd);
+}
+
+TEST(SynopsesTest, TurnEmitsChangeInHeading) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto leg1 = StraightLine(1, 0, 30, 10000, 6.0, 90.0);
+  // Second leg departs from the end of leg 1, heading north.
+  std::vector<Position> leg2 = StraightLine(1, 300000, 30, 10000, 6.0, 0.0);
+  for (auto& p : leg2) {
+    p.lon = leg1.back().lon;  // co-located continuation is fine here
+  }
+  auto all = leg1;
+  all.insert(all.end(), leg2.begin(), leg2.end());
+  auto cps = Feed(gen, all);
+  EXPECT_GE(CountType(cps, CriticalPointType::kChangeInHeading), 1u);
+}
+
+TEST(SynopsesTest, StopDetectedAfterMinDuration) {
+  SynopsesConfig config = SynopsesConfig::ForMaritime();
+  SynopsesGenerator gen(config);
+  auto moving = StraightLine(1, 0, 10, 10000, 6.0);
+  auto stopped = StraightLine(1, 100000, 20, 10000, 0.0);
+  for (auto& p : stopped) {
+    p.lon = moving.back().lon;
+    p.lat = moving.back().lat;
+  }
+  auto all = moving;
+  all.insert(all.end(), stopped.begin(), stopped.end());
+  auto cps = Feed(gen, all);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kStop), 1u);
+}
+
+TEST(SynopsesTest, StopEndOnResume) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto stopped = StraightLine(1, 0, 20, 10000, 0.0);
+  auto moving = StraightLine(1, 200000, 10, 10000, 6.0);
+  auto all = stopped;
+  all.insert(all.end(), moving.begin(), moving.end());
+  auto cps = Feed(gen, all);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kStop), 1u);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kStopEnd), 1u);
+}
+
+TEST(SynopsesTest, SlowMotionDetected) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto fast = StraightLine(1, 0, 10, 10000, 6.0);
+  auto slow = StraightLine(1, 100000, 20, 10000, 1.5);
+  auto all = fast;
+  all.insert(all.end(), slow.begin(), slow.end());
+  auto cps = Feed(gen, all);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kSlowMotionStart), 1u);
+}
+
+TEST(SynopsesTest, GapEmitsStartAndEnd) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto before = StraightLine(1, 0, 5, 10000);
+  auto after = StraightLine(1, 40 * kMillisPerMinute, 5, 10000);
+  auto all = before;
+  all.insert(all.end(), after.begin(), after.end());
+  auto cps = Feed(gen, all);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kGapStart), 1u);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kGapEnd), 1u);
+}
+
+TEST(SynopsesTest, SpeedChangeDetected) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto slow = StraightLine(1, 0, 20, 10000, 5.0);
+  auto fast = StraightLine(1, 200000, 10, 10000, 9.0);
+  for (auto& p : fast) {
+    p.lon = slow.back().lon + 0.01;
+  }
+  auto all = slow;
+  all.insert(all.end(), fast.begin(), fast.end());
+  auto cps = Feed(gen, all);
+  EXPECT_GE(CountType(cps, CriticalPointType::kSpeedChange), 1u);
+}
+
+TEST(SynopsesTest, TakeoffAndLanding) {
+  SynopsesGenerator gen(SynopsesConfig::ForAviation());
+  std::vector<Position> flight;
+  for (int i = 0; i < 60; ++i) {
+    Position p;
+    p.entity_id = 1;
+    p.t = i * 8000;
+    p.lon = 2.0 + i * 0.01;
+    p.lat = 41.0;
+    p.speed_mps = 150.0;
+    p.heading_deg = 90.0;
+    // On ground for 5 reports, climb, cruise, descend, land at 55.
+    if (i < 5) p.alt_m = 0;
+    else if (i < 25) p.alt_m = (i - 4) * 400.0;
+    else if (i < 40) p.alt_m = 8000.0;
+    else if (i < 55) p.alt_m = 8000.0 - (i - 39) * 533.0;
+    else p.alt_m = 0.0;
+    flight.push_back(p);
+  }
+  auto cps = Feed(gen, flight);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kTakeoff), 1u);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kLanding), 1u);
+}
+
+TEST(SynopsesTest, AltitudeChangeOnClimbTransitions) {
+  SynopsesGenerator gen(SynopsesConfig::ForAviation());
+  std::vector<Position> flight;
+  for (int i = 0; i < 60; ++i) {
+    Position p;
+    p.entity_id = 1;
+    p.t = i * 8000;
+    p.lon = 2.0 + i * 0.01;
+    p.lat = 41.0;
+    p.speed_mps = 200.0;
+    p.heading_deg = 90.0;
+    p.alt_m = 5000.0;
+    p.vrate_mps = (i >= 20 && i < 40) ? 12.0 : 0.0;  // climb burst
+    flight.push_back(p);
+  }
+  auto cps = Feed(gen, flight);
+  // One transition into the climb, one out of it.
+  EXPECT_EQ(CountType(cps, CriticalPointType::kChangeInAltitude), 2u);
+}
+
+TEST(SynopsesTest, OutOfOrderReportsIgnored) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto line = StraightLine(1, 0, 10, 10000);
+  Feed(gen, line);
+  Position stale = line[2];
+  EXPECT_TRUE(gen.Observe(stale).empty());
+}
+
+TEST(SynopsesTest, PerEntityIndependence) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  auto a = StraightLine(1, 0, 50, 10000);
+  auto b = StraightLine(2, 0, 50, 10000);
+  std::vector<Position> merged;
+  for (size_t i = 0; i < a.size(); ++i) {
+    merged.push_back(a[i]);
+    merged.push_back(b[i]);
+  }
+  auto cps = Feed(gen, merged);
+  EXPECT_EQ(CountType(cps, CriticalPointType::kStart), 2u);
+}
+
+TEST(SynopsesTest, InterpolateAtCriticalTimes) {
+  std::vector<CriticalPoint> synopsis;
+  Position a;
+  a.t = 0;
+  a.lon = 0;
+  a.lat = 40;
+  Position b = a;
+  b.t = 10000;
+  b.lon = 1.0;
+  synopsis.push_back({a, CriticalPointType::kStart});
+  synopsis.push_back({b, CriticalPointType::kEnd});
+  Position mid = InterpolateSynopsis(synopsis, 5000);
+  EXPECT_NEAR(mid.lon, 0.5, 1e-9);
+  Position before = InterpolateSynopsis(synopsis, -100);
+  EXPECT_DOUBLE_EQ(before.lon, 0.0);
+  Position after = InterpolateSynopsis(synopsis, 99999);
+  EXPECT_DOUBLE_EQ(after.lon, 1.0);
+}
+
+TEST(SynopsesTest, ReconstructionErrorSmallOnRealTraffic) {
+  // End-to-end property: on simulated vessel traffic, the synopsis must
+  // compress heavily while reconstructing within a modest error.
+  datagen::VesselSimConfig config;
+  config.vessel_count = 10;
+  config.duration_ms = 3 * kMillisPerHour;
+  config.position_noise_m = 0.0;
+  config.gap_probability = 0.0;
+  Rng rng(42);
+  auto ports = datagen::MakePorts(rng, config.extent, 5);
+  auto fishing =
+      datagen::MakeRegions(rng, config.extent, 3, "fishing", 10000, 30000);
+  datagen::VesselSimulator sim(config, ports, fishing, nullptr);
+  auto out = sim.Run();
+
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  std::unordered_map<uint64_t, std::vector<CriticalPoint>> synopses;
+  for (const auto& traj : out.truth) {
+    for (const Position& p : traj.points) {
+      for (CriticalPoint& cp : gen.Observe(p)) {
+        synopses[cp.pos.entity_id].push_back(cp);
+      }
+    }
+  }
+  for (CriticalPoint& cp : gen.Flush()) {
+    synopses[cp.pos.entity_id].push_back(cp);
+  }
+
+  EXPECT_GT(gen.CompressionRatio(), 0.5);
+  double total_rmse = 0.0;
+  for (const auto& traj : out.truth) {
+    ReconstructionError err =
+        EvaluateReconstruction(traj, synopses[traj.entity_id]);
+    total_rmse += err.rmse_m;
+  }
+  EXPECT_LT(total_rmse / out.truth.size(), 1500.0);
+}
+
+TEST(SynopsesTest, CompressionRatioZeroWhenEmpty) {
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  EXPECT_DOUBLE_EQ(gen.CompressionRatio(), 0.0);
+}
+
+TEST(SynopsesTest, TypeNamesComplete) {
+  EXPECT_STREQ(CriticalPointTypeName(CriticalPointType::kStop), "stop");
+  EXPECT_STREQ(CriticalPointTypeName(CriticalPointType::kTakeoff),
+               "takeoff");
+  EXPECT_STREQ(CriticalPointTypeName(CriticalPointType::kGapEnd), "gap_end");
+}
+
+
+// ------------------------------------------------------- BatchSimplify
+
+TEST(BatchSimplifyTest, StraightLineCollapsesToEndpoints) {
+  auto line = StraightLine(1, 0, 100, 10000);
+  auto dp = DouglasPeucker(line, 100.0);
+  EXPECT_EQ(dp.size(), 2u);
+  EXPECT_EQ(dp.front().t, line.front().t);
+  EXPECT_EQ(dp.back().t, line.back().t);
+}
+
+TEST(BatchSimplifyTest, CornerIsRetained) {
+  auto leg1 = StraightLine(1, 0, 20, 10000, 6.0, 90.0);
+  std::vector<Position> leg2 =
+      StraightLine(1, 200000, 20, 10000, 6.0, 0.0);
+  for (auto& p : leg2) {
+    // Continue from the end of leg 1 heading north.
+    p.lon = leg1.back().lon;
+  }
+  auto all = leg1;
+  all.insert(all.end(), leg2.begin(), leg2.end());
+  auto dp = DouglasPeucker(all, 200.0);
+  EXPECT_GE(dp.size(), 3u);  // endpoints + the corner
+  // Some retained point lies near the corner.
+  bool corner_kept = false;
+  for (const Position& p : dp) {
+    if (geom::HaversineM(p.lon, p.lat, leg1.back().lon, leg1.back().lat) <
+        1500.0) {
+      corner_kept = true;
+    }
+  }
+  EXPECT_TRUE(corner_kept);
+}
+
+TEST(BatchSimplifyTest, TighterEpsilonKeepsMore) {
+  datagen::VesselSimConfig config;
+  config.vessel_count = 3;
+  config.duration_ms = 2 * kMillisPerHour;
+  Rng rng(2);
+  auto ports = datagen::MakePorts(rng, config.extent, 4);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+  for (const auto& traj : data.truth) {
+    auto tight = DouglasPeucker(traj.points, 50.0);
+    auto loose = DouglasPeucker(traj.points, 2000.0);
+    EXPECT_GE(tight.size(), loose.size());
+  }
+}
+
+TEST(BatchSimplifyTest, SedBoundsReconstructionError) {
+  // Property: the SED variant's epsilon bounds the time-synchronized
+  // reconstruction error at every dropped point.
+  datagen::VesselSimConfig config;
+  config.vessel_count = 4;
+  config.duration_ms = 2 * kMillisPerHour;
+  Rng rng(3);
+  auto ports = datagen::MakePorts(rng, config.extent, 4);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+  for (const auto& traj : data.truth) {
+    double eps = 500.0;
+    auto kept = DouglasPeuckerSed(traj.points, eps);
+    std::vector<CriticalPoint> wrapped;
+    for (const Position& p : kept) {
+      wrapped.push_back({p, CriticalPointType::kStart});
+    }
+    ReconstructionError err = EvaluateReconstruction(traj, wrapped);
+    EXPECT_LE(err.max_m, eps + 1.0) << "vessel " << traj.entity_id;
+  }
+}
+
+TEST(BatchSimplifyTest, TinyInputsPassThrough) {
+  std::vector<Position> empty;
+  EXPECT_TRUE(DouglasPeucker(empty, 100.0).empty());
+  auto two = StraightLine(1, 0, 2, 1000);
+  EXPECT_EQ(DouglasPeucker(two, 100.0).size(), 2u);
+}
+
+// Parameterized sweep: compression must be high across report rates and
+// grow (or hold) as the reporting rate increases (the Section 4.2.2
+// claim: 80% at moderate rates, up to 99% at high rates).
+class CompressionSweep : public ::testing::TestWithParam<TimeMs> {};
+
+TEST_P(CompressionSweep, CompressesAtAllRates) {
+  TimeMs interval = GetParam();
+  datagen::VesselSimConfig config;
+  config.vessel_count = 6;
+  config.duration_ms = 2 * kMillisPerHour;
+  config.report_interval_ms = interval;
+  config.position_noise_m = 0.0;
+  config.gap_probability = 0.0;
+  Rng rng(1);
+  auto ports = datagen::MakePorts(rng, config.extent, 4);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto out = sim.Run();
+
+  SynopsesGenerator gen(SynopsesConfig::ForMaritime());
+  for (const auto& traj : out.truth) {
+    for (const Position& p : traj.points) gen.Observe(p);
+  }
+  EXPECT_GT(gen.CompressionRatio(), 0.55) << "interval " << interval;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CompressionSweep,
+                         ::testing::Values(2000, 5000, 10000, 30000));
+
+}  // namespace
+}  // namespace tcmf::synopses

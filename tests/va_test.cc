@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "geom/geo.h"
+#include "va/demand.h"
+#include "va/density.h"
+#include "va/pointmatch.h"
+#include "va/quality.h"
+#include "va/relevance.h"
+#include "va/timemask.h"
+
+namespace tcmf::va {
+namespace {
+
+Position MakePos(TimeMs t, double lon, double lat, double alt = 0.0) {
+  Position p;
+  p.t = t;
+  p.lon = lon;
+  p.lat = lat;
+  p.alt_m = alt;
+  return p;
+}
+
+// -------------------------------------------------------------- TimeMask
+
+TEST(TimeMaskTest, NormalizesAndMerges) {
+  TimeMask mask({{100, 200}, {150, 300}, {400, 500}, {500, 600}});
+  ASSERT_EQ(mask.intervals().size(), 2u);
+  EXPECT_EQ(mask.intervals()[0].begin, 100);
+  EXPECT_EQ(mask.intervals()[0].end, 300);
+  EXPECT_EQ(mask.intervals()[1].end, 600);
+}
+
+TEST(TimeMaskTest, ContainsBoundarySemantics) {
+  TimeMask mask({{100, 200}});
+  EXPECT_TRUE(mask.Contains(100));
+  EXPECT_TRUE(mask.Contains(199));
+  EXPECT_FALSE(mask.Contains(200));  // exclusive end
+  EXPECT_FALSE(mask.Contains(99));
+}
+
+TEST(TimeMaskTest, EmptyMaskContainsNothing) {
+  TimeMask mask;
+  EXPECT_FALSE(mask.Contains(0));
+  EXPECT_EQ(mask.TotalDuration(), 0);
+}
+
+TEST(TimeMaskTest, FromBinnedCondition) {
+  // Bins of 100 over [0, 1000); select bins 2, 3 and 7.
+  TimeMask mask = TimeMask::FromBinnedCondition(
+      0, 1000, 100, [](size_t b) { return b == 2 || b == 3 || b == 7; });
+  ASSERT_EQ(mask.intervals().size(), 2u);  // 2+3 merge
+  EXPECT_EQ(mask.intervals()[0].begin, 200);
+  EXPECT_EQ(mask.intervals()[0].end, 400);
+  EXPECT_EQ(mask.TotalDuration(), 300);
+}
+
+TEST(TimeMaskTest, AroundEvents) {
+  TimeMask mask = TimeMask::AroundEvents({1000, 5000}, 500);
+  EXPECT_TRUE(mask.Contains(700));
+  EXPECT_TRUE(mask.Contains(1499));
+  EXPECT_FALSE(mask.Contains(2000));
+  EXPECT_TRUE(mask.Contains(4600));
+}
+
+TEST(TimeMaskTest, ComplementPartitionsRange) {
+  TimeMask mask({{100, 200}, {400, 500}});
+  TimeMask comp = mask.Complement(0, 1000);
+  EXPECT_EQ(mask.TotalDuration() + comp.TotalDuration(), 1000);
+  for (TimeMs t : {0, 50, 99, 100, 150, 250, 450, 600, 999}) {
+    EXPECT_NE(mask.Contains(t), comp.Contains(t)) << t;
+  }
+}
+
+TEST(TimeMaskTest, FilterTrajectory) {
+  Trajectory traj;
+  for (int i = 0; i < 10; ++i) traj.points.push_back(MakePos(i * 100, 0, 0));
+  TimeMask mask({{200, 500}});
+  auto filtered = mask.Filter(traj);
+  ASSERT_EQ(filtered.size(), 3u);  // t = 200, 300, 400
+  EXPECT_EQ(filtered[0].t, 200);
+}
+
+// --------------------------------------------------------------- Density
+
+TEST(DensityMapTest, CountsPerCell) {
+  DensityMap map({0, 0, 10, 10}, 10, 10);
+  map.Add(0.5, 0.5);
+  map.Add(0.6, 0.4);
+  map.Add(9.5, 9.5);
+  EXPECT_EQ(map.total(), 3u);
+  EXPECT_EQ(map.At(0, 0), 2u);
+  EXPECT_EQ(map.At(9, 9), 1u);
+}
+
+TEST(DensityMapTest, IgnoresOutOfExtent) {
+  DensityMap map({0, 0, 10, 10}, 10, 10);
+  map.Add(-1, 5);
+  map.Add(5, 11);
+  EXPECT_EQ(map.total(), 0u);
+}
+
+TEST(DensityMapTest, AsciiRenderShapeAndOrientation) {
+  DensityMap map({0, 0, 10, 10}, 5, 4);
+  map.Add(0.5, 9.5);  // top-left in render (north at top)
+  std::string art = map.RenderAscii();
+  auto lines = StrSplit(art, '\n');
+  lines.pop_back();  // trailing newline yields an empty final field
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), 5u);
+  EXPECT_NE(lines[0][0], ' ');
+  EXPECT_EQ(lines[3][0], ' ');
+}
+
+TEST(DensityMapTest, CsvListsNonEmptyCells) {
+  DensityMap map({0, 0, 10, 10}, 10, 10);
+  map.Add(0.5, 0.5);
+  std::string csv = map.ToCsv();
+  EXPECT_NE(csv.find("0,0,1"), std::string::npos);
+}
+
+TEST(TimeHistogramTest, BinsAndLabels) {
+  TimeHistogram hist(0, kMillisPerHour, 24, 3);
+  hist.Add(30 * kMillisPerMinute, 0);
+  hist.Add(90 * kMillisPerMinute, 1);
+  hist.Add(95 * kMillisPerMinute, 1);
+  EXPECT_EQ(hist.Count(0, 0), 1u);
+  EXPECT_EQ(hist.Count(1, 1), 2u);
+  EXPECT_EQ(hist.BinTotal(1), 2u);
+}
+
+TEST(TimeHistogramTest, OutOfRangeLabelsClampToLast) {
+  TimeHistogram hist(0, 1000, 4, 2);
+  hist.Add(500, 99);
+  hist.Add(500, -1);
+  EXPECT_EQ(hist.Count(0, 1), 2u);
+}
+
+TEST(TimeHistogramTest, OutOfRangeTimesDropped) {
+  TimeHistogram hist(1000, 1000, 2, 1);
+  hist.Add(0, 0);     // before t0
+  hist.Add(5000, 0);  // past last bin
+  EXPECT_EQ(hist.BinTotal(0) + hist.BinTotal(1), 0u);
+}
+
+// ------------------------------------------------------------- Relevance
+
+Trajectory LineTrajectory(uint64_t id, double lat, double alt, int count) {
+  Trajectory t;
+  t.entity_id = id;
+  for (int i = 0; i < count; ++i) {
+    Position p = MakePos(i * 10000, i * 0.05, lat, alt);
+    t.points.push_back(p);
+  }
+  return t;
+}
+
+TEST(RelevanceTest, FlagByPredicate) {
+  Trajectory t = LineTrajectory(1, 40.0, 0, 10);
+  t.points[3].alt_m = 9000;
+  FlaggedTrajectory flagged = FlagByPredicate(
+      t, [](const Position& p) { return p.alt_m < 1000; });
+  EXPECT_TRUE(flagged.relevant[0]);
+  EXPECT_FALSE(flagged.relevant[3]);
+}
+
+TEST(RelevanceTest, DistanceIgnoresIrrelevantParts) {
+  // Two trajectories identical in their relevant (low-altitude) parts but
+  // wildly different in the irrelevant parts.
+  Trajectory a = LineTrajectory(1, 40.0, 0, 20);
+  Trajectory b = LineTrajectory(2, 40.0, 0, 20);
+  for (int i = 10; i < 20; ++i) b.points[i].lat = 45.0;  // divergent tail
+  auto pred_low_i = [](const Position& p) { return p.lon < 0.5; };
+  FlaggedTrajectory fa = FlagByPredicate(a, pred_low_i);
+  FlaggedTrajectory fb = FlagByPredicate(b, pred_low_i);
+  EXPECT_LT(RelevantPartDistanceM(fa, fb), 100.0);
+  // With everything relevant the tails dominate.
+  FlaggedTrajectory ga = FlagByPredicate(a, [](const Position&) {
+    return true;
+  });
+  FlaggedTrajectory gb = FlagByPredicate(b, [](const Position&) {
+    return true;
+  });
+  EXPECT_GT(RelevantPartDistanceM(ga, gb), 50000.0);
+}
+
+TEST(RelevanceTest, NoRelevantPointsIsInfinite) {
+  Trajectory a = LineTrajectory(1, 40.0, 0, 5);
+  FlaggedTrajectory fa =
+      FlagByPredicate(a, [](const Position&) { return false; });
+  FlaggedTrajectory fb =
+      FlagByPredicate(a, [](const Position&) { return true; });
+  EXPECT_TRUE(std::isinf(RelevantPartDistanceM(fa, fb)));
+}
+
+TEST(RelevanceTest, ClustersByRelevantParts) {
+  // Two route families at lat 40 and lat 42.
+  std::vector<FlaggedTrajectory> trajs;
+  Rng rng(1);
+  for (int i = 0; i < 6; ++i) {
+    Trajectory t = LineTrajectory(i, 40.0 + rng.Uniform(-0.01, 0.01), 0, 15);
+    trajs.push_back(FlagByPredicate(t, [](const Position&) { return true; }));
+  }
+  for (int i = 0; i < 6; ++i) {
+    Trajectory t =
+        LineTrajectory(10 + i, 42.0 + rng.Uniform(-0.01, 0.01), 0, 15);
+    trajs.push_back(FlagByPredicate(t, [](const Position&) { return true; }));
+  }
+  auto labels = ClusterByRelevantParts(trajs, 20000.0, 3, 3);
+  EXPECT_EQ(*std::max_element(labels.begin(), labels.end()), 1);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 7; i < 12; ++i) EXPECT_EQ(labels[i], labels[6]);
+  EXPECT_NE(labels[0], labels[6]);
+}
+
+// ------------------------------------------------------------ PointMatch
+
+TEST(PointMatchTest, PerfectMatch) {
+  Trajectory t = LineTrajectory(1, 40.0, 0, 20);
+  PointMatchResult r = MatchTrajectories(t, t, PointMatchOptions{});
+  EXPECT_EQ(r.matched_points, 20u);
+  EXPECT_DOUBLE_EQ(r.matched_proportion, 1.0);
+  EXPECT_NEAR(r.mean_matched_distance_m, 0.0, 1e-9);
+}
+
+TEST(PointMatchTest, OffsetBeyondToleranceFails) {
+  Trajectory a = LineTrajectory(1, 40.0, 0, 20);
+  Trajectory b = LineTrajectory(1, 40.5, 0, 20);  // ~55 km offset
+  PointMatchOptions options;
+  options.max_distance_m = 2000;
+  PointMatchResult r = MatchTrajectories(a, b, options);
+  EXPECT_EQ(r.matched_points, 0u);
+}
+
+TEST(PointMatchTest, TimeToleranceMatters) {
+  Trajectory a = LineTrajectory(1, 40.0, 0, 20);
+  Trajectory b = a;
+  for (auto& p : b.points) p.t += 60000;  // shifted 60 s
+  PointMatchOptions options;
+  options.max_time_diff_ms = 30000;
+  // Same locations exist but at excluded times... points are spaced 10 s,
+  // so every a-point still finds b-points within 30 s — but those are
+  // spatially earlier along the line.
+  options.max_distance_m = 100.0;
+  PointMatchResult r = MatchTrajectories(a, b, options);
+  EXPECT_LT(r.matched_proportion, 1.0);
+}
+
+TEST(PointMatchTest, PartialOverlap) {
+  Trajectory a = LineTrajectory(1, 40.0, 0, 20);
+  Trajectory b = a;
+  for (int i = 10; i < 20; ++i) b.points[i].lat += 0.5;  // diverge midway
+  PointMatchOptions options;
+  options.max_distance_m = 1000;
+  PointMatchResult r = MatchTrajectories(a, b, options);
+  EXPECT_NEAR(r.matched_proportion, 0.5, 0.1);
+}
+
+TEST(PointMatchTest, BatchReportFindsOutliers) {
+  std::vector<Trajectory> predicted, actual;
+  for (int i = 0; i < 9; ++i) {
+    predicted.push_back(LineTrajectory(i, 40.0, 0, 20));
+    actual.push_back(LineTrajectory(i, 40.0, 0, 20));
+  }
+  // Pair 9: prediction totally off.
+  predicted.push_back(LineTrajectory(9, 40.0, 0, 20));
+  actual.push_back(LineTrajectory(9, 43.0, 0, 20));
+  BatchMatchReport report =
+      MatchBatch(predicted, actual, PointMatchOptions{}, 0.5);
+  ASSERT_EQ(report.pairs.size(), 10u);
+  ASSERT_EQ(report.outliers.size(), 1u);
+  EXPECT_EQ(report.outliers[0], 9u);
+  // Histogram: 9 in the top bucket, 1 in the bottom.
+  EXPECT_EQ(report.proportion_histogram.bucket(9), 9u);
+  EXPECT_EQ(report.proportion_histogram.bucket(0), 1u);
+}
+
+TEST(PointMatchTest, EmptyTrajectoriesSafe) {
+  Trajectory empty;
+  Trajectory t = LineTrajectory(1, 40.0, 0, 5);
+  PointMatchResult r = MatchTrajectories(empty, t, PointMatchOptions{});
+  EXPECT_EQ(r.predicted_points, 0u);
+  r = MatchTrajectories(t, empty, PointMatchOptions{});
+  EXPECT_EQ(r.matched_points, 0u);
+}
+
+
+// ---------------------------------------------------------------- Demand
+
+TEST(DemandTest, CountsEntriesPerBin) {
+  SectorDemandMonitor monitor(kMillisPerHour);
+  monitor.RecordEntry(1, 10 * kMillisPerMinute);
+  monitor.RecordEntry(1, 50 * kMillisPerMinute);
+  monitor.RecordEntry(1, 70 * kMillisPerMinute);  // next hour
+  monitor.RecordEntry(2, 10 * kMillisPerMinute);
+  EXPECT_EQ(monitor.Demand(1, 30 * kMillisPerMinute), 2u);
+  EXPECT_EQ(monitor.Demand(1, 90 * kMillisPerMinute), 1u);
+  EXPECT_EQ(monitor.Demand(2, 0), 1u);
+  EXPECT_EQ(monitor.Demand(99, 0), 0u);
+  EXPECT_EQ(monitor.total_entries(), 4u);
+}
+
+TEST(DemandTest, DetectsOverloadsAgainstCapacity) {
+  SectorDemandMonitor monitor(kMillisPerHour);
+  for (int i = 0; i < 12; ++i) monitor.RecordEntry(1, i * 1000);
+  for (int i = 0; i < 5; ++i) monitor.RecordEntry(2, i * 1000);
+  std::unordered_map<uint64_t, size_t> capacities = {{1, 10}, {2, 10}};
+  auto overloads = monitor.DetectOverloads(capacities, 10);
+  ASSERT_EQ(overloads.size(), 1u);
+  EXPECT_EQ(overloads[0].sector, 1u);
+  EXPECT_EQ(overloads[0].demand, 12u);
+  EXPECT_EQ(overloads[0].capacity, 10u);
+}
+
+TEST(DemandTest, DefaultCapacityApplies) {
+  SectorDemandMonitor monitor(kMillisPerHour);
+  for (int i = 0; i < 4; ++i) monitor.RecordEntry(7, i * 1000);
+  auto overloads = monitor.DetectOverloads({}, 3);
+  ASSERT_EQ(overloads.size(), 1u);
+  EXPECT_EQ(overloads[0].sector, 7u);
+}
+
+TEST(DemandTest, SeasonalNaiveForecast) {
+  SectorDemandMonitor monitor(kMillisPerHour);
+  // Three days of history: the 09:00 hour gets 6, 8 and 10 entries.
+  int per_day[] = {6, 8, 10};
+  for (int day = 0; day < 3; ++day) {
+    TimeMs base = day * 24 * kMillisPerHour + 9 * kMillisPerHour;
+    for (int i = 0; i < per_day[day]; ++i) {
+      monitor.RecordEntry(1, base + i * 1000);
+    }
+  }
+  // Forecast for 09:00 on day 4 = mean(6, 8, 10) = 8.
+  TimeMs probe = 3 * 24 * kMillisPerHour + 9 * kMillisPerHour;
+  EXPECT_NEAR(monitor.ForecastDemand(1, probe), 8.0, 1e-9);
+  // A quiet hour forecasts 0 (bins with no entries count as 0).
+  TimeMs quiet = 3 * 24 * kMillisPerHour + 3 * kMillisPerHour;
+  EXPECT_NEAR(monitor.ForecastDemand(1, quiet), 0.0, 1e-9);
+}
+
+TEST(DemandTest, ForecastWithoutHistoryIsZero) {
+  SectorDemandMonitor monitor(kMillisPerHour);
+  EXPECT_DOUBLE_EQ(monitor.ForecastDemand(1, kMillisPerHour), 0.0);
+}
+
+// --------------------------------------------------------------- Quality
+
+
+/// Slow-moving trajectory with physically plausible implied speeds
+/// (~8.5 m/s), for the data-quality tests.
+Trajectory SlowTrajectory(uint64_t id, int count) {
+  Trajectory t;
+  t.entity_id = id;
+  for (int i = 0; i < count; ++i) {
+    t.points.push_back(MakePos(i * 10000, i * 0.001, 40.0));
+  }
+  return t;
+}
+
+TEST(QualityTest, CleanDataIsClean) {
+  std::vector<Trajectory> trajs = {SlowTrajectory(1, 50)};
+  QualityReport report = AssessQuality(trajs, QualityOptions{});
+  EXPECT_EQ(report.entities, 1u);
+  EXPECT_EQ(report.positions, 50u);
+  EXPECT_EQ(report.duplicate_timestamps, 0u);
+  EXPECT_EQ(report.out_of_order, 0u);
+  EXPECT_EQ(report.speed_spikes, 0u);
+  EXPECT_NEAR(report.report_interval_s.mean(), 10.0, 1e-9);
+}
+
+TEST(QualityTest, DetectsDuplicatesAndOutOfOrder) {
+  Trajectory t = SlowTrajectory(1, 10);
+  t.points[5].t = t.points[4].t;            // duplicate
+  t.points[8].t = t.points[7].t - 5000;     // out of order
+  QualityReport report = AssessQuality({t}, QualityOptions{});
+  EXPECT_EQ(report.duplicate_timestamps, 1u);
+  EXPECT_EQ(report.out_of_order, 1u);
+}
+
+TEST(QualityTest, DetectsGapsAndSpikes) {
+  Trajectory t = SlowTrajectory(1, 20);
+  for (int i = 10; i < 20; ++i) t.points[i].t += 20 * kMillisPerMinute;
+  t.points[15].lon += 2.0;  // teleport: speed spike (both directions)
+  QualityReport report = AssessQuality({t}, QualityOptions{});
+  EXPECT_EQ(report.gaps, 1u);
+  EXPECT_GE(report.speed_spikes, 1u);
+}
+
+TEST(QualityTest, DetectsRoundedCoordinates) {
+  Trajectory t;
+  for (int i = 0; i < 10; ++i) {
+    t.points.push_back(MakePos(i * 10000, 2.05, 41.37));  // 0.01 lattice
+  }
+  QualityReport report = AssessQuality({t}, QualityOptions{});
+  EXPECT_EQ(report.coordinate_rounding_suspects, 10u);
+}
+
+TEST(QualityTest, SingleReportEntities) {
+  Trajectory t;
+  t.points.push_back(MakePos(0, 1, 40));
+  QualityReport report = AssessQuality({t}, QualityOptions{});
+  EXPECT_EQ(report.single_report_entities, 1u);
+}
+
+TEST(QualityTest, RenderMentionsAllSections) {
+  QualityReport report = AssessQuality({}, QualityOptions{});
+  std::string text = report.Render();
+  EXPECT_NE(text.find("temporal"), std::string::npos);
+  EXPECT_NE(text.find("spatial"), std::string::npos);
+  EXPECT_NE(text.find("mover set"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcmf::va
