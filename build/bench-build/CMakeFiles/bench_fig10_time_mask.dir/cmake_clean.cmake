@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_time_mask"
+  "../bench/bench_fig10_time_mask.pdb"
+  "CMakeFiles/bench_fig10_time_mask.dir/bench_fig10_time_mask.cpp.o"
+  "CMakeFiles/bench_fig10_time_mask.dir/bench_fig10_time_mask.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_time_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

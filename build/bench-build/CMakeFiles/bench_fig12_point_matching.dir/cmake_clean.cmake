@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_point_matching"
+  "../bench/bench_fig12_point_matching.pdb"
+  "CMakeFiles/bench_fig12_point_matching.dir/bench_fig12_point_matching.cpp.o"
+  "CMakeFiles/bench_fig12_point_matching.dir/bench_fig12_point_matching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_point_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

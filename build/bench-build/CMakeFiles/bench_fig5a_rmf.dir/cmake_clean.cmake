@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_rmf"
+  "../bench/bench_fig5a_rmf.pdb"
+  "CMakeFiles/bench_fig5a_rmf.dir/bench_fig5a_rmf.cpp.o"
+  "CMakeFiles/bench_fig5a_rmf.dir/bench_fig5a_rmf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_rmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_hybrid_hmm"
+  "../bench/bench_fig5b_hybrid_hmm.pdb"
+  "CMakeFiles/bench_fig5b_hybrid_hmm.dir/bench_fig5b_hybrid_hmm.cpp.o"
+  "CMakeFiles/bench_fig5b_hybrid_hmm.dir/bench_fig5b_hybrid_hmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_hybrid_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_cep_precision"
+  "../bench/bench_fig8_cep_precision.pdb"
+  "CMakeFiles/bench_fig8_cep_precision.dir/bench_fig8_cep_precision.cpp.o"
+  "CMakeFiles/bench_fig8_cep_precision.dir/bench_fig8_cep_precision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cep_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_link_discovery"
+  "../bench/bench_link_discovery.pdb"
+  "CMakeFiles/bench_link_discovery.dir/bench_link_discovery.cpp.o"
+  "CMakeFiles/bench_link_discovery.dir/bench_link_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

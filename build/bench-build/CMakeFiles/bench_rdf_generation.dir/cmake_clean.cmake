@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rdf_generation"
+  "../bench/bench_rdf_generation.pdb"
+  "CMakeFiles/bench_rdf_generation.dir/bench_rdf_generation.cpp.o"
+  "CMakeFiles/bench_rdf_generation.dir/bench_rdf_generation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdf_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

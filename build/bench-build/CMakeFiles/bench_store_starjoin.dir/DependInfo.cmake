@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_store_starjoin.cpp" "bench-build/CMakeFiles/bench_store_starjoin.dir/bench_store_starjoin.cpp.o" "gcc" "bench-build/CMakeFiles/bench_store_starjoin.dir/bench_store_starjoin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/tcmf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tcmf_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopses/CMakeFiles/tcmf_synopses.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/tcmf_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tcmf_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_store_starjoin"
+  "../bench/bench_store_starjoin.pdb"
+  "CMakeFiles/bench_store_starjoin.dir/bench_store_starjoin.cpp.o"
+  "CMakeFiles/bench_store_starjoin.dir/bench_store_starjoin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_store_starjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_synopses"
+  "../bench/bench_synopses.pdb"
+  "CMakeFiles/bench_synopses.dir/bench_synopses.cpp.o"
+  "CMakeFiles/bench_synopses.dir/bench_synopses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synopses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

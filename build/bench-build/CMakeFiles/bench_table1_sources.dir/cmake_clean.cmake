@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_sources"
+  "../bench/bench_table1_sources.pdb"
+  "CMakeFiles/bench_table1_sources.dir/bench_table1_sources.cpp.o"
+  "CMakeFiles/bench_table1_sources.dir/bench_table1_sources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_flow.dir/atm_flow.cpp.o"
+  "CMakeFiles/atm_flow.dir/atm_flow.cpp.o.d"
+  "atm_flow"
+  "atm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

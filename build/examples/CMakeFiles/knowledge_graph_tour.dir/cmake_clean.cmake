@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_graph_tour.dir/knowledge_graph_tour.cpp.o"
+  "CMakeFiles/knowledge_graph_tour.dir/knowledge_graph_tour.cpp.o.d"
+  "knowledge_graph_tour"
+  "knowledge_graph_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_graph_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cep/automaton.cc" "src/cep/CMakeFiles/tcmf_cep.dir/automaton.cc.o" "gcc" "src/cep/CMakeFiles/tcmf_cep.dir/automaton.cc.o.d"
+  "/root/repo/src/cep/forecast.cc" "src/cep/CMakeFiles/tcmf_cep.dir/forecast.cc.o" "gcc" "src/cep/CMakeFiles/tcmf_cep.dir/forecast.cc.o.d"
+  "/root/repo/src/cep/mining.cc" "src/cep/CMakeFiles/tcmf_cep.dir/mining.cc.o" "gcc" "src/cep/CMakeFiles/tcmf_cep.dir/mining.cc.o.d"
+  "/root/repo/src/cep/pattern.cc" "src/cep/CMakeFiles/tcmf_cep.dir/pattern.cc.o" "gcc" "src/cep/CMakeFiles/tcmf_cep.dir/pattern.cc.o.d"
+  "/root/repo/src/cep/pmc.cc" "src/cep/CMakeFiles/tcmf_cep.dir/pmc.cc.o" "gcc" "src/cep/CMakeFiles/tcmf_cep.dir/pmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopses/CMakeFiles/tcmf_synopses.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_cep.dir/automaton.cc.o"
+  "CMakeFiles/tcmf_cep.dir/automaton.cc.o.d"
+  "CMakeFiles/tcmf_cep.dir/forecast.cc.o"
+  "CMakeFiles/tcmf_cep.dir/forecast.cc.o.d"
+  "CMakeFiles/tcmf_cep.dir/mining.cc.o"
+  "CMakeFiles/tcmf_cep.dir/mining.cc.o.d"
+  "CMakeFiles/tcmf_cep.dir/pattern.cc.o"
+  "CMakeFiles/tcmf_cep.dir/pattern.cc.o.d"
+  "CMakeFiles/tcmf_cep.dir/pmc.cc.o"
+  "CMakeFiles/tcmf_cep.dir/pmc.cc.o.d"
+  "libtcmf_cep.a"
+  "libtcmf_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

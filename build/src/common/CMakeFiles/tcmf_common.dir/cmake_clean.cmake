@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_common.dir/csv.cc.o"
+  "CMakeFiles/tcmf_common.dir/csv.cc.o.d"
+  "CMakeFiles/tcmf_common.dir/logging.cc.o"
+  "CMakeFiles/tcmf_common.dir/logging.cc.o.d"
+  "CMakeFiles/tcmf_common.dir/stats.cc.o"
+  "CMakeFiles/tcmf_common.dir/stats.cc.o.d"
+  "CMakeFiles/tcmf_common.dir/status.cc.o"
+  "CMakeFiles/tcmf_common.dir/status.cc.o.d"
+  "CMakeFiles/tcmf_common.dir/strings.cc.o"
+  "CMakeFiles/tcmf_common.dir/strings.cc.o.d"
+  "libtcmf_common.a"
+  "libtcmf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

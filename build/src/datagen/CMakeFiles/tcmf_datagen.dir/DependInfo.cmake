@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/areas.cc" "src/datagen/CMakeFiles/tcmf_datagen.dir/areas.cc.o" "gcc" "src/datagen/CMakeFiles/tcmf_datagen.dir/areas.cc.o.d"
+  "/root/repo/src/datagen/flight.cc" "src/datagen/CMakeFiles/tcmf_datagen.dir/flight.cc.o" "gcc" "src/datagen/CMakeFiles/tcmf_datagen.dir/flight.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/datagen/CMakeFiles/tcmf_datagen.dir/registry.cc.o" "gcc" "src/datagen/CMakeFiles/tcmf_datagen.dir/registry.cc.o.d"
+  "/root/repo/src/datagen/vessel.cc" "src/datagen/CMakeFiles/tcmf_datagen.dir/vessel.cc.o" "gcc" "src/datagen/CMakeFiles/tcmf_datagen.dir/vessel.cc.o.d"
+  "/root/repo/src/datagen/weather.cc" "src/datagen/CMakeFiles/tcmf_datagen.dir/weather.cc.o" "gcc" "src/datagen/CMakeFiles/tcmf_datagen.dir/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tcmf_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

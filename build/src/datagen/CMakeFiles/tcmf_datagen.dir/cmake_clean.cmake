@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_datagen.dir/areas.cc.o"
+  "CMakeFiles/tcmf_datagen.dir/areas.cc.o.d"
+  "CMakeFiles/tcmf_datagen.dir/flight.cc.o"
+  "CMakeFiles/tcmf_datagen.dir/flight.cc.o.d"
+  "CMakeFiles/tcmf_datagen.dir/registry.cc.o"
+  "CMakeFiles/tcmf_datagen.dir/registry.cc.o.d"
+  "CMakeFiles/tcmf_datagen.dir/vessel.cc.o"
+  "CMakeFiles/tcmf_datagen.dir/vessel.cc.o.d"
+  "CMakeFiles/tcmf_datagen.dir/weather.cc.o"
+  "CMakeFiles/tcmf_datagen.dir/weather.cc.o.d"
+  "libtcmf_datagen.a"
+  "libtcmf_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/geo.cc" "src/geom/CMakeFiles/tcmf_geom.dir/geo.cc.o" "gcc" "src/geom/CMakeFiles/tcmf_geom.dir/geo.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/geom/CMakeFiles/tcmf_geom.dir/geometry.cc.o" "gcc" "src/geom/CMakeFiles/tcmf_geom.dir/geometry.cc.o.d"
+  "/root/repo/src/geom/grid.cc" "src/geom/CMakeFiles/tcmf_geom.dir/grid.cc.o" "gcc" "src/geom/CMakeFiles/tcmf_geom.dir/grid.cc.o.d"
+  "/root/repo/src/geom/stcell.cc" "src/geom/CMakeFiles/tcmf_geom.dir/stcell.cc.o" "gcc" "src/geom/CMakeFiles/tcmf_geom.dir/stcell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_geom.dir/geo.cc.o"
+  "CMakeFiles/tcmf_geom.dir/geo.cc.o.d"
+  "CMakeFiles/tcmf_geom.dir/geometry.cc.o"
+  "CMakeFiles/tcmf_geom.dir/geometry.cc.o.d"
+  "CMakeFiles/tcmf_geom.dir/grid.cc.o"
+  "CMakeFiles/tcmf_geom.dir/grid.cc.o.d"
+  "CMakeFiles/tcmf_geom.dir/stcell.cc.o"
+  "CMakeFiles/tcmf_geom.dir/stcell.cc.o.d"
+  "libtcmf_geom.a"
+  "libtcmf_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/insitu/crossstream.cc" "src/insitu/CMakeFiles/tcmf_insitu.dir/crossstream.cc.o" "gcc" "src/insitu/CMakeFiles/tcmf_insitu.dir/crossstream.cc.o.d"
+  "/root/repo/src/insitu/lowlevel.cc" "src/insitu/CMakeFiles/tcmf_insitu.dir/lowlevel.cc.o" "gcc" "src/insitu/CMakeFiles/tcmf_insitu.dir/lowlevel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_insitu.dir/crossstream.cc.o"
+  "CMakeFiles/tcmf_insitu.dir/crossstream.cc.o.d"
+  "CMakeFiles/tcmf_insitu.dir/lowlevel.cc.o"
+  "CMakeFiles/tcmf_insitu.dir/lowlevel.cc.o.d"
+  "libtcmf_insitu.a"
+  "libtcmf_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_linkdiscovery.dir/linker.cc.o"
+  "CMakeFiles/tcmf_linkdiscovery.dir/linker.cc.o.d"
+  "libtcmf_linkdiscovery.a"
+  "libtcmf_linkdiscovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_linkdiscovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

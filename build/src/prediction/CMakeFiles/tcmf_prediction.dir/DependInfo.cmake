@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prediction/clustering.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/clustering.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/clustering.cc.o.d"
+  "/root/repo/src/prediction/cpa.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/cpa.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/cpa.cc.o.d"
+  "/root/repo/src/prediction/erp.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/erp.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/erp.cc.o.d"
+  "/root/repo/src/prediction/hmm.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/hmm.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/hmm.cc.o.d"
+  "/root/repo/src/prediction/kinetic.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/kinetic.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/kinetic.cc.o.d"
+  "/root/repo/src/prediction/linalg.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/linalg.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/linalg.cc.o.d"
+  "/root/repo/src/prediction/rmf.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/rmf.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/rmf.cc.o.d"
+  "/root/repo/src/prediction/trajpred.cc" "src/prediction/CMakeFiles/tcmf_prediction.dir/trajpred.cc.o" "gcc" "src/prediction/CMakeFiles/tcmf_prediction.dir/trajpred.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_prediction.dir/clustering.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/clustering.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/cpa.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/cpa.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/erp.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/erp.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/hmm.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/hmm.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/kinetic.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/kinetic.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/linalg.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/linalg.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/rmf.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/rmf.cc.o.d"
+  "CMakeFiles/tcmf_prediction.dir/trajpred.cc.o"
+  "CMakeFiles/tcmf_prediction.dir/trajpred.cc.o.d"
+  "libtcmf_prediction.a"
+  "libtcmf_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

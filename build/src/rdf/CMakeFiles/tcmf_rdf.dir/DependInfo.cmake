@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/bgp.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/bgp.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/bgp.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/dictionary.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/dictionary.cc.o.d"
+  "/root/repo/src/rdf/graph.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/graph.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/graph.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/ntriples.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/ntriples.cc.o.d"
+  "/root/repo/src/rdf/rdfgen.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/rdfgen.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/rdfgen.cc.o.d"
+  "/root/repo/src/rdf/semantic_trajectory.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/semantic_trajectory.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/semantic_trajectory.cc.o.d"
+  "/root/repo/src/rdf/sparql.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/sparql.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/sparql.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/rdf/CMakeFiles/tcmf_rdf.dir/term.cc.o" "gcc" "src/rdf/CMakeFiles/tcmf_rdf.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tcmf_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopses/CMakeFiles/tcmf_synopses.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_rdf.dir/bgp.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/bgp.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/graph.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/rdfgen.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/rdfgen.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/semantic_trajectory.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/semantic_trajectory.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/sparql.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/sparql.cc.o.d"
+  "CMakeFiles/tcmf_rdf.dir/term.cc.o"
+  "CMakeFiles/tcmf_rdf.dir/term.cc.o.d"
+  "libtcmf_rdf.a"
+  "libtcmf_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcmf_rdf.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_store.dir/columnar.cc.o"
+  "CMakeFiles/tcmf_store.dir/columnar.cc.o.d"
+  "CMakeFiles/tcmf_store.dir/kgstore.cc.o"
+  "CMakeFiles/tcmf_store.dir/kgstore.cc.o.d"
+  "libtcmf_store.a"
+  "libtcmf_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

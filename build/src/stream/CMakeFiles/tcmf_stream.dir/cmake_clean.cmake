@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_stream.dir/record.cc.o"
+  "CMakeFiles/tcmf_stream.dir/record.cc.o.d"
+  "libtcmf_stream.a"
+  "libtcmf_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

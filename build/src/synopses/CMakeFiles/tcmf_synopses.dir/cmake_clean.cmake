@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_synopses.dir/batch_simplify.cc.o"
+  "CMakeFiles/tcmf_synopses.dir/batch_simplify.cc.o.d"
+  "CMakeFiles/tcmf_synopses.dir/critical_points.cc.o"
+  "CMakeFiles/tcmf_synopses.dir/critical_points.cc.o.d"
+  "libtcmf_synopses.a"
+  "libtcmf_synopses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_synopses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/va/demand.cc" "src/va/CMakeFiles/tcmf_va.dir/demand.cc.o" "gcc" "src/va/CMakeFiles/tcmf_va.dir/demand.cc.o.d"
+  "/root/repo/src/va/density.cc" "src/va/CMakeFiles/tcmf_va.dir/density.cc.o" "gcc" "src/va/CMakeFiles/tcmf_va.dir/density.cc.o.d"
+  "/root/repo/src/va/pointmatch.cc" "src/va/CMakeFiles/tcmf_va.dir/pointmatch.cc.o" "gcc" "src/va/CMakeFiles/tcmf_va.dir/pointmatch.cc.o.d"
+  "/root/repo/src/va/quality.cc" "src/va/CMakeFiles/tcmf_va.dir/quality.cc.o" "gcc" "src/va/CMakeFiles/tcmf_va.dir/quality.cc.o.d"
+  "/root/repo/src/va/relevance.cc" "src/va/CMakeFiles/tcmf_va.dir/relevance.cc.o" "gcc" "src/va/CMakeFiles/tcmf_va.dir/relevance.cc.o.d"
+  "/root/repo/src/va/timemask.cc" "src/va/CMakeFiles/tcmf_va.dir/timemask.cc.o" "gcc" "src/va/CMakeFiles/tcmf_va.dir/timemask.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/tcmf_prediction.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

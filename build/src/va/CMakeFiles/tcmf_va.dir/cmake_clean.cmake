@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcmf_va.dir/demand.cc.o"
+  "CMakeFiles/tcmf_va.dir/demand.cc.o.d"
+  "CMakeFiles/tcmf_va.dir/density.cc.o"
+  "CMakeFiles/tcmf_va.dir/density.cc.o.d"
+  "CMakeFiles/tcmf_va.dir/pointmatch.cc.o"
+  "CMakeFiles/tcmf_va.dir/pointmatch.cc.o.d"
+  "CMakeFiles/tcmf_va.dir/quality.cc.o"
+  "CMakeFiles/tcmf_va.dir/quality.cc.o.d"
+  "CMakeFiles/tcmf_va.dir/relevance.cc.o"
+  "CMakeFiles/tcmf_va.dir/relevance.cc.o.d"
+  "CMakeFiles/tcmf_va.dir/timemask.cc.o"
+  "CMakeFiles/tcmf_va.dir/timemask.cc.o.d"
+  "libtcmf_va.a"
+  "libtcmf_va.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcmf_va.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcmf_va.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cep/CMakeFiles/tcmf_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tcmf_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/insitu/CMakeFiles/tcmf_insitu.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkdiscovery/CMakeFiles/tcmf_linkdiscovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/tcmf_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/tcmf_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tcmf_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tcmf_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopses/CMakeFiles/tcmf_synopses.dir/DependInfo.cmake"
+  "/root/repo/build/src/va/CMakeFiles/tcmf_va.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tcmf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcmf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkdiscovery_test.dir/linkdiscovery_test.cc.o"
+  "CMakeFiles/linkdiscovery_test.dir/linkdiscovery_test.cc.o.d"
+  "linkdiscovery_test"
+  "linkdiscovery_test.pdb"
+  "linkdiscovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkdiscovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/va_test.dir/va_test.cc.o"
+  "CMakeFiles/va_test.dir/va_test.cc.o.d"
+  "va_test"
+  "va_test.pdb"
+  "va_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/va_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
