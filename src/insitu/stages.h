@@ -1,0 +1,47 @@
+#ifndef TCMF_INSITU_STAGES_H_
+#define TCMF_INSITU_STAGES_H_
+
+#include <memory>
+#include <utility>
+
+#include "insitu/lowlevel.h"
+#include "stream/pipeline.h"
+
+namespace tcmf::insitu {
+
+/// Wraps StreamCleaner as a dataflow stage on the stream substrate:
+/// forwards only reports the online cleaner classifies kOk. The cleaner
+/// instance runs inside the single stage thread (no locking needed); pass
+/// `cleaner_out` to keep a handle for post-run accept/reject stats.
+/// The stage appears in Pipeline::Report() as "insitu.clean".
+inline stream::Flow<Position> CleaningStage(
+    stream::Flow<Position> flow, const StreamCleaner::Options& options,
+    size_t capacity = 1024,
+    std::shared_ptr<StreamCleaner>* cleaner_out = nullptr) {
+  auto cleaner = std::make_shared<StreamCleaner>(options);
+  if (cleaner_out) *cleaner_out = cleaner;
+  return flow.Filter(
+      [cleaner = std::move(cleaner)](const Position& p) {
+        return cleaner->Observe(p) == CleanVerdict::kOk;
+      },
+      capacity, "insitu.clean");
+}
+
+/// Wraps AreaTransitionDetector as a 1:N dataflow stage: each position
+/// expands to the area entry/exit events it triggers. Appears in
+/// Pipeline::Report() as "insitu.area_events".
+inline stream::Flow<AreaEvent> AreaEventStage(
+    stream::Flow<Position> flow, std::vector<geom::Area> areas,
+    const geom::BBox& extent, size_t capacity = 1024) {
+  auto detector = std::make_shared<AreaTransitionDetector>(std::move(areas),
+                                                           extent);
+  return flow.FlatMap<AreaEvent>(
+      [detector = std::move(detector)](const Position& p) {
+        return detector->Observe(p);
+      },
+      capacity, "insitu.area_events");
+}
+
+}  // namespace tcmf::insitu
+
+#endif  // TCMF_INSITU_STAGES_H_

@@ -1,78 +1,154 @@
 #ifndef TCMF_STREAM_CHANNEL_H_
 #define TCMF_STREAM_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 
+#include "stream/metrics.h"
+
 namespace tcmf::stream {
 
-/// Bounded multi-producer/multi-consumer blocking queue with close
-/// semantics: the stream-transport substrate standing in for Kafka topics.
-/// Push blocks when full (backpressure); Pop blocks until an element is
-/// available or the channel is closed and drained.
+/// Result of a non-blocking poll: distinguishes "nothing right now" from
+/// "this stream is finished" (closed AND drained), which the optional-based
+/// API cannot express.
+enum class PollStatus {
+  kItem,    ///< an element was dequeued
+  kEmpty,   ///< queue empty but the channel may still produce elements
+  kClosed,  ///< closed and drained: no element will ever arrive again
+};
+
+/// Bounded multi-producer/multi-consumer blocking queue with close and
+/// cancel semantics: the stream-transport substrate standing in for Kafka
+/// topics. Push blocks when full (backpressure); Pop blocks until an
+/// element is available or the channel is closed and drained.
+///
+/// Shutdown protocol (see DESIGN.md "runtime semantics"):
+///  - Producer side: Close() marks end-of-stream; consumers drain the
+///    remaining queue, then Pop returns nullopt.
+///  - Consumer side: CloseAndDrain() *cancels* the edge — the queue is
+///    discarded, blocked producers unblock with Push() == false, and any
+///    other consumer sees end-of-stream immediately. Every operator that
+///    stops consuming early MUST cancel its input so upstream stages can
+///    exit instead of deadlocking in Push.
+///
+/// The channel also records StageMetrics: elements in/out, queue-depth
+/// high-watermark, cumulative producer/consumer blocked time, rejected
+/// pushes and cancel-dropped elements (see metrics.h).
 template <typename T>
 class Channel {
  public:
-  explicit Channel(size_t capacity = 1024) : capacity_(capacity) {}
+  explicit Channel(size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
   /// Blocks until there is room. Returns false when the channel is closed
-  /// (the element is dropped).
+  /// or cancelled (the element is dropped).
   bool Push(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) return false;
+    if (!closed_ && queue_.size() >= capacity_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lock,
+                     [this] { return closed_ || queue_.size() < capacity_; });
+      producer_blocked_ns_ += BlockedNsSince(t0);
+    }
+    if (closed_) {
+      ++push_rejected_;
+      return false;
+    }
     queue_.push_back(std::move(value));
+    ++pushed_;
+    if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
-  /// Non-blocking push; returns false when full or closed.
+  /// Non-blocking push; returns false when full, closed or cancelled.
   bool TryPush(T value) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || queue_.size() >= capacity_) return false;
+      if (closed_) {
+        ++push_rejected_;
+        return false;
+      }
+      if (queue_.size() >= capacity_) return false;
       queue_.push_back(std::move(value));
+      ++pushed_;
+      if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
     }
     not_empty_.notify_one();
     return true;
   }
 
-  /// Blocks until an element arrives; nullopt when closed and drained.
+  /// Blocks until an element arrives; nullopt when closed and drained
+  /// (or cancelled).
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (!closed_ && queue_.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      consumer_blocked_ns_ += BlockedNsSince(t0);
+    }
     if (queue_.empty()) return std::nullopt;
     T out = std::move(queue_.front());
     queue_.pop_front();
+    ++popped_;
     lock.unlock();
     not_full_.notify_one();
     return out;
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop. NOTE: nullopt conflates "empty but open" with
+  /// "closed and drained" — polling consumers should use the tri-state
+  /// overload below (or check closed_and_empty()).
   std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
-    T out = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
+    T out;
+    if (TryPop(&out) == PollStatus::kItem) return out;
+    return std::nullopt;
+  }
+
+  /// Non-blocking tri-state pop: on kItem, `*out` receives the element.
+  /// kEmpty means "try again later"; kClosed means "never again".
+  PollStatus TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) return closed_ ? PollStatus::kClosed
+                                         : PollStatus::kEmpty;
+      *out = std::move(queue_.front());
+      queue_.pop_front();
+      ++popped_;
+    }
     not_full_.notify_one();
-    return out;
+    return PollStatus::kItem;
   }
 
   /// Marks the channel closed; consumers drain remaining elements then see
-  /// nullopt. Idempotent.
+  /// nullopt. Idempotent. (Producer-side end-of-stream.)
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Consumer-side cancellation: closes the channel AND discards anything
+  /// still queued, so blocked producers return false immediately and other
+  /// consumers see end-of-stream without draining. Idempotent. This is the
+  /// signal every early-exiting stage sends upstream.
+  void CloseAndDrain() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      cancelled_ = true;
+      dropped_on_cancel_ += queue_.size();
+      queue_.clear();
     }
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -83,18 +159,73 @@ class Channel {
     return closed_;
   }
 
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+  }
+
+  /// True once no element will ever be produced again: closed (or
+  /// cancelled) and fully drained. The polling-consumer termination test.
+  bool closed_and_empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ && queue_.empty();
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
   }
 
+  size_t capacity() const { return capacity_; }
+
+  /// Adds to the late/dropped counter (wired by windowed operators from
+  /// TumblingWindower::late_dropped()).
+  void RecordLateDropped(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    late_dropped_ += n;
+  }
+
+  /// Consistent snapshot of this edge's counters. The stage name is filled
+  /// in by the owning Pipeline.
+  StageMetrics MetricsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    StageMetrics m;
+    m.records_in = pushed_;
+    m.records_out = popped_;
+    m.queue_high_watermark = high_watermark_;
+    m.producer_blocked_ns = producer_blocked_ns_;
+    m.consumer_blocked_ns = consumer_blocked_ns_;
+    m.push_rejected = push_rejected_;
+    m.dropped_on_cancel = dropped_on_cancel_;
+    m.late_dropped = late_dropped_;
+    m.cancelled = cancelled_;
+    return m;
+  }
+
  private:
+  static uint64_t BlockedNsSince(std::chrono::steady_clock::time_point t0) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> queue_;
   bool closed_ = false;
+  bool cancelled_ = false;
+  // Metrics (guarded by mutex_).
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+  uint64_t high_watermark_ = 0;
+  uint64_t producer_blocked_ns_ = 0;
+  uint64_t consumer_blocked_ns_ = 0;
+  uint64_t push_rejected_ = 0;
+  uint64_t dropped_on_cancel_ = 0;
+  uint64_t late_dropped_ = 0;
 };
 
 }  // namespace tcmf::stream

@@ -1,0 +1,103 @@
+#ifndef TCMF_STREAM_METRICS_H_
+#define TCMF_STREAM_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tcmf::stream {
+
+/// Per-stage runtime counters, collected by each Channel (one channel is
+/// the output edge of one stage) and aggregated by Pipeline::Report().
+/// The blocked-time counters are the backpressure signal: producer time
+/// means the stage downstream of this edge is the bottleneck, consumer
+/// time means the stage upstream is.
+struct StageMetrics {
+  std::string stage;                   ///< stage name (set by the pipeline)
+  uint64_t records_in = 0;             ///< elements accepted by Push
+  uint64_t records_out = 0;            ///< elements handed out by Pop
+  uint64_t queue_high_watermark = 0;   ///< max queue depth ever observed
+  uint64_t producer_blocked_ns = 0;    ///< total ns Push spent waiting (full)
+  uint64_t consumer_blocked_ns = 0;    ///< total ns Pop spent waiting (empty)
+  uint64_t push_rejected = 0;          ///< pushes refused (closed/cancelled)
+  uint64_t dropped_on_cancel = 0;      ///< queued elements discarded by cancel
+  uint64_t late_dropped = 0;           ///< too-late elements (windowed stages)
+  bool cancelled = false;              ///< consumer cancelled this edge
+
+  /// Header line matching ToString()'s columns.
+  static std::string TableHeader() {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s %12s %12s %8s %12s %12s %8s %8s %6s %5s", "stage",
+                  "in", "out", "q-hwm", "prod-blk-ms", "cons-blk-ms", "rej",
+                  "drop", "late", "canc");
+    return buf;
+  }
+
+  /// One fixed-width line per stage (pairs with TableHeader()).
+  std::string ToString() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s %12llu %12llu %8llu %12.3f %12.3f %8llu %8llu %6llu "
+                  "%5s",
+                  stage.c_str(),
+                  static_cast<unsigned long long>(records_in),
+                  static_cast<unsigned long long>(records_out),
+                  static_cast<unsigned long long>(queue_high_watermark),
+                  producer_blocked_ns / 1e6, consumer_blocked_ns / 1e6,
+                  static_cast<unsigned long long>(push_rejected),
+                  static_cast<unsigned long long>(dropped_on_cancel),
+                  static_cast<unsigned long long>(late_dropped),
+                  cancelled ? "yes" : "no");
+    return buf;
+  }
+
+  /// Single JSON object (no trailing newline).
+  std::string ToJson() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"stage\":\"%s\",\"records_in\":%llu,\"records_out\":%llu,"
+        "\"queue_high_watermark\":%llu,\"producer_blocked_ns\":%llu,"
+        "\"consumer_blocked_ns\":%llu,\"push_rejected\":%llu,"
+        "\"dropped_on_cancel\":%llu,\"late_dropped\":%llu,"
+        "\"cancelled\":%s}",
+        stage.c_str(), static_cast<unsigned long long>(records_in),
+        static_cast<unsigned long long>(records_out),
+        static_cast<unsigned long long>(queue_high_watermark),
+        static_cast<unsigned long long>(producer_blocked_ns),
+        static_cast<unsigned long long>(consumer_blocked_ns),
+        static_cast<unsigned long long>(push_rejected),
+        static_cast<unsigned long long>(dropped_on_cancel),
+        static_cast<unsigned long long>(late_dropped),
+        cancelled ? "true" : "false");
+    return buf;
+  }
+};
+
+/// Formats a set of stage snapshots as a printable table.
+inline std::string StageMetricsTable(const std::vector<StageMetrics>& stages) {
+  std::string out = StageMetrics::TableHeader();
+  out += '\n';
+  for (const StageMetrics& m : stages) {
+    out += m.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+/// Formats a set of stage snapshots as a JSON array.
+inline std::string StageMetricsJson(const std::vector<StageMetrics>& stages) {
+  std::string out = "[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i) out += ',';
+    out += stages[i].ToJson();
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace tcmf::stream
+
+#endif  // TCMF_STREAM_METRICS_H_

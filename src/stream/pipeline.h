@@ -4,18 +4,33 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stream/channel.h"
+#include "stream/metrics.h"
+#include "stream/window.h"
 
 namespace tcmf::stream {
 
 /// Owns the threads of a dataflow job. Build a graph with Flow<T>, then
 /// Run() blocks until every source is exhausted and every stage has
 /// drained — the in-process equivalent of submitting a Flink job.
+///
+/// Runtime semantics: end-of-stream flows downstream via Channel::Close();
+/// cancellation flows *upstream* via Channel::CloseAndDrain() — every
+/// operator that stops consuming early cancels its input channel, so no
+/// producer is ever left blocked in Push. Run() therefore returns even
+/// when a sink abandons the stream mid-flight.
+///
+/// Every operator registers its output channel as a named stage; after
+/// (or during) a run, Report() snapshots per-stage StageMetrics and
+/// ReportString()/ReportJson() render them.
 class Pipeline {
  public:
   Pipeline() = default;
@@ -37,8 +52,50 @@ class Pipeline {
     threads_.clear();
   }
 
+  /// Registers a named metrics source. Internal — called by Flow
+  /// operators; also usable for custom stages.
+  void RegisterStage(std::string name, std::function<StageMetrics()> snap) {
+    std::lock_guard<std::mutex> lock(stages_mutex_);
+    stages_.emplace_back(std::move(name), std::move(snap));
+  }
+
+  /// Registers a channel as the named stage's output edge. If `name` is
+  /// empty, an auto-name "<op>#<index>" is generated. Returns the final
+  /// stage name.
+  template <typename U>
+  std::string RegisterChannelStage(const char* op, std::string name,
+                                   std::shared_ptr<Channel<U>> channel) {
+    if (name.empty()) {
+      name = std::string(op) + "#" + std::to_string(next_stage_index_++);
+    }
+    RegisterStage(name, [channel] { return channel->MetricsSnapshot(); });
+    return name;
+  }
+
+  /// Snapshots every registered stage, in registration (graph) order.
+  std::vector<StageMetrics> Report() const {
+    std::lock_guard<std::mutex> lock(stages_mutex_);
+    std::vector<StageMetrics> out;
+    out.reserve(stages_.size());
+    for (const auto& [name, snap] : stages_) {
+      StageMetrics m = snap();
+      m.stage = name;
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  /// Printable fixed-width per-stage table.
+  std::string ReportString() const { return StageMetricsTable(Report()); }
+
+  /// JSON array of per-stage objects.
+  std::string ReportJson() const { return StageMetricsJson(Report()); }
+
  private:
   std::vector<std::thread> threads_;
+  mutable std::mutex stages_mutex_;
+  std::vector<std::pair<std::string, std::function<StageMetrics()>>> stages_;
+  std::atomic<size_t> next_stage_index_{0};
 };
 
 /// Per-key processing function with explicit state: the Flink
@@ -57,6 +114,13 @@ using KeyedFlushFn =
 
 /// A typed edge in the dataflow graph. Flow values are cheap handles:
 /// they share the underlying channel.
+///
+/// Shutdown contract for every operator: when the downstream edge stops
+/// accepting (Push returns false because the consumer cancelled), the
+/// operator cancels its own input via CloseAndDrain() and exits — the
+/// cancel signal propagates all the way to the source. Conversely each
+/// operator Close()s its output on every exit path, so downstream stages
+/// always observe end-of-stream.
 template <typename T>
 class Flow {
  public:
@@ -67,12 +131,15 @@ class Flow {
   /// stream is exhausted.
   static Flow<T> FromGenerator(Pipeline* pipeline,
                                std::function<std::optional<T>()> next,
-                               size_t capacity = 1024) {
+                               size_t capacity = 1024,
+                               std::string name = "") {
     auto channel = std::make_shared<Channel<T>>(capacity);
+    pipeline->RegisterChannelStage("source", std::move(name), channel);
     pipeline->AddThread([channel, next = std::move(next)]() mutable {
       while (true) {
         std::optional<T> item = next();
         if (!item.has_value()) break;
+        // Push fails only when downstream cancelled: stop generating.
         if (!channel->Push(std::move(*item))) break;
       }
       channel->Close();
@@ -82,7 +149,7 @@ class Flow {
 
   /// Source from a pre-materialized vector.
   static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
-                            size_t capacity = 1024) {
+                            size_t capacity = 1024, std::string name = "") {
     auto it = std::make_shared<size_t>(0);
     auto data = std::make_shared<std::vector<T>>(std::move(items));
     return FromGenerator(
@@ -91,17 +158,22 @@ class Flow {
           if (*it >= data->size()) return std::nullopt;
           return (*data)[(*it)++];
         },
-        capacity);
+        capacity, std::move(name));
   }
 
   /// 1:1 transform.
   template <typename Out>
-  Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity = 1024) {
+  Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity = 1024,
+                std::string name = "") {
     auto out = std::make_shared<Channel<Out>>(capacity);
+    pipeline_->RegisterChannelStage("map", std::move(name), out);
     auto in = channel_;
     pipeline_->AddThread([in, out, fn = std::move(fn)] {
       while (auto item = in->Pop()) {
-        if (!out->Push(fn(*item))) break;
+        if (!out->Push(fn(*item))) {
+          in->CloseAndDrain();  // propagate cancellation upstream
+          break;
+        }
       }
       out->Close();
     });
@@ -111,28 +183,43 @@ class Flow {
   /// 1:N transform.
   template <typename Out>
   Flow<Out> FlatMap(std::function<std::vector<Out>(const T&)> fn,
-                    size_t capacity = 1024) {
+                    size_t capacity = 1024, std::string name = "") {
     auto out = std::make_shared<Channel<Out>>(capacity);
+    pipeline_->RegisterChannelStage("flatmap", std::move(name), out);
     auto in = channel_;
     pipeline_->AddThread([in, out, fn = std::move(fn)] {
-      while (auto item = in->Pop()) {
+      bool open = true;
+      while (open) {
+        auto item = in->Pop();
+        if (!item) break;
         for (Out& o : fn(*item)) {
-          if (!out->Push(std::move(o))) return;
+          if (!out->Push(std::move(o))) {
+            open = false;
+            break;
+          }
         }
       }
+      if (!open) in->CloseAndDrain();
+      // Close on EVERY exit path — an early return here used to leave
+      // downstream Pop blocked forever.
       out->Close();
     });
     return Flow<Out>(pipeline_, std::move(out));
   }
 
   /// Keeps elements satisfying the predicate.
-  Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity = 1024) {
+  Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity = 1024,
+                 std::string name = "") {
     auto out = std::make_shared<Channel<T>>(capacity);
+    pipeline_->RegisterChannelStage("filter", std::move(name), out);
     auto in = channel_;
     pipeline_->AddThread([in, out, pred = std::move(pred)] {
       while (auto item = in->Pop()) {
         if (pred(*item)) {
-          if (!out->Push(std::move(*item))) break;
+          if (!out->Push(std::move(*item))) {
+            in->CloseAndDrain();
+            break;
+          }
         }
       }
       out->Close();
@@ -147,8 +234,9 @@ class Flow {
   Flow<Out> KeyedProcess(std::function<uint64_t(const T&)> key_fn,
                          KeyedProcessFn<T, Out, State> process,
                          KeyedFlushFn<Out, State> flush = nullptr,
-                         size_t capacity = 1024) {
+                         size_t capacity = 1024, std::string name = "") {
     auto out = std::make_shared<Channel<Out>>(capacity);
+    pipeline_->RegisterChannelStage("keyed", std::move(name), out);
     auto in = channel_;
     pipeline_->AddThread([in, out, key_fn = std::move(key_fn),
                           process = std::move(process),
@@ -161,7 +249,10 @@ class Flow {
       while (auto item = in->Pop()) {
         State& state = states[key_fn(*item)];
         process(*item, state, emit);
-        if (!open) break;
+        if (!open) {
+          in->CloseAndDrain();
+          break;
+        }
       }
       if (open && flush) {
         for (auto& [key, state] : states) flush(key, state, emit);
@@ -180,23 +271,35 @@ class Flow {
                                  KeyedProcessFn<T, Out, State> process,
                                  size_t parallelism,
                                  KeyedFlushFn<Out, State> flush = nullptr,
-                                 size_t capacity = 1024) {
+                                 size_t capacity = 1024,
+                                 std::string name = "") {
     if (parallelism <= 1) {
       return KeyedProcess<Out, State>(std::move(key_fn), std::move(process),
-                                      std::move(flush), capacity);
+                                      std::move(flush), capacity,
+                                      std::move(name));
     }
     auto out = std::make_shared<Channel<Out>>(capacity);
+    std::string stage =
+        pipeline_->RegisterChannelStage("keyed_par", std::move(name), out);
     auto in = channel_;
     // Partition router: one input channel per worker.
     auto partitions =
         std::make_shared<std::vector<std::shared_ptr<Channel<T>>>>();
     for (size_t w = 0; w < parallelism; ++w) {
-      partitions->push_back(std::make_shared<Channel<T>>(capacity));
+      auto part = std::make_shared<Channel<T>>(capacity);
+      pipeline_->RegisterChannelStage(
+          "", stage + ".part" + std::to_string(w), part);
+      partitions->push_back(std::move(part));
     }
     pipeline_->AddThread([in, partitions, key_fn, parallelism] {
       while (auto item = in->Pop()) {
         size_t w = std::hash<uint64_t>{}(key_fn(*item)) % parallelism;
-        if (!(*partitions)[w]->Push(std::move(*item))) break;
+        if (!(*partitions)[w]->Push(std::move(*item))) {
+          // A worker cancelled its partition (downstream gone): stop
+          // routing and propagate the cancel to our own input.
+          in->CloseAndDrain();
+          break;
+        }
       }
       for (auto& p : *partitions) p->Close();
     });
@@ -214,7 +317,12 @@ class Flow {
         while (auto item = my_in->Pop()) {
           State& state = states[key_fn(*item)];
           process(*item, state, emit);
-          if (!open) break;
+          if (!open) {
+            // Cancel our partition so the router unblocks; the router
+            // then cancels the shared upstream input.
+            my_in->CloseAndDrain();
+            break;
+          }
         }
         if (open && flush) {
           for (auto& [key, state] : states) flush(key, state, emit);
@@ -225,11 +333,78 @@ class Flow {
     return Flow<Out>(pipeline_, std::move(out));
   }
 
+  /// Keyed event-time tumbling windows with bounded lateness: elements are
+  /// folded per (key, window) via `add`; a window is emitted once the
+  /// key's watermark (max event time - lateness) passes its end, and every
+  /// open window flushes at end-of-stream. Late elements beyond the
+  /// watermark are dropped and surface as `late_dropped` in this stage's
+  /// StageMetrics.
+  template <typename Acc>
+  Flow<std::pair<uint64_t, typename TumblingWindower<T, Acc>::WindowResult>>
+  KeyedTumblingWindow(std::function<uint64_t(const T&)> key_fn,
+                      std::function<TimeMs(const T&)> time_fn,
+                      TimeMs window_ms, TimeMs allowed_lateness_ms,
+                      std::function<void(Acc&, const T&, TimeMs)> add,
+                      size_t capacity = 1024, std::string name = "") {
+    using Result =
+        std::pair<uint64_t, typename TumblingWindower<T, Acc>::WindowResult>;
+    auto out = std::make_shared<Channel<Result>>(capacity);
+    pipeline_->RegisterChannelStage("window", std::move(name), out);
+    auto in = channel_;
+    pipeline_->AddThread([in, out, key_fn = std::move(key_fn),
+                          time_fn = std::move(time_fn), window_ms,
+                          allowed_lateness_ms, add = std::move(add)] {
+      std::unordered_map<uint64_t, TumblingWindower<T, Acc>> windowers;
+      bool open = true;
+      auto emit_all = [&](uint64_t key, auto&& results) {
+        for (auto& wr : results) {
+          if (!out->Push({key, std::move(wr)})) {
+            open = false;
+            break;
+          }
+        }
+      };
+      while (auto item = in->Pop()) {
+        const uint64_t key = key_fn(*item);
+        auto [it, inserted] = windowers.try_emplace(
+            key, window_ms, allowed_lateness_ms, add);
+        emit_all(key, it->second.Add(*item, time_fn(*item)));
+        if (!open) {
+          in->CloseAndDrain();
+          break;
+        }
+      }
+      uint64_t late = 0;
+      for (auto& [key, w] : windowers) {
+        if (open) emit_all(key, w.Close());
+        late += w.late_dropped();
+      }
+      out->RecordLateDropped(late);
+      out->Close();
+    });
+    return Flow<Result>(pipeline_, std::move(out));
+  }
+
   /// Terminal: applies `fn` to every element.
   void Sink(std::function<void(const T&)> fn) {
     auto in = channel_;
     pipeline_->AddThread([in, fn = std::move(fn)] {
       while (auto item = in->Pop()) fn(*item);
+    });
+  }
+
+  /// Terminal: applies `fn` until it returns false, then cancels the
+  /// stream — upstream stages unblock and exit (no deadlock even with
+  /// producers mid-Push). The early-stopping sink.
+  void SinkWhile(std::function<bool(const T&)> fn) {
+    auto in = channel_;
+    pipeline_->AddThread([in, fn = std::move(fn)] {
+      while (auto item = in->Pop()) {
+        if (!fn(*item)) {
+          in->CloseAndDrain();
+          break;
+        }
+      }
     });
   }
 

@@ -28,7 +28,7 @@ class TumblingWindower {
   TumblingWindower(TimeMs window_ms, TimeMs allowed_lateness_ms,
                    std::function<void(Acc&, const T&, TimeMs)> add)
       : window_ms_(window_ms <= 0 ? 1 : window_ms),
-        lateness_ms_(allowed_lateness_ms),
+        lateness_ms_(allowed_lateness_ms < 0 ? 0 : allowed_lateness_ms),
         add_(std::move(add)) {}
 
   /// Feeds one element; returns any windows closed by the advancing
@@ -43,7 +43,14 @@ class TumblingWindower {
     add_(windows_[start], element, event_time);
     if (event_time > max_event_time_) {
       max_event_time_ = event_time;
-      watermark_ = max_event_time_ - lateness_ms_;
+      // Clamp instead of computing max_event_time_ - lateness_ms_
+      // directly: for large lateness (or event times near the sentinel
+      // minimum) the subtraction underflows TimeMs and wraps to a huge
+      // positive watermark, silently dropping every subsequent element.
+      constexpr TimeMs kMin = std::numeric_limits<TimeMs>::min();
+      watermark_ = (max_event_time_ < kMin + lateness_ms_)
+                       ? kMin
+                       : max_event_time_ - lateness_ms_;
     }
     return Flush(watermark_);
   }

@@ -1,0 +1,44 @@
+#ifndef TCMF_SYNOPSES_STAGES_H_
+#define TCMF_SYNOPSES_STAGES_H_
+
+#include <memory>
+#include <utility>
+
+#include "stream/pipeline.h"
+#include "synopses/critical_points.h"
+
+namespace tcmf::synopses {
+
+/// Runs the Synopses Generator as a keyed operator on the stream
+/// substrate: positions are partitioned by entity id and each key owns a
+/// private generator instance (parallelism-safe state, the Flink
+/// keyed-stream execution model). Open synopses flush at end-of-stream.
+/// Appears in Pipeline::Report() as "synopses" (plus ".partN" edges when
+/// parallelism > 1).
+inline stream::Flow<CriticalPoint> SynopsesStage(
+    stream::Flow<Position> flow, const SynopsesConfig& config,
+    size_t parallelism = 1, size_t capacity = 1024) {
+  struct State {
+    std::unique_ptr<SynopsesGenerator> gen;
+  };
+  return flow.KeyedProcessParallel<CriticalPoint, State>(
+      [](const Position& p) { return p.entity_id; },
+      [config](const Position& p, State& state,
+               const std::function<void(CriticalPoint)>& emit) {
+        if (!state.gen) {
+          state.gen = std::make_unique<SynopsesGenerator>(config);
+        }
+        for (auto& cp : state.gen->Observe(p)) emit(std::move(cp));
+      },
+      parallelism,
+      [](uint64_t, State& state,
+         const std::function<void(CriticalPoint)>& emit) {
+        if (!state.gen) return;
+        for (auto& cp : state.gen->Flush()) emit(std::move(cp));
+      },
+      capacity, "synopses");
+}
+
+}  // namespace tcmf::synopses
+
+#endif  // TCMF_SYNOPSES_STAGES_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -10,6 +11,7 @@
 #include "datagen/vessel.h"
 #include "datagen/weather.h"
 #include "insitu/lowlevel.h"
+#include "insitu/stages.h"
 #include "linkdiscovery/linker.h"
 #include "prediction/rmf.h"
 #include "prediction/trajpred.h"
@@ -20,6 +22,7 @@
 #include "store/kgstore.h"
 #include "stream/pipeline.h"
 #include "synopses/critical_points.h"
+#include "synopses/stages.h"
 #include "va/quality.h"
 
 namespace tcmf {
@@ -322,6 +325,84 @@ TEST(StreamIntegration, SynopsesOperatorParity) {
   for (size_t i = 0; i < actual.size(); ++i) {
     EXPECT_EQ(key(actual[i]), key(expected[i]));
   }
+}
+
+/// The packaged dataflow stages (in-situ cleaning + parallel keyed
+/// synopses) must match direct invocation, and the pipeline's stage
+/// metrics must account for every record.
+TEST(StreamIntegration, StagedCleaningAndSynopsesParityWithMetrics) {
+  datagen::VesselSimConfig config;
+  config.vessel_count = 8;
+  config.duration_ms = kMillisPerHour;
+  config.outlier_probability = 0.01;  // give the cleaner work to do
+  Rng rng(7);
+  auto ports = datagen::MakePorts(rng, config.extent, 4);
+  datagen::VesselSimulator sim(config, ports, {}, nullptr);
+  auto data = sim.Run();
+
+  insitu::StreamCleaner::Options clean_options;
+  clean_options.extent = config.extent;
+
+  // Direct invocation: cleaner, then one generator per entity (matching
+  // the keyed stage's per-key state), flushed at end-of-stream.
+  insitu::StreamCleaner direct_cleaner(clean_options);
+  std::map<uint64_t, synopses::SynopsesGenerator> direct_gens;
+  std::vector<synopses::CriticalPoint> expected;
+  for (const Position& p : data.stream) {
+    if (direct_cleaner.Observe(p) != insitu::CleanVerdict::kOk) continue;
+    auto [it, inserted] = direct_gens.try_emplace(
+        p.entity_id, synopses::SynopsesConfig::ForMaritime());
+    for (auto& cp : it->second.Observe(p)) expected.push_back(cp);
+  }
+  for (auto& [id, gen] : direct_gens) {
+    for (auto& cp : gen.Flush()) expected.push_back(cp);
+  }
+
+  // As packaged dataflow stages, with 2 keyed workers.
+  stream::Pipeline pipeline;
+  std::vector<synopses::CriticalPoint> actual;
+  auto source = stream::Flow<Position>::FromVector(&pipeline, data.stream,
+                                                   256, "source");
+  synopses::SynopsesStage(insitu::CleaningStage(source, clean_options, 256),
+                          synopses::SynopsesConfig::ForMaritime(),
+                          /*parallelism=*/2, 256)
+      .CollectInto(&actual);
+  pipeline.Run();
+
+  ASSERT_EQ(actual.size(), expected.size());
+  auto key = [](const synopses::CriticalPoint& cp) {
+    return std::tuple(cp.pos.entity_id, cp.pos.t, static_cast<int>(cp.type));
+  };
+  auto sort_key = [&](std::vector<synopses::CriticalPoint>& v) {
+    std::sort(v.begin(), v.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  };
+  sort_key(actual);
+  sort_key(expected);
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(key(actual[i]), key(expected[i]));
+  }
+
+  // Stage metrics account for the whole stream: the source edge carried
+  // every raw record, the cleaner's output only the accepted ones, and
+  // the synopses edge exactly the emitted critical points.
+  auto report = pipeline.Report();
+  const stream::StageMetrics* src = nullptr;
+  const stream::StageMetrics* clean = nullptr;
+  const stream::StageMetrics* syn = nullptr;
+  for (const auto& m : report) {
+    if (m.stage == "source") src = &m;
+    if (m.stage == "insitu.clean") clean = &m;
+    if (m.stage == "synopses") syn = &m;
+  }
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(clean, nullptr);
+  ASSERT_NE(syn, nullptr);
+  EXPECT_EQ(src->records_in, data.stream.size());
+  EXPECT_EQ(src->records_out, data.stream.size());
+  EXPECT_EQ(clean->records_in, direct_cleaner.accepted());
+  EXPECT_EQ(syn->records_out, actual.size());
+  EXPECT_FALSE(src->cancelled);
 }
 
 /// Data quality: the injected veracity problems are found by the report.

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <unordered_map>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <thread>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "stream/channel.h"
@@ -155,6 +158,91 @@ TEST(ChannelTest, ManyProducersOneConsumer) {
   while (auto v = ch.Pop()) sum += *v;
   closer.join();
   EXPECT_EQ(sum, 4 * kPerProducer);
+}
+
+// ------------------------------------------------ Channel: cancel + poll
+
+TEST(ChannelTest, TryPopTriStateDistinguishesEmptyFromClosed) {
+  Channel<int> ch(4);
+  int out = 0;
+  // Open and empty: try again later.
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kEmpty);
+  EXPECT_FALSE(ch.closed_and_empty());
+  // Item available.
+  ch.Push(7);
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kItem);
+  EXPECT_EQ(out, 7);
+  // Closed but not yet drained: still an item, then terminal.
+  ch.Push(8);
+  ch.Close();
+  EXPECT_FALSE(ch.closed_and_empty());
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kItem);
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kClosed);
+  EXPECT_TRUE(ch.closed_and_empty());
+}
+
+TEST(ChannelTest, CloseAndDrainDiscardsQueuedElements) {
+  Channel<int> ch(8);
+  ch.Push(1);
+  ch.Push(2);
+  ch.Push(3);
+  ch.CloseAndDrain();
+  EXPECT_TRUE(ch.cancelled());
+  EXPECT_TRUE(ch.closed_and_empty());
+  EXPECT_FALSE(ch.Pop().has_value());
+  EXPECT_FALSE(ch.Push(4));
+  StageMetrics m = ch.MetricsSnapshot();
+  EXPECT_EQ(m.dropped_on_cancel, 3u);
+  EXPECT_EQ(m.push_rejected, 1u);
+  EXPECT_TRUE(m.cancelled);
+}
+
+TEST(ChannelTest, CloseAndDrainUnblocksBlockedProducer) {
+  Channel<int> ch(1);
+  ch.Push(0);
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result = ch.Push(1);  // blocks: channel full
+    push_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(push_returned.load());
+  ch.CloseAndDrain();  // consumer walks away
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load());  // the element was rejected
+}
+
+TEST(ChannelTest, MetricsCountRecordsAndHighWatermark) {
+  Channel<int> ch(16);
+  for (int i = 0; i < 5; ++i) ch.Push(i);
+  ch.Pop();
+  ch.Pop();
+  StageMetrics m = ch.MetricsSnapshot();
+  EXPECT_EQ(m.records_in, 5u);
+  EXPECT_EQ(m.records_out, 2u);
+  EXPECT_EQ(m.queue_high_watermark, 5u);
+  EXPECT_EQ(m.producer_blocked_ns, 0u);  // never hit capacity
+}
+
+TEST(ChannelTest, MetricsRecordBlockedTimeOnBothSides) {
+  Channel<int> ch(1);
+  // Producer blocks on a full queue until the consumer drains it.
+  ch.Push(0);
+  std::thread producer([&] { ch.Push(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  ch.Pop();
+  producer.join();
+  EXPECT_GT(ch.MetricsSnapshot().producer_blocked_ns, 0u);
+  // Consumer blocks on an empty queue until a producer arrives.
+  ch.Pop();  // drain
+  std::thread consumer([&] { ch.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  ch.Push(2);
+  consumer.join();
+  EXPECT_GT(ch.MetricsSnapshot().consumer_blocked_ns, 0u);
 }
 
 // -------------------------------------------------------------- Pipeline
@@ -323,6 +411,241 @@ TEST(PipelineTest, ParallelKeyedPreservesPerKeyOrder) {
   EXPECT_EQ(output.size(), input.size());
 }
 
+// ------------------------------------------- Pipeline: shutdown semantics
+
+// Runs `body` on a watchdog: fails the test (instead of hanging forever)
+// when the pipeline does not shut down within the timeout. The worker is
+// detached so a deadlock regression is reported, not inherited.
+void ExpectCompletesWithin(std::function<void()> body, int timeout_ms) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> finished = done->get_future();
+  std::thread([body = std::move(body), done] {
+    body();
+    done->set_value();
+  }).detach();
+  ASSERT_EQ(finished.wait_for(std::chrono::milliseconds(timeout_ms)),
+            std::future_status::ready)
+      << "Pipeline::Run() hung: shutdown deadlock regression";
+}
+
+TEST(PipelineShutdownTest, SinkStopsMidStreamWithoutHanging) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::vector<int> input(100000);
+        std::iota(input.begin(), input.end(), 0);
+        size_t seen = 0;
+        // Tiny capacities guarantee the source is blocked in Push when
+        // the sink walks away.
+        Flow<int>::FromVector(&pipeline, input, 4)
+            .Map<int>([](const int& x) { return x + 1; }, 4)
+            .SinkWhile([&seen](const int&) { return ++seen < 10; });
+        pipeline.Run();
+        EXPECT_EQ(seen, 10u);
+      },
+      5000);
+}
+
+TEST(PipelineShutdownTest, FlatMapConsumerClosesEarlyDoesNotHang) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::vector<int> input(50000);
+        std::iota(input.begin(), input.end(), 0);
+        size_t seen = 0;
+        Flow<int>::FromVector(&pipeline, input, 2)
+            .FlatMap<int>(
+                [](const int& x) {
+                  return std::vector<int>{x, x, x};
+                },
+                2)
+            .SinkWhile([&seen](const int&) { return ++seen < 5; });
+        pipeline.Run();
+        EXPECT_GE(seen, 5u);
+      },
+      5000);
+}
+
+TEST(PipelineShutdownTest, KeyedProcessEarlyCloseDoesNotHang) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::vector<std::pair<uint64_t, int>> input;
+        for (int i = 0; i < 50000; ++i) {
+          input.push_back({static_cast<uint64_t>(i % 13), i});
+        }
+        size_t seen = 0;
+        Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input, 4)
+            .KeyedProcess<int, int>(
+                [](const std::pair<uint64_t, int>& e) { return e.first; },
+                [](const std::pair<uint64_t, int>& e, int& sum,
+                   const std::function<void(int)>& emit) {
+                  sum += e.second;
+                  emit(sum);
+                },
+                nullptr, 4)
+            .SinkWhile([&seen](const int&) { return ++seen < 7; });
+        pipeline.Run();
+        EXPECT_GE(seen, 7u);
+      },
+      5000);
+}
+
+TEST(PipelineShutdownTest, KeyedProcessParallelEarlyCloseDoesNotHang) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::vector<std::pair<uint64_t, int>> input;
+        for (int i = 0; i < 100000; ++i) {
+          input.push_back({static_cast<uint64_t>(i % 31), i});
+        }
+        size_t seen = 0;
+        Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input, 8)
+            .KeyedProcessParallel<int, int>(
+                [](const std::pair<uint64_t, int>& e) { return e.first; },
+                [](const std::pair<uint64_t, int>& e, int& sum,
+                   const std::function<void(int)>& emit) {
+                  sum += e.second;
+                  emit(sum);
+                },
+                /*parallelism=*/4, nullptr, 8)
+            .SinkWhile([&seen](const int&) { return ++seen < 10; });
+        pipeline.Run();
+        EXPECT_GE(seen, 10u);
+      },
+      5000);
+}
+
+TEST(PipelineShutdownTest, GeneratorStopsWhenDownstreamCancels) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        // An infinite source: only cancellation can end this job.
+        int i = 0;
+        size_t seen = 0;
+        Flow<int>::FromGenerator(
+            &pipeline, [&i]() -> std::optional<int> { return i++; }, 4)
+            .Filter([](const int& x) { return x % 2 == 0; }, 4)
+            .SinkWhile([&seen](const int&) { return ++seen < 25; });
+        pipeline.Run();
+        EXPECT_EQ(seen, 25u);
+      },
+      5000);
+}
+
+// --------------------------------------------- Pipeline: stage metrics
+
+TEST(PipelineMetricsTest, ReportExposesPerStageCounts) {
+  Pipeline pipeline;
+  std::vector<int> input(1000);
+  std::iota(input.begin(), input.end(), 0);
+  std::vector<int> output;
+  Flow<int>::FromVector(&pipeline, input, 64, "src")
+      .Map<int>([](const int& x) { return x * 2; }, 64, "double")
+      .Filter([](const int& x) { return x % 4 == 0; }, 64, "mult4")
+      .CollectInto(&output);
+  pipeline.Run();
+  ASSERT_EQ(output.size(), 500u);
+
+  auto report = pipeline.Report();
+  ASSERT_EQ(report.size(), 3u);
+  auto find = [&](const std::string& name) -> const StageMetrics& {
+    for (const auto& m : report) {
+      if (m.stage == name) return m;
+    }
+    ADD_FAILURE() << "missing stage " << name;
+    static StageMetrics empty;
+    return empty;
+  };
+  EXPECT_EQ(find("src").records_in, 1000u);
+  EXPECT_EQ(find("src").records_out, 1000u);
+  EXPECT_EQ(find("double").records_in, 1000u);
+  EXPECT_EQ(find("mult4").records_in, 500u);
+  EXPECT_EQ(find("mult4").records_out, 500u);
+  for (const auto& m : report) {
+    EXPECT_FALSE(m.cancelled) << m.stage;
+    EXPECT_EQ(m.push_rejected, 0u) << m.stage;
+  }
+  // Renderers carry the counters.
+  EXPECT_NE(pipeline.ReportString().find("src"), std::string::npos);
+  EXPECT_NE(pipeline.ReportJson().find("\"records_in\":1000"),
+            std::string::npos);
+}
+
+TEST(PipelineMetricsTest, AutoNamedStagesAndCancelledEdgeVisible) {
+  Pipeline pipeline;
+  std::vector<int> input(10000);
+  std::iota(input.begin(), input.end(), 0);
+  size_t seen = 0;
+  Flow<int>::FromVector(&pipeline, input, 4)
+      .Map<int>([](const int& x) { return x; }, 4)
+      .SinkWhile([&seen](const int&) { return ++seen < 3; });
+  pipeline.Run();
+  auto report = pipeline.Report();
+  ASSERT_EQ(report.size(), 2u);
+  // Auto-generated names follow "<op>#<index>".
+  EXPECT_NE(report[0].stage.find("source#"), std::string::npos);
+  EXPECT_NE(report[1].stage.find("map#"), std::string::npos);
+  // The map output edge was cancelled by the early-stopping sink.
+  EXPECT_TRUE(report[1].cancelled);
+}
+
+TEST(PipelineMetricsTest, BackpressureShowsAsProducerBlockedTime) {
+  Pipeline pipeline;
+  std::vector<int> input(256);
+  std::iota(input.begin(), input.end(), 0);
+  Flow<int>::FromVector(&pipeline, input, 2, "src")
+      .Sink([](const int&) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+  pipeline.Run();
+  auto report = pipeline.Report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_GT(report[0].producer_blocked_ns, 0u);  // slow consumer visible
+}
+
+// -------------------------------------- Pipeline: keyed tumbling windows
+
+TEST(PipelineWindowTest, KeyedTumblingWindowAggregatesAndCountsLate) {
+  using Element = std::pair<uint64_t, TimeMs>;
+  Pipeline pipeline;
+  std::vector<Element> input = {
+      {1, 100}, {2, 500}, {1, 900},  {1, 1100},
+      {2, 1500}, {1, 2100}, {1, 50},  // last one: too late for key 1
+  };
+  using Result = std::pair<uint64_t, TumblingWindower<Element, int>::WindowResult>;
+  std::vector<Result> output;
+  Flow<Element>::FromVector(&pipeline, input)
+      .KeyedTumblingWindow<int>(
+          [](const Element& e) { return e.first; },
+          [](const Element& e) { return e.second; },
+          /*window_ms=*/1000, /*allowed_lateness_ms=*/0,
+          [](int& acc, const Element&, TimeMs) { ++acc; }, 1024, "win1s")
+      .CollectInto(&output);
+  pipeline.Run();
+
+  // Per-key window counts: key 1 -> [0,1000)=2, [1000,2000)=1, [2000,3000)=1;
+  // key 2 -> [0,1000)=1, [1000,2000)=1. The (1,50) element is late-dropped.
+  std::map<std::pair<uint64_t, TimeMs>, int> counts;
+  for (const auto& [key, wr] : output) {
+    counts[{key, wr.window_start}] += wr.value;
+  }
+  EXPECT_EQ(counts.size(), 5u);
+  EXPECT_EQ((counts[{1, 0}]), 2);
+  EXPECT_EQ((counts[{1, 1000}]), 1);
+  EXPECT_EQ((counts[{1, 2000}]), 1);
+  EXPECT_EQ((counts[{2, 0}]), 1);
+  EXPECT_EQ((counts[{2, 1000}]), 1);
+
+  // The drop is wired into the stage's metrics.
+  auto report = pipeline.Report();
+  uint64_t late = 0;
+  for (const auto& m : report) {
+    if (m.stage == "win1s") late = m.late_dropped;
+  }
+  EXPECT_EQ(late, 1u);
+}
+
 // ---------------------------------------------------------------- Window
 
 TEST(WindowTest, TumblingAssignsByEventTime) {
@@ -365,6 +688,51 @@ TEST(WindowTest, TooLateElementsDropped) {
   auto rest = w.Close();
   ASSERT_EQ(rest.size(), 1u);  // only [2000, 3000) with the value 2
   EXPECT_EQ(rest[0].value, 2);
+}
+
+TEST(WindowTest, HugeLatenessDoesNotUnderflowWatermark) {
+  // Regression: watermark = max_event_time - lateness used to underflow
+  // TimeMs for large lateness, wrapping to a huge positive watermark that
+  // silently dropped every subsequent element.
+  TumblingWindower<int, int> w(
+      1000, std::numeric_limits<TimeMs>::max(),
+      [](int& acc, const int& v, TimeMs) { acc += v; });
+  EXPECT_TRUE(w.Add(1, 0).empty());
+  EXPECT_TRUE(w.Add(2, 500).empty());   // must NOT be late-dropped
+  EXPECT_TRUE(w.Add(3, 1500).empty());  // lateness holds everything open
+  EXPECT_EQ(w.late_dropped(), 0u);
+  // Without wrapping, the watermark stays far in the past (no drops).
+  EXPECT_LT(w.watermark(), 0);
+  auto rest = w.Close();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].value, 3);  // [0, 1000)
+  EXPECT_EQ(rest[1].value, 3);  // [1000, 2000)
+}
+
+TEST(WindowTest, NegativeEventTimesWithLatenessStayClamped) {
+  TumblingWindower<int, int> w(
+      1000, 1'000'000'000'000,
+      [](int& acc, const int& v, TimeMs) { acc += v; });
+  // Negative event times with lateness exceeding their distance to the
+  // bottom of the TimeMs range: max_event_time - lateness would wrap
+  // without the clamp.
+  const TimeMs low = std::numeric_limits<TimeMs>::min() + 500'000'000'000;
+  EXPECT_TRUE(w.Add(1, low).empty());
+  EXPECT_TRUE(w.Add(2, low + 5).empty());
+  EXPECT_EQ(w.late_dropped(), 0u);
+  EXPECT_EQ(w.watermark(), std::numeric_limits<TimeMs>::min());
+  auto rest = w.Close();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].value, 3);
+}
+
+TEST(WindowTest, NegativeLatenessTreatedAsZero) {
+  TumblingWindower<int, int> w(
+      1000, -500, [](int& acc, const int& v, TimeMs) { acc += v; });
+  w.Add(1, 100);
+  auto closed = w.Add(2, 1100);  // watermark 1100 (not 1600)
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].value, 1);
 }
 
 TEST(WindowTest, MultipleWindowsCloseInOrder) {
