@@ -9,13 +9,17 @@
 
 #include "cep/automaton.h"
 #include "cep/pattern.h"
+#include "common/crc32c.h"
 #include "common/rng.h"
+#include "common/varint.h"
 #include "geom/geo.h"
 #include "geom/grid.h"
 #include "geom/stcell.h"
+#include "mlog/codec.h"
 #include "rdf/dictionary.h"
 #include "stream/channel.h"
 #include "stream/pipeline.h"
+#include "stream/record.h"
 #include "synopses/critical_points.h"
 
 namespace tcmf {
@@ -124,6 +128,82 @@ void BM_ChannelPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ChannelPushPop);
+
+// A record shaped like a cleaned AIS position report — what the mlog
+// durable log frames on every broker hop.
+stream::Record MakeAisRecord() {
+  stream::Record r;
+  r.set_event_time(1700000000000);
+  r.Set("mmsi", static_cast<int64_t>(227006760));
+  r.Set("lon", 2.3488);
+  r.Set("lat", 48.8534);
+  r.Set("speed_kn", 12.7);
+  r.Set("heading", 231.0);
+  r.Set("status", std::string("under_way"));
+  return r;
+}
+
+void BM_MlogEncodeRecord(benchmark::State& state) {
+  const stream::Record record = MakeAisRecord();
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    benchmark::DoNotOptimize(mlog::AppendEntry(&buf, record));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_MlogEncodeRecord);
+
+void BM_MlogDecodeRecord(benchmark::State& state) {
+  std::string buf;
+  mlog::AppendEntry(&buf, MakeAisRecord());
+  for (auto _ : state) {
+    mlog::EntryView view;
+    bool ok = mlog::ParseEntry(buf.data(), buf.data() + buf.size(), &view);
+    stream::Record record;
+    ok = ok && mlog::DecodeRecordPayload(view.payload, &record);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(record);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_MlogDecodeRecord);
+
+void BM_Crc32c(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  std::string data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_Varint64RoundTrip(benchmark::State& state) {
+  const uint64_t kValues[] = {3, 300, 70000, 1ull << 40};
+  std::string buf;
+  size_t i = 0;
+  for (auto _ : state) {
+    buf.clear();
+    AppendVarint64(&buf, kValues[i++ & 3]);
+    uint64_t back = 0;
+    benchmark::DoNotOptimize(
+        ParseVarint64(buf.data(), buf.data() + buf.size(), &back));
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Varint64RoundTrip);
 
 void BM_DfaStep(benchmark::State& state) {
   using namespace cep;

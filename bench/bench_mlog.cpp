@@ -1,0 +1,196 @@
+// Durable log microbenchmark: append and replay throughput of the mlog
+// Kafka-substitute as a function of fsync policy and segment size. The
+// paper's architecture leans on a durable broker between every pair of
+// components (Section 3); this quantifies what the single-node
+// substitution costs — and shows that `never`/`per_batch` policies keep
+// the log far faster than any realistic AIS/ADS-B ingest rate, while
+// `per_append` pays the full fdatasync-per-record price.
+//
+// Emits a human-readable table on stdout and machine-readable rows to
+// BENCH_mlog.json in the working directory.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "mlog/log.h"
+#include "stream/record.h"
+
+using namespace tcmf;
+
+namespace {
+
+// A record shaped like a cleaned AIS position report — the dominant
+// payload every datAcron component exchanges through the broker.
+stream::Record MakeAisRecord(Rng& rng, uint64_t seq) {
+  stream::Record r;
+  r.set_event_time(static_cast<TimeMs>(seq * 1000));
+  r.Set("mmsi", static_cast<int64_t>(200000000 + seq % 5000));
+  r.Set("lon", rng.Uniform(-6.0, 10.0));
+  r.Set("lat", rng.Uniform(35.0, 44.0));
+  r.Set("speed_kn", rng.Uniform(0.0, 25.0));
+  r.Set("heading", rng.Uniform(0.0, 360.0));
+  r.Set("status", std::string("under_way"));
+  return r;
+}
+
+struct RunResult {
+  mlog::FsyncPolicy policy;
+  size_t segment_bytes;
+  size_t records;
+  size_t batch_size;
+  double append_s;
+  double replay_s;
+  uint64_t bytes;
+  uint64_t fsyncs;
+  size_t segments;
+
+  double AppendRecsPerS() const { return records / append_s; }
+  double AppendMbPerS() const { return bytes / append_s / 1e6; }
+  double ReplayRecsPerS() const { return records / replay_s; }
+  double ReplayMbPerS() const { return bytes / replay_s / 1e6; }
+};
+
+RunResult RunOne(mlog::FsyncPolicy policy, size_t segment_bytes,
+                 size_t records, size_t batch_size) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      StrFormat("bench_mlog_logs/%s_%zu", mlog::FsyncPolicyName(policy),
+                segment_bytes);
+  fs::remove_all(dir);
+
+  mlog::LogOptions options;
+  options.dir = dir;
+  options.segment_bytes = segment_bytes;
+  options.fsync_policy = policy;
+  auto log_or = mlog::Log::Open(options);
+  if (!log_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 log_or.status().message().c_str());
+    std::exit(1);
+  }
+  auto log = std::move(log_or).value();
+
+  Rng rng(7);
+  std::vector<stream::Record> batch;
+  batch.reserve(batch_size);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < records;) {
+    batch.clear();
+    for (size_t j = 0; j < batch_size && i < records; ++j, ++i) {
+      batch.push_back(MakeAisRecord(rng, i));
+    }
+    if (!log->AppendBatch(batch).ok()) {
+      std::fprintf(stderr, "append failed\n");
+      std::exit(1);
+    }
+  }
+  double append_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  // Replay everything through a fresh cursor.
+  auto cursor = log->NewCursor();
+  cursor->Seek(0);
+  size_t replayed = 0;
+  t0 = std::chrono::steady_clock::now();
+  while (auto rec = cursor->Next()) ++replayed;
+  double replay_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (replayed != records) {
+    std::fprintf(stderr, "replay count mismatch: %zu != %zu\n", replayed,
+                 records);
+    std::exit(1);
+  }
+
+  RunResult result;
+  result.policy = policy;
+  result.segment_bytes = segment_bytes;
+  result.records = records;
+  result.batch_size = batch_size;
+  result.append_s = append_s;
+  result.replay_s = replay_s;
+  const mlog::LogMetrics metrics = log->metrics();
+  result.bytes = metrics.appended_bytes;
+  result.fsyncs = metrics.fsyncs;
+  result.segments = log->segment_count();
+
+  log.reset();
+  fs::remove_all(dir);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mlog durable log: append/replay throughput vs fsync policy "
+              "and segment size\n\n");
+  std::printf("%-11s %10s %8s | %12s %10s | %12s %10s | %7s %5s\n", "fsync",
+              "segment", "records", "append rec/s", "MB/s", "replay rec/s",
+              "MB/s", "fsyncs", "segs");
+
+  struct Config {
+    mlog::FsyncPolicy policy;
+    size_t records;
+  };
+  const Config kConfigs[] = {
+      {mlog::FsyncPolicy::kNever, 200000},
+      {mlog::FsyncPolicy::kPerBatch, 100000},
+      {mlog::FsyncPolicy::kPerAppend, 2000},  // fdatasync per record: slow
+  };
+  const size_t kSegmentSizes[] = {1u << 20, 16u << 20};  // 1 MiB, 16 MiB
+  const size_t kBatch = 256;
+
+  std::vector<RunResult> results;
+  for (const Config& config : kConfigs) {
+    for (size_t segment_bytes : kSegmentSizes) {
+      RunResult r = RunOne(config.policy, segment_bytes, config.records,
+                           kBatch);
+      results.push_back(r);
+      std::printf("%-11s %9zuK %8zu | %12.0f %10.1f | %12.0f %10.1f | %7llu "
+                  "%5zu\n",
+                  mlog::FsyncPolicyName(r.policy), r.segment_bytes >> 10,
+                  r.records, r.AppendRecsPerS(), r.AppendMbPerS(),
+                  r.ReplayRecsPerS(), r.ReplayMbPerS(),
+                  static_cast<unsigned long long>(r.fsyncs), r.segments);
+    }
+  }
+
+  // Machine-readable output alongside the table.
+  if (std::FILE* f = std::fopen("BENCH_mlog.json", "w")) {
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::fprintf(
+          f,
+          "  {\"fsync_policy\": \"%s\", \"segment_bytes\": %zu, "
+          "\"records\": %zu, \"batch_size\": %zu, "
+          "\"append_records_per_s\": %.0f, \"append_mb_per_s\": %.2f, "
+          "\"replay_records_per_s\": %.0f, \"replay_mb_per_s\": %.2f, "
+          "\"appended_bytes\": %llu, \"fsyncs\": %llu, \"segments\": %zu}%s\n",
+          mlog::FsyncPolicyName(r.policy), r.segment_bytes, r.records,
+          r.batch_size, r.AppendRecsPerS(), r.AppendMbPerS(),
+          r.ReplayRecsPerS(), r.ReplayMbPerS(),
+          static_cast<unsigned long long>(r.bytes),
+          static_cast<unsigned long long>(r.fsyncs), r.segments,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_mlog.json\n");
+  }
+
+  std::printf(
+      "\ntakeaway: per_batch durability costs one fdatasync per %zu-record\n"
+      "batch and sustains orders of magnitude more throughput than the\n"
+      "~1 msg/s/vessel AIS reporting rate the paper's broker absorbs;\n"
+      "per_append is the upper bound on durability and the floor on speed.\n",
+      kBatch);
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef TCMF_COMMON_CRC32C_H_
+#define TCMF_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcmf {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected form) — the
+/// checksum every modern storage format uses for per-entry integrity
+/// (LevelDB/RocksDB blocks, Kafka record batches, ext4 metadata).
+/// Software slice-by-8 implementation, ~1-2 GB/s; no SSE4.2 dependency.
+
+/// Extends `crc` (a previous Crc32c result) with `n` more bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32C of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Masks a CRC before storing it alongside the data it covers. Computing
+/// a CRC over bytes that themselves contain CRCs yields pathological
+/// results; the rotate-and-add mask (same constant as LevelDB) avoids
+/// that while staying invertible.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  static constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Crc32cMask.
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  static constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_CRC32C_H_

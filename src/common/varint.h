@@ -1,0 +1,106 @@
+#ifndef TCMF_COMMON_VARINT_H_
+#define TCMF_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace tcmf {
+
+/// Binary-codec primitives (LevelDB idiom): LEB128 varints, ZigZag mapping
+/// for signed integers, and fixed-width little-endian integers. Parsers
+/// take a [p, limit) byte range and return the position past the consumed
+/// bytes, or nullptr on truncated/malformed input — they never read past
+/// `limit`, which is what makes torn-tail log recovery safe.
+
+/// Appends `v` to `*out` as a base-128 varint (1-10 bytes).
+inline void AppendVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Number of bytes AppendVarint64 would write for `v`.
+inline size_t VarintLength64(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Parses a varint from [p, limit). Returns the position after the varint
+/// and stores the value in `*out`; nullptr when the range is exhausted
+/// before the terminating byte (torn input) or the varint overflows 64
+/// bits (corrupt input).
+inline const char* ParseVarint64(const char* p, const char* limit,
+                                 uint64_t* out) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *out = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+/// ZigZag maps signed integers to unsigned so small-magnitude negatives
+/// stay short as varints: 0,-1,1,-2,... -> 0,1,2,3,...
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Fixed-width little-endian 32-bit append/parse (CRC fields).
+inline void AppendFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+/// Decodes 4 LE bytes at `p` (caller guarantees availability).
+inline uint32_t DecodeFixed32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+/// Fixed-width little-endian 64-bit append/parse (double payloads, file
+/// headers). Doubles round-trip bit-exactly (NaN payloads, -0.0, inf).
+inline void AppendFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 8);
+}
+
+/// Decodes 8 LE bytes at `p` (caller guarantees availability).
+inline uint64_t DecodeFixed64(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(u[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_VARINT_H_

@@ -1,0 +1,168 @@
+#include "mlog/codec.h"
+
+#include <cstring>
+#include <variant>
+
+#include "common/crc32c.h"
+#include "common/varint.h"
+
+namespace tcmf::mlog {
+
+namespace {
+
+/// Hard cap on a single field-name/string length (1 GiB) — rejects the
+/// absurd lengths a corrupted varint can decode to before they turn into
+/// an allocation.
+constexpr uint64_t kMaxBlobLen = 1ull << 30;
+
+void AppendValue(const stream::Value& v, std::string* out) {
+  struct Visitor {
+    std::string* out;
+    void operator()(std::monostate) const {
+      out->push_back(static_cast<char>(kTagNull));
+    }
+    void operator()(int64_t x) const {
+      out->push_back(static_cast<char>(kTagInt));
+      AppendVarint64(out, ZigZagEncode64(x));
+    }
+    void operator()(double x) const {
+      out->push_back(static_cast<char>(kTagDouble));
+      uint64_t bits;
+      std::memcpy(&bits, &x, sizeof(bits));
+      AppendFixed64(out, bits);
+    }
+    void operator()(const std::string& x) const {
+      out->push_back(static_cast<char>(kTagString));
+      AppendVarint64(out, x.size());
+      out->append(x);
+    }
+    void operator()(bool x) const {
+      out->push_back(static_cast<char>(kTagBool));
+      out->push_back(x ? 1 : 0);
+    }
+  };
+  std::visit(Visitor{out}, v);
+}
+
+/// Parses one tagged value; returns position past it or nullptr.
+const char* ParseValue(const char* p, const char* limit, stream::Value* v) {
+  if (p >= limit) return nullptr;
+  const uint8_t tag = static_cast<uint8_t>(*p++);
+  switch (tag) {
+    case kTagNull:
+      *v = std::monostate{};
+      return p;
+    case kTagInt: {
+      uint64_t zz;
+      p = ParseVarint64(p, limit, &zz);
+      if (p == nullptr) return nullptr;
+      *v = ZigZagDecode64(zz);
+      return p;
+    }
+    case kTagDouble: {
+      if (limit - p < 8) return nullptr;
+      const uint64_t bits = DecodeFixed64(p);
+      double x;
+      std::memcpy(&x, &bits, sizeof(x));
+      *v = x;
+      return p + 8;
+    }
+    case kTagString: {
+      uint64_t len;
+      p = ParseVarint64(p, limit, &len);
+      if (p == nullptr || len > kMaxBlobLen ||
+          static_cast<uint64_t>(limit - p) < len) {
+        return nullptr;
+      }
+      *v = std::string(p, len);
+      return p + len;
+    }
+    case kTagBool: {
+      if (p >= limit) return nullptr;
+      const char b = *p++;
+      if (b != 0 && b != 1) return nullptr;
+      *v = (b == 1);
+      return p;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+size_t EncodeRecordPayload(const stream::Record& r, std::string* out) {
+  const size_t start = out->size();
+  AppendVarint64(out, ZigZagEncode64(r.event_time()));
+  AppendVarint64(out, r.size());
+  for (const auto& [name, value] : r.fields()) {
+    AppendVarint64(out, name.size());
+    out->append(name);
+    AppendValue(value, out);
+  }
+  return out->size() - start;
+}
+
+bool DecodeRecordPayload(std::string_view payload, stream::Record* rec) {
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  uint64_t zz;
+  p = ParseVarint64(p, limit, &zz);
+  if (p == nullptr) return false;
+  stream::Record out;
+  out.set_event_time(ZigZagDecode64(zz));
+  uint64_t field_count;
+  p = ParseVarint64(p, limit, &field_count);
+  if (p == nullptr) return false;
+  for (uint64_t i = 0; i < field_count; ++i) {
+    uint64_t name_len;
+    p = ParseVarint64(p, limit, &name_len);
+    if (p == nullptr || name_len > kMaxBlobLen ||
+        static_cast<uint64_t>(limit - p) < name_len) {
+      return false;
+    }
+    std::string name(p, name_len);
+    p += name_len;
+    stream::Value value;
+    p = ParseValue(p, limit, &value);
+    if (p == nullptr) return false;
+    out.Set(std::move(name), std::move(value));
+  }
+  if (p != limit) return false;  // trailing garbage
+  *rec = std::move(out);
+  return true;
+}
+
+bool DecodePayloadEventTime(std::string_view payload, TimeMs* event_time) {
+  uint64_t zz;
+  const char* p =
+      ParseVarint64(payload.data(), payload.data() + payload.size(), &zz);
+  if (p == nullptr) return false;
+  *event_time = ZigZagDecode64(zz);
+  return true;
+}
+
+size_t AppendEntry(std::string* out, const stream::Record& r) {
+  const size_t start = out->size();
+  std::string payload;
+  EncodeRecordPayload(r, &payload);
+  AppendVarint64(out, payload.size());
+  AppendFixed32(out, Crc32cMask(Crc32c(payload.data(), payload.size())));
+  out->append(payload);
+  return out->size() - start;
+}
+
+bool ParseEntry(const char* p, const char* limit, EntryView* out) {
+  uint64_t len;
+  const char* q = ParseVarint64(p, limit, &len);
+  if (q == nullptr || len > kMaxBlobLen) return false;
+  if (static_cast<uint64_t>(limit - q) < 4 + len) return false;
+  const uint32_t stored = DecodeFixed32(q);
+  q += 4;
+  if (Crc32cMask(Crc32c(q, len)) != stored) return false;
+  out->payload = std::string_view(q, len);
+  out->next = q + len;
+  return true;
+}
+
+}  // namespace tcmf::mlog

@@ -1,0 +1,74 @@
+#ifndef TCMF_MLOG_CODEC_H_
+#define TCMF_MLOG_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/position.h"
+#include "stream/record.h"
+
+namespace tcmf::mlog {
+
+/// Binary serialization for stream::Record — the wire/disk format the
+/// paper's architecture delegates to Kafka's record batches. Two layers:
+///
+/// **Payload** (one Record, self-delimiting):
+///   varint(zigzag(event_time_ms))
+///   varint(field_count)
+///   field_count times:
+///     varint(name_len) name_bytes
+///     tag_byte  value_bytes
+/// with tags
+///   0 null (no bytes)             1 int64  varint(zigzag(v))
+///   2 double fixed64-LE bit cast  3 string varint(len) bytes
+///   4 bool   1 byte (0/1)
+/// Doubles are bit-cast, so NaN payloads, infinities and -0.0 round-trip
+/// exactly; DecodeRecordPayload requires the payload to be consumed
+/// exactly, so every proper prefix of a valid payload is rejected.
+///
+/// **Entry** (one framed payload, the unit the segmented log appends):
+///   varint(payload_len)  fixed32-LE masked_crc32c(payload)  payload
+/// The CRC is masked (common/crc32c.h) and covers the payload bytes; the
+/// length varint lets a recovery scan skip a payload without decoding it,
+/// and the parse-never-reads-past-limit property of both layers is what
+/// makes torn-tail truncation detection exact.
+
+/// Value tag bytes (exposed for tests).
+inline constexpr uint8_t kTagNull = 0;
+inline constexpr uint8_t kTagInt = 1;
+inline constexpr uint8_t kTagDouble = 2;
+inline constexpr uint8_t kTagString = 3;
+inline constexpr uint8_t kTagBool = 4;
+
+/// Appends the payload encoding of `r` to `*out`. Returns the number of
+/// bytes appended.
+size_t EncodeRecordPayload(const stream::Record& r, std::string* out);
+
+/// Decodes a full payload into `*rec` (replacing its contents). Returns
+/// false on any truncation, bad tag, overlong length, or trailing bytes.
+bool DecodeRecordPayload(std::string_view payload, stream::Record* rec);
+
+/// Decodes only the event time (the payload's first varint) — the cheap
+/// probe time-based log seeks use. Returns false on truncated input.
+bool DecodePayloadEventTime(std::string_view payload, TimeMs* event_time);
+
+/// Appends a framed entry (length + masked CRC + payload) for `r` to
+/// `*out`. Returns the number of bytes appended (the full frame size).
+size_t AppendEntry(std::string* out, const stream::Record& r);
+
+/// Result of scanning one entry out of a byte range.
+struct EntryView {
+  std::string_view payload;  ///< the CRC-verified payload bytes
+  const char* next = nullptr;  ///< first byte after the entry
+};
+
+/// Parses and CRC-verifies one framed entry from [p, limit). Returns true
+/// and fills `*out` on success; false when the range holds a torn,
+/// truncated or corrupt entry (callers treat every failure identically:
+/// the log is intact only up to `p`).
+bool ParseEntry(const char* p, const char* limit, EntryView* out);
+
+}  // namespace tcmf::mlog
+
+#endif  // TCMF_MLOG_CODEC_H_

@@ -1,0 +1,236 @@
+#ifndef TCMF_MLOG_LOG_H_
+#define TCMF_MLOG_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/position.h"
+#include "common/status.h"
+#include "stream/metrics.h"
+#include "stream/record.h"
+
+namespace tcmf::mlog {
+
+class Cursor;
+
+/// When appends are forced to stable storage. The classic
+/// durability/throughput dial (Kafka's flush.messages, RocksDB's WAL
+/// sync): kNever leaves flushing to the OS page cache, kPerBatch issues
+/// one fdatasync per Append/AppendBatch call, kPerAppend syncs after
+/// every single record.
+enum class FsyncPolicy { kNever, kPerBatch, kPerAppend };
+
+/// "never" / "per_batch" / "per_append".
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Configuration of a Log.
+struct LogOptions {
+  /// Directory holding the segment files (created if missing). One Log
+  /// owns one directory.
+  std::string dir;
+  /// Segment roll threshold: a segment is sealed once appending the next
+  /// entry would push its size past this (a segment always holds at least
+  /// one record, so oversized records still append).
+  size_t segment_bytes = 64u << 20;
+  FsyncPolicy fsync_policy = FsyncPolicy::kNever;
+  /// Retention limits, applied at segment roll, oldest-first; the active
+  /// segment is never deleted. 0 means unlimited.
+  size_t retention_segments = 0;
+  uint64_t retention_bytes = 0;
+  /// Sparse offset→byte-position index granularity: one index entry per
+  /// this many appended bytes (per segment).
+  size_t index_interval_bytes = 4096;
+};
+
+/// Counters for the whole log (appends, reads, recovery, segment churn).
+struct LogMetrics {
+  uint64_t appended_records = 0;
+  uint64_t appended_bytes = 0;   ///< framed bytes written to segment files
+  uint64_t fsyncs = 0;
+  uint64_t read_records = 0;     ///< records handed out by cursors
+  uint64_t read_bytes = 0;
+  uint64_t segments_created = 0;
+  uint64_t segments_deleted = 0;
+  uint64_t recovered_records = 0;  ///< intact tail entries found by Open()
+  uint64_t truncated_bytes = 0;    ///< torn/corrupt tail bytes cut by Open()
+  std::string ToJson() const;
+};
+
+/// One record handed out by a cursor: its log offset plus the decoded
+/// record (replayed records compare == to the appended originals).
+struct ReadRecord {
+  uint64_t offset = 0;
+  stream::Record record;
+};
+
+/// Append-only, segmented, CRC-checked record log on local disk — the
+/// band-2 stand-in for a Kafka topic-partition (DESIGN.md
+/// §Substitutions). Records get dense monotonic offsets; data lives in
+/// numbered segment files (`<base_offset>.mseg`, 16-byte header + framed
+/// entries, see codec.h); Open() scans the tail segment and truncates
+/// torn or CRC-failing entries so a crash mid-append never poisons the
+/// log; any number of independent Cursors replay the stream by offset or
+/// event-time lower bound, concurrently with a writer.
+///
+/// Thread safety: one writer thread (Append* / Sync) plus any number of
+/// cursor threads. All mutating calls are serialized on an internal
+/// mutex; cursors read committed bytes lock-free via per-segment atomics
+/// and only take the mutex at segment boundaries.
+class Log {
+ public:
+  /// Opens (creating the directory and first segment if needed) and runs
+  /// tail recovery. On success the log is ready for appends and reads.
+  static Result<std::unique_ptr<Log>> Open(const LogOptions& options);
+
+  ~Log();
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  /// Appends one record; returns its offset.
+  Result<uint64_t> Append(const stream::Record& record);
+
+  /// Appends records contiguously; returns the offset of the first (the
+  /// rest follow densely). One fsync per call under kPerBatch.
+  Result<uint64_t> AppendBatch(const std::vector<stream::Record>& records);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// First retained offset (advances when retention deletes segments).
+  uint64_t start_offset() const;
+  /// Offset the next append will get (== total records ever appended,
+  /// across reopens, minus nothing: offsets are never reused).
+  uint64_t next_offset() const;
+  /// Number of live segment files.
+  size_t segment_count() const;
+  /// Total committed bytes across live segments.
+  uint64_t size_bytes() const;
+
+  const LogOptions& options() const { return options_; }
+
+  LogMetrics metrics() const;
+
+  /// The log's counters mapped onto the dataflow StageMetrics shape
+  /// (records_in = appends, records_out = cursor reads, plus the
+  /// bytes/io_syncs/recovered/truncated_bytes durable-stage fields) —
+  /// what LogSink/LogSource register with a Pipeline.
+  stream::StageMetrics StageMetricsSnapshot() const;
+
+  /// New independent cursor positioned at start_offset(). The Log must
+  /// outlive it.
+  std::unique_ptr<Cursor> NewCursor();
+
+ private:
+  friend class Cursor;
+  struct Segment;
+
+  explicit Log(LogOptions options);
+
+  /// Scans the directory, validates segment headers, recovers the tail.
+  Status OpenDir();
+  /// Creates segment file with the given base offset; appends to
+  /// segments_. Requires mutex_.
+  Status CreateSegmentLocked(uint64_t base_offset);
+  /// Seals the active segment and opens a fresh one. Requires mutex_.
+  Status RollLocked();
+  /// Deletes oldest segments past the retention limits. Requires mutex_.
+  void ApplyRetentionLocked();
+  /// Shared append path. `sync_each` forces an fsync per record.
+  Result<uint64_t> AppendEncoded(const std::string& buf, uint64_t count,
+                                 const std::vector<size_t>& entry_ends);
+
+  /// Segment containing `offset`, or the first one after it (retention
+  /// gap), or nullptr when offset >= next_offset. Requires mutex_.
+  std::shared_ptr<Segment> SegmentForOffsetLocked(uint64_t offset) const;
+  /// First segment with base_offset > `base`, nullptr if none (cursor
+  /// advance).
+  std::shared_ptr<Segment> SegmentAfter(uint64_t base) const;
+
+  const LogOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Segment>> segments_;  // oldest → active
+
+  // Metrics: atomics so cursor threads can bump read counters without
+  // the writer mutex.
+  std::atomic<uint64_t> appended_records_{0};
+  std::atomic<uint64_t> appended_bytes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> read_records_{0};
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> segments_created_{0};
+  std::atomic<uint64_t> segments_deleted_{0};
+  uint64_t recovered_records_ = 0;  // written once, by OpenDir
+  uint64_t truncated_bytes_ = 0;    // written once, by OpenDir
+};
+
+/// A read position in a Log: an independent consumer (Kafka consumer
+/// analogue — the log itself tracks nothing about its readers). Cursors
+/// are cheap; create one per consumer. Not thread-safe individually;
+/// different cursors may be used from different threads concurrently
+/// with the writer.
+class Cursor {
+ public:
+  ~Cursor();
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  /// Positions at `offset`, clamped into [start_offset, next_offset] —
+  /// seeking below the retention horizon lands at the oldest retained
+  /// record, like a Kafka consumer resetting to "earliest".
+  Status Seek(uint64_t offset);
+
+  /// Positions at the first record (scanning forward from the log start)
+  /// whose event_time is >= `t`. Linear in log size; only entry headers
+  /// and the leading event-time varint are decoded. If no record
+  /// qualifies the cursor lands at next_offset (end).
+  Status SeekToTime(TimeMs t);
+
+  /// Next committed record, or nullopt when the cursor has caught up with
+  /// the writer (call again later — tailing is legal) or a sticky error
+  /// occurred (check status()). Never returns partially-written data.
+  std::optional<ReadRecord> Next();
+
+  /// Offset of the record Next() would return.
+  uint64_t offset() const { return next_offset_; }
+
+  /// OK unless the cursor hit a corrupt mid-log entry, after which the
+  /// cursor refuses to advance (torn *tails* are handled by Log::Open;
+  /// mid-log damage is surfaced, not skipped).
+  const Status& status() const { return status_; }
+
+ private:
+  friend class Log;
+  explicit Cursor(Log* log);
+
+  /// Points seg_/byte_pos_ at `offset` (must be within the log). Scans
+  /// from the nearest sparse-index entry at or before the target.
+  Status PositionAt(uint64_t offset);
+  /// Peeks the next committed entry without consuming it, advancing
+  /// across sealed segment boundaries. Returns 1 with `*payload` /
+  /// `*frame_size` filled, 0 when caught up with the writer, -1 on a
+  /// (sticky) error.
+  int ReadFrame(std::string_view* payload, uint64_t* frame_size);
+  /// Returns a pointer to `n` bytes at absolute file position `pos` of
+  /// the current segment, reading through an internal chunk buffer.
+  const char* View(uint64_t pos, uint64_t n);
+
+  Log* log_;
+  std::shared_ptr<Log::Segment> seg_;
+  uint64_t byte_pos_ = 0;      ///< next unread byte within seg_
+  uint64_t next_offset_ = 0;   ///< global offset of the next record
+  Status status_;
+
+  std::string buf_;            ///< read-ahead chunk
+  uint64_t buf_pos_ = 0;       ///< file position of buf_[0]
+};
+
+}  // namespace tcmf::mlog
+
+#endif  // TCMF_MLOG_LOG_H_

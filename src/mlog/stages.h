@@ -1,0 +1,97 @@
+#ifndef TCMF_MLOG_STAGES_H_
+#define TCMF_MLOG_STAGES_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mlog/log.h"
+#include "stream/pipeline.h"
+#include "stream/record.h"
+
+namespace tcmf::mlog {
+
+/// Dataflow stage helpers gluing a durable Log into stream::Pipeline
+/// graphs: LogSink persists any Flow<Record>, LogSource replays one —
+/// together they give every pipeline the capture-then-replay semantics
+/// the paper gets from Kafka topics. Replayed records compare == to the
+/// appended originals (fields, order, event time).
+
+/// Terminal stage: drains `flow` into `*log` using batched appends of
+/// `batch_size` records (one fsync per batch under
+/// FsyncPolicy::kPerBatch). Registers a `name` stage with the pipeline
+/// exposing the log's counters (bytes written, fsyncs, recovery stats).
+/// On an append error the stage cancels upstream (CloseAndDrain) so the
+/// pipeline shuts down instead of losing data silently. The log must
+/// outlive the pipeline run.
+inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
+                    size_t batch_size = 256, std::string name = "mlog.sink") {
+  stream::Pipeline* pipeline = flow.pipeline();
+  pipeline->RegisterStage(std::move(name),
+                          [log] { return log->StageMetricsSnapshot(); });
+  auto in = flow.channel();
+  if (batch_size == 0) batch_size = 1;
+  pipeline->AddThread([in, log, batch_size] {
+    std::vector<stream::Record> batch;
+    batch.reserve(batch_size);
+    while (auto record = in->Pop()) {
+      batch.push_back(std::move(*record));
+      if (batch.size() >= batch_size) {
+        if (!log->AppendBatch(batch).ok()) {
+          in->CloseAndDrain();  // propagate failure upstream
+          return;
+        }
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) log->AppendBatch(batch);
+  });
+}
+
+/// Replay configuration for LogSource.
+struct LogSourceOptions {
+  /// First offset to replay (clamped to the retention horizon). Ignored
+  /// when `start_time` is set.
+  uint64_t start_offset = 0;
+  /// Replay from the first record with event_time >= start_time.
+  std::optional<TimeMs> start_time;
+  /// One past the last offset to replay. Defaults to the log's
+  /// next_offset() at construction — i.e. "replay everything captured so
+  /// far, then end the stream".
+  std::optional<uint64_t> end_offset;
+  size_t capacity = 1024;
+  std::string name = "mlog.source";
+};
+
+/// Source stage: replays `[start, end)` of `*log` as a Flow<Record>.
+/// Each LogSource owns an independent cursor, so any number of consumers
+/// can replay the same log concurrently (multi-consumer fan-out). The
+/// log must outlive the pipeline run.
+inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
+                                              Log* log,
+                                              LogSourceOptions options = {}) {
+  std::shared_ptr<Cursor> cursor(log->NewCursor().release());
+  if (options.start_time.has_value()) {
+    cursor->SeekToTime(*options.start_time);
+  } else {
+    cursor->Seek(options.start_offset);
+  }
+  const uint64_t end = options.end_offset.value_or(log->next_offset());
+  pipeline->RegisterStage(options.name + ".log",
+                          [log] { return log->StageMetricsSnapshot(); });
+  return stream::Flow<stream::Record>::FromGenerator(
+      pipeline,
+      [cursor, end]() -> std::optional<stream::Record> {
+        if (cursor->offset() >= end) return std::nullopt;
+        std::optional<ReadRecord> next = cursor->Next();
+        if (!next.has_value()) return std::nullopt;  // caught up or error
+        return std::move(next->record);
+      },
+      options.capacity, options.name);
+}
+
+}  // namespace tcmf::mlog
+
+#endif  // TCMF_MLOG_STAGES_H_

@@ -24,6 +24,13 @@ struct StageMetrics {
   uint64_t dropped_on_cancel = 0;      ///< queued elements discarded by cancel
   uint64_t late_dropped = 0;           ///< too-late elements (windowed stages)
   bool cancelled = false;              ///< consumer cancelled this edge
+  // Durable-stage counters (mlog LogSink/LogSource; 0 for in-memory
+  // edges). Reported in ToJson(); the fixed-width table keeps its
+  // original columns.
+  uint64_t bytes = 0;            ///< bytes durably written by the stage
+  uint64_t io_syncs = 0;         ///< fsync/fdatasync calls issued
+  uint64_t recovered = 0;        ///< entries recovered by tail-scan on open
+  uint64_t truncated_bytes = 0;  ///< torn-tail bytes truncated on open
 
   /// Header line matching ToString()'s columns.
   static std::string TableHeader() {
@@ -55,14 +62,15 @@ struct StageMetrics {
 
   /// Single JSON object (no trailing newline).
   std::string ToJson() const {
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "{\"stage\":\"%s\",\"records_in\":%llu,\"records_out\":%llu,"
         "\"queue_high_watermark\":%llu,\"producer_blocked_ns\":%llu,"
         "\"consumer_blocked_ns\":%llu,\"push_rejected\":%llu,"
         "\"dropped_on_cancel\":%llu,\"late_dropped\":%llu,"
-        "\"cancelled\":%s}",
+        "\"cancelled\":%s,\"bytes\":%llu,\"io_syncs\":%llu,"
+        "\"recovered\":%llu,\"truncated_bytes\":%llu}",
         stage.c_str(), static_cast<unsigned long long>(records_in),
         static_cast<unsigned long long>(records_out),
         static_cast<unsigned long long>(queue_high_watermark),
@@ -71,7 +79,11 @@ struct StageMetrics {
         static_cast<unsigned long long>(push_rejected),
         static_cast<unsigned long long>(dropped_on_cancel),
         static_cast<unsigned long long>(late_dropped),
-        cancelled ? "true" : "false");
+        cancelled ? "true" : "false",
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(io_syncs),
+        static_cast<unsigned long long>(recovered),
+        static_cast<unsigned long long>(truncated_bytes));
     return buf;
   }
 };

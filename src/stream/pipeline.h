@@ -416,6 +416,11 @@ class Flow {
 
   std::shared_ptr<Channel<T>> channel() const { return channel_; }
 
+  /// The owning pipeline — lets external stage helpers (e.g. mlog's
+  /// LogSink) attach threads and metrics without threading an extra
+  /// Pipeline* through every call site.
+  Pipeline* pipeline() const { return pipeline_; }
+
  private:
   Pipeline* pipeline_;
   std::shared_ptr<Channel<T>> channel_;

@@ -1,5 +1,7 @@
 #include "stream/record.h"
 
+#include <cstring>
+
 #include "common/strings.h"
 
 namespace tcmf::stream {
@@ -13,6 +15,28 @@ std::string ValueToString(const Value& v) {
     std::string operator()(bool x) const { return x ? "true" : "false"; }
   };
   return std::visit(Visitor{}, v);
+}
+
+bool ValueEquals(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return false;
+  if (const double* x = std::get_if<double>(&a)) {
+    // Bit-pattern comparison: NaN == NaN, 0.0 != -0.0.
+    uint64_t xa, xb;
+    std::memcpy(&xa, x, sizeof(xa));
+    std::memcpy(&xb, std::get_if<double>(&b), sizeof(xb));
+    return xa == xb;
+  }
+  return a == b;
+}
+
+bool operator==(const Record& a, const Record& b) {
+  if (a.event_time_ != b.event_time_) return false;
+  if (a.fields_.size() != b.fields_.size()) return false;
+  for (size_t i = 0; i < a.fields_.size(); ++i) {
+    if (a.fields_[i].first != b.fields_[i].first) return false;
+    if (!ValueEquals(a.fields_[i].second, b.fields_[i].second)) return false;
+  }
+  return true;
 }
 
 void Record::Set(std::string name, Value value) {

@@ -20,6 +20,13 @@ using Value = std::variant<std::monostate, int64_t, double, std::string, bool>;
 /// Returns a printable form of a value ("" for null).
 std::string ValueToString(const Value& v);
 
+/// Representational equality for values. Identical to the variant's own
+/// operator== except that doubles compare by *bit pattern*: NaN equals an
+/// identically-encoded NaN and 0.0 differs from -0.0. This is the notion
+/// of equality codec round-trip and log replay-fidelity tests need —
+/// "the bytes that came back decode to exactly the value that went in".
+bool ValueEquals(const Value& a, const Value& b);
+
 /// A flat, schema-less record: ordered (field, value) pairs plus an event
 /// timestamp. Field lookup is linear — records are small (tens of fields).
 class Record {
@@ -50,6 +57,14 @@ class Record {
 
   /// "{a=1, b=x}" — for logs and tests.
   std::string ToString() const;
+
+  /// Representational equality: same event time and the same ordered
+  /// (name, value) sequence under ValueEquals (doubles bit-exact, so a
+  /// record survives encode→decode as `==` even with NaN fields).
+  friend bool operator==(const Record& a, const Record& b);
+  friend bool operator!=(const Record& a, const Record& b) {
+    return !(a == b);
+  }
 
  private:
   const Value* Find(const std::string& name) const;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -83,6 +84,42 @@ TEST(RecordTest, ValueToStringForms) {
   EXPECT_EQ(ValueToString(Value{static_cast<int64_t>(7)}), "7");
   EXPECT_EQ(ValueToString(Value{true}), "true");
   EXPECT_EQ(ValueToString(Value{std::string("s")}), "s");
+}
+
+TEST(RecordTest, EqualityComparesFieldsAndEventTime) {
+  Record a;
+  a.set_event_time(10);
+  a.Set("id", static_cast<int64_t>(1));
+  a.Set("name", std::string("alpha"));
+  Record b;
+  b.set_event_time(10);
+  b.Set("id", static_cast<int64_t>(1));
+  b.Set("name", std::string("alpha"));
+  EXPECT_EQ(a, b);
+
+  Record later = a;
+  later.set_event_time(11);
+  EXPECT_NE(a, later);
+
+  Record renamed = a;
+  renamed.Set("name", std::string("beta"));
+  EXPECT_NE(a, renamed);
+
+  Record extra = a;
+  extra.Set("flag", true);
+  EXPECT_NE(a, extra);
+}
+
+TEST(RecordTest, ValueEqualsIsRepresentational) {
+  // Bitwise comparison for doubles: NaN == NaN, but 0.0 != -0.0.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ValueEquals(Value{nan}, Value{nan}));
+  EXPECT_FALSE(ValueEquals(Value{0.0}, Value{-0.0}));
+  // Empty string and null are distinct alternatives.
+  EXPECT_FALSE(ValueEquals(Value{std::string()}, Value{std::monostate{}}));
+  EXPECT_TRUE(ValueEquals(Value{std::string()}, Value{std::string()}));
+  // Cross-type never compares equal, even when numerically identical.
+  EXPECT_FALSE(ValueEquals(Value{static_cast<int64_t>(1)}, Value{1.0}));
 }
 
 // --------------------------------------------------------------- Channel
