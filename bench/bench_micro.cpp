@@ -4,8 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <optional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "cep/automaton.h"
 #include "cep/pattern.h"
@@ -128,6 +134,26 @@ void BM_ChannelPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ChannelPushPop);
+
+// Single-thread PushBatch/PopBatch round trip: isolates the lock
+// amortization from the cross-thread handoff cost (the two-thread
+// version lives in the batched-transport comparison below).
+void BM_ChannelPushPopBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  stream::Channel<int> channel(2048);
+  std::vector<int> in(batch, 1);
+  std::vector<int> out;
+  out.reserve(batch);
+  for (auto _ : state) {
+    std::vector<int> staged = in;
+    channel.PushBatch(std::move(staged));
+    out.clear();
+    benchmark::DoNotOptimize(channel.PopBatch(&out, batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ChannelPushPopBatch)->Arg(8)->Arg(64)->Arg(1024);
 
 // A record shaped like a cleaned AIS position report — what the mlog
 // durable log frames on every broker hop.
@@ -258,14 +284,194 @@ void PrintPipelineStageReport() {
               pipeline.ReportJson().c_str());
 }
 
+// ===== Batched transport comparison (PR 3 acceptance rows) ==========
+//
+// Measures the cross-thread channel-transfer rate as a function of batch
+// size (batch 1 == the original record-at-a-time Push/Pop transport) and
+// the end-to-end source->map->filter->sink pipeline in three modes:
+// record-at-a-time, Batched(64), and fused+Batched(64). Emits a table on
+// stdout and machine-readable rows to BENCH_micro.json in the working
+// directory; tools/bench_check.py compares those rows against the
+// committed baseline in bench/baselines/.
+
+struct BenchRow {
+  std::string name;
+  size_t records;
+  double records_per_s;
+};
+
+// One producer thread feeding one consumer (the caller's thread) through
+// a capacity-1024 channel. batch<=1 uses Push/Pop; otherwise
+// PushBatch/PopBatch. This is the transport every pipeline edge pays.
+double MeasureChannelTransfer(size_t batch, size_t total) {
+  stream::Channel<int> channel(1024);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&channel, batch, total] {
+    if (batch <= 1) {
+      for (size_t i = 0; i < total; ++i) {
+        if (!channel.Push(static_cast<int>(i))) break;
+      }
+    } else {
+      std::vector<int> buf;
+      buf.reserve(batch);
+      for (size_t i = 0; i < total;) {
+        buf.clear();
+        for (size_t j = 0; j < batch && i < total; ++j, ++i) {
+          buf.push_back(static_cast<int>(i));
+        }
+        if (channel.PushBatch(std::move(buf)) == 0) break;
+      }
+    }
+    channel.Close();
+  });
+  long long checksum = 0;
+  size_t received = 0;
+  if (batch <= 1) {
+    while (std::optional<int> v = channel.Pop()) {
+      checksum += *v;
+      ++received;
+    }
+  } else {
+    std::vector<int> buf;
+    buf.reserve(batch);
+    while (true) {
+      buf.clear();
+      if (channel.PopBatch(&buf, batch) == 0) break;
+      for (int v : buf) checksum += v;
+      received += buf.size();
+    }
+  }
+  producer.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(checksum);
+  if (received != total) {
+    std::fprintf(stderr, "channel transfer lost records: %zu != %zu\n",
+                 received, total);
+    std::exit(1);
+  }
+  return static_cast<double>(total) / seconds;
+}
+
+// source -> map(x3) -> filter(even) -> sink, count records, capacity 256.
+// mode: 0 = record-at-a-time, 1 = Batched(64), 2 = fused + Batched(64).
+double MeasurePipelineMode(int mode, int count) {
+  const stream::BatchPolicy policy = mode == 0
+                                         ? stream::BatchPolicy::Single()
+                                         : stream::BatchPolicy::Batched(64);
+  constexpr size_t kCapacity = 256;
+  stream::Pipeline pipeline;
+  int next = 0;
+  long long checksum = 0;
+  auto source = stream::Flow<int>::FromGenerator(
+      &pipeline,
+      [&next, count]() -> std::optional<int> {
+        if (next >= count) return std::nullopt;
+        return next++;
+      },
+      kCapacity, "source", policy);
+  auto map_fn = [](const int& x) { return x * 3; };
+  auto filter_fn = [](const int& x) { return (x & 1) == 0; };
+  auto sink_fn = [&checksum](const int& x) { checksum += x; };
+  if (mode == 2) {
+    source.Fuse()
+        .Map<int>(map_fn)
+        .Filter(filter_fn)
+        .Emit(kCapacity, "fused_map_filter")
+        .Sink(sink_fn);
+  } else {
+    source.Map<int>(map_fn, kCapacity, "map_x3")
+        .Filter(filter_fn, kCapacity, "filter_even")
+        .Sink(sink_fn);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  pipeline.Run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(checksum);
+  return static_cast<double>(count) / seconds;
+}
+
+void RunBatchedTransportComparison(bool smoke) {
+  const size_t kTransferTotal = smoke ? 200000 : 2000000;
+  const int kPipelineCount = smoke ? 100000 : 500000;
+  const int kReps = smoke ? 1 : 3;  // keep the best rep: least scheduler noise
+
+  std::vector<BenchRow> rows;
+  std::printf(
+      "\n=== batched channel transport: 1 producer -> 1 consumer, "
+      "capacity 1024, %zu records ===\n",
+      kTransferTotal);
+  std::printf("%-28s %14s %10s\n", "row", "records/s", "vs batch1");
+  double batch1 = 0.0;
+  for (size_t batch : {size_t{1}, size_t{8}, size_t{64}, size_t{1024}}) {
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      best = std::max(best, MeasureChannelTransfer(batch, kTransferTotal));
+    }
+    if (batch == 1) batch1 = best;
+    rows.push_back({"channel_transfer/batch" + std::to_string(batch),
+                    kTransferTotal, best});
+    std::printf("%-28s %14.0f %9.1fx\n", rows.back().name.c_str(), best,
+                batch1 > 0 ? best / batch1 : 0.0);
+  }
+
+  std::printf(
+      "\n=== pipeline source->map->filter->sink: %d records, capacity 256 "
+      "===\n",
+      kPipelineCount);
+  std::printf("%-28s %14s\n", "row", "records/s");
+  const char* kModeNames[] = {"pipeline/record_at_a_time", "pipeline/batched64",
+                              "pipeline/fused_batched64"};
+  for (int mode = 0; mode < 3; ++mode) {
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      best = std::max(best, MeasurePipelineMode(mode, kPipelineCount));
+    }
+    rows.push_back(
+        {kModeNames[mode], static_cast<size_t>(kPipelineCount), best});
+    std::printf("%-28s %14.0f\n", kModeNames[mode], best);
+  }
+
+  if (std::FILE* f = std::fopen("BENCH_micro.json", "w")) {
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"records\": %zu, "
+                   "\"records_per_s\": %.0f}%s\n",
+                   rows[i].name.c_str(), rows[i].records,
+                   rows[i].records_per_s, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_micro.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace tcmf
 
 int main(int argc, char** argv) {
+  // --smoke: skip the google-benchmark suite and run the batched
+  // transport comparison on reduced record counts (CI bench-smoke job).
+  // Stripped before benchmark::Initialize, which rejects unknown flags.
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  tcmf::PrintPipelineStageReport();
+  tcmf::RunBatchedTransportComparison(smoke);
+  if (!smoke) tcmf::PrintPipelineStageReport();
   return 0;
 }

@@ -208,11 +208,14 @@ int main() {
 
   // --- The same workload as a dataflow job on the stream substrate:
   // source -> in-situ cleaning -> keyed synopses (4 workers) -> sink,
-  // with the per-stage StageMetrics report making backpressure visible. ---
+  // run once record-at-a-time and once on the batched transport
+  // (BatchPolicy::Batched(64)); the per-stage StageMetrics report makes
+  // backpressure visible and the two rows quantify what batch transfer
+  // amortization buys on a real keyed workload. ---
   {
     datagen::VesselSimConfig config;
     config.vessel_count = 30;
-    config.duration_ms = 3 * kMillisPerHour;
+    config.duration_ms = 12 * kMillisPerHour;
     config.report_interval_ms = 5000;
     config.position_noise_m = 10.0;
     Rng rng(5);
@@ -222,27 +225,58 @@ int main() {
 
     insitu::StreamCleaner::Options clean_options;
     clean_options.extent = config.extent;
-    stream::Pipeline pipeline;
-    size_t critical = 0;
-    auto start = std::chrono::steady_clock::now();
-    auto source = stream::Flow<Position>::FromVector(&pipeline, data.stream,
-                                                     512, "source");
-    synopses::SynopsesStage(
-        insitu::CleaningStage(source, clean_options, 512),
-        synopses::SynopsesConfig::ForMaritime(), /*parallelism=*/4, 512)
-        .Sink([&critical](const synopses::CriticalPoint&) { ++critical; });
-    pipeline.Run();
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
 
+    struct Mode {
+      const char* name;
+      stream::BatchPolicy policy;
+    };
+    const Mode kModes[] = {
+        {"record-at-a-time", stream::BatchPolicy::Single()},
+        {"batched(64)", stream::BatchPolicy::Batched(64)},
+    };
+    constexpr int kReps = 3;  // keep the best rep: least scheduler noise
+    size_t last_critical = 0;
+    std::string last_report;
     std::printf(
         "\nas a dataflow job (source -> insitu.clean -> synopses x4 -> "
-        "sink):\n  %zu raw -> %zu critical in %.2f s (%.0f msgs/s)\n\n",
-        data.stream.size(), critical, seconds,
-        data.stream.size() / seconds);
-    std::printf("%s", pipeline.ReportString().c_str());
+        "sink, best of %d):\n", kReps);
+    for (const Mode& mode : kModes) {
+      double best_seconds = 0.0;
+      size_t critical = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        stream::Pipeline pipeline;
+        critical = 0;
+        auto start = std::chrono::steady_clock::now();
+        auto source = stream::Flow<Position>::FromVector(
+            &pipeline, data.stream, 512, "source", mode.policy);
+        synopses::SynopsesStage(
+            insitu::CleaningStage(source, clean_options, 512, nullptr,
+                                  mode.policy),
+            synopses::SynopsesConfig::ForMaritime(), /*parallelism=*/4, 512,
+            mode.policy)
+            .Sink(
+                [&critical](const synopses::CriticalPoint&) { ++critical; });
+        pipeline.Run();
+        double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (best_seconds == 0.0 || seconds < best_seconds) {
+          best_seconds = seconds;
+        }
+        last_report = pipeline.ReportString();
+      }
+      std::printf("  %-18s %zu raw -> %zu critical in %.2f s (%.0f msgs/s)\n",
+                  mode.name, data.stream.size(), critical, best_seconds,
+                  data.stream.size() / best_seconds);
+      if (last_critical != 0 && critical != last_critical) {
+        std::printf("  WARNING: batched output diverges from "
+                    "record-at-a-time (%zu != %zu)\n",
+                    critical, last_critical);
+      }
+      last_critical = critical;
+    }
+    std::printf("\n%s", last_report.c_str());
   }
 
   std::printf(

@@ -13,14 +13,17 @@ namespace tcmf::insitu {
 /// forwards only reports the online cleaner classifies kOk. The cleaner
 /// instance runs inside the single stage thread (no locking needed); pass
 /// `cleaner_out` to keep a handle for post-run accept/reject stats.
-/// The stage appears in Pipeline::Report() as "insitu.clean".
+/// The stage appears in Pipeline::Report() as "insitu.clean". Runs on the
+/// batched transport by default (observation-equivalent to
+/// record-at-a-time; pass BatchPolicy::Single() to opt out).
 inline stream::Flow<Position> CleaningStage(
     stream::Flow<Position> flow, const StreamCleaner::Options& options,
     size_t capacity = 1024,
-    std::shared_ptr<StreamCleaner>* cleaner_out = nullptr) {
+    std::shared_ptr<StreamCleaner>* cleaner_out = nullptr,
+    stream::BatchPolicy policy = stream::BatchPolicy::Batched()) {
   auto cleaner = std::make_shared<StreamCleaner>(options);
   if (cleaner_out) *cleaner_out = cleaner;
-  return flow.Filter(
+  return flow.WithBatching(policy).Filter(
       [cleaner = std::move(cleaner)](const Position& p) {
         return cleaner->Observe(p) == CleanVerdict::kOk;
       },
@@ -29,13 +32,15 @@ inline stream::Flow<Position> CleaningStage(
 
 /// Wraps AreaTransitionDetector as a 1:N dataflow stage: each position
 /// expands to the area entry/exit events it triggers. Appears in
-/// Pipeline::Report() as "insitu.area_events".
+/// Pipeline::Report() as "insitu.area_events". Batched transport by
+/// default, like CleaningStage.
 inline stream::Flow<AreaEvent> AreaEventStage(
     stream::Flow<Position> flow, std::vector<geom::Area> areas,
-    const geom::BBox& extent, size_t capacity = 1024) {
+    const geom::BBox& extent, size_t capacity = 1024,
+    stream::BatchPolicy policy = stream::BatchPolicy::Batched()) {
   auto detector = std::make_shared<AreaTransitionDetector>(std::move(areas),
                                                            extent);
-  return flow.FlatMap<AreaEvent>(
+  return flow.WithBatching(policy).FlatMap<AreaEvent>(
       [detector = std::move(detector)](const Position& p) {
         return detector->Observe(p);
       },

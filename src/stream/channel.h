@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "stream/metrics.h"
 
@@ -24,6 +25,14 @@ enum class PollStatus {
 /// cancel semantics: the stream-transport substrate standing in for Kafka
 /// topics. Push blocks when full (backpressure); Pop blocks until an
 /// element is available or the channel is closed and drained.
+///
+/// Besides the record-at-a-time Push/Pop, the channel supports amortized
+/// batch transfer: PushBatch/PopBatch move many elements under one lock
+/// acquisition (one per capacity chunk on the push side), which is the
+/// dominant throughput lever for the single-pass operator pipelines every
+/// datAcron component compiles down to. Batch transfers use notify_all
+/// wakeups: releasing k resources with a single notify_one would strand
+/// up to k-1 waiters (see ChannelTest.BatchWakeups* regressions).
 ///
 /// Shutdown protocol (see DESIGN.md "runtime semantics"):
 ///  - Producer side: Close() marks end-of-stream; consumers drain the
@@ -62,9 +71,10 @@ class Channel {
     }
     queue_.push_back(std::move(value));
     ++pushed_;
+    ++push_batches_;
     if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
     lock.unlock();
-    not_empty_.notify_one();
+    NotifyConsumers(1);
     return true;
   }
 
@@ -79,10 +89,98 @@ class Channel {
       if (queue_.size() >= capacity_) return false;
       queue_.push_back(std::move(value));
       ++pushed_;
+      ++push_batches_;
       if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
     }
-    not_empty_.notify_one();
+    NotifyConsumers(1);
     return true;
+  }
+
+  /// Batched push: moves the whole vector into the channel, taking the
+  /// lock once per capacity chunk instead of once per element. Blocks for
+  /// room (backpressure) between chunks. When the channel is closed or
+  /// cancelled mid-transfer the remaining elements are dropped and the
+  /// number accepted so far is returned (*partial accept*); full
+  /// acceptance returns batch.size(). The vector is left empty either
+  /// way. Counts as one batch in StageMetrics regardless of chunking.
+  size_t PushBatch(std::vector<T>&& batch) {
+    const size_t n = batch.size();
+    size_t accepted = 0;
+    while (accepted < n) {
+      size_t chunk = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!closed_ && queue_.size() >= capacity_) {
+          const auto t0 = std::chrono::steady_clock::now();
+          not_full_.wait(
+              lock, [this] { return closed_ || queue_.size() < capacity_; });
+          producer_blocked_ns_ += BlockedNsSince(t0);
+        }
+        if (closed_) {
+          push_rejected_ += n - accepted;
+          break;
+        }
+        chunk = std::min(capacity_ - queue_.size(), n - accepted);
+        for (size_t i = 0; i < chunk; ++i) {
+          queue_.push_back(std::move(batch[accepted + i]));
+        }
+        if (accepted == 0 && chunk > 0) ++push_batches_;
+        accepted += chunk;
+        pushed_ += chunk;
+        if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
+      }
+      NotifyConsumers(chunk);
+    }
+    batch.clear();
+    return accepted;
+  }
+
+  /// Batched pop: blocks until at least one element is available (or the
+  /// channel is closed and drained), then appends up to `max_n` elements
+  /// to `*out` under a single lock acquisition. Returns the number
+  /// appended; 0 means end-of-stream (closed or cancelled, nothing left).
+  size_t PopBatch(std::vector<T>* out, size_t max_n) {
+    if (max_n == 0) return 0;
+    size_t got = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!closed_ && queue_.empty()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+        consumer_blocked_ns_ += BlockedNsSince(t0);
+      }
+      got = DrainLocked(out, max_n);
+    }
+    NotifyProducers(got);
+    return got;
+  }
+
+  /// Timed batched pop for linger-bounded consumers: like PopBatch but
+  /// additionally returns after `timeout` with nothing appended while the
+  /// channel is still open. kItem ⇒ ≥1 element appended (`*n_out`, if
+  /// non-null, receives the count); kEmpty ⇒ timed out, try again later;
+  /// kClosed ⇒ end-of-stream.
+  PollStatus PopBatchFor(std::vector<T>* out, size_t max_n,
+                         std::chrono::milliseconds timeout,
+                         size_t* n_out = nullptr) {
+    size_t got = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!closed_ && queue_.empty()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        not_empty_.wait_for(lock, timeout,
+                            [this] { return closed_ || !queue_.empty(); });
+        consumer_blocked_ns_ += BlockedNsSince(t0);
+      }
+      if (queue_.empty()) {
+        if (n_out) *n_out = 0;
+        return closed_ ? PollStatus::kClosed : PollStatus::kEmpty;
+      }
+      got = DrainLocked(out, max_n);
+    }
+    NotifyProducers(got);
+    if (n_out) *n_out = got;
+    return PollStatus::kItem;
   }
 
   /// Blocks until an element arrives; nullopt when closed and drained
@@ -98,8 +196,9 @@ class Channel {
     T out = std::move(queue_.front());
     queue_.pop_front();
     ++popped_;
+    ++pop_batches_;
     lock.unlock();
-    not_full_.notify_one();
+    NotifyProducers(1);
     return out;
   }
 
@@ -122,8 +221,9 @@ class Channel {
       *out = std::move(queue_.front());
       queue_.pop_front();
       ++popped_;
+      ++pop_batches_;
     }
-    not_full_.notify_one();
+    NotifyProducers(1);
     return PollStatus::kItem;
   }
 
@@ -192,6 +292,8 @@ class Channel {
     StageMetrics m;
     m.records_in = pushed_;
     m.records_out = popped_;
+    m.batches_in = push_batches_;
+    m.batches_out = pop_batches_;
     m.queue_high_watermark = high_watermark_;
     m.producer_blocked_ns = producer_blocked_ns_;
     m.consumer_blocked_ns = consumer_blocked_ns_;
@@ -210,6 +312,39 @@ class Channel {
             .count());
   }
 
+  /// Moves up to max_n queued elements into *out. Caller holds mutex_.
+  size_t DrainLocked(std::vector<T>* out, size_t max_n) {
+    const size_t got = std::min(queue_.size(), max_n);
+    for (size_t i = 0; i < got; ++i) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    popped_ += got;
+    if (got > 0) ++pop_batches_;
+    return got;
+  }
+
+  /// Wakeups sized to the number of resources released: a batch transfer
+  /// that enqueues (or frees) k > 1 slots must wake every waiter —
+  /// notify_one would hand the whole release to a single thread and
+  /// strand the rest (each waiter consumes ≥ 1 resource, so notify_all
+  /// over-waking is benign; under-waking deadlocks).
+  void NotifyConsumers(size_t added) {
+    if (added > 1) {
+      not_empty_.notify_all();
+    } else if (added == 1) {
+      not_empty_.notify_one();
+    }
+  }
+
+  void NotifyProducers(size_t freed) {
+    if (freed > 1) {
+      not_full_.notify_all();
+    } else if (freed == 1) {
+      not_full_.notify_one();
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
@@ -220,6 +355,8 @@ class Channel {
   // Metrics (guarded by mutex_).
   uint64_t pushed_ = 0;
   uint64_t popped_ = 0;
+  uint64_t push_batches_ = 0;
+  uint64_t pop_batches_ = 0;
   uint64_t high_watermark_ = 0;
   uint64_t producer_blocked_ns_ = 0;
   uint64_t consumer_blocked_ns_ = 0;

@@ -17,6 +17,8 @@ struct StageMetrics {
   std::string stage;                   ///< stage name (set by the pipeline)
   uint64_t records_in = 0;             ///< elements accepted by Push
   uint64_t records_out = 0;            ///< elements handed out by Pop
+  uint64_t batches_in = 0;             ///< push transfers (Push counts as 1)
+  uint64_t batches_out = 0;            ///< pop transfers (Pop counts as 1)
   uint64_t queue_high_watermark = 0;   ///< max queue depth ever observed
   uint64_t producer_blocked_ns = 0;    ///< total ns Push spent waiting (full)
   uint64_t consumer_blocked_ns = 0;    ///< total ns Pop spent waiting (empty)
@@ -31,6 +33,15 @@ struct StageMetrics {
   uint64_t io_syncs = 0;         ///< fsync/fdatasync calls issued
   uint64_t recovered = 0;        ///< entries recovered by tail-scan on open
   uint64_t truncated_bytes = 0;  ///< torn-tail bytes truncated on open
+
+  /// Mean elements moved per push/pop transfer — the amortization factor
+  /// the batched transport buys on this edge (1.0 ⇒ record-at-a-time).
+  double MeanBatchIn() const {
+    return batches_in ? static_cast<double>(records_in) / batches_in : 0.0;
+  }
+  double MeanBatchOut() const {
+    return batches_out ? static_cast<double>(records_out) / batches_out : 0.0;
+  }
 
   /// Header line matching ToString()'s columns.
   static std::string TableHeader() {
@@ -62,10 +73,12 @@ struct StageMetrics {
 
   /// Single JSON object (no trailing newline).
   std::string ToJson() const {
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "{\"stage\":\"%s\",\"records_in\":%llu,\"records_out\":%llu,"
+        "\"batches_in\":%llu,\"batches_out\":%llu,"
+        "\"mean_batch_in\":%.2f,\"mean_batch_out\":%.2f,"
         "\"queue_high_watermark\":%llu,\"producer_blocked_ns\":%llu,"
         "\"consumer_blocked_ns\":%llu,\"push_rejected\":%llu,"
         "\"dropped_on_cancel\":%llu,\"late_dropped\":%llu,"
@@ -73,6 +86,9 @@ struct StageMetrics {
         "\"recovered\":%llu,\"truncated_bytes\":%llu}",
         stage.c_str(), static_cast<unsigned long long>(records_in),
         static_cast<unsigned long long>(records_out),
+        static_cast<unsigned long long>(batches_in),
+        static_cast<unsigned long long>(batches_out),
+        MeanBatchIn(), MeanBatchOut(),
         static_cast<unsigned long long>(queue_high_watermark),
         static_cast<unsigned long long>(producer_blocked_ns),
         static_cast<unsigned long long>(consumer_blocked_ns),

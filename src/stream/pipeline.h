@@ -2,6 +2,7 @@
 #define TCMF_STREAM_PIPELINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,145 @@
 #include "stream/window.h"
 
 namespace tcmf::stream {
+
+/// Batch transport policy for dataflow operators. `max_batch` is the
+/// largest number of elements moved per channel transfer (1 = the
+/// record-at-a-time path, bit-compatible with the pre-batching runtime);
+/// `max_linger_ms` bounds how long a partially-filled output batch may be
+/// held back waiting to fill up — the classic throughput/latency linger
+/// knob (Kafka `linger.ms`). A negative linger means "flush only when the
+/// batch is full or the stream ends" (maximum amortization, unbounded
+/// staging latency).
+///
+/// Batch boundaries are invisible to operators and to observers of the
+/// output: the differential harness (tests/stream_batch_equiv_test.cc)
+/// proves every {batch, capacity, parallelism} combination produces the
+/// same output multiset as record-at-a-time execution.
+struct BatchPolicy {
+  size_t max_batch = 1;
+  int64_t max_linger_ms = 5;
+
+  bool batched() const { return max_batch > 1; }
+
+  /// Record-at-a-time transport (the default).
+  static BatchPolicy Single() { return BatchPolicy{1, 0}; }
+
+  /// Amortized transport: up to `max_batch` elements per lock
+  /// acquisition, partial batches flushed after `linger_ms`.
+  static BatchPolicy Batched(size_t max_batch = 64, int64_t linger_ms = 5) {
+    return BatchPolicy{max_batch == 0 ? 1 : max_batch, linger_ms};
+  }
+};
+
+/// Buffers operator outputs and flushes them downstream according to a
+/// BatchPolicy. In record-at-a-time mode it degenerates to Channel::Push.
+/// Emit/Flush return false when the downstream edge rejected the transfer
+/// (consumer cancelled) — the signal to propagate cancellation upstream.
+template <typename Out>
+class BatchEmitter {
+ public:
+  BatchEmitter(std::shared_ptr<Channel<Out>> out, BatchPolicy policy)
+      : out_(std::move(out)), policy_(policy) {
+    if (policy_.batched()) buf_.reserve(policy_.max_batch);
+  }
+
+  bool Emit(Out value) {
+    if (!policy_.batched()) return out_->Push(std::move(value));
+    if (buf_.empty()) first_buffered_ = std::chrono::steady_clock::now();
+    buf_.push_back(std::move(value));
+    if (buf_.size() >= policy_.max_batch) return Flush();
+    return true;
+  }
+
+  bool Flush() {
+    if (buf_.empty()) return true;
+    const size_t n = buf_.size();
+    const bool ok = out_->PushBatch(std::move(buf_)) == n;
+    buf_.clear();
+    buf_.reserve(policy_.max_batch);
+    return ok;
+  }
+
+  bool has_pending() const { return !buf_.empty(); }
+
+  /// Time until the oldest buffered element exceeds the linger budget.
+  std::chrono::milliseconds LingerRemaining() const {
+    if (buf_.empty()) return std::chrono::milliseconds(policy_.max_linger_ms);
+    const auto deadline =
+        first_buffered_ + std::chrono::milliseconds(policy_.max_linger_ms);
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::chrono::milliseconds(0);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                 now);
+  }
+
+ private:
+  std::shared_ptr<Channel<Out>> out_;
+  BatchPolicy policy_;
+  std::vector<Out> buf_;
+  std::chrono::steady_clock::time_point first_buffered_;
+};
+
+namespace internal {
+
+/// The shared consume/transform/emit loop behind every 1-input operator.
+/// Drains `in` (record-at-a-time or in batches per `policy`), feeds each
+/// element to `per_element(item, emitter) -> bool` (false = downstream
+/// rejected, i.e. the consumer cancelled), and on end-of-stream runs
+/// `at_exit(open, emitter)` — stateful operators flush per-key state
+/// there when `open` is true. Handles the shutdown contract: a rejected
+/// emit cancels `in` via CloseAndDrain so upstream producers unblock.
+/// Closing the *output* channel is the caller's responsibility (shared
+/// outputs — KeyedProcessParallel — are closed by the last worker).
+///
+/// In batched mode the loop uses the timed PopBatchFor while outputs are
+/// staged so a partially-filled batch is flushed after `max_linger_ms`
+/// even when the input goes quiet (linger < 0 disables the timer).
+template <typename In, typename Out, typename PerElement, typename AtExit>
+void RunStage(const std::shared_ptr<Channel<In>>& in,
+              BatchEmitter<Out>& emitter, BatchPolicy policy,
+              PerElement&& per_element, AtExit&& at_exit) {
+  bool open = true;
+  if (!policy.batched()) {
+    while (auto item = in->Pop()) {
+      if (!per_element(*item, emitter)) {
+        open = false;
+        break;
+      }
+    }
+  } else {
+    std::vector<In> batch;
+    batch.reserve(policy.max_batch);
+    while (open) {
+      batch.clear();
+      size_t n = 0;
+      if (emitter.has_pending() && policy.max_linger_ms >= 0) {
+        const PollStatus status = in->PopBatchFor(
+            &batch, policy.max_batch, emitter.LingerRemaining(), &n);
+        if (status == PollStatus::kEmpty) {
+          // Linger expired with staged outputs: flush the partial batch.
+          if (!emitter.Flush()) open = false;
+          continue;
+        }
+        if (status == PollStatus::kClosed) break;
+      } else {
+        n = in->PopBatch(&batch, policy.max_batch);
+        if (n == 0) break;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!per_element(batch[i], emitter)) {
+          open = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!open) in->CloseAndDrain();  // propagate cancellation upstream
+  at_exit(open, emitter);
+  if (open) emitter.Flush();
+}
+
+}  // namespace internal
 
 /// Owns the threads of a dataflow job. Build a graph with Flow<T>, then
 /// Run() blocks until every source is exhausted and every stage has
@@ -112,44 +252,90 @@ using KeyedFlushFn =
     std::function<void(uint64_t key, State& state,
                        const std::function<void(Out)>& emit)>;
 
+template <typename In, typename Cur>
+class FusedChain;
+
 /// A typed edge in the dataflow graph. Flow values are cheap handles:
-/// they share the underlying channel.
+/// they share the underlying channel. Each handle also carries a
+/// BatchPolicy that governs how operators built from it move elements —
+/// `WithBatching(BatchPolicy::Batched(64))` switches every downstream
+/// stage to amortized batch transfers (and the policy is inherited by the
+/// Flows those operators return).
 ///
 /// Shutdown contract for every operator: when the downstream edge stops
 /// accepting (Push returns false because the consumer cancelled), the
 /// operator cancels its own input via CloseAndDrain() and exits — the
 /// cancel signal propagates all the way to the source. Conversely each
 /// operator Close()s its output on every exit path, so downstream stages
-/// always observe end-of-stream.
+/// always observe end-of-stream. Cancellation mid-batch behaves exactly
+/// like cancellation mid-stream: staged elements are dropped, the signal
+/// is never lost (see BatchShutdownTest).
 template <typename T>
 class Flow {
  public:
-  Flow(Pipeline* pipeline, std::shared_ptr<Channel<T>> channel)
-      : pipeline_(pipeline), channel_(std::move(channel)) {}
+  Flow(Pipeline* pipeline, std::shared_ptr<Channel<T>> channel,
+       BatchPolicy policy = {})
+      : pipeline_(pipeline), channel_(std::move(channel)), policy_(policy) {}
+
+  /// Returns a handle to the same edge whose downstream operators use
+  /// `policy` for channel transfers. Semantics are unchanged — only the
+  /// transfer granularity (and therefore lock amortization) differs.
+  Flow<T> WithBatching(BatchPolicy policy) const {
+    return Flow<T>(pipeline_, channel_, policy);
+  }
+
+  const BatchPolicy& batch_policy() const { return policy_; }
 
   /// Source from a pull function; the function returns nullopt when the
-  /// stream is exhausted.
+  /// stream is exhausted. With a batched `policy` the generator stages up
+  /// to `max_batch` elements (bounded by `max_linger_ms`) per transfer.
   static Flow<T> FromGenerator(Pipeline* pipeline,
                                std::function<std::optional<T>()> next,
-                               size_t capacity = 1024,
-                               std::string name = "") {
+                               size_t capacity = 1024, std::string name = "",
+                               BatchPolicy policy = {}) {
     auto channel = std::make_shared<Channel<T>>(capacity);
     pipeline->RegisterChannelStage("source", std::move(name), channel);
-    pipeline->AddThread([channel, next = std::move(next)]() mutable {
-      while (true) {
-        std::optional<T> item = next();
-        if (!item.has_value()) break;
-        // Push fails only when downstream cancelled: stop generating.
-        if (!channel->Push(std::move(*item))) break;
+    pipeline->AddThread([channel, policy, next = std::move(next)]() mutable {
+      if (!policy.batched()) {
+        while (true) {
+          std::optional<T> item = next();
+          if (!item.has_value()) break;
+          // Push fails only when downstream cancelled: stop generating.
+          if (!channel->Push(std::move(*item))) break;
+        }
+      } else {
+        std::vector<T> buf;
+        buf.reserve(policy.max_batch);
+        auto first = std::chrono::steady_clock::now();
+        bool cancelled = false;
+        while (!cancelled) {
+          std::optional<T> item = next();
+          if (!item.has_value()) break;
+          if (buf.empty()) first = std::chrono::steady_clock::now();
+          buf.push_back(std::move(*item));
+          bool flush = buf.size() >= policy.max_batch;
+          if (!flush && policy.max_linger_ms >= 0) {
+            flush = std::chrono::steady_clock::now() - first >=
+                    std::chrono::milliseconds(policy.max_linger_ms);
+          }
+          if (flush) {
+            const size_t n = buf.size();
+            cancelled = channel->PushBatch(std::move(buf)) != n;
+            buf.clear();
+            buf.reserve(policy.max_batch);
+          }
+        }
+        if (!cancelled && !buf.empty()) channel->PushBatch(std::move(buf));
       }
       channel->Close();
     });
-    return Flow<T>(pipeline, std::move(channel));
+    return Flow<T>(pipeline, std::move(channel), policy);
   }
 
   /// Source from a pre-materialized vector.
   static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
-                            size_t capacity = 1024, std::string name = "") {
+                            size_t capacity = 1024, std::string name = "",
+                            BatchPolicy policy = {}) {
     auto it = std::make_shared<size_t>(0);
     auto data = std::make_shared<std::vector<T>>(std::move(items));
     return FromGenerator(
@@ -158,7 +344,7 @@ class Flow {
           if (*it >= data->size()) return std::nullopt;
           return (*data)[(*it)++];
         },
-        capacity, std::move(name));
+        capacity, std::move(name), policy);
   }
 
   /// 1:1 transform.
@@ -168,16 +354,15 @@ class Flow {
     auto out = std::make_shared<Channel<Out>>(capacity);
     pipeline_->RegisterChannelStage("map", std::move(name), out);
     auto in = channel_;
-    pipeline_->AddThread([in, out, fn = std::move(fn)] {
-      while (auto item = in->Pop()) {
-        if (!out->Push(fn(*item))) {
-          in->CloseAndDrain();  // propagate cancellation upstream
-          break;
-        }
-      }
+    pipeline_->AddThread([in, out, policy = policy_, fn = std::move(fn)] {
+      BatchEmitter<Out> emitter(out, policy);
+      internal::RunStage(
+          in, emitter, policy,
+          [&fn](T& item, BatchEmitter<Out>& em) { return em.Emit(fn(item)); },
+          [](bool, BatchEmitter<Out>&) {});
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out));
+    return Flow<Out>(pipeline_, std::move(out), policy_);
   }
 
   /// 1:N transform.
@@ -187,24 +372,22 @@ class Flow {
     auto out = std::make_shared<Channel<Out>>(capacity);
     pipeline_->RegisterChannelStage("flatmap", std::move(name), out);
     auto in = channel_;
-    pipeline_->AddThread([in, out, fn = std::move(fn)] {
-      bool open = true;
-      while (open) {
-        auto item = in->Pop();
-        if (!item) break;
-        for (Out& o : fn(*item)) {
-          if (!out->Push(std::move(o))) {
-            open = false;
-            break;
-          }
-        }
-      }
-      if (!open) in->CloseAndDrain();
+    pipeline_->AddThread([in, out, policy = policy_, fn = std::move(fn)] {
+      BatchEmitter<Out> emitter(out, policy);
+      internal::RunStage(
+          in, emitter, policy,
+          [&fn](T& item, BatchEmitter<Out>& em) {
+            for (Out& o : fn(item)) {
+              if (!em.Emit(std::move(o))) return false;
+            }
+            return true;
+          },
+          [](bool, BatchEmitter<Out>&) {});
       // Close on EVERY exit path — an early return here used to leave
       // downstream Pop blocked forever.
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out));
+    return Flow<Out>(pipeline_, std::move(out), policy_);
   }
 
   /// Keeps elements satisfying the predicate.
@@ -213,19 +396,26 @@ class Flow {
     auto out = std::make_shared<Channel<T>>(capacity);
     pipeline_->RegisterChannelStage("filter", std::move(name), out);
     auto in = channel_;
-    pipeline_->AddThread([in, out, pred = std::move(pred)] {
-      while (auto item = in->Pop()) {
-        if (pred(*item)) {
-          if (!out->Push(std::move(*item))) {
-            in->CloseAndDrain();
-            break;
-          }
-        }
-      }
+    pipeline_->AddThread([in, out, policy = policy_, pred = std::move(pred)] {
+      BatchEmitter<T> emitter(out, policy);
+      internal::RunStage(
+          in, emitter, policy,
+          [&pred](T& item, BatchEmitter<T>& em) {
+            if (!pred(item)) return true;
+            return em.Emit(std::move(item));
+          },
+          [](bool, BatchEmitter<T>&) {});
       out->Close();
     });
-    return Flow<T>(pipeline_, std::move(out));
+    return Flow<T>(pipeline_, std::move(out), policy_);
   }
+
+  /// Starts a fused chain: adjacent stateless stages (Map/Filter/FlatMap)
+  /// composed onto it run in ONE thread with ZERO channel crossings —
+  /// `flow.Fuse().Map(f).Filter(p).Map(g).Emit()` materializes a single
+  /// "fused" stage instead of three channel-separated ones. Equivalent to
+  /// the unfused chain by construction (and by the differential harness).
+  FusedChain<T, T> Fuse() const;
 
   /// Keyed stateful processing with per-key state of type State.
   /// State instances are default-constructed on first sight of a key.
@@ -238,28 +428,33 @@ class Flow {
     auto out = std::make_shared<Channel<Out>>(capacity);
     pipeline_->RegisterChannelStage("keyed", std::move(name), out);
     auto in = channel_;
-    pipeline_->AddThread([in, out, key_fn = std::move(key_fn),
+    pipeline_->AddThread([in, out, policy = policy_,
+                          key_fn = std::move(key_fn),
                           process = std::move(process),
                           flush = std::move(flush)] {
+      BatchEmitter<Out> emitter(out, policy);
       std::unordered_map<uint64_t, State> states;
-      bool open = true;
-      auto emit = [&](Out o) {
-        if (open && !out->Push(std::move(o))) open = false;
-      };
-      while (auto item = in->Pop()) {
-        State& state = states[key_fn(*item)];
-        process(*item, state, emit);
-        if (!open) {
-          in->CloseAndDrain();
-          break;
-        }
-      }
-      if (open && flush) {
-        for (auto& [key, state] : states) flush(key, state, emit);
-      }
+      internal::RunStage(
+          in, emitter, policy,
+          [&](T& item, BatchEmitter<Out>& em) {
+            bool ok = true;
+            auto emit = [&](Out o) {
+              if (ok && !em.Emit(std::move(o))) ok = false;
+            };
+            process(item, states[key_fn(item)], emit);
+            return ok;
+          },
+          [&](bool open, BatchEmitter<Out>& em) {
+            if (!open || !flush) return;
+            bool ok = true;
+            auto emit = [&](Out o) {
+              if (ok && !em.Emit(std::move(o))) ok = false;
+            };
+            for (auto& [key, state] : states) flush(key, state, emit);
+          });
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out));
+    return Flow<Out>(pipeline_, std::move(out), policy_);
   }
 
   /// Keyed stateful processing with `parallelism` worker threads: elements
@@ -291,15 +486,47 @@ class Flow {
           "", stage + ".part" + std::to_string(w), part);
       partitions->push_back(std::move(part));
     }
-    pipeline_->AddThread([in, partitions, key_fn, parallelism] {
-      while (auto item = in->Pop()) {
-        size_t w = std::hash<uint64_t>{}(key_fn(*item)) % parallelism;
-        if (!(*partitions)[w]->Push(std::move(*item))) {
-          // A worker cancelled its partition (downstream gone): stop
-          // routing and propagate the cancel to our own input.
-          in->CloseAndDrain();
-          break;
+    pipeline_->AddThread([in, partitions, key_fn, parallelism,
+                          policy = policy_] {
+      auto route = [&](T&& item) {
+        size_t w = std::hash<uint64_t>{}(key_fn(item)) % parallelism;
+        return (*partitions)[w]->Push(std::move(item));
+      };
+      if (!policy.batched()) {
+        while (auto item = in->Pop()) {
+          if (!route(std::move(*item))) {
+            // A worker cancelled its partition (downstream gone): stop
+            // routing and propagate the cancel to our own input.
+            in->CloseAndDrain();
+            break;
+          }
         }
+      } else {
+        // Scatter each input batch into per-worker batches so partition
+        // edges also move amortized transfers.
+        std::vector<T> batch;
+        std::vector<std::vector<T>> scatter(parallelism);
+        batch.reserve(policy.max_batch);
+        bool open = true;
+        while (open) {
+          batch.clear();
+          const size_t n = in->PopBatch(&batch, policy.max_batch);
+          if (n == 0) break;
+          for (size_t i = 0; i < n; ++i) {
+            size_t w = std::hash<uint64_t>{}(key_fn(batch[i])) % parallelism;
+            scatter[w].push_back(std::move(batch[i]));
+          }
+          for (size_t w = 0; w < parallelism && open; ++w) {
+            if (scatter[w].empty()) continue;
+            const size_t offered = scatter[w].size();
+            if ((*partitions)[w]->PushBatch(std::move(scatter[w])) !=
+                offered) {
+              open = false;
+            }
+            scatter[w].clear();
+          }
+        }
+        if (!open) in->CloseAndDrain();
       }
       for (auto& p : *partitions) p->Close();
     });
@@ -307,30 +534,32 @@ class Flow {
     auto live_workers = std::make_shared<std::atomic<size_t>>(parallelism);
     for (size_t w = 0; w < parallelism; ++w) {
       auto my_in = (*partitions)[w];
-      pipeline_->AddThread([my_in, out, key_fn, process, flush,
-                            live_workers] {
+      pipeline_->AddThread([my_in, out, key_fn, process, flush, live_workers,
+                            policy = policy_] {
+        BatchEmitter<Out> emitter(out, policy);
         std::unordered_map<uint64_t, State> states;
-        bool open = true;
-        auto emit = [&](Out o) {
-          if (open && !out->Push(std::move(o))) open = false;
-        };
-        while (auto item = my_in->Pop()) {
-          State& state = states[key_fn(*item)];
-          process(*item, state, emit);
-          if (!open) {
-            // Cancel our partition so the router unblocks; the router
-            // then cancels the shared upstream input.
-            my_in->CloseAndDrain();
-            break;
-          }
-        }
-        if (open && flush) {
-          for (auto& [key, state] : states) flush(key, state, emit);
-        }
+        internal::RunStage(
+            my_in, emitter, policy,
+            [&](T& item, BatchEmitter<Out>& em) {
+              bool ok = true;
+              auto emit = [&](Out o) {
+                if (ok && !em.Emit(std::move(o))) ok = false;
+              };
+              process(item, states[key_fn(item)], emit);
+              return ok;
+            },
+            [&](bool open, BatchEmitter<Out>& em) {
+              if (!open || !flush) return;
+              bool ok = true;
+              auto emit = [&](Out o) {
+                if (ok && !em.Emit(std::move(o))) ok = false;
+              };
+              for (auto& [key, state] : states) flush(key, state, emit);
+            });
         if (live_workers->fetch_sub(1) == 1) out->Close();
       });
     }
-    return Flow<Out>(pipeline_, std::move(out));
+    return Flow<Out>(pipeline_, std::move(out), policy_);
   }
 
   /// Keyed event-time tumbling windows with bounded lateness: elements are
@@ -351,60 +580,95 @@ class Flow {
     auto out = std::make_shared<Channel<Result>>(capacity);
     pipeline_->RegisterChannelStage("window", std::move(name), out);
     auto in = channel_;
-    pipeline_->AddThread([in, out, key_fn = std::move(key_fn),
+    pipeline_->AddThread([in, out, policy = policy_,
+                          key_fn = std::move(key_fn),
                           time_fn = std::move(time_fn), window_ms,
                           allowed_lateness_ms, add = std::move(add)] {
+      BatchEmitter<Result> emitter(out, policy);
       std::unordered_map<uint64_t, TumblingWindower<T, Acc>> windowers;
-      bool open = true;
-      auto emit_all = [&](uint64_t key, auto&& results) {
-        for (auto& wr : results) {
-          if (!out->Push({key, std::move(wr)})) {
-            open = false;
-            break;
-          }
-        }
-      };
-      while (auto item = in->Pop()) {
-        const uint64_t key = key_fn(*item);
-        auto [it, inserted] = windowers.try_emplace(
-            key, window_ms, allowed_lateness_ms, add);
-        emit_all(key, it->second.Add(*item, time_fn(*item)));
-        if (!open) {
-          in->CloseAndDrain();
-          break;
-        }
-      }
-      uint64_t late = 0;
-      for (auto& [key, w] : windowers) {
-        if (open) emit_all(key, w.Close());
-        late += w.late_dropped();
-      }
-      out->RecordLateDropped(late);
+      internal::RunStage(
+          in, emitter, policy,
+          [&](T& item, BatchEmitter<Result>& em) {
+            const uint64_t key = key_fn(item);
+            auto [it, inserted] = windowers.try_emplace(
+                key, window_ms, allowed_lateness_ms, add);
+            for (auto& wr : it->second.Add(item, time_fn(item))) {
+              if (!em.Emit({key, std::move(wr)})) return false;
+            }
+            return true;
+          },
+          [&](bool open, BatchEmitter<Result>& em) {
+            uint64_t late = 0;
+            bool ok = open;
+            for (auto& [key, w] : windowers) {
+              if (ok) {
+                for (auto& wr : w.Close()) {
+                  if (!em.Emit({key, std::move(wr)})) {
+                    ok = false;
+                    break;
+                  }
+                }
+              }
+              late += w.late_dropped();
+            }
+            out->RecordLateDropped(late);
+          });
       out->Close();
     });
-    return Flow<Result>(pipeline_, std::move(out));
+    return Flow<Result>(pipeline_, std::move(out), policy_);
   }
 
   /// Terminal: applies `fn` to every element.
   void Sink(std::function<void(const T&)> fn) {
     auto in = channel_;
-    pipeline_->AddThread([in, fn = std::move(fn)] {
-      while (auto item = in->Pop()) fn(*item);
+    pipeline_->AddThread([in, policy = policy_, fn = std::move(fn)] {
+      if (!policy.batched()) {
+        while (auto item = in->Pop()) fn(*item);
+        return;
+      }
+      std::vector<T> batch;
+      batch.reserve(policy.max_batch);
+      while (true) {
+        batch.clear();
+        const size_t n = in->PopBatch(&batch, policy.max_batch);
+        if (n == 0) break;
+        for (size_t i = 0; i < n; ++i) fn(batch[i]);
+      }
     });
   }
 
   /// Terminal: applies `fn` until it returns false, then cancels the
   /// stream — upstream stages unblock and exit (no deadlock even with
-  /// producers mid-Push). The early-stopping sink.
+  /// producers mid-Push). The early-stopping sink. Under batching,
+  /// elements already popped in the cancelling batch are dropped — the
+  /// same fate queued elements meet under CloseAndDrain.
   void SinkWhile(std::function<bool(const T&)> fn) {
     auto in = channel_;
-    pipeline_->AddThread([in, fn = std::move(fn)] {
-      while (auto item = in->Pop()) {
-        if (!fn(*item)) {
-          in->CloseAndDrain();
-          break;
+    pipeline_->AddThread([in, policy = policy_, fn = std::move(fn)] {
+      if (!policy.batched()) {
+        while (auto item = in->Pop()) {
+          if (!fn(*item)) {
+            in->CloseAndDrain();
+            break;
+          }
+        }
+        return;
+      }
+      std::vector<T> batch;
+      batch.reserve(policy.max_batch);
+      bool open = true;
+      while (open) {
+        batch.clear();
+        const size_t n = in->PopBatch(&batch, policy.max_batch);
+        if (n == 0) break;
+        for (size_t i = 0; i < n; ++i) {
+          if (!fn(batch[i])) {
+            open = false;
+            break;
+          }
         }
       }
+      if (!open) in->CloseAndDrain();
     });
   }
 
@@ -424,7 +688,104 @@ class Flow {
  private:
   Pipeline* pipeline_;
   std::shared_ptr<Channel<T>> channel_;
+  BatchPolicy policy_;
 };
+
+/// A chain of stateless operators fused into one stage: the composed
+/// transform runs element-at-a-time inside a single thread, so a
+/// Map→Filter→Map pipeline segment costs one channel crossing instead of
+/// three (operator fusion — the other half of the transport amortization
+/// story). Build with Flow::Fuse(), compose with Map/Filter/FlatMap, then
+/// Emit() materializes the single stage (registered as "fused").
+///
+/// `In` is the input type of the fused stage, `Cur` the current output
+/// type of the composed chain.
+template <typename In, typename Cur>
+class FusedChain {
+ public:
+  /// sink(value): forwards one output of the composed transform.
+  using Sink = std::function<void(Cur&&)>;
+  /// apply(item, sink): runs the whole composed chain on one element.
+  using Apply = std::function<void(In&&, const Sink&)>;
+
+  FusedChain(Flow<In> source, Apply apply)
+      : source_(std::move(source)), apply_(std::move(apply)) {}
+
+  /// Fuses a 1:1 transform onto the chain.
+  template <typename Out>
+  FusedChain<In, Out> Map(std::function<Out(const Cur&)> fn) const {
+    Apply prev = apply_;
+    typename FusedChain<In, Out>::Apply next =
+        [prev, fn = std::move(fn)](
+            In&& item, const typename FusedChain<In, Out>::Sink& sink) {
+          prev(std::move(item), [&](Cur&& c) { sink(fn(c)); });
+        };
+    return FusedChain<In, Out>(source_, std::move(next));
+  }
+
+  /// Fuses a predicate onto the chain.
+  FusedChain<In, Cur> Filter(std::function<bool(const Cur&)> pred) const {
+    Apply prev = apply_;
+    Apply next = [prev, pred = std::move(pred)](In&& item, const Sink& sink) {
+      prev(std::move(item), [&](Cur&& c) {
+        if (pred(c)) sink(std::move(c));
+      });
+    };
+    return FusedChain<In, Cur>(source_, std::move(next));
+  }
+
+  /// Fuses a 1:N transform onto the chain.
+  template <typename Out>
+  FusedChain<In, Out> FlatMap(
+      std::function<std::vector<Out>(const Cur&)> fn) const {
+    Apply prev = apply_;
+    typename FusedChain<In, Out>::Apply next =
+        [prev, fn = std::move(fn)](
+            In&& item, const typename FusedChain<In, Out>::Sink& sink) {
+          prev(std::move(item), [&](Cur&& c) {
+            for (Out& o : fn(c)) sink(std::move(o));
+          });
+        };
+    return FusedChain<In, Out>(source_, std::move(next));
+  }
+
+  /// Materializes the fused chain as one pipeline stage with one output
+  /// channel, draining and emitting per the source Flow's BatchPolicy.
+  Flow<Cur> Emit(size_t capacity = 1024, std::string name = "") const {
+    Pipeline* pipeline = source_.pipeline();
+    const BatchPolicy policy = source_.batch_policy();
+    auto out = std::make_shared<Channel<Cur>>(capacity);
+    pipeline->RegisterChannelStage("fused", std::move(name), out);
+    auto in = source_.channel();
+    pipeline->AddThread([in, out, policy, apply = apply_] {
+      BatchEmitter<Cur> emitter(out, policy);
+      internal::RunStage(
+          in, emitter, policy,
+          [&apply](In& item, BatchEmitter<Cur>& em) {
+            bool ok = true;
+            apply(std::move(item), [&](Cur&& c) {
+              if (ok && !em.Emit(std::move(c))) ok = false;
+            });
+            return ok;
+          },
+          [](bool, BatchEmitter<Cur>&) {});
+      out->Close();
+    });
+    return Flow<Cur>(pipeline, std::move(out), policy);
+  }
+
+ private:
+  Flow<In> source_;
+  Apply apply_;
+};
+
+template <typename T>
+FusedChain<T, T> Flow<T>::Fuse() const {
+  return FusedChain<T, T>(
+      *this, [](T&& item, const typename FusedChain<T, T>::Sink& sink) {
+        sink(std::move(item));
+      });
+}
 
 }  // namespace tcmf::stream
 

@@ -14,14 +14,17 @@ namespace tcmf::synopses {
 /// private generator instance (parallelism-safe state, the Flink
 /// keyed-stream execution model). Open synopses flush at end-of-stream.
 /// Appears in Pipeline::Report() as "synopses" (plus ".partN" edges when
-/// parallelism > 1).
+/// parallelism > 1). Runs on the batched transport by default: the input,
+/// partition and output edges all move amortized batch transfers (pass
+/// BatchPolicy::Single() for record-at-a-time).
 inline stream::Flow<CriticalPoint> SynopsesStage(
     stream::Flow<Position> flow, const SynopsesConfig& config,
-    size_t parallelism = 1, size_t capacity = 1024) {
+    size_t parallelism = 1, size_t capacity = 1024,
+    stream::BatchPolicy policy = stream::BatchPolicy::Batched()) {
   struct State {
     std::unique_ptr<SynopsesGenerator> gen;
   };
-  return flow.KeyedProcessParallel<CriticalPoint, State>(
+  return flow.WithBatching(policy).KeyedProcessParallel<CriticalPoint, State>(
       [](const Position& p) { return p.entity_id; },
       [config](const Position& p, State& state,
                const std::function<void(CriticalPoint)>& emit) {

@@ -282,6 +282,179 @@ TEST(ChannelTest, MetricsRecordBlockedTimeOnBothSides) {
   EXPECT_GT(ch.MetricsSnapshot().consumer_blocked_ns, 0u);
 }
 
+// ------------------------------------------- Channel: batched transport
+
+TEST(ChannelTest, PushBatchPopBatchFifoOrder) {
+  Channel<int> ch(16);
+  EXPECT_EQ(ch.PushBatch({1, 2, 3, 4, 5}), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(ch.PopBatch(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ch.PopBatch(&out, 10), 2u);  // appends
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ChannelTest, PushBatchLargerThanCapacityChunksThroughBackpressure) {
+  Channel<int> ch(4);
+  std::vector<int> batch(32);
+  std::iota(batch.begin(), batch.end(), 0);
+  std::thread producer([&] { EXPECT_EQ(ch.PushBatch(std::move(batch)), 32u); });
+  std::vector<int> got;
+  while (got.size() < 32) ch.PopBatch(&got, 8);
+  producer.join();
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ChannelTest, PushBatchPartialAcceptOnClose) {
+  Channel<int> ch(2);
+  std::atomic<size_t> accepted{0};
+  std::thread producer([&] {
+    // 2 fit, then the producer blocks; CloseAndDrain rejects the rest.
+    accepted = ch.PushBatch({1, 2, 3, 4, 5});
+  });
+  while (ch.size() < 2) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  ch.CloseAndDrain();
+  producer.join();
+  EXPECT_EQ(accepted.load(), 2u);
+  StageMetrics m = ch.MetricsSnapshot();
+  EXPECT_EQ(m.push_rejected, 3u);       // the unaccepted tail
+  EXPECT_EQ(m.dropped_on_cancel, 2u);   // the accepted-then-discarded head
+}
+
+TEST(ChannelTest, PopBatchZeroMeansEndOfStream) {
+  Channel<int> ch(4);
+  ch.Push(1);
+  ch.Close();
+  std::vector<int> out;
+  EXPECT_EQ(ch.PopBatch(&out, 4), 1u);
+  EXPECT_EQ(ch.PopBatch(&out, 4), 0u);
+}
+
+TEST(ChannelTest, PopBatchForTimesOutWhileOpen) {
+  Channel<int> ch(4);
+  std::vector<int> out;
+  size_t n = 99;
+  EXPECT_EQ(ch.PopBatchFor(&out, 4, std::chrono::milliseconds(5), &n),
+            PollStatus::kEmpty);
+  EXPECT_EQ(n, 0u);
+  ch.Push(1);
+  EXPECT_EQ(ch.PopBatchFor(&out, 4, std::chrono::milliseconds(5), &n),
+            PollStatus::kItem);
+  EXPECT_EQ(n, 1u);
+  ch.Close();
+  EXPECT_EQ(ch.PopBatchFor(&out, 4, std::chrono::milliseconds(5), &n),
+            PollStatus::kClosed);
+}
+
+TEST(ChannelTest, BatchMetricsCountBatchesAndMeanSize) {
+  Channel<int> ch(64);
+  ch.PushBatch({1, 2, 3, 4, 5, 6});  // 1 batch of 6
+  ch.Push(7);                        // 1 batch of 1
+  std::vector<int> out;
+  ch.PopBatch(&out, 64);             // 1 batch of 7
+  StageMetrics m = ch.MetricsSnapshot();
+  EXPECT_EQ(m.records_in, 7u);
+  EXPECT_EQ(m.batches_in, 2u);
+  EXPECT_EQ(m.records_out, 7u);
+  EXPECT_EQ(m.batches_out, 1u);
+  EXPECT_DOUBLE_EQ(m.MeanBatchIn(), 3.5);
+  EXPECT_DOUBLE_EQ(m.MeanBatchOut(), 7.0);
+}
+
+// Regression for the notify_one wakeup bug: a batch transfer releases k
+// resources at once; waking only ONE waiter strands the other k-1
+// forever (no further notifies arrive once producers/consumers are
+// drained). 4 producers blocked in Push freed by one PopBatch, and 4
+// consumers blocked in Pop fed by one PushBatch — both directions
+// previously hung with notify_one.
+TEST(ChannelTest, BatchWakeupsFourProducersFourConsumersNoStrand) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> finished = done->get_future();
+  std::thread([done] {
+    {
+      // Direction 1: one PopBatch must wake every blocked producer.
+      Channel<int> ch(4);
+      for (int i = 0; i < 4; ++i) ch.Push(i);  // fill
+      std::vector<std::thread> producers;
+      for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&ch, p] { ch.Push(100 + p); });
+      }
+      // Wait until all four producers are blocked on the full queue.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::vector<int> out;
+      EXPECT_EQ(ch.PopBatch(&out, 4), 4u);  // frees 4 slots in one notify
+      for (std::thread& t : producers) t.join();
+      EXPECT_EQ(ch.size(), 4u);
+    }
+    {
+      // Direction 2: one PushBatch must wake every blocked consumer.
+      Channel<int> ch(8);
+      std::vector<std::thread> consumers;
+      std::atomic<int> popped{0};
+      for (int c = 0; c < 4; ++c) {
+        consumers.emplace_back([&ch, &popped] {
+          if (ch.Pop().has_value()) ++popped;
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ch.PushBatch({1, 2, 3, 4});  // feeds 4 consumers in one notify
+      for (std::thread& t : consumers) t.join();
+      EXPECT_EQ(popped.load(), 4);
+    }
+    done->set_value();
+  }).detach();
+  ASSERT_EQ(finished.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "batch wakeup stranded a waiter: notify_one regression";
+}
+
+// ---------------------- Channel: TryPush/TryPop vs consumer cancellation
+
+TEST(ChannelTest, PollingConsumerObservesEmptyThenClosedAcrossCancel) {
+  Channel<int> ch(4);
+  int out = 0;
+  // Polling consumer sees kEmpty while the channel is open...
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kEmpty);
+  ch.Push(1);
+  ch.Push(2);
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kItem);
+  EXPECT_EQ(out, 1);
+  // ...then another consumer cancels: the queued element is discarded
+  // and the poller transitions kEmpty -> kClosed with no intervening
+  // kItem (cancel means "never again", not "drain first").
+  ch.CloseAndDrain();
+  EXPECT_EQ(ch.TryPop(&out), PollStatus::kClosed);
+  EXPECT_TRUE(ch.closed_and_empty());
+  // The optional-based TryPop agrees.
+  EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(ChannelTest, TryPushAfterCloseAndDrainCountsRejections) {
+  Channel<int> ch(4);
+  ch.Push(1);
+  ch.CloseAndDrain();
+  EXPECT_FALSE(ch.TryPush(2));
+  EXPECT_FALSE(ch.TryPush(3));
+  EXPECT_FALSE(ch.Push(4));
+  EXPECT_EQ(ch.PushBatch({5, 6}), 0u);
+  StageMetrics m = ch.MetricsSnapshot();
+  EXPECT_EQ(m.dropped_on_cancel, 1u);  // the queued element
+  EXPECT_EQ(m.push_rejected, 5u);      // 2 TryPush + 1 Push + 2 batch
+  EXPECT_EQ(m.records_in, 1u);         // rejected pushes are not "in"
+  EXPECT_TRUE(m.cancelled);
+}
+
+TEST(ChannelTest, TryPushFullIsNotARejection) {
+  Channel<int> ch(1);
+  EXPECT_TRUE(ch.TryPush(1));
+  EXPECT_FALSE(ch.TryPush(2));  // full, but channel healthy
+  StageMetrics m = ch.MetricsSnapshot();
+  EXPECT_EQ(m.push_rejected, 0u);  // only closed/cancelled pushes count
+}
+
 // -------------------------------------------------------------- Pipeline
 
 TEST(PipelineTest, SourceMapSink) {

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Bench regression check for the batched stream transport.
+
+Runs ``bench_micro --smoke`` (the reduced-size batched-transport
+comparison; the google-benchmark suite is skipped), loads the
+``BENCH_micro.json`` it writes, and compares every row against the
+committed baseline in ``bench/baselines/BENCH_micro.json`` with a
+multiplicative tolerance. CI machines are noisy and heterogeneous, so
+the default tolerance is generous (3x): the check catches order-of-
+magnitude regressions — a batch path silently degrading to per-record
+locking — not few-percent drift.
+
+Also asserts the PR 3 acceptance invariant directly on the fresh
+measurement: the channel-transfer row at batch 64 must be at least
+``--min-batch-speedup`` (default 3x) faster than record-at-a-time.
+
+Exit status is non-zero on any failure, so it can gate CI.
+
+Usage:
+    tools/bench_check.py [--bench build/bench/bench_micro]
+                         [--baseline bench/baselines/BENCH_micro.json]
+                         [--tolerance 3.0] [--min-batch-speedup 3.0]
+                         [--no-run]   # reuse an existing BENCH_micro.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {row["name"]: row for row in rows}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        default=os.path.join(REPO_ROOT, "build", "bench", "bench_micro"),
+        help="path to the bench_micro binary",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "bench", "baselines",
+                             "BENCH_micro.json"),
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=3.0,
+        help="fail when measured < baseline / tolerance (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=3.0,
+        help="required channel-transfer speedup of batch64 over batch1",
+    )
+    parser.add_argument(
+        "--no-run", action="store_true",
+        help="skip running the bench; check an existing BENCH_micro.json "
+             "next to the binary",
+    )
+    args = parser.parse_args()
+
+    bench_dir = os.path.dirname(os.path.abspath(args.bench))
+    result_path = os.path.join(bench_dir, "BENCH_micro.json")
+
+    if not args.no_run:
+        if not os.path.exists(args.bench):
+            print(f"bench binary not found: {args.bench}", file=sys.stderr)
+            return 2
+        print(f"running: {args.bench} --smoke (cwd={bench_dir})")
+        proc = subprocess.run([os.path.abspath(args.bench), "--smoke"],
+                              cwd=bench_dir)
+        if proc.returncode != 0:
+            print(f"bench_micro exited with {proc.returncode}",
+                  file=sys.stderr)
+            return 2
+
+    if not os.path.exists(result_path):
+        print(f"missing bench output: {result_path}", file=sys.stderr)
+        return 2
+    measured = load_rows(result_path)
+    baseline = load_rows(args.baseline)
+
+    failures = []
+    print(f"\n{'row':<30} {'measured':>14} {'baseline':>14} {'ratio':>8}")
+    for name, base_row in sorted(baseline.items()):
+        base = base_row["records_per_s"]
+        if name not in measured:
+            failures.append(f"row missing from bench output: {name}")
+            print(f"{name:<30} {'MISSING':>14} {base:>14.0f}")
+            continue
+        got = measured[name]["records_per_s"]
+        ratio = got / base if base else float("inf")
+        verdict = ""
+        if got < base / args.tolerance:
+            failures.append(
+                f"{name}: {got:.0f} rec/s < baseline {base:.0f} / "
+                f"{args.tolerance:g} (ratio {ratio:.2f})")
+            verdict = "  << REGRESSION"
+        print(f"{name:<30} {got:>14.0f} {base:>14.0f} {ratio:>7.2f}x"
+              f"{verdict}")
+
+    # Acceptance invariant: batching must actually amortize the lock.
+    b1 = measured.get("channel_transfer/batch1")
+    b64 = measured.get("channel_transfer/batch64")
+    if b1 and b64:
+        speedup = b64["records_per_s"] / b1["records_per_s"]
+        ok = speedup >= args.min_batch_speedup
+        print(f"\nchannel transfer batch64 vs batch1: {speedup:.1f}x "
+              f"(required >= {args.min_batch_speedup:g}x)"
+              f"{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                f"batch64 speedup {speedup:.2f}x < "
+                f"{args.min_batch_speedup:g}x")
+    else:
+        failures.append("channel_transfer batch1/batch64 rows missing")
+
+    if failures:
+        print("\nbench_check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench_check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
