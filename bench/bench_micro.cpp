@@ -26,6 +26,7 @@
 #include "stream/channel.h"
 #include "stream/pipeline.h"
 #include "stream/record.h"
+#include "stream/tuning.h"
 #include "synopses/critical_points.h"
 
 namespace tcmf {
@@ -284,20 +285,27 @@ void PrintPipelineStageReport() {
               pipeline.ReportJson().c_str());
 }
 
-// ===== Batched transport comparison (PR 3 acceptance rows) ==========
+// ===== Batched transport comparison (PR 3 + PR 4 acceptance rows) ====
 //
 // Measures the cross-thread channel-transfer rate as a function of batch
 // size (batch 1 == the original record-at-a-time Push/Pop transport) and
-// the end-to-end source->map->filter->sink pipeline in three modes:
-// record-at-a-time, Batched(64), and fused+Batched(64). Emits a table on
-// stdout and machine-readable rows to BENCH_micro.json in the working
-// directory; tools/bench_check.py compares those rows against the
-// committed baseline in bench/baselines/.
+// the end-to-end source->map->filter->sink pipeline across transport
+// modes: record-at-a-time, a static max_batch sweep {16, 64, 256},
+// fused+Batched(64), the adaptive controller (BatchPolicy::Adaptive —
+// must converge to >= 0.9x the best static row under steady load), and
+// an adaptive slow-consumer phase change (the tuner must record
+// back-off adjustments). Emits a table on stdout and machine-readable
+// rows to BENCH_micro.json in the working directory;
+// tools/bench_check.py gates the RATIOS between rows against the
+// committed baseline in bench/baselines/ (see docs/STREAM_TUNING.md for
+// how to read the numbers).
 
 struct BenchRow {
   std::string name;
   size_t records;
   double records_per_s;
+  bool tuned = false;
+  stream::TunerState tuner;  ///< source-edge controller state (if tuned)
 };
 
 // One producer thread feeding one consumer (the caller's thread) through
@@ -354,16 +362,26 @@ double MeasureChannelTransfer(size_t batch, size_t total) {
   return static_cast<double>(total) / seconds;
 }
 
-// source -> map(x3) -> filter(even) -> sink, count records, capacity 256.
-// mode: 0 = record-at-a-time, 1 = Batched(64), 2 = fused + Batched(64).
-double MeasurePipelineMode(int mode, int count) {
-  const stream::BatchPolicy policy = mode == 0
-                                         ? stream::BatchPolicy::Single()
-                                         : stream::BatchPolicy::Batched(64);
+// source -> map(x3) -> filter(even) -> sink, count records, capacity 256,
+// under an arbitrary BatchPolicy (optionally with the map+filter fused
+// into the source stage). When slow_after >= 0 the sink sleeps slow_us
+// microseconds per record once slow_after records have passed — a
+// consumer phase change that an adaptive source edge must react to by
+// shrinking its batch target (visible as tuner adjust_down > 0).
+struct PipelineResult {
+  double records_per_s = 0.0;
+  bool tuned = false;
+  stream::TunerState tuner;  ///< source-edge controller state (if tuned)
+};
+
+PipelineResult MeasurePipelinePolicy(const stream::BatchPolicy& policy,
+                                     bool fuse, int count,
+                                     int slow_after = -1, int slow_us = 0) {
   constexpr size_t kCapacity = 256;
   stream::Pipeline pipeline;
   int next = 0;
   long long checksum = 0;
+  int sunk = 0;
   auto source = stream::Flow<int>::FromGenerator(
       &pipeline,
       [&next, count]() -> std::optional<int> {
@@ -371,10 +389,16 @@ double MeasurePipelineMode(int mode, int count) {
         return next++;
       },
       kCapacity, "source", policy);
+  auto source_tuner = source.tuner();
   auto map_fn = [](const int& x) { return x * 3; };
   auto filter_fn = [](const int& x) { return (x & 1) == 0; };
-  auto sink_fn = [&checksum](const int& x) { checksum += x; };
-  if (mode == 2) {
+  auto sink_fn = [&checksum, &sunk, slow_after, slow_us](const int& x) {
+    checksum += x;
+    if (slow_after >= 0 && ++sunk > slow_after && slow_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(slow_us));
+    }
+  };
+  if (fuse) {
     source.Fuse()
         .Map<int>(map_fn)
         .Filter(filter_fn)
@@ -391,7 +415,13 @@ double MeasurePipelineMode(int mode, int count) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   benchmark::DoNotOptimize(checksum);
-  return static_cast<double>(count) / seconds;
+  PipelineResult result;
+  result.records_per_s = static_cast<double>(count) / seconds;
+  if (source_tuner) {
+    result.tuned = true;
+    result.tuner = source_tuner->Snapshot();
+  }
+  return result;
 }
 
 void RunBatchedTransportComparison(bool smoke) {
@@ -422,17 +452,62 @@ void RunBatchedTransportComparison(bool smoke) {
       "\n=== pipeline source->map->filter->sink: %d records, capacity 256 "
       "===\n",
       kPipelineCount);
-  std::printf("%-28s %14s\n", "row", "records/s");
-  const char* kModeNames[] = {"pipeline/record_at_a_time", "pipeline/batched64",
-                              "pipeline/fused_batched64"};
-  for (int mode = 0; mode < 3; ++mode) {
-    double best = 0.0;
+  std::printf("%-28s %14s  %s\n", "row", "records/s", "tuner");
+
+  // A pipeline mode: name, batch policy, fuse flag, optional slow phase.
+  struct Mode {
+    const char* name;
+    stream::BatchPolicy policy;
+    bool fuse = false;
+    bool slow_phase = false;  ///< sink sleeps slow_us/record after count/2
+    int slow_us = 0;
+  };
+  const Mode kModes[] = {
+      {"pipeline/record_at_a_time", stream::BatchPolicy::Single()},
+      {"pipeline/batched16", stream::BatchPolicy::Batched(16)},
+      {"pipeline/batched64", stream::BatchPolicy::Batched(64)},
+      {"pipeline/batched256", stream::BatchPolicy::Batched(256)},
+      {"pipeline/fused_batched64", stream::BatchPolicy::Batched(64), true},
+      {"pipeline/adaptive", stream::BatchPolicy::Adaptive(16, 1, 1024)},
+      // Phase change: sink turns slow halfway through. Throughput here is
+      // dominated by the sink sleep (informational); what bench_check
+      // gates is that the tuner recorded back-off adjustments.
+      {"pipeline/adaptive_slow_phase",
+       stream::BatchPolicy::Adaptive(16, 1, 1024), false, true, 20},
+  };
+  for (const Mode& mode : kModes) {
+    // The slow-phase row sleeps ~20us on half its records; run it on a
+    // reduced count so the comparison stays fast.
+    const int count = mode.slow_phase ? std::max(kPipelineCount / 10, 20000)
+                                      : kPipelineCount;
+    // The filter drops odd values, so ~count/2 records reach the sink;
+    // count/4 puts the phase change halfway through the sink's stream.
+    const int slow_after = mode.slow_phase ? count / 4 : -1;
+    PipelineResult best;
     for (int rep = 0; rep < kReps; ++rep) {
-      best = std::max(best, MeasurePipelineMode(mode, kPipelineCount));
+      PipelineResult r = MeasurePipelinePolicy(mode.policy, mode.fuse, count,
+                                               slow_after, mode.slow_us);
+      if (r.records_per_s > best.records_per_s) best = r;
     }
-    rows.push_back(
-        {kModeNames[mode], static_cast<size_t>(kPipelineCount), best});
-    std::printf("%-28s %14.0f\n", kModeNames[mode], best);
+    BenchRow row;
+    row.name = mode.name;
+    row.records = static_cast<size_t>(count);
+    row.records_per_s = best.records_per_s;
+    row.tuned = best.tuned;
+    row.tuner = best.tuner;
+    rows.push_back(row);
+    if (best.tuned) {
+      std::printf(
+          "%-28s %14.0f  target=%zu range=[%zu,%zu] up=%llu down=%llu "
+          "converged=%zu\n",
+          mode.name, best.records_per_s, best.tuner.target_batch,
+          best.tuner.min_batch, best.tuner.max_batch_cap,
+          static_cast<unsigned long long>(best.tuner.adjust_up),
+          static_cast<unsigned long long>(best.tuner.adjust_down),
+          best.tuner.converged_batch);
+    } else {
+      std::printf("%-28s %14.0f\n", mode.name, best.records_per_s);
+    }
   }
 
   if (std::FILE* f = std::fopen("BENCH_micro.json", "w")) {
@@ -440,9 +515,23 @@ void RunBatchedTransportComparison(bool smoke) {
     for (size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(f,
                    "  {\"name\": \"%s\", \"records\": %zu, "
-                   "\"records_per_s\": %.0f}%s\n",
+                   "\"records_per_s\": %.0f",
                    rows[i].name.c_str(), rows[i].records,
-                   rows[i].records_per_s, i + 1 < rows.size() ? "," : "");
+                   rows[i].records_per_s);
+      if (rows[i].tuned) {
+        const stream::TunerState& t = rows[i].tuner;
+        std::fprintf(f,
+                     ", \"tuner_target_batch\": %zu, \"tuner_min_batch\": %zu, "
+                     "\"tuner_batch_cap\": %zu, \"tuner_samples\": %llu, "
+                     "\"tuner_adjust_up\": %llu, \"tuner_adjust_down\": %llu, "
+                     "\"tuner_converged_batch\": %zu",
+                     t.target_batch, t.min_batch, t.max_batch_cap,
+                     static_cast<unsigned long long>(t.samples),
+                     static_cast<unsigned long long>(t.adjust_up),
+                     static_cast<unsigned long long>(t.adjust_down),
+                     t.converged_batch);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

@@ -14,13 +14,16 @@ namespace tcmf::insitu {
 /// instance runs inside the single stage thread (no locking needed); pass
 /// `cleaner_out` to keep a handle for post-run accept/reject stats.
 /// The stage appears in Pipeline::Report() as "insitu.clean". Runs on the
-/// batched transport by default (observation-equivalent to
-/// record-at-a-time; pass BatchPolicy::Single() to opt out).
+/// adaptive batched transport by default — its output edge gets a private
+/// BatchTuner that finds the edge's own batch size from observed
+/// StageMetrics (observation-equivalent to record-at-a-time; pass
+/// BatchPolicy::Batched(n) to pin a static size or BatchPolicy::Single()
+/// to opt out; see docs/STREAM_TUNING.md).
 inline stream::Flow<Position> CleaningStage(
     stream::Flow<Position> flow, const StreamCleaner::Options& options,
     size_t capacity = 1024,
     std::shared_ptr<StreamCleaner>* cleaner_out = nullptr,
-    stream::BatchPolicy policy = stream::BatchPolicy::Batched()) {
+    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
   auto cleaner = std::make_shared<StreamCleaner>(options);
   if (cleaner_out) *cleaner_out = cleaner;
   return flow.WithBatching(policy).Filter(
@@ -32,12 +35,12 @@ inline stream::Flow<Position> CleaningStage(
 
 /// Wraps AreaTransitionDetector as a 1:N dataflow stage: each position
 /// expands to the area entry/exit events it triggers. Appears in
-/// Pipeline::Report() as "insitu.area_events". Batched transport by
-/// default, like CleaningStage.
+/// Pipeline::Report() as "insitu.area_events". Adaptive batched transport
+/// by default, like CleaningStage.
 inline stream::Flow<AreaEvent> AreaEventStage(
     stream::Flow<Position> flow, std::vector<geom::Area> areas,
     const geom::BBox& extent, size_t capacity = 1024,
-    stream::BatchPolicy policy = stream::BatchPolicy::Batched()) {
+    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
   auto detector = std::make_shared<AreaTransitionDetector>(std::move(areas),
                                                            extent);
   return flow.WithBatching(policy).FlatMap<AreaEvent>(

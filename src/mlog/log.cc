@@ -597,11 +597,52 @@ std::optional<ReadRecord> Cursor::Next() {
   return out;
 }
 
-int Cursor::ReadFrame(std::string_view* payload, uint64_t* frame_size) {
+size_t Cursor::NextBatch(std::vector<ReadRecord>* out, size_t max_n) {
+  if (!status_.ok() || seg_ == nullptr || max_n == 0) return 0;
+  size_t n = 0;
+  uint64_t bytes = 0;
+  // One committed-watermark sample is reused for every frame decoded from
+  // the same segment in this batch (see ReadFrame's cache contract).
+  uint64_t committed_cache = 0;
+  while (n < max_n) {
+    std::string_view payload;
+    uint64_t frame_size = 0;
+    const int st = ReadFrame(&payload, &frame_size, &committed_cache);
+    if (st <= 0) break;
+    ReadRecord rec;
+    rec.offset = next_offset_;
+    if (!DecodeRecordPayload(payload, &rec.record)) {
+      status_ = Status::IoError("mlog: undecodable entry at offset " +
+                                std::to_string(next_offset_));
+      break;
+    }
+    out->push_back(std::move(rec));
+    byte_pos_ += frame_size;
+    ++next_offset_;
+    bytes += frame_size;
+    ++n;
+  }
+  if (n > 0) {
+    // Amortized metrics: one fetch_add pair per batch, not per record.
+    log_->read_records_.fetch_add(n, std::memory_order_relaxed);
+    log_->read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+int Cursor::ReadFrame(std::string_view* payload, uint64_t* frame_size,
+                      uint64_t* committed_cache) {
   if (!status_.ok() || seg_ == nullptr) return -1;
   while (true) {
-    const uint64_t committed =
-        seg_->committed_bytes.load(std::memory_order_acquire);
+    // The cached watermark is only trusted while it proves bytes ahead of
+    // the cursor; otherwise take (and re-publish) a fresh acquire load.
+    uint64_t committed;
+    if (committed_cache != nullptr && *committed_cache > byte_pos_) {
+      committed = *committed_cache;
+    } else {
+      committed = seg_->committed_bytes.load(std::memory_order_acquire);
+      if (committed_cache != nullptr) *committed_cache = committed;
+    }
     if (byte_pos_ >= committed) {
       // Caught up with this segment. If it is sealed a successor must
       // exist (roll publishes both under the log mutex); otherwise we
@@ -616,6 +657,8 @@ int Cursor::ReadFrame(std::string_view* payload, uint64_t* frame_size) {
       if (next_offset_ < seg_->base_offset) next_offset_ = seg_->base_offset;
       buf_.clear();
       buf_pos_ = 0;
+      // New segment, new watermark: invalidate the caller's cache.
+      if (committed_cache != nullptr) *committed_cache = 0;
       continue;
     }
     const uint64_t avail =

@@ -197,6 +197,18 @@ class Cursor {
   /// occurred (check status()). Never returns partially-written data.
   std::optional<ReadRecord> Next();
 
+  /// Appends up to `max_n` committed records to `out` and returns how
+  /// many were appended (0 = caught up with the writer, or sticky error —
+  /// check status()). Equivalent to calling Next() `max_n` times but
+  /// segment-aware: the per-segment committed watermark is sampled once
+  /// and reused for every frame in the batch (committed offsets only
+  /// grow and are always published at entry boundaries, so a cached
+  /// watermark can never split a frame), and the log's read counters are
+  /// bumped once per batch instead of once per record. This is the
+  /// replay path behind stages.h LogSource: one NextBatch call produces
+  /// exactly one downstream channel transfer.
+  size_t NextBatch(std::vector<ReadRecord>* out, size_t max_n);
+
   /// Offset of the record Next() would return.
   uint64_t offset() const { return next_offset_; }
 
@@ -215,8 +227,14 @@ class Cursor {
   /// Peeks the next committed entry without consuming it, advancing
   /// across sealed segment boundaries. Returns 1 with `*payload` /
   /// `*frame_size` filled, 0 when caught up with the writer, -1 on a
-  /// (sticky) error.
-  int ReadFrame(std::string_view* payload, uint64_t* frame_size);
+  /// (sticky) error. `committed_cache` (optional, batch reads) caches the
+  /// current segment's committed watermark across calls: when it already
+  /// proves bytes ahead of the cursor, the per-frame acquire load is
+  /// skipped; it is refreshed when exhausted and reset on segment
+  /// advance. Safe because committed watermarks only grow and always lie
+  /// on entry boundaries.
+  int ReadFrame(std::string_view* payload, uint64_t* frame_size,
+                uint64_t* committed_cache = nullptr);
   /// Returns a pointer to `n` bytes at absolute file position `pos` of
   /// the current segment, reading through an internal chunk buffer.
   const char* View(uint64_t pos, uint64_t n);

@@ -1,6 +1,7 @@
 #ifndef TCMF_MLOG_STAGES_H_
 #define TCMF_MLOG_STAGES_H_
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -67,16 +68,25 @@ struct LogSourceOptions {
   std::optional<uint64_t> end_offset;
   size_t capacity = 1024;
   std::string name = "mlog.source";
-  /// Transport policy for the replay edge: batched by default (replay is
-  /// the throughput-bound path; BatchPolicy::Single() for the
-  /// record-at-a-time transport).
-  stream::BatchPolicy batch = stream::BatchPolicy::Batched();
+  /// Transport policy for the replay edge: adaptive by default — the
+  /// replay edge is the throughput-bound path and its best batch size
+  /// depends on the consumer, so the per-edge BatchTuner finds it
+  /// (docs/STREAM_TUNING.md). Use BatchPolicy::Batched(n) to pin a static
+  /// size or BatchPolicy::Single() for record-at-a-time transport.
+  stream::BatchPolicy batch = stream::BatchPolicy::Adaptive();
 };
 
 /// Source stage: replays `[start, end)` of `*log` as a Flow<Record>.
 /// Each LogSource owns an independent cursor, so any number of consumers
 /// can replay the same log concurrently (multi-consumer fan-out). The
 /// log must outlive the pipeline run.
+///
+/// Replay is segment-aware batched end to end: the stage pulls via
+/// Cursor::NextBatch sized to the edge's live batch target, so one call
+/// decodes one channel transfer's worth of records, the committed
+/// watermark is sampled once per batch, and the log's read counters are
+/// bumped once per batch — source-side decode amortization matched to
+/// the transport amortization (one lock acquisition per batch).
 inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
                                               Log* log,
                                               LogSourceOptions options = {}) {
@@ -89,13 +99,31 @@ inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
   const uint64_t end = options.end_offset.value_or(log->next_offset());
   pipeline->RegisterStage(options.name + ".log",
                           [log] { return log->StageMetricsSnapshot(); });
-  return stream::Flow<stream::Record>::FromGenerator(
+  if (!options.batch.batched()) {
+    // Record-at-a-time replay: preserved for bit-compatible comparisons.
+    return stream::Flow<stream::Record>::FromGenerator(
+        pipeline,
+        [cursor, end]() -> std::optional<stream::Record> {
+          if (cursor->offset() >= end) return std::nullopt;
+          std::optional<ReadRecord> next = cursor->Next();
+          if (!next.has_value()) return std::nullopt;  // caught up or error
+          return std::move(next->record);
+        },
+        options.capacity, options.name, options.batch);
+  }
+  auto scratch = std::make_shared<std::vector<ReadRecord>>();
+  return stream::Flow<stream::Record>::FromBatchGenerator(
       pipeline,
-      [cursor, end]() -> std::optional<stream::Record> {
-        if (cursor->offset() >= end) return std::nullopt;
-        std::optional<ReadRecord> next = cursor->Next();
-        if (!next.has_value()) return std::nullopt;  // caught up or error
-        return std::move(next->record);
+      [cursor, end, scratch](std::vector<stream::Record>* out,
+                             size_t max_n) -> size_t {
+        if (cursor->offset() >= end) return 0;
+        max_n = std::min<uint64_t>(max_n, end - cursor->offset());
+        scratch->clear();
+        const size_t n = cursor->NextBatch(scratch.get(), max_n);
+        for (size_t i = 0; i < n; ++i) {
+          out->push_back(std::move((*scratch)[i].record));
+        }
+        return n;  // 0 = caught up with the writer or error: end of stream
       },
       options.capacity, options.name, options.batch);
 }

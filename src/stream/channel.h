@@ -30,9 +30,12 @@ enum class PollStatus {
 /// batch transfer: PushBatch/PopBatch move many elements under one lock
 /// acquisition (one per capacity chunk on the push side), which is the
 /// dominant throughput lever for the single-pass operator pipelines every
-/// datAcron component compiles down to. Batch transfers use notify_all
-/// wakeups: releasing k resources with a single notify_one would strand
-/// up to k-1 waiters (see ChannelTest.BatchWakeups* regressions).
+/// datAcron component compiles down to — the full cost model (what the
+/// lock amortization buys, what batch staging costs, how the per-edge
+/// adaptive controller picks the batch size) is docs/STREAM_TUNING.md.
+/// Batch transfers use notify_all wakeups: releasing k resources with a
+/// single notify_one would strand up to k-1 waiters (see
+/// ChannelTest.BatchWakeups* regressions).
 ///
 /// Shutdown protocol (see DESIGN.md "runtime semantics"):
 ///  - Producer side: Close() marks end-of-stream; consumers drain the
@@ -49,6 +52,10 @@ enum class PollStatus {
 template <typename T>
 class Channel {
  public:
+  /// `capacity` bounds the queue depth (0 is promoted to 1). Capacity is
+  /// the backpressure knob: a full queue blocks producers, and the time
+  /// they spend blocked is surfaced as producer_blocked_ns in
+  /// StageMetrics. It also bounds the largest contiguous PushBatch chunk.
   explicit Channel(size_t capacity = 1024)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -254,11 +261,16 @@ class Channel {
     not_full_.notify_all();
   }
 
+  /// True once Close() or CloseAndDrain() has been called. Elements may
+  /// still be queued (use closed_and_empty() for the termination test).
   bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
   }
 
+  /// True once a consumer cancelled the edge via CloseAndDrain().
+  /// Distinguishes upstream cancellation from normal end-of-stream in
+  /// shutdown paths and in the StageMetrics report.
   bool cancelled() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return cancelled_;
@@ -271,11 +283,14 @@ class Channel {
     return closed_ && queue_.empty();
   }
 
+  /// Current queue depth (instantaneous; racy by nature — use the
+  /// queue_high_watermark metric for tuning decisions).
   size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
   }
 
+  /// The fixed bound passed at construction.
   size_t capacity() const { return capacity_; }
 
   /// Adds to the late/dropped counter (wired by windowed operators from

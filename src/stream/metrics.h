@@ -33,6 +33,19 @@ struct StageMetrics {
   uint64_t io_syncs = 0;         ///< fsync/fdatasync calls issued
   uint64_t recovered = 0;        ///< entries recovered by tail-scan on open
   uint64_t truncated_bytes = 0;  ///< torn-tail bytes truncated on open
+  // Adaptive-batching tuner state (BatchPolicy::Adaptive edges only; see
+  // src/stream/tuning.h and docs/STREAM_TUNING.md). `tuned` is false for
+  // static edges and all tuner_* fields stay zero.
+  bool tuned = false;                  ///< edge has a live BatchTuner
+  uint64_t tuner_target_batch = 0;     ///< current per-transfer target
+  uint64_t tuner_min_batch = 0;        ///< search range lower bound
+  uint64_t tuner_batch_cap = 0;        ///< search range upper bound
+  uint64_t tuner_samples = 0;          ///< controller samples taken
+  uint64_t tuner_adjust_up = 0;        ///< times the target was raised
+  uint64_t tuner_adjust_down = 0;      ///< times the target was lowered
+  uint64_t tuner_converged_batch = 0;  ///< stable target (0 until converged)
+  double tuner_mean_push_batch = 0.0;  ///< mean push size, last window
+  double tuner_pop_ms = 0.0;  ///< wall ms/pop, last window (-1: no pops)
 
   /// Mean elements moved per push/pop transfer — the amortization factor
   /// the batched transport buys on this edge (1.0 ⇒ record-at-a-time).
@@ -71,10 +84,12 @@ struct StageMetrics {
     return buf;
   }
 
-  /// Single JSON object (no trailing newline).
+  /// Single JSON object (no trailing newline). Tuned edges append the
+  /// tuner_* block so every controller decision is observable downstream
+  /// (bench_micro JSON rows, tools/bench_check.py relative gates).
   std::string ToJson() const {
-    char buf[1024];
-    std::snprintf(
+    char buf[2048];
+    int n = std::snprintf(
         buf, sizeof(buf),
         "{\"stage\":\"%s\",\"records_in\":%llu,\"records_out\":%llu,"
         "\"batches_in\":%llu,\"batches_out\":%llu,"
@@ -83,7 +98,7 @@ struct StageMetrics {
         "\"consumer_blocked_ns\":%llu,\"push_rejected\":%llu,"
         "\"dropped_on_cancel\":%llu,\"late_dropped\":%llu,"
         "\"cancelled\":%s,\"bytes\":%llu,\"io_syncs\":%llu,"
-        "\"recovered\":%llu,\"truncated_bytes\":%llu}",
+        "\"recovered\":%llu,\"truncated_bytes\":%llu,\"tuned\":%s",
         stage.c_str(), static_cast<unsigned long long>(records_in),
         static_cast<unsigned long long>(records_out),
         static_cast<unsigned long long>(batches_in),
@@ -99,7 +114,32 @@ struct StageMetrics {
         static_cast<unsigned long long>(bytes),
         static_cast<unsigned long long>(io_syncs),
         static_cast<unsigned long long>(recovered),
-        static_cast<unsigned long long>(truncated_bytes));
+        static_cast<unsigned long long>(truncated_bytes),
+        tuned ? "true" : "false");
+    if (tuned && n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(
+          buf + n, sizeof(buf) - n,
+          ",\"tuner_target_batch\":%llu,\"tuner_min_batch\":%llu,"
+          "\"tuner_batch_cap\":%llu,\"tuner_samples\":%llu,"
+          "\"tuner_adjust_up\":%llu,\"tuner_adjust_down\":%llu,"
+          "\"tuner_converged_batch\":%llu,"
+          "\"tuner_mean_push_batch\":%.2f,\"tuner_pop_ms\":%.3f",
+          static_cast<unsigned long long>(tuner_target_batch),
+          static_cast<unsigned long long>(tuner_min_batch),
+          static_cast<unsigned long long>(tuner_batch_cap),
+          static_cast<unsigned long long>(tuner_samples),
+          static_cast<unsigned long long>(tuner_adjust_up),
+          static_cast<unsigned long long>(tuner_adjust_down),
+          static_cast<unsigned long long>(tuner_converged_batch),
+          tuner_mean_push_batch, tuner_pop_ms);
+    }
+    if (n > 0 && static_cast<size_t>(n) < sizeof(buf) - 1) {
+      buf[n] = '}';
+      buf[n + 1] = '\0';
+    } else {
+      buf[sizeof(buf) - 2] = '}';
+      buf[sizeof(buf) - 1] = '\0';
+    }
     return buf;
   }
 };

@@ -15,56 +15,42 @@
 
 #include "stream/channel.h"
 #include "stream/metrics.h"
+#include "stream/tuning.h"
 #include "stream/window.h"
 
 namespace tcmf::stream {
-
-/// Batch transport policy for dataflow operators. `max_batch` is the
-/// largest number of elements moved per channel transfer (1 = the
-/// record-at-a-time path, bit-compatible with the pre-batching runtime);
-/// `max_linger_ms` bounds how long a partially-filled output batch may be
-/// held back waiting to fill up — the classic throughput/latency linger
-/// knob (Kafka `linger.ms`). A negative linger means "flush only when the
-/// batch is full or the stream ends" (maximum amortization, unbounded
-/// staging latency).
-///
-/// Batch boundaries are invisible to operators and to observers of the
-/// output: the differential harness (tests/stream_batch_equiv_test.cc)
-/// proves every {batch, capacity, parallelism} combination produces the
-/// same output multiset as record-at-a-time execution.
-struct BatchPolicy {
-  size_t max_batch = 1;
-  int64_t max_linger_ms = 5;
-
-  bool batched() const { return max_batch > 1; }
-
-  /// Record-at-a-time transport (the default).
-  static BatchPolicy Single() { return BatchPolicy{1, 0}; }
-
-  /// Amortized transport: up to `max_batch` elements per lock
-  /// acquisition, partial batches flushed after `linger_ms`.
-  static BatchPolicy Batched(size_t max_batch = 64, int64_t linger_ms = 5) {
-    return BatchPolicy{max_batch == 0 ? 1 : max_batch, linger_ms};
-  }
-};
 
 /// Buffers operator outputs and flushes them downstream according to a
 /// BatchPolicy. In record-at-a-time mode it degenerates to Channel::Push.
 /// Emit/Flush return false when the downstream edge rejected the transfer
 /// (consumer cancelled) — the signal to propagate cancellation upstream.
+///
+/// When the owning edge is adaptive the emitter carries its BatchTuner:
+/// the flush threshold tracks the live tuner target instead of the static
+/// `max_batch`, and every successful flush feeds the record count back to
+/// the tuner (BatchTuner::OnRecords) — this is the producer-side hook
+/// that drives the whole controller, piggybacked on the existing emit
+/// loop with no extra threads.
 template <typename Out>
 class BatchEmitter {
  public:
-  BatchEmitter(std::shared_ptr<Channel<Out>> out, BatchPolicy policy)
-      : out_(std::move(out)), policy_(policy) {
-    if (policy_.batched()) buf_.reserve(policy_.max_batch);
+  BatchEmitter(std::shared_ptr<Channel<Out>> out, BatchPolicy policy,
+               std::shared_ptr<BatchTuner> tuner = nullptr)
+      : out_(std::move(out)), policy_(policy), tuner_(std::move(tuner)) {
+    if (policy_.batched()) buf_.reserve(policy_.PopMax());
+  }
+
+  /// Live flush threshold: the tuner target on adaptive edges, the static
+  /// `max_batch` otherwise.
+  size_t CurrentTarget() const {
+    return tuner_ ? tuner_->target() : policy_.max_batch;
   }
 
   bool Emit(Out value) {
     if (!policy_.batched()) return out_->Push(std::move(value));
     if (buf_.empty()) first_buffered_ = std::chrono::steady_clock::now();
     buf_.push_back(std::move(value));
-    if (buf_.size() >= policy_.max_batch) return Flush();
+    if (buf_.size() >= CurrentTarget()) return Flush();
     return true;
   }
 
@@ -73,7 +59,8 @@ class BatchEmitter {
     const size_t n = buf_.size();
     const bool ok = out_->PushBatch(std::move(buf_)) == n;
     buf_.clear();
-    buf_.reserve(policy_.max_batch);
+    buf_.reserve(policy_.PopMax());
+    if (ok && tuner_) tuner_->OnRecords(n);
     return ok;
   }
 
@@ -93,11 +80,23 @@ class BatchEmitter {
  private:
   std::shared_ptr<Channel<Out>> out_;
   BatchPolicy policy_;
+  std::shared_ptr<BatchTuner> tuner_;  ///< output edge's controller (or null)
   std::vector<Out> buf_;
   std::chrono::steady_clock::time_point first_buffered_;
 };
 
 namespace internal {
+
+/// Creates the per-edge adaptive controller for `channel` when `policy`
+/// asks for one (BatchPolicy::adaptive()); returns nullptr for static
+/// edges — callers treat a null tuner as "use the static policy".
+template <typename U>
+std::shared_ptr<BatchTuner> MakeTuner(const BatchPolicy& policy,
+                                      const std::shared_ptr<Channel<U>>& ch) {
+  if (!policy.adaptive()) return nullptr;
+  return std::make_shared<BatchTuner>(
+      policy, [ch] { return ch->MetricsSnapshot(); });
+}
 
 /// The shared consume/transform/emit loop behind every 1-input operator.
 /// Drains `in` (record-at-a-time or in batches per `policy`), feeds each
@@ -112,9 +111,15 @@ namespace internal {
 /// In batched mode the loop uses the timed PopBatchFor while outputs are
 /// staged so a partially-filled batch is flushed after `max_linger_ms`
 /// even when the input goes quiet (linger < 0 disables the timer).
+///
+/// `in_tuner` is the adaptive controller of the INPUT edge (nullptr for
+/// static edges): when set, the pop size tracks the live tuner target
+/// each iteration, so a producer-side re-target propagates to this
+/// consumer within one transfer.
 template <typename In, typename Out, typename PerElement, typename AtExit>
 void RunStage(const std::shared_ptr<Channel<In>>& in,
               BatchEmitter<Out>& emitter, BatchPolicy policy,
+              const std::shared_ptr<BatchTuner>& in_tuner,
               PerElement&& per_element, AtExit&& at_exit) {
   bool open = true;
   if (!policy.batched()) {
@@ -126,13 +131,14 @@ void RunStage(const std::shared_ptr<Channel<In>>& in,
     }
   } else {
     std::vector<In> batch;
-    batch.reserve(policy.max_batch);
+    batch.reserve(policy.PopMax());
     while (open) {
       batch.clear();
+      const size_t want = in_tuner ? in_tuner->target() : policy.PopMax();
       size_t n = 0;
       if (emitter.has_pending() && policy.max_linger_ms >= 0) {
-        const PollStatus status = in->PopBatchFor(
-            &batch, policy.max_batch, emitter.LingerRemaining(), &n);
+        const PollStatus status =
+            in->PopBatchFor(&batch, want, emitter.LingerRemaining(), &n);
         if (status == PollStatus::kEmpty) {
           // Linger expired with staged outputs: flush the partial batch.
           if (!emitter.Flush()) open = false;
@@ -140,7 +146,7 @@ void RunStage(const std::shared_ptr<Channel<In>>& in,
         }
         if (status == PollStatus::kClosed) break;
       } else {
-        n = in->PopBatch(&batch, policy.max_batch);
+        n = in->PopBatch(&batch, want);
         if (n == 0) break;
       }
       for (size_t i = 0; i < n; ++i) {
@@ -200,15 +206,23 @@ class Pipeline {
   }
 
   /// Registers a channel as the named stage's output edge. If `name` is
-  /// empty, an auto-name "<op>#<index>" is generated. Returns the final
+  /// empty, an auto-name "<op>#<index>" is generated. When the edge is
+  /// adaptive, pass its BatchTuner so stage snapshots carry the live
+  /// controller state (StageMetrics tuner_* fields). Returns the final
   /// stage name.
   template <typename U>
   std::string RegisterChannelStage(const char* op, std::string name,
-                                   std::shared_ptr<Channel<U>> channel) {
+                                   std::shared_ptr<Channel<U>> channel,
+                                   std::shared_ptr<BatchTuner> tuner =
+                                       nullptr) {
     if (name.empty()) {
       name = std::string(op) + "#" + std::to_string(next_stage_index_++);
     }
-    RegisterStage(name, [channel] { return channel->MetricsSnapshot(); });
+    RegisterStage(name, [channel, tuner = std::move(tuner)] {
+      StageMetrics m = channel->MetricsSnapshot();
+      if (tuner) tuner->FillStageMetrics(&m);
+      return m;
+    });
     return name;
   }
 
@@ -259,8 +273,13 @@ class FusedChain;
 /// they share the underlying channel. Each handle also carries a
 /// BatchPolicy that governs how operators built from it move elements —
 /// `WithBatching(BatchPolicy::Batched(64))` switches every downstream
-/// stage to amortized batch transfers (and the policy is inherited by the
-/// Flows those operators return).
+/// stage to amortized batch transfers, and
+/// `WithBatching(BatchPolicy::Adaptive())` gives every downstream edge
+/// its own self-tuning BatchTuner (the policy is inherited by the Flows
+/// those operators return, so one call at the source configures the
+/// whole graph). Adaptive handles additionally carry the tuner of the
+/// edge they reference, so the consumer an operator builds pops at the
+/// live target the edge's producer is flushing at.
 ///
 /// Shutdown contract for every operator: when the downstream edge stops
 /// accepting (Push returns false because the consumer cancelled), the
@@ -269,33 +288,51 @@ class FusedChain;
 /// operator Close()s its output on every exit path, so downstream stages
 /// always observe end-of-stream. Cancellation mid-batch behaves exactly
 /// like cancellation mid-stream: staged elements are dropped, the signal
-/// is never lost (see BatchShutdownTest).
+/// is never lost (see BatchShutdownTest). Adaptive re-targeting never
+/// changes these semantics — only transfer granularity (proved by the
+/// adaptive arm of tests/stream_batch_equiv_test.cc).
 template <typename T>
 class Flow {
  public:
   Flow(Pipeline* pipeline, std::shared_ptr<Channel<T>> channel,
-       BatchPolicy policy = {})
-      : pipeline_(pipeline), channel_(std::move(channel)), policy_(policy) {}
+       BatchPolicy policy = {}, std::shared_ptr<BatchTuner> tuner = nullptr)
+      : pipeline_(pipeline),
+        channel_(std::move(channel)),
+        policy_(policy),
+        tuner_(std::move(tuner)) {}
 
   /// Returns a handle to the same edge whose downstream operators use
   /// `policy` for channel transfers. Semantics are unchanged — only the
   /// transfer granularity (and therefore lock amortization) differs.
+  /// Switching an adaptive edge to a static policy detaches the tuner
+  /// from the returned handle (the consumer then pops at the static
+  /// `max_batch`).
   Flow<T> WithBatching(BatchPolicy policy) const {
-    return Flow<T>(pipeline_, channel_, policy);
+    return Flow<T>(pipeline_, channel_, policy,
+                   policy.adaptive() ? tuner_ : nullptr);
   }
 
   const BatchPolicy& batch_policy() const { return policy_; }
 
+  /// The adaptive controller of this edge (nullptr on static edges).
+  /// Owned by the edge's producer; exposed for consumers, stage helpers
+  /// and tests that want the live target or a TunerState snapshot.
+  const std::shared_ptr<BatchTuner>& tuner() const { return tuner_; }
+
   /// Source from a pull function; the function returns nullopt when the
   /// stream is exhausted. With a batched `policy` the generator stages up
-  /// to `max_batch` elements (bounded by `max_linger_ms`) per transfer.
+  /// to `max_batch` elements (bounded by `max_linger_ms`) per transfer;
+  /// with an adaptive policy the staging threshold tracks the edge's
+  /// BatchTuner target.
   static Flow<T> FromGenerator(Pipeline* pipeline,
                                std::function<std::optional<T>()> next,
                                size_t capacity = 1024, std::string name = "",
                                BatchPolicy policy = {}) {
     auto channel = std::make_shared<Channel<T>>(capacity);
-    pipeline->RegisterChannelStage("source", std::move(name), channel);
-    pipeline->AddThread([channel, policy, next = std::move(next)]() mutable {
+    auto tuner = internal::MakeTuner(policy, channel);
+    pipeline->RegisterChannelStage("source", std::move(name), channel, tuner);
+    pipeline->AddThread([channel, policy, tuner,
+                         next = std::move(next)]() mutable {
       if (!policy.batched()) {
         while (true) {
           std::optional<T> item = next();
@@ -305,7 +342,7 @@ class Flow {
         }
       } else {
         std::vector<T> buf;
-        buf.reserve(policy.max_batch);
+        buf.reserve(policy.PopMax());
         auto first = std::chrono::steady_clock::now();
         bool cancelled = false;
         while (!cancelled) {
@@ -313,7 +350,8 @@ class Flow {
           if (!item.has_value()) break;
           if (buf.empty()) first = std::chrono::steady_clock::now();
           buf.push_back(std::move(*item));
-          bool flush = buf.size() >= policy.max_batch;
+          bool flush =
+              buf.size() >= (tuner ? tuner->target() : policy.max_batch);
           if (!flush && policy.max_linger_ms >= 0) {
             flush = std::chrono::steady_clock::now() - first >=
                     std::chrono::milliseconds(policy.max_linger_ms);
@@ -322,14 +360,53 @@ class Flow {
             const size_t n = buf.size();
             cancelled = channel->PushBatch(std::move(buf)) != n;
             buf.clear();
-            buf.reserve(policy.max_batch);
+            buf.reserve(policy.PopMax());
+            if (!cancelled && tuner) tuner->OnRecords(n);
           }
         }
         if (!cancelled && !buf.empty()) channel->PushBatch(std::move(buf));
       }
       channel->Close();
     });
-    return Flow<T>(pipeline, std::move(channel), policy);
+    return Flow<T>(pipeline, std::move(channel), policy, std::move(tuner));
+  }
+
+  /// Source from a batch pull function: `next_batch(out, max_n)` appends
+  /// up to `max_n` elements to `out` and returns how many it appended
+  /// (0 = end of stream). The per-call `max_n` is the edge's live batch
+  /// target, so batch-oriented producers (e.g. mlog's segment-aware
+  /// replay, mlog::Cursor::NextBatch) decode exactly one channel
+  /// transfer's worth of records per call — source-side amortization
+  /// matched to transport amortization. Prefer this over FromGenerator
+  /// whenever the underlying producer can hand out more than one element
+  /// per call.
+  static Flow<T> FromBatchGenerator(
+      Pipeline* pipeline,
+      std::function<size_t(std::vector<T>*, size_t)> next_batch,
+      size_t capacity = 1024, std::string name = "",
+      BatchPolicy policy = BatchPolicy::Batched()) {
+    auto channel = std::make_shared<Channel<T>>(capacity);
+    auto tuner = internal::MakeTuner(policy, channel);
+    pipeline->RegisterChannelStage("source", std::move(name), channel, tuner);
+    pipeline->AddThread(
+        [channel, policy, tuner, next_batch = std::move(next_batch)] {
+          std::vector<T> buf;
+          buf.reserve(policy.PopMax());
+          while (true) {
+            buf.clear();
+            const size_t want = std::max<size_t>(
+                1, tuner ? tuner->target() : policy.max_batch);
+            const size_t n = next_batch(&buf, want);
+            if (n == 0) break;
+            // PushBatch accepting fewer than offered means the consumer
+            // cancelled: stop generating.
+            if (channel->PushBatch(std::move(buf)) != n) break;
+            buf.reserve(policy.PopMax());
+            if (tuner) tuner->OnRecords(n);
+          }
+          channel->Close();
+        });
+    return Flow<T>(pipeline, std::move(channel), policy, std::move(tuner));
   }
 
   /// Source from a pre-materialized vector.
@@ -352,17 +429,19 @@ class Flow {
   Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity = 1024,
                 std::string name = "") {
     auto out = std::make_shared<Channel<Out>>(capacity);
-    pipeline_->RegisterChannelStage("map", std::move(name), out);
+    auto out_tuner = internal::MakeTuner(policy_, out);
+    pipeline_->RegisterChannelStage("map", std::move(name), out, out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, fn = std::move(fn)] {
-      BatchEmitter<Out> emitter(out, policy);
+    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
+                          out_tuner, fn = std::move(fn)] {
+      BatchEmitter<Out> emitter(out, policy, out_tuner);
       internal::RunStage(
-          in, emitter, policy,
+          in, emitter, policy, in_tuner,
           [&fn](T& item, BatchEmitter<Out>& em) { return em.Emit(fn(item)); },
           [](bool, BatchEmitter<Out>&) {});
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out), policy_);
+    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
   }
 
   /// 1:N transform.
@@ -370,12 +449,15 @@ class Flow {
   Flow<Out> FlatMap(std::function<std::vector<Out>(const T&)> fn,
                     size_t capacity = 1024, std::string name = "") {
     auto out = std::make_shared<Channel<Out>>(capacity);
-    pipeline_->RegisterChannelStage("flatmap", std::move(name), out);
+    auto out_tuner = internal::MakeTuner(policy_, out);
+    pipeline_->RegisterChannelStage("flatmap", std::move(name), out,
+                                    out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, fn = std::move(fn)] {
-      BatchEmitter<Out> emitter(out, policy);
+    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
+                          out_tuner, fn = std::move(fn)] {
+      BatchEmitter<Out> emitter(out, policy, out_tuner);
       internal::RunStage(
-          in, emitter, policy,
+          in, emitter, policy, in_tuner,
           [&fn](T& item, BatchEmitter<Out>& em) {
             for (Out& o : fn(item)) {
               if (!em.Emit(std::move(o))) return false;
@@ -387,19 +469,21 @@ class Flow {
       // downstream Pop blocked forever.
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out), policy_);
+    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
   }
 
   /// Keeps elements satisfying the predicate.
   Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity = 1024,
                  std::string name = "") {
     auto out = std::make_shared<Channel<T>>(capacity);
-    pipeline_->RegisterChannelStage("filter", std::move(name), out);
+    auto out_tuner = internal::MakeTuner(policy_, out);
+    pipeline_->RegisterChannelStage("filter", std::move(name), out, out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, pred = std::move(pred)] {
-      BatchEmitter<T> emitter(out, policy);
+    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
+                          out_tuner, pred = std::move(pred)] {
+      BatchEmitter<T> emitter(out, policy, out_tuner);
       internal::RunStage(
-          in, emitter, policy,
+          in, emitter, policy, in_tuner,
           [&pred](T& item, BatchEmitter<T>& em) {
             if (!pred(item)) return true;
             return em.Emit(std::move(item));
@@ -407,7 +491,7 @@ class Flow {
           [](bool, BatchEmitter<T>&) {});
       out->Close();
     });
-    return Flow<T>(pipeline_, std::move(out), policy_);
+    return Flow<T>(pipeline_, std::move(out), policy_, std::move(out_tuner));
   }
 
   /// Starts a fused chain: adjacent stateless stages (Map/Filter/FlatMap)
@@ -426,16 +510,17 @@ class Flow {
                          KeyedFlushFn<Out, State> flush = nullptr,
                          size_t capacity = 1024, std::string name = "") {
     auto out = std::make_shared<Channel<Out>>(capacity);
-    pipeline_->RegisterChannelStage("keyed", std::move(name), out);
+    auto out_tuner = internal::MakeTuner(policy_, out);
+    pipeline_->RegisterChannelStage("keyed", std::move(name), out, out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_,
-                          key_fn = std::move(key_fn),
+    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
+                          out_tuner, key_fn = std::move(key_fn),
                           process = std::move(process),
                           flush = std::move(flush)] {
-      BatchEmitter<Out> emitter(out, policy);
+      BatchEmitter<Out> emitter(out, policy, out_tuner);
       std::unordered_map<uint64_t, State> states;
       internal::RunStage(
-          in, emitter, policy,
+          in, emitter, policy, in_tuner,
           [&](T& item, BatchEmitter<Out>& em) {
             bool ok = true;
             auto emit = [&](Out o) {
@@ -454,7 +539,7 @@ class Flow {
           });
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out), policy_);
+    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
   }
 
   /// Keyed stateful processing with `parallelism` worker threads: elements
@@ -474,8 +559,11 @@ class Flow {
                                       std::move(name));
     }
     auto out = std::make_shared<Channel<Out>>(capacity);
-    std::string stage =
-        pipeline_->RegisterChannelStage("keyed_par", std::move(name), out);
+    // One tuner for the shared output edge: all workers flush at the same
+    // live target and feed the same controller (OnRecords is thread-safe).
+    auto out_tuner = internal::MakeTuner(policy_, out);
+    std::string stage = pipeline_->RegisterChannelStage(
+        "keyed_par", std::move(name), out, out_tuner);
     auto in = channel_;
     // Partition router: one input channel per worker.
     auto partitions =
@@ -487,7 +575,7 @@ class Flow {
       partitions->push_back(std::move(part));
     }
     pipeline_->AddThread([in, partitions, key_fn, parallelism,
-                          policy = policy_] {
+                          policy = policy_, in_tuner = tuner_] {
       auto route = [&](T&& item) {
         size_t w = std::hash<uint64_t>{}(key_fn(item)) % parallelism;
         return (*partitions)[w]->Push(std::move(item));
@@ -506,11 +594,13 @@ class Flow {
         // edges also move amortized transfers.
         std::vector<T> batch;
         std::vector<std::vector<T>> scatter(parallelism);
-        batch.reserve(policy.max_batch);
+        batch.reserve(policy.PopMax());
         bool open = true;
         while (open) {
           batch.clear();
-          const size_t n = in->PopBatch(&batch, policy.max_batch);
+          const size_t want =
+              in_tuner ? in_tuner->target() : policy.PopMax();
+          const size_t n = in->PopBatch(&batch, want);
           if (n == 0) break;
           for (size_t i = 0; i < n; ++i) {
             size_t w = std::hash<uint64_t>{}(key_fn(batch[i])) % parallelism;
@@ -534,12 +624,14 @@ class Flow {
     auto live_workers = std::make_shared<std::atomic<size_t>>(parallelism);
     for (size_t w = 0; w < parallelism; ++w) {
       auto my_in = (*partitions)[w];
-      pipeline_->AddThread([my_in, out, key_fn, process, flush, live_workers,
-                            policy = policy_] {
-        BatchEmitter<Out> emitter(out, policy);
+      pipeline_->AddThread([my_in, out, out_tuner, key_fn, process, flush,
+                            live_workers, policy = policy_] {
+        BatchEmitter<Out> emitter(out, policy, out_tuner);
         std::unordered_map<uint64_t, State> states;
+        // Partition edges carry no tuner (they are fan-out internals);
+        // workers pop at the policy cap.
         internal::RunStage(
-            my_in, emitter, policy,
+            my_in, emitter, policy, nullptr,
             [&](T& item, BatchEmitter<Out>& em) {
               bool ok = true;
               auto emit = [&](Out o) {
@@ -559,7 +651,7 @@ class Flow {
         if (live_workers->fetch_sub(1) == 1) out->Close();
       });
     }
-    return Flow<Out>(pipeline_, std::move(out), policy_);
+    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
   }
 
   /// Keyed event-time tumbling windows with bounded lateness: elements are
@@ -578,16 +670,17 @@ class Flow {
     using Result =
         std::pair<uint64_t, typename TumblingWindower<T, Acc>::WindowResult>;
     auto out = std::make_shared<Channel<Result>>(capacity);
-    pipeline_->RegisterChannelStage("window", std::move(name), out);
+    auto out_tuner = internal::MakeTuner(policy_, out);
+    pipeline_->RegisterChannelStage("window", std::move(name), out, out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_,
-                          key_fn = std::move(key_fn),
+    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
+                          out_tuner, key_fn = std::move(key_fn),
                           time_fn = std::move(time_fn), window_ms,
                           allowed_lateness_ms, add = std::move(add)] {
-      BatchEmitter<Result> emitter(out, policy);
+      BatchEmitter<Result> emitter(out, policy, out_tuner);
       std::unordered_map<uint64_t, TumblingWindower<T, Acc>> windowers;
       internal::RunStage(
-          in, emitter, policy,
+          in, emitter, policy, in_tuner,
           [&](T& item, BatchEmitter<Result>& em) {
             const uint64_t key = key_fn(item);
             auto [it, inserted] = windowers.try_emplace(
@@ -615,22 +708,27 @@ class Flow {
           });
       out->Close();
     });
-    return Flow<Result>(pipeline_, std::move(out), policy_);
+    return Flow<Result>(pipeline_, std::move(out), policy_,
+                        std::move(out_tuner));
   }
 
-  /// Terminal: applies `fn` to every element.
+  /// Terminal: applies `fn` to every element. Runs until end-of-stream;
+  /// under batching it pops amortized transfers (at the live tuner target
+  /// on adaptive edges) and applies `fn` element-at-a-time.
   void Sink(std::function<void(const T&)> fn) {
     auto in = channel_;
-    pipeline_->AddThread([in, policy = policy_, fn = std::move(fn)] {
+    pipeline_->AddThread([in, policy = policy_, in_tuner = tuner_,
+                          fn = std::move(fn)] {
       if (!policy.batched()) {
         while (auto item = in->Pop()) fn(*item);
         return;
       }
       std::vector<T> batch;
-      batch.reserve(policy.max_batch);
+      batch.reserve(policy.PopMax());
       while (true) {
         batch.clear();
-        const size_t n = in->PopBatch(&batch, policy.max_batch);
+        const size_t want = in_tuner ? in_tuner->target() : policy.PopMax();
+        const size_t n = in->PopBatch(&batch, want);
         if (n == 0) break;
         for (size_t i = 0; i < n; ++i) fn(batch[i]);
       }
@@ -644,7 +742,8 @@ class Flow {
   /// same fate queued elements meet under CloseAndDrain.
   void SinkWhile(std::function<bool(const T&)> fn) {
     auto in = channel_;
-    pipeline_->AddThread([in, policy = policy_, fn = std::move(fn)] {
+    pipeline_->AddThread([in, policy = policy_, in_tuner = tuner_,
+                          fn = std::move(fn)] {
       if (!policy.batched()) {
         while (auto item = in->Pop()) {
           if (!fn(*item)) {
@@ -655,11 +754,12 @@ class Flow {
         return;
       }
       std::vector<T> batch;
-      batch.reserve(policy.max_batch);
+      batch.reserve(policy.PopMax());
       bool open = true;
       while (open) {
         batch.clear();
-        const size_t n = in->PopBatch(&batch, policy.max_batch);
+        const size_t want = in_tuner ? in_tuner->target() : policy.PopMax();
+        const size_t n = in->PopBatch(&batch, want);
         if (n == 0) break;
         for (size_t i = 0; i < n; ++i) {
           if (!fn(batch[i])) {
@@ -689,6 +789,7 @@ class Flow {
   Pipeline* pipeline_;
   std::shared_ptr<Channel<T>> channel_;
   BatchPolicy policy_;
+  std::shared_ptr<BatchTuner> tuner_;  ///< this edge's controller (or null)
 };
 
 /// A chain of stateless operators fused into one stage: the composed
@@ -755,12 +856,14 @@ class FusedChain {
     Pipeline* pipeline = source_.pipeline();
     const BatchPolicy policy = source_.batch_policy();
     auto out = std::make_shared<Channel<Cur>>(capacity);
-    pipeline->RegisterChannelStage("fused", std::move(name), out);
+    auto out_tuner = internal::MakeTuner(policy, out);
+    pipeline->RegisterChannelStage("fused", std::move(name), out, out_tuner);
     auto in = source_.channel();
-    pipeline->AddThread([in, out, policy, apply = apply_] {
-      BatchEmitter<Cur> emitter(out, policy);
+    pipeline->AddThread([in, out, policy, in_tuner = source_.tuner(),
+                         out_tuner, apply = apply_] {
+      BatchEmitter<Cur> emitter(out, policy, out_tuner);
       internal::RunStage(
-          in, emitter, policy,
+          in, emitter, policy, in_tuner,
           [&apply](In& item, BatchEmitter<Cur>& em) {
             bool ok = true;
             apply(std::move(item), [&](Cur&& c) {
@@ -771,7 +874,7 @@ class FusedChain {
           [](bool, BatchEmitter<Cur>&) {});
       out->Close();
     });
-    return Flow<Cur>(pipeline, std::move(out), policy);
+    return Flow<Cur>(pipeline, std::move(out), policy, std::move(out_tuner));
   }
 
  private:

@@ -14,13 +14,17 @@ namespace tcmf::synopses {
 /// private generator instance (parallelism-safe state, the Flink
 /// keyed-stream execution model). Open synopses flush at end-of-stream.
 /// Appears in Pipeline::Report() as "synopses" (plus ".partN" edges when
-/// parallelism > 1). Runs on the batched transport by default: the input,
-/// partition and output edges all move amortized batch transfers (pass
-/// BatchPolicy::Single() for record-at-a-time).
+/// parallelism > 1). Runs on the adaptive batched transport by default:
+/// the input, partition and output edges all move amortized batch
+/// transfers, and the input/output edges carry per-edge BatchTuners that
+/// find each edge's own batch size from observed StageMetrics (pass
+/// BatchPolicy::Batched(n) for a pinned static size,
+/// BatchPolicy::Single() for record-at-a-time; see
+/// docs/STREAM_TUNING.md).
 inline stream::Flow<CriticalPoint> SynopsesStage(
     stream::Flow<Position> flow, const SynopsesConfig& config,
     size_t parallelism = 1, size_t capacity = 1024,
-    stream::BatchPolicy policy = stream::BatchPolicy::Batched()) {
+    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
   struct State {
     std::unique_ptr<SynopsesGenerator> gen;
   };

@@ -403,6 +403,91 @@ TEST(MlogLogTest, TailingCursorSeesLaterAppends) {
   EXPECT_EQ(rr->offset, 3u);
 }
 
+TEST(MlogLogTest, NextBatchMatchesRepeatedNext) {
+  LogOptions opt;
+  opt.dir = TestDir("next_batch_equiv");
+  opt.segment_bytes = 512;  // force many segments
+  auto log = MustOpen(opt);
+  const int kCount = 500;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(log->Append(MakeRecord(i)).ok());
+  }
+  ASSERT_GT(log->segment_count(), 1u);
+
+  std::unique_ptr<Cursor> one = log->NewCursor();
+  std::unique_ptr<Cursor> batched = log->NewCursor();
+  std::vector<ReadRecord> expected;
+  while (auto rr = one->Next()) expected.push_back(std::move(*rr));
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kCount));
+
+  // Varying batch sizes, including ones that straddle segment
+  // boundaries, must yield the identical record+offset sequence.
+  std::vector<ReadRecord> got;
+  std::vector<ReadRecord> chunk;
+  size_t want = 1;
+  while (true) {
+    chunk.clear();
+    const size_t n = batched->NextBatch(&chunk, want);
+    if (n == 0) break;
+    EXPECT_EQ(n, chunk.size());
+    EXPECT_LE(n, want);
+    for (auto& rr : chunk) got.push_back(std::move(rr));
+    want = want * 3 + 1;  // 1, 4, 13, 40, 121, ...
+  }
+  EXPECT_TRUE(batched->status().ok()) << batched->status().ToString();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].offset, expected[i].offset) << i;
+    EXPECT_EQ(got[i].record, expected[i].record) << i;
+  }
+}
+
+TEST(MlogLogTest, NextBatchCrossesSegmentsInOneCall) {
+  LogOptions opt;
+  opt.dir = TestDir("next_batch_cross");
+  opt.segment_bytes = 256;  // a handful of records per segment
+  auto log = MustOpen(opt);
+  for (int i = 0; i < 120; ++i) ASSERT_TRUE(log->Append(MakeRecord(i)).ok());
+  ASSERT_GT(log->segment_count(), 2u);
+
+  // One call larger than any single segment's record count walks through
+  // sealed-segment boundaries and returns everything.
+  std::unique_ptr<Cursor> cursor = log->NewCursor();
+  std::vector<ReadRecord> all;
+  EXPECT_EQ(cursor->NextBatch(&all, 1000), 120u);
+  ASSERT_EQ(all.size(), 120u);
+  for (int i = 0; i < 120; ++i) {
+    EXPECT_EQ(all[i].offset, static_cast<uint64_t>(i));
+    EXPECT_EQ(all[i].record, MakeRecord(i));
+  }
+  // Exhausted: further batch reads return 0 without error (tailing).
+  std::vector<ReadRecord> more;
+  EXPECT_EQ(cursor->NextBatch(&more, 16), 0u);
+  EXPECT_TRUE(cursor->status().ok());
+}
+
+TEST(MlogLogTest, NextBatchTailsTheActiveSegment) {
+  LogOptions opt;
+  opt.dir = TestDir("next_batch_tail");
+  auto log = MustOpen(opt);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(log->Append(MakeRecord(i)).ok());
+  std::unique_ptr<Cursor> cursor = log->NewCursor();
+  std::vector<ReadRecord> out;
+  // Asking for more than is committed returns only the committed prefix.
+  EXPECT_EQ(cursor->NextBatch(&out, 64), 5u);
+  EXPECT_EQ(cursor->NextBatch(&out, 64), 0u);  // caught up, not an error
+  EXPECT_TRUE(cursor->status().ok());
+  // New appends become visible to the same cursor on the next call.
+  for (int i = 5; i < 9; ++i) ASSERT_TRUE(log->Append(MakeRecord(i)).ok());
+  EXPECT_EQ(cursor->NextBatch(&out, 64), 4u);
+  ASSERT_EQ(out.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(out[i].record, MakeRecord(i));
+  // max_n == 0 is a no-op.
+  EXPECT_EQ(cursor->NextBatch(&out, 0), 0u);
+  // Amortized read metrics still account every record exactly once.
+  EXPECT_EQ(log->metrics().read_records, 9u);
+}
+
 TEST(MlogLogTest, RetentionDropsOldSegmentsAndAdvancesStart) {
   LogOptions opt;
   opt.dir = TestDir("retention");

@@ -297,9 +297,17 @@ TEST_P(BatchEquivTest, BatchedAndFusedMatchRecordAtATime) {
       ops, input, BatchPolicy::Batched(p.batch, 2), p.capacity, false);
   const std::vector<VRec> fused = RunGraph(
       ops, input, BatchPolicy::Batched(p.batch, -1), p.capacity, true);
+  // Adaptive with an aggressive cadence so per-edge BatchTuners actually
+  // re-target mid-run: live re-targeting must be just as invisible as a
+  // static batch boundary.
+  BatchPolicy adaptive = BatchPolicy::Adaptive(p.batch, 1, 1024, 2);
+  adaptive.tune_every_records = 64;
+  const std::vector<VRec> tuned =
+      RunGraph(ops, input, adaptive, p.capacity, false);
 
   ExpectSameMultiset(baseline, batched, "batched");
   ExpectSameMultiset(baseline, fused, "fused+batched");
+  ExpectSameMultiset(baseline, tuned, "adaptive");
 }
 
 std::vector<EquivParams> SweepParams() {
@@ -336,6 +344,12 @@ TEST(BatchEquivTest, AllOperatorKindsGraph) {
     ExpectSameMultiset(
         baseline, RunGraph(ops, input, BatchPolicy::Batched(batch, -1), 8, true),
         "fused");
+    BatchPolicy adaptive = BatchPolicy::Adaptive(batch, 1, 1024, 1);
+    adaptive.tune_every_records = 128;
+    ExpectSameMultiset(baseline, RunGraph(ops, input, adaptive, 8, false),
+                       "adaptive");
+    ExpectSameMultiset(baseline, RunGraph(ops, input, adaptive, 8, true),
+                       "adaptive+fused");
   }
 }
 

@@ -1,0 +1,481 @@
+// Tests for the adaptive batching controller (src/stream/tuning.h):
+// BatchPolicy::Adaptive + BatchTuner unit behavior driven by synthetic
+// StageMetrics windows (growth while batches fill, back-off past the
+// slow-batch latency bound, convergence after steady holds), the
+// degenerate min_batch == max_batch_cap static fallback, tuner state in
+// Pipeline::Report()/ReportJson(), convergence and phase-change behavior
+// on real pipelines, and adaptive + Fuse() + CloseAndDrain() shutdown
+// under the watchdog harness. The written model these tests pin down is
+// docs/STREAM_TUNING.md.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/channel.h"
+#include "stream/pipeline.h"
+#include "stream/tuning.h"
+
+namespace tcmf::stream {
+namespace {
+
+// ------------------------------------------------- policy construction
+
+TEST(TunerPolicyTest, AdaptiveFactoryClampsSeedIntoRange) {
+  BatchPolicy p = BatchPolicy::Adaptive(4096, 2, 512);
+  EXPECT_TRUE(p.adaptive());
+  EXPECT_TRUE(p.batched());
+  EXPECT_EQ(p.max_batch, 512u);  // seed clamped to cap
+  EXPECT_EQ(p.min_batch, 2u);
+  EXPECT_EQ(p.max_batch_cap, 512u);
+  EXPECT_EQ(p.PopMax(), 512u);
+
+  BatchPolicy lo = BatchPolicy::Adaptive(1, 8, 64);
+  EXPECT_EQ(lo.max_batch, 8u);  // seed clamped to min
+}
+
+TEST(TunerPolicyTest, DegenerateRangeIsStaticPolicy) {
+  // min_batch == max_batch_cap: the controller has no room, the policy
+  // degenerates to Batched(min_batch) and no tuner is ever created.
+  BatchPolicy p = BatchPolicy::Adaptive(16, 32, 32);
+  EXPECT_FALSE(p.adaptive());
+  EXPECT_TRUE(p.batched());
+  EXPECT_EQ(p.max_batch, 32u);
+  EXPECT_EQ(p.PopMax(), 32u);
+
+  EXPECT_FALSE(BatchPolicy::Single().adaptive());
+  EXPECT_FALSE(BatchPolicy::Batched(64).adaptive());
+}
+
+// ------------------------------------------- controller unit behavior
+//
+// The tuner is driven directly with synthetic per-window StageMetrics so
+// each controller decision is deterministic.
+
+class FakeEdge {
+ public:
+  std::function<StageMetrics()> SnapshotFn() {
+    return [this] { return metrics_; };
+  }
+
+  /// Simulates one window: `pushes` transfers carrying `records` total,
+  /// `pops` consumer transfers.
+  void Window(uint64_t records, uint64_t pushes, uint64_t pops) {
+    metrics_.records_in += records;
+    metrics_.records_out += records;
+    metrics_.batches_in += pushes;
+    metrics_.batches_out += pops;
+  }
+
+ private:
+  StageMetrics metrics_;
+};
+
+BatchPolicy TestPolicy(size_t seed, size_t min, size_t cap) {
+  BatchPolicy p = BatchPolicy::Adaptive(seed, min, cap);
+  // Gigantic latency bound: back-off never fires unless a test wants it.
+  p.slow_batch_ms = 1e9;
+  return p;
+}
+
+TEST(TunerUnitTest, GrowsWhileProducersFillBatches) {
+  FakeEdge edge;
+  BatchTuner tuner(TestPolicy(8, 1, 64), edge.SnapshotFn());
+  ASSERT_EQ(tuner.target(), 8u);
+
+  // Full batches at the current target: multiplicative increase to cap.
+  edge.Window(800, 100, 100);  // mean push 8 == target
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 16u);
+  edge.Window(1600, 100, 100);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 32u);
+  edge.Window(3200, 100, 100);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 64u);
+  // At the cap: no further growth.
+  edge.Window(6400, 100, 100);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 64u);
+
+  const TunerState s = tuner.Snapshot();
+  EXPECT_EQ(s.adjust_up, 3u);
+  EXPECT_EQ(s.adjust_down, 0u);
+  EXPECT_EQ(s.samples, 4u);
+}
+
+TEST(TunerUnitTest, HoldsWhenBatchesTrickle) {
+  // Mean push far below fill_threshold * target: a bigger target buys
+  // nothing, so the tuner holds.
+  FakeEdge edge;
+  BatchTuner tuner(TestPolicy(64, 1, 1024), edge.SnapshotFn());
+  edge.Window(200, 100, 100);  // mean push 2 < 0.5 * 64
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 64u);
+  EXPECT_EQ(tuner.Snapshot().adjust_up, 0u);
+}
+
+TEST(TunerUnitTest, ConvergesAfterSteadyHolds) {
+  FakeEdge edge;
+  BatchPolicy policy = TestPolicy(8, 1, 16);
+  BatchTuner tuner(policy, edge.SnapshotFn());
+  edge.Window(800, 100, 100);
+  tuner.Sample();  // 8 -> 16 (cap)
+  ASSERT_EQ(tuner.target(), 16u);
+  EXPECT_EQ(tuner.Snapshot().converged_batch, 0u);
+  // converge_after consecutive holds publish the converged size.
+  for (uint32_t i = 0; i < policy.converge_after; ++i) {
+    edge.Window(1600, 100, 100);
+    tuner.Sample();
+  }
+  EXPECT_EQ(tuner.Snapshot().converged_batch, 16u);
+  EXPECT_EQ(tuner.target(), 16u);
+}
+
+TEST(TunerUnitTest, BacksOffWhenConsumerPopsAreSlow) {
+  FakeEdge edge;
+  BatchPolicy policy = BatchPolicy::Adaptive(64, 4, 64);
+  policy.slow_batch_ms = 0.0;  // any measurable pop time is "slow"
+  BatchTuner tuner(policy, edge.SnapshotFn());
+
+  // One pop for the whole window: wall time per pop exceeds the bound,
+  // so the target halves until the floor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(64, 1, 1);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 32u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(32, 1, 1);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 16u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(16, 1, 1);
+  tuner.Sample();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(8, 1, 1);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 4u);  // clamped at min_batch
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(4, 1, 1);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 4u);  // never below the floor
+
+  const TunerState s = tuner.Snapshot();
+  EXPECT_EQ(s.adjust_down, 4u);
+  EXPECT_GT(s.last_pop_ms, 0.0);
+}
+
+TEST(TunerUnitTest, StalledConsumerReportsNoPopsAndBacksOff) {
+  // Records flowed in but the consumer made zero pops: pop time is
+  // effectively unbounded — back off, and report last_pop_ms as -1.
+  FakeEdge edge;
+  BatchPolicy policy = BatchPolicy::Adaptive(32, 1, 64);
+  policy.slow_batch_ms = 0.0;
+  BatchTuner tuner(policy, edge.SnapshotFn());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(64, 2, 0);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 16u);
+  EXPECT_DOUBLE_EQ(tuner.Snapshot().last_pop_ms, -1.0);
+}
+
+TEST(TunerUnitTest, IdleWindowsProduceNoEvidence) {
+  FakeEdge edge;
+  BatchTuner tuner(TestPolicy(8, 1, 64), edge.SnapshotFn());
+  tuner.Sample();  // no records moved: skipped
+  tuner.Sample();
+  EXPECT_EQ(tuner.Snapshot().samples, 0u);
+  EXPECT_EQ(tuner.target(), 8u);
+}
+
+TEST(TunerUnitTest, OscillationIsBoundedUnderAlternatingPhases) {
+  // Alternating fast/slow windows: the controller must keep the target
+  // inside [min, cap] with at most one move per window, and adjustments
+  // in both directions must stay bounded by the window count (one sample
+  // = at most one step; no compounding oscillation).
+  FakeEdge edge;
+  BatchPolicy policy = BatchPolicy::Adaptive(32, 4, 256);
+  BatchTuner tuner(policy, edge.SnapshotFn());
+  size_t prev = tuner.target();
+  for (int phase = 0; phase < 24; ++phase) {
+    const bool slow = (phase % 2) == 1;
+    // A "slow" window pops once over >= 2ms; a fast one pops 1000 times.
+    if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    const size_t t = tuner.target();
+    edge.Window(t * 8, 8, slow ? 1 : 1000);
+    tuner.Sample();
+    const size_t cur = tuner.target();
+    EXPECT_GE(cur, policy.min_batch);
+    EXPECT_LE(cur, policy.max_batch_cap);
+    // One controller step at most: halved, grown, or held.
+    EXPECT_TRUE(cur == prev || cur == prev / 2 || cur >= prev)
+        << "phase " << phase << ": " << prev << " -> " << cur;
+    prev = cur;
+  }
+  const TunerState s = tuner.Snapshot();
+  EXPECT_GT(s.adjust_up, 0u);
+  EXPECT_GT(s.adjust_down, 0u);
+  EXPECT_LE(s.adjust_up + s.adjust_down, s.samples);
+}
+
+TEST(TunerUnitTest, OnRecordsSamplesAtCadence) {
+  FakeEdge edge;
+  BatchPolicy policy = TestPolicy(8, 1, 64);
+  policy.tune_every_records = 1000;
+  BatchTuner tuner(policy, edge.SnapshotFn());
+  edge.Window(999, 100, 100);
+  tuner.OnRecords(999);  // below cadence: no sample
+  EXPECT_EQ(tuner.Snapshot().samples, 0u);
+  tuner.OnRecords(1);  // crosses cadence: one sample
+  EXPECT_EQ(tuner.Snapshot().samples, 1u);
+}
+
+TEST(TunerUnitTest, FillStageMetricsExposesEveryField) {
+  FakeEdge edge;
+  BatchTuner tuner(TestPolicy(8, 2, 64), edge.SnapshotFn());
+  edge.Window(800, 100, 100);
+  tuner.Sample();  // 8 -> 16
+  StageMetrics m;
+  tuner.FillStageMetrics(&m);
+  EXPECT_TRUE(m.tuned);
+  EXPECT_EQ(m.tuner_target_batch, 16u);
+  EXPECT_EQ(m.tuner_min_batch, 2u);
+  EXPECT_EQ(m.tuner_batch_cap, 64u);
+  EXPECT_EQ(m.tuner_samples, 1u);
+  EXPECT_EQ(m.tuner_adjust_up, 1u);
+  EXPECT_EQ(m.tuner_adjust_down, 0u);
+  EXPECT_DOUBLE_EQ(m.tuner_mean_push_batch, 8.0);
+  const std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"tuned\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"tuner_target_batch\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"tuner_adjust_up\":1"), std::string::npos);
+  // Static edges keep the compact object.
+  StageMetrics untuned;
+  EXPECT_NE(untuned.ToJson().find("\"tuned\":false"), std::string::npos);
+  EXPECT_EQ(untuned.ToJson().find("tuner_target_batch"), std::string::npos);
+}
+
+// --------------------------------------------- pipeline integration
+
+TEST(TunerPipelineTest, AdaptiveEdgesCarryTunersAndReportState) {
+  Pipeline pipeline;
+  BatchPolicy policy = BatchPolicy::Adaptive(4, 1, 256, 5);
+  policy.tune_every_records = 512;
+  std::vector<int> input(20000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow = Flow<int>::FromVector(&pipeline, input, 256, "src", policy)
+                  .Map<int>([](const int& x) { return x * 2; }, 256, "dbl");
+  ASSERT_NE(flow.tuner(), nullptr);
+  std::vector<int> out;
+  flow.CollectInto(&out);
+  pipeline.Run();
+  ASSERT_EQ(out.size(), input.size());
+
+  size_t tuned_edges = 0;
+  for (const StageMetrics& m : pipeline.Report()) {
+    if (!m.tuned) continue;
+    ++tuned_edges;
+    EXPECT_GE(m.tuner_target_batch, m.tuner_min_batch) << m.stage;
+    EXPECT_LE(m.tuner_target_batch, m.tuner_batch_cap) << m.stage;
+    EXPECT_GT(m.tuner_samples, 0u) << m.stage;
+  }
+  EXPECT_EQ(tuned_edges, 2u);  // src edge + dbl edge
+  EXPECT_NE(pipeline.ReportJson().find("\"tuner_target_batch\""),
+            std::string::npos);
+}
+
+TEST(TunerPipelineTest, ConvergesUpwardUnderSteadyFastLoad) {
+  // Fast producer, trivial consumer: transfer-granularity-bound, so the
+  // tuner must grow the source edge's target above the seed.
+  Pipeline pipeline;
+  BatchPolicy policy = BatchPolicy::Adaptive(4, 1, 256, 5);
+  policy.tune_every_records = 512;
+  policy.slow_batch_ms = 1e9;  // keep CI scheduling noise out of the test
+  std::vector<int> input(60000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow = Flow<int>::FromVector(&pipeline, input, 256, "src", policy);
+  std::atomic<long long> sum{0};
+  flow.Sink([&sum](const int& x) {
+    sum.fetch_add(x, std::memory_order_relaxed);
+  });
+  pipeline.Run();
+
+  ASSERT_NE(flow.tuner(), nullptr);
+  const TunerState s = flow.tuner()->Snapshot();
+  EXPECT_GT(s.samples, 0u);
+  EXPECT_GT(s.adjust_up, 0u);
+  EXPECT_GT(s.target_batch, 4u);
+  EXPECT_EQ(s.adjust_down, 0u);
+}
+
+TEST(TunerPipelineTest, BacksOffUnderSlowConsumerPhase) {
+  // Phase change: the sink turns compute-bound halfway through. The
+  // tuner must register back-off adjustments once pops exceed the
+  // latency bound.
+  Pipeline pipeline;
+  BatchPolicy policy = BatchPolicy::Adaptive(128, 1, 256, 5);
+  policy.tune_every_records = 256;
+  policy.slow_batch_ms = 0.5;
+  std::vector<int> input(6000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow = Flow<int>::FromVector(&pipeline, input, 256, "src", policy);
+  std::atomic<size_t> seen{0};
+  flow.Sink([&seen](const int&) {
+    const size_t n = seen.fetch_add(1, std::memory_order_relaxed);
+    if (n >= 3000) {
+      // Slow phase: ~40us of "work" per record makes any target > ~12
+      // exceed the 0.5ms/pop bound.
+      std::this_thread::sleep_for(std::chrono::microseconds(40));
+    }
+  });
+  pipeline.Run();
+
+  ASSERT_NE(flow.tuner(), nullptr);
+  const TunerState s = flow.tuner()->Snapshot();
+  EXPECT_GT(s.adjust_down, 0u) << "tuner never backed off under the slow "
+                                  "consumer phase";
+  EXPECT_LT(s.target_batch, 128u);
+}
+
+TEST(TunerPipelineTest, DegenerateAdaptivePolicyRunsStatic) {
+  Pipeline pipeline;
+  const BatchPolicy policy = BatchPolicy::Adaptive(16, 32, 32);
+  std::vector<int> input(5000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow = Flow<int>::FromVector(&pipeline, input, 64, "src", policy);
+  EXPECT_EQ(flow.tuner(), nullptr);  // no controller created
+  std::vector<int> out;
+  flow.CollectInto(&out);
+  pipeline.Run();
+  EXPECT_EQ(out.size(), input.size());
+  for (const StageMetrics& m : pipeline.Report()) {
+    EXPECT_FALSE(m.tuned) << m.stage;
+    EXPECT_EQ(m.tuner_samples, 0u) << m.stage;
+  }
+}
+
+TEST(TunerPipelineTest, KeyedParallelSharesOneOutputTuner) {
+  Pipeline pipeline;
+  BatchPolicy policy = BatchPolicy::Adaptive(8, 1, 128, 5);
+  policy.tune_every_records = 256;
+  std::vector<int> input(30000);
+  std::iota(input.begin(), input.end(), 0);
+  struct State {
+    long long sum = 0;
+  };
+  auto flow =
+      Flow<int>::FromVector(&pipeline, input, 128, "src", policy)
+          .KeyedProcessParallel<int, State>(
+              [](const int& x) { return static_cast<uint64_t>(x % 16); },
+              [](const int& x, State& st,
+                 const std::function<void(int)>& emit) {
+                st.sum += x;
+                emit(x);
+              },
+              4, nullptr, 128, "par");
+  ASSERT_NE(flow.tuner(), nullptr);
+  std::vector<int> out;
+  flow.CollectInto(&out);
+  pipeline.Run();
+  EXPECT_EQ(out.size(), input.size());
+  // All four workers fed the same controller; its state must be coherent.
+  const TunerState s = flow.tuner()->Snapshot();
+  EXPECT_GE(s.target_batch, 1u);
+  EXPECT_LE(s.target_batch, 128u);
+  EXPECT_GT(s.samples, 0u);
+}
+
+// ------------------------------------- shutdown under the watchdog
+
+// Watchdog: fails (instead of hanging the suite) when the pipeline does
+// not shut down in time.
+void ExpectCompletesWithin(std::function<void()> body, int timeout_ms) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> finished = done->get_future();
+  std::thread([body = std::move(body), done] {
+    body();
+    done->set_value();
+  }).detach();
+  ASSERT_EQ(finished.wait_for(std::chrono::milliseconds(timeout_ms)),
+            std::future_status::ready)
+      << "pipeline hung: adaptive shutdown deadlock regression";
+}
+
+TEST(TunerShutdownTest, AdaptiveFusedChainCancelPropagatesToSource) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        BatchPolicy policy = BatchPolicy::Adaptive(16, 1, 512, 1);
+        policy.tune_every_records = 128;
+        std::atomic<int> produced{0};
+        // Infinite generator: only upstream cancellation can end it.
+        auto source = Flow<int>::FromGenerator(
+            &pipeline, [&produced]() -> std::optional<int> { return produced++; },
+            4, "gen", policy);
+        auto fused = source.Fuse()
+                         .Map<int>([](const int& x) { return x + 1; })
+                         .Filter([](const int& x) { return x % 3 != 0; })
+                         .Emit(4, "fused");
+        size_t seen = 0;
+        fused.SinkWhile([&seen](const int&) { return ++seen < 500; });
+        pipeline.Run();
+        EXPECT_GE(seen, 500u);
+        bool source_cancelled = false;
+        for (const auto& m : pipeline.Report()) {
+          if (m.stage == "gen") source_cancelled = m.cancelled;
+        }
+        EXPECT_TRUE(source_cancelled);
+      },
+      5000);
+}
+
+TEST(TunerShutdownTest, AdaptiveSinkCancelsMidRetargetedBatch) {
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        BatchPolicy policy = BatchPolicy::Adaptive(8, 1, 1024, 1);
+        policy.tune_every_records = 64;  // re-target often mid-run
+        std::vector<int> input(200000);
+        std::iota(input.begin(), input.end(), 0);
+        auto flow = Flow<int>::FromVector(&pipeline, input, 4, "src", policy)
+                        .Map<int>([](const int& x) { return x + 1; }, 4);
+        size_t seen = 0;
+        flow.SinkWhile([&seen](const int&) { return ++seen < 100; });
+        pipeline.Run();
+        EXPECT_GE(seen, 100u);
+      },
+      5000);
+}
+
+TEST(TunerShutdownTest, ConsumerCloseAndDrainUnblocksAdaptiveProducer) {
+  ExpectCompletesWithin(
+      [] {
+        // Raw channel use: an adaptive-sized producer blocked in
+        // PushBatch must observe CloseAndDrain and give up.
+        auto ch = std::make_shared<Channel<int>>(2);
+        BatchPolicy policy = BatchPolicy::Adaptive(64, 1, 256, -1);
+        BatchTuner tuner(policy, [ch] { return ch->MetricsSnapshot(); });
+        std::thread producer([ch, &tuner] {
+          std::vector<int> batch(tuner.target());
+          std::iota(batch.begin(), batch.end(), 0);
+          ch->PushBatch(std::move(batch));  // blocks: capacity 2 << 64
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ch->CloseAndDrain();
+        producer.join();
+        EXPECT_TRUE(ch->MetricsSnapshot().cancelled);
+      },
+      5000);
+}
+
+}  // namespace
+}  // namespace tcmf::stream

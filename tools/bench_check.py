@@ -1,14 +1,41 @@
 #!/usr/bin/env python3
-"""Bench regression check for the batched stream transport.
+"""Bench regression check for the batched + adaptive stream transport.
 
 Runs ``bench_micro --smoke`` (the reduced-size batched-transport
 comparison; the google-benchmark suite is skipped), loads the
-``BENCH_micro.json`` it writes, and compares every row against the
-committed baseline in ``bench/baselines/BENCH_micro.json`` with a
-multiplicative tolerance. CI machines are noisy and heterogeneous, so
-the default tolerance is generous (3x): the check catches order-of-
-magnitude regressions — a batch path silently degrading to per-record
-locking — not few-percent drift.
+``BENCH_micro.json`` it writes, and gates it three ways:
+
+1. **Absolute floor** — every baseline row must come in above
+   ``baseline / tolerance``. CI machines are noisy and heterogeneous,
+   so the default tolerance is generous (3x): this catches
+   order-of-magnitude regressions (a batch path silently degrading to
+   per-record locking), not few-percent drift.
+
+2. **Relative gates** — the *ratios between rows of the same run* are
+   machine-speed-invariant, so they are held to a much tighter bound
+   (``--ratio-tolerance``, default 1.8x) against the same ratio in the
+   committed baseline. A slow runner scales every row down together and
+   leaves the ratios alone; losing batching on one edge shows up
+   immediately. Gated pairs:
+
+   - ``channel_transfer/batch64  / channel_transfer/batch1``
+   - ``pipeline/batched64        / pipeline/record_at_a_time``
+   - ``pipeline/fused_batched64  / pipeline/batched64``
+   - ``pipeline/adaptive         / best static pipeline row``
+
+3. **Tuner-state gates** — read from the per-row tuner fields that
+   bench_micro copies out of the adaptive source edge
+   (``stream::BatchTuner::Snapshot``, the same state ``ReportJson``
+   publishes as ``tuner_*``):
+
+   - ``pipeline/adaptive`` must actually have tuned (samples > 0,
+     adjust_up > 0, target within [min_batch, batch_cap]) and reach at
+     least ``--min-adaptive-ratio`` of the best static max_batch row
+     from the same run (default 0.85; measured ~0.92 on an idle
+     machine — see docs/STREAM_TUNING.md).
+   - ``pipeline/adaptive_slow_phase`` must record back-off
+     (adjust_down > 0): the consumer turns slow halfway through and a
+     controller that never shrinks its target is broken.
 
 Also asserts the PR 3 acceptance invariant directly on the fresh
 measurement: the channel-transfer row at batch 64 must be at least
@@ -19,7 +46,9 @@ Exit status is non-zero on any failure, so it can gate CI.
 Usage:
     tools/bench_check.py [--bench build/bench/bench_micro]
                          [--baseline bench/baselines/BENCH_micro.json]
-                         [--tolerance 3.0] [--min-batch-speedup 3.0]
+                         [--tolerance 3.0] [--ratio-tolerance 1.8]
+                         [--min-batch-speedup 3.0]
+                         [--min-adaptive-ratio 0.85]
                          [--no-run]   # reuse an existing BENCH_micro.json
 """
 
@@ -31,11 +60,139 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+# Rows that form the static max_batch sweep the adaptive controller is
+# compared against (the "best static" in gate 3).
+STATIC_SWEEP = [
+    "pipeline/record_at_a_time",
+    "pipeline/batched16",
+    "pipeline/batched64",
+    "pipeline/batched256",
+]
+
+# (numerator, denominator) pairs whose measured ratio must stay within
+# --ratio-tolerance of the committed baseline's ratio.
+RATIO_GATES = [
+    ("channel_transfer/batch64", "channel_transfer/batch1"),
+    ("pipeline/batched64", "pipeline/record_at_a_time"),
+    ("pipeline/fused_batched64", "pipeline/batched64"),
+]
+
 
 def load_rows(path):
     with open(path) as f:
         rows = json.load(f)
     return {row["name"]: row for row in rows}
+
+
+def row_ratio(rows, num, den):
+    """records_per_s ratio num/den, or None when either row is absent."""
+    a = rows.get(num)
+    b = rows.get(den)
+    if not a or not b or not b.get("records_per_s"):
+        return None
+    return a["records_per_s"] / b["records_per_s"]
+
+
+def check_absolute(measured, baseline, tolerance, failures):
+    print(f"\n{'row':<30} {'measured':>14} {'baseline':>14} {'ratio':>8}")
+    for name, base_row in sorted(baseline.items()):
+        base = base_row["records_per_s"]
+        if name not in measured:
+            failures.append(f"row missing from bench output: {name}")
+            print(f"{name:<30} {'MISSING':>14} {base:>14.0f}")
+            continue
+        got = measured[name]["records_per_s"]
+        ratio = got / base if base else float("inf")
+        verdict = ""
+        if got < base / tolerance:
+            failures.append(
+                f"{name}: {got:.0f} rec/s < baseline {base:.0f} / "
+                f"{tolerance:g} (ratio {ratio:.2f})")
+            verdict = "  << REGRESSION"
+        print(f"{name:<30} {got:>14.0f} {base:>14.0f} {ratio:>7.2f}x"
+              f"{verdict}")
+
+
+def check_relative(measured, baseline, ratio_tolerance, failures):
+    print(f"\n{'relative gate':<50} {'measured':>9} {'baseline':>9}")
+    for num, den in RATIO_GATES:
+        got = row_ratio(measured, num, den)
+        base = row_ratio(baseline, num, den)
+        label = f"{num} / {den}"
+        if got is None:
+            failures.append(f"relative gate rows missing: {label}")
+            print(f"{label:<50} {'MISSING':>9}")
+            continue
+        if base is None:
+            # Baseline predates the row (first run after adding it):
+            # report, don't gate.
+            print(f"{label:<50} {got:>8.2f}x {'n/a':>9}")
+            continue
+        verdict = ""
+        if got < base / ratio_tolerance:
+            failures.append(
+                f"{label}: measured ratio {got:.2f}x < baseline "
+                f"{base:.2f}x / {ratio_tolerance:g}")
+            verdict = "  << REGRESSION"
+        print(f"{label:<50} {got:>8.2f}x {base:>8.2f}x{verdict}")
+
+
+def check_tuner(measured, min_adaptive_ratio, failures):
+    adaptive = measured.get("pipeline/adaptive")
+    if not adaptive:
+        failures.append("pipeline/adaptive row missing")
+        return
+    if "tuner_target_batch" not in adaptive:
+        failures.append("pipeline/adaptive has no tuner_* fields — the "
+                        "adaptive source edge lost its BatchTuner")
+        return
+
+    target = adaptive["tuner_target_batch"]
+    lo = adaptive["tuner_min_batch"]
+    hi = adaptive["tuner_batch_cap"]
+    print(f"\nadaptive tuner: target={target} range=[{lo},{hi}] "
+          f"samples={adaptive['tuner_samples']} "
+          f"up={adaptive['tuner_adjust_up']} "
+          f"down={adaptive['tuner_adjust_down']} "
+          f"converged={adaptive['tuner_converged_batch']}")
+    if not lo <= target <= hi:
+        failures.append(
+            f"adaptive target {target} escaped [{lo}, {hi}]")
+    if adaptive["tuner_samples"] == 0:
+        failures.append("adaptive tuner took no samples")
+    if adaptive["tuner_adjust_up"] == 0:
+        failures.append("adaptive tuner never grew its target under "
+                        "steady load (adjust_up == 0)")
+
+    best_static = max(
+        (measured[n]["records_per_s"] for n in STATIC_SWEEP if n in measured),
+        default=0.0)
+    if best_static > 0:
+        ratio = adaptive["records_per_s"] / best_static
+        ok = ratio >= min_adaptive_ratio
+        print(f"adaptive vs best static sweep row: {ratio:.2f}x "
+              f"(required >= {min_adaptive_ratio:g}x)"
+              f"{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                f"adaptive row at {ratio:.2f}x of best static < "
+                f"{min_adaptive_ratio:g}x")
+    else:
+        failures.append("static sweep rows missing; cannot rate adaptive")
+
+    slow = measured.get("pipeline/adaptive_slow_phase")
+    if not slow or "tuner_adjust_down" not in slow:
+        failures.append("pipeline/adaptive_slow_phase tuner row missing")
+    else:
+        down = slow["tuner_adjust_down"]
+        ok = down > 0
+        print(f"slow-phase back-off: adjust_down={down} "
+              f"target={slow['tuner_target_batch']}"
+              f"{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                "adaptive_slow_phase recorded no back-off adjustments — "
+                "the controller ignored the slow consumer")
 
 
 def main():
@@ -56,8 +213,18 @@ def main():
         help="fail when measured < baseline / tolerance (default 3.0)",
     )
     parser.add_argument(
+        "--ratio-tolerance", type=float, default=1.8,
+        help="fail when a measured row ratio < baseline ratio / this "
+             "(default 1.8; ratios are machine-speed-invariant)",
+    )
+    parser.add_argument(
         "--min-batch-speedup", type=float, default=3.0,
         help="required channel-transfer speedup of batch64 over batch1",
+    )
+    parser.add_argument(
+        "--min-adaptive-ratio", type=float, default=0.85,
+        help="required pipeline/adaptive throughput as a fraction of the "
+             "best static sweep row from the same run (default 0.85)",
     )
     parser.add_argument(
         "--no-run", action="store_true",
@@ -88,23 +255,9 @@ def main():
     baseline = load_rows(args.baseline)
 
     failures = []
-    print(f"\n{'row':<30} {'measured':>14} {'baseline':>14} {'ratio':>8}")
-    for name, base_row in sorted(baseline.items()):
-        base = base_row["records_per_s"]
-        if name not in measured:
-            failures.append(f"row missing from bench output: {name}")
-            print(f"{name:<30} {'MISSING':>14} {base:>14.0f}")
-            continue
-        got = measured[name]["records_per_s"]
-        ratio = got / base if base else float("inf")
-        verdict = ""
-        if got < base / args.tolerance:
-            failures.append(
-                f"{name}: {got:.0f} rec/s < baseline {base:.0f} / "
-                f"{args.tolerance:g} (ratio {ratio:.2f})")
-            verdict = "  << REGRESSION"
-        print(f"{name:<30} {got:>14.0f} {base:>14.0f} {ratio:>7.2f}x"
-              f"{verdict}")
+    check_absolute(measured, baseline, args.tolerance, failures)
+    check_relative(measured, baseline, args.ratio_tolerance, failures)
+    check_tuner(measured, args.min_adaptive_ratio, failures)
 
     # Acceptance invariant: batching must actually amortize the lock.
     b1 = measured.get("channel_transfer/batch1")

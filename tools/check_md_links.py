@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Walks every tracked ``*.md`` file (skipping build trees and
+third-party dirs), extracts inline links and images
+(``[text](target)`` / ``![alt](target)``), and verifies that:
+
+- relative file links resolve to an existing file or directory
+  (relative to the file containing the link);
+- intra-document and cross-document ``#anchor`` fragments match a
+  heading in the target file (GitHub-style slugs: lowercase, spaces to
+  dashes, punctuation stripped);
+- no link points outside the repository root.
+
+External links (``http://``, ``https://``, ``mailto:``) are *not*
+fetched — CI must not depend on the network — but are counted so the
+summary shows what was skipped.
+
+Exit status is non-zero when any link is broken, so CI can gate on it
+(see the ``docs`` job in .github/workflows/ci.yml).
+
+Usage:
+    tools/check_md_links.py [root]         # default: repo root
+    tools/check_md_links.py README.md docs/STREAM_TUNING.md
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "bench-build", "third_party", "node_modules",
+             ".cache"}
+
+# [text](target) or ![alt](target); target ends at the first unescaped
+# ')' — good enough for the repo's docs, which don't nest parens in URLs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces->dashes, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)       # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            in_fence = False
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    slugs.add(github_slug(m.group(1)))
+    except OSError:
+        pass
+    cache[path] = slugs
+    return slugs
+
+
+def links_of(path):
+    """Yield (lineno, target) for every markdown link outside code fences."""
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def find_md_files(roots):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    roots = sys.argv[1:] or [repo_root]
+    # Escape boundary: the repo when scanning inside it, else the common
+    # ancestor of the explicit roots (lets the self-test run from /tmp).
+    boundary = os.path.commonpath(
+        [os.path.abspath(r if os.path.isdir(r) else os.path.dirname(r) or ".")
+         for r in roots] + [repo_root]
+        if all(os.path.abspath(r).startswith(repo_root) for r in roots)
+        else [os.path.abspath(r if os.path.isdir(r) else
+                              os.path.dirname(r) or ".") for r in roots])
+
+    checked = 0
+    external = 0
+    errors = []
+    for md in find_md_files(roots):
+        base = os.path.dirname(os.path.abspath(md))
+        for lineno, target in links_of(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                external += 1
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(os.path.join(base, path_part))
+            else:
+                dest = os.path.abspath(md)  # same-file #anchor
+            rel = os.path.relpath(dest, boundary)
+            if rel.startswith(".."):
+                errors.append(f"{md}:{lineno}: link escapes the repo: "
+                              f"{target}")
+                continue
+            if not os.path.exists(dest):
+                errors.append(f"{md}:{lineno}: broken link: {target}")
+                continue
+            if fragment and os.path.isfile(dest) and dest.endswith(".md"):
+                if fragment.lower() not in headings_of(dest):
+                    errors.append(
+                        f"{md}:{lineno}: missing anchor #{fragment} in "
+                        f"{os.path.relpath(dest, boundary)}")
+
+    print(f"check_md_links: {checked} relative links checked, "
+          f"{external} external links skipped")
+    if errors:
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        print(f"check_md_links FAILED ({len(errors)} broken)",
+              file=sys.stderr)
+        return 1
+    print("check_md_links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
