@@ -253,13 +253,14 @@ int main() {
         critical = 0;
         auto start = std::chrono::steady_clock::now();
         auto source = stream::Flow<Position>::FromVector(
-            &pipeline, data.stream, 512, "source", mode.policy);
+            &pipeline, data.stream,
+            {.name = "source", .capacity = 512, .batch = mode.policy});
         auto source_tuner = source.tuner();
         synopses::SynopsesStage(
-            insitu::CleaningStage(source, clean_options, 512, nullptr,
-                                  mode.policy),
-            synopses::SynopsesConfig::ForMaritime(), /*parallelism=*/4, 512,
-            mode.policy)
+            insitu::CleaningStage(source, clean_options,
+                                  {.capacity = 512, .batch = mode.policy}),
+            synopses::SynopsesConfig::ForMaritime(), /*parallelism=*/4,
+            {.capacity = 512, .batch = mode.policy})
             .Sink(
                 [&critical](const synopses::CriticalPoint&) { ++critical; });
         pipeline.Run();

@@ -41,12 +41,15 @@ int main() {
     auto log = mlog::Log::Open(options).value();
     stream::Pipeline pipeline;
     auto records =
-        stream::Flow<Position>::FromVector(&pipeline, data.stream, 512,
-                                           "ais.source")
+        stream::Flow<Position>::FromVector(
+            &pipeline, data.stream, {.name = "ais.source", .capacity = 512})
             .Map<stream::Record>(
                 [](const Position& p) { return stream::PositionToRecord(p); },
-                512, "to_record");
-    mlog::LogSink(std::move(records), log.get(), /*batch_size=*/128);
+                {.name = "to_record", .capacity = 512});
+    // The append batch (one fsync per flush) maps to the sink stage's
+    // batch policy.
+    mlog::LogSink(std::move(records), log.get(),
+                  {.batch = stream::BatchPolicy::Batched(/*max_batch=*/128)});
     pipeline.Run();
     std::printf("captured %llu records into %zu segment(s), %llu fsyncs\n",
                 static_cast<unsigned long long>(log->next_offset()),
@@ -84,7 +87,7 @@ int main() {
     stream::Pipeline pipeline;
     mlog::LogSourceOptions source_options;
     source_options.start_time = data.stream.front().t + 30 * kMillisPerMinute;
-    source_options.name = "replay.tail";
+    source_options.stage.name = "replay.tail";
     size_t tail = 0;
     mlog::LogSource(&pipeline, log.get(), source_options)
         .Sink([&tail](const stream::Record&) { ++tail; });

@@ -13,41 +13,72 @@ namespace tcmf::insitu {
 /// forwards only reports the online cleaner classifies kOk. The cleaner
 /// instance runs inside the single stage thread (no locking needed); pass
 /// `cleaner_out` to keep a handle for post-run accept/reject stats.
-/// The stage appears in Pipeline::Report() as "insitu.clean". Runs on the
-/// adaptive batched transport by default — its output edge gets a private
-/// BatchTuner that finds the edge's own batch size from observed
-/// StageMetrics (observation-equivalent to record-at-a-time; pass
-/// BatchPolicy::Batched(n) to pin a static size or BatchPolicy::Single()
-/// to opt out; see docs/STREAM_TUNING.md).
+///
+/// Stage configuration follows the unified `(flow, config, StageOptions,
+/// ...)` helper signature: `stage.name` defaults to "insitu.clean" and
+/// `stage.batch` to the adaptive batched transport (its output edge gets
+/// a private BatchTuner; observation-equivalent to record-at-a-time —
+/// pass `.batch = BatchPolicy::Batched(n)` to pin a static size or
+/// `BatchPolicy::Single()` to opt out; `.capacity_tuning =
+/// CapacityPolicy::Adaptive()` additionally makes the channel bound
+/// elastic; see docs/STREAM_TUNING.md).
 inline stream::Flow<Position> CleaningStage(
     stream::Flow<Position> flow, const StreamCleaner::Options& options,
-    size_t capacity = 1024,
-    std::shared_ptr<StreamCleaner>* cleaner_out = nullptr,
-    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
+    stream::StageOptions stage = {},
+    std::shared_ptr<StreamCleaner>* cleaner_out = nullptr) {
   auto cleaner = std::make_shared<StreamCleaner>(options);
   if (cleaner_out) *cleaner_out = cleaner;
-  return flow.WithBatching(policy).Filter(
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "insitu.clean";
+  return flow.Filter(
       [cleaner = std::move(cleaner)](const Position& p) {
         return cleaner->Observe(p) == CleanVerdict::kOk;
       },
-      capacity, "insitu.clean");
+      std::move(stage));
+}
+
+/// Deprecated positional form — use the StageOptions overload.
+[[deprecated("use CleaningStage(flow, options, StageOptions, cleaner_out)")]]
+inline stream::Flow<Position> CleaningStage(
+    stream::Flow<Position> flow, const StreamCleaner::Options& options,
+    size_t capacity, std::shared_ptr<StreamCleaner>* cleaner_out = nullptr,
+    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
+  stream::StageOptions stage;
+  stage.capacity = capacity;
+  stage.batch = policy;
+  return CleaningStage(std::move(flow), options, std::move(stage),
+                       cleaner_out);
 }
 
 /// Wraps AreaTransitionDetector as a 1:N dataflow stage: each position
-/// expands to the area entry/exit events it triggers. Appears in
-/// Pipeline::Report() as "insitu.area_events". Adaptive batched transport
-/// by default, like CleaningStage.
+/// expands to the area entry/exit events it triggers. `stage.name`
+/// defaults to "insitu.area_events"; adaptive batched transport by
+/// default, like CleaningStage.
 inline stream::Flow<AreaEvent> AreaEventStage(
     stream::Flow<Position> flow, std::vector<geom::Area> areas,
-    const geom::BBox& extent, size_t capacity = 1024,
-    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
+    const geom::BBox& extent, stream::StageOptions stage = {}) {
   auto detector = std::make_shared<AreaTransitionDetector>(std::move(areas),
                                                            extent);
-  return flow.WithBatching(policy).FlatMap<AreaEvent>(
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "insitu.area_events";
+  return flow.FlatMap<AreaEvent>(
       [detector = std::move(detector)](const Position& p) {
         return detector->Observe(p);
       },
-      capacity, "insitu.area_events");
+      std::move(stage));
+}
+
+/// Deprecated positional form — use the StageOptions overload.
+[[deprecated("use AreaEventStage(flow, areas, extent, StageOptions)")]]
+inline stream::Flow<AreaEvent> AreaEventStage(
+    stream::Flow<Position> flow, std::vector<geom::Area> areas,
+    const geom::BBox& extent, size_t capacity,
+    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
+  stream::StageOptions stage;
+  stage.capacity = capacity;
+  stage.batch = policy;
+  return AreaEventStage(std::move(flow), std::move(areas), extent,
+                        std::move(stage));
 }
 
 }  // namespace tcmf::insitu

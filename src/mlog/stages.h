@@ -18,25 +18,30 @@ namespace tcmf::mlog {
 /// graphs: LogSink persists any Flow<Record>, LogSource replays one —
 /// together they give every pipeline the capture-then-replay semantics
 /// the paper gets from Kafka topics. Replayed records compare == to the
-/// appended originals (fields, order, event time).
+/// appended originals (fields, order, event time). Both helpers follow
+/// the unified `(flow/pipeline, config, StageOptions)` signature shared
+/// with the insitu/synopses stage helpers.
 
-/// Terminal stage: drains `flow` into `*log` using batched appends of
-/// `batch_size` records (one fsync per batch under
-/// FsyncPolicy::kPerBatch). The drain uses the channel's batched pop, so
-/// filling an append batch costs one lock acquisition per available chunk
-/// instead of one per record — the fsync amortization and the transport
-/// amortization line up. Registers a `name` stage with the pipeline
-/// exposing the log's counters (bytes written, fsyncs, recovery stats).
-/// On an append error the stage cancels upstream (CloseAndDrain) so the
-/// pipeline shuts down instead of losing data silently. The log must
-/// outlive the pipeline run.
+/// Terminal stage: drains `flow` into `*log` using batched appends (one
+/// fsync per batch under FsyncPolicy::kPerBatch). The append batch size
+/// is `stage.batch`'s transfer cap (PopMax; defaults to Batched(256)
+/// when unset). The drain uses the channel's batched pop, so filling an
+/// append batch costs one lock acquisition per available chunk instead
+/// of one per record — the fsync amortization and the transport
+/// amortization line up. Registers a `stage.name` stage (default
+/// "mlog.sink") with the pipeline exposing the log's counters (bytes
+/// written, fsyncs, recovery stats). On an append error the stage
+/// cancels upstream (CloseAndDrain) so the pipeline shuts down instead
+/// of losing data silently. The log must outlive the pipeline run.
 inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
-                    size_t batch_size = 256, std::string name = "mlog.sink") {
+                    stream::StageOptions stage = {}) {
   stream::Pipeline* pipeline = flow.pipeline();
-  pipeline->RegisterStage(std::move(name),
+  if (stage.name.empty()) stage.name = "mlog.sink";
+  pipeline->RegisterStage(std::move(stage.name),
                           [log] { return log->StageMetricsSnapshot(); });
   auto in = flow.channel();
-  if (batch_size == 0) batch_size = 1;
+  const size_t batch_size = std::max<size_t>(
+      1, stage.batch.value_or(stream::BatchPolicy::Batched(256)).PopMax());
   pipeline->AddThread([in, log, batch_size] {
     std::vector<stream::Record> batch;
     batch.reserve(batch_size);
@@ -55,6 +60,17 @@ inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
   });
 }
 
+/// Deprecated positional form — use the StageOptions overload.
+[[deprecated("use LogSink(flow, log, StageOptions)")]]
+inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
+                    size_t batch_size, std::string name = "mlog.sink") {
+  stream::StageOptions stage;
+  stage.name = std::move(name);
+  stage.batch =
+      stream::BatchPolicy::Batched(batch_size == 0 ? 1 : batch_size);
+  LogSink(std::move(flow), log, std::move(stage));
+}
+
 /// Replay configuration for LogSource.
 struct LogSourceOptions {
   /// First offset to replay (clamped to the retention horizon). Ignored
@@ -66,14 +82,14 @@ struct LogSourceOptions {
   /// next_offset() at construction — i.e. "replay everything captured so
   /// far, then end the stream".
   std::optional<uint64_t> end_offset;
-  size_t capacity = 1024;
-  std::string name = "mlog.source";
-  /// Transport policy for the replay edge: adaptive by default — the
+  /// Stage configuration for the replay edge (the same StageOptions every
+  /// Flow operator takes). `stage.name` defaults to "mlog.source";
+  /// `stage.batch` defaults to the adaptive batched transport — the
   /// replay edge is the throughput-bound path and its best batch size
   /// depends on the consumer, so the per-edge BatchTuner finds it
   /// (docs/STREAM_TUNING.md). Use BatchPolicy::Batched(n) to pin a static
   /// size or BatchPolicy::Single() for record-at-a-time transport.
-  stream::BatchPolicy batch = stream::BatchPolicy::Adaptive();
+  stream::StageOptions stage{};
 };
 
 /// Source stage: replays `[start, end)` of `*log` as a Flow<Record>.
@@ -97,9 +113,12 @@ inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
     cursor->Seek(options.start_offset);
   }
   const uint64_t end = options.end_offset.value_or(log->next_offset());
-  pipeline->RegisterStage(options.name + ".log",
+  stream::StageOptions stage = std::move(options.stage);
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "mlog.source";
+  pipeline->RegisterStage(stage.name + ".log",
                           [log] { return log->StageMetricsSnapshot(); });
-  if (!options.batch.batched()) {
+  if (!stage.batch->batched()) {
     // Record-at-a-time replay: preserved for bit-compatible comparisons.
     return stream::Flow<stream::Record>::FromGenerator(
         pipeline,
@@ -109,7 +128,7 @@ inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
           if (!next.has_value()) return std::nullopt;  // caught up or error
           return std::move(next->record);
         },
-        options.capacity, options.name, options.batch);
+        std::move(stage));
   }
   auto scratch = std::make_shared<std::vector<ReadRecord>>();
   return stream::Flow<stream::Record>::FromBatchGenerator(
@@ -125,7 +144,7 @@ inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
         }
         return n;  // 0 = caught up with the writer or error: end of stream
       },
-      options.capacity, options.name, options.batch);
+      std::move(stage));
 }
 
 }  // namespace tcmf::mlog

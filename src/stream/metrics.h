@@ -20,6 +20,7 @@ struct StageMetrics {
   uint64_t batches_in = 0;             ///< push transfers (Push counts as 1)
   uint64_t batches_out = 0;            ///< pop transfers (Pop counts as 1)
   uint64_t queue_high_watermark = 0;   ///< max queue depth ever observed
+  uint64_t capacity = 0;               ///< current queue-depth bound (elastic)
   uint64_t producer_blocked_ns = 0;    ///< total ns Push spent waiting (full)
   uint64_t consumer_blocked_ns = 0;    ///< total ns Pop spent waiting (empty)
   uint64_t push_rejected = 0;          ///< pushes refused (closed/cancelled)
@@ -46,6 +47,15 @@ struct StageMetrics {
   uint64_t tuner_converged_batch = 0;  ///< stable target (0 until converged)
   double tuner_mean_push_batch = 0.0;  ///< mean push size, last window
   double tuner_pop_ms = 0.0;  ///< wall ms/pop, last window (-1: no pops)
+  // Adaptive-capacity controller state (CapacityPolicy::Adaptive edges
+  // only; see src/stream/tuning.h). `capacity_tuned` is false for static
+  // channels and all capacity_* controller fields stay zero.
+  bool capacity_tuned = false;        ///< edge has a live CapacityTuner
+  uint64_t capacity_min = 0;          ///< resize range lower bound
+  uint64_t capacity_max = 0;          ///< resize range upper bound
+  uint64_t capacity_resize_up = 0;    ///< times the bound was grown (x2)
+  uint64_t capacity_resize_down = 0;  ///< times the bound was shrunk (x0.5)
+  uint64_t capacity_converged = 0;    ///< stable bound (0 until converged)
 
   /// Mean elements moved per push/pop transfer — the amortization factor
   /// the batched transport buys on this edge (1.0 ⇒ record-at-a-time).
@@ -94,7 +104,8 @@ struct StageMetrics {
         "{\"stage\":\"%s\",\"records_in\":%llu,\"records_out\":%llu,"
         "\"batches_in\":%llu,\"batches_out\":%llu,"
         "\"mean_batch_in\":%.2f,\"mean_batch_out\":%.2f,"
-        "\"queue_high_watermark\":%llu,\"producer_blocked_ns\":%llu,"
+        "\"queue_high_watermark\":%llu,\"capacity\":%llu,"
+        "\"producer_blocked_ns\":%llu,"
         "\"consumer_blocked_ns\":%llu,\"push_rejected\":%llu,"
         "\"dropped_on_cancel\":%llu,\"late_dropped\":%llu,"
         "\"cancelled\":%s,\"bytes\":%llu,\"io_syncs\":%llu,"
@@ -105,6 +116,7 @@ struct StageMetrics {
         static_cast<unsigned long long>(batches_out),
         MeanBatchIn(), MeanBatchOut(),
         static_cast<unsigned long long>(queue_high_watermark),
+        static_cast<unsigned long long>(capacity),
         static_cast<unsigned long long>(producer_blocked_ns),
         static_cast<unsigned long long>(consumer_blocked_ns),
         static_cast<unsigned long long>(push_rejected),
@@ -132,6 +144,18 @@ struct StageMetrics {
           static_cast<unsigned long long>(tuner_adjust_down),
           static_cast<unsigned long long>(tuner_converged_batch),
           tuner_mean_push_batch, tuner_pop_ms);
+    }
+    if (capacity_tuned && n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(
+          buf + n, sizeof(buf) - n,
+          ",\"capacity_tuned\":true,\"capacity_min\":%llu,"
+          "\"capacity_max\":%llu,\"capacity_resize_up\":%llu,"
+          "\"capacity_resize_down\":%llu,\"capacity_converged\":%llu",
+          static_cast<unsigned long long>(capacity_min),
+          static_cast<unsigned long long>(capacity_max),
+          static_cast<unsigned long long>(capacity_resize_up),
+          static_cast<unsigned long long>(capacity_resize_down),
+          static_cast<unsigned long long>(capacity_converged));
     }
     if (n > 0 && static_cast<size_t>(n) < sizeof(buf) - 1) {
       buf[n] = '}';

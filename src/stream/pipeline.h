@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -19,6 +21,46 @@
 #include "stream/window.h"
 
 namespace tcmf::stream {
+
+/// Unified per-stage configuration for every Flow operator and stage
+/// helper — the one options struct that replaced the positional
+/// `(capacity, name)` tails (those overloads remain as [[deprecated]]
+/// delegates for one release). Designated initializers make call sites
+/// self-describing:
+///
+///   flow.Map<Out>(fn, {.name = "clean", .capacity = 256});
+///   flow.Filter(pred, {.batch = BatchPolicy::Adaptive(),
+///                      .latency_budget_ms = 20,
+///                      .capacity_tuning = CapacityPolicy::Adaptive()});
+///
+/// Fields:
+///  - `name`: stage name in StageMetrics reports ("" = auto "<op>#<i>").
+///  - `capacity`: the output channel's queue-depth bound (the adaptive
+///    seed when `capacity_tuning` is adaptive).
+///  - `batch`: per-stage BatchPolicy override; nullopt inherits the
+///    upstream Flow's policy (sources fall back to their own default —
+///    Single for FromGenerator/FromVector, Batched for
+///    FromBatchGenerator).
+///  - `latency_budget_ms`: staging-latency contract applied on top of
+///    the effective policy (<0 keeps the policy's own budget).
+///  - `capacity_tuning`: elastic-capacity controller range; the default
+///    is inert (static capacity).
+struct StageOptions {
+  std::string name;
+  size_t capacity = kDefaultCapacity;
+  std::optional<BatchPolicy> batch;
+  int64_t latency_budget_ms = -1;
+  CapacityPolicy capacity_tuning{};
+
+  /// The BatchPolicy this stage actually runs: the per-stage override if
+  /// set, else `inherited` (the upstream Flow's policy), with the
+  /// latency budget layered on top.
+  BatchPolicy EffectivePolicy(const BatchPolicy& inherited) const {
+    BatchPolicy p = batch.has_value() ? *batch : inherited;
+    if (latency_budget_ms >= 0) p.latency_budget_ms = latency_budget_ms;
+    return p;
+  }
+};
 
 /// Buffers operator outputs and flushes them downstream according to a
 /// BatchPolicy. In record-at-a-time mode it degenerates to Channel::Push.
@@ -47,7 +89,13 @@ class BatchEmitter {
   }
 
   bool Emit(Out value) {
-    if (!policy_.batched()) return out_->Push(std::move(value));
+    if (!policy_.batched()) {
+      const bool ok = out_->Push(std::move(value));
+      // Capacity-only tuners still need the sample cadence driven on
+      // record-at-a-time edges (no batch flushes to piggyback on).
+      if (ok && tuner_) tuner_->OnRecords(1);
+      return ok;
+    }
     if (buf_.empty()) first_buffered_ = std::chrono::steady_clock::now();
     buf_.push_back(std::move(value));
     if (buf_.size() >= CurrentTarget()) return Flush();
@@ -66,11 +114,44 @@ class BatchEmitter {
 
   bool has_pending() const { return !buf_.empty(); }
 
-  /// Time until the oldest buffered element exceeds the linger budget.
+  /// The live linger bound in ms: min of the static `max_linger_ms` knob
+  /// and the latency-budget residual `budget - predicted_fill_ms`, where
+  /// predicted_fill_ms = target / fill_rate is how long the current batch
+  /// target is expected to keep staging records (tuner rate estimate; 0
+  /// without a tuner or before the first sample). As the adaptive
+  /// controller grows the target, the residual linger shrinks, so
+  /// fill time + linger stays <= budget — worst-case staging latency
+  /// bounded by contract (derivation: docs/STREAM_TUNING.md). Returns
+  /// +inf when neither knob is active (never flush on a timer).
+  double EffectiveLingerMs() const {
+    double linger = policy_.max_linger_ms >= 0
+                        ? static_cast<double>(policy_.max_linger_ms)
+                        : std::numeric_limits<double>::infinity();
+    if (policy_.latency_budget_ms >= 0) {
+      const double rate = tuner_ ? tuner_->rate_per_ms() : 0.0;
+      const double fill_ms =
+          rate > 0.0 ? static_cast<double>(CurrentTarget()) / rate : 0.0;
+      const double residual =
+          std::max(0.0, static_cast<double>(policy_.latency_budget_ms) -
+                            fill_ms);
+      linger = std::min(linger, residual);
+    }
+    return linger;
+  }
+
+  /// Time until the oldest buffered element exceeds the linger bound.
   std::chrono::milliseconds LingerRemaining() const {
-    if (buf_.empty()) return std::chrono::milliseconds(policy_.max_linger_ms);
-    const auto deadline =
-        first_buffered_ + std::chrono::milliseconds(policy_.max_linger_ms);
+    double linger_ms = EffectiveLingerMs();
+    // Defensive clamp: callers only poll when LingerEnabled(), but keep
+    // the math finite regardless.
+    if (!std::isfinite(linger_ms)) linger_ms = 1e9;
+    const auto linger = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(linger_ms));
+    if (buf_.empty()) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(linger);
+    }
+    const auto deadline = first_buffered_ + linger;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return std::chrono::milliseconds(0);
     return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
@@ -87,15 +168,32 @@ class BatchEmitter {
 
 namespace internal {
 
-/// Creates the per-edge adaptive controller for `channel` when `policy`
-/// asks for one (BatchPolicy::adaptive()); returns nullptr for static
-/// edges — callers treat a null tuner as "use the static policy".
+/// Creates the per-edge adaptive controller for `channel` when either
+/// policy asks for one (BatchPolicy::adaptive() re-targets the batch
+/// size; CapacityPolicy::adaptive() additionally attaches a
+/// CapacityTuner that elastically resizes the channel bound, driven from
+/// the same sample windows). Returns nullptr for fully static edges —
+/// callers treat a null tuner as "use the static policy".
+template <typename U>
+std::shared_ptr<BatchTuner> MakeTuner(const BatchPolicy& policy,
+                                      const CapacityPolicy& capacity_policy,
+                                      const std::shared_ptr<Channel<U>>& ch) {
+  if (!policy.adaptive() && !capacity_policy.adaptive()) return nullptr;
+  auto tuner = std::make_shared<BatchTuner>(
+      policy, [ch] { return ch->MetricsSnapshot(); });
+  if (capacity_policy.adaptive()) {
+    tuner->AttachCapacityTuner(std::make_shared<CapacityTuner>(
+        capacity_policy, ch->capacity(),
+        [ch](size_t c) { ch->Resize(c); },
+        [ch] { return ch->TakeQueueWatermarkWindow(); }));
+  }
+  return tuner;
+}
+
 template <typename U>
 std::shared_ptr<BatchTuner> MakeTuner(const BatchPolicy& policy,
                                       const std::shared_ptr<Channel<U>>& ch) {
-  if (!policy.adaptive()) return nullptr;
-  return std::make_shared<BatchTuner>(
-      policy, [ch] { return ch->MetricsSnapshot(); });
+  return MakeTuner(policy, CapacityPolicy{}, ch);
 }
 
 /// The shared consume/transform/emit loop behind every 1-input operator.
@@ -136,7 +234,7 @@ void RunStage(const std::shared_ptr<Channel<In>>& in,
       batch.clear();
       const size_t want = in_tuner ? in_tuner->target() : policy.PopMax();
       size_t n = 0;
-      if (emitter.has_pending() && policy.max_linger_ms >= 0) {
+      if (emitter.has_pending() && policy.LingerEnabled()) {
         const PollStatus status =
             in->PopBatchFor(&batch, want, emitter.LingerRemaining(), &n);
         if (status == PollStatus::kEmpty) {
@@ -320,55 +418,49 @@ class Flow {
   const std::shared_ptr<BatchTuner>& tuner() const { return tuner_; }
 
   /// Source from a pull function; the function returns nullopt when the
-  /// stream is exhausted. With a batched `policy` the generator stages up
-  /// to `max_batch` elements (bounded by `max_linger_ms`) per transfer;
+  /// stream is exhausted. With a batched policy the generator stages up
+  /// to the batch target (bounded by the effective linger) per transfer;
   /// with an adaptive policy the staging threshold tracks the edge's
-  /// BatchTuner target.
+  /// BatchTuner target. Default policy when `opts.batch` is unset:
+  /// record-at-a-time (Single).
   static Flow<T> FromGenerator(Pipeline* pipeline,
                                std::function<std::optional<T>()> next,
-                               size_t capacity = 1024, std::string name = "",
-                               BatchPolicy policy = {}) {
-    auto channel = std::make_shared<Channel<T>>(capacity);
-    auto tuner = internal::MakeTuner(policy, channel);
-    pipeline->RegisterChannelStage("source", std::move(name), channel, tuner);
+                               StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(BatchPolicy{});
+    auto channel = std::make_shared<Channel<T>>(opts.capacity);
+    auto tuner = internal::MakeTuner(policy, opts.capacity_tuning, channel);
+    pipeline->RegisterChannelStage("source", std::move(opts.name), channel,
+                                   tuner);
     pipeline->AddThread([channel, policy, tuner,
                          next = std::move(next)]() mutable {
-      if (!policy.batched()) {
-        while (true) {
-          std::optional<T> item = next();
-          if (!item.has_value()) break;
-          // Push fails only when downstream cancelled: stop generating.
-          if (!channel->Push(std::move(*item))) break;
+      BatchEmitter<T> emitter(channel, policy, tuner);
+      while (true) {
+        std::optional<T> item = next();
+        if (!item.has_value()) break;
+        // Emit fails only when downstream cancelled: stop generating.
+        if (!emitter.Emit(std::move(*item))) break;
+        if (emitter.has_pending() && policy.LingerEnabled() &&
+            emitter.LingerRemaining() <= std::chrono::milliseconds(0)) {
+          if (!emitter.Flush()) break;
         }
-      } else {
-        std::vector<T> buf;
-        buf.reserve(policy.PopMax());
-        auto first = std::chrono::steady_clock::now();
-        bool cancelled = false;
-        while (!cancelled) {
-          std::optional<T> item = next();
-          if (!item.has_value()) break;
-          if (buf.empty()) first = std::chrono::steady_clock::now();
-          buf.push_back(std::move(*item));
-          bool flush =
-              buf.size() >= (tuner ? tuner->target() : policy.max_batch);
-          if (!flush && policy.max_linger_ms >= 0) {
-            flush = std::chrono::steady_clock::now() - first >=
-                    std::chrono::milliseconds(policy.max_linger_ms);
-          }
-          if (flush) {
-            const size_t n = buf.size();
-            cancelled = channel->PushBatch(std::move(buf)) != n;
-            buf.clear();
-            buf.reserve(policy.PopMax());
-            if (!cancelled && tuner) tuner->OnRecords(n);
-          }
-        }
-        if (!cancelled && !buf.empty()) channel->PushBatch(std::move(buf));
       }
+      emitter.Flush();
       channel->Close();
     });
     return Flow<T>(pipeline, std::move(channel), policy, std::move(tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  [[deprecated("use FromGenerator(pipeline, next, StageOptions)")]]
+  static Flow<T> FromGenerator(Pipeline* pipeline,
+                               std::function<std::optional<T>()> next,
+                               size_t capacity, std::string name = "",
+                               BatchPolicy policy = {}) {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    opts.batch = policy;
+    return FromGenerator(pipeline, std::move(next), std::move(opts));
   }
 
   /// Source from a batch pull function: `next_batch(out, max_n)` appends
@@ -383,11 +475,12 @@ class Flow {
   static Flow<T> FromBatchGenerator(
       Pipeline* pipeline,
       std::function<size_t(std::vector<T>*, size_t)> next_batch,
-      size_t capacity = 1024, std::string name = "",
-      BatchPolicy policy = BatchPolicy::Batched()) {
-    auto channel = std::make_shared<Channel<T>>(capacity);
-    auto tuner = internal::MakeTuner(policy, channel);
-    pipeline->RegisterChannelStage("source", std::move(name), channel, tuner);
+      StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(BatchPolicy::Batched());
+    auto channel = std::make_shared<Channel<T>>(opts.capacity);
+    auto tuner = internal::MakeTuner(policy, opts.capacity_tuning, channel);
+    pipeline->RegisterChannelStage("source", std::move(opts.name), channel,
+                                   tuner);
     pipeline->AddThread(
         [channel, policy, tuner, next_batch = std::move(next_batch)] {
           std::vector<T> buf;
@@ -409,10 +502,24 @@ class Flow {
     return Flow<T>(pipeline, std::move(channel), policy, std::move(tuner));
   }
 
+  /// Deprecated positional form — use the StageOptions overload.
+  [[deprecated("use FromBatchGenerator(pipeline, next_batch, StageOptions)")]]
+  static Flow<T> FromBatchGenerator(
+      Pipeline* pipeline,
+      std::function<size_t(std::vector<T>*, size_t)> next_batch,
+      size_t capacity, std::string name = "",
+      BatchPolicy policy = BatchPolicy::Batched()) {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    opts.batch = policy;
+    return FromBatchGenerator(pipeline, std::move(next_batch),
+                              std::move(opts));
+  }
+
   /// Source from a pre-materialized vector.
   static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
-                            size_t capacity = 1024, std::string name = "",
-                            BatchPolicy policy = {}) {
+                            StageOptions opts = {}) {
     auto it = std::make_shared<size_t>(0);
     auto data = std::make_shared<std::vector<T>>(std::move(items));
     return FromGenerator(
@@ -421,19 +528,33 @@ class Flow {
           if (*it >= data->size()) return std::nullopt;
           return (*data)[(*it)++];
         },
-        capacity, std::move(name), policy);
+        std::move(opts));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  [[deprecated("use FromVector(pipeline, items, StageOptions)")]]
+  static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
+                            size_t capacity, std::string name = "",
+                            BatchPolicy policy = {}) {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    opts.batch = policy;
+    return FromVector(pipeline, std::move(items), std::move(opts));
   }
 
   /// 1:1 transform.
   template <typename Out>
-  Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity = 1024,
-                std::string name = "") {
-    auto out = std::make_shared<Channel<Out>>(capacity);
-    auto out_tuner = internal::MakeTuner(policy_, out);
-    pipeline_->RegisterChannelStage("map", std::move(name), out, out_tuner);
+  Flow<Out> Map(std::function<Out(const T&)> fn, StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
+    auto out = std::make_shared<Channel<Out>>(opts.capacity);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
+    pipeline_->RegisterChannelStage("map", std::move(opts.name), out,
+                                    out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
-                          out_tuner, fn = std::move(fn)] {
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, out, policy, in_tuner, out_tuner,
+                          fn = std::move(fn)] {
       BatchEmitter<Out> emitter(out, policy, out_tuner);
       internal::RunStage(
           in, emitter, policy, in_tuner,
@@ -441,20 +562,33 @@ class Flow {
           [](bool, BatchEmitter<Out>&) {});
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
+    return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  template <typename Out>
+  [[deprecated("use Map(fn, StageOptions)")]]
+  Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity,
+                std::string name = "") {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return Map<Out>(std::move(fn), std::move(opts));
   }
 
   /// 1:N transform.
   template <typename Out>
   Flow<Out> FlatMap(std::function<std::vector<Out>(const T&)> fn,
-                    size_t capacity = 1024, std::string name = "") {
-    auto out = std::make_shared<Channel<Out>>(capacity);
-    auto out_tuner = internal::MakeTuner(policy_, out);
-    pipeline_->RegisterChannelStage("flatmap", std::move(name), out,
+                    StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
+    auto out = std::make_shared<Channel<Out>>(opts.capacity);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
+    pipeline_->RegisterChannelStage("flatmap", std::move(opts.name), out,
                                     out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
-                          out_tuner, fn = std::move(fn)] {
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, out, policy, in_tuner, out_tuner,
+                          fn = std::move(fn)] {
       BatchEmitter<Out> emitter(out, policy, out_tuner);
       internal::RunStage(
           in, emitter, policy, in_tuner,
@@ -469,18 +603,31 @@ class Flow {
       // downstream Pop blocked forever.
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
+    return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  template <typename Out>
+  [[deprecated("use FlatMap(fn, StageOptions)")]]
+  Flow<Out> FlatMap(std::function<std::vector<Out>(const T&)> fn,
+                    size_t capacity, std::string name = "") {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return FlatMap<Out>(std::move(fn), std::move(opts));
   }
 
   /// Keeps elements satisfying the predicate.
-  Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity = 1024,
-                 std::string name = "") {
-    auto out = std::make_shared<Channel<T>>(capacity);
-    auto out_tuner = internal::MakeTuner(policy_, out);
-    pipeline_->RegisterChannelStage("filter", std::move(name), out, out_tuner);
+  Flow<T> Filter(std::function<bool(const T&)> pred, StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
+    auto out = std::make_shared<Channel<T>>(opts.capacity);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
+    pipeline_->RegisterChannelStage("filter", std::move(opts.name), out,
+                                    out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
-                          out_tuner, pred = std::move(pred)] {
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, out, policy, in_tuner, out_tuner,
+                          pred = std::move(pred)] {
       BatchEmitter<T> emitter(out, policy, out_tuner);
       internal::RunStage(
           in, emitter, policy, in_tuner,
@@ -491,7 +638,17 @@ class Flow {
           [](bool, BatchEmitter<T>&) {});
       out->Close();
     });
-    return Flow<T>(pipeline_, std::move(out), policy_, std::move(out_tuner));
+    return Flow<T>(pipeline_, std::move(out), policy, std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  [[deprecated("use Filter(pred, StageOptions)")]]
+  Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity,
+                 std::string name = "") {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return Filter(std::move(pred), std::move(opts));
   }
 
   /// Starts a fused chain: adjacent stateless stages (Map/Filter/FlatMap)
@@ -508,13 +665,16 @@ class Flow {
   Flow<Out> KeyedProcess(std::function<uint64_t(const T&)> key_fn,
                          KeyedProcessFn<T, Out, State> process,
                          KeyedFlushFn<Out, State> flush = nullptr,
-                         size_t capacity = 1024, std::string name = "") {
-    auto out = std::make_shared<Channel<Out>>(capacity);
-    auto out_tuner = internal::MakeTuner(policy_, out);
-    pipeline_->RegisterChannelStage("keyed", std::move(name), out, out_tuner);
+                         StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
+    auto out = std::make_shared<Channel<Out>>(opts.capacity);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
+    pipeline_->RegisterChannelStage("keyed", std::move(opts.name), out,
+                                    out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
-                          out_tuner, key_fn = std::move(key_fn),
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, out, policy, in_tuner, out_tuner,
+                          key_fn = std::move(key_fn),
                           process = std::move(process),
                           flush = std::move(flush)] {
       BatchEmitter<Out> emitter(out, policy, out_tuner);
@@ -539,7 +699,21 @@ class Flow {
           });
       out->Close();
     });
-    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
+    return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  template <typename Out, typename State>
+  [[deprecated("use KeyedProcess(key_fn, process, flush, StageOptions)")]]
+  Flow<Out> KeyedProcess(std::function<uint64_t(const T&)> key_fn,
+                         KeyedProcessFn<T, Out, State> process,
+                         KeyedFlushFn<Out, State> flush, size_t capacity,
+                         std::string name = "") {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return KeyedProcess<Out, State>(std::move(key_fn), std::move(process),
+                                    std::move(flush), std::move(opts));
   }
 
   /// Keyed stateful processing with `parallelism` worker threads: elements
@@ -551,31 +725,33 @@ class Flow {
                                  KeyedProcessFn<T, Out, State> process,
                                  size_t parallelism,
                                  KeyedFlushFn<Out, State> flush = nullptr,
-                                 size_t capacity = 1024,
-                                 std::string name = "") {
+                                 StageOptions opts = {}) {
     if (parallelism <= 1) {
       return KeyedProcess<Out, State>(std::move(key_fn), std::move(process),
-                                      std::move(flush), capacity,
-                                      std::move(name));
+                                      std::move(flush), std::move(opts));
     }
-    auto out = std::make_shared<Channel<Out>>(capacity);
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
+    auto out = std::make_shared<Channel<Out>>(opts.capacity);
     // One tuner for the shared output edge: all workers flush at the same
     // live target and feed the same controller (OnRecords is thread-safe).
-    auto out_tuner = internal::MakeTuner(policy_, out);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
     std::string stage = pipeline_->RegisterChannelStage(
-        "keyed_par", std::move(name), out, out_tuner);
+        "keyed_par", std::move(opts.name), out, out_tuner);
     auto in = channel_;
-    // Partition router: one input channel per worker.
+    auto router_in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    // Partition router: one input channel per worker. Partition edges stay
+    // static (per-worker capacity tuning needs a skew-aware aggregation
+    // story first — see ROADMAP).
     auto partitions =
         std::make_shared<std::vector<std::shared_ptr<Channel<T>>>>();
     for (size_t w = 0; w < parallelism; ++w) {
-      auto part = std::make_shared<Channel<T>>(capacity);
+      auto part = std::make_shared<Channel<T>>(opts.capacity);
       pipeline_->RegisterChannelStage(
           "", stage + ".part" + std::to_string(w), part);
       partitions->push_back(std::move(part));
     }
-    pipeline_->AddThread([in, partitions, key_fn, parallelism,
-                          policy = policy_, in_tuner = tuner_] {
+    pipeline_->AddThread([in, partitions, key_fn, parallelism, policy,
+                          in_tuner = router_in_tuner] {
       auto route = [&](T&& item) {
         size_t w = std::hash<uint64_t>{}(key_fn(item)) % parallelism;
         return (*partitions)[w]->Push(std::move(item));
@@ -625,7 +801,7 @@ class Flow {
     for (size_t w = 0; w < parallelism; ++w) {
       auto my_in = (*partitions)[w];
       pipeline_->AddThread([my_in, out, out_tuner, key_fn, process, flush,
-                            live_workers, policy = policy_] {
+                            live_workers, policy] {
         BatchEmitter<Out> emitter(out, policy, out_tuner);
         std::unordered_map<uint64_t, State> states;
         // Partition edges carry no tuner (they are fan-out internals);
@@ -651,7 +827,26 @@ class Flow {
         if (live_workers->fetch_sub(1) == 1) out->Close();
       });
     }
-    return Flow<Out>(pipeline_, std::move(out), policy_, std::move(out_tuner));
+    return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  template <typename Out, typename State>
+  [[deprecated(
+      "use KeyedProcessParallel(key_fn, process, parallelism, flush, "
+      "StageOptions)")]]
+  Flow<Out> KeyedProcessParallel(std::function<uint64_t(const T&)> key_fn,
+                                 KeyedProcessFn<T, Out, State> process,
+                                 size_t parallelism,
+                                 KeyedFlushFn<Out, State> flush,
+                                 size_t capacity, std::string name = "") {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return KeyedProcessParallel<Out, State>(std::move(key_fn),
+                                            std::move(process), parallelism,
+                                            std::move(flush),
+                                            std::move(opts));
   }
 
   /// Keyed event-time tumbling windows with bounded lateness: elements are
@@ -666,15 +861,18 @@ class Flow {
                       std::function<TimeMs(const T&)> time_fn,
                       TimeMs window_ms, TimeMs allowed_lateness_ms,
                       std::function<void(Acc&, const T&, TimeMs)> add,
-                      size_t capacity = 1024, std::string name = "") {
+                      StageOptions opts = {}) {
     using Result =
         std::pair<uint64_t, typename TumblingWindower<T, Acc>::WindowResult>;
-    auto out = std::make_shared<Channel<Result>>(capacity);
-    auto out_tuner = internal::MakeTuner(policy_, out);
-    pipeline_->RegisterChannelStage("window", std::move(name), out, out_tuner);
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
+    auto out = std::make_shared<Channel<Result>>(opts.capacity);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
+    pipeline_->RegisterChannelStage("window", std::move(opts.name), out,
+                                    out_tuner);
     auto in = channel_;
-    pipeline_->AddThread([in, out, policy = policy_, in_tuner = tuner_,
-                          out_tuner, key_fn = std::move(key_fn),
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, out, policy, in_tuner, out_tuner,
+                          key_fn = std::move(key_fn),
                           time_fn = std::move(time_fn), window_ms,
                           allowed_lateness_ms, add = std::move(add)] {
       BatchEmitter<Result> emitter(out, policy, out_tuner);
@@ -708,17 +906,37 @@ class Flow {
           });
       out->Close();
     });
-    return Flow<Result>(pipeline_, std::move(out), policy_,
+    return Flow<Result>(pipeline_, std::move(out), policy,
                         std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  template <typename Acc>
+  [[deprecated("use KeyedTumblingWindow(..., add, StageOptions)")]]
+  Flow<std::pair<uint64_t, typename TumblingWindower<T, Acc>::WindowResult>>
+  KeyedTumblingWindow(std::function<uint64_t(const T&)> key_fn,
+                      std::function<TimeMs(const T&)> time_fn,
+                      TimeMs window_ms, TimeMs allowed_lateness_ms,
+                      std::function<void(Acc&, const T&, TimeMs)> add,
+                      size_t capacity, std::string name = "") {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return KeyedTumblingWindow<Acc>(std::move(key_fn), std::move(time_fn),
+                                    window_ms, allowed_lateness_ms,
+                                    std::move(add), std::move(opts));
   }
 
   /// Terminal: applies `fn` to every element. Runs until end-of-stream;
   /// under batching it pops amortized transfers (at the live tuner target
-  /// on adaptive edges) and applies `fn` element-at-a-time.
-  void Sink(std::function<void(const T&)> fn) {
+  /// on adaptive edges) and applies `fn` element-at-a-time. A sink owns
+  /// no output channel, so only `opts.batch` (pop-policy override) is
+  /// meaningful here; the other StageOptions fields are ignored.
+  void Sink(std::function<void(const T&)> fn, StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
     auto in = channel_;
-    pipeline_->AddThread([in, policy = policy_, in_tuner = tuner_,
-                          fn = std::move(fn)] {
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, policy, in_tuner, fn = std::move(fn)] {
       if (!policy.batched()) {
         while (auto item = in->Pop()) fn(*item);
         return;
@@ -740,10 +958,11 @@ class Flow {
   /// producers mid-Push). The early-stopping sink. Under batching,
   /// elements already popped in the cancelling batch are dropped — the
   /// same fate queued elements meet under CloseAndDrain.
-  void SinkWhile(std::function<bool(const T&)> fn) {
+  void SinkWhile(std::function<bool(const T&)> fn, StageOptions opts = {}) {
+    const BatchPolicy policy = opts.EffectivePolicy(policy_);
     auto in = channel_;
-    pipeline_->AddThread([in, policy = policy_, in_tuner = tuner_,
-                          fn = std::move(fn)] {
+    auto in_tuner = policy.adaptive() ? tuner_ : nullptr;
+    pipeline_->AddThread([in, policy, in_tuner, fn = std::move(fn)] {
       if (!policy.batched()) {
         while (auto item = in->Pop()) {
           if (!fn(*item)) {
@@ -851,16 +1070,19 @@ class FusedChain {
   }
 
   /// Materializes the fused chain as one pipeline stage with one output
-  /// channel, draining and emitting per the source Flow's BatchPolicy.
-  Flow<Cur> Emit(size_t capacity = 1024, std::string name = "") const {
+  /// channel, draining and emitting per the source Flow's BatchPolicy
+  /// (overridable via `opts.batch` like any other operator).
+  Flow<Cur> Emit(StageOptions opts = {}) const {
     Pipeline* pipeline = source_.pipeline();
-    const BatchPolicy policy = source_.batch_policy();
-    auto out = std::make_shared<Channel<Cur>>(capacity);
-    auto out_tuner = internal::MakeTuner(policy, out);
-    pipeline->RegisterChannelStage("fused", std::move(name), out, out_tuner);
+    const BatchPolicy policy = opts.EffectivePolicy(source_.batch_policy());
+    auto out = std::make_shared<Channel<Cur>>(opts.capacity);
+    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
+    pipeline->RegisterChannelStage("fused", std::move(opts.name), out,
+                                   out_tuner);
     auto in = source_.channel();
-    pipeline->AddThread([in, out, policy, in_tuner = source_.tuner(),
-                         out_tuner, apply = apply_] {
+    auto in_tuner = policy.adaptive() ? source_.tuner() : nullptr;
+    pipeline->AddThread([in, out, policy, in_tuner, out_tuner,
+                         apply = apply_] {
       BatchEmitter<Cur> emitter(out, policy, out_tuner);
       internal::RunStage(
           in, emitter, policy, in_tuner,
@@ -875,6 +1097,15 @@ class FusedChain {
       out->Close();
     });
     return Flow<Cur>(pipeline, std::move(out), policy, std::move(out_tuner));
+  }
+
+  /// Deprecated positional form — use the StageOptions overload.
+  [[deprecated("use Emit(StageOptions)")]]
+  Flow<Cur> Emit(size_t capacity, std::string name = "") const {
+    StageOptions opts;
+    opts.capacity = capacity;
+    opts.name = std::move(name);
+    return Emit(std::move(opts));
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 
 #include "stream/metrics.h"
@@ -45,6 +46,23 @@ struct BatchPolicy {
   size_t max_batch = 1;      ///< per-transfer element cap (adaptive: seed)
   int64_t max_linger_ms = 5; ///< partial-batch flush bound (<0 = never)
 
+  /// Worst-case *staging* latency contract for this edge, in ms (<0 = no
+  /// contract). When set, the effective linger applied to a partial batch
+  /// shrinks as the batch target grows:
+  ///
+  ///   effective_linger = min(max_linger_ms,
+  ///                          latency_budget_ms - predicted_fill_ms)
+  ///
+  /// where predicted_fill_ms = target / observed_fill_rate is the time the
+  /// batch is expected to keep staging records before it fills naturally
+  /// (taken from the edge's BatchTuner rate estimate; 0 without a tuner).
+  /// So `fill time + residual linger <= budget` holds by construction and
+  /// the worst-case time a record spends staged producer-side stays
+  /// bounded by contract even when the adaptive controller drives the
+  /// target up. A budget alone (max_linger_ms < 0) also enables timed
+  /// flushes, bounded by the budget. Derivation: docs/STREAM_TUNING.md.
+  int64_t latency_budget_ms = -1;
+
   // --- adaptive controller configuration (inert unless adaptive()) ---
   /// Lower bound of the tuner's search range.
   size_t min_batch = 1;
@@ -74,6 +92,19 @@ struct BatchPolicy {
 
   /// True when the adaptive controller has a non-degenerate search range.
   bool adaptive() const { return max_batch_cap > min_batch; }
+
+  /// True when partial batches are flushed on a timer: either the classic
+  /// linger knob or a latency budget gives the staging buffer a deadline.
+  bool LingerEnabled() const {
+    return max_linger_ms >= 0 || latency_budget_ms >= 0;
+  }
+
+  /// Fluent copy with a staging-latency contract attached.
+  BatchPolicy WithLatencyBudget(int64_t budget_ms) const {
+    BatchPolicy p = *this;
+    p.latency_budget_ms = budget_ms;
+    return p;
+  }
 
   /// Upper bound a consumer should pass to PopBatch: popping up to the
   /// cap is always safe (DrainLocked takes what is queued), and adaptive
@@ -105,6 +136,201 @@ struct BatchPolicy {
     p.max_batch_cap = max_batch_cap;
     return p;
   }
+};
+
+/// Elastic channel-capacity policy — the second half of the transport
+/// self-tuning loop (batch target = records per transfer; capacity =
+/// records in flight). Inert by default (`adaptive()` false: the channel
+/// keeps its constructed bound forever). With a non-degenerate range
+/// (build with `Adaptive()`), the edge gets a CapacityTuner that resizes
+/// the channel bound from the same per-window evidence the BatchTuner
+/// samples:
+///
+///   - GROW (x grow_factor, clamped to max_capacity) when the queue
+///     *saturated* during the window (per-window depth watermark reached
+///     the bound) AND producers spent at least `grow_blocked_fraction` of
+///     the window wall time blocked in Push — i.e. the bound itself is
+///     the bottleneck, so memory buys throughput.
+///   - SHRINK (x shrink_factor, clamped to min_capacity) after
+///     `shrink_after` consecutive windows in which the depth watermark
+///     stayed below `shallow_fraction` of the bound — the queue never
+///     gets deep, so the memory is dead weight.
+///   - HOLD otherwise; `converge_after` consecutive holds publish the
+///     bound as converged (StageMetrics::capacity_converged).
+struct CapacityPolicy {
+  /// Resize range; max_capacity == min_capacity (or 0/0, the default)
+  /// disables the controller entirely.
+  size_t min_capacity = 0;
+  size_t max_capacity = 0;
+  /// Grow gate: fraction of window wall time producers must have spent
+  /// blocked (full queue) for a saturated window to trigger a grow.
+  double grow_blocked_fraction = 0.10;
+  /// Shrink gate: windows whose depth watermark stays below this fraction
+  /// of the bound count as shallow.
+  double shallow_fraction = 0.25;
+  /// Consecutive shallow windows before the bound is shrunk (one deep
+  /// burst resets the streak, so transient spikes keep their headroom).
+  uint32_t shrink_after = 2;
+  /// Multiplicative resize step factors.
+  double grow_factor = 2.0;
+  double shrink_factor = 0.5;
+  /// Consecutive no-resize windows before the bound is published as
+  /// converged.
+  uint32_t converge_after = 4;
+
+  /// True when the controller has a non-degenerate resize range.
+  bool adaptive() const { return max_capacity > min_capacity; }
+
+  /// Self-tuning capacity within [min_capacity, max_capacity].
+  static CapacityPolicy Adaptive(size_t min_capacity = 64,
+                                 size_t max_capacity = 8192) {
+    CapacityPolicy p;
+    if (min_capacity == 0) min_capacity = 1;
+    if (max_capacity < min_capacity) max_capacity = min_capacity;
+    p.min_capacity = min_capacity;
+    p.max_capacity = max_capacity;
+    return p;
+  }
+};
+
+/// A consistent snapshot of one edge's capacity-controller state (see
+/// CapacityTuner::Snapshot and the StageMetrics capacity_* fields).
+struct CapacityState {
+  size_t capacity = 0;        ///< current queue-depth bound
+  size_t min_capacity = 0;    ///< resize range lower bound
+  size_t max_capacity = 0;    ///< resize range upper bound
+  uint64_t windows = 0;       ///< non-idle windows observed
+  uint64_t resize_up = 0;     ///< times the bound was grown
+  uint64_t resize_down = 0;   ///< times the bound was shrunk
+  size_t converged = 0;       ///< stable bound (0 until converged)
+};
+
+/// Per-edge elastic capacity controller: the auto-tuner behind
+/// CapacityPolicy::Adaptive(). It owns no thread and takes no samples of
+/// its own — it piggybacks on the BatchTuner's sample windows (see
+/// BatchTuner::AttachCapacityTuner): once per window it receives the
+/// producer-blocked-ns delta and window wall time, pulls the channel's
+/// per-window depth watermark, and applies at most one resize through the
+/// type-erased `resize` callback (Channel<T>::Resize — performed under
+/// the channel lock with notify_all re-notification of blocked
+/// producers). Type-erased so the tuner itself is template-free and one
+/// implementation serves every Channel<T>.
+class CapacityTuner {
+ public:
+  /// `seed_capacity` is the channel's constructed bound (clamped into the
+  /// policy range — the clamp is applied through `resize` immediately so
+  /// the channel and controller agree). `take_window_watermark` must be
+  /// Channel::TakeQueueWatermarkWindow; `resize` must be Channel::Resize.
+  CapacityTuner(const CapacityPolicy& policy, size_t seed_capacity,
+                std::function<void(size_t)> resize,
+                std::function<size_t()> take_window_watermark)
+      : policy_(policy),
+        resize_(std::move(resize)),
+        take_window_watermark_(std::move(take_window_watermark)),
+        capacity_(policy.adaptive()
+                      ? std::clamp(seed_capacity, policy.min_capacity,
+                                   policy.max_capacity)
+                      : seed_capacity) {
+    if (policy_.adaptive() && capacity_ != seed_capacity) resize_(capacity_);
+  }
+
+  CapacityTuner(const CapacityTuner&) = delete;
+  CapacityTuner& operator=(const CapacityTuner&) = delete;
+
+  /// Current bound as the controller believes it (mirrors the channel).
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  /// One controller window: `d_blocked_ns` is the producer-blocked-ns
+  /// delta over the window, `wall_ms` its wall-clock length. Applies at
+  /// most one resize. Driven by BatchTuner::Sample (same cadence, same
+  /// idle-window skip); callable directly in tests.
+  void OnWindow(uint64_t d_blocked_ns, double wall_ms) {
+    if (!policy_.adaptive() || wall_ms <= 0.0) return;
+    const size_t watermark = take_window_watermark_();
+    size_t apply = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++windows_;
+      const double blocked_fraction =
+          static_cast<double>(d_blocked_ns) / (wall_ms * 1e6);
+      const size_t cur = capacity_;
+      size_t next = cur;
+      if (watermark >= cur &&
+          blocked_fraction >= policy_.grow_blocked_fraction) {
+        shallow_streak_ = 0;
+        if (cur < policy_.max_capacity) {
+          next = std::min(
+              policy_.max_capacity,
+              std::max(cur + 1,
+                       static_cast<size_t>(cur * policy_.grow_factor)));
+          if (next > cur) ++resize_up_;
+        }
+      } else if (watermark <
+                 static_cast<size_t>(policy_.shallow_fraction * cur)) {
+        if (++shallow_streak_ >= policy_.shrink_after &&
+            cur > policy_.min_capacity) {
+          next = std::max(
+              policy_.min_capacity,
+              static_cast<size_t>(cur * policy_.shrink_factor));
+          shallow_streak_ = 0;
+          if (next < cur) ++resize_down_;
+        }
+      } else {
+        shallow_streak_ = 0;
+      }
+      if (next != cur) {
+        capacity_ = next;
+        apply = next;
+        holds_ = 0;
+        converged_ = 0;
+      } else if (converged_ == 0 && ++holds_ >= policy_.converge_after) {
+        converged_ = cur;
+      }
+    }
+    if (apply != 0) resize_(apply);
+  }
+
+  /// Consistent state snapshot (for reports and tests).
+  CapacityState Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CapacityState s;
+    s.capacity = capacity_;
+    s.min_capacity = policy_.min_capacity;
+    s.max_capacity = policy_.max_capacity;
+    s.windows = windows_;
+    s.resize_up = resize_up_;
+    s.resize_down = resize_down_;
+    s.converged = converged_;
+    return s;
+  }
+
+  /// Merges the controller state into an edge's StageMetrics snapshot.
+  void FillStageMetrics(StageMetrics* m) const {
+    const CapacityState s = Snapshot();
+    m->capacity_tuned = true;
+    m->capacity_min = s.min_capacity;
+    m->capacity_max = s.max_capacity;
+    m->capacity_resize_up = s.resize_up;
+    m->capacity_resize_down = s.resize_down;
+    m->capacity_converged = s.converged;
+  }
+
+ private:
+  const CapacityPolicy policy_;
+  const std::function<void(size_t)> resize_;
+  const std::function<size_t()> take_window_watermark_;
+
+  mutable std::mutex mutex_;  // guards everything below
+  size_t capacity_;
+  uint64_t windows_ = 0;
+  uint64_t resize_up_ = 0;
+  uint64_t resize_down_ = 0;
+  uint32_t shallow_streak_ = 0;
+  uint32_t holds_ = 0;
+  size_t converged_ = 0;
 };
 
 /// A consistent snapshot of one edge's controller state (see
@@ -162,8 +388,10 @@ class BatchTuner {
              std::function<StageMetrics()> edge_snapshot)
       : policy_(policy),
         snapshot_(std::move(edge_snapshot)),
-        target_(std::clamp(policy.max_batch, policy.min_batch,
-                           policy.max_batch_cap)),
+        target_(policy.adaptive()
+                    ? std::clamp(policy.max_batch, policy.min_batch,
+                                 policy.max_batch_cap)
+                    : std::max<size_t>(1, policy.max_batch)),
         last_time_(std::chrono::steady_clock::now()) {}
 
   BatchTuner(const BatchTuner&) = delete;
@@ -172,6 +400,26 @@ class BatchTuner {
   /// Current per-transfer target. Producers flush staged batches at this
   /// size; consumers pop up to it.
   size_t target() const { return target_.load(std::memory_order_relaxed); }
+
+  /// Records-per-millisecond fill-rate estimate from the last non-idle
+  /// window (0 until the first sample). The latency-budget linger uses
+  /// this to predict how long the current batch target takes to fill.
+  double rate_per_ms() const {
+    return rate_per_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches the elastic-capacity controller for this edge: every
+  /// non-idle sample window additionally drives one CapacityTuner window
+  /// (same cadence, no extra threads). Call before the edge starts
+  /// moving records (MakeTuner wires this at pipeline-build time).
+  void AttachCapacityTuner(std::shared_ptr<CapacityTuner> capacity_tuner) {
+    capacity_tuner_ = std::move(capacity_tuner);
+  }
+
+  /// The attached capacity controller, if any.
+  const std::shared_ptr<CapacityTuner>& capacity_tuner() const {
+    return capacity_tuner_;
+  }
 
   /// Producer-side hook: account `n` records moved through the edge and
   /// run one controller sample when the cadence is due. Cheap when not
@@ -196,10 +444,14 @@ class BatchTuner {
     const uint64_t d_rec_in = snap.records_in - last_.records_in;
     const uint64_t d_bat_in = snap.batches_in - last_.batches_in;
     const uint64_t d_bat_out = snap.batches_out - last_.batches_out;
+    const uint64_t d_blocked_ns =
+        snap.producer_blocked_ns - last_.producer_blocked_ns;
     last_ = snap;
     last_time_ = now;
     if (wall_ms <= 0.0 || d_rec_in == 0) return;  // idle window: no evidence
     ++samples_;
+    rate_per_ms_.store(static_cast<double>(d_rec_in) / wall_ms,
+                       std::memory_order_relaxed);
 
     const double mean_push =
         d_bat_in ? static_cast<double>(d_rec_in) / d_bat_in : 0.0;
@@ -209,30 +461,40 @@ class BatchTuner {
     last_mean_push_ = mean_push;
     last_pop_ms_ = pop_ms;
 
-    const size_t cur = target_.load(std::memory_order_relaxed);
-    size_t next = cur;
-    if (pop_ms > policy_.slow_batch_ms) {
-      // Slow consumer: back off, or hold at the floor. Growing here would
-      // only add batch-staging latency (and oscillate at min_batch).
-      if (cur > policy_.min_batch) {
-        next = std::max(policy_.min_batch,
-                        static_cast<size_t>(cur * policy_.decrease_factor));
-        if (next < cur) ++adjust_down_;
+    if (policy_.adaptive()) {
+      const size_t cur = target_.load(std::memory_order_relaxed);
+      size_t next = cur;
+      if (pop_ms > policy_.slow_batch_ms) {
+        // Slow consumer: back off, or hold at the floor. Growing here
+        // would only add batch-staging latency (and oscillate at
+        // min_batch).
+        if (cur > policy_.min_batch) {
+          next = std::max(policy_.min_batch,
+                          static_cast<size_t>(cur * policy_.decrease_factor));
+          if (next < cur) ++adjust_down_;
+        }
+      } else if (cur < policy_.max_batch_cap &&
+                 mean_push >= policy_.fill_threshold * cur) {
+        next = std::min(policy_.max_batch_cap,
+                        std::max(cur + 1,
+                                 static_cast<size_t>(
+                                     cur * policy_.increase_factor)));
+        if (next > cur) ++adjust_up_;
       }
-    } else if (cur < policy_.max_batch_cap &&
-               mean_push >= policy_.fill_threshold * cur) {
-      next = std::min(policy_.max_batch_cap,
-                      std::max(cur + 1, static_cast<size_t>(
-                                            cur * policy_.increase_factor)));
-      if (next > cur) ++adjust_up_;
+      if (next != cur) {
+        target_.store(next, std::memory_order_relaxed);
+        holds_ = 0;
+        converged_ = 0;
+      } else if (converged_ == 0 && ++holds_ >= policy_.converge_after) {
+        converged_ = cur;
+      }
     }
-    if (next != cur) {
-      target_.store(next, std::memory_order_relaxed);
-      holds_ = 0;
-      converged_ = 0;
-    } else if (converged_ == 0 && ++holds_ >= policy_.converge_after) {
-      converged_ = cur;
-    }
+
+    // Piggyback: one elastic-capacity window per batch-tuner sample. The
+    // capacity controller sees the same evidence interval (producer
+    // blocked-ns delta + wall time) plus the channel's per-window depth
+    // watermark, which it pulls itself.
+    if (capacity_tuner_) capacity_tuner_->OnWindow(d_blocked_ns, wall_ms);
   }
 
   /// Consistent state snapshot (for reports and tests).
@@ -252,27 +514,36 @@ class BatchTuner {
   }
 
   /// Merges the tuner state into an edge's StageMetrics snapshot (wired
-  /// by Pipeline::RegisterChannelStage so ReportJson exposes it).
+  /// by Pipeline::RegisterChannelStage so ReportJson exposes it). The
+  /// batch-tuner block is published only when the *batch* controller is
+  /// live; a capacity-only tuner reports just the capacity_* block.
   void FillStageMetrics(StageMetrics* m) const {
-    const TunerState s = Snapshot();
-    m->tuned = true;
-    m->tuner_target_batch = s.target_batch;
-    m->tuner_min_batch = s.min_batch;
-    m->tuner_batch_cap = s.max_batch_cap;
-    m->tuner_samples = s.samples;
-    m->tuner_adjust_up = s.adjust_up;
-    m->tuner_adjust_down = s.adjust_down;
-    m->tuner_converged_batch = s.converged_batch;
-    m->tuner_mean_push_batch = s.last_mean_push_batch;
-    m->tuner_pop_ms = s.last_pop_ms;
+    if (policy_.adaptive()) {
+      const TunerState s = Snapshot();
+      m->tuned = true;
+      m->tuner_target_batch = s.target_batch;
+      m->tuner_min_batch = s.min_batch;
+      m->tuner_batch_cap = s.max_batch_cap;
+      m->tuner_samples = s.samples;
+      m->tuner_adjust_up = s.adjust_up;
+      m->tuner_adjust_down = s.adjust_down;
+      m->tuner_converged_batch = s.converged_batch;
+      m->tuner_mean_push_batch = s.last_mean_push_batch;
+      m->tuner_pop_ms = s.last_pop_ms;
+    }
+    if (capacity_tuner_) capacity_tuner_->FillStageMetrics(m);
   }
 
  private:
   const BatchPolicy policy_;
   const std::function<StageMetrics()> snapshot_;
+  /// Optional elastic-capacity controller, driven from Sample(). Set once
+  /// at pipeline-build time (AttachCapacityTuner), before records flow.
+  std::shared_ptr<CapacityTuner> capacity_tuner_;
 
   std::atomic<size_t> target_;
   std::atomic<uint64_t> pending_{0};  ///< records since the last sample
+  std::atomic<double> rate_per_ms_{0.0};  ///< last-window fill rate
 
   mutable std::mutex mutex_;  // guards everything below
   StageMetrics last_;         ///< edge snapshot at the last sample

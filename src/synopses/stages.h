@@ -13,22 +13,26 @@ namespace tcmf::synopses {
 /// substrate: positions are partitioned by entity id and each key owns a
 /// private generator instance (parallelism-safe state, the Flink
 /// keyed-stream execution model). Open synopses flush at end-of-stream.
-/// Appears in Pipeline::Report() as "synopses" (plus ".partN" edges when
-/// parallelism > 1). Runs on the adaptive batched transport by default:
-/// the input, partition and output edges all move amortized batch
-/// transfers, and the input/output edges carry per-edge BatchTuners that
-/// find each edge's own batch size from observed StageMetrics (pass
-/// BatchPolicy::Batched(n) for a pinned static size,
-/// BatchPolicy::Single() for record-at-a-time; see
-/// docs/STREAM_TUNING.md).
+///
+/// Stage configuration follows the unified `(flow, config, StageOptions,
+/// ...)` helper signature: `stage.name` defaults to "synopses" (plus
+/// ".partN" edges when parallelism > 1) and `stage.batch` to the
+/// adaptive batched transport — input, partition and output edges all
+/// move amortized batch transfers, and the input/output edges carry
+/// per-edge BatchTuners that find each edge's own batch size from
+/// observed StageMetrics (pass `.batch = BatchPolicy::Batched(n)` for a
+/// pinned static size, `BatchPolicy::Single()` for record-at-a-time;
+/// `.capacity_tuning = CapacityPolicy::Adaptive()` makes the output
+/// channel bound elastic; see docs/STREAM_TUNING.md).
 inline stream::Flow<CriticalPoint> SynopsesStage(
     stream::Flow<Position> flow, const SynopsesConfig& config,
-    size_t parallelism = 1, size_t capacity = 1024,
-    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
+    size_t parallelism = 1, stream::StageOptions stage = {}) {
   struct State {
     std::unique_ptr<SynopsesGenerator> gen;
   };
-  return flow.WithBatching(policy).KeyedProcessParallel<CriticalPoint, State>(
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "synopses";
+  return flow.KeyedProcessParallel<CriticalPoint, State>(
       [](const Position& p) { return p.entity_id; },
       [config](const Position& p, State& state,
                const std::function<void(CriticalPoint)>& emit) {
@@ -43,7 +47,20 @@ inline stream::Flow<CriticalPoint> SynopsesStage(
         if (!state.gen) return;
         for (auto& cp : state.gen->Flush()) emit(std::move(cp));
       },
-      capacity, "synopses");
+      std::move(stage));
+}
+
+/// Deprecated positional form — use the StageOptions overload.
+[[deprecated("use SynopsesStage(flow, config, parallelism, StageOptions)")]]
+inline stream::Flow<CriticalPoint> SynopsesStage(
+    stream::Flow<Position> flow, const SynopsesConfig& config,
+    size_t parallelism, size_t capacity,
+    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
+  stream::StageOptions stage;
+  stage.capacity = capacity;
+  stage.batch = policy;
+  return SynopsesStage(std::move(flow), config, parallelism,
+                       std::move(stage));
 }
 
 }  // namespace tcmf::synopses

@@ -282,7 +282,9 @@ TEST(MiningTest, SupportCountsSequencesNotOccurrences) {
   options.max_length = 1;
   auto patterns = cep::MineSequentialPatterns(sequences, options);
   for (const auto& p : patterns) {
-    if (p.symbols == std::vector<int>({1})) EXPECT_EQ(p.support, 1u);
+    if (p.symbols == std::vector<int>({1})) {
+      EXPECT_EQ(p.support, 1u);
+    }
   }
 }
 

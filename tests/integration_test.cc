@@ -361,11 +361,12 @@ TEST(StreamIntegration, StagedCleaningAndSynopsesParityWithMetrics) {
   // As packaged dataflow stages, with 2 keyed workers.
   stream::Pipeline pipeline;
   std::vector<synopses::CriticalPoint> actual;
-  auto source = stream::Flow<Position>::FromVector(&pipeline, data.stream,
-                                                   256, "source");
-  synopses::SynopsesStage(insitu::CleaningStage(source, clean_options, 256),
-                          synopses::SynopsesConfig::ForMaritime(),
-                          /*parallelism=*/2, 256)
+  auto source = stream::Flow<Position>::FromVector(
+      &pipeline, data.stream, {.name = "source", .capacity = 256});
+  synopses::SynopsesStage(
+      insitu::CleaningStage(source, clean_options, {.capacity = 256}),
+      synopses::SynopsesConfig::ForMaritime(),
+      /*parallelism=*/2, {.capacity = 256})
       .CollectInto(&actual);
   pipeline.Run();
 

@@ -807,7 +807,8 @@ TEST(MlogStagesIntegrationTest, CaptureThenReplayVesselStreamIsIdentical) {
                         [](const Position& p) {
                           return stream::PositionToRecord(p);
                         });
-    LogSink(flow, log.get(), /*batch_size=*/64);
+    LogSink(flow, log.get(),
+            {.batch = stream::BatchPolicy::Batched(/*max_batch=*/64)});
     capture.Run();
     EXPECT_EQ(log->next_offset(), expected.size());
     EXPECT_GT(log->metrics().appended_bytes, 0u);
@@ -871,9 +872,9 @@ TEST(MlogStagesIntegrationTest, MultiConsumerFanOutFromOneLog) {
   stream::Pipeline p;
   std::vector<stream::Record> a, b;
   LogSourceOptions sa;
-  sa.name = "replay.a";
+  sa.stage.name = "replay.a";
   LogSourceOptions sb;
-  sb.name = "replay.b";
+  sb.stage.name = "replay.b";
   LogSource(&p, log.get(), sa).CollectInto(&a);
   LogSource(&p, log.get(), sb).CollectInto(&b);
   p.Run();

@@ -1,11 +1,14 @@
 // Differential equivalence harness for the batched channel transport and
 // operator fusion (the correctness lock for PushBatch/PopBatch +
 // BatchPolicy + Flow::Fuse): seeded random operator graphs over simulated
-// vessel records are executed three ways — record-at-a-time, batched, and
-// fused+batched — across batch sizes {1, 7, 64, 1024}, channel capacities
-// {1, 2, 1024} and worker counts, and every execution must produce the
-// exact same output multiset. Batch boundaries are an implementation
-// detail; if they ever become observable, these tests fail.
+// vessel records are executed several ways — record-at-a-time, batched,
+// fused+batched, adaptive-batch, elastic-capacity (live channel Resize
+// driven by the CapacityTuner) and latency-budget linger — across batch
+// sizes {1, 7, 64, 1024}, channel capacities {1, 2, 1024} and worker
+// counts, and every execution must produce the exact same output
+// multiset. Batch boundaries, live resizes and budget-tightened flush
+// timing are implementation details; if they ever become observable,
+// these tests fail.
 //
 // Also: shutdown/cancellation stress under batching (sink cancels
 // mid-batch, source closes mid-linger, parallel keyed teardown) — the PR 1
@@ -140,7 +143,8 @@ struct WinAcc {
   uint64_t n = 0;
 };
 
-Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op, size_t capacity) {
+Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op,
+                         const StageOptions& base) {
   switch (op.kind) {
     case OpKind::kKeyed:
       return flow.KeyedProcess<VRec, double>(
@@ -150,7 +154,7 @@ Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op, size_t capacity) {
             sum += r.v;
             emit(VRec{r.id, r.t, sum});
           },
-          nullptr, capacity);
+          nullptr, StageOptions(base));
     case OpKind::kKeyedPar:
       return flow.KeyedProcessParallel<VRec, double>(
           [](const VRec& r) { return r.id; },
@@ -159,7 +163,7 @@ Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op, size_t capacity) {
             sum += r.v;
             emit(VRec{r.id, r.t, sum});
           },
-          static_cast<size_t>(op.a), nullptr, capacity);
+          static_cast<size_t>(op.a), nullptr, StageOptions(base));
     case OpKind::kWindow: {
       using Result = std::pair<uint64_t,
                                TumblingWindower<VRec, WinAcc>::WindowResult>;
@@ -172,14 +176,14 @@ Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op, size_t capacity) {
                 acc.sum += r.v;
                 ++acc.n;
               },
-              capacity)
+              StageOptions(base))
           .Map<VRec>(
               [](const Result& w) {
                 return VRec{w.first, static_cast<int64_t>(w.second.window_start),
                             w.second.value.sum +
                                 static_cast<double>(w.second.value.n)};
               },
-              capacity);
+              StageOptions(base));
     }
     default:
       ADD_FAILURE() << "stateless op routed to ApplyStateful";
@@ -188,23 +192,23 @@ Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op, size_t capacity) {
 }
 
 Flow<VRec> ApplyStatelessOp(Flow<VRec> flow, const OpSpec& op,
-                            size_t capacity) {
+                            const StageOptions& base) {
   switch (op.kind) {
     case OpKind::kMap:
-      return flow.Map<VRec>(MapFn, capacity);
+      return flow.Map<VRec>(MapFn, StageOptions(base));
     case OpKind::kFilter: {
       const int m = op.a;
       return flow.Filter([m](const VRec& r) { return FilterFn(m, r); },
-                         capacity);
+                         StageOptions(base));
     }
     default:
-      return flow.FlatMap<VRec>(FlatMapFn, capacity);
+      return flow.FlatMap<VRec>(FlatMapFn, StageOptions(base));
   }
 }
 
 /// Fuses a maximal run of stateless ops into one stage.
 Flow<VRec> ApplyFusedRun(Flow<VRec> flow, const std::vector<OpSpec>& ops,
-                         size_t begin, size_t end, size_t capacity) {
+                         size_t begin, size_t end, const StageOptions& base) {
   FusedChain<VRec, VRec> chain = flow.Fuse();
   for (size_t i = begin; i < end; ++i) {
     switch (ops[i].kind) {
@@ -221,39 +225,57 @@ Flow<VRec> ApplyFusedRun(Flow<VRec> flow, const std::vector<OpSpec>& ops,
         break;
     }
   }
-  return chain.Emit(capacity);
+  return chain.Emit(StageOptions(base));
 }
 
 /// Executes the operator graph over `input` and returns the canonical
 /// output multiset. `fuse` replaces maximal stateless runs with fused
-/// single-thread stages.
+/// single-thread stages. `base` carries the per-edge knobs under test
+/// (static capacity, elastic capacity_tuning, latency budget); its
+/// `batch` and `name` fields are ignored — the transport policy comes
+/// from `policy` (set on the source edge and inherited downstream) and
+/// names stay auto-assigned so the shutdown tests' "source#0" lookups
+/// keep working.
 std::vector<VRec> RunGraph(const std::vector<OpSpec>& ops,
                            const std::vector<VRec>& input, BatchPolicy policy,
-                           size_t capacity, bool fuse) {
+                           StageOptions base, bool fuse) {
   Pipeline pipeline;
   std::vector<VRec> out;
+  base.name.clear();
+  StageOptions source = base;
+  source.batch = policy;
+  base.batch.reset();  // downstream edges inherit the source policy
   Flow<VRec> flow =
-      Flow<VRec>::FromVector(&pipeline, input, capacity, "", policy);
+      Flow<VRec>::FromVector(&pipeline, input, std::move(source));
   size_t i = 0;
   while (i < ops.size()) {
     if (Stateless(ops[i].kind)) {
       if (fuse) {
         size_t j = i;
         while (j < ops.size() && Stateless(ops[j].kind)) ++j;
-        flow = ApplyFusedRun(flow, ops, i, j, capacity);
+        flow = ApplyFusedRun(flow, ops, i, j, base);
         i = j;
       } else {
-        flow = ApplyStatelessOp(flow, ops[i], capacity);
+        flow = ApplyStatelessOp(flow, ops[i], base);
         ++i;
       }
     } else {
-      flow = ApplyStateful(flow, ops[i], capacity);
+      flow = ApplyStateful(flow, ops[i], base);
       ++i;
     }
   }
   flow.CollectInto(&out);
   pipeline.Run();
   return Canon(std::move(out));
+}
+
+/// Positional convenience used by the static-capacity sweeps.
+std::vector<VRec> RunGraph(const std::vector<OpSpec>& ops,
+                           const std::vector<VRec>& input, BatchPolicy policy,
+                           size_t capacity, bool fuse) {
+  StageOptions base;
+  base.capacity = capacity;
+  return RunGraph(ops, input, policy, std::move(base), fuse);
 }
 
 void ExpectSameMultiset(const std::vector<VRec>& expected,
@@ -304,10 +326,29 @@ TEST_P(BatchEquivTest, BatchedAndFusedMatchRecordAtATime) {
   adaptive.tune_every_records = 64;
   const std::vector<VRec> tuned =
       RunGraph(ops, input, adaptive, p.capacity, false);
+  // Elastic capacity: every edge starts at the sweep capacity but carries
+  // a CapacityTuner allowed to resize it across [1, 4096] at an
+  // aggressive cadence. Live channel resizes (including while producers
+  // are blocked on a full queue) must be exactly as invisible as batch
+  // re-targeting.
+  StageOptions elastic;
+  elastic.capacity = p.capacity;
+  elastic.capacity_tuning = CapacityPolicy::Adaptive(1, 4096);
+  const std::vector<VRec> resized =
+      RunGraph(ops, input, adaptive, elastic, false);
+  // Latency-budget linger on top of a static batched policy: the budget
+  // only tightens flush timing, never changes what is delivered.
+  StageOptions budgeted;
+  budgeted.capacity = p.capacity;
+  budgeted.latency_budget_ms = 5;
+  const std::vector<VRec> budget_run = RunGraph(
+      ops, input, BatchPolicy::Batched(p.batch, 50), budgeted, false);
 
   ExpectSameMultiset(baseline, batched, "batched");
   ExpectSameMultiset(baseline, fused, "fused+batched");
   ExpectSameMultiset(baseline, tuned, "adaptive");
+  ExpectSameMultiset(baseline, resized, "elastic-capacity");
+  ExpectSameMultiset(baseline, budget_run, "latency-budget");
 }
 
 std::vector<EquivParams> SweepParams() {
@@ -390,9 +431,11 @@ TEST(BatchShutdownTest, SinkCancelsMidBatchWithoutHangingOrLosingSignal) {
         size_t seen = 0;
         // Tiny capacity + large batch: the source is mid-PushBatch (and
         // the map stage mid-flush) when the sink walks away.
-        auto flow = Flow<int>::FromVector(&pipeline, input, 4, "",
-                                          BatchPolicy::Batched(64, 1))
-                        .Map<int>([](const int& x) { return x + 1; }, 4);
+        auto flow = Flow<int>::FromVector(
+                        &pipeline, input,
+                        {.capacity = 4, .batch = BatchPolicy::Batched(64, 1)})
+                        .Map<int>([](const int& x) { return x + 1; },
+                                  {.capacity = 4});
         flow.SinkWhile([&seen](const int&) { return ++seen < 10; });
         pipeline.Run();
         EXPECT_GE(seen, 10u);
@@ -414,9 +457,10 @@ TEST(BatchShutdownTest, SourceClosesMidLingerFlushesStagedBatch) {
         // 3 elements never fill a 1024-batch; end-of-stream must flush
         // the partial batch, not drop it.
         std::vector<int> out;
-        Flow<int>::FromVector(&pipeline, {1, 2, 3}, 8, "",
-                              BatchPolicy::Batched(1024, 10'000))
-            .Map<int>([](const int& x) { return x * 2; }, 8)
+        Flow<int>::FromVector(
+            &pipeline, {1, 2, 3},
+            {.capacity = 8, .batch = BatchPolicy::Batched(1024, 10'000)})
+            .Map<int>([](const int& x) { return x * 2; }, {.capacity = 8})
             .CollectInto(&out);
         pipeline.Run();
         EXPECT_EQ(out, (std::vector<int>{2, 4, 6}));
@@ -431,7 +475,7 @@ TEST(BatchShutdownTest, LingerFlushesStagedOutputsWhileInputStaysOpen) {
         auto in = std::make_shared<Channel<int>>(64);
         std::atomic<int> delivered{0};
         Flow<int> flow(&pipeline, in, BatchPolicy::Batched(1024, 1));
-        flow.Map<int>([](const int& x) { return x; }, 64)
+        flow.Map<int>([](const int& x) { return x; }, {.capacity = 64})
             .Sink([&delivered](const int&) { ++delivered; });
         for (int i = 0; i < 3; ++i) in->Push(i);
         // The channel stays OPEN: only the 1 ms linger can flush the
@@ -459,7 +503,8 @@ TEST(BatchShutdownTest, KeyedProcessParallelTeardownUnderBatching) {
         }
         size_t seen = 0;
         Flow<std::pair<uint64_t, int>>::FromVector(
-            &pipeline, input, 8, "", BatchPolicy::Batched(64, 1))
+            &pipeline, input,
+            {.capacity = 8, .batch = BatchPolicy::Batched(64, 1)})
             .KeyedProcessParallel<int, int>(
                 [](const std::pair<uint64_t, int>& e) { return e.first; },
                 [](const std::pair<uint64_t, int>& e, int& sum,
@@ -467,7 +512,7 @@ TEST(BatchShutdownTest, KeyedProcessParallelTeardownUnderBatching) {
                   sum += e.second;
                   emit(sum);
                 },
-                /*parallelism=*/4, nullptr, 8)
+                /*parallelism=*/4, nullptr, {.capacity = 8})
             .SinkWhile([&seen](const int&) { return ++seen < 10; });
         pipeline.Run();
         EXPECT_GE(seen, 10u);
@@ -482,13 +527,14 @@ TEST(BatchShutdownTest, FusedStageCancelPropagatesToSource) {
         std::vector<int> input(200000);
         std::iota(input.begin(), input.end(), 0);
         size_t seen = 0;
-        Flow<int>::FromVector(&pipeline, input, 4, "",
-                              BatchPolicy::Batched(64, 1))
+        Flow<int>::FromVector(
+            &pipeline, input,
+            {.capacity = 4, .batch = BatchPolicy::Batched(64, 1)})
             .Fuse()
             .Map<int>([](const int& x) { return x + 1; })
             .Filter([](const int& x) { return (x & 1) == 0; })
             .Map<int>([](const int& x) { return x * 2; })
-            .Emit(4)
+            .Emit({.capacity = 4})
             .SinkWhile([&seen](const int&) { return ++seen < 10; });
         pipeline.Run();
         EXPECT_GE(seen, 10u);
@@ -506,7 +552,7 @@ TEST(BatchShutdownTest, GeneratorStopsWhenDownstreamCancelsBatched) {
             [&generated]() -> std::optional<long long> {
               return ++generated;
             },
-            4, "", BatchPolicy::Batched(32, 1));
+            {.capacity = 4, .batch = BatchPolicy::Batched(32, 1)});
         size_t seen = 0;
         flow.SinkWhile([&seen](const long long&) { return ++seen < 100; });
         pipeline.Run();
@@ -515,6 +561,42 @@ TEST(BatchShutdownTest, GeneratorStopsWhenDownstreamCancelsBatched) {
         EXPECT_LT(generated.load(), 1000000);
       },
       5000);
+}
+
+TEST(BatchShutdownTest, AdaptiveCapacityWithFusionTearsDownCleanly) {
+  // Elastic channels + fused stages + a sink that walks away mid-stream:
+  // a Resize racing a CloseAndDrain (or a producer blocked on a bound
+  // that just changed) must not strand any thread. The capacity tuner is
+  // forced onto an aggressive cadence so resizes actually happen within
+  // the test's lifetime.
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::vector<int> input(200000);
+        std::iota(input.begin(), input.end(), 0);
+        BatchPolicy adaptive = BatchPolicy::Adaptive(32, 1, 256, 1);
+        adaptive.tune_every_records = 128;
+        StageOptions elastic{.capacity = 2,
+                             .batch = adaptive,
+                             .capacity_tuning = CapacityPolicy::Adaptive(2, 64)};
+        size_t seen = 0;
+        Flow<int>::FromVector(&pipeline, input, std::move(elastic))
+            .Fuse()
+            .Map<int>([](const int& x) { return x + 1; })
+            .Filter([](const int& x) { return (x & 1) == 0; })
+            .Emit({.capacity = 2,
+                   .capacity_tuning = CapacityPolicy::Adaptive(2, 64)})
+            .SinkWhile([&seen](const int&) { return ++seen < 10; });
+        pipeline.Run();
+        EXPECT_GE(seen, 10u);
+        // The elastic edges must still publish coherent tuner state.
+        for (const auto& m : pipeline.Report()) {
+          if (!m.capacity_tuned) continue;
+          EXPECT_GE(m.capacity, 2u);
+          EXPECT_LE(m.capacity_min, m.capacity_max);
+        }
+      },
+      10000);
 }
 
 }  // namespace

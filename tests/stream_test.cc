@@ -615,7 +615,9 @@ TEST(PipelineTest, ParallelKeyedPreservesPerKeyOrder) {
   std::unordered_map<uint64_t, int> last_seen;
   for (const auto& [key, value] : output) {
     auto it = last_seen.find(key);
-    if (it != last_seen.end()) EXPECT_GT(value, it->second);
+    if (it != last_seen.end()) {
+      EXPECT_GT(value, it->second);
+    }
     last_seen[key] = value;
   }
   EXPECT_EQ(output.size(), input.size());
@@ -647,8 +649,8 @@ TEST(PipelineShutdownTest, SinkStopsMidStreamWithoutHanging) {
         size_t seen = 0;
         // Tiny capacities guarantee the source is blocked in Push when
         // the sink walks away.
-        Flow<int>::FromVector(&pipeline, input, 4)
-            .Map<int>([](const int& x) { return x + 1; }, 4)
+        Flow<int>::FromVector(&pipeline, input, {.capacity = 4})
+            .Map<int>([](const int& x) { return x + 1; }, {.capacity = 4})
             .SinkWhile([&seen](const int&) { return ++seen < 10; });
         pipeline.Run();
         EXPECT_EQ(seen, 10u);
@@ -663,12 +665,12 @@ TEST(PipelineShutdownTest, FlatMapConsumerClosesEarlyDoesNotHang) {
         std::vector<int> input(50000);
         std::iota(input.begin(), input.end(), 0);
         size_t seen = 0;
-        Flow<int>::FromVector(&pipeline, input, 2)
+        Flow<int>::FromVector(&pipeline, input, {.capacity = 2})
             .FlatMap<int>(
                 [](const int& x) {
                   return std::vector<int>{x, x, x};
                 },
-                2)
+                {.capacity = 2})
             .SinkWhile([&seen](const int&) { return ++seen < 5; });
         pipeline.Run();
         EXPECT_GE(seen, 5u);
@@ -685,7 +687,8 @@ TEST(PipelineShutdownTest, KeyedProcessEarlyCloseDoesNotHang) {
           input.push_back({static_cast<uint64_t>(i % 13), i});
         }
         size_t seen = 0;
-        Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input, 4)
+        Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input,
+                                                   {.capacity = 4})
             .KeyedProcess<int, int>(
                 [](const std::pair<uint64_t, int>& e) { return e.first; },
                 [](const std::pair<uint64_t, int>& e, int& sum,
@@ -693,7 +696,7 @@ TEST(PipelineShutdownTest, KeyedProcessEarlyCloseDoesNotHang) {
                   sum += e.second;
                   emit(sum);
                 },
-                nullptr, 4)
+                nullptr, {.capacity = 4})
             .SinkWhile([&seen](const int&) { return ++seen < 7; });
         pipeline.Run();
         EXPECT_GE(seen, 7u);
@@ -710,7 +713,8 @@ TEST(PipelineShutdownTest, KeyedProcessParallelEarlyCloseDoesNotHang) {
           input.push_back({static_cast<uint64_t>(i % 31), i});
         }
         size_t seen = 0;
-        Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input, 8)
+        Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input,
+                                                   {.capacity = 8})
             .KeyedProcessParallel<int, int>(
                 [](const std::pair<uint64_t, int>& e) { return e.first; },
                 [](const std::pair<uint64_t, int>& e, int& sum,
@@ -718,7 +722,7 @@ TEST(PipelineShutdownTest, KeyedProcessParallelEarlyCloseDoesNotHang) {
                   sum += e.second;
                   emit(sum);
                 },
-                /*parallelism=*/4, nullptr, 8)
+                /*parallelism=*/4, nullptr, {.capacity = 8})
             .SinkWhile([&seen](const int&) { return ++seen < 10; });
         pipeline.Run();
         EXPECT_GE(seen, 10u);
@@ -734,8 +738,9 @@ TEST(PipelineShutdownTest, GeneratorStopsWhenDownstreamCancels) {
         int i = 0;
         size_t seen = 0;
         Flow<int>::FromGenerator(
-            &pipeline, [&i]() -> std::optional<int> { return i++; }, 4)
-            .Filter([](const int& x) { return x % 2 == 0; }, 4)
+            &pipeline, [&i]() -> std::optional<int> { return i++; },
+            {.capacity = 4})
+            .Filter([](const int& x) { return x % 2 == 0; }, {.capacity = 4})
             .SinkWhile([&seen](const int&) { return ++seen < 25; });
         pipeline.Run();
         EXPECT_EQ(seen, 25u);
@@ -750,9 +755,11 @@ TEST(PipelineMetricsTest, ReportExposesPerStageCounts) {
   std::vector<int> input(1000);
   std::iota(input.begin(), input.end(), 0);
   std::vector<int> output;
-  Flow<int>::FromVector(&pipeline, input, 64, "src")
-      .Map<int>([](const int& x) { return x * 2; }, 64, "double")
-      .Filter([](const int& x) { return x % 4 == 0; }, 64, "mult4")
+  Flow<int>::FromVector(&pipeline, input, {.name = "src", .capacity = 64})
+      .Map<int>([](const int& x) { return x * 2; },
+                {.name = "double", .capacity = 64})
+      .Filter([](const int& x) { return x % 4 == 0; },
+              {.name = "mult4", .capacity = 64})
       .CollectInto(&output);
   pipeline.Run();
   ASSERT_EQ(output.size(), 500u);
@@ -787,8 +794,8 @@ TEST(PipelineMetricsTest, AutoNamedStagesAndCancelledEdgeVisible) {
   std::vector<int> input(10000);
   std::iota(input.begin(), input.end(), 0);
   size_t seen = 0;
-  Flow<int>::FromVector(&pipeline, input, 4)
-      .Map<int>([](const int& x) { return x; }, 4)
+  Flow<int>::FromVector(&pipeline, input, {.capacity = 4})
+      .Map<int>([](const int& x) { return x; }, {.capacity = 4})
       .SinkWhile([&seen](const int&) { return ++seen < 3; });
   pipeline.Run();
   auto report = pipeline.Report();
@@ -804,7 +811,7 @@ TEST(PipelineMetricsTest, BackpressureShowsAsProducerBlockedTime) {
   Pipeline pipeline;
   std::vector<int> input(256);
   std::iota(input.begin(), input.end(), 0);
-  Flow<int>::FromVector(&pipeline, input, 2, "src")
+  Flow<int>::FromVector(&pipeline, input, {.name = "src", .capacity = 2})
       .Sink([](const int&) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       });
@@ -830,7 +837,8 @@ TEST(PipelineWindowTest, KeyedTumblingWindowAggregatesAndCountsLate) {
           [](const Element& e) { return e.first; },
           [](const Element& e) { return e.second; },
           /*window_ms=*/1000, /*allowed_lateness_ms=*/0,
-          [](int& acc, const Element&, TimeMs) { ++acc; }, 1024, "win1s")
+          [](int& acc, const Element&, TimeMs) { ++acc; },
+          {.name = "win1s"})
       .CollectInto(&output);
   pipeline.Run();
 

@@ -1,12 +1,17 @@
-// Tests for the adaptive batching controller (src/stream/tuning.h):
+// Tests for the transport self-tuning loop (src/stream/tuning.h):
 // BatchPolicy::Adaptive + BatchTuner unit behavior driven by synthetic
 // StageMetrics windows (growth while batches fill, back-off past the
 // slow-batch latency bound, convergence after steady holds), the
 // degenerate min_batch == max_batch_cap static fallback, tuner state in
 // Pipeline::Report()/ReportJson(), convergence and phase-change behavior
 // on real pipelines, and adaptive + Fuse() + CloseAndDrain() shutdown
-// under the watchdog harness. The written model these tests pin down is
-// docs/STREAM_TUNING.md.
+// under the watchdog harness. Also the elastic-capacity half:
+// CapacityPolicy + CapacityTuner units (grow under saturation+blocking,
+// shrink after shallow streaks, converge, clamped seed), Channel::Resize
+// semantics (waiter re-notification, shrink-never-evicts, window
+// watermark), the latency-budget linger (policy overlay + budget-driven
+// flushes), and elastic edges on real pipelines. The written model these
+// tests pin down is docs/STREAM_TUNING.md.
 
 #include <gtest/gtest.h>
 
@@ -264,6 +269,247 @@ TEST(TunerUnitTest, FillStageMetricsExposesEveryField) {
   EXPECT_EQ(untuned.ToJson().find("tuner_target_batch"), std::string::npos);
 }
 
+// ------------------------------- capacity controller unit behavior
+//
+// The CapacityTuner is driven directly with synthetic windows (blocked-ns
+// delta + wall time + a fake watermark) so each resize decision is
+// deterministic.
+
+struct FakeChannel {
+  size_t capacity;
+  size_t watermark = 0;
+  std::vector<size_t> resizes;
+
+  std::function<void(size_t)> ResizeFn() {
+    return [this](size_t c) {
+      capacity = c;
+      resizes.push_back(c);
+    };
+  }
+  std::function<size_t()> WatermarkFn() {
+    return [this] { return watermark; };
+  }
+};
+
+TEST(CapacityTunerUnitTest, DefaultPolicyIsInert) {
+  EXPECT_FALSE(CapacityPolicy{}.adaptive());
+  EXPECT_TRUE(CapacityPolicy::Adaptive(4, 64).adaptive());
+  // Degenerate range: controller disabled.
+  EXPECT_FALSE(CapacityPolicy::Adaptive(64, 64).adaptive());
+  FakeChannel ch{8};
+  CapacityTuner tuner(CapacityPolicy{}, 8, ch.ResizeFn(), ch.WatermarkFn());
+  ch.watermark = 8;
+  tuner.OnWindow(10'000'000, 10.0);
+  EXPECT_EQ(tuner.capacity(), 8u);
+  EXPECT_TRUE(ch.resizes.empty());
+}
+
+TEST(CapacityTunerUnitTest, SeedOutsideRangeIsClampedThroughResize) {
+  FakeChannel ch{2};
+  CapacityTuner tuner(CapacityPolicy::Adaptive(4, 64), 2, ch.ResizeFn(),
+                      ch.WatermarkFn());
+  // The controller and the channel must agree immediately.
+  EXPECT_EQ(tuner.capacity(), 4u);
+  ASSERT_EQ(ch.resizes.size(), 1u);
+  EXPECT_EQ(ch.capacity, 4u);
+}
+
+TEST(CapacityTunerUnitTest, GrowsWhenSaturatedAndProducersBlocked) {
+  FakeChannel ch{8};
+  CapacityTuner tuner(CapacityPolicy::Adaptive(4, 64), 8, ch.ResizeFn(),
+                      ch.WatermarkFn());
+  // Watermark at the bound + 50% of the window spent blocked: grow x2
+  // until the range cap, then hold.
+  for (size_t expect : {16u, 32u, 64u, 64u}) {
+    ch.watermark = ch.capacity;
+    tuner.OnWindow(/*d_blocked_ns=*/5'000'000, /*wall_ms=*/10.0);
+    EXPECT_EQ(tuner.capacity(), expect);
+    EXPECT_EQ(ch.capacity, expect);
+  }
+  const CapacityState s = tuner.Snapshot();
+  EXPECT_EQ(s.resize_up, 3u);
+  EXPECT_EQ(s.resize_down, 0u);
+  EXPECT_EQ(s.windows, 4u);
+}
+
+TEST(CapacityTunerUnitTest, SaturationWithoutBlockingHolds) {
+  // A full queue whose producers never wait (consumer drains in lockstep)
+  // is not capacity-bound: more memory buys nothing.
+  FakeChannel ch{8};
+  CapacityTuner tuner(CapacityPolicy::Adaptive(4, 64), 8, ch.ResizeFn(),
+                      ch.WatermarkFn());
+  ch.watermark = 8;
+  tuner.OnWindow(/*d_blocked_ns=*/0, /*wall_ms=*/10.0);
+  // Below the 10% grow_blocked_fraction gate:
+  ch.watermark = 8;
+  tuner.OnWindow(/*d_blocked_ns=*/500'000, /*wall_ms=*/10.0);
+  EXPECT_EQ(tuner.capacity(), 8u);
+  EXPECT_EQ(tuner.Snapshot().resize_up, 0u);
+}
+
+TEST(CapacityTunerUnitTest, ShrinksAfterConsecutiveShallowWindows) {
+  FakeChannel ch{64};
+  CapacityPolicy policy = CapacityPolicy::Adaptive(4, 64);
+  CapacityTuner tuner(policy, 64, ch.ResizeFn(), ch.WatermarkFn());
+  // Watermark well under shallow_fraction * 64 = 16. One shallow window
+  // is not enough (shrink_after = 2)...
+  ch.watermark = 3;
+  tuner.OnWindow(0, 10.0);
+  EXPECT_EQ(tuner.capacity(), 64u);
+  // ...the second one halves the bound.
+  ch.watermark = 3;
+  tuner.OnWindow(0, 10.0);
+  EXPECT_EQ(tuner.capacity(), 32u);
+  EXPECT_EQ(tuner.Snapshot().resize_down, 1u);
+  // A deep burst resets the shallow streak: no shrink two windows later.
+  ch.watermark = 2;
+  tuner.OnWindow(0, 10.0);
+  ch.watermark = 30;  // deep (above 25% of 32)
+  tuner.OnWindow(0, 10.0);
+  ch.watermark = 2;
+  tuner.OnWindow(0, 10.0);
+  EXPECT_EQ(tuner.capacity(), 32u);
+  // Floor: repeated shallow windows never shrink below min_capacity.
+  for (int i = 0; i < 10; ++i) {
+    ch.watermark = 0;
+    tuner.OnWindow(0, 10.0);
+  }
+  EXPECT_EQ(tuner.capacity(), 4u);
+}
+
+TEST(CapacityTunerUnitTest, ConvergesAfterSteadyHolds) {
+  FakeChannel ch{16};
+  CapacityPolicy policy = CapacityPolicy::Adaptive(4, 64);
+  CapacityTuner tuner(policy, 16, ch.ResizeFn(), ch.WatermarkFn());
+  // Mid-depth windows (neither saturated nor shallow) are holds.
+  for (uint32_t i = 0; i < policy.converge_after; ++i) {
+    EXPECT_EQ(tuner.Snapshot().converged, 0u);
+    ch.watermark = 8;
+    tuner.OnWindow(0, 10.0);
+  }
+  EXPECT_EQ(tuner.Snapshot().converged, 16u);
+  // Any resize voids the convergence.
+  ch.watermark = 16;
+  tuner.OnWindow(10'000'000, 10.0);
+  EXPECT_EQ(tuner.Snapshot().converged, 0u);
+}
+
+TEST(CapacityTunerUnitTest, FillStageMetricsExposesCapacityBlock) {
+  FakeChannel ch{8};
+  CapacityTuner tuner(CapacityPolicy::Adaptive(4, 64), 8, ch.ResizeFn(),
+                      ch.WatermarkFn());
+  ch.watermark = 8;
+  tuner.OnWindow(5'000'000, 10.0);  // one grow
+  StageMetrics m;
+  tuner.FillStageMetrics(&m);
+  EXPECT_TRUE(m.capacity_tuned);
+  EXPECT_EQ(m.capacity_min, 4u);
+  EXPECT_EQ(m.capacity_max, 64u);
+  EXPECT_EQ(m.capacity_resize_up, 1u);
+  EXPECT_EQ(m.capacity_resize_down, 0u);
+  const std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"capacity_tuned\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity_resize_up\":1"), std::string::npos);
+  // Static edges stay compact (but always report their capacity).
+  StageMetrics untuned;
+  untuned.capacity = 1024;
+  EXPECT_NE(untuned.ToJson().find("\"capacity\":1024"), std::string::npos);
+  EXPECT_EQ(untuned.ToJson().find("capacity_tuned"), std::string::npos);
+}
+
+// ------------------------------------------- elastic channel behavior
+
+TEST(ElasticChannelTest, ResizeReportsPreviousBoundAndNewCapacity) {
+  Channel<int> ch(8);
+  EXPECT_EQ(ch.capacity(), 8u);
+  EXPECT_EQ(ch.Resize(32), 8u);
+  EXPECT_EQ(ch.capacity(), 32u);
+  EXPECT_EQ(ch.Resize(16), 32u);
+  EXPECT_EQ(ch.capacity(), 16u);
+  EXPECT_EQ(ch.MetricsSnapshot().capacity, 16u);
+}
+
+TEST(ElasticChannelTest, ShrinkNeverEvictsQueuedElements) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ch.Push(i));
+  ch.Resize(2);  // bound below current depth: nothing is dropped
+  ch.Close();
+  std::vector<int> got;
+  while (std::optional<int> v = ch.Pop()) got.push_back(*v);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ElasticChannelTest, WindowWatermarkResetsToCurrentDepth) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ch.Push(i));
+  int v = 0;
+  ASSERT_EQ(ch.TryPop(&v), PollStatus::kItem);
+  ASSERT_EQ(ch.TryPop(&v), PollStatus::kItem);
+  // Peak depth this window was 6 even though only 4 are queued now.
+  EXPECT_EQ(ch.TakeQueueWatermarkWindow(), 6u);
+  // The window resets to *current* depth, not zero: a persistently deep
+  // queue keeps reporting deep.
+  EXPECT_EQ(ch.TakeQueueWatermarkWindow(), 4u);
+  // The lifetime high watermark is unaffected by window resets.
+  EXPECT_EQ(ch.MetricsSnapshot().queue_high_watermark, 6u);
+}
+
+// --------------------------------------------- latency-budget linger
+
+TEST(LatencyBudgetPolicyTest, BudgetEnablesTimedFlushes) {
+  // linger < 0 normally means "flush only when full"; a budget
+  // re-enables the timed path with the budget as the bound.
+  BatchPolicy p = BatchPolicy::Batched(1024, -1);
+  EXPECT_FALSE(p.LingerEnabled());
+  BatchPolicy q = p.WithLatencyBudget(5);
+  EXPECT_TRUE(q.LingerEnabled());
+  EXPECT_EQ(q.latency_budget_ms, 5);
+  EXPECT_EQ(q.max_linger_ms, -1);
+  EXPECT_FALSE(p.LingerEnabled());  // fluent copy, original untouched
+}
+
+TEST(LatencyBudgetPolicyTest, StageOptionsOverlayBudgetOnInheritedPolicy) {
+  const BatchPolicy inherited = BatchPolicy::Batched(64, 20);
+  StageOptions opts;
+  opts.latency_budget_ms = 5;
+  const BatchPolicy effective = opts.EffectivePolicy(inherited);
+  EXPECT_EQ(effective.max_batch, 64u);
+  EXPECT_EQ(effective.max_linger_ms, 20);
+  EXPECT_EQ(effective.latency_budget_ms, 5);
+  // Explicit per-stage batch override still gets the budget applied.
+  StageOptions both;
+  both.batch = BatchPolicy::Batched(8, -1);
+  both.latency_budget_ms = 7;
+  const BatchPolicy eff2 = both.EffectivePolicy(inherited);
+  EXPECT_EQ(eff2.max_batch, 8u);
+  EXPECT_TRUE(eff2.LingerEnabled());
+  // Unset budget inherits the policy's own contract untouched.
+  StageOptions plain;
+  EXPECT_EQ(plain.EffectivePolicy(eff2).latency_budget_ms, 7);
+}
+
+TEST(LatencyBudgetPipelineTest, BudgetFlushesStagedBatchWhileInputOpen) {
+  // The classic linger knob is off (max_linger_ms < 0); only the latency
+  // budget can flush the 3-element batch staged inside the map operator
+  // while the input channel stays open.
+  Pipeline pipeline;
+  auto in = std::make_shared<Channel<int>>(64);
+  std::atomic<int> delivered{0};
+  Flow<int> flow(&pipeline, in, BatchPolicy::Batched(1024, -1));
+  flow.Map<int>([](const int& x) { return x; },
+                {.capacity = 64, .latency_budget_ms = 5})
+      .Sink([&delivered](const int&) { ++delivered; });
+  for (int i = 0; i < 3; ++i) in->Push(i);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(4);
+  while (delivered.load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(delivered.load(), 3);
+  in->Close();
+  pipeline.Run();
+}
+
 // --------------------------------------------- pipeline integration
 
 TEST(TunerPipelineTest, AdaptiveEdgesCarryTunersAndReportState) {
@@ -272,8 +518,11 @@ TEST(TunerPipelineTest, AdaptiveEdgesCarryTunersAndReportState) {
   policy.tune_every_records = 512;
   std::vector<int> input(20000);
   std::iota(input.begin(), input.end(), 0);
-  auto flow = Flow<int>::FromVector(&pipeline, input, 256, "src", policy)
-                  .Map<int>([](const int& x) { return x * 2; }, 256, "dbl");
+  auto flow =
+      Flow<int>::FromVector(&pipeline, input,
+                            {.name = "src", .capacity = 256, .batch = policy})
+          .Map<int>([](const int& x) { return x * 2; },
+                    {.name = "dbl", .capacity = 256});
   ASSERT_NE(flow.tuner(), nullptr);
   std::vector<int> out;
   flow.CollectInto(&out);
@@ -302,7 +551,8 @@ TEST(TunerPipelineTest, ConvergesUpwardUnderSteadyFastLoad) {
   policy.slow_batch_ms = 1e9;  // keep CI scheduling noise out of the test
   std::vector<int> input(60000);
   std::iota(input.begin(), input.end(), 0);
-  auto flow = Flow<int>::FromVector(&pipeline, input, 256, "src", policy);
+  auto flow = Flow<int>::FromVector(
+      &pipeline, input, {.name = "src", .capacity = 256, .batch = policy});
   std::atomic<long long> sum{0};
   flow.Sink([&sum](const int& x) {
     sum.fetch_add(x, std::memory_order_relaxed);
@@ -327,7 +577,8 @@ TEST(TunerPipelineTest, BacksOffUnderSlowConsumerPhase) {
   policy.slow_batch_ms = 0.5;
   std::vector<int> input(6000);
   std::iota(input.begin(), input.end(), 0);
-  auto flow = Flow<int>::FromVector(&pipeline, input, 256, "src", policy);
+  auto flow = Flow<int>::FromVector(
+      &pipeline, input, {.name = "src", .capacity = 256, .batch = policy});
   std::atomic<size_t> seen{0};
   flow.Sink([&seen](const int&) {
     const size_t n = seen.fetch_add(1, std::memory_order_relaxed);
@@ -351,7 +602,8 @@ TEST(TunerPipelineTest, DegenerateAdaptivePolicyRunsStatic) {
   const BatchPolicy policy = BatchPolicy::Adaptive(16, 32, 32);
   std::vector<int> input(5000);
   std::iota(input.begin(), input.end(), 0);
-  auto flow = Flow<int>::FromVector(&pipeline, input, 64, "src", policy);
+  auto flow = Flow<int>::FromVector(
+      &pipeline, input, {.name = "src", .capacity = 64, .batch = policy});
   EXPECT_EQ(flow.tuner(), nullptr);  // no controller created
   std::vector<int> out;
   flow.CollectInto(&out);
@@ -373,7 +625,8 @@ TEST(TunerPipelineTest, KeyedParallelSharesOneOutputTuner) {
     long long sum = 0;
   };
   auto flow =
-      Flow<int>::FromVector(&pipeline, input, 128, "src", policy)
+      Flow<int>::FromVector(&pipeline, input,
+                            {.name = "src", .capacity = 128, .batch = policy})
           .KeyedProcessParallel<int, State>(
               [](const int& x) { return static_cast<uint64_t>(x % 16); },
               [](const int& x, State& st,
@@ -381,7 +634,7 @@ TEST(TunerPipelineTest, KeyedParallelSharesOneOutputTuner) {
                 st.sum += x;
                 emit(x);
               },
-              4, nullptr, 128, "par");
+              4, nullptr, {.name = "par", .capacity = 128});
   ASSERT_NE(flow.tuner(), nullptr);
   std::vector<int> out;
   flow.CollectInto(&out);
@@ -392,6 +645,69 @@ TEST(TunerPipelineTest, KeyedParallelSharesOneOutputTuner) {
   EXPECT_GE(s.target_batch, 1u);
   EXPECT_LE(s.target_batch, 128u);
   EXPECT_GT(s.samples, 0u);
+}
+
+TEST(TunerPipelineTest, ElasticCapacityGrowsUnderBlockedProducers) {
+  // A fast source pushing into a tiny elastic channel whose consumer is
+  // compute-bound: the queue saturates, the producer blocks, and the
+  // capacity controller must grow the bound (observable in the report).
+  Pipeline pipeline;
+  BatchPolicy policy = BatchPolicy::Batched(16, 1);
+  policy.tune_every_records = 256;  // drive capacity windows often
+  std::vector<int> input(20000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow = Flow<int>::FromVector(
+      &pipeline, input,
+      {.name = "src",
+       .capacity = 4,
+       .batch = policy,
+       .capacity_tuning = CapacityPolicy::Adaptive(4, 1024)});
+  std::atomic<size_t> seen{0};
+  flow.Sink([&seen](const int&) {
+    if ((seen.fetch_add(1, std::memory_order_relaxed) & 63u) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  pipeline.Run();
+  EXPECT_EQ(seen.load(), input.size());
+
+  bool found = false;
+  for (const StageMetrics& m : pipeline.Report()) {
+    if (m.stage != "src") continue;
+    found = true;
+    EXPECT_TRUE(m.capacity_tuned);
+    EXPECT_EQ(m.capacity_min, 4u);
+    EXPECT_EQ(m.capacity_max, 1024u);
+    EXPECT_GT(m.capacity_resize_up, 0u) << "elastic bound never grew";
+    EXPECT_GT(m.capacity, 4u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(pipeline.ReportJson().find("\"capacity_resize_up\""),
+            std::string::npos);
+}
+
+TEST(TunerPipelineTest, CapacityOnlyTuningReportsNoBatchTunerBlock) {
+  // CapacityPolicy::Adaptive on a *static* batch policy: the edge gets a
+  // carrier tuner for the capacity controller, but must not claim the
+  // batch target is tuned.
+  Pipeline pipeline;
+  std::vector<int> input(5000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow = Flow<int>::FromVector(
+      &pipeline, input,
+      {.name = "src",
+       .capacity = 64,
+       .batch = BatchPolicy::Batched(16, 1),
+       .capacity_tuning = CapacityPolicy::Adaptive(16, 256)});
+  std::vector<int> out;
+  flow.CollectInto(&out);
+  pipeline.Run();
+  EXPECT_EQ(out.size(), input.size());
+  for (const StageMetrics& m : pipeline.Report()) {
+    if (m.stage != "src") continue;
+    EXPECT_FALSE(m.tuned) << "static batch policy must not report tuner_*";
+    EXPECT_TRUE(m.capacity_tuned);
+  }
 }
 
 // ------------------------------------- shutdown under the watchdog
@@ -420,11 +736,11 @@ TEST(TunerShutdownTest, AdaptiveFusedChainCancelPropagatesToSource) {
         // Infinite generator: only upstream cancellation can end it.
         auto source = Flow<int>::FromGenerator(
             &pipeline, [&produced]() -> std::optional<int> { return produced++; },
-            4, "gen", policy);
+            {.name = "gen", .capacity = 4, .batch = policy});
         auto fused = source.Fuse()
                          .Map<int>([](const int& x) { return x + 1; })
                          .Filter([](const int& x) { return x % 3 != 0; })
-                         .Emit(4, "fused");
+                         .Emit({.name = "fused", .capacity = 4});
         size_t seen = 0;
         fused.SinkWhile([&seen](const int&) { return ++seen < 500; });
         pipeline.Run();
@@ -446,8 +762,11 @@ TEST(TunerShutdownTest, AdaptiveSinkCancelsMidRetargetedBatch) {
         policy.tune_every_records = 64;  // re-target often mid-run
         std::vector<int> input(200000);
         std::iota(input.begin(), input.end(), 0);
-        auto flow = Flow<int>::FromVector(&pipeline, input, 4, "src", policy)
-                        .Map<int>([](const int& x) { return x + 1; }, 4);
+        auto flow =
+            Flow<int>::FromVector(
+                &pipeline, input,
+                {.name = "src", .capacity = 4, .batch = policy})
+                .Map<int>([](const int& x) { return x + 1; }, {.capacity = 4});
         size_t seen = 0;
         flow.SinkWhile([&seen](const int&) { return ++seen < 100; });
         pipeline.Run();
@@ -473,6 +792,34 @@ TEST(TunerShutdownTest, ConsumerCloseAndDrainUnblocksAdaptiveProducer) {
         ch->CloseAndDrain();
         producer.join();
         EXPECT_TRUE(ch->MetricsSnapshot().cancelled);
+      },
+      5000);
+}
+
+TEST(TunerShutdownTest, ResizeWakesProducersBlockedOnFullQueue) {
+  // The waiter re-notification contract of Channel::Resize: producers
+  // blocked on a full queue must observe a grown bound without any
+  // consumer pop happening. notify_one instead of notify_all here would
+  // strand all but one waiter (this test uses several).
+  ExpectCompletesWithin(
+      [] {
+        auto ch = std::make_shared<Channel<int>>(2);
+        ASSERT_TRUE(ch->Push(0));
+        ASSERT_TRUE(ch->Push(1));
+        std::atomic<int> completed{0};
+        std::vector<std::thread> producers;
+        for (int i = 0; i < 4; ++i) {
+          producers.emplace_back([ch, &completed, i] {
+            if (ch->Push(100 + i)) completed.fetch_add(1);
+          });
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        EXPECT_EQ(completed.load(), 0);  // all four blocked on the bound
+        ch->Resize(16);  // room for every waiter: all must wake
+        for (auto& t : producers) t.join();
+        EXPECT_EQ(completed.load(), 4);
+        EXPECT_EQ(ch->size(), 6u);
+        EXPECT_EQ(ch->capacity(), 16u);
       },
       5000);
 }

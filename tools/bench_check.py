@@ -37,6 +37,29 @@ comparison; the google-benchmark suite is skipped), loads the
      (adjust_down > 0): the consumer turns slow halfway through and a
      controller that never shrinks its target is broken.
 
+4. **Capacity-tuner gates** — the elastic-capacity sweep
+   (``pipeline_capacity/*``, a bursty-stall consumer where the channel
+   bound matters) must show the adaptive controller earning its keep:
+
+   - ``pipeline_capacity/adaptive`` must reach at least
+     ``--min-capacity-ratio`` of the best *static* capacity row from
+     the same run (default 0.85 — same contract as the batch tuner:
+     near-best-static without hand-picking the bound).
+   - It must actually have resized (capacity_resize_up > 0) and its
+     final bound must sit inside [capacity_min, capacity_max].
+
+5. **Latency-budget gates** — the staging-delay rows
+   (``pipeline_latency/*``, a trickling source against a large
+   max_batch so flush timing dominates):
+
+   - ``pipeline_latency/budget50`` p99 staging delay must stay within
+     ``--budget-tolerance`` x its declared budget_ms (default 1.3x:
+     the budget is enforced by a polling linger loop, so scheduler
+     jitter adds up to one poll interval on top).
+   - The unbudgeted linger row must be *slower* than the budgeted row
+     (sanity: the budget visibly tightened the tail; if linger200's
+     p99 is not above budget50's, the rows measure nothing).
+
 Also asserts the PR 3 acceptance invariant directly on the fresh
 measurement: the channel-transfer row at batch 64 must be at least
 ``--min-batch-speedup`` (default 3x) faster than record-at-a-time.
@@ -49,6 +72,8 @@ Usage:
                          [--tolerance 3.0] [--ratio-tolerance 1.8]
                          [--min-batch-speedup 3.0]
                          [--min-adaptive-ratio 0.85]
+                         [--min-capacity-ratio 0.85]
+                         [--budget-tolerance 1.3]
                          [--no-run]   # reuse an existing BENCH_micro.json
 """
 
@@ -67,6 +92,15 @@ STATIC_SWEEP = [
     "pipeline/batched16",
     "pipeline/batched64",
     "pipeline/batched256",
+]
+
+# Static channel bounds the elastic CapacityTuner is compared against
+# (gate 4). bench_micro runs these against a bursty-stall consumer so
+# the capacity choice actually shows up in throughput.
+CAPACITY_SWEEP = [
+    "pipeline_capacity/static64",
+    "pipeline_capacity/static1024",
+    "pipeline_capacity/static8192",
 ]
 
 # (numerator, denominator) pairs whose measured ratio must stay within
@@ -97,6 +131,10 @@ def check_absolute(measured, baseline, tolerance, failures):
     print(f"\n{'row':<30} {'measured':>14} {'baseline':>14} {'ratio':>8}")
     for name, base_row in sorted(baseline.items()):
         base = base_row["records_per_s"]
+        if base <= 0:
+            # Latency rows carry p99_ms instead of a throughput figure;
+            # check_latency gates them.
+            continue
         if name not in measured:
             failures.append(f"row missing from bench output: {name}")
             print(f"{name:<30} {'MISSING':>14} {base:>14.0f}")
@@ -195,6 +233,83 @@ def check_tuner(measured, min_adaptive_ratio, failures):
                 "the controller ignored the slow consumer")
 
 
+def check_capacity(measured, min_capacity_ratio, failures):
+    adaptive = measured.get("pipeline_capacity/adaptive")
+    if not adaptive:
+        failures.append("pipeline_capacity/adaptive row missing")
+        return
+    if "capacity_resize_up" not in adaptive:
+        failures.append("pipeline_capacity/adaptive has no capacity_* "
+                        "fields — the elastic edge lost its CapacityTuner")
+        return
+
+    cap = adaptive["capacity"]
+    lo = adaptive["capacity_min"]
+    hi = adaptive["capacity_max"]
+    print(f"\ncapacity tuner: bound={cap} range=[{lo},{hi}] "
+          f"up={adaptive['capacity_resize_up']} "
+          f"down={adaptive['capacity_resize_down']} "
+          f"converged={adaptive['capacity_converged']}")
+    if not lo <= cap <= hi:
+        failures.append(f"elastic capacity {cap} escaped [{lo}, {hi}]")
+    if adaptive["capacity_resize_up"] == 0:
+        failures.append(
+            "elastic capacity never grew under a bursty-stall consumer "
+            "that saturates the seed bound (capacity_resize_up == 0)")
+
+    best_static = max(
+        (measured[n]["records_per_s"]
+         for n in CAPACITY_SWEEP if n in measured),
+        default=0.0)
+    if best_static > 0:
+        ratio = adaptive["records_per_s"] / best_static
+        ok = ratio >= min_capacity_ratio
+        print(f"adaptive capacity vs best static bound: {ratio:.2f}x "
+              f"(required >= {min_capacity_ratio:g}x)"
+              f"{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                f"adaptive capacity row at {ratio:.2f}x of best static "
+                f"bound < {min_capacity_ratio:g}x")
+    else:
+        failures.append(
+            "pipeline_capacity static sweep rows missing; cannot rate "
+            "the elastic controller")
+
+
+def check_latency(measured, budget_tolerance, failures):
+    budgeted = measured.get("pipeline_latency/budget50")
+    unbudgeted = measured.get("pipeline_latency/linger200")
+    if not budgeted or "p99_ms" not in budgeted:
+        failures.append("pipeline_latency/budget50 p99 row missing")
+        return
+    p99 = budgeted["p99_ms"]
+    budget = budgeted.get("budget_ms", -1)
+    if budget <= 0:
+        failures.append("pipeline_latency/budget50 carries no budget_ms")
+        return
+    limit = budget * budget_tolerance
+    ok = p99 <= limit
+    print(f"\nlatency budget: budget50 p99={p99:.2f}ms vs "
+          f"budget {budget}ms x {budget_tolerance:g} = {limit:.1f}ms"
+          f"{'' if ok else '  << FAIL'}")
+    if not ok:
+        failures.append(
+            f"budgeted staging p99 {p99:.2f}ms > {budget}ms budget x "
+            f"{budget_tolerance:g} tolerance")
+    if unbudgeted and "p99_ms" in unbudgeted:
+        ok = unbudgeted["p99_ms"] > p99
+        print(f"unbudgeted linger p99={unbudgeted['p99_ms']:.2f}ms "
+              f"(must exceed budgeted p99)"
+              f"{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                "unbudgeted linger row p99 did not exceed the budgeted "
+                "row — the budget gate is measuring nothing")
+    else:
+        failures.append("pipeline_latency/linger200 p99 row missing")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -225,6 +340,18 @@ def main():
         "--min-adaptive-ratio", type=float, default=0.85,
         help="required pipeline/adaptive throughput as a fraction of the "
              "best static sweep row from the same run (default 0.85)",
+    )
+    parser.add_argument(
+        "--min-capacity-ratio", type=float, default=0.85,
+        help="required pipeline_capacity/adaptive throughput as a "
+             "fraction of the best static capacity row from the same "
+             "run (default 0.85)",
+    )
+    parser.add_argument(
+        "--budget-tolerance", type=float, default=1.3,
+        help="allowed pipeline_latency/budget50 p99 as a multiple of "
+             "its declared budget_ms (default 1.3; covers linger-poll "
+             "granularity and scheduler jitter)",
     )
     parser.add_argument(
         "--no-run", action="store_true",
@@ -258,6 +385,8 @@ def main():
     check_absolute(measured, baseline, args.tolerance, failures)
     check_relative(measured, baseline, args.ratio_tolerance, failures)
     check_tuner(measured, args.min_adaptive_ratio, failures)
+    check_capacity(measured, args.min_capacity_ratio, failures)
+    check_latency(measured, args.budget_tolerance, failures)
 
     # Acceptance invariant: batching must actually amortize the lock.
     b1 = measured.get("channel_transfer/batch1")
