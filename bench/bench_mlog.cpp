@@ -6,18 +6,31 @@
 // the log far faster than any realistic AIS/ADS-B ingest rate, while
 // `per_append` pays the full fdatasync-per-record price.
 //
+// Also: a partitioned-topic sweep {1, 4, 16} under a skewed million-key
+// vessel workload — one producer thread per partition, one consumer-group
+// member per partition on replay — quantifying the scale-out the
+// PartitionedLog adds over a single log (Section 3's partitioned broker
+// topics). Appends are CPU-bound at fsync=never (encode + CRC), so the
+// aggregate rate should scale with producers up to the core count.
+//
 // Emits a human-readable table on stdout and machine-readable rows to
-// BENCH_mlog.json in the working directory.
+// BENCH_mlog.json in the working directory. `--smoke` shrinks every run
+// for CI gating.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "mlog/log.h"
+#include "mlog/partitioned.h"
 #include "stream/record.h"
 
 using namespace tcmf;
@@ -126,9 +139,159 @@ RunResult RunOne(mlog::FsyncPolicy policy, size_t segment_bytes,
   return result;
 }
 
+// ------------------------------------------------ partitioned-topic sweep
+
+/// Skewed million-key vessel id: a quarter of the traffic concentrates on
+/// 1k hot vessels (dense shipping lanes), the rest spreads uniformly over
+/// the full million-key space. Hash routing must still balance partitions.
+uint64_t SkewedVesselKey(Rng& rng) {
+  if (rng.Bernoulli(0.25)) return static_cast<uint64_t>(rng.UniformInt(0, 999));
+  return static_cast<uint64_t>(rng.UniformInt(0, 999'999));
+}
+
+stream::Record MakeKeyedAisRecord(Rng& rng, uint64_t seq, uint64_t key) {
+  stream::Record r;
+  r.set_event_time(static_cast<TimeMs>(seq * 1000));
+  r.Set("mmsi", static_cast<int64_t>(200000000 + key));
+  r.Set("lon", rng.Uniform(-6.0, 10.0));
+  r.Set("lat", rng.Uniform(35.0, 44.0));
+  r.Set("speed_kn", rng.Uniform(0.0, 25.0));
+  r.Set("heading", rng.Uniform(0.0, 360.0));
+  r.Set("status", std::string("under_way"));
+  return r;
+}
+
+struct PartitionRunResult {
+  size_t partitions;
+  size_t records;
+  size_t batch_size;
+  double append_s;
+  double replay_s;
+  uint64_t bytes;
+
+  double AppendRecsPerS() const { return records / append_s; }
+  double AppendMbPerS() const { return bytes / append_s / 1e6; }
+  double ReplayRecsPerS() const { return records / replay_s; }
+  double ReplayMbPerS() const { return bytes / replay_s / 1e6; }
+};
+
+PartitionRunResult RunPartitioned(size_t partitions, size_t records,
+                                  size_t batch_size) {
+  namespace fs = std::filesystem;
+  const std::string dir = StrFormat("bench_mlog_logs/topic_p%zu", partitions);
+  fs::remove_all(dir);
+
+  mlog::PartitionedLogOptions options;
+  options.dir = dir;
+  options.partitions = partitions;
+  options.log.fsync_policy = mlog::FsyncPolicy::kNever;
+  options.log.segment_bytes = 16u << 20;
+  auto topic_or = mlog::PartitionedLog::Open(options);
+  if (!topic_or.ok()) {
+    std::fprintf(stderr, "topic open failed: %s\n",
+                 topic_or.status().message().c_str());
+    std::exit(1);
+  }
+  auto topic = std::move(topic_or).value();
+
+  // Pre-generate and pre-scatter so record construction and key hashing
+  // stay out of the timed region: the sweep measures the log, and the
+  // producer-side routing cost is already covered by the stream benches.
+  Rng rng(11);
+  std::vector<std::vector<std::vector<stream::Record>>> batches(partitions);
+  for (size_t i = 0; i < records; ++i) {
+    const uint64_t key = SkewedVesselKey(rng);
+    const size_t p = topic->PartitionFor(key);
+    if (batches[p].empty() || batches[p].back().size() == batch_size) {
+      batches[p].emplace_back();
+      batches[p].back().reserve(batch_size);
+    }
+    batches[p].back().push_back(MakeKeyedAisRecord(rng, i, key));
+  }
+
+  // Append: one producer thread per partition (the PartitionedLog
+  // threading contract), aggregate wall-clock across all of them.
+  std::atomic<bool> failed{false};
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> producers;
+    producers.reserve(partitions);
+    for (size_t p = 0; p < partitions; ++p) {
+      producers.emplace_back([&, p] {
+        for (const std::vector<stream::Record>& batch : batches[p]) {
+          if (!topic->partition(p)->AppendBatch(batch).ok()) {
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+  const double append_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (failed.load()) {
+    std::fprintf(stderr, "partitioned append failed\n");
+    std::exit(1);
+  }
+
+  // Replay: one consumer-group member per partition, each draining its
+  // static assignment through the shared group frontier.
+  std::atomic<size_t> replayed{0};
+  t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> consumers;
+    consumers.reserve(partitions);
+    for (size_t m = 0; m < partitions; ++m) {
+      consumers.emplace_back([&, m] {
+        auto cursor_or = topic->JoinGroup("bench", m, partitions);
+        if (!cursor_or.ok()) {
+          failed.store(true);
+          return;
+        }
+        auto cursor = std::move(cursor_or).value();
+        std::vector<mlog::GroupRecord> scratch;
+        size_t n;
+        size_t local = 0;
+        do {
+          scratch.clear();
+          n = cursor->NextBatch(&scratch, batch_size);
+          local += n;
+        } while (n > 0);
+        if (!cursor->status().ok()) failed.store(true);
+        replayed.fetch_add(local);
+      });
+    }
+    for (std::thread& t : consumers) t.join();
+  }
+  const double replay_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (failed.load() || replayed.load() != records) {
+    std::fprintf(stderr, "group replay mismatch: %zu != %zu\n",
+                 replayed.load(), records);
+    std::exit(1);
+  }
+
+  PartitionRunResult result;
+  result.partitions = partitions;
+  result.records = records;
+  result.batch_size = batch_size;
+  result.append_s = append_s;
+  result.replay_s = replay_s;
+  result.bytes = topic->size_bytes_total();
+
+  topic.reset();
+  fs::remove_all(dir);
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const size_t shrink = smoke ? 20 : 1;
   std::printf("mlog durable log: append/replay throughput vs fsync policy "
               "and segment size\n\n");
   std::printf("%-11s %10s %8s | %12s %10s | %12s %10s | %7s %5s\n", "fsync",
@@ -150,7 +313,8 @@ int main() {
   std::vector<RunResult> results;
   for (const Config& config : kConfigs) {
     for (size_t segment_bytes : kSegmentSizes) {
-      RunResult r = RunOne(config.policy, segment_bytes, config.records,
+      RunResult r = RunOne(config.policy, segment_bytes,
+                           std::max<size_t>(config.records / shrink, 512),
                            kBatch);
       results.push_back(r);
       std::printf("%-11s %9zuK %8zu | %12.0f %10.1f | %12.0f %10.1f | %7llu "
@@ -160,6 +324,22 @@ int main() {
                   r.ReplayRecsPerS(), r.ReplayMbPerS(),
                   static_cast<unsigned long long>(r.fsyncs), r.segments);
     }
+  }
+
+  // Partitioned-topic sweep: aggregate throughput vs partition count under
+  // the skewed million-key vessel workload.
+  std::printf("\npartitioned topic: aggregate append/group-replay vs "
+              "partition count (fsync=never, skewed 1M-key workload)\n\n");
+  std::printf("%10s %8s | %12s %10s | %12s %10s\n", "partitions", "records",
+              "append rec/s", "MB/s", "replay rec/s", "MB/s");
+  const size_t kSweepRecords = std::max<size_t>(600000 / shrink, 4096);
+  std::vector<PartitionRunResult> sweep;
+  for (size_t partitions : {size_t{1}, size_t{4}, size_t{16}}) {
+    PartitionRunResult r = RunPartitioned(partitions, kSweepRecords, kBatch);
+    sweep.push_back(r);
+    std::printf("%10zu %8zu | %12.0f %10.1f | %12.0f %10.1f\n", r.partitions,
+                r.records, r.AppendRecsPerS(), r.AppendMbPerS(),
+                r.ReplayRecsPerS(), r.ReplayMbPerS());
   }
 
   // Machine-readable output alongside the table.
@@ -173,13 +353,27 @@ int main() {
           "\"records\": %zu, \"batch_size\": %zu, "
           "\"append_records_per_s\": %.0f, \"append_mb_per_s\": %.2f, "
           "\"replay_records_per_s\": %.0f, \"replay_mb_per_s\": %.2f, "
-          "\"appended_bytes\": %llu, \"fsyncs\": %llu, \"segments\": %zu}%s\n",
+          "\"appended_bytes\": %llu, \"fsyncs\": %llu, \"segments\": %zu},\n",
           mlog::FsyncPolicyName(r.policy), r.segment_bytes, r.records,
           r.batch_size, r.AppendRecsPerS(), r.AppendMbPerS(),
           r.ReplayRecsPerS(), r.ReplayMbPerS(),
           static_cast<unsigned long long>(r.bytes),
-          static_cast<unsigned long long>(r.fsyncs), r.segments,
-          i + 1 < results.size() ? "," : "");
+          static_cast<unsigned long long>(r.fsyncs), r.segments);
+    }
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const PartitionRunResult& r = sweep[i];
+      std::fprintf(
+          f,
+          "  {\"workload\": \"skewed_mkeys\", \"partitions\": %zu, "
+          "\"records\": %zu, \"batch_size\": %zu, \"hw_threads\": %u, "
+          "\"append_records_per_s\": %.0f, \"append_mb_per_s\": %.2f, "
+          "\"replay_records_per_s\": %.0f, \"replay_mb_per_s\": %.2f, "
+          "\"appended_bytes\": %llu}%s\n",
+          r.partitions, r.records, r.batch_size,
+          std::thread::hardware_concurrency(), r.AppendRecsPerS(),
+          r.AppendMbPerS(), r.ReplayRecsPerS(), r.ReplayMbPerS(),
+          static_cast<unsigned long long>(r.bytes),
+          i + 1 < sweep.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

@@ -1,0 +1,33 @@
+#ifndef TCMF_COMMON_HASH_H_
+#define TCMF_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace tcmf {
+
+/// Finalizing 64-bit mixer (the splitmix64 output function, Vigna 2015):
+/// every input bit avalanches into every output bit, so `Mix64(k) % n`
+/// spreads *structured* key populations — vessel MMSIs stepping by a
+/// stride, dense sequential IDs — uniformly across n buckets.
+///
+/// This is the one routing hash shared by everything that partitions by
+/// key: KeyedProcessParallel's worker router and the partitioned-topic
+/// producer path (mlog::PartitionedLog::AppendKeyed). libstdc++'s
+/// std::hash<uint64_t> is the identity, which folds `key % n` straight
+/// through — keys stepping by a multiple of n all land in bucket 0. Do
+/// not route with std::hash.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Bucket of `key` among `n` partitions/workers (n > 0).
+inline size_t HashPartition(uint64_t key, size_t n) {
+  return static_cast<size_t>(Mix64(key) % n);
+}
+
+}  // namespace tcmf
+
+#endif  // TCMF_COMMON_HASH_H_

@@ -353,6 +353,7 @@ Result<uint64_t> Log::AppendBatch(const std::vector<stream::Record>& records) {
 Result<uint64_t> Log::AppendEncoded(const std::string& buf, uint64_t count,
                                     const std::vector<size_t>& entry_ends) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!append_fault_.ok()) return append_fault_;
   Segment* seg = segments_.back().get();
   if (seg->committed_records.load(std::memory_order_relaxed) > 0 &&
       seg->committed_bytes.load(std::memory_order_relaxed) + buf.size() >
@@ -406,6 +407,11 @@ Result<uint64_t> Log::AppendEncoded(const std::string& buf, uint64_t count,
   appended_records_.fetch_add(count, std::memory_order_relaxed);
   appended_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
   return first_offset;
+}
+
+void Log::SetAppendFault(Status fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_fault_ = std::move(fault);
 }
 
 Status Log::Sync() {

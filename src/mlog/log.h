@@ -102,6 +102,12 @@ class Log {
   /// Forces everything appended so far to stable storage.
   Status Sync();
 
+  /// Fault-injection hook (tests / chaos harness): every subsequent
+  /// Append/AppendBatch fails with `fault` — no bytes are written —
+  /// until cleared with an OK status. Lets the durable-sink error paths
+  /// (mid-stream and final tail flush) be exercised deterministically.
+  void SetAppendFault(Status fault);
+
   /// First retained offset (advances when retention deletes segments).
   uint64_t start_offset() const;
   /// Offset the next append will get (== total records ever appended,
@@ -156,6 +162,7 @@ class Log {
 
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<Segment>> segments_;  // oldest → active
+  Status append_fault_;  // injected append failure (ok = disarmed)
 
   // Metrics: atomics so cursor threads can bump read counters without
   // the writer mutex.

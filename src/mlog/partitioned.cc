@@ -1,0 +1,266 @@
+#include "mlog/partitioned.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "common/strings.h"
+
+namespace tcmf::mlog {
+
+namespace fs = std::filesystem;
+
+std::string GroupFrontier::ToJson() const {
+  std::string out = "{\"committed\":[";
+  for (size_t i = 0; i < committed.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(committed[i]);
+  }
+  out += "],\"committed_total\":" + std::to_string(committed_total);
+  out += ",\"end_total\":" + std::to_string(end_total);
+  out += ",\"lag\":" + std::to_string(lag) + "}";
+  return out;
+}
+
+PartitionedLog::PartitionedLog(PartitionedLogOptions options)
+    : options_(std::move(options)) {}
+
+namespace {
+
+/// Partition subdirectory name for index `k`.
+std::string PartitionDirName(size_t k) {
+  std::string name = "p";
+  name += std::to_string(k);
+  return name;
+}
+
+/// Counts contiguous `p0/ p1/ ... p<n-1>/` subdirectories of `dir`
+/// (0 when the directory does not exist yet). Gaps are an error: a topic
+/// either has partitions 0..n-1 or is new.
+Result<size_t> CountPartitionDirs(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return size_t{0};
+  std::vector<bool> present;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 2 || name[0] != 'p') continue;
+    Result<long long> k = ParseInt(name.substr(1));
+    if (!k.ok() || k.value() < 0) continue;
+    const size_t idx = static_cast<size_t>(k.value());
+    if (present.size() <= idx) present.resize(idx + 1, false);
+    present[idx] = true;
+  }
+  if (ec) return Status::IoError("mlog: listing topic dir " + dir);
+  for (size_t i = 0; i < present.size(); ++i) {
+    if (!present[i]) {
+      return Status::IoError("mlog: topic " + dir + " is missing partition " +
+                             PartitionDirName(i));
+    }
+  }
+  return present.size();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PartitionedLog>> PartitionedLog::Open(
+    const PartitionedLogOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("mlog: PartitionedLogOptions.dir is empty");
+  }
+  Result<size_t> on_disk = CountPartitionDirs(options.dir);
+  TCMF_RETURN_IF_ERROR(on_disk.status());
+  size_t n = options.partitions;
+  if (n == 0) {
+    n = on_disk.value() > 0 ? on_disk.value() : 1;
+  } else if (on_disk.value() > 0 && on_disk.value() != n) {
+    // Rehashing keys over a different partition count would silently
+    // break per-key order; partition count is immutable once created.
+    return Status::FailedPrecondition(
+        "mlog: topic " + options.dir + " has " +
+        std::to_string(on_disk.value()) + " partitions, asked for " +
+        std::to_string(n));
+  }
+  std::unique_ptr<PartitionedLog> plog(new PartitionedLog(options));
+  plog->partitions_.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    LogOptions lo = options.log;
+    lo.dir = options.dir + "/" + PartitionDirName(k);
+    Result<std::unique_ptr<Log>> part = Log::Open(lo);
+    TCMF_RETURN_IF_ERROR(part.status());
+    plog->partitions_.push_back(std::move(part).value());
+  }
+  return plog;
+}
+
+Result<uint64_t> PartitionedLog::AppendKeyed(uint64_t key,
+                                             const stream::Record& record) {
+  return partitions_[PartitionFor(key)]->Append(record);
+}
+
+Status PartitionedLog::AppendKeyedBatch(
+    const std::vector<std::pair<uint64_t, stream::Record>>& records) {
+  std::vector<std::vector<stream::Record>> scatter(partitions_.size());
+  for (const auto& [key, record] : records) {
+    scatter[PartitionFor(key)].push_back(record);
+  }
+  for (size_t p = 0; p < scatter.size(); ++p) {
+    if (scatter[p].empty()) continue;
+    TCMF_RETURN_IF_ERROR(partitions_[p]->AppendBatch(scatter[p]).status());
+  }
+  return Status::Ok();
+}
+
+uint64_t PartitionedLog::next_offset_total() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->next_offset();
+  return total;
+}
+
+uint64_t PartitionedLog::size_bytes_total() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->size_bytes();
+  return total;
+}
+
+stream::StageMetrics PartitionedLog::StageMetricsSnapshot() const {
+  std::vector<stream::StageMetrics> rows;
+  rows.reserve(partitions_.size());
+  for (const auto& p : partitions_) rows.push_back(p->StageMetricsSnapshot());
+  return stream::AggregateStageMetrics("", rows);
+}
+
+std::shared_ptr<PartitionedLog::GroupState> PartitionedLog::GroupFor(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  std::shared_ptr<GroupState>& state = groups_[name];
+  if (!state) {
+    state = std::make_shared<GroupState>();
+    state->committed.reserve(partitions_.size());
+    for (const auto& p : partitions_) {
+      state->committed.push_back(p->start_offset());
+    }
+  }
+  return state;
+}
+
+Result<std::unique_ptr<GroupCursor>> PartitionedLog::JoinGroup(
+    const std::string& group, size_t member, size_t member_count) {
+  std::unique_ptr<GroupCursor> cursor(new GroupCursor(this, GroupFor(group)));
+  TCMF_RETURN_IF_ERROR(cursor->Rebalance(member, member_count));
+  return cursor;
+}
+
+GroupCursor::GroupCursor(PartitionedLog* log,
+                         std::shared_ptr<PartitionedLog::GroupState> state)
+    : log_(log), state_(std::move(state)) {}
+
+Status GroupCursor::Rebalance(size_t member, size_t member_count) {
+  assignment_.clear();
+  cursors_.clear();
+  rr_ = 0;
+  if (member_count == 0 || member >= member_count) {
+    status_ = Status::InvalidArgument(
+        "mlog: group member " + std::to_string(member) + " of " +
+        std::to_string(member_count));
+    return status_;
+  }
+  member_ = member;
+  member_count_ = member_count;
+  for (size_t p = member; p < log_->partition_count(); p += member_count) {
+    std::unique_ptr<Cursor> cursor = log_->partition(p)->NewCursor();
+    uint64_t resume;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      resume = state_->committed[p];
+    }
+    Status seek = cursor->Seek(resume);
+    if (!seek.ok()) {
+      assignment_.clear();
+      cursors_.clear();
+      status_ = seek;
+      return status_;
+    }
+    assignment_.push_back(p);
+    cursors_.push_back(std::move(cursor));
+  }
+  status_ = Status::Ok();
+  return status_;
+}
+
+std::optional<GroupRecord> GroupCursor::Next() {
+  if (!status_.ok() || assignment_.empty()) return std::nullopt;
+  for (size_t i = 0; i < assignment_.size(); ++i) {
+    const size_t idx = (rr_ + i) % assignment_.size();
+    std::optional<ReadRecord> next = cursors_[idx]->Next();
+    if (!next.has_value()) {
+      if (!cursors_[idx]->status().ok()) {
+        status_ = cursors_[idx]->status();
+        return std::nullopt;
+      }
+      continue;  // this partition is caught up; try the next one
+    }
+    const size_t p = assignment_[idx];
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->committed[p] = next->offset + 1;
+    }
+    rr_ = (idx + 1) % assignment_.size();
+    return GroupRecord{p, next->offset, std::move(next->record)};
+  }
+  return std::nullopt;
+}
+
+size_t GroupCursor::NextBatch(std::vector<GroupRecord>* out, size_t max_n) {
+  if (!status_.ok() || assignment_.empty()) return 0;
+  size_t total = 0;
+  size_t dry = 0;
+  std::vector<ReadRecord> scratch;
+  while (total < max_n && dry < assignment_.size()) {
+    const size_t idx = rr_ % assignment_.size();
+    const size_t p = assignment_[idx];
+    scratch.clear();
+    const size_t n = cursors_[idx]->NextBatch(&scratch, max_n - total);
+    if (n == 0) {
+      if (!cursors_[idx]->status().ok()) {
+        status_ = cursors_[idx]->status();
+        break;
+      }
+      ++dry;
+    } else {
+      dry = 0;
+      {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        state_->committed[p] = scratch[n - 1].offset + 1;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(
+            GroupRecord{p, scratch[i].offset, std::move(scratch[i].record)});
+      }
+      total += n;
+    }
+    rr_ = (rr_ + 1) % assignment_.size();
+  }
+  return total;
+}
+
+uint64_t GroupCursor::committed(size_t partition) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->committed[partition];
+}
+
+GroupFrontier GroupCursor::Frontier() const {
+  GroupFrontier f;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    f.committed = state_->committed;
+  }
+  for (const uint64_t c : f.committed) f.committed_total += c;
+  for (size_t p = 0; p < log_->partition_count(); ++p) {
+    f.end_total += log_->partition(p)->next_offset();
+  }
+  f.lag = f.end_total > f.committed_total ? f.end_total - f.committed_total : 0;
+  return f;
+}
+
+}  // namespace tcmf::mlog

@@ -1,0 +1,208 @@
+#ifndef TCMF_MLOG_PARTITIONED_H_
+#define TCMF_MLOG_PARTITIONED_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "mlog/log.h"
+#include "stream/metrics.h"
+#include "stream/record.h"
+
+namespace tcmf::mlog {
+
+class GroupCursor;
+
+/// Configuration of a PartitionedLog ("topic").
+struct PartitionedLogOptions {
+  /// Topic directory; partition k's segment log lives in `p<k>/`.
+  std::string dir;
+  /// Partition count. Immutable once the topic exists on disk: reopening
+  /// with a different non-zero count is an error (rehashing keys across
+  /// partitions would break per-key order). 0 = infer from the `p<k>/`
+  /// subdirectories, creating a 1-partition topic when the directory is
+  /// new.
+  size_t partitions = 1;
+  /// Per-partition Log template (`log.dir` is ignored; each partition
+  /// gets its own subdirectory). Segment size, fsync policy and
+  /// retention apply per partition.
+  LogOptions log;
+};
+
+/// One record handed out by a consumer-group read: the partition it came
+/// from plus its per-partition offset (offsets are dense *within* a
+/// partition; there is no global total order — exactly Kafka's
+/// contract).
+struct GroupRecord {
+  size_t partition = 0;
+  uint64_t offset = 0;
+  stream::Record record;
+};
+
+/// A consumer group's merged read frontier: the per-partition committed
+/// watermarks plus the aggregate position/lag derived from them.
+struct GroupFrontier {
+  std::vector<uint64_t> committed;  ///< per-partition next-unread offset
+  uint64_t committed_total = 0;     ///< sum of committed watermarks
+  uint64_t end_total = 0;           ///< sum of partition next_offset()s
+  uint64_t lag = 0;                 ///< end_total - committed_total
+  std::string ToJson() const;
+};
+
+/// Kafka-style partitioned topic: N independent segment Logs under one
+/// topic directory (`p<k>/` subdirs), with key-hash producer routing and
+/// consumer-group cursors (DESIGN.md §Substitutions; the sharded-topic
+/// model of "Real-time Data Infrastructure at Uber").
+///
+/// Producers route with AppendKeyed: partition = Mix64(key) % N — the
+/// same mixer KeyedProcessParallel routes workers with, so a topic
+/// partition and a worker shard see the same key population. All records
+/// for a key land in one partition, which preserves per-key order; each
+/// partition is an ordinary Log, so torn-tail recovery, retention and
+/// fsync policies apply independently per partition.
+///
+/// Thread safety: one producer thread per partition (concurrent
+/// AppendKeyed calls racing to the *same* partition serialize on that
+/// partition's writer mutex but interleave batches; use one producer per
+/// partition — e.g. via ShardedPipeline — for scale-out), any number of
+/// cursor/group readers.
+class PartitionedLog {
+ public:
+  /// Opens (creating directories as needed) every partition and runs
+  /// per-partition tail recovery.
+  static Result<std::unique_ptr<PartitionedLog>> Open(
+      const PartitionedLogOptions& options);
+
+  size_t partition_count() const { return partitions_.size(); }
+
+  /// Partition `p`'s underlying Log (p < partition_count()). Stable for
+  /// the life of the PartitionedLog.
+  Log* partition(size_t p) const { return partitions_[p].get(); }
+
+  /// The partition `key` routes to: Mix64(key) % partition_count().
+  size_t PartitionFor(uint64_t key) const {
+    return HashPartition(key, partitions_.size());
+  }
+
+  /// Appends one record to its key's partition; returns the record's
+  /// per-partition offset.
+  Result<uint64_t> AppendKeyed(uint64_t key, const stream::Record& record);
+
+  /// Scatters a keyed batch by partition and issues one AppendBatch per
+  /// touched partition (one fsync per touched partition under
+  /// kPerBatch). Stops at the first failing partition.
+  Status AppendKeyedBatch(
+      const std::vector<std::pair<uint64_t, stream::Record>>& records);
+
+  /// Sum of next_offset() across partitions (= records ever appended).
+  uint64_t next_offset_total() const;
+  /// Sum of committed bytes across partitions.
+  uint64_t size_bytes_total() const;
+
+  /// Aggregate of every partition's StageMetricsSnapshot (counters
+  /// summed — the shape PartitionedLogSink registers with a Pipeline).
+  stream::StageMetrics StageMetricsSnapshot() const;
+
+  /// Joins consumer group `group` as `member` of `member_count`: returns
+  /// a cursor over the statically assigned partitions {p : p %
+  /// member_count == member}, positioned at the group's committed
+  /// watermarks. Group state (the watermarks) is shared by name, so
+  /// members of the same group never re-read what another member already
+  /// consumed, and a later JoinGroup/Rebalance resumes exactly at the
+  /// frontier. The PartitionedLog must outlive the cursor.
+  Result<std::unique_ptr<GroupCursor>> JoinGroup(const std::string& group,
+                                                size_t member,
+                                                size_t member_count);
+
+  const PartitionedLogOptions& options() const { return options_; }
+
+ private:
+  friend class GroupCursor;
+
+  /// Shared per-group state: one committed watermark per partition.
+  struct GroupState {
+    std::mutex mu;
+    std::vector<uint64_t> committed;
+  };
+
+  explicit PartitionedLog(PartitionedLogOptions options);
+  std::shared_ptr<GroupState> GroupFor(const std::string& name);
+
+  const PartitionedLogOptions options_;
+  std::vector<std::unique_ptr<Log>> partitions_;
+
+  std::mutex groups_mu_;
+  std::unordered_map<std::string, std::shared_ptr<GroupState>> groups_;
+};
+
+/// One member's handle on a consumer group: reads the partitions
+/// statically assigned to it (round-robin across them for fairness) and
+/// auto-commits the group watermark as records are handed out.
+///
+/// Rebalance(member, count) re-derives the assignment under a new group
+/// size: partitions this member loses keep their progress in the shared
+/// watermarks, partitions it gains resume from them — so across a
+/// rebalance in which every member re-derives its assignment before
+/// reading on, no record is lost or double-read. Assignment is static
+/// (p % count == member), the cooperative model: callers rebalance all
+/// members between reads, there is no generation fencing of stragglers.
+///
+/// Not thread-safe individually; one member per thread is the intended
+/// deployment (different members of one group may run concurrently —
+/// their partition sets are disjoint and watermark updates are locked).
+class GroupCursor {
+ public:
+  /// Re-derives this member's assignment for a group of `member_count`
+  /// and seeks each assigned partition to the group's committed
+  /// watermark. Fails (leaving the cursor unassigned) on an invalid
+  /// membership or a failing seek.
+  Status Rebalance(size_t member, size_t member_count);
+
+  /// Assigned partitions, ascending.
+  const std::vector<size_t>& assignment() const { return assignment_; }
+
+  /// Next committed record from any assigned partition, or nullopt when
+  /// all assigned partitions are caught up (tailing is legal — call
+  /// again later) or a sticky error occurred (check status()).
+  std::optional<GroupRecord> Next();
+
+  /// Appends up to `max_n` records to `out`, pulling batches from the
+  /// assigned partitions round-robin; returns how many were appended
+  /// (0 = caught up or sticky error).
+  size_t NextBatch(std::vector<GroupRecord>* out, size_t max_n);
+
+  /// The group's committed watermark for `partition` (next unread
+  /// offset — advances as *any* member of the group reads it).
+  uint64_t committed(size_t partition) const;
+
+  /// Snapshot of the group's merged read frontier (all partitions, not
+  /// just this member's).
+  GroupFrontier Frontier() const;
+
+  /// OK unless an assigned cursor hit corrupt data or a Rebalance seek
+  /// failed; sticky.
+  const Status& status() const { return status_; }
+
+ private:
+  friend class PartitionedLog;
+  GroupCursor(PartitionedLog* log, std::shared_ptr<PartitionedLog::GroupState> state);
+
+  PartitionedLog* log_;
+  std::shared_ptr<PartitionedLog::GroupState> state_;
+  size_t member_ = 0;
+  size_t member_count_ = 1;
+  std::vector<size_t> assignment_;
+  std::vector<std::unique_ptr<Cursor>> cursors_;  // parallel to assignment_
+  size_t rr_ = 0;  ///< round-robin position within assignment_
+  Status status_;
+};
+
+}  // namespace tcmf::mlog
+
+#endif  // TCMF_MLOG_PARTITIONED_H_

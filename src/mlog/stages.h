@@ -2,6 +2,7 @@
 #define TCMF_MLOG_STAGES_H_
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "mlog/log.h"
+#include "mlog/partitioned.h"
 #include "stream/pipeline.h"
 #include "stream/record.h"
 
@@ -30,19 +32,26 @@ namespace tcmf::mlog {
 /// of one per record — the fsync amortization and the transport
 /// amortization line up. Registers a `stage.name` stage (default
 /// "mlog.sink") with the pipeline exposing the log's counters (bytes
-/// written, fsyncs, recovery stats). On an append error the stage
-/// cancels upstream (CloseAndDrain) so the pipeline shuts down instead
-/// of losing data silently. The log must outlive the pipeline run.
+/// written, fsyncs, recovery stats). On an append error — mid-stream or
+/// on the final tail flush — the failure is recorded as a sticky stage
+/// error (StageMetrics.error, visible in Report()/ReportJson()); the
+/// mid-stream path additionally cancels upstream (CloseAndDrain) so the
+/// pipeline shuts down instead of losing data silently. The log must
+/// outlive the pipeline run.
 inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
                     stream::StageOptions stage = {}) {
   stream::Pipeline* pipeline = flow.pipeline();
   if (stage.name.empty()) stage.name = "mlog.sink";
-  pipeline->RegisterStage(std::move(stage.name),
-                          [log] { return log->StageMetricsSnapshot(); });
+  auto error = std::make_shared<stream::StickyStageError>();
+  pipeline->RegisterStage(std::move(stage.name), [log, error] {
+    stream::StageMetrics m = log->StageMetricsSnapshot();
+    m.error = error->Get();
+    return m;
+  });
   auto in = flow.channel();
   const size_t batch_size = std::max<size_t>(
       1, stage.batch.value_or(stream::BatchPolicy::Batched(256)).PopMax());
-  pipeline->AddThread([in, log, batch_size] {
+  pipeline->AddThread([in, log, batch_size, error] {
     std::vector<stream::Record> batch;
     batch.reserve(batch_size);
     while (true) {
@@ -50,13 +59,22 @@ inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
       // append + fsync once it is full.
       if (in->PopBatch(&batch, batch_size - batch.size()) == 0) break;
       if (batch.size() < batch_size) continue;
-      if (!log->AppendBatch(batch).ok()) {
+      if (Status s = log->AppendBatch(batch).status(); !s.ok()) {
+        error->Set(s.ToString());
         in->CloseAndDrain();  // propagate failure upstream
         return;
       }
       batch.clear();
     }
-    if (!batch.empty()) log->AppendBatch(batch);
+    // Final tail flush at EOS. There is no upstream left to cancel, so
+    // the sticky error is the only way a failure here can surface —
+    // dropping this Status would be silent loss of the stream's last
+    // records.
+    if (!batch.empty()) {
+      if (Status s = log->AppendBatch(batch).status(); !s.ok()) {
+        error->Set(s.ToString());
+      }
+    }
   });
 }
 
@@ -107,17 +125,28 @@ inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
                                               Log* log,
                                               LogSourceOptions options = {}) {
   std::shared_ptr<Cursor> cursor(log->NewCursor().release());
-  if (options.start_time.has_value()) {
-    cursor->SeekToTime(*options.start_time);
-  } else {
-    cursor->Seek(options.start_offset);
-  }
+  const Status seek = options.start_time.has_value()
+                          ? cursor->SeekToTime(*options.start_time)
+                          : cursor->Seek(options.start_offset);
   const uint64_t end = options.end_offset.value_or(log->next_offset());
   stream::StageOptions stage = std::move(options.stage);
   if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
   if (stage.name.empty()) stage.name = "mlog.source";
-  pipeline->RegisterStage(stage.name + ".log",
-                          [log] { return log->StageMetricsSnapshot(); });
+  auto error = std::make_shared<stream::StickyStageError>();
+  pipeline->RegisterStage(stage.name + ".log", [log, error] {
+    stream::StageMetrics m = log->StageMetricsSnapshot();
+    m.error = error->Get();
+    return m;
+  });
+  if (!seek.ok()) {
+    // A failed seek means the requested position is unreachable (corrupt
+    // mid-log entry on the scan path). Replaying from wherever the
+    // cursor happened to land would silently yield the wrong records —
+    // surface the error and end the stream empty instead.
+    error->Set(seek.ToString());
+    return stream::Flow<stream::Record>::FromVector(pipeline, {},
+                                                    std::move(stage));
+  }
   if (!stage.batch->batched()) {
     // Record-at-a-time replay: preserved for bit-compatible comparisons.
     return stream::Flow<stream::Record>::FromGenerator(
@@ -145,6 +174,82 @@ inline stream::Flow<stream::Record> LogSource(stream::Pipeline* pipeline,
         return n;  // 0 = caught up with the writer or error: end of stream
       },
       std::move(stage));
+}
+
+/// Extracts the routing key of a record for the partitioned producers
+/// (same role as KeyedProcessParallel's key_fn).
+using RecordKeyFn = std::function<uint64_t(const stream::Record&)>;
+
+/// Terminal stage: drains `flow` into `*topic`, routing every record to
+/// its key's partition (Mix64(key_fn(r)) % N — the topic's producer
+/// hash). Each popped channel batch is scattered by partition and
+/// appended with one AppendBatch per touched partition, so the fsync
+/// amortization of LogSink is preserved per partition. Registers
+/// `stage.name` (default "mlog.psink") exposing the topic's aggregated
+/// counters; append failures — mid-stream or on the final tail flush —
+/// become a sticky stage error exactly as in LogSink. The topic must
+/// outlive the pipeline run.
+inline void PartitionedLogSink(stream::Flow<stream::Record> flow,
+                               PartitionedLog* topic, RecordKeyFn key_fn,
+                               stream::StageOptions stage = {}) {
+  stream::Pipeline* pipeline = flow.pipeline();
+  if (stage.name.empty()) stage.name = "mlog.psink";
+  auto error = std::make_shared<stream::StickyStageError>();
+  pipeline->RegisterStage(std::move(stage.name), [topic, error] {
+    stream::StageMetrics m = topic->StageMetricsSnapshot();
+    m.error = error->Get();
+    return m;
+  });
+  auto in = flow.channel();
+  const size_t batch_size = std::max<size_t>(
+      1, stage.batch.value_or(stream::BatchPolicy::Batched(256)).PopMax());
+  pipeline->AddThread([in, topic, key_fn = std::move(key_fn), batch_size,
+                       error] {
+    std::vector<stream::Record> batch;
+    batch.reserve(batch_size);
+    std::vector<std::vector<stream::Record>> scatter(topic->partition_count());
+    // Scatters the staged batch by partition and appends each partition's
+    // share; the first failing partition's status wins (the rest are
+    // still attempted so healthy partitions keep their data).
+    auto append_scattered = [&]() -> Status {
+      for (stream::Record& r : batch) {
+        scatter[topic->PartitionFor(key_fn(r))].push_back(std::move(r));
+      }
+      batch.clear();
+      Status first;
+      for (size_t p = 0; p < scatter.size(); ++p) {
+        if (scatter[p].empty()) continue;
+        Status s = topic->partition(p)->AppendBatch(scatter[p]).status();
+        scatter[p].clear();
+        if (first.ok() && !s.ok()) first = std::move(s);
+      }
+      return first;
+    };
+    while (true) {
+      if (in->PopBatch(&batch, batch_size - batch.size()) == 0) break;
+      if (batch.size() < batch_size) continue;
+      if (Status s = append_scattered(); !s.ok()) {
+        error->Set(s.ToString());
+        in->CloseAndDrain();  // propagate failure upstream
+        return;
+      }
+    }
+    if (!batch.empty()) {
+      if (Status s = append_scattered(); !s.ok()) error->Set(s.ToString());
+    }
+  });
+}
+
+/// Source stage: replays partition `p` of `*topic` as a Flow<Record> —
+/// the per-shard ingest edge of a ShardedPipeline (one instance per
+/// partition, shard index = partition index). Thin wrapper over
+/// LogSource on topic->partition(p); give every shard the same
+/// `options.stage.name` (default "mlog.source") so ShardedPipeline's
+/// merged report aggregates the replay edges into one logical stage.
+inline stream::Flow<stream::Record> PartitionedLogSource(
+    stream::Pipeline* pipeline, PartitionedLog* topic, size_t p,
+    LogSourceOptions options = {}) {
+  return LogSource(pipeline, topic->partition(p), std::move(options));
 }
 
 }  // namespace tcmf::mlog

@@ -1,12 +1,39 @@
 #ifndef TCMF_STREAM_METRICS_H_
 #define TCMF_STREAM_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace tcmf::stream {
+
+/// Minimal JSON string escape (quotes, backslashes, control bytes) for
+/// the error messages embedded in StageMetrics::ToJson().
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// Per-stage runtime counters, collected by each Channel (one channel is
 /// the output edge of one stage) and aggregated by Pipeline::Report().
@@ -27,6 +54,11 @@ struct StageMetrics {
   uint64_t dropped_on_cancel = 0;      ///< queued elements discarded by cancel
   uint64_t late_dropped = 0;           ///< too-late elements (windowed stages)
   bool cancelled = false;              ///< consumer cancelled this edge
+  /// First error the stage hit ("" = healthy). Durable stages (mlog
+  /// LogSink/LogSource) record append/seek failures here so a failed
+  /// final flush or a corrupt replay position is visible in
+  /// Report()/ReportJson() instead of being silent data loss.
+  std::string error;
   // Durable-stage counters (mlog LogSink/LogSource; 0 for in-memory
   // edges). Reported in ToJson(); the fixed-width table keeps its
   // original columns.
@@ -157,6 +189,10 @@ struct StageMetrics {
           static_cast<unsigned long long>(capacity_resize_down),
           static_cast<unsigned long long>(capacity_converged));
     }
+    if (!error.empty() && n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(buf + n, sizeof(buf) - n, ",\"error\":\"%s\"",
+                         JsonEscape(error).c_str());
+    }
     if (n > 0 && static_cast<size_t>(n) < sizeof(buf) - 1) {
       buf[n] = '}';
       buf[n + 1] = '\0';
@@ -167,6 +203,67 @@ struct StageMetrics {
     return buf;
   }
 };
+
+/// Thread-safe first-error-wins holder shared between a stage thread and
+/// the metrics snapshot lambda registered with Pipeline::RegisterStage.
+/// Durable stages (mlog LogSink/LogSource) Set() on append/seek failure
+/// and splice Get() into their StageMetrics snapshots, making the error
+/// sticky and observable in Report()/ReportJson().
+class StickyStageError {
+ public:
+  /// Records `msg` if no error is held yet (the first failure is the
+  /// root cause; later ones are usually fallout).
+  void Set(const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.empty() && !msg.empty()) error_ = msg;
+  }
+
+  /// The held error, "" when healthy.
+  std::string Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+  }
+
+  bool ok() const { return Get().empty(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::string error_;
+};
+
+/// Merges per-shard snapshots of the *same logical stage* into one
+/// aggregate row (ShardedPipeline's merged report): counters sum, queue
+/// high-watermarks take the max (a per-queue bound, not additive),
+/// capacities sum (total buffering across shards), `cancelled` ORs, and
+/// the first non-empty error wins. Controller state (tuner_*/capacity_*)
+/// is per-edge and meaningless summed, so the aggregate row reports
+/// tuned=false; read the per-shard breakdown for controller detail.
+inline StageMetrics AggregateStageMetrics(
+    const std::string& stage_name, const std::vector<StageMetrics>& shards) {
+  StageMetrics agg;
+  agg.stage = stage_name;
+  for (const StageMetrics& m : shards) {
+    agg.records_in += m.records_in;
+    agg.records_out += m.records_out;
+    agg.batches_in += m.batches_in;
+    agg.batches_out += m.batches_out;
+    agg.queue_high_watermark =
+        std::max(agg.queue_high_watermark, m.queue_high_watermark);
+    agg.capacity += m.capacity;
+    agg.producer_blocked_ns += m.producer_blocked_ns;
+    agg.consumer_blocked_ns += m.consumer_blocked_ns;
+    agg.push_rejected += m.push_rejected;
+    agg.dropped_on_cancel += m.dropped_on_cancel;
+    agg.late_dropped += m.late_dropped;
+    agg.cancelled = agg.cancelled || m.cancelled;
+    if (agg.error.empty()) agg.error = m.error;
+    agg.bytes += m.bytes;
+    agg.io_syncs += m.io_syncs;
+    agg.recovered += m.recovered;
+    agg.truncated_bytes += m.truncated_bytes;
+  }
+  return agg;
+}
 
 /// Formats a set of stage snapshots as a printable table.
 inline std::string StageMetricsTable(const std::vector<StageMetrics>& stages) {

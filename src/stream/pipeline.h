@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "stream/channel.h"
 #include "stream/metrics.h"
 #include "stream/tuning.h"
@@ -752,8 +753,11 @@ class Flow {
     }
     pipeline_->AddThread([in, partitions, key_fn, parallelism, policy,
                           in_tuner = router_in_tuner] {
+      // Route through the Mix64 finalizer, not std::hash: libstdc++'s
+      // identity hash would fold structured keys (vessel IDs stepping by
+      // a multiple of `parallelism`) onto a single worker.
       auto route = [&](T&& item) {
-        size_t w = std::hash<uint64_t>{}(key_fn(item)) % parallelism;
+        size_t w = HashPartition(key_fn(item), parallelism);
         return (*partitions)[w]->Push(std::move(item));
       };
       if (!policy.batched()) {
@@ -779,7 +783,7 @@ class Flow {
           const size_t n = in->PopBatch(&batch, want);
           if (n == 0) break;
           for (size_t i = 0; i < n; ++i) {
-            size_t w = std::hash<uint64_t>{}(key_fn(batch[i])) % parallelism;
+            size_t w = HashPartition(key_fn(batch[i]), parallelism);
             scatter[w].push_back(std::move(batch[i]));
           }
           for (size_t w = 0; w < parallelism && open; ++w) {

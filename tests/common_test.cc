@@ -6,6 +6,7 @@
 #include <random>
 
 #include "common/csv.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -336,6 +337,40 @@ TEST(RngTest, CategoricalWeights) {
   }
   EXPECT_NEAR(counts[0] / 9000.0, 1.0 / 9, 0.02);
   EXPECT_NEAR(counts[2] / 9000.0, 6.0 / 9, 0.02);
+}
+
+// ------------------------------------------------------------------ Hash
+
+TEST(HashTest, Mix64IsDeterministicAndNonTrivial) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(0), 0u);      // identity hash would return 0
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(1), 1u);
+}
+
+TEST(HashTest, Mix64SpreadsStridePatternedKeys) {
+  // The failure mode that motivated the mixer: keys stepping by a
+  // multiple of the bucket count (vessel MMSIs are assigned in blocks)
+  // all satisfy key % n == const, so an identity hash lands every one
+  // of them in a single bucket. The mixer must spread them close to
+  // uniformly for every bucket count we shard by.
+  for (const size_t buckets : {4u, 16u, 64u}) {
+    for (const uint64_t stride :
+         {uint64_t{buckets}, uint64_t{4 * buckets}, uint64_t{1000}}) {
+      std::vector<size_t> load(buckets, 0);
+      const size_t keys = 16384;
+      for (size_t i = 0; i < keys; ++i) {
+        ++load[HashPartition(200000000 + i * stride, buckets)];
+      }
+      const double mean = static_cast<double>(keys) / buckets;
+      for (size_t b = 0; b < buckets; ++b) {
+        EXPECT_GT(load[b], mean / 2) << "buckets=" << buckets
+                                     << " stride=" << stride << " b=" << b;
+        EXPECT_LT(load[b], mean * 2) << "buckets=" << buckets
+                                     << " stride=" << stride << " b=" << b;
+      }
+    }
+  }
 }
 
 TEST(RngTest, ForkIndependence) {

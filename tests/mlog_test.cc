@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/crc32c.h"
@@ -18,9 +23,11 @@
 #include "datagen/vessel.h"
 #include "mlog/codec.h"
 #include "mlog/log.h"
+#include "mlog/partitioned.h"
 #include "mlog/stages.h"
 #include "stream/pipeline.h"
 #include "stream/record.h"
+#include "stream/sharded.h"
 
 namespace tcmf::mlog {
 namespace {
@@ -884,6 +891,375 @@ TEST(MlogStagesIntegrationTest, MultiConsumerFanOutFromOneLog) {
     EXPECT_EQ(a[i], MakeRecord(i));
     EXPECT_EQ(b[i], MakeRecord(i));
   }
+}
+
+// ------------------------------------------------- durable error paths
+
+TEST(MlogStagesErrorTest, LogSinkSurfacesMidStreamAppendFailure) {
+  LogOptions opt;
+  opt.dir = TestDir("sink_mid_fault");
+  auto log = MustOpen(opt);
+  log->SetAppendFault(Status::IoError("injected: disk full"));
+
+  std::vector<stream::Record> input;
+  for (int i = 0; i < 100; ++i) input.push_back(MakeRecord(i));
+  stream::Pipeline p;
+  auto flow = stream::Flow<stream::Record>::FromVector(&p, input);
+  // Small batches: the failure hits a full mid-stream batch, which must
+  // record the sticky error *and* cancel upstream.
+  LogSink(flow, log.get(), {.batch = stream::BatchPolicy::Batched(4)});
+  p.Run();
+
+  EXPECT_EQ(log->next_offset(), 0u);
+  const std::string json = p.ReportJson();
+  EXPECT_NE(json.find("mlog.sink"), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"IoError: injected: disk full\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(MlogStagesErrorTest, LogSinkSurfacesFinalBatchAppendFailure) {
+  LogOptions opt;
+  opt.dir = TestDir("sink_tail_fault");
+  auto log = MustOpen(opt);
+  log->SetAppendFault(Status::IoError("injected: tail append failed"));
+
+  // 10 records under a batch size of 64: nothing is appended mid-stream;
+  // the only append is the final partial-batch flush at EOS. Before the
+  // fix its Status was discarded — the pipeline reported success while
+  // every record of the stream was lost.
+  std::vector<stream::Record> input;
+  for (int i = 0; i < 10; ++i) input.push_back(MakeRecord(i));
+  stream::Pipeline p;
+  auto flow = stream::Flow<stream::Record>::FromVector(&p, input);
+  LogSink(flow, log.get(), {.batch = stream::BatchPolicy::Batched(64)});
+  p.Run();
+
+  EXPECT_EQ(log->next_offset(), 0u);  // the data really was lost...
+  const std::string json = p.ReportJson();
+  EXPECT_NE(json.find("\"error\":\"IoError: injected: tail append failed\""),
+            std::string::npos)  // ...and the report must say so
+      << json;
+
+  // Control: with the fault cleared the same stream persists cleanly and
+  // the report carries no error field.
+  log->SetAppendFault(Status::Ok());
+  stream::Pipeline p2;
+  auto flow2 = stream::Flow<stream::Record>::FromVector(&p2, input);
+  LogSink(flow2, log.get(), {.batch = stream::BatchPolicy::Batched(64)});
+  p2.Run();
+  EXPECT_EQ(log->next_offset(), 10u);
+  EXPECT_EQ(p2.ReportJson().find("\"error\":"), std::string::npos);
+}
+
+TEST(MlogStagesErrorTest, LogSourceSurfacesCorruptSeek) {
+  LogOptions opt;
+  opt.dir = TestDir("source_seek_fault");
+  opt.index_interval_bytes = 1u << 30;  // no index: seeks scan every header
+  auto log = MustOpen(opt);
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(log->Append(MakeRecord(i)).ok());
+
+  // Damage a wide mid-file range while the log is open (the committed
+  // watermark already covers it): a forward seek must walk over the
+  // damage and fail, not land somewhere arbitrary and replay from there.
+  const std::string path = OnlySegmentPath(opt.dir);
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 600u);
+  for (size_t i = bytes.size() / 2; i < bytes.size() / 2 + 150; ++i) {
+    bytes[i] = static_cast<char>(0xff);
+  }
+  WriteFileBytes(path, bytes);
+
+  {
+    stream::Pipeline p;
+    std::vector<stream::Record> got;
+    LogSourceOptions so;
+    so.start_offset = 190;  // beyond the damaged region
+    LogSource(&p, log.get(), so).CollectInto(&got);
+    p.Run();
+    EXPECT_TRUE(got.empty());  // empty flow, not a wrong-position replay
+    const std::string json = p.ReportJson();
+    EXPECT_NE(json.find("mlog.source.log"), std::string::npos);
+    EXPECT_NE(json.find("corrupt entry during seek"), std::string::npos)
+        << json;
+  }
+  {
+    // Time seeks scan payloads from the start and must fail the same way.
+    stream::Pipeline p;
+    std::vector<stream::Record> got;
+    LogSourceOptions so;
+    so.start_time = 190'000;
+    LogSource(&p, log.get(), so).CollectInto(&got);
+    p.Run();
+    EXPECT_TRUE(got.empty());
+    EXPECT_NE(p.ReportJson().find("\"error\":\""), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ partitioned
+
+std::unique_ptr<PartitionedLog> MustOpenTopic(
+    const PartitionedLogOptions& options) {
+  Result<std::unique_ptr<PartitionedLog>> topic =
+      PartitionedLog::Open(options);
+  EXPECT_TRUE(topic.ok()) << topic.status().ToString();
+  return std::move(topic).value();
+}
+
+TEST(MlogPartitionedTest, KeyedRoutingPreservesPerKeyOrder) {
+  PartitionedLogOptions po;
+  po.dir = TestDir("topic_round_trip");
+  po.partitions = 4;
+  auto topic = MustOpenTopic(po);
+  ASSERT_EQ(topic->partition_count(), 4u);
+
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t key = static_cast<uint64_t>(i % 37);
+    ASSERT_TRUE(topic->AppendKeyed(key, MakeRecord(i)).ok());
+  }
+  EXPECT_EQ(topic->next_offset_total(), 400u);
+
+  size_t total = 0;
+  std::map<uint64_t, int64_t> last_seq;  // per-key order across the topic
+  for (size_t p = 0; p < topic->partition_count(); ++p) {
+    const auto records = ReadAll(topic->partition(p));
+    EXPECT_GT(records.size(), 0u) << "partition " << p << " unused";
+    for (const stream::Record& r : records) {
+      const int64_t seq = r.GetInt("seq").value();
+      const uint64_t key = static_cast<uint64_t>(seq % 37);
+      // Routing is the topic's hash, nothing else.
+      EXPECT_EQ(topic->PartitionFor(key), p);
+      auto it = last_seq.find(key);
+      if (it != last_seq.end()) {
+        EXPECT_GT(seq, it->second);
+      }
+      last_seq[key] = seq;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(MlogPartitionedTest, ReopenInfersPartitionCountAndRejectsMismatch) {
+  PartitionedLogOptions po;
+  po.dir = TestDir("topic_reopen");
+  po.partitions = 4;
+  {
+    auto topic = MustOpenTopic(po);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          topic->AppendKeyed(static_cast<uint64_t>(i), MakeRecord(i)).ok());
+    }
+  }
+  // partitions = 0 infers the on-disk layout.
+  PartitionedLogOptions infer = po;
+  infer.partitions = 0;
+  auto topic = MustOpenTopic(infer);
+  EXPECT_EQ(topic->partition_count(), 4u);
+  EXPECT_EQ(topic->next_offset_total(), 40u);
+  topic.reset();
+
+  // A different explicit count would rehash keys across partitions:
+  // refused, not silently accepted.
+  PartitionedLogOptions wrong = po;
+  wrong.partitions = 6;
+  Result<std::unique_ptr<PartitionedLog>> bad = PartitionedLog::Open(wrong);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MlogPartitionedTest, PartitionsRecoverTornTailsIndependently) {
+  PartitionedLogOptions po;
+  po.dir = TestDir("topic_torn_tails");
+  po.partitions = 3;
+  std::vector<std::vector<stream::Record>> expected(3);
+  {
+    auto topic = MustOpenTopic(po);
+    for (int i = 0; i < 90; ++i) {
+      ASSERT_TRUE(
+          topic->AppendKeyed(static_cast<uint64_t>(i), MakeRecord(i)).ok());
+    }
+    for (size_t p = 0; p < 3; ++p) {
+      expected[p] = ReadAll(topic->partition(p));
+      ASSERT_GT(expected[p].size(), 2u);
+    }
+  }
+  // Tear the tails of partitions 0 and 2 (cut mid-entry); leave 1 alone.
+  for (const size_t p : {0u, 2u}) {
+    const std::string seg = OnlySegmentPath(po.dir + "/p" + std::to_string(p));
+    const std::string bytes = ReadFileBytes(seg);
+    WriteFileBytes(seg, bytes.substr(0, bytes.size() - 3));
+  }
+
+  auto topic = MustOpenTopic(po);
+  for (const size_t p : {0u, 2u}) {
+    // The damaged partitions each lost exactly their torn last record.
+    const auto back = ReadAll(topic->partition(p));
+    ASSERT_EQ(back.size(), expected[p].size() - 1) << "partition " << p;
+    for (size_t i = 0; i < back.size(); ++i) {
+      EXPECT_EQ(back[i], expected[p][i]);
+    }
+    EXPECT_GT(topic->partition(p)->metrics().truncated_bytes, 0u);
+  }
+  // The intact partition is untouched by its siblings' recovery.
+  const auto back = ReadAll(topic->partition(1));
+  ASSERT_EQ(back.size(), expected[1].size());
+  for (size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], expected[1][i]);
+  EXPECT_EQ(topic->partition(1)->metrics().truncated_bytes, 0u);
+}
+
+TEST(MlogGroupCursorTest, RebalanceDeliversEveryRecordExactlyOnce) {
+  PartitionedLogOptions po;
+  po.dir = TestDir("group_rebalance");
+  po.partitions = 4;
+  auto topic = MustOpenTopic(po);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        topic->AppendKeyed(static_cast<uint64_t>(i), MakeRecord(i)).ok());
+  }
+
+  // Phase 1: a single member owns all four partitions and consumes part
+  // of the topic.
+  Result<std::unique_ptr<GroupCursor>> join = topic->JoinGroup("g", 0, 1);
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  std::unique_ptr<GroupCursor> a = std::move(join).value();
+  ASSERT_EQ(a->assignment().size(), 4u);
+
+  std::set<std::pair<size_t, uint64_t>> seen;  // (partition, offset)
+  for (int i = 0; i < 70; ++i) {
+    std::optional<GroupRecord> r = a->Next();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(seen.insert({r->partition, r->offset}).second)
+        << "double-read before rebalance";
+  }
+  EXPECT_GT(a->Frontier().lag, 0u);
+
+  // Phase 2: the group grows to two members. Both re-derive their
+  // assignment; reads resume from the shared committed watermarks.
+  ASSERT_TRUE(a->Rebalance(0, 2).ok());
+  Result<std::unique_ptr<GroupCursor>> join_b = topic->JoinGroup("g", 1, 2);
+  ASSERT_TRUE(join_b.ok());
+  std::unique_ptr<GroupCursor> b = std::move(join_b).value();
+  EXPECT_EQ(a->assignment(), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(b->assignment(), (std::vector<size_t>{1, 3}));
+
+  std::vector<GroupRecord> batch;
+  while (a->NextBatch(&batch, 16) > 0 || b->NextBatch(&batch, 16) > 0) {
+    for (GroupRecord& r : batch) {
+      EXPECT_TRUE(seen.insert({r.partition, r.offset}).second)
+          << "double-read across rebalance at p" << r.partition << " off "
+          << r.offset;
+    }
+    batch.clear();
+  }
+  EXPECT_TRUE(a->status().ok());
+  EXPECT_TRUE(b->status().ok());
+
+  // Exactly-once: every appended record was seen exactly one time.
+  size_t total_appended = 0;
+  for (size_t p = 0; p < topic->partition_count(); ++p) {
+    for (uint64_t o = 0; o < topic->partition(p)->next_offset(); ++o) {
+      EXPECT_TRUE(seen.count({p, o})) << "lost p" << p << " off " << o;
+    }
+    total_appended += topic->partition(p)->next_offset();
+  }
+  EXPECT_EQ(seen.size(), total_appended);
+  EXPECT_EQ(total_appended, 200u);
+
+  // The merged frontier reports the group fully caught up.
+  const GroupFrontier f = a->Frontier();
+  EXPECT_EQ(f.committed_total, 200u);
+  EXPECT_EQ(f.end_total, 200u);
+  EXPECT_EQ(f.lag, 0u);
+  EXPECT_NE(f.ToJson().find("\"lag\":0"), std::string::npos);
+
+  // Groups are independent: a fresh group replays from the start.
+  Result<std::unique_ptr<GroupCursor>> fresh = topic->JoinGroup("h", 0, 1);
+  ASSERT_TRUE(fresh.ok());
+  size_t replayed = 0;
+  while (fresh.value()->NextBatch(&batch, 64) > 0) {
+    replayed += batch.size();
+    batch.clear();
+  }
+  EXPECT_EQ(replayed, 200u);
+
+  // Invalid memberships are refused.
+  EXPECT_FALSE(topic->JoinGroup("g", 3, 2).ok());
+  EXPECT_FALSE(a->Rebalance(0, 0).ok());
+}
+
+TEST(MlogPartitionedTest, ShardedPipelineReplaysTopicWithMergedReport) {
+  PartitionedLogOptions po;
+  po.dir = TestDir("topic_sharded");
+  po.partitions = 4;
+  auto topic = MustOpenTopic(po);
+
+  // Capture: one pipeline persists a keyed stream through the
+  // partitioned sink (producer-side hash routing).
+  std::vector<stream::Record> input;
+  for (int i = 0; i < 500; ++i) input.push_back(MakeRecord(i));
+  auto key_fn = [](const stream::Record& r) {
+    return static_cast<uint64_t>(r.GetInt("seq").value() % 91);
+  };
+  {
+    stream::Pipeline capture;
+    auto flow = stream::Flow<stream::Record>::FromVector(&capture, input);
+    PartitionedLogSink(flow, topic.get(), key_fn);
+    capture.Run();
+    EXPECT_EQ(topic->next_offset_total(), input.size());
+    EXPECT_NE(capture.ReportJson().find("mlog.psink"), std::string::npos);
+  }
+
+  // Scale-out replay: one pipeline instance per partition behind the
+  // ShardedPipeline facade, shard index = partition index.
+  stream::ShardedPipeline sp(topic->partition_count());
+  std::vector<std::vector<stream::Record>> outs(sp.shard_count());
+  sp.Build([&](stream::Pipeline* p, size_t shard) {
+    PartitionedLogSource(p, topic.get(), shard).CollectInto(&outs[shard]);
+  });
+  sp.Run();
+
+  // Same multiset as the input, and per-key order preserved within the
+  // owning shard (a key never crosses partitions).
+  std::vector<int64_t> seqs;
+  for (size_t s = 0; s < outs.size(); ++s) {
+    std::map<uint64_t, int64_t> last_seq;
+    for (const stream::Record& r : outs[s]) {
+      const int64_t seq = r.GetInt("seq").value();
+      const uint64_t key = static_cast<uint64_t>(seq % 91);
+      EXPECT_EQ(topic->PartitionFor(key), s);
+      auto it = last_seq.find(key);
+      if (it != last_seq.end()) {
+        EXPECT_GT(seq, it->second);
+      }
+      last_seq[key] = seq;
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  ASSERT_EQ(seqs.size(), input.size());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], static_cast<int64_t>(i));
+  }
+
+  // The merged report exposes the shard count, the per-stage aggregate
+  // and the per-shard breakdown.
+  const std::string json = sp.ReportJson();
+  EXPECT_NE(json.find("\"shards\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"aggregate\":["), std::string::npos);
+  EXPECT_NE(json.find("\"per_shard\":["), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":3"), std::string::npos);
+  EXPECT_NE(json.find("mlog.source.log"), std::string::npos);
+  // The aggregate "mlog.source.log" row sums the partition replay
+  // counters back to the full topic size.
+  bool found = false;
+  for (const stream::StageMetrics& m : sp.AggregateReport()) {
+    if (m.stage != "mlog.source.log") continue;
+    found = true;
+    EXPECT_EQ(m.records_in, input.size());   // appends (whole topic)
+    EXPECT_EQ(m.records_out, input.size());  // cursor reads
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

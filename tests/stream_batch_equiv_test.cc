@@ -27,9 +27,11 @@
 #include <tuple>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "stream/channel.h"
 #include "stream/pipeline.h"
+#include "stream/sharded.h"
 
 namespace tcmf::stream {
 namespace {
@@ -228,25 +230,10 @@ Flow<VRec> ApplyFusedRun(Flow<VRec> flow, const std::vector<OpSpec>& ops,
   return chain.Emit(StageOptions(base));
 }
 
-/// Executes the operator graph over `input` and returns the canonical
-/// output multiset. `fuse` replaces maximal stateless runs with fused
-/// single-thread stages. `base` carries the per-edge knobs under test
-/// (static capacity, elastic capacity_tuning, latency budget); its
-/// `batch` and `name` fields are ignored — the transport policy comes
-/// from `policy` (set on the source edge and inherited downstream) and
-/// names stay auto-assigned so the shutdown tests' "source#0" lookups
-/// keep working.
-std::vector<VRec> RunGraph(const std::vector<OpSpec>& ops,
-                           const std::vector<VRec>& input, BatchPolicy policy,
-                           StageOptions base, bool fuse) {
-  Pipeline pipeline;
-  std::vector<VRec> out;
-  base.name.clear();
-  StageOptions source = base;
-  source.batch = policy;
-  base.batch.reset();  // downstream edges inherit the source policy
-  Flow<VRec> flow =
-      Flow<VRec>::FromVector(&pipeline, input, std::move(source));
+/// Threads `flow` through every op in `ops`. Shared by the single-pipeline
+/// and sharded runners so the graph under test is identical in both.
+Flow<VRec> BuildGraph(Flow<VRec> flow, const std::vector<OpSpec>& ops,
+                      const StageOptions& base, bool fuse) {
   size_t i = 0;
   while (i < ops.size()) {
     if (Stateless(ops[i].kind)) {
@@ -264,9 +251,68 @@ std::vector<VRec> RunGraph(const std::vector<OpSpec>& ops,
       ++i;
     }
   }
+  return flow;
+}
+
+/// Executes the operator graph over `input` and returns the canonical
+/// output multiset. `fuse` replaces maximal stateless runs with fused
+/// single-thread stages. `base` carries the per-edge knobs under test
+/// (static capacity, elastic capacity_tuning, latency budget); its
+/// `batch` and `name` fields are ignored — the transport policy comes
+/// from `policy` (set on the source edge and inherited downstream) and
+/// names stay auto-assigned so the shutdown tests' "source#0" lookups
+/// keep working.
+std::vector<VRec> RunGraph(const std::vector<OpSpec>& ops,
+                           const std::vector<VRec>& input, BatchPolicy policy,
+                           StageOptions base, bool fuse) {
+  Pipeline pipeline;
+  std::vector<VRec> out;
+  base.name.clear();
+  StageOptions source = base;
+  source.batch = policy;
+  base.batch.reset();  // downstream edges inherit the source policy
+  Flow<VRec> flow = BuildGraph(
+      Flow<VRec>::FromVector(&pipeline, input, std::move(source)), ops, base,
+      fuse);
   flow.CollectInto(&out);
   pipeline.Run();
   return Canon(std::move(out));
+}
+
+/// Scale-out execution: scatters the input by the same key hash
+/// PartitionedLog producers use (Mix64 of the entity id), runs one
+/// independent copy of the operator graph per shard under a
+/// ShardedPipeline, and merges the per-shard outputs. Because every
+/// operator in the graph keys by `id` (and ids survive every transform),
+/// per-key state and fold order are untouched by the scatter — the merged
+/// multiset must be bit-identical to the single-pipeline run.
+std::vector<VRec> RunGraphSharded(const std::vector<OpSpec>& ops,
+                                  const std::vector<VRec>& input,
+                                  size_t shards, BatchPolicy policy,
+                                  StageOptions base, bool fuse) {
+  base.name.clear();
+  std::vector<std::vector<VRec>> scattered(shards);
+  for (const VRec& r : input) {
+    scattered[HashPartition(r.id, shards)].push_back(r);
+  }
+  ShardedPipeline sp(shards, base);
+  std::vector<std::vector<VRec>> outs(shards);
+  sp.Build([&](Pipeline* pipeline, size_t shard) {
+    StageOptions source = base;
+    source.batch = policy;
+    StageOptions edge = base;
+    edge.batch.reset();  // downstream edges inherit the source policy
+    Flow<VRec> flow = BuildGraph(
+        Flow<VRec>::FromVector(pipeline, scattered[shard], std::move(source)),
+        ops, edge, fuse);
+    flow.CollectInto(&outs[shard]);
+  });
+  sp.Run();
+  std::vector<VRec> merged;
+  for (std::vector<VRec>& out : outs) {
+    merged.insert(merged.end(), out.begin(), out.end());
+  }
+  return Canon(std::move(merged));
 }
 
 /// Positional convenience used by the static-capacity sweeps.
@@ -403,6 +449,84 @@ TEST(BatchEquivTest, FusedChainMatchesUnfusedUnbatched) {
   ExpectSameMultiset(RunGraph(ops, input, BatchPolicy::Single(), 16, false),
                      RunGraph(ops, input, BatchPolicy::Single(), 16, true),
                      "fused-unbatched");
+}
+
+// ----------------------------------------- sharded scale-out equivalence
+
+// The ShardedPipeline facade must be invisible: running the same operator
+// graph as N key-disjoint shard pipelines (input scattered by the
+// PartitionedLog producer hash) yields exactly the single-pipeline
+// multiset, for every shard count and transport policy combination.
+TEST(ShardedEquivTest, ShardedGraphsMatchSinglePipeline) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const std::vector<OpSpec> ops = RandomGraph(seed);
+    const std::vector<VRec> input = MakeVesselRecords(seed, 1500);
+    StageOptions base;
+    base.capacity = 8;
+    const std::vector<VRec> baseline =
+        RunGraph(ops, input, BatchPolicy::Single(), base, false);
+    for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+      ExpectSameMultiset(
+          baseline,
+          RunGraphSharded(ops, input, shards, BatchPolicy::Single(), base,
+                          false),
+          "sharded-single");
+      ExpectSameMultiset(
+          baseline,
+          RunGraphSharded(ops, input, shards, BatchPolicy::Batched(7, 1),
+                          base, false),
+          "sharded-batched");
+      ExpectSameMultiset(
+          baseline,
+          RunGraphSharded(ops, input, shards, BatchPolicy::Batched(64, -1),
+                          base, true),
+          "sharded-fused");
+    }
+  }
+}
+
+// Fixed graph touching every operator kind, sharded — coverage must not
+// depend on what the seeded generator draws.
+TEST(ShardedEquivTest, AllOperatorKindsGraphSharded) {
+  const std::vector<OpSpec> ops = {
+      {OpKind::kMap},          {OpKind::kFilter, 3},
+      {OpKind::kFlatMap},      {OpKind::kKeyed},
+      {OpKind::kKeyedPar, 4},  {OpKind::kWindow, 5000, 2000},
+      {OpKind::kMap},
+  };
+  const std::vector<VRec> input = MakeVesselRecords(42, 3000);
+  StageOptions base;
+  base.capacity = 8;
+  const std::vector<VRec> baseline =
+      RunGraph(ops, input, BatchPolicy::Single(), base, false);
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+    ExpectSameMultiset(baseline,
+                       RunGraphSharded(ops, input, shards,
+                                       BatchPolicy::Batched(64, 1), base,
+                                       false),
+                       "sharded-all-ops");
+  }
+  // The merged report groups same-named auto-assigned stages across
+  // shards; the facade must expose both views.
+  ShardedPipeline sp(4);
+  std::vector<std::vector<VRec>> outs(4);
+  std::vector<std::vector<VRec>> scattered(4);
+  for (const VRec& r : input) scattered[HashPartition(r.id, 4)].push_back(r);
+  sp.Build([&](Pipeline* pipeline, size_t shard) {
+    Flow<VRec>::FromVector(pipeline, scattered[shard], {.capacity = 8})
+        .Map<VRec>(MapFn, {.capacity = 8})
+        .CollectInto(&outs[shard]);
+  });
+  sp.Run();
+  const std::string json = sp.ReportJson();
+  EXPECT_NE(json.find("\"shards\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"aggregate\":["), std::string::npos);
+  EXPECT_NE(json.find("\"per_shard\":["), std::string::npos);
+  uint64_t mapped = 0;
+  for (const StageMetrics& m : sp.AggregateReport()) {
+    if (m.stage.rfind("map#", 0) == 0) mapped += m.records_out;
+  }
+  EXPECT_EQ(mapped, input.size());
 }
 
 // ------------------------------- shutdown / cancellation under batching

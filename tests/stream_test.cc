@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -621,6 +622,48 @@ TEST(PipelineTest, ParallelKeyedPreservesPerKeyOrder) {
     last_seen[key] = value;
   }
   EXPECT_EQ(output.size(), input.size());
+}
+
+TEST(PipelineTest, ParallelKeyedStrideKeysSpreadAcrossWorkers) {
+  // Regression for the identity-hash router: vessel-ID-style keys
+  // stepping by a multiple of the parallelism all satisfy
+  // key % parallelism == const, so routing with std::hash (identity in
+  // libstdc++) starves every worker but one. The Mix64 router must keep
+  // every worker loaded; per-worker load is read off the ".part<w>"
+  // stage metrics.
+  constexpr size_t kWorkers = 4;
+  std::vector<std::pair<uint64_t, int>> input;
+  for (int i = 0; i < 4000; ++i) {
+    input.push_back(
+        {200000000u + static_cast<uint64_t>(i) * (kWorkers * 4), i});
+  }
+  Pipeline pipeline;
+  std::vector<std::pair<uint64_t, int>> output;
+  Flow<std::pair<uint64_t, int>>::FromVector(&pipeline, input)
+      .KeyedProcessParallel<std::pair<uint64_t, int>, int>(
+          [](const std::pair<uint64_t, int>& e) { return e.first; },
+          [](const std::pair<uint64_t, int>& e, int&,
+             const std::function<void(std::pair<uint64_t, int>)>& emit) {
+            emit(e);
+          },
+          kWorkers, nullptr, {.name = "stride"})
+      .CollectInto(&output);
+  pipeline.Run();
+  EXPECT_EQ(output.size(), input.size());
+
+  size_t workers_seen = 0;
+  uint64_t min_load = std::numeric_limits<uint64_t>::max();
+  uint64_t max_load = 0;
+  for (const StageMetrics& m : pipeline.Report()) {
+    if (m.stage.rfind("stride.part", 0) != 0) continue;
+    ++workers_seen;
+    min_load = std::min(min_load, m.records_in);
+    max_load = std::max(max_load, m.records_in);
+  }
+  ASSERT_EQ(workers_seen, kWorkers);
+  const double mean = static_cast<double>(input.size()) / kWorkers;
+  EXPECT_GT(min_load, mean / 2);
+  EXPECT_LT(max_load, mean * 2);
 }
 
 // ------------------------------------------- Pipeline: shutdown semantics

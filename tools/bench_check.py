@@ -64,17 +64,33 @@ Also asserts the PR 3 acceptance invariant directly on the fresh
 measurement: the channel-transfer row at batch 64 must be at least
 ``--min-batch-speedup`` (default 3x) faster than record-at-a-time.
 
+6. **Partitioned-log gates** — runs ``bench_mlog --smoke`` and checks
+   the partition-sweep rows in ``BENCH_mlog.json`` (the skewed
+   million-key vessel workload, one producer thread per partition):
+
+   - rows for partitions {1, 4, 16} must all be present, tagged with
+     ``workload == skewed_mkeys``, and report non-zero append and
+     group-replay throughput;
+   - the partitions=4 aggregate append rate must reach
+     ``--min-partition-speedup`` (default 2x) over partitions=1 — but
+     only when the machine can physically parallelize: the gate reads
+     the row's ``hw_threads`` and relaxes to a no-collapse bound
+     (>= 0.35x) below 4 hardware threads, since a CPU-bound append
+     cannot scale past the core count.
+
 Exit status is non-zero on any failure, so it can gate CI.
 
 Usage:
     tools/bench_check.py [--bench build/bench/bench_micro]
+                         [--mlog-bench build/bench/bench_mlog]
                          [--baseline bench/baselines/BENCH_micro.json]
                          [--tolerance 3.0] [--ratio-tolerance 1.8]
                          [--min-batch-speedup 3.0]
                          [--min-adaptive-ratio 0.85]
                          [--min-capacity-ratio 0.85]
                          [--budget-tolerance 1.3]
-                         [--no-run]   # reuse an existing BENCH_micro.json
+                         [--min-partition-speedup 2.0]
+                         [--no-run]   # reuse existing BENCH_*.json files
 """
 
 import argparse
@@ -310,6 +326,46 @@ def check_latency(measured, budget_tolerance, failures):
         failures.append("pipeline_latency/linger200 p99 row missing")
 
 
+def check_mlog(rows, min_partition_speedup, failures):
+    """Gates the bench_mlog partition-sweep rows (gate 6)."""
+    sweep = {r["partitions"]: r for r in rows if "partitions" in r}
+    print(f"\n{'partitions':>10} {'append rec/s':>14} {'replay rec/s':>14}")
+    for want in (1, 4, 16):
+        row = sweep.get(want)
+        if not row:
+            failures.append(f"BENCH_mlog.json missing partitions={want} row")
+            print(f"{want:>10} {'MISSING':>14}")
+            continue
+        if row.get("workload") != "skewed_mkeys":
+            failures.append(
+                f"partitions={want} row is not the skewed_mkeys workload")
+        append = row.get("append_records_per_s", 0)
+        replay = row.get("replay_records_per_s", 0)
+        print(f"{want:>10} {append:>14.0f} {replay:>14.0f}")
+        if append <= 0 or replay <= 0:
+            failures.append(
+                f"partitions={want} row reports zero throughput")
+    p1 = sweep.get(1)
+    p4 = sweep.get(4)
+    if not p1 or not p4 or not p1.get("append_records_per_s"):
+        failures.append("cannot rate partition scale-out: p1/p4 rows missing")
+        return
+    hw = p4.get("hw_threads", 0)
+    # A CPU-bound append cannot scale past the core count; below 4
+    # hardware threads the gate only guards against a pathological
+    # collapse (lock contention serializing the partitions).
+    required = min_partition_speedup if hw >= 4 else 0.35
+    speedup = p4["append_records_per_s"] / p1["append_records_per_s"]
+    ok = speedup >= required
+    print(f"partitions=4 vs partitions=1 aggregate append: {speedup:.2f}x "
+          f"(required >= {required:g}x on {hw} hw threads)"
+          f"{'' if ok else '  << FAIL'}")
+    if not ok:
+        failures.append(
+            f"partition scale-out {speedup:.2f}x < {required:g}x "
+            f"(hw_threads={hw})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -354,32 +410,52 @@ def main():
              "granularity and scheduler jitter)",
     )
     parser.add_argument(
+        "--mlog-bench",
+        default=os.path.join(REPO_ROOT, "build", "bench", "bench_mlog"),
+        help="path to the bench_mlog binary (partition-sweep gates)",
+    )
+    parser.add_argument(
+        "--min-partition-speedup", type=float, default=2.0,
+        help="required partitions=4 aggregate append speedup over "
+             "partitions=1 when >= 4 hardware threads are available "
+             "(default 2.0)",
+    )
+    parser.add_argument(
         "--no-run", action="store_true",
-        help="skip running the bench; check an existing BENCH_micro.json "
-             "next to the binary",
+        help="skip running the benches; check existing BENCH_*.json "
+             "files next to the binaries",
     )
     args = parser.parse_args()
 
     bench_dir = os.path.dirname(os.path.abspath(args.bench))
     result_path = os.path.join(bench_dir, "BENCH_micro.json")
+    mlog_dir = os.path.dirname(os.path.abspath(args.mlog_bench))
+    mlog_path = os.path.join(mlog_dir, "BENCH_mlog.json")
 
     if not args.no_run:
-        if not os.path.exists(args.bench):
-            print(f"bench binary not found: {args.bench}", file=sys.stderr)
-            return 2
-        print(f"running: {args.bench} --smoke (cwd={bench_dir})")
-        proc = subprocess.run([os.path.abspath(args.bench), "--smoke"],
-                              cwd=bench_dir)
-        if proc.returncode != 0:
-            print(f"bench_micro exited with {proc.returncode}",
-                  file=sys.stderr)
-            return 2
+        for binary in (args.bench, args.mlog_bench):
+            if not os.path.exists(binary):
+                print(f"bench binary not found: {binary}", file=sys.stderr)
+                return 2
+            cwd = os.path.dirname(os.path.abspath(binary))
+            print(f"running: {binary} --smoke (cwd={cwd})")
+            proc = subprocess.run([os.path.abspath(binary), "--smoke"],
+                                  cwd=cwd)
+            if proc.returncode != 0:
+                print(f"{os.path.basename(binary)} exited with "
+                      f"{proc.returncode}", file=sys.stderr)
+                return 2
 
     if not os.path.exists(result_path):
         print(f"missing bench output: {result_path}", file=sys.stderr)
         return 2
+    if not os.path.exists(mlog_path):
+        print(f"missing bench output: {mlog_path}", file=sys.stderr)
+        return 2
     measured = load_rows(result_path)
     baseline = load_rows(args.baseline)
+    with open(mlog_path) as f:
+        mlog_rows = json.load(f)
 
     failures = []
     check_absolute(measured, baseline, args.tolerance, failures)
@@ -387,6 +463,7 @@ def main():
     check_tuner(measured, args.min_adaptive_ratio, failures)
     check_capacity(measured, args.min_capacity_ratio, failures)
     check_latency(measured, args.budget_tolerance, failures)
+    check_mlog(mlog_rows, args.min_partition_speedup, failures)
 
     # Acceptance invariant: batching must actually amortize the lock.
     b1 = measured.get("channel_transfer/batch1")
