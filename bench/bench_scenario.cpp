@@ -1,0 +1,197 @@
+// Open-loop city-scale load harness: end-to-end event-time latency SLOs
+// under steady, diurnal-burst and chaos arrival scenarios.
+//
+// Unlike every other bench in the repo this one is *open-loop*: the
+// producer follows a seeded ArrivalSchedule and each record's latency
+// clock starts at its scheduled arrival instant, so producer stalls
+// (e.g. a partition whose fsync goes slow) count against the SLO
+// instead of silently slowing the load down (no coordinated omission).
+//
+// Arms:
+//   scenario/steady  — constant rate, no faults. Gated: p99 within the
+//                      declared latency budget x tolerance.
+//   scenario/diurnal — non-homogeneous Poisson burst curve (trough ->
+//                      4x peak) at the same mean rate.
+//   scenario/chaos   — constant rate plus a FaultPlan: slow consumer,
+//                      source restarts (GroupCursor close/rejoin
+//                      mid-tail), a 250ms-per-append fsync stall on one
+//                      partition, and a key-skew shift. Gated: p999
+//                      spike visible, delivery still exactly-once
+//                      (gaps == dups == 0), recovery time bounded.
+//
+// Emits a human table plus BENCH_scenario.json in the working directory
+// (flat gate fields per row + the full nested ScenarioReport), checked
+// by tools/bench_check.py. `--smoke` shrinks sizes for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+using namespace tcmf;           // NOLINT
+using namespace tcmf::scenario; // NOLINT
+
+namespace {
+
+constexpr TimeMs kBudgetMs = 50;
+constexpr TimeMs kStallMs = 250;  // injected per-append fsync stall
+
+struct Arm {
+  std::string name;
+  ScenarioReport report;
+};
+
+ScenarioOptions BaseOptions(const std::string& dir, double rate,
+                            size_t total, bool smoke) {
+  ScenarioOptions opts;
+  opts.dir = dir;
+  opts.partitions = 4;
+  opts.total_records = total;
+  opts.latency_budget_ms = kBudgetMs;
+  opts.timeline_window_ms = 50;
+  opts.arrival = ArrivalCurve::Constant(rate);
+  // Keep fleet generation (not the thing under test) proportionate.
+  opts.fleet.vessel_count = smoke ? 40 : 120;
+  opts.fleet.flight_count = smoke ? 10 : 30;
+  opts.fleet.duration_ms = (smoke ? 15 : 60) * kMillisPerMinute;
+  opts.fleet.weather_interval_ms = 5 * kMillisPerMinute;
+  return opts;
+}
+
+void PrintRow(const Arm& arm) {
+  const ScenarioReport& r = arm.report;
+  std::printf(
+      "%-18s %-9s %9.0f %9.0f | %8.2f %8.2f %9.2f %9.2f | %5llu %4llu "
+      "%4llu %4llu %4llu | %6lld %6lld\n",
+      arm.name.c_str(), r.arrival_model.c_str(), r.offered_rate_per_s,
+      r.achieved_rate_per_s, r.p50_ms, r.p99_ms, r.p999_ms, r.max_ms,
+      static_cast<unsigned long long>(r.consumed),
+      static_cast<unsigned long long>(r.gaps),
+      static_cast<unsigned long long>(r.dups),
+      static_cast<unsigned long long>(r.restarts),
+      static_cast<unsigned long long>(r.sync_stalls),
+      static_cast<long long>(r.disruption_ms),
+      static_cast<long long>(r.recovery_ms));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double rate = smoke ? 4000.0 : 15000.0;
+  const size_t total = smoke ? 8000 : 75000;
+  // Expected schedule length anchors the fault timeline.
+  const TimeMs t_ms = static_cast<TimeMs>(1000.0 * total / rate);
+
+  std::printf("open-loop scenario harness: %zu records/arm, budget %lldms, "
+              "4 partitions%s\n\n",
+              total, static_cast<long long>(kBudgetMs),
+              smoke ? " (smoke)" : "");
+  std::printf("%-18s %-9s %9s %9s | %8s %8s %9s %9s | %5s %4s %4s %4s %4s "
+              "| %6s %6s\n",
+              "arm", "arrival", "offer/s", "ach/s", "p50ms", "p99ms",
+              "p999ms", "maxms", "cons", "gap", "dup", "rst", "stal",
+              "disr", "recov");
+
+  std::vector<Arm> arms;
+
+  {
+    ScenarioOptions opts =
+        BaseOptions("bench_scenario_steady_logs", rate, total, smoke);
+    arms.push_back({"scenario/steady", RunScenario(opts)});
+    PrintRow(arms.back());
+  }
+
+  {
+    ScenarioOptions opts =
+        BaseOptions("bench_scenario_diurnal_logs", rate, total, smoke);
+    // Same *mean* rate as steady: trough at 2/(1+peak) of it, 4x swing.
+    opts.arrival = ArrivalCurve::Diurnal(rate * 2.0 / 5.0,
+                                         std::max<TimeMs>(t_ms / 2, 500),
+                                         4.0);
+    arms.push_back({"scenario/diurnal", RunScenario(opts)});
+    PrintRow(arms.back());
+  }
+
+  {
+    ScenarioOptions opts =
+        BaseOptions("bench_scenario_chaos_logs", rate, total, smoke);
+    FaultPlan plan;
+    // Timeline (sequential; fractions of the schedule length): an
+    // overloaded sink, a mid-tail consumer restart, the fsync stall on
+    // partition 0 — the producer wedges on it, so *every* partition's
+    // latency spikes — a skew shift, and a second restart during the
+    // post-stall catch-up burst.
+    plan.Add({.kind = FaultKind::kSlowConsumer,
+              .at_ms = t_ms * 15 / 100,
+              .duration_ms = t_ms / 10,
+              .stall_ms = 1});
+    plan.Add({.kind = FaultKind::kSourceRestart,
+              .at_ms = t_ms / 4,
+              .partition = 1});
+    plan.Add({.kind = FaultKind::kFsyncStall,
+              .at_ms = t_ms * 2 / 5,
+              .duration_ms = t_ms / 5,
+              .partition = 0,
+              .stall_ms = kStallMs});
+    plan.Add({.kind = FaultKind::kSkewShift,
+              .at_ms = t_ms * 65 / 100,
+              .key_offset = 7});
+    plan.Add({.kind = FaultKind::kSourceRestart,
+              .at_ms = t_ms * 3 / 4,
+              .partition = 2});
+    arms.push_back({"scenario/chaos", RunScenario(opts, plan)});
+    PrintRow(arms.back());
+  }
+
+  for (const Arm& arm : arms) {
+    if (!arm.report.error.empty()) {
+      std::printf("\n%s FAILED: %s\n", arm.name.c_str(),
+                  arm.report.error.c_str());
+      return 1;
+    }
+  }
+
+  if (std::FILE* f = std::fopen("BENCH_scenario.json", "w")) {
+    std::fprintf(f, "[\n");
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (size_t i = 0; i < arms.size(); ++i) {
+      const ScenarioReport& r = arms[i].report;
+      // Flat gate fields first (what bench_check.py reads), then the
+      // full report for humans debugging a failure.
+      std::fprintf(
+          f,
+          "  {\"name\": \"%s\", \"hw_threads\": %u, \"budget_ms\": %lld, "
+          "\"stall_ms\": %lld, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+          "\"p999_ms\": %.3f, \"max_ms\": %.3f, "
+          "\"produced\": %llu, \"appended\": %llu, \"consumed\": %llu, "
+          "\"gaps\": %llu, \"dups\": %llu, \"restarts\": %llu, "
+          "\"sync_stalls\": %llu, \"append_errors\": %llu, "
+          "\"disruption_ms\": %lld, \"recovery_ms\": %lld, "
+          "\"achieved_rate_per_s\": %.1f, \"run_s\": %.3f,\n   "
+          "\"report\": %s}%s\n",
+          arms[i].name.c_str(), hw, static_cast<long long>(r.budget_ms),
+          static_cast<long long>(arms[i].name == "scenario/chaos" ? kStallMs
+                                                                  : 0),
+          r.p50_ms, r.p99_ms, r.p999_ms, r.max_ms,
+          static_cast<unsigned long long>(r.produced),
+          static_cast<unsigned long long>(r.appended),
+          static_cast<unsigned long long>(r.consumed),
+          static_cast<unsigned long long>(r.gaps),
+          static_cast<unsigned long long>(r.dups),
+          static_cast<unsigned long long>(r.restarts),
+          static_cast<unsigned long long>(r.sync_stalls),
+          static_cast<unsigned long long>(r.append_errors),
+          static_cast<long long>(r.disruption_ms),
+          static_cast<long long>(r.recovery_ms), r.achieved_rate_per_s,
+          r.run_s, r.Json().c_str(), i + 1 < arms.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scenario.json\n");
+  }
+  return 0;
+}

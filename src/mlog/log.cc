@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "common/crc32c.h"
@@ -105,7 +107,8 @@ std::string LogMetrics::ToJson() const {
       "{\"appended_records\":%llu,\"appended_bytes\":%llu,\"fsyncs\":%llu,"
       "\"read_records\":%llu,\"read_bytes\":%llu,"
       "\"segments_created\":%llu,\"segments_deleted\":%llu,"
-      "\"recovered_records\":%llu,\"truncated_bytes\":%llu}",
+      "\"recovered_records\":%llu,\"truncated_bytes\":%llu,"
+      "\"sync_stalls\":%llu}",
       static_cast<unsigned long long>(appended_records),
       static_cast<unsigned long long>(appended_bytes),
       static_cast<unsigned long long>(fsyncs),
@@ -114,7 +117,8 @@ std::string LogMetrics::ToJson() const {
       static_cast<unsigned long long>(segments_created),
       static_cast<unsigned long long>(segments_deleted),
       static_cast<unsigned long long>(recovered_records),
-      static_cast<unsigned long long>(truncated_bytes));
+      static_cast<unsigned long long>(truncated_bytes),
+      static_cast<unsigned long long>(sync_stalls));
 }
 
 /// One segment file. `committed_*` only ever grow and are published with
@@ -406,6 +410,7 @@ Result<uint64_t> Log::AppendEncoded(const std::string& buf, uint64_t count,
 
   appended_records_.fetch_add(count, std::memory_order_relaxed);
   appended_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+  StallForSyncDelay();
   return first_offset;
 }
 
@@ -414,12 +419,24 @@ void Log::SetAppendFault(Status fault) {
   append_fault_ = std::move(fault);
 }
 
+void Log::SetSyncDelay(TimeMs delay_ms) {
+  sync_delay_ms_.store(delay_ms < 0 ? 0 : delay_ms, std::memory_order_relaxed);
+}
+
+void Log::StallForSyncDelay() {
+  const int64_t delay = sync_delay_ms_.load(std::memory_order_relaxed);
+  if (delay <= 0) return;
+  sync_stalls_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
 Status Log::Sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (::fdatasync(segments_.back()->fd) != 0) {
     return ErrnoStatus("mlog: fdatasync");
   }
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  StallForSyncDelay();
   return Status::Ok();
 }
 
@@ -460,6 +477,7 @@ LogMetrics Log::metrics() const {
   m.segments_deleted = segments_deleted_.load(std::memory_order_relaxed);
   m.recovered_records = recovered_records_;
   m.truncated_bytes = truncated_bytes_;
+  m.sync_stalls = sync_stalls_.load(std::memory_order_relaxed);
   return m;
 }
 

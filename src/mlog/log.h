@@ -59,6 +59,7 @@ struct LogMetrics {
   uint64_t segments_deleted = 0;
   uint64_t recovered_records = 0;  ///< intact tail entries found by Open()
   uint64_t truncated_bytes = 0;    ///< torn/corrupt tail bytes cut by Open()
+  uint64_t sync_stalls = 0;        ///< injected fsync stalls served (chaos)
   std::string ToJson() const;
 };
 
@@ -108,6 +109,14 @@ class Log {
   /// (mid-stream and final tail flush) be exercised deterministically.
   void SetAppendFault(Status fault);
 
+  /// Fault-injection hook (chaos harness): every subsequent
+  /// Append/AppendBatch/Sync stalls `delay_ms` while holding the writer
+  /// mutex before returning — the observable shape of a device whose
+  /// fsync has gone slow (stable-storage stall). Unlike SetAppendFault
+  /// the data IS written and the call succeeds; only timing degrades.
+  /// 0 clears. Stalls served are counted in LogMetrics::sync_stalls.
+  void SetSyncDelay(TimeMs delay_ms);
+
   /// First retained offset (advances when retention deletes segments).
   uint64_t start_offset() const;
   /// Offset the next append will get (== total records ever appended,
@@ -150,6 +159,10 @@ class Log {
   /// Shared append path. `sync_each` forces an fsync per record.
   Result<uint64_t> AppendEncoded(const std::string& buf, uint64_t count,
                                  const std::vector<size_t>& entry_ends);
+  /// Serves an armed SetSyncDelay stall (called on the append/sync path,
+  /// with mutex_ held, so the stall blocks the writer like a real slow
+  /// fsync would).
+  void StallForSyncDelay();
 
   /// Segment containing `offset`, or the first one after it (retention
   /// gap), or nullptr when offset >= next_offset. Requires mutex_.
@@ -163,6 +176,10 @@ class Log {
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<Segment>> segments_;  // oldest → active
   Status append_fault_;  // injected append failure (ok = disarmed)
+  // Injected fsync stall (ms per append/sync; 0 = disarmed). Atomic so
+  // a chaos thread can arm/clear it without taking the writer mutex.
+  std::atomic<int64_t> sync_delay_ms_{0};
+  std::atomic<uint64_t> sync_stalls_{0};
 
   // Metrics: atomics so cursor threads can bump read counters without
   // the writer mutex.

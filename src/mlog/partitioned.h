@@ -94,6 +94,18 @@ class PartitionedLog {
   /// per-partition offset.
   Result<uint64_t> AppendKeyed(uint64_t key, const stream::Record& record);
 
+  /// Chaos hooks scoped to one partition (p < partition_count()): stall
+  /// every append/sync on partition `p` by `delay_ms` (0 clears), or
+  /// fail its appends with `fault` (ok clears) — lets a fault plan
+  /// degrade a single partition while its siblings stay healthy. See
+  /// Log::SetSyncDelay / Log::SetAppendFault.
+  void SetSyncDelay(size_t p, TimeMs delay_ms) {
+    partitions_[p]->SetSyncDelay(delay_ms);
+  }
+  void SetAppendFault(size_t p, Status fault) {
+    partitions_[p]->SetAppendFault(std::move(fault));
+  }
+
   /// Scatters a keyed batch by partition and issues one AppendBatch per
   /// touched partition (one fsync per touched partition under
   /// kPerBatch). Stops at the first failing partition.

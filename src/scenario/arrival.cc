@@ -1,0 +1,71 @@
+#include "scenario/arrival.h"
+
+#include <cmath>
+
+namespace tcmf::scenario {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kUsPerSecond = 1e6;
+}  // namespace
+
+const char* ArrivalModelName(ArrivalModel model) {
+  switch (model) {
+    case ArrivalModel::kConstant:
+      return "constant";
+    case ArrivalModel::kPoisson:
+      return "poisson";
+    case ArrivalModel::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+double ArrivalCurve::RateAtMs(TimeMs t_ms) const {
+  if (model != ArrivalModel::kDiurnal || period_ms <= 0) return rate_per_s;
+  // Trough at t = 0, peak at t = period/2: rate(t) = trough +
+  // (peak - trough) * (1 - cos(2*pi*t/period)) / 2.
+  const double phase =
+      2.0 * kPi * static_cast<double>(t_ms % period_ms) / period_ms;
+  const double swing = rate_per_s * (peak_factor - 1.0);
+  return rate_per_s + swing * 0.5 * (1.0 - std::cos(phase));
+}
+
+double ArrivalCurve::MeanRatePerS() const {
+  if (model != ArrivalModel::kDiurnal) return rate_per_s;
+  return rate_per_s * (1.0 + peak_factor) / 2.0;
+}
+
+ArrivalSchedule::ArrivalSchedule(const ArrivalCurve& curve, uint64_t seed)
+    : curve_(curve), rng_(seed) {}
+
+int64_t ArrivalSchedule::NextArrivalUs() {
+  switch (curve_.model) {
+    case ArrivalModel::kConstant: {
+      const int64_t at = static_cast<int64_t>(next_us_);
+      next_us_ += kUsPerSecond / curve_.rate_per_s;
+      return at;
+    }
+    case ArrivalModel::kPoisson: {
+      const int64_t at = static_cast<int64_t>(next_us_);
+      next_us_ += rng_.Exponential(curve_.rate_per_s / kUsPerSecond);
+      return at;
+    }
+    case ArrivalModel::kDiurnal: {
+      // Thinning: exponential candidate steps at the peak rate, accept
+      // with probability rate(t)/peak — an exact draw from the
+      // non-homogeneous process, still one monotone stream of offsets.
+      const double peak_rate = curve_.rate_per_s * curve_.peak_factor;
+      for (;;) {
+        next_us_ += rng_.Exponential(peak_rate / kUsPerSecond);
+        const TimeMs t_ms = static_cast<TimeMs>(next_us_ / 1000.0);
+        if (rng_.Bernoulli(curve_.RateAtMs(t_ms) / peak_rate)) {
+          return static_cast<int64_t>(next_us_);
+        }
+      }
+    }
+  }
+  return static_cast<int64_t>(next_us_);
+}
+
+}  // namespace tcmf::scenario

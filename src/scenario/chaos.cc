@@ -1,0 +1,125 @@
+#include "scenario/chaos.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace tcmf::scenario {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAppendFault:
+      return "append_fault";
+    case FaultKind::kFsyncStall:
+      return "fsync_stall";
+    case FaultKind::kSlowConsumer:
+      return "slow_consumer";
+    case FaultKind::kSkewShift:
+      return "skew_shift";
+    case FaultKind::kSourceRestart:
+      return "source_restart";
+  }
+  return "unknown";
+}
+
+std::string FaultOutcome::Json() const {
+  return StrFormat(
+      "{\"kind\":\"%s\",\"at_ms\":%lld,\"duration_ms\":%lld,"
+      "\"partition\":%zu,\"stall_ms\":%lld,\"applied_at_ms\":%lld,"
+      "\"cleared_at_ms\":%lld}",
+      FaultKindName(spec.kind), static_cast<long long>(spec.at_ms),
+      static_cast<long long>(spec.duration_ms), spec.partition,
+      static_cast<long long>(spec.stall_ms),
+      static_cast<long long>(applied_at_ms),
+      static_cast<long long>(cleared_at_ms));
+}
+
+namespace {
+bool Instantaneous(FaultKind kind) {
+  return kind == FaultKind::kSkewShift || kind == FaultKind::kSourceRestart;
+}
+}  // namespace
+
+void FaultInjector::Apply(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kAppendFault:
+      if (targets_.topic) {
+        targets_.topic->SetAppendFault(
+            spec.partition, Status::IoError("chaos: injected append fault"));
+      }
+      break;
+    case FaultKind::kFsyncStall:
+      if (targets_.topic) {
+        targets_.topic->SetSyncDelay(spec.partition, spec.stall_ms);
+      }
+      break;
+    case FaultKind::kSlowConsumer:
+      if (targets_.slow_sink_us) {
+        targets_.slow_sink_us->store(spec.stall_ms * 1000,
+                                     std::memory_order_relaxed);
+      }
+      break;
+    case FaultKind::kSkewShift:
+      if (targets_.key_rotation) {
+        targets_.key_rotation->fetch_add(spec.key_offset,
+                                         std::memory_order_relaxed);
+      }
+      break;
+    case FaultKind::kSourceRestart:
+      if (targets_.restart_epochs &&
+          spec.partition < targets_.partition_count) {
+        targets_.restart_epochs[spec.partition].fetch_add(
+            1, std::memory_order_release);
+      }
+      break;
+  }
+}
+
+void FaultInjector::Clear(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kAppendFault:
+      if (targets_.topic) {
+        targets_.topic->SetAppendFault(spec.partition, Status::Ok());
+      }
+      break;
+    case FaultKind::kFsyncStall:
+      if (targets_.topic) targets_.topic->SetSyncDelay(spec.partition, 0);
+      break;
+    case FaultKind::kSlowConsumer:
+      if (targets_.slow_sink_us) {
+        targets_.slow_sink_us->store(0, std::memory_order_relaxed);
+      }
+      break;
+    case FaultKind::kSkewShift:
+    case FaultKind::kSourceRestart:
+      break;  // instantaneous: nothing to disarm
+  }
+}
+
+std::vector<FaultOutcome> FaultInjector::Run(const FaultPlan& plan,
+                                             int64_t start_us) {
+  std::vector<FaultSpec> timeline = plan.faults();
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  std::vector<FaultOutcome> outcomes;
+  outcomes.reserve(timeline.size());
+  for (const FaultSpec& spec : timeline) {
+    clock_->SleepUntilUs(start_us + spec.at_ms * 1000);
+    FaultOutcome outcome;
+    outcome.spec = spec;
+    outcome.applied_at_ms = (clock_->NowUs() - start_us) / 1000;
+    Apply(spec);
+    if (!Instantaneous(spec.kind) && spec.duration_ms > 0) {
+      clock_->SleepUntilUs(start_us + (spec.at_ms + spec.duration_ms) * 1000);
+      Clear(spec);
+    }
+    outcome.cleared_at_ms = (clock_->NowUs() - start_us) / 1000;
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+}  // namespace tcmf::scenario

@@ -1,0 +1,121 @@
+#ifndef TCMF_SCENARIO_CHAOS_H_
+#define TCMF_SCENARIO_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/position.h"
+#include "mlog/partitioned.h"
+#include "scenario/clock.h"
+
+namespace tcmf::scenario {
+
+/// The failure modes a scenario can script. Each maps onto a concrete
+/// hook in the system under test — no chaos-only code paths exist in the
+/// runtime itself.
+enum class FaultKind {
+  /// Log::SetAppendFault on one partition: appends fail, data dropped.
+  kAppendFault,
+  /// Log::SetSyncDelay on one partition: every append stalls `stall_ms`
+  /// under the writer mutex (slow-disk fsync).
+  kFsyncStall,
+  /// The scenario sink sleeps `stall_ms` per record (overloaded
+  /// downstream consumer — backpressure builds upstream).
+  kSlowConsumer,
+  /// Instantaneous key-distribution rotation: every subsequent key is
+  /// offset, shifting which partition each entity routes to (hot-shard
+  /// skew migration).
+  kSkewShift,
+  /// Instantaneous: one shard's GroupCursor is closed and rejoined
+  /// mid-tail — the consumer must resume at the group's committed
+  /// watermark with no gaps or duplicates (source gap/restart).
+  kSourceRestart,
+};
+
+/// "append_fault" / "fsync_stall" / "slow_consumer" / "skew_shift" /
+/// "source_restart".
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted injection. `at_ms` is scenario time (ms since driver
+/// start). Windowed faults (duration_ms > 0) are cleared at
+/// at_ms + duration_ms; kSkewShift and kSourceRestart are instantaneous
+/// and ignore duration.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kFsyncStall;
+  TimeMs at_ms = 0;
+  TimeMs duration_ms = 0;
+  size_t partition = 0;     ///< target partition / shard
+  TimeMs stall_ms = 0;      ///< kFsyncStall: per-append; kSlowConsumer: per-record
+  uint64_t key_offset = 1;  ///< kSkewShift: added to the rotation
+};
+
+/// An ordered timeline of injections (sorted by at_ms at run time; the
+/// injector executes them sequentially, so overlapping windows serialize
+/// in timeline order).
+class FaultPlan {
+ public:
+  FaultPlan& Add(const FaultSpec& spec) {
+    faults_.push_back(spec);
+    return *this;
+  }
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+/// What actually happened: the spec plus the observed apply/clear times
+/// (scenario ms) — the anchor recovery time is measured against.
+struct FaultOutcome {
+  FaultSpec spec;
+  TimeMs applied_at_ms = 0;
+  TimeMs cleared_at_ms = 0;  ///< == applied_at_ms for instantaneous kinds
+  std::string Json() const;
+};
+
+/// The mutable knobs a FaultInjector drives. The scenario driver owns
+/// the referenced state; consumer threads read the atomics on their hot
+/// paths (relaxed), the injector writes them at fault boundaries.
+struct ChaosTargets {
+  mlog::PartitionedLog* topic = nullptr;
+  /// Per-record sink sleep, microseconds (kSlowConsumer).
+  std::atomic<int64_t>* slow_sink_us = nullptr;
+  /// Added to every routing key before AppendKeyed (kSkewShift).
+  std::atomic<uint64_t>* key_rotation = nullptr;
+  /// Bumping restart_epochs[p] tells shard p's source to drop its
+  /// GroupCursor and rejoin (kSourceRestart). Size >= partition count.
+  std::atomic<uint64_t>* restart_epochs = nullptr;
+  size_t partition_count = 0;
+};
+
+/// Replays a FaultPlan against the targets on the caller's thread
+/// (drivers run it on a dedicated chaos thread), sleeping on `clock`
+/// between injections. Apply/Clear are public so tests and custom
+/// harnesses can fire single faults without a timeline.
+class FaultInjector {
+ public:
+  FaultInjector(ChaosTargets targets, Clock* clock)
+      : targets_(targets), clock_(clock ? clock : RealClock()) {}
+
+  /// Executes the plan: sorts by at_ms, sleeps to each fault's time,
+  /// applies it, sleeps out its window, clears it. Returns the observed
+  /// outcomes in execution order. `start_us` anchors scenario time 0.
+  std::vector<FaultOutcome> Run(const FaultPlan& plan, int64_t start_us);
+
+  /// Arms one fault now (no sleeping).
+  void Apply(const FaultSpec& spec);
+  /// Disarms a windowed fault (no-op for instantaneous kinds).
+  void Clear(const FaultSpec& spec);
+
+ private:
+  ChaosTargets targets_;
+  Clock* clock_;
+};
+
+}  // namespace tcmf::scenario
+
+#endif  // TCMF_SCENARIO_CHAOS_H_

@@ -1,0 +1,86 @@
+#ifndef TCMF_SCENARIO_CLOCK_H_
+#define TCMF_SCENARIO_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/position.h"
+
+namespace tcmf::scenario {
+
+/// Injectable time source for the open-loop driver and chaos layer. The
+/// scenario code never touches std::chrono directly for *scheduling*
+/// decisions — it asks its Clock — so tests can run arrival schedules
+/// and fault plans against a VirtualClock with zero wall-clock sleeps
+/// and exact, deterministic timestamps.
+///
+/// Times are microseconds on an arbitrary monotonic epoch (the steady
+/// clock's for SystemClock, 0 for a fresh VirtualClock). Millisecond
+/// helpers are derived.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time, microseconds.
+  virtual int64_t NowUs() = 0;
+
+  /// Blocks (or virtually advances) until NowUs() >= deadline_us.
+  virtual void SleepUntilUs(int64_t deadline_us) = 0;
+
+  TimeMs NowMs() { return NowUs() / 1000; }
+  void SleepForUs(int64_t us) { SleepUntilUs(NowUs() + us); }
+};
+
+/// Real time on std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowUs() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepUntilUs(int64_t deadline_us) override {
+    const std::chrono::steady_clock::time_point deadline{
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::microseconds(deadline_us))};
+    std::this_thread::sleep_until(deadline);
+  }
+};
+
+/// Process-wide shared SystemClock (the default when a scenario is run
+/// with clock == nullptr).
+inline Clock* RealClock() {
+  static SystemClock clock;
+  return &clock;
+}
+
+/// Manually advanced clock: SleepUntilUs jumps time forward instead of
+/// blocking, so a "10 minute" schedule or fault plan replays instantly
+/// and lands on exact timestamps. Monotonic: time never moves backwards,
+/// concurrent sleepers race forward via compare-exchange.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_us = 0) : now_us_(start_us) {}
+
+  int64_t NowUs() override { return now_us_.load(std::memory_order_acquire); }
+
+  void SleepUntilUs(int64_t deadline_us) override {
+    int64_t cur = now_us_.load(std::memory_order_relaxed);
+    while (cur < deadline_us &&
+           !now_us_.compare_exchange_weak(cur, deadline_us,
+                                          std::memory_order_acq_rel)) {
+    }
+  }
+
+  void AdvanceUs(int64_t us) { SleepUntilUs(NowUs() + us); }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace tcmf::scenario
+
+#endif  // TCMF_SCENARIO_CLOCK_H_

@@ -1,0 +1,87 @@
+#include "scenario/fleet.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/flight.h"
+#include "datagen/vessel.h"
+#include "datagen/weather.h"
+
+namespace tcmf::scenario {
+
+namespace {
+
+FleetEvent PositionEvent(const Position& p, const char* source) {
+  FleetEvent ev;
+  ev.key = p.entity_id;
+  ev.record = stream::PositionToRecord(p);
+  ev.record.Set("source", std::string(source));
+  return ev;
+}
+
+}  // namespace
+
+std::vector<FleetEvent> MakeFleet(const FleetMix& mix) {
+  std::vector<FleetEvent> events;
+  Rng rng(mix.seed);
+  datagen::WeatherField weather(rng, {-10.0, 34.0, 10.0, 45.0});
+
+  if (mix.vessel_count > 0) {
+    datagen::VesselSimConfig cfg;
+    cfg.vessel_count = mix.vessel_count;
+    cfg.duration_ms = mix.duration_ms;
+    cfg.seed = mix.seed + 1;
+    datagen::VesselSimulator sim(cfg, /*ports=*/{}, /*fishing_areas=*/{},
+                                 &weather);
+    datagen::VesselSimOutput out = sim.Run();
+    events.reserve(out.stream.size());
+    for (const Position& p : out.stream) {
+      events.push_back(PositionEvent(p, "ais"));
+    }
+  }
+
+  if (mix.flight_count > 0) {
+    datagen::FlightSimConfig cfg;
+    cfg.flight_count = mix.flight_count;
+    cfg.departure_spread_ms = mix.duration_ms;
+    cfg.seed = mix.seed + 2;
+    datagen::FlightSimulator sim(cfg, datagen::DefaultOriginAirport(),
+                                 datagen::DefaultDestinationAirport(),
+                                 &weather);
+    for (const datagen::SimulatedFlight& f : sim.Run()) {
+      for (const Position& p : f.actual.points) {
+        // Cap at the mix span so cyclic replay keeps a bounded window.
+        if (p.t > mix.duration_ms) break;
+        FleetEvent ev = PositionEvent(p, "adsb");
+        if (ev.key == 0) ev.key = f.plan.icao24;
+        events.push_back(std::move(ev));
+      }
+    }
+  }
+
+  if (mix.weather_cols > 0 && mix.weather_rows > 0 &&
+      mix.weather_interval_ms > 0) {
+    for (TimeMs t = 0; t <= mix.duration_ms; t += mix.weather_interval_ms) {
+      std::vector<stream::Record> grid =
+          weather.ForecastGrid(t, mix.weather_cols, mix.weather_rows);
+      for (size_t i = 0; i < grid.size(); ++i) {
+        FleetEvent ev;
+        // Weather cells get synthetic keys far above real entity ids so
+        // they spread over partitions without colliding with fleets.
+        ev.key = 0x57454154u + i;  // 'WEAT' + cell index
+        ev.record = std::move(grid[i]);
+        ev.record.Set("source", std::string("weather"));
+        events.push_back(std::move(ev));
+      }
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FleetEvent& a, const FleetEvent& b) {
+                     return a.record.event_time() < b.record.event_time();
+                   });
+  return events;
+}
+
+}  // namespace tcmf::scenario

@@ -1,0 +1,355 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "mlog/partitioned.h"
+#include "stream/metrics.h"
+#include "stream/pipeline.h"
+#include "stream/sharded.h"
+
+namespace tcmf::scenario {
+
+void LatencyTimeline::Record(TimeMs since_start_ms, uint64_t latency_us) {
+  if (since_start_ms < 0) since_start_ms = 0;
+  const size_t idx = static_cast<size_t>(since_start_ms / window_ms_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_us_.size() <= idx) max_us_.resize(idx + 1, 0);
+  max_us_[idx] = std::max(max_us_[idx], latency_us);
+}
+
+void LatencyTimeline::Merge(const LatencyTimeline& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  if (max_us_.size() < other.max_us_.size()) {
+    max_us_.resize(other.max_us_.size(), 0);
+  }
+  for (size_t i = 0; i < other.max_us_.size(); ++i) {
+    max_us_[i] = std::max(max_us_[i], other.max_us_[i]);
+  }
+}
+
+TimeMs LatencyTimeline::LastBreachEndMs(TimeMs from_ms,
+                                        uint64_t threshold_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t first =
+      static_cast<size_t>(std::max<TimeMs>(0, from_ms) / window_ms_);
+  TimeMs end = -1;
+  for (size_t i = first; i < max_us_.size(); ++i) {
+    if (max_us_[i] > threshold_us) {
+      end = static_cast<TimeMs>(i + 1) * window_ms_;
+    }
+  }
+  return end;
+}
+
+std::string ScenarioReport::Json() const {
+  std::string out = StrFormat(
+      "{\"arrival\":\"%s\",\"offered_rate_per_s\":%.1f,\"partitions\":%zu,"
+      "\"budget_ms\":%lld,"
+      "\"produced\":%llu,\"appended\":%llu,\"consumed\":%llu,"
+      "\"append_errors\":%llu,\"gaps\":%llu,\"dups\":%llu,"
+      "\"restarts\":%llu,\"sync_stalls\":%llu,"
+      "\"run_s\":%.3f,\"achieved_rate_per_s\":%.1f,"
+      "\"mean_ms\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"p999_ms\":%.3f,"
+      "\"max_ms\":%.3f,\"p99_within_budget\":%s,"
+      "\"disruption_ms\":%lld,\"recovery_ms\":%lld,\"error\":\"%s\"",
+      arrival_model.c_str(), offered_rate_per_s, partitions,
+      static_cast<long long>(budget_ms),
+      static_cast<unsigned long long>(produced),
+      static_cast<unsigned long long>(appended),
+      static_cast<unsigned long long>(consumed),
+      static_cast<unsigned long long>(append_errors),
+      static_cast<unsigned long long>(gaps),
+      static_cast<unsigned long long>(dups),
+      static_cast<unsigned long long>(restarts),
+      static_cast<unsigned long long>(sync_stalls), run_s,
+      achieved_rate_per_s, mean_ms, p50_ms, p99_ms, p999_ms, max_ms,
+      p99_within_budget ? "true" : "false",
+      static_cast<long long>(disruption_ms),
+      static_cast<long long>(recovery_ms),
+      stream::JsonEscape(error).c_str());
+  out += ",\"faults\":[";
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (i) out += ',';
+    out += faults[i].Json();
+  }
+  out += "],\"pipeline\":";
+  out += pipeline_json.empty() ? "null" : pipeline_json;
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Per-shard measurement state. The histogram/timeline/counters are
+/// written by the shard's sink thread and merged after the run; the
+/// cursor block is touched only by the shard's tail (source) thread —
+/// it lives here, not in the tail lambda, because Flow copies its
+/// callables.
+struct ShardState {
+  ShardState(size_t shard_index, size_t partitions, TimeMs window_ms)
+      : shard(shard_index), timeline(window_ms) {
+    next_expected.assign(partitions, 0);
+  }
+
+  const size_t shard;
+  LatencyHistogram hist;
+  LatencyTimeline timeline;
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<uint64_t> gaps{0};
+  std::atomic<uint64_t> dups{0};
+  std::atomic<uint64_t> restarts{0};
+
+  // Tail-thread-local.
+  std::unique_ptr<mlog::GroupCursor> cursor;
+  uint64_t seen_epoch = 0;
+  std::vector<uint64_t> next_expected;  // per-partition next offset
+};
+
+}  // namespace
+
+ScenarioReport RunScenario(const ScenarioOptions& options,
+                           const FaultPlan& plan, Clock* clock) {
+  namespace fs = std::filesystem;
+  Clock* clk = clock ? clock : RealClock();
+
+  ScenarioReport report;
+  report.arrival_model = ArrivalModelName(options.arrival.model);
+  report.offered_rate_per_s = options.arrival.MeanRatePerS();
+  report.partitions = options.partitions;
+  report.budget_ms = options.latency_budget_ms;
+
+  std::mutex err_mu;
+  const auto record_error = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (report.error.empty()) report.error = s.message();
+  };
+
+  std::error_code ec;
+  fs::remove_all(options.dir, ec);
+  mlog::PartitionedLogOptions topic_options;
+  topic_options.dir = options.dir;
+  topic_options.partitions = options.partitions;
+  topic_options.log.segment_bytes = options.segment_bytes;
+  topic_options.log.fsync_policy = options.fsync_policy;
+  auto topic_or = mlog::PartitionedLog::Open(topic_options);
+  if (!topic_or.ok()) {
+    record_error(topic_or.status());
+    return report;
+  }
+  std::unique_ptr<mlog::PartitionedLog> topic = std::move(topic_or).value();
+
+  const std::vector<FleetEvent> events = MakeFleet(options.fleet);
+  if (events.empty()) {
+    record_error(Status::FailedPrecondition("scenario: fleet mix is empty"));
+    return report;
+  }
+
+  const size_t n_shards = std::max<size_t>(1, options.partitions);
+  std::vector<std::unique_ptr<ShardState>> shards;
+  shards.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    shards.push_back(std::make_unique<ShardState>(i, options.partitions,
+                                                  options.timeline_window_ms));
+  }
+
+  std::atomic<bool> producer_done{false};
+  std::atomic<uint64_t> append_errors{0};
+  std::atomic<int64_t> slow_sink_us{0};
+  std::atomic<uint64_t> key_rotation{0};
+  std::vector<std::atomic<uint64_t>> restart_epochs(options.partitions);
+
+  const int64_t start_us = clk->NowUs();
+
+  // Consumers: one shard per partition, each a consumer-group member
+  // tailing its assigned partition and stamping end-to-end latency at
+  // the sink.
+  stream::ShardedPipeline sp(
+      n_shards,
+      {.name = "",
+       .batch = stream::BatchPolicy::Batched(options.consumer_batch,
+                                             /*linger_ms=*/1)});
+  sp.Build([&](stream::Pipeline* p, size_t shard) {
+    ShardState* st = shards[shard].get();
+
+    auto tail = [&, st](std::vector<mlog::GroupRecord>* out,
+                        size_t max_n) -> size_t {
+      for (;;) {
+        const uint64_t epoch =
+            restart_epochs[st->shard].load(std::memory_order_acquire);
+        if (!st->cursor || epoch != st->seen_epoch) {
+          const bool is_restart = st->cursor != nullptr;
+          st->cursor.reset();  // close first: release the old cursors
+          auto cursor_or =
+              topic->JoinGroup(options.group, st->shard, n_shards);
+          if (!cursor_or.ok()) {
+            record_error(cursor_or.status());
+            return 0;
+          }
+          st->cursor = std::move(cursor_or).value();
+          st->seen_epoch = epoch;
+          if (is_restart) st->restarts.fetch_add(1, std::memory_order_relaxed);
+        }
+        const size_t n = st->cursor->NextBatch(out, max_n);
+        if (n > 0) {
+          // Resume verification: offsets per partition must be dense.
+          for (size_t i = out->size() - n; i < out->size(); ++i) {
+            const mlog::GroupRecord& gr = (*out)[i];
+            uint64_t& expect = st->next_expected[gr.partition];
+            if (gr.offset < expect) {
+              st->dups.fetch_add(1, std::memory_order_relaxed);
+            } else if (gr.offset > expect) {
+              st->gaps.fetch_add(gr.offset - expect,
+                                 std::memory_order_relaxed);
+            }
+            expect = std::max(expect, gr.offset + 1);
+          }
+          return n;
+        }
+        if (!st->cursor->status().ok()) {
+          record_error(st->cursor->status());
+          return 0;
+        }
+        if (producer_done.load(std::memory_order_acquire)) {
+          bool caught_up = true;
+          for (size_t part : st->cursor->assignment()) {
+            if (st->cursor->committed(part) <
+                topic->partition(part)->next_offset()) {
+              caught_up = false;
+              break;
+            }
+          }
+          if (caught_up) {
+            // A restart racing the end still owes a rejoin (it would
+            // prove resume-at-watermark); loop once more in that case.
+            if (restart_epochs[st->shard].load(std::memory_order_acquire) ==
+                st->seen_epoch) {
+              return 0;
+            }
+            continue;
+          }
+        }
+        clk->SleepForUs(options.tail_poll_us);
+      }
+    };
+
+    auto sink = [&, st](const mlog::GroupRecord& gr) {
+      const int64_t now_us = clk->NowUs();
+      const int64_t sched_us = gr.record.GetInt("sched_us").value_or(now_us);
+      const int64_t lat_us = std::max<int64_t>(0, now_us - sched_us);
+      st->hist.RecordUs(lat_us);
+      st->timeline.Record((now_us - start_us) / 1000,
+                          static_cast<uint64_t>(lat_us));
+      st->consumed.fetch_add(1, std::memory_order_relaxed);
+      const int64_t slow = slow_sink_us.load(std::memory_order_relaxed);
+      if (slow > 0) clk->SleepForUs(slow);
+    };
+
+    stream::Flow<mlog::GroupRecord>::FromBatchGenerator(
+        p, tail, {.name = "scenario.tail", .batch = sp.options().batch})
+        .Sink(sink, {.name = "scenario.sink"});
+  });
+
+  // Producer: open-loop. Each record's latency clock starts at its
+  // *scheduled* arrival instant, not the actual append instant, so time
+  // the producer loses to a stalled append counts against the SLO
+  // (coordinated omission would otherwise hide exactly the faults this
+  // harness exists to measure).
+  std::thread producer([&] {
+    ArrivalSchedule schedule(options.arrival, options.seed);
+    const TimeMs span = std::max<TimeMs>(1, options.fleet.duration_ms);
+    for (size_t i = 0; i < options.total_records; ++i) {
+      const int64_t deadline_us = start_us + schedule.NextArrivalUs();
+      clk->SleepUntilUs(deadline_us);
+      const FleetEvent& ev = events[i % events.size()];
+      stream::Record rec = ev.record;
+      // Cyclic replay: later laps shift simulated event time forward a
+      // full span, keeping event_time monotone-ish across laps.
+      const TimeMs wrap = static_cast<TimeMs>(i / events.size()) * span;
+      rec.set_event_time(rec.event_time() + wrap);
+      rec.Set("sched_us", deadline_us);
+      const uint64_t key =
+          ev.key + key_rotation.load(std::memory_order_relaxed);
+      auto appended = topic->AppendKeyed(key, rec);
+      if (!appended.ok()) {
+        append_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    producer_done.store(true, std::memory_order_release);
+  });
+
+  // Chaos: the fault plan replays on its own thread against the live
+  // topic/consumer knobs.
+  std::vector<FaultOutcome> outcomes;
+  std::thread chaos;
+  if (!plan.empty()) {
+    chaos = std::thread([&] {
+      ChaosTargets targets;
+      targets.topic = topic.get();
+      targets.slow_sink_us = &slow_sink_us;
+      targets.key_rotation = &key_rotation;
+      targets.restart_epochs = restart_epochs.data();
+      targets.partition_count = options.partitions;
+      FaultInjector injector(targets, clk);
+      outcomes = injector.Run(plan, start_us);
+    });
+  }
+
+  producer.join();
+  if (chaos.joinable()) chaos.join();
+  sp.Run();
+  const int64_t end_us = clk->NowUs();
+
+  // Merge shards and fill the report.
+  LatencyHistogram hist;
+  LatencyTimeline timeline(options.timeline_window_ms);
+  for (const auto& st : shards) {
+    hist.Merge(st->hist);
+    timeline.Merge(st->timeline);
+    report.consumed += st->consumed.load(std::memory_order_relaxed);
+    report.gaps += st->gaps.load(std::memory_order_relaxed);
+    report.dups += st->dups.load(std::memory_order_relaxed);
+    report.restarts += st->restarts.load(std::memory_order_relaxed);
+  }
+  report.produced = options.total_records;
+  report.append_errors = append_errors.load(std::memory_order_relaxed);
+  report.appended = report.produced - report.append_errors;
+  for (size_t p = 0; p < options.partitions; ++p) {
+    report.sync_stalls += topic->partition(p)->metrics().sync_stalls;
+  }
+  report.run_s = static_cast<double>(end_us - start_us) / 1e6;
+  report.achieved_rate_per_s =
+      report.run_s > 0 ? report.consumed / report.run_s : 0;
+  report.mean_ms = hist.MeanUs() / 1000.0;
+  report.p50_ms = hist.ValueAtQuantileUs(0.50) / 1000.0;
+  report.p99_ms = hist.ValueAtQuantileUs(0.99) / 1000.0;
+  report.p999_ms = hist.ValueAtQuantileUs(0.999) / 1000.0;
+  report.max_ms = hist.max_us() / 1000.0;
+  report.p99_within_budget =
+      report.p99_ms <= static_cast<double>(options.latency_budget_ms);
+
+  report.faults = outcomes;
+  const uint64_t threshold_us =
+      static_cast<uint64_t>(options.latency_budget_ms) * 1000;
+  for (const FaultOutcome& f : report.faults) {
+    const TimeMs breach_end =
+        timeline.LastBreachEndMs(f.applied_at_ms, threshold_us);
+    if (breach_end < 0) continue;  // SLO held through this fault
+    report.disruption_ms =
+        std::max(report.disruption_ms, breach_end - f.applied_at_ms);
+    report.recovery_ms =
+        std::max(report.recovery_ms,
+                 std::max<TimeMs>(0, breach_end - f.cleared_at_ms));
+  }
+
+  report.pipeline_json = sp.ReportJson();
+  return report;
+}
+
+}  // namespace tcmf::scenario

@@ -1,0 +1,133 @@
+#ifndef TCMF_SCENARIO_SCENARIO_H_
+#define TCMF_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/position.h"
+#include "mlog/log.h"
+#include "scenario/arrival.h"
+#include "scenario/chaos.h"
+#include "scenario/clock.h"
+#include "scenario/fleet.h"
+#include "scenario/histogram.h"
+
+namespace tcmf::scenario {
+
+/// Per-window worst-case latency over scenario time: the coarse signal
+/// recovery time is measured from. Each Record() folds one observation
+/// into its window's running max; windows are merged across shards by
+/// elementwise max. A fault's recovery instant is the end of the last
+/// window (at or after the fault) whose max still breached the SLO.
+class LatencyTimeline {
+ public:
+  explicit LatencyTimeline(TimeMs window_ms)
+      : window_ms_(window_ms < 1 ? 1 : window_ms) {}
+
+  void Record(TimeMs since_start_ms, uint64_t latency_us);
+  void Merge(const LatencyTimeline& other);
+
+  /// End (ms since scenario start) of the last window starting at or
+  /// after `from_ms` whose max latency exceeded `threshold_us`; -1 when
+  /// the SLO never broke in that range.
+  TimeMs LastBreachEndMs(TimeMs from_ms, uint64_t threshold_us) const;
+
+  TimeMs window_ms() const { return window_ms_; }
+
+ private:
+  TimeMs window_ms_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> max_us_;  // index = window, value = max latency
+};
+
+/// Configuration of one open-loop scenario run.
+struct ScenarioOptions {
+  /// Topic directory — wiped and recreated by RunScenario (each run
+  /// measures a fresh log, not a prior run's leftovers).
+  std::string dir = "scenario_topic_logs";
+  size_t partitions = 4;
+  ArrivalCurve arrival = ArrivalCurve::Constant(2000.0);
+  /// Records to inject; the fleet feed is replayed cyclically if
+  /// shorter.
+  size_t total_records = 20000;
+  FleetMix fleet{};
+  /// End-to-end event-time latency SLO the report grades against.
+  TimeMs latency_budget_ms = 50;
+  /// Timeline resolution for recovery measurement.
+  TimeMs timeline_window_ms = 50;
+  mlog::FsyncPolicy fsync_policy = mlog::FsyncPolicy::kNever;
+  size_t segment_bytes = 16u << 20;
+  /// Consumer-side transport batch (the tail source's pull size).
+  size_t consumer_batch = 256;
+  /// Tail-poll interval when a shard is caught up, microseconds.
+  int64_t tail_poll_us = 500;
+  uint64_t seed = 17;
+  std::string group = "scenario";
+};
+
+/// Everything one run measured. Latencies are end-to-end event-time
+/// path: (sink wall time) - (scheduled arrival wall time), so producer
+/// stalls count against the SLO (no coordinated omission: the schedule,
+/// not the producer's progress, defines when a record *should* have
+/// entered).
+struct ScenarioReport {
+  // Offered load.
+  std::string arrival_model;
+  double offered_rate_per_s = 0;
+  size_t partitions = 0;
+  TimeMs budget_ms = 0;
+
+  // Volumes. appended == produced - append_errors; delivery is complete
+  // when consumed == appended with gaps == dups == 0.
+  uint64_t produced = 0;
+  uint64_t appended = 0;
+  uint64_t consumed = 0;
+  uint64_t append_errors = 0;
+  uint64_t gaps = 0;
+  uint64_t dups = 0;
+  uint64_t restarts = 0;     ///< GroupCursor rejoins served (kSourceRestart)
+  uint64_t sync_stalls = 0;  ///< injected fsync stalls served by mlog
+
+  double run_s = 0;
+  double achieved_rate_per_s = 0;
+
+  // End-to-end latency, milliseconds.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+  bool p99_within_budget = false;
+
+  // Chaos: what fired, and how long the SLO stayed broken.
+  std::vector<FaultOutcome> faults;
+  /// Fault start -> last SLO breach (max over faults; 0 = SLO held).
+  TimeMs disruption_ms = 0;
+  /// Fault clear -> last SLO breach (max over faults; 0 = recovered
+  /// within the fault window itself).
+  TimeMs recovery_ms = 0;
+
+  /// First sticky producer/consumer error ("" = clean run).
+  std::string error;
+
+  /// The ShardedPipeline's own merged ReportJson (uptime + per-stage
+  /// rows), embedded verbatim by Json().
+  std::string pipeline_json;
+
+  std::string Json() const;
+};
+
+/// Runs one scenario: wipes and opens the topic, generates the fleet,
+/// starts one consumer shard per partition (a ShardedPipeline of
+/// GroupCursor tail sources), replays the arrival schedule open-loop on
+/// a producer thread, executes `plan` on a chaos thread, and returns the
+/// merged report. `clock` null = real time.
+ScenarioReport RunScenario(const ScenarioOptions& options,
+                           const FaultPlan& plan = {},
+                           Clock* clock = nullptr);
+
+}  // namespace tcmf::scenario
+
+#endif  // TCMF_SCENARIO_SCENARIO_H_

@@ -289,12 +289,37 @@ class Pipeline {
     threads_.emplace_back(std::move(body));
   }
 
-  /// Joins all stage threads; idempotent.
+  /// Joins all stage threads; idempotent. The first Run() that joins an
+  /// actual stage thread freezes uptime_ms() at the pipeline's total
+  /// running time, so post-run reports describe the run, not the
+  /// reporting delay.
   void Run() {
+    const bool had_threads = !threads_.empty();
     for (std::thread& t : threads_) {
       if (t.joinable()) t.join();
     }
     threads_.clear();
+    if (had_threads) {
+      int64_t expected = -1;
+      finished_uptime_ms_.compare_exchange_strong(expected, LiveUptimeMs());
+    }
+  }
+
+  /// Monotonic construction instant, in ms on the steady clock's epoch.
+  /// Same timebase for every Pipeline in the process, so reports from
+  /// different shards can be ordered and open-loop rates computed from
+  /// the report alone (records / uptime).
+  int64_t started_at_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               started_at_.time_since_epoch())
+        .count();
+  }
+
+  /// Milliseconds since construction, frozen at Run() completion (live
+  /// while stages are still running).
+  int64_t uptime_ms() const {
+    const int64_t frozen = finished_uptime_ms_.load(std::memory_order_relaxed);
+    return frozen >= 0 ? frozen : LiveUptimeMs();
   }
 
   /// Registers a named metrics source. Internal — called by Flow
@@ -341,10 +366,26 @@ class Pipeline {
   /// Printable fixed-width per-stage table.
   std::string ReportString() const { return StageMetricsTable(Report()); }
 
-  /// JSON array of per-stage objects.
-  std::string ReportJson() const { return StageMetricsJson(Report()); }
+  /// JSON report: `{"started_at_ms":..,"uptime_ms":..,"stages":[...]}` —
+  /// the run clock plus the per-stage array (StageMetricsJson), so a
+  /// report consumer can compute rates without having timed the run
+  /// itself.
+  std::string ReportJson() const {
+    return "{\"started_at_ms\":" + std::to_string(started_at_ms()) +
+           ",\"uptime_ms\":" + std::to_string(uptime_ms()) +
+           ",\"stages\":" + StageMetricsJson(Report()) + "}";
+  }
 
  private:
+  int64_t LiveUptimeMs() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - started_at_)
+        .count();
+  }
+
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
+  std::atomic<int64_t> finished_uptime_ms_{-1};
   std::vector<std::thread> threads_;
   mutable std::mutex stages_mutex_;
   std::vector<std::pair<std::string, std::function<StageMetrics()>>> stages_;

@@ -1,6 +1,7 @@
 #ifndef TCMF_STREAM_SHARDED_H_
 #define TCMF_STREAM_SHARDED_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -108,12 +109,23 @@ class ShardedPipeline {
     return StageMetricsTable(AggregateReport());
   }
 
+  /// Longest shard uptime (see Pipeline::uptime_ms) — the facade's wall
+  /// running time, since shards execute concurrently.
+  int64_t uptime_ms() const {
+    int64_t max_ms = 0;
+    for (const auto& shard : shards_) {
+      max_ms = std::max(max_ms, shard->uptime_ms());
+    }
+    return max_ms;
+  }
+
   /// Merged report:
-  ///   {"shards":N,
+  ///   {"shards":N,"uptime_ms":..,
   ///    "aggregate":[<merged stage rows>],
   ///    "per_shard":[{"shard":0,"stages":[...]}, ...]}
   std::string ReportJson() const {
     std::string out = "{\"shards\":" + std::to_string(shards_.size());
+    out += ",\"uptime_ms\":" + std::to_string(uptime_ms());
     out += ",\"aggregate\":";
     out += StageMetricsJson(AggregateReport());
     out += ",\"per_shard\":[";

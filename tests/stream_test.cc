@@ -826,10 +826,15 @@ TEST(PipelineMetricsTest, ReportExposesPerStageCounts) {
     EXPECT_FALSE(m.cancelled) << m.stage;
     EXPECT_EQ(m.push_rejected, 0u) << m.stage;
   }
-  // Renderers carry the counters.
+  // Renderers carry the counters plus the pipeline's lifetime fields.
   EXPECT_NE(pipeline.ReportString().find("src"), std::string::npos);
-  EXPECT_NE(pipeline.ReportJson().find("\"records_in\":1000"),
-            std::string::npos);
+  const std::string json = pipeline.ReportJson();
+  EXPECT_NE(json.find("\"records_in\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"started_at_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_ms\":"), std::string::npos);
+  // Uptime froze when Run() returned: later reads agree.
+  EXPECT_GE(pipeline.uptime_ms(), 0);
+  EXPECT_EQ(pipeline.uptime_ms(), pipeline.uptime_ms());
 }
 
 TEST(PipelineMetricsTest, AutoNamedStagesAndCancelledEdgeVisible) {

@@ -78,11 +78,32 @@ measurement: the channel-transfer row at batch 64 must be at least
      (>= 0.35x) below 4 hardware threads, since a CPU-bound append
      cannot scale past the core count.
 
+7. **Scenario SLO gates** — runs ``bench_scenario --smoke`` (the
+   open-loop city-scale harness) and checks ``BENCH_scenario.json``:
+
+   - all three arms (``scenario/steady``, ``scenario/diurnal``,
+     ``scenario/chaos``) present, with a clean error field and
+     exactly-once delivery: ``consumed == appended``,
+     ``gaps == dups == 0`` — on the chaos arm this proves the
+     GroupCursor restarts resumed at the committed watermark;
+   - steady-state end-to-end p99 within ``budget_ms x
+     --budget-tolerance`` (the same 1.3x contract as the PR 5 staging
+     gates; hw-aware: doubled below 4 hardware threads, where the
+     producer/consumer/chaos threads oversubscribe the machine);
+   - the chaos arm must *show* its injected faults: ``restarts >= 1``
+     and ``sync_stalls >= 1`` (the hooks actually fired), a p999 spike
+     of at least ``--min-chaos-spike`` x the injected per-append stall
+     (the open-loop schedule makes the producer wedge visible instead
+     of silently slowing the load), a non-zero measured disruption,
+     and ``recovery_ms <= --max-recovery-ms`` (doubled below 4
+     hardware threads).
+
 Exit status is non-zero on any failure, so it can gate CI.
 
 Usage:
     tools/bench_check.py [--bench build/bench/bench_micro]
                          [--mlog-bench build/bench/bench_mlog]
+                         [--scenario-bench build/bench/bench_scenario]
                          [--baseline bench/baselines/BENCH_micro.json]
                          [--tolerance 3.0] [--ratio-tolerance 1.8]
                          [--min-batch-speedup 3.0]
@@ -90,6 +111,9 @@ Usage:
                          [--min-capacity-ratio 0.85]
                          [--budget-tolerance 1.3]
                          [--min-partition-speedup 2.0]
+                         [--max-recovery-ms 2000]
+                         [--min-chaos-spike 0.3]
+                         [--only micro,mlog,scenario]
                          [--no-run]   # reuse existing BENCH_*.json files
 """
 
@@ -366,6 +390,88 @@ def check_mlog(rows, min_partition_speedup, failures):
             f"(hw_threads={hw})")
 
 
+def check_scenario(rows, budget_tolerance, max_recovery_ms, min_chaos_spike,
+                   failures):
+    """Gates the open-loop scenario arms (gate 7)."""
+    arms = {r["name"]: r for r in rows}
+    print(f"\n{'scenario arm':<20} {'p99ms':>8} {'p999ms':>9} {'cons':>7} "
+          f"{'gaps':>5} {'dups':>5} {'rst':>4} {'recov':>6}")
+    for name in ("scenario/steady", "scenario/diurnal", "scenario/chaos"):
+        row = arms.get(name)
+        if not row:
+            failures.append(f"BENCH_scenario.json missing {name} row")
+            print(f"{name:<20} {'MISSING':>8}")
+            continue
+        print(f"{name:<20} {row['p99_ms']:>8.2f} {row['p999_ms']:>9.2f} "
+              f"{row['consumed']:>7} {row['gaps']:>5} {row['dups']:>5} "
+              f"{row['restarts']:>4} {row['recovery_ms']:>6}")
+        err = row.get("report", {}).get("error", "")
+        if err:
+            failures.append(f"{name}: run reported an error: {err}")
+        # Exactly-once delivery: every appended record reaches the sink
+        # once. On the chaos arm this is the resume-at-watermark proof.
+        if row["consumed"] != row["appended"]:
+            failures.append(
+                f"{name}: consumed {row['consumed']} != appended "
+                f"{row['appended']} — records lost in flight")
+        if row["gaps"] or row["dups"]:
+            failures.append(
+                f"{name}: delivery not exactly-once (gaps={row['gaps']} "
+                f"dups={row['dups']})")
+
+    steady = arms.get("scenario/steady")
+    chaos = arms.get("scenario/chaos")
+    if not steady or not chaos:
+        return
+    hw = steady.get("hw_threads", 0)
+
+    # Steady-state SLO: same budget x tolerance contract as the PR 5
+    # staging-latency gates; doubled on runners that cannot physically
+    # host producer + 4 shards + chaos without oversubscription.
+    tol = budget_tolerance * (1.0 if hw >= 4 else 2.0)
+    limit = steady["budget_ms"] * tol
+    ok = steady["p99_ms"] <= limit
+    print(f"steady e2e p99={steady['p99_ms']:.2f}ms vs budget "
+          f"{steady['budget_ms']}ms x {tol:g} = {limit:.1f}ms "
+          f"(hw_threads={hw}){'' if ok else '  << FAIL'}")
+    if not ok:
+        failures.append(
+            f"steady scenario p99 {steady['p99_ms']:.2f}ms > "
+            f"{steady['budget_ms']}ms budget x {tol:g}")
+
+    # The chaos arm must demonstrate its injections.
+    if chaos["restarts"] < 1:
+        failures.append("chaos arm recorded no GroupCursor restarts — "
+                        "the source-restart fault never fired")
+    if chaos["sync_stalls"] < 1:
+        failures.append("chaos arm recorded no mlog sync stalls — the "
+                        "fsync-stall fault never fired")
+    stall = chaos.get("stall_ms", 0)
+    if stall > 0:
+        spike_floor = min_chaos_spike * stall
+        ok = chaos["p999_ms"] >= spike_floor
+        print(f"chaos p999={chaos['p999_ms']:.2f}ms vs injected "
+              f"{stall}ms stall x {min_chaos_spike:g} = "
+              f"{spike_floor:.0f}ms floor{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                f"chaos p999 {chaos['p999_ms']:.2f}ms < "
+                f"{spike_floor:.0f}ms — the injected fsync stall left "
+                f"no latency signature (open-loop stamping broken?)")
+    if chaos["disruption_ms"] <= 0:
+        failures.append("chaos arm measured zero SLO disruption — the "
+                        "recovery gate is measuring nothing")
+    allowed = max_recovery_ms * (1.0 if hw >= 4 else 2.0)
+    ok = chaos["recovery_ms"] <= allowed
+    print(f"chaos recovery={chaos['recovery_ms']}ms "
+          f"(allowed <= {allowed:g}ms on {hw} hw threads)"
+          f"{'' if ok else '  << FAIL'}")
+    if not ok:
+        failures.append(
+            f"chaos recovery {chaos['recovery_ms']}ms > {allowed:g}ms — "
+            f"the pipeline did not re-meet its SLO after fault clear")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -421,65 +527,104 @@ def main():
              "(default 2.0)",
     )
     parser.add_argument(
+        "--scenario-bench",
+        default=os.path.join(REPO_ROOT, "build", "bench", "bench_scenario"),
+        help="path to the bench_scenario binary (open-loop SLO gates)",
+    )
+    parser.add_argument(
+        "--max-recovery-ms", type=float, default=2000.0,
+        help="allowed chaos-arm recovery time after fault clear "
+             "(default 2000; doubled below 4 hardware threads)",
+    )
+    parser.add_argument(
+        "--min-chaos-spike", type=float, default=0.3,
+        help="required chaos-arm p999 as a fraction of the injected "
+             "per-append fsync stall (default 0.3)",
+    )
+    parser.add_argument(
+        "--only", default="micro,mlog,scenario",
+        help="comma list of bench suites to run and gate "
+             "(default: micro,mlog,scenario)",
+    )
+    parser.add_argument(
         "--no-run", action="store_true",
         help="skip running the benches; check existing BENCH_*.json "
              "files next to the binaries",
     )
     args = parser.parse_args()
 
-    bench_dir = os.path.dirname(os.path.abspath(args.bench))
-    result_path = os.path.join(bench_dir, "BENCH_micro.json")
-    mlog_dir = os.path.dirname(os.path.abspath(args.mlog_bench))
-    mlog_path = os.path.join(mlog_dir, "BENCH_mlog.json")
-
-    if not args.no_run:
-        for binary in (args.bench, args.mlog_bench):
-            if not os.path.exists(binary):
-                print(f"bench binary not found: {binary}", file=sys.stderr)
-                return 2
-            cwd = os.path.dirname(os.path.abspath(binary))
-            print(f"running: {binary} --smoke (cwd={cwd})")
-            proc = subprocess.run([os.path.abspath(binary), "--smoke"],
-                                  cwd=cwd)
-            if proc.returncode != 0:
-                print(f"{os.path.basename(binary)} exited with "
-                      f"{proc.returncode}", file=sys.stderr)
-                return 2
-
-    if not os.path.exists(result_path):
-        print(f"missing bench output: {result_path}", file=sys.stderr)
+    suites = {s.strip() for s in args.only.split(",") if s.strip()}
+    unknown = suites - {"micro", "mlog", "scenario"}
+    if unknown:
+        print(f"unknown --only suites: {sorted(unknown)}", file=sys.stderr)
         return 2
-    if not os.path.exists(mlog_path):
-        print(f"missing bench output: {mlog_path}", file=sys.stderr)
-        return 2
-    measured = load_rows(result_path)
-    baseline = load_rows(args.baseline)
-    with open(mlog_path) as f:
-        mlog_rows = json.load(f)
+
+    binaries = {
+        "micro": (args.bench, "BENCH_micro.json"),
+        "mlog": (args.mlog_bench, "BENCH_mlog.json"),
+        "scenario": (args.scenario_bench, "BENCH_scenario.json"),
+    }
+    outputs = {}
+    for suite in ("micro", "mlog", "scenario"):
+        if suite not in suites:
+            continue
+        binary, result_name = binaries[suite]
+        bench_dir = os.path.dirname(os.path.abspath(binary))
+        outputs[suite] = os.path.join(bench_dir, result_name)
+        if args.no_run:
+            continue
+        if not os.path.exists(binary):
+            print(f"bench binary not found: {binary}", file=sys.stderr)
+            return 2
+        print(f"running: {binary} --smoke (cwd={bench_dir})")
+        proc = subprocess.run([os.path.abspath(binary), "--smoke"],
+                              cwd=bench_dir)
+        if proc.returncode != 0:
+            print(f"{os.path.basename(binary)} exited with "
+                  f"{proc.returncode}", file=sys.stderr)
+            return 2
+
+    for suite, path in outputs.items():
+        if not os.path.exists(path):
+            print(f"missing bench output: {path}", file=sys.stderr)
+            return 2
 
     failures = []
-    check_absolute(measured, baseline, args.tolerance, failures)
-    check_relative(measured, baseline, args.ratio_tolerance, failures)
-    check_tuner(measured, args.min_adaptive_ratio, failures)
-    check_capacity(measured, args.min_capacity_ratio, failures)
-    check_latency(measured, args.budget_tolerance, failures)
-    check_mlog(mlog_rows, args.min_partition_speedup, failures)
+    if "micro" in suites:
+        measured = load_rows(outputs["micro"])
+        baseline = load_rows(args.baseline)
+        check_absolute(measured, baseline, args.tolerance, failures)
+        check_relative(measured, baseline, args.ratio_tolerance, failures)
+        check_tuner(measured, args.min_adaptive_ratio, failures)
+        check_capacity(measured, args.min_capacity_ratio, failures)
+        check_latency(measured, args.budget_tolerance, failures)
 
-    # Acceptance invariant: batching must actually amortize the lock.
-    b1 = measured.get("channel_transfer/batch1")
-    b64 = measured.get("channel_transfer/batch64")
-    if b1 and b64:
-        speedup = b64["records_per_s"] / b1["records_per_s"]
-        ok = speedup >= args.min_batch_speedup
-        print(f"\nchannel transfer batch64 vs batch1: {speedup:.1f}x "
-              f"(required >= {args.min_batch_speedup:g}x)"
-              f"{'' if ok else '  << FAIL'}")
-        if not ok:
-            failures.append(
-                f"batch64 speedup {speedup:.2f}x < "
-                f"{args.min_batch_speedup:g}x")
-    else:
-        failures.append("channel_transfer batch1/batch64 rows missing")
+        # Acceptance invariant: batching must actually amortize the lock.
+        b1 = measured.get("channel_transfer/batch1")
+        b64 = measured.get("channel_transfer/batch64")
+        if b1 and b64:
+            speedup = b64["records_per_s"] / b1["records_per_s"]
+            ok = speedup >= args.min_batch_speedup
+            print(f"\nchannel transfer batch64 vs batch1: {speedup:.1f}x "
+                  f"(required >= {args.min_batch_speedup:g}x)"
+                  f"{'' if ok else '  << FAIL'}")
+            if not ok:
+                failures.append(
+                    f"batch64 speedup {speedup:.2f}x < "
+                    f"{args.min_batch_speedup:g}x")
+        else:
+            failures.append("channel_transfer batch1/batch64 rows missing")
+
+    if "mlog" in suites:
+        with open(outputs["mlog"]) as f:
+            mlog_rows = json.load(f)
+        check_mlog(mlog_rows, args.min_partition_speedup, failures)
+
+    if "scenario" in suites:
+        with open(outputs["scenario"]) as f:
+            scenario_rows = json.load(f)
+        check_scenario(scenario_rows, args.budget_tolerance,
+                       args.max_recovery_ms, args.min_chaos_spike, failures)
 
     if failures:
         print("\nbench_check FAILED:", file=sys.stderr)
