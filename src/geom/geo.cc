@@ -35,6 +35,28 @@ double HaversineM(double lon1, double lat1, double lon2, double lat2) {
   return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
 }
 
+void RadiusBoundsDeg(double lat, double radius_m, double* dlat_deg,
+                     double* dlon_deg) {
+  double rho = radius_m / kEarthRadiusM;  // central angle, radians
+  if (rho >= kPi / 2) {
+    *dlat_deg = 180.0;
+    *dlon_deg = 180.0;
+    return;
+  }
+  // The disc spans exactly [lat - rho, lat + rho] in latitude; pad a
+  // hair for downstream rounding.
+  *dlat_deg = RadToDeg(rho) + 1e-9;
+  double coslat = std::cos(DegToRad(lat));
+  double sinrho = std::sin(rho);
+  if (coslat <= sinrho) {  // a pole lies inside the disc
+    *dlon_deg = 180.0;
+    return;
+  }
+  // Tangent-meridian bound: the meridians touching the disc sit at
+  // Δλ = asin(sin ρ / cos φ), slightly MORE than the naive ρ / cos φ.
+  *dlon_deg = RadToDeg(std::asin(sinrho / coslat)) * (1.0 + 1e-12) + 1e-9;
+}
+
 double BearingDeg(const LonLat& a, const LonLat& b) {
   double phi1 = DegToRad(a.lat);
   double phi2 = DegToRad(b.lat);

@@ -30,6 +30,17 @@ struct LonLat {
 double HaversineM(const LonLat& a, const LonLat& b);
 double HaversineM(double lon1, double lat1, double lon2, double lat2);
 
+/// Half-extents (degrees) of a lon/lat box guaranteed to contain every
+/// point within `radius_m` great-circle meters of a point at latitude
+/// `lat`: *dlat_deg is the exact meridional half-span, *dlon_deg the
+/// exact tangent-meridian bound asin(sin ρ / cos φ) plus a rounding
+/// margin (180 when the disc reaches a pole). Note the naive ρ/cos φ
+/// UNDER-estimates the longitude span — always use this for pruning.
+/// The returned lon span may exceed [-180, 180] when the disc crosses
+/// the antimeridian; callers must wrap or fall back.
+void RadiusBoundsDeg(double lat, double radius_m, double* dlat_deg,
+                     double* dlon_deg);
+
 /// Initial great-circle bearing from a to b, degrees in [0, 360).
 double BearingDeg(const LonLat& a, const LonLat& b);
 

@@ -1,0 +1,614 @@
+#include "geom/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geom/geo.h"
+
+namespace tcmf::geom {
+
+namespace {
+
+/// Absolute angular difference wrapped to [0, 180] degrees.
+double WrapAbsDeg(double d) {
+  d = std::fmod(std::fabs(d), 360.0);
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+}  // namespace
+
+double StBox::EnlargementArea(const StBox& o) const {
+  double w = std::max(max_lon, o.max_lon) - std::min(min_lon, o.min_lon);
+  double h = std::max(max_lat, o.max_lat) - std::min(min_lat, o.min_lat);
+  return w * h - Area();
+}
+
+double StBox::MinDistM(double lon, double lat) const {
+  double dlon_deg = 0.0;
+  if (lon < min_lon || lon > max_lon) {
+    dlon_deg = std::min(WrapAbsDeg(lon - min_lon), WrapAbsDeg(lon - max_lon));
+  }
+  double dlat_deg = 0.0;
+  if (lat < min_lat) {
+    dlat_deg = min_lat - lat;
+  } else if (lat > max_lat) {
+    dlat_deg = lat - max_lat;
+  }
+  if (dlon_deg == 0.0 && dlat_deg == 0.0) return 0.0;
+
+  // Meridional leg: central angle >= |Δφ| regardless of longitude.
+  double theta_lat = DegToRad(dlat_deg);
+  // Longitudinal leg: haversine gives sin²(θ/2) >= cosφ1·cosφ2·sin²(Δλ/2);
+  // lower-bound cosφ2 by the smaller cosine at the box's lat extremes.
+  double c1 = std::cos(DegToRad(lat));
+  double c2 =
+      std::min(std::cos(DegToRad(min_lat)), std::cos(DegToRad(max_lat)));
+  double cc = std::max(0.0, c1 * c2);  // guard -0 rounding at the poles
+  double s = std::sqrt(cc) * std::sin(DegToRad(dlon_deg) / 2.0);
+  double theta_lon = 2.0 * std::asin(std::min(1.0, s));
+  return std::max(theta_lat, theta_lon) * kEarthRadiusM;
+}
+
+struct RStarTree::Node {
+  bool leaf = true;
+  StBox box;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<RtreeItem> items;                 // leaves
+
+  int count() const {
+    return static_cast<int>(leaf ? items.size() : children.size());
+  }
+
+  static const StBox& EntryBox(const RtreeItem& item) { return item.box; }
+  static const StBox& EntryBox(const std::unique_ptr<Node>& node) {
+    return node->box;
+  }
+
+  static void RecomputeBox(Node* node) {
+    if (node->leaf) {
+      if (node->items.empty()) return;
+      node->box = node->items.front().box;
+      for (size_t i = 1; i < node->items.size(); ++i) {
+        node->box.ExpandTo(node->items[i].box);
+      }
+    } else {
+      if (node->children.empty()) return;
+      node->box = node->children.front()->box;
+      for (size_t i = 1; i < node->children.size(); ++i) {
+        node->box.ExpandTo(node->children[i]->box);
+      }
+    }
+  }
+
+  /// R* split: choose the axis with the least total margin over all
+  /// lower/upper-sorted distributions, then the distribution with the
+  /// least overlap (ties: least total area). Returns the permutation to
+  /// apply and the split position within it.
+  static void ChooseSplit(const std::vector<StBox>& boxes,
+                          const Options& options, std::vector<int>* perm_out,
+                          int* split_out) {
+    const int n = static_cast<int>(boxes.size());
+    const int m =
+        std::clamp(options.min_entries, 1, std::max(1, n / 2));
+
+    auto key_low = [&](int axis, int i) {
+      return axis == 0 ? boxes[i].min_lon : boxes[i].min_lat;
+    };
+    auto key_high = [&](int axis, int i) {
+      return axis == 0 ? boxes[i].max_lon : boxes[i].max_lat;
+    };
+    auto make_perm = [&](int axis, int order) {
+      std::vector<int> perm(n);
+      for (int i = 0; i < n; ++i) perm[i] = i;
+      std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+        double ka = order == 0 ? key_low(axis, a) : key_high(axis, a);
+        double kb = order == 0 ? key_low(axis, b) : key_high(axis, b);
+        if (ka != kb) return ka < kb;
+        double sa = order == 0 ? key_high(axis, a) : key_low(axis, a);
+        double sb = order == 0 ? key_high(axis, b) : key_low(axis, b);
+        if (sa != sb) return sa < sb;
+        return a < b;
+      });
+      return perm;
+    };
+    // prefix[i] = union of boxes[perm[0..i]]; suffix[i] = union [i..n).
+    auto sweep = [&](const std::vector<int>& perm, std::vector<StBox>* pre,
+                     std::vector<StBox>* suf) {
+      pre->resize(n);
+      suf->resize(n);
+      (*pre)[0] = boxes[perm[0]];
+      for (int i = 1; i < n; ++i) {
+        (*pre)[i] = (*pre)[i - 1];
+        (*pre)[i].ExpandTo(boxes[perm[i]]);
+      }
+      (*suf)[n - 1] = boxes[perm[n - 1]];
+      for (int i = n - 2; i >= 0; --i) {
+        (*suf)[i] = (*suf)[i + 1];
+        (*suf)[i].ExpandTo(boxes[perm[i]]);
+      }
+    };
+
+    int best_axis = 0;
+    double best_margin = std::numeric_limits<double>::infinity();
+    std::vector<StBox> pre, suf;
+    for (int axis = 0; axis < 2; ++axis) {
+      double margin_sum = 0.0;
+      for (int order = 0; order < 2; ++order) {
+        std::vector<int> perm = make_perm(axis, order);
+        sweep(perm, &pre, &suf);
+        for (int k = m; k <= n - m; ++k) {
+          margin_sum += pre[k - 1].Margin() + suf[k].Margin();
+        }
+      }
+      if (margin_sum < best_margin) {
+        best_margin = margin_sum;
+        best_axis = axis;
+      }
+    }
+
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    std::vector<int> best_perm;
+    int best_split = m;
+    for (int order = 0; order < 2; ++order) {
+      std::vector<int> perm = make_perm(best_axis, order);
+      sweep(perm, &pre, &suf);
+      for (int k = m; k <= n - m; ++k) {
+        double overlap = pre[k - 1].IntersectionArea(suf[k]);
+        double area = pre[k - 1].Area() + suf[k].Area();
+        if (overlap < best_overlap ||
+            (overlap == best_overlap && area < best_area)) {
+          best_overlap = overlap;
+          best_area = area;
+          best_perm = perm;
+          best_split = k;
+        }
+      }
+    }
+    *perm_out = std::move(best_perm);
+    *split_out = best_split;
+  }
+
+  template <typename Entry>
+  static void SplitEntries(std::vector<Entry>* left,
+                           std::vector<Entry>* right,
+                           const Options& options) {
+    std::vector<StBox> boxes;
+    boxes.reserve(left->size());
+    for (const Entry& e : *left) boxes.push_back(EntryBox(e));
+    std::vector<int> perm;
+    int split = 0;
+    ChooseSplit(boxes, options, &perm, &split);
+    std::vector<Entry> reordered;
+    reordered.reserve(left->size());
+    for (int idx : perm) reordered.push_back(std::move((*left)[idx]));
+    left->clear();
+    right->clear();
+    for (int i = 0; i < static_cast<int>(reordered.size()); ++i) {
+      if (i < split) {
+        left->push_back(std::move(reordered[i]));
+      } else {
+        right->push_back(std::move(reordered[i]));
+      }
+    }
+  }
+
+  /// STR packing of one level: sort by center longitude into
+  /// ceil(sqrt(pages)) vertical slices, sort each slice by center
+  /// latitude, cut runs of `capacity` into nodes.
+  template <typename Entry>
+  static std::vector<std::unique_ptr<Node>> StrPack(
+      std::vector<Entry> entries, int capacity, bool leaf_level) {
+    const size_t n = entries.size();
+    const size_t cap = static_cast<size_t>(capacity);
+    const size_t pages = (n + cap - 1) / cap;
+    const size_t slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(pages))));
+    const size_t slice_size = (n + slices - 1) / slices;
+
+    auto center_lon = [](const Entry& e) { return EntryBox(e).CenterLon(); };
+    auto center_lat = [](const Entry& e) { return EntryBox(e).CenterLat(); };
+    std::sort(entries.begin(), entries.end(),
+              [&](const Entry& a, const Entry& b) {
+                double ka = center_lon(a), kb = center_lon(b);
+                if (ka != kb) return ka < kb;
+                return center_lat(a) < center_lat(b);
+              });
+    for (size_t s = 0; s * slice_size < n; ++s) {
+      auto first = entries.begin() + s * slice_size;
+      auto last =
+          entries.begin() + std::min(n, (s + 1) * slice_size);
+      std::sort(first, last, [&](const Entry& a, const Entry& b) {
+        double ka = center_lat(a), kb = center_lat(b);
+        if (ka != kb) return ka < kb;
+        return center_lon(a) < center_lon(b);
+      });
+    }
+
+    std::vector<std::unique_ptr<Node>> out;
+    out.reserve(pages);
+    for (size_t i = 0; i < n; i += cap) {
+      auto node = std::make_unique<Node>();
+      node->leaf = leaf_level;
+      size_t end = std::min(n, i + cap);
+      for (size_t j = i; j < end; ++j) {
+        if constexpr (std::is_same_v<Entry, RtreeItem>) {
+          node->items.push_back(std::move(entries[j]));
+        } else {
+          node->children.push_back(std::move(entries[j]));
+        }
+      }
+      RecomputeBox(node.get());
+      out.push_back(std::move(node));
+    }
+    return out;
+  }
+
+  static void RangeVisit(const Node* node, const StBox& q,
+                         const std::function<void(const RtreeItem&)>& fn) {
+    if (!node->box.Intersects(q)) return;
+    if (node->leaf) {
+      for (const RtreeItem& item : node->items) {
+        if (item.box.Intersects(q)) fn(item);
+      }
+      return;
+    }
+    for (const auto& child : node->children) RangeVisit(child.get(), q, fn);
+  }
+
+  /// `prune`, when set, is a tight box superset of the radius disc
+  /// (time window included): four comparisons reject a subtree with no
+  /// trigonometry at all, which is what keeps the rtree competitive
+  /// with the grid's O(1) cell lookup on uniform traffic. `prune` is
+  /// null for discs crossing the antimeridian, where only the wrapped
+  /// MinDistM great-circle bound is valid.
+  static void RadiusVisit(const Node* node, const StBox* prune, double lon,
+                          double lat, double radius_m, TimeMs min_t,
+                          TimeMs max_t,
+                          const std::function<void(const RtreeItem&)>& fn) {
+    if (prune) {
+      if (!node->box.Intersects(*prune)) return;
+    } else {
+      if (!node->box.TimeOverlaps(min_t, max_t)) return;
+      if (node->box.MinDistM(lon, lat) > radius_m) return;
+    }
+    if (node->leaf) {
+      for (const RtreeItem& item : node->items) {
+        if (prune ? !item.box.Intersects(*prune)
+                  : !item.box.TimeOverlaps(min_t, max_t)) {
+          continue;
+        }
+        if (HaversineM(lon, lat, item.box.CenterLon(),
+                       item.box.CenterLat()) <= radius_m) {
+          fn(item);
+        }
+      }
+      return;
+    }
+    for (const auto& child : node->children) {
+      RadiusVisit(child.get(), prune, lon, lat, radius_m, min_t, max_t, fn);
+    }
+  }
+
+  static void CollectItems(Node* node, std::vector<RtreeItem>* out) {
+    if (node->leaf) {
+      out->insert(out->end(), node->items.begin(), node->items.end());
+      return;
+    }
+    for (auto& child : node->children) CollectItems(child.get(), out);
+  }
+};
+
+RStarTree::RStarTree(const Options& options) : options_(options) {
+  options_.max_entries = std::max(4, options_.max_entries);
+  options_.min_entries =
+      std::clamp(options_.min_entries, 1, options_.max_entries / 2);
+  options_.reinsert_count = std::clamp(
+      options_.reinsert_count, 0, options_.max_entries - options_.min_entries);
+}
+
+RStarTree::~RStarTree() = default;
+RStarTree::RStarTree(RStarTree&& other) noexcept = default;
+RStarTree& RStarTree::operator=(RStarTree&& other) noexcept = default;
+
+RStarTree RStarTree::BulkLoad(std::vector<RtreeItem> items,
+                              const Options& options) {
+  RStarTree tree(options);
+  if (items.empty()) return tree;
+  tree.size_ = items.size();
+  const int cap = tree.options_.max_entries;
+  std::vector<std::unique_ptr<Node>> level =
+      Node::StrPack(std::move(items), cap, /*leaf_level=*/true);
+  while (level.size() > 1) {
+    level = Node::StrPack(std::move(level), cap, /*leaf_level=*/false);
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+RStarTree::Node* RStarTree::ChooseSubtree(Node* node, const StBox& box) const {
+  const auto& children = node->children;
+  // At the level above the leaves R* minimizes *overlap* enlargement;
+  // higher up, plain area enlargement (ties: smaller area) suffices.
+  bool leaf_level = children.front()->leaf;
+  Node* best = children.front().get();
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const auto& child : children) {
+    double enlarge = child->box.EnlargementArea(box);
+    double area = child->box.Area();
+    double overlap_delta = 0.0;
+    if (leaf_level) {
+      StBox enlarged = child->box;
+      enlarged.ExpandTo(box);
+      for (const auto& other : children) {
+        if (other.get() == child.get()) continue;
+        overlap_delta += enlarged.IntersectionArea(other->box) -
+                         child->box.IntersectionArea(other->box);
+      }
+    }
+    bool better;
+    if (leaf_level && overlap_delta != best_overlap) {
+      better = overlap_delta < best_overlap;
+    } else if (enlarge != best_enlarge) {
+      better = enlarge < best_enlarge;
+    } else {
+      better = area < best_area;
+    }
+    if (better) {
+      best = child.get();
+      best_overlap = overlap_delta;
+      best_enlarge = enlarge;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+void RStarTree::Insert(const RtreeItem& item) {
+  InsertImpl(item, /*allow_reinsert=*/true);
+  ++size_;
+}
+
+void RStarTree::InsertImpl(const RtreeItem& item, bool allow_reinsert) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->leaf = true;
+    root_->box = item.box;
+    root_->items.push_back(item);
+    return;
+  }
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  while (!node->leaf) {
+    node = ChooseSubtree(node, item.box);
+    path.push_back(node);
+  }
+  node->items.push_back(item);
+  for (Node* n : path) n->box.ExpandTo(item.box);
+  if (node->count() > options_.max_entries) {
+    HandleOverflow(path, path.size() - 1, allow_reinsert);
+  }
+}
+
+void RStarTree::HandleOverflow(std::vector<Node*>& path, size_t level,
+                               bool allow_reinsert) {
+  Node* node = path[level];
+  // Forced reinsertion: once per insertion, non-root leaves shed their
+  // farthest entries back through the top — the R* trick that defers
+  // splits and tightens clustered nodes.
+  if (node->leaf && allow_reinsert && options_.reinsert_count > 0 &&
+      level > 0 &&
+      node->count() - options_.reinsert_count >= options_.min_entries) {
+    ForcedReinsert(path);
+    return;
+  }
+  SplitNode(path, level);
+  if (level > 0 && path[level - 1]->count() > options_.max_entries) {
+    HandleOverflow(path, level - 1, /*allow_reinsert=*/false);
+  }
+}
+
+void RStarTree::ForcedReinsert(std::vector<Node*>& path) {
+  Node* leaf = path.back();
+  const int p = options_.reinsert_count;
+  double clon = leaf->box.CenterLon();
+  double clat = leaf->box.CenterLat();
+  // Farthest-first: entries whose centers sit farthest from the node
+  // center (planar degrees — a heuristic, not a metric claim).
+  std::sort(leaf->items.begin(), leaf->items.end(),
+            [&](const RtreeItem& a, const RtreeItem& b) {
+              double da = std::hypot(a.box.CenterLon() - clon,
+                                     a.box.CenterLat() - clat);
+              double db = std::hypot(b.box.CenterLon() - clon,
+                                     b.box.CenterLat() - clat);
+              if (da != db) return da > db;
+              return a.id < b.id;
+            });
+  std::vector<RtreeItem> evicted(leaf->items.begin(),
+                                 leaf->items.begin() + p);
+  leaf->items.erase(leaf->items.begin(), leaf->items.begin() + p);
+  for (size_t i = path.size(); i-- > 0;) {
+    Node::RecomputeBox(path[i]);
+  }
+  stats_.forced_reinserts += evicted.size();
+  for (const RtreeItem& item : evicted) {
+    InsertImpl(item, /*allow_reinsert=*/false);
+  }
+}
+
+void RStarTree::SplitNode(std::vector<Node*>& path, size_t level) {
+  Node* node = path[level];
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+  if (node->leaf) {
+    Node::SplitEntries(&node->items, &sibling->items, options_);
+  } else {
+    Node::SplitEntries(&node->children, &sibling->children, options_);
+  }
+  Node::RecomputeBox(node);
+  Node::RecomputeBox(sibling.get());
+  ++stats_.splits;
+  if (level == 0) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    Node::RecomputeBox(new_root.get());
+    root_ = std::move(new_root);
+  } else {
+    Node* parent = path[level - 1];
+    parent->children.push_back(std::move(sibling));
+    Node::RecomputeBox(parent);
+  }
+}
+
+bool RStarTree::Remove(const RtreeItem& item) {
+  if (!root_) return false;
+  std::vector<Node*> path;
+  path.push_back(root_.get());
+  if (!RemoveRec(root_.get(), item, path)) return false;
+  --size_;
+  return true;
+}
+
+bool RStarTree::RemoveRec(Node* node, const RtreeItem& item,
+                          std::vector<Node*>& path) {
+  if (node->leaf) {
+    for (auto it = node->items.begin(); it != node->items.end(); ++it) {
+      if (*it == item) {
+        node->items.erase(it);
+        CondenseTree(path);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (auto& child : node->children) {
+    if (!child->box.Contains(item.box)) continue;
+    path.push_back(child.get());
+    if (RemoveRec(child.get(), item, path)) return true;  // path consumed
+    path.pop_back();
+  }
+  return false;
+}
+
+void RStarTree::CondenseTree(std::vector<Node*>& path) {
+  std::vector<RtreeItem> orphans;
+  for (size_t level = path.size(); level-- > 1;) {
+    Node* node = path[level];
+    Node* parent = path[level - 1];
+    if (node->count() < options_.min_entries) {
+      Node::CollectItems(node, &orphans);
+      auto it = std::find_if(
+          parent->children.begin(), parent->children.end(),
+          [&](const std::unique_ptr<Node>& c) { return c.get() == node; });
+      parent->children.erase(it);
+      ++stats_.condensed_nodes;
+    } else {
+      Node::RecomputeBox(node);
+    }
+  }
+  if (root_->count() > 0) Node::RecomputeBox(root_.get());
+  while (root_ && !root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  if (root_ && root_->count() == 0) root_.reset();
+  for (const RtreeItem& item : orphans) {
+    InsertImpl(item, /*allow_reinsert=*/false);
+  }
+}
+
+int RStarTree::height() const {
+  int h = 0;
+  for (const Node* n = root_.get(); n != nullptr;
+       n = n->leaf ? nullptr : n->children.front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+StBox RStarTree::bounds() const { return root_ ? root_->box : StBox{}; }
+
+void RStarTree::Range(const StBox& query,
+                      const std::function<void(const RtreeItem&)>& fn) const {
+  if (!root_) return;
+  if (query.min_lon > query.max_lon) {
+    // Antimeridian-straddling query: evaluate both halves. Stored boxes
+    // never wrap, so no item can match twice.
+    StBox east = query;
+    east.max_lon = 180.0;
+    StBox west = query;
+    west.min_lon = -180.0;
+    Node::RangeVisit(root_.get(), east, fn);
+    Node::RangeVisit(root_.get(), west, fn);
+    return;
+  }
+  Node::RangeVisit(root_.get(), query, fn);
+}
+
+void RStarTree::WithinRadius(
+    double lon, double lat, double radius_m, TimeMs min_t, TimeMs max_t,
+    const std::function<void(const RtreeItem&)>& fn) const {
+  if (!root_) return;
+  double dlat = 0.0, dlon = 0.0;
+  RadiusBoundsDeg(lat, radius_m, &dlat, &dlon);
+  StBox prune{lon - dlon, lat - dlat, lon + dlon, lat + dlat, min_t, max_t};
+  const StBox* pp =
+      (prune.min_lon >= -180.0 && prune.max_lon <= 180.0) ? &prune : nullptr;
+  Node::RadiusVisit(root_.get(), pp, lon, lat, radius_m, min_t, max_t, fn);
+}
+
+std::vector<RtreeItem> RStarTree::NearestK(double lon, double lat, size_t k,
+                                           TimeMs min_t, TimeMs max_t) const {
+  std::vector<RtreeItem> out;
+  if (!root_ || k == 0) return out;
+
+  struct HeapEntry {
+    double dist;
+    bool is_item;
+    uint64_t tie;  // item id; 0 for nodes
+    const Node* node;
+    const RtreeItem* item;
+  };
+  // Min-heap on (dist, nodes-before-items, id): popping nodes at equal
+  // key first guarantees every tied item is discovered before any tied
+  // item is emitted, making results deterministic by (distance, id).
+  auto worse = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.is_item != b.is_item) return a.is_item;
+    return a.tie > b.tie;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(worse)> pq(
+      worse);
+  pq.push({root_->box.MinDistM(lon, lat), false, 0, root_.get(), nullptr});
+  while (!pq.empty()) {
+    HeapEntry e = pq.top();
+    pq.pop();
+    if (e.is_item) {
+      out.push_back(*e.item);
+      if (out.size() == k) break;
+      continue;
+    }
+    if (e.node->leaf) {
+      for (const RtreeItem& item : e.node->items) {
+        if (!item.box.TimeOverlaps(min_t, max_t)) continue;
+        double d = HaversineM(lon, lat, item.box.CenterLon(),
+                              item.box.CenterLat());
+        pq.push({d, true, item.id, nullptr, &item});
+      }
+    } else {
+      for (const auto& child : e.node->children) {
+        if (!child->box.TimeOverlaps(min_t, max_t)) continue;
+        pq.push({child->box.MinDistM(lon, lat), false, 0, child.get(),
+                 nullptr});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcmf::geom

@@ -1,0 +1,213 @@
+#ifndef TCMF_GEOM_RTREE_H_
+#define TCMF_GEOM_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/position.h"
+#include "geom/geometry.h"
+
+namespace tcmf::geom {
+
+/// Full-range time bounds for purely spatial boxes.
+inline constexpr TimeMs kTimeMin = std::numeric_limits<TimeMs>::min();
+inline constexpr TimeMs kTimeMax = std::numeric_limits<TimeMs>::max();
+
+/// Spatio-temporal minimum bounding rectangle: a lon/lat box plus an
+/// inclusive event-time window. Point observations are degenerate boxes
+/// (min == max on every axis). Stored boxes must not straddle the
+/// antimeridian; *query* boxes may (min_lon > max_lon means the box wraps
+/// through 180°, and RStarTree::Range splits it into two halves).
+struct StBox {
+  double min_lon = 0.0, min_lat = 0.0;
+  double max_lon = 0.0, max_lat = 0.0;
+  TimeMs min_t = kTimeMin;
+  TimeMs max_t = kTimeMax;
+
+  static StBox Point(double lon, double lat, TimeMs t) {
+    return {lon, lat, lon, lat, t, t};
+  }
+  /// Purely spatial box covering all time.
+  static StBox Spatial(const BBox& b) {
+    return {b.min_lon, b.min_lat, b.max_lon, b.max_lat, kTimeMin, kTimeMax};
+  }
+
+  double CenterLon() const { return (min_lon + max_lon) / 2.0; }
+  double CenterLat() const { return (min_lat + max_lat) / 2.0; }
+  double Width() const { return max_lon - min_lon; }
+  double Height() const { return max_lat - min_lat; }
+  double Area() const { return Width() * Height(); }
+  double Margin() const { return Width() + Height(); }
+
+  /// Inclusive on every axis (shared edges intersect), overlapping time
+  /// windows intersect.
+  bool Intersects(const StBox& o) const {
+    return !(o.min_lon > max_lon || o.max_lon < min_lon ||
+             o.min_lat > max_lat || o.max_lat < min_lat ||
+             o.min_t > max_t || o.max_t < min_t);
+  }
+  bool Contains(const StBox& o) const {
+    return o.min_lon >= min_lon && o.max_lon <= max_lon &&
+           o.min_lat >= min_lat && o.max_lat <= max_lat &&
+           o.min_t >= min_t && o.max_t <= max_t;
+  }
+  /// Overlap of an inclusive time window [lo, hi].
+  bool TimeOverlaps(TimeMs lo, TimeMs hi) const {
+    return lo <= max_t && hi >= min_t;
+  }
+
+  void ExpandTo(const StBox& o) {
+    if (o.min_lon < min_lon) min_lon = o.min_lon;
+    if (o.min_lat < min_lat) min_lat = o.min_lat;
+    if (o.max_lon > max_lon) max_lon = o.max_lon;
+    if (o.max_lat > max_lat) max_lat = o.max_lat;
+    if (o.min_t < min_t) min_t = o.min_t;
+    if (o.max_t > max_t) max_t = o.max_t;
+  }
+
+  double IntersectionArea(const StBox& o) const {
+    double w = std::min(max_lon, o.max_lon) - std::max(min_lon, o.min_lon);
+    double h = std::min(max_lat, o.max_lat) - std::max(min_lat, o.min_lat);
+    return (w > 0 && h > 0) ? w * h : 0.0;
+  }
+
+  /// Spatial area growth needed to absorb `o` (time ignored — the R*
+  /// heuristics are purely spatial, time rides along in the bounds).
+  double EnlargementArea(const StBox& o) const;
+
+  /// Lower bound on the great-circle distance (meters) from (lon, lat)
+  /// to *any* point of the box, antimeridian-aware. Exact 0 when the
+  /// point is spatially inside. Used to prune k-NN / radius traversals;
+  /// looseness only costs node visits, never correctness.
+  double MinDistM(double lon, double lat) const;
+
+  bool operator==(const StBox&) const = default;
+};
+
+/// One indexed entry: an st-box plus the caller's payload id. For point
+/// observations the box is the point and min_t carries the timestamp.
+struct RtreeItem {
+  StBox box;
+  uint64_t id = 0;
+
+  bool operator==(const RtreeItem&) const = default;
+};
+
+/// Native bulk-loadable spatial index over spatio-temporal MBRs:
+/// Sort-Tile-Recursive (STR) bulk load, R*-style incremental insert
+/// (ChooseSubtree by overlap enlargement, forced reinsertion before the
+/// first split of an insertion) and delete (condense + reinsert), and
+/// three query kernels — Range (box intersect), NearestK (best-first over
+/// the great-circle MBR lower bound) and WithinRadius (branch-and-bound
+/// on great-circle distance, reusing geom/geo.h haversine).
+///
+/// Distances are great-circle meters measured to each item's box center
+/// (exact for point items). Queries are const and touch no shared
+/// mutable state, so any number of reader threads may query a tree
+/// concurrently as long as no thread mutates it.
+class RStarTree {
+ public:
+  struct Options {
+    /// Max entries per node (M). Min is ~40% of M, the R* sweet spot.
+    int max_entries = 16;
+    int min_entries = 6;
+    /// Entries force-reinserted on the first leaf overflow per insert
+    /// (~30% of M); 0 disables forced reinsertion.
+    int reinsert_count = 5;
+  };
+
+  RStarTree() : RStarTree(Options{}) {}
+  explicit RStarTree(const Options& options);
+  ~RStarTree();
+  RStarTree(RStarTree&& other) noexcept;
+  RStarTree& operator=(RStarTree&& other) noexcept;
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  /// STR bulk load: sort by center longitude into vertical slices, sort
+  /// each slice by center latitude, pack runs of max_entries into full
+  /// leaves, repeat on the node level until a single root remains.
+  /// O(n log n), ~100% node fill — the construction path for static or
+  /// rebuild-per-window indexes.
+  static RStarTree BulkLoad(std::vector<RtreeItem> items) {
+    return BulkLoad(std::move(items), Options{});
+  }
+  static RStarTree BulkLoad(std::vector<RtreeItem> items,
+                            const Options& options);
+
+  void Insert(const RtreeItem& item);
+
+  /// Removes one entry exactly matching (box, id); returns false when no
+  /// such entry exists. Underflowing nodes are condensed and their
+  /// remaining entries reinserted.
+  bool Remove(const RtreeItem& item);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// 0 when empty, 1 for a single leaf root.
+  int height() const;
+  /// Bounding box of everything stored (default StBox when empty).
+  StBox bounds() const;
+
+  /// Visits every item whose box intersects `query` (inclusive edges,
+  /// overlapping time windows). A query box with min_lon > max_lon is
+  /// interpreted as straddling the antimeridian and evaluated as the
+  /// union of [min_lon, 180] and [-180, max_lon].
+  void Range(const StBox& query,
+             const std::function<void(const RtreeItem&)>& fn) const;
+
+  /// K nearest item centers by great-circle distance, deterministically
+  /// ordered by (distance, id) — ties at equal distance resolve to the
+  /// smaller id. Fewer than k results when the tree holds fewer items.
+  std::vector<RtreeItem> NearestK(double lon, double lat, size_t k) const {
+    return NearestK(lon, lat, k, kTimeMin, kTimeMax);
+  }
+  /// Same, restricted to items whose time window overlaps [min_t, max_t].
+  std::vector<RtreeItem> NearestK(double lon, double lat, size_t k,
+                                  TimeMs min_t, TimeMs max_t) const;
+
+  /// Visits every item whose center lies within `radius_m` great-circle
+  /// meters (inclusive) of (lon, lat).
+  void WithinRadius(double lon, double lat, double radius_m,
+                    const std::function<void(const RtreeItem&)>& fn) const {
+    WithinRadius(lon, lat, radius_m, kTimeMin, kTimeMax, fn);
+  }
+  /// Same, restricted to items whose time window overlaps [min_t, max_t].
+  void WithinRadius(double lon, double lat, double radius_m, TimeMs min_t,
+                    TimeMs max_t,
+                    const std::function<void(const RtreeItem&)>& fn) const;
+
+  /// Cumulative mutation counters (never touched by queries, so
+  /// concurrent readers stay race-free).
+  struct Stats {
+    size_t splits = 0;
+    size_t forced_reinserts = 0;  ///< items moved by forced reinsertion
+    size_t condensed_nodes = 0;   ///< underflowing nodes dissolved
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+
+  Node* ChooseSubtree(Node* node, const StBox& box) const;
+  void InsertImpl(const RtreeItem& item, bool allow_reinsert);
+  void HandleOverflow(std::vector<Node*>& path, size_t level,
+                      bool allow_reinsert);
+  void ForcedReinsert(std::vector<Node*>& path);
+  void SplitNode(std::vector<Node*>& path, size_t level);
+  bool RemoveRec(Node* node, const RtreeItem& item,
+                 std::vector<Node*>& path);
+  void CondenseTree(std::vector<Node*>& path);
+
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tcmf::geom
+
+#endif  // TCMF_GEOM_RTREE_H_

@@ -34,7 +34,10 @@ SpatioTemporalLinker::SpatioTemporalLinker(const LinkerConfig& config,
       grid_(config.extent, config.grid_cols, config.grid_rows),
       cell_regions_(grid_.cell_count()),
       cell_mask_(grid_.cell_count()),
-      cell_points_(grid_.cell_count()) {
+      pair_points_(geom::MakeSpatialIndex(
+          config.pair_index,
+          geom::SpatialIndexConfig{config.extent, config.grid_cols,
+                                   config.grid_rows})) {
   // Blocking: register each region with every cell its dilated bbox
   // overlaps (dilation accounts for the nearTo distance).
   for (uint32_t i = 0; i < regions_.size(); ++i) {
@@ -79,12 +82,12 @@ SpatioTemporalLinker::SpatioTemporalLinker(const LinkerConfig& config,
   }
 }
 
-void SpatioTemporalLinker::CleanCell(std::deque<CellEntry>& cell,
-                                     TimeMs now) {
-  while (!cell.empty() && now - cell.front().t > config_.temporal_window_ms) {
-    cell.pop_front();
-  }
-}
+namespace {
+
+/// Observes between amortized eviction sweeps of the pair index.
+constexpr int kEvictEvery = 256;
+
+}  // namespace
 
 std::vector<Link> SpatioTemporalLinker::Observe(const Position& p) {
   ++stats_.points_processed;
@@ -130,23 +133,26 @@ std::vector<Link> SpatioTemporalLinker::Observe(const Position& p) {
 
   // --- Point-point proximity ---
   if (config_.link_moving_pairs) {
-    for (uint32_t ncell : grid_.Neighborhood(cell)) {
-      std::deque<CellEntry>& entries = cell_points_[ncell];
-      CleanCell(entries, p.t);
-      for (const CellEntry& e : entries) {
-        if (e.entity_id == p.entity_id) continue;
-        ++stats_.pair_candidates;
-        if (std::llabs(p.t - e.t) > config_.temporal_window_ms) continue;
-        ++stats_.distance_tests;
-        if (geom::HaversineM(p.lon, p.lat, e.lon, e.lat) <=
-            config_.near_distance_m) {
-          out.push_back({Link::Relation::kNearTo, p.entity_id, p.t,
-                         e.entity_id, true});
+    // The index visits exactly the stored points within near_distance_m
+    // and no older than the temporal window, regardless of backend; the
+    // |Δt| re-check only matters for out-of-order (future-stamped)
+    // entries.
+    pair_points_->VisitWithinRadius(
+        p.lon, p.lat, config_.near_distance_m,
+        p.t - config_.temporal_window_ms, [&](const geom::IndexPoint& e) {
+          if (e.id == p.entity_id) return;
+          ++stats_.pair_candidates;
+          if (std::llabs(p.t - e.t) > config_.temporal_window_ms) return;
+          ++stats_.distance_tests;
+          out.push_back(
+              {Link::Relation::kNearTo, p.entity_id, p.t, e.id, true});
           ++stats_.links_near_entity;
-        }
-      }
+        });
+    pair_points_->Insert({p.entity_id, p.t, p.lon, p.lat});
+    if (++observes_since_evict_ >= kEvictEvery) {
+      observes_since_evict_ = 0;
+      pair_points_->EvictBefore(p.t - config_.temporal_window_ms);
     }
-    cell_points_[cell].push_back({p.entity_id, p.t, p.lon, p.lat});
   }
   return out;
 }

@@ -2,13 +2,14 @@
 #define TCMF_LINKDISCOVERY_LINKER_H_
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/position.h"
 #include "geom/geometry.h"
 #include "geom/grid.h"
+#include "geom/spatial_index.h"
 
 namespace tcmf::linkdiscovery {
 
@@ -42,6 +43,10 @@ struct LinkerConfig {
   int mask_resolution = 8;
   /// Evaluate point-point proximity links.
   bool link_moving_pairs = false;
+  /// Index backing point-point candidate generation. All backends
+  /// produce identical links and stats (the SpatialIndex contract);
+  /// kRtree wins on skewed traffic, kGrid on uniform regional traffic.
+  geom::SpatialBackend pair_index = geom::SpatialBackend::kRtree;
 };
 
 /// Counters for throughput/pruning analysis.
@@ -75,15 +80,6 @@ class SpatioTemporalLinker {
   double FullyFreeCellFraction() const;
 
  private:
-  struct CellEntry {
-    uint64_t entity_id;
-    TimeMs t;
-    double lon, lat;
-  };
-
-  /// Evicts entries outside the temporal window (book-keeping process).
-  void CleanCell(std::deque<CellEntry>& cell, TimeMs now);
-
   LinkerConfig config_;
   std::vector<geom::Area> regions_;
   geom::EquiGrid grid_;
@@ -91,8 +87,12 @@ class SpatioTemporalLinker {
   std::vector<std::vector<uint32_t>> cell_regions_;
   /// cell -> bitmask of mask_resolution^2 subcells; bit set = region-free.
   std::vector<std::vector<bool>> cell_mask_;
-  /// cell -> recent moving-entity points (for point-point proximity).
-  std::vector<std::deque<CellEntry>> cell_points_;
+  /// Recent moving-entity points (for point-point proximity), behind the
+  /// configured SpatialIndex backend. Correctness of link outputs rests
+  /// on the query-side temporal filter; eviction is amortized
+  /// book-keeping that only bounds memory.
+  std::unique_ptr<geom::SpatialIndex> pair_points_;
+  int observes_since_evict_ = 0;
   LinkerStats stats_;
 };
 

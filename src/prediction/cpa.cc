@@ -49,25 +49,29 @@ CpaResult ComputeCpa(const Position& a, const Position& b) {
 
 std::vector<CollisionWarning> CpaScreen::Observe(const Position& p) {
   std::vector<CollisionWarning> warnings;
-  for (const auto& [id, other] : latest_) {
-    if (id == p.entity_id) continue;
-    // Cheap range gate before the CPA math.
-    double d = geom::HaversineM(p.lon, p.lat, other.lon, other.lat);
-    if (d > options_.max_range_m) continue;
-    ++pairs_evaluated_;
-    CpaResult cpa = ComputeCpa(p, other);
-    uint64_t key = (std::min(p.entity_id, id) << 32) |
-                   (std::max(p.entity_id, id) & 0xFFFFFFFF);
-    bool risky = cpa.dcpa_m < options_.dcpa_m && cpa.tcpa_s >= 0 &&
-                 cpa.tcpa_s < options_.tcpa_s;
-    if (risky) {
-      if (active_.insert(key).second) {
-        warnings.push_back({p.entity_id, id, p.t, cpa});
-      }
-    } else {
-      active_.erase(key);
-    }
-  }
+  // Range gate through the spatial index: visits exactly the entities
+  // whose latest position is within max_range_m (inclusive).
+  index_->VisitWithinRadius(
+      p.lon, p.lat, options_.max_range_m, geom::kTimeMin,
+      [&](const geom::IndexPoint& e) {
+        if (e.id == p.entity_id) return;
+        const Position& other = latest_.find(e.id)->second;
+        ++pairs_evaluated_;
+        CpaResult cpa = ComputeCpa(p, other);
+        uint64_t key = (std::min(p.entity_id, e.id) << 32) |
+                       (std::max(p.entity_id, e.id) & 0xFFFFFFFF);
+        bool risky = cpa.dcpa_m < options_.dcpa_m && cpa.tcpa_s >= 0 &&
+                     cpa.tcpa_s < options_.tcpa_s;
+        if (risky) {
+          if (active_.insert(key).second) {
+            warnings.push_back({p.entity_id, e.id, p.t, cpa});
+          }
+        } else {
+          active_.erase(key);
+        }
+      });
+  index_->RemoveId(p.entity_id);
+  index_->Insert({p.entity_id, p.t, p.lon, p.lat});
   latest_[p.entity_id] = p;
   return warnings;
 }

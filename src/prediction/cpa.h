@@ -1,12 +1,14 @@
 #ifndef TCMF_PREDICTION_CPA_H_
 #define TCMF_PREDICTION_CPA_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/position.h"
+#include "geom/spatial_index.h"
 
 namespace tcmf::prediction {
 
@@ -46,16 +48,23 @@ struct CpaScreenOptions {
   double tcpa_s = 15 * 60.0;
   /// Pairs further apart than this right now are not evaluated.
   double max_range_m = 20000.0;
+  /// Index pruning the per-report range query. Every backend evaluates
+  /// exactly the entities within max_range_m, so warnings and
+  /// pairs_evaluated() are backend-independent.
+  geom::SpatialBackend index = geom::SpatialBackend::kRtree;
+  geom::SpatialIndexConfig index_config;
 };
 
 /// Streaming pairwise CPA screen over position reports: tracks the latest
-/// state per entity and evaluates new reports against all entities within
-/// range. O(entities) per report — suitable for the regional entity
-/// counts of the use cases; combine with the link-discovery grid for
-/// larger fleets.
+/// state per entity and evaluates new reports against the entities within
+/// range, found through a SpatialIndex over each entity's latest
+/// position — sub-linear per report on clustered fleets with the rtree
+/// backend.
 class CpaScreen {
  public:
-  explicit CpaScreen(const CpaScreenOptions& options) : options_(options) {}
+  explicit CpaScreen(const CpaScreenOptions& options)
+      : options_(options),
+        index_(geom::MakeSpatialIndex(options.index, options.index_config)) {}
 
   /// Processes one report; returns warnings it triggered (deduplicated:
   /// a pair re-warns only after leaving the warning condition).
@@ -65,6 +74,8 @@ class CpaScreen {
 
  private:
   CpaScreenOptions options_;
+  /// Latest position per entity, mirrored into index_ (one point per id).
+  std::unique_ptr<geom::SpatialIndex> index_;
   std::unordered_map<uint64_t, Position> latest_;
   /// Pairs currently in the warning state (key = min_id << 32 | max_id).
   std::unordered_set<uint64_t> active_;

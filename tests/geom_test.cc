@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "geom/geo.h"
@@ -366,6 +369,100 @@ TEST_F(StCellTest, NoFalseNegatives) {
     EXPECT_TRUE(encoder_.MayIntersect(id, box))
         << "lon=" << lon << " lat=" << lat << " t=" << t;
   }
+}
+
+// ---------------------------------------------------- Grid boundary audit
+//
+// Pins down EquiGrid's boundary semantics so every SpatialIndex backend
+// is held to the contract the rtree oracle checks. Integer extent and
+// power-of-two tiling keep every boundary exactly representable, so
+// these are exact expectations, not approximations.
+
+class GridBoundaryTest : public ::testing::Test {
+ protected:
+  // 8x8 cells of exactly 1 degree over [0,8]x[0,8].
+  EquiGrid grid_{BBox{0.0, 0.0, 8.0, 8.0}, 8, 8};
+};
+
+TEST_F(GridBoundaryTest, PointOnInteriorCellEdgeMapsToUpperCell) {
+  // A point exactly on the shared edge of cells (2,*) and (3,*) belongs
+  // to the upper cell: intervals are [min, next_min).
+  uint32_t col, row;
+  grid_.ColRowOf(3.0, 5.0, &col, &row);
+  EXPECT_EQ(col, 3u);
+  EXPECT_EQ(row, 5u);
+  // Just below the edge stays in the lower cell.
+  grid_.ColRowOf(std::nextafter(3.0, 0.0), 5.0, &col, &row);
+  EXPECT_EQ(col, 2u);
+  // The corner point shared by four cells belongs to the upper-right.
+  EXPECT_EQ(grid_.CellOf(4.0, 4.0), grid_.CellIndex(4, 4));
+}
+
+TEST_F(GridBoundaryTest, ExtentMaxClampsIntoLastCell) {
+  // The extent's max edge is not an open boundary: it clamps into the
+  // last cell instead of falling off the grid.
+  EXPECT_EQ(grid_.CellOf(8.0, 8.0), grid_.CellIndex(7, 7));
+  EXPECT_EQ(grid_.CellOf(8.0, 0.0), grid_.CellIndex(7, 0));
+}
+
+TEST_F(GridBoundaryTest, OutOfExtentClampsToEdgeCells) {
+  EXPECT_EQ(grid_.CellOf(-3.0, -2.0), grid_.CellIndex(0, 0));
+  EXPECT_EQ(grid_.CellOf(100.0, 100.0), grid_.CellIndex(7, 7));
+  EXPECT_EQ(grid_.CellOf(4.5, -1.0), grid_.CellIndex(4, 0));
+}
+
+TEST_F(GridBoundaryTest, CellBoundsTileExactly) {
+  // Adjacent cells share edges bit-exactly, no gaps and no overlap, and
+  // every cell's min corner maps back to that cell.
+  for (uint32_t r = 0; r < 8; ++r) {
+    for (uint32_t c = 0; c < 8; ++c) {
+      BBox b = grid_.CellBounds(grid_.CellIndex(c, r));
+      EXPECT_EQ(b.min_lon, static_cast<double>(c));
+      EXPECT_EQ(b.max_lon, static_cast<double>(c) + 1.0);
+      EXPECT_EQ(b.min_lat, static_cast<double>(r));
+      EXPECT_EQ(b.max_lat, static_cast<double>(r) + 1.0);
+      EXPECT_EQ(grid_.CellOf(b.min_lon, b.min_lat), grid_.CellIndex(c, r));
+      if (c + 1 < 8) {
+        BBox right = grid_.CellBounds(grid_.CellIndex(c + 1, r));
+        EXPECT_EQ(b.max_lon, right.min_lon);
+      }
+    }
+  }
+}
+
+TEST_F(GridBoundaryTest, QueryBoxEdgeExactlyOnCellEdgeIncludesUpperCell) {
+  // A query box whose max edge lies exactly on a cell boundary includes
+  // the cell on the far side of that edge — consistent with the point
+  // rule above, so a point on the edge is always found by a box query
+  // ending on the edge.
+  std::vector<uint32_t> cells = grid_.CellsIntersecting({1.0, 1.0, 3.0, 2.0});
+  // Columns 1..3 x rows 1..2 = 6 cells.
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_TRUE(std::find(cells.begin(), cells.end(), grid_.CellIndex(3, 2)) !=
+              cells.end());
+  EXPECT_TRUE(std::find(cells.begin(), cells.end(), grid_.CellIndex(1, 1)) !=
+              cells.end());
+}
+
+TEST_F(GridBoundaryTest, ZeroSizedQueryBoxOnCornerReturnsSingleUpperCell) {
+  std::vector<uint32_t> cells = grid_.CellsIntersecting({2.0, 2.0, 2.0, 2.0});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], grid_.CellIndex(2, 2));
+}
+
+TEST_F(GridBoundaryTest, QueryBoxBeyondExtentClipsToGrid) {
+  std::vector<uint32_t> cells =
+      grid_.CellsIntersecting({-10.0, -10.0, 100.0, 100.0});
+  EXPECT_EQ(cells.size(), 64u);  // every cell, exactly once
+  std::set<uint32_t> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST_F(GridBoundaryTest, NeighborhoodClipsAtCorners) {
+  EXPECT_EQ(grid_.Neighborhood(grid_.CellIndex(0, 0)).size(), 4u);
+  EXPECT_EQ(grid_.Neighborhood(grid_.CellIndex(7, 7)).size(), 4u);
+  EXPECT_EQ(grid_.Neighborhood(grid_.CellIndex(0, 3)).size(), 6u);
+  EXPECT_EQ(grid_.Neighborhood(grid_.CellIndex(4, 4)).size(), 9u);
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "common/rng.h"
 #include "datagen/areas.h"
 #include "geom/geo.h"
 #include "linkdiscovery/linker.h"
+#include "scenario/fleet.h"
+#include "stream/record.h"
 
 namespace tcmf::linkdiscovery {
 namespace {
@@ -191,6 +194,74 @@ TEST(LinkerTest, StatsAccumulate) {
 TEST(LinkerTest, FullyFreeCellFractionHighForSparseRegions) {
   SpatioTemporalLinker linker(BaseConfig(), TwoRegions());
   EXPECT_GT(linker.FullyFreeCellFraction(), 0.8);
+}
+
+// ------------------------------------------------------------------
+// Grid-vs-rtree(-vs-scan) equivalence: identical link sets, identical
+// counters, per observation, over a realistic seeded vessel fleet.
+
+std::vector<Position> FleetPositions(uint64_t seed) {
+  scenario::FleetMix mix;
+  mix.vessel_count = 40;
+  mix.flight_count = 0;  // positions only: no weather/flight records
+  mix.weather_cols = 0;
+  mix.duration_ms = 30 * kMillisPerMinute;
+  mix.seed = seed;
+  std::vector<Position> out;
+  for (const scenario::FleetEvent& ev : scenario::MakeFleet(mix)) {
+    out.push_back(stream::RecordToPosition(ev.record));
+  }
+  return out;
+}
+
+using LinkTuple = std::tuple<int, uint64_t, TimeMs, uint64_t, bool>;
+
+std::multiset<LinkTuple> Normalize(const std::vector<Link>& links) {
+  std::multiset<LinkTuple> out;
+  for (const Link& l : links) {
+    out.insert({static_cast<int>(l.relation), l.subject_entity, l.subject_t,
+                l.object_id, l.object_is_entity});
+  }
+  return out;
+}
+
+TEST(LinkerBackendEquivTest, IdenticalLinksAndStatsOnSeededFleets) {
+  size_t entity_links = 0;
+  for (uint64_t seed : {3u, 1771u}) {
+    std::vector<Position> fleet = FleetPositions(seed);
+    ASSERT_GT(fleet.size(), 1000u);
+
+    LinkerConfig config = BaseConfig();
+    config.extent = geom::BBox{-6.0, 35.0, 10.0, 44.0};  // datagen extent
+    config.link_moving_pairs = true;
+    config.near_distance_m = 8000.0;
+
+    config.pair_index = geom::SpatialBackend::kGrid;
+    SpatioTemporalLinker grid(config, TwoRegions());
+    config.pair_index = geom::SpatialBackend::kRtree;
+    SpatioTemporalLinker rtree(config, TwoRegions());
+    config.pair_index = geom::SpatialBackend::kScan;
+    SpatioTemporalLinker scan(config, TwoRegions());
+
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      auto want = Normalize(scan.Observe(fleet[i]));
+      EXPECT_EQ(Normalize(grid.Observe(fleet[i])), want) << "obs " << i;
+      EXPECT_EQ(Normalize(rtree.Observe(fleet[i])), want) << "obs " << i;
+      for (const LinkTuple& l : want) {
+        if (std::get<4>(l)) ++entity_links;
+      }
+      if (HasFailure()) break;  // one detailed divergence is enough
+    }
+    EXPECT_EQ(grid.stats().pair_candidates, scan.stats().pair_candidates);
+    EXPECT_EQ(rtree.stats().pair_candidates, scan.stats().pair_candidates);
+    EXPECT_EQ(grid.stats().distance_tests, scan.stats().distance_tests);
+    EXPECT_EQ(rtree.stats().distance_tests, scan.stats().distance_tests);
+    EXPECT_EQ(grid.stats().links_near_entity, scan.stats().links_near_entity);
+    EXPECT_EQ(rtree.stats().links_near_entity,
+              scan.stats().links_near_entity);
+  }
+  // The fleets must actually exercise the proximity path.
+  EXPECT_GT(entity_links, 100u);
 }
 
 }  // namespace

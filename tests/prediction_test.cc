@@ -2,10 +2,14 @@
 
 #include <cmath>
 #include <numeric>
+#include <set>
 
 #include "common/rng.h"
 #include "geom/geo.h"
 #include "prediction/clustering.h"
+#include "prediction/cpa.h"
+#include "scenario/fleet.h"
+#include "stream/record.h"
 #include "prediction/erp.h"
 #include "prediction/hmm.h"
 #include "prediction/linalg.h"
@@ -666,6 +670,57 @@ TEST(BlindHmmTest, CellRoundTrip) {
   geom::LonLat center = model.CellCenter(cell);
   EXPECT_NEAR(center.lon, 5.5, 0.51);
   EXPECT_NEAR(center.lat, 7.5, 0.51);
+}
+
+// --------------------------------------------------------- CPA backends
+
+// Scan, grid and rtree backends must produce identical warning streams
+// and identical pairs_evaluated counts on a realistic seeded fleet —
+// the SpatialIndex exact-filter contract applied to CPA pair pruning.
+TEST(CpaBackendEquivTest, IdenticalWarningsOnSeededFleet) {
+  scenario::FleetMix mix;
+  mix.vessel_count = 50;
+  mix.flight_count = 0;
+  mix.weather_cols = 0;
+  mix.duration_ms = 20 * kMillisPerMinute;
+  mix.seed = 11;
+  std::vector<scenario::FleetEvent> fleet = scenario::MakeFleet(mix);
+  ASSERT_GT(fleet.size(), 500u);
+
+  CpaScreenOptions options;
+  options.max_range_m = 50000.0;
+  options.dcpa_m = 15000.0;
+  options.tcpa_s = 3600.0;
+
+  options.index = geom::SpatialBackend::kScan;
+  CpaScreen scan(options);
+  options.index = geom::SpatialBackend::kGrid;
+  CpaScreen grid(options);
+  options.index = geom::SpatialBackend::kRtree;
+  CpaScreen rtree(options);
+
+  auto normalize = [](const std::vector<CollisionWarning>& warnings) {
+    std::multiset<std::pair<uint64_t, uint64_t>> out;
+    for (const CollisionWarning& w : warnings) {
+      out.insert({std::min(w.entity_a, w.entity_b),
+                  std::max(w.entity_a, w.entity_b)});
+    }
+    return out;
+  };
+
+  size_t total_warnings = 0;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    Position p = stream::RecordToPosition(fleet[i].record);
+    auto want = normalize(scan.Observe(p));
+    EXPECT_EQ(normalize(grid.Observe(p)), want) << "obs " << i;
+    EXPECT_EQ(normalize(rtree.Observe(p)), want) << "obs " << i;
+    total_warnings += want.size();
+    if (HasFailure()) break;
+  }
+  EXPECT_GT(total_warnings, 0u);
+  EXPECT_GT(scan.pairs_evaluated(), 0u);
+  EXPECT_EQ(grid.pairs_evaluated(), scan.pairs_evaluated());
+  EXPECT_EQ(rtree.pairs_evaluated(), scan.pairs_evaluated());
 }
 
 }  // namespace
