@@ -9,6 +9,13 @@
 
 namespace tcmf::insitu {
 
+/// In-situ processing stage helpers — the first hop of the Figure-2
+/// pipeline. Downstream, the same `(flow, config, StageOptions)` family
+/// continues through synopses (critical points), rdf/stages.h (template
+/// enrichment, semantic trajectories) and store/stages.h (KgStoreSink
+/// into the knowledge store), so a full detect→enrich→store chain
+/// composes from these helpers alone.
+
 /// Wraps StreamCleaner as a dataflow stage on the stream substrate:
 /// forwards only reports the online cleaner classifies kOk. The cleaner
 /// instance runs inside the single stage thread (no locking needed); pass

@@ -1,0 +1,140 @@
+#include "rdf/adjacency.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tcmf::rdf {
+
+namespace {
+
+bool ByKeyValue(const Posting& a, const Posting& b) {
+  return a.key < b.key || (a.key == b.key && a.value < b.value);
+}
+
+// Distinct keys in a (key, value)-sorted postings list.
+uint64_t DistinctKeys(const std::vector<Posting>& sorted) {
+  uint64_t n = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  for (const Posting& p : sorted) {
+    if (first || p.key != prev) ++n;
+    prev = p.key;
+    first = false;
+  }
+  return n;
+}
+
+// Equal-key run [lo, hi) within a sorted postings list.
+AdjacencyIndex::Span EqualKeyRun(const std::vector<Posting>& sorted,
+                                 uint64_t key) {
+  auto lo = std::lower_bound(
+      sorted.begin(), sorted.end(), key,
+      [](const Posting& p, uint64_t k) { return p.key < k; });
+  auto hi = std::upper_bound(
+      lo, sorted.end(), key,
+      [](uint64_t k, const Posting& p) { return k < p.key; });
+  return {sorted.data() + (lo - sorted.begin()),
+          sorted.data() + (hi - sorted.begin())};
+}
+
+}  // namespace
+
+void AdjacencyIndex::Build(const std::vector<EncodedTriple>& triples) {
+  Clear();
+  size_ = triples.size();
+  for (const EncodedTriple& t : triples) {
+    PredicateIndex& idx = by_predicate_[t.p];
+    idx.so.push_back({t.s, t.o});
+    idx.os.push_back({t.o, t.s});
+  }
+  std::unordered_set<uint64_t> subjects, objects;
+  for (auto& [p, idx] : by_predicate_) {
+    std::sort(idx.so.begin(), idx.so.end(), ByKeyValue);
+    std::sort(idx.os.begin(), idx.os.end(), ByKeyValue);
+    idx.stats.triples = idx.so.size();
+    idx.stats.distinct_subjects = DistinctKeys(idx.so);
+    idx.stats.distinct_objects = DistinctKeys(idx.os);
+    predicates_.push_back(p);
+    for (const Posting& e : idx.so) {
+      subjects.insert(e.key);
+      objects.insert(e.value);
+    }
+  }
+  std::sort(predicates_.begin(), predicates_.end());
+  distinct_subjects_ = subjects.size();
+  distinct_objects_ = objects.size();
+}
+
+void AdjacencyIndex::Clear() {
+  by_predicate_.clear();
+  predicates_.clear();
+  size_ = 0;
+  distinct_subjects_ = 0;
+  distinct_objects_ = 0;
+}
+
+const PredicateStats* AdjacencyIndex::Stats(uint64_t p) const {
+  auto it = by_predicate_.find(p);
+  return it == by_predicate_.end() ? nullptr : &it->second.stats;
+}
+
+AdjacencyIndex::Span AdjacencyIndex::Subjects(uint64_t p) const {
+  auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) return {nullptr, nullptr};
+  return {it->second.so.data(), it->second.so.data() + it->second.so.size()};
+}
+
+AdjacencyIndex::Span AdjacencyIndex::Objects(uint64_t p) const {
+  auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) return {nullptr, nullptr};
+  return {it->second.os.data(), it->second.os.data() + it->second.os.size()};
+}
+
+AdjacencyIndex::Span AdjacencyIndex::ObjectsOf(uint64_t p, uint64_t s) const {
+  auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) return {nullptr, nullptr};
+  return EqualKeyRun(it->second.so, s);
+}
+
+AdjacencyIndex::Span AdjacencyIndex::SubjectsOf(uint64_t p,
+                                                uint64_t o) const {
+  auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) return {nullptr, nullptr};
+  return EqualKeyRun(it->second.os, o);
+}
+
+double AdjacencyIndex::EstimateCardinality(bool s_bound, uint64_t p,
+                                           bool p_bound,
+                                           bool o_bound) const {
+  if (p_bound) {
+    const PredicateStats* st = Stats(p);
+    if (st == nullptr || st->triples == 0) return 0.0;
+    const double triples = static_cast<double>(st->triples);
+    if (s_bound && o_bound) return 1.0;
+    if (s_bound) {
+      return triples / static_cast<double>(std::max<uint64_t>(
+                           1, st->distinct_subjects));
+    }
+    if (o_bound) {
+      return triples /
+             static_cast<double>(std::max<uint64_t>(1, st->distinct_objects));
+    }
+    return triples;
+  }
+  // Predicate free: totals across every adjacency list.
+  const double total = static_cast<double>(size_);
+  if (s_bound && o_bound) {
+    return static_cast<double>(predicates_.size());
+  }
+  if (s_bound) {
+    return total /
+           static_cast<double>(std::max<uint64_t>(1, distinct_subjects_));
+  }
+  if (o_bound) {
+    return total /
+           static_cast<double>(std::max<uint64_t>(1, distinct_objects_));
+  }
+  return total;
+}
+
+}  // namespace tcmf::rdf

@@ -1,0 +1,119 @@
+#ifndef TCMF_RDF_ADJACENCY_H_
+#define TCMF_RDF_ADJACENCY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace tcmf::rdf {
+
+/// One edge of a per-predicate adjacency list. In a subject→object list
+/// `key` is the subject and `value` the object; in an object→subject list
+/// the roles flip. Postings are kept sorted by (key, value), so a run of
+/// equal keys is contiguous and joinable by merge/gallop without hashing.
+struct Posting {
+  uint64_t key = 0;
+  uint64_t value = 0;
+
+  bool operator==(const Posting& other) const {
+    return key == other.key && value == other.value;
+  }
+};
+
+/// Per-predicate cardinality statistics — the selectivity seed for BGP
+/// join ordering (EstimateCardinality) and for the store's star-plan
+/// driver selection. `triples / distinct_subjects` is the average
+/// out-degree, `triples / distinct_objects` the average in-degree.
+struct PredicateStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+/// Dictionary-encoded adjacency index over a triple multiset: for every
+/// predicate, a subject→object postings list sorted by (s, o) and an
+/// object→subject postings list sorted by (o, s), plus cardinality stats.
+/// This is the SNIPPETS.md triplestore shape (per-node in/out edge chains
+/// keyed by predicate) flattened into cache-friendly sorted arrays:
+/// lookups are binary searches over contiguous postings, joins are merges
+/// over runs of equal keys.
+///
+/// Multiplicity is preserved: a triple inserted twice appears twice in
+/// both lists, so match/count semantics are identical to a raw scan.
+///
+/// Complexity: Build is O(n log n) (two sorts per predicate);
+/// ObjectsOf/SubjectsOf are O(log n_p + k) for a predicate with n_p
+/// postings and k results; Stats/Subjects/Objects are O(1) expected.
+///
+/// Thread-safety: Build/Clear require exclusive access; all const
+/// methods are safe to call concurrently once Build has returned (the
+/// index is immutable between builds).
+class AdjacencyIndex {
+ public:
+  /// A contiguous, sorted run of postings [first, second).
+  using Span = std::pair<const Posting*, const Posting*>;
+
+  AdjacencyIndex() = default;
+
+  /// (Re)builds the index from a triple multiset. Replaces any previous
+  /// contents.
+  void Build(const std::vector<EncodedTriple>& triples);
+
+  void Clear();
+
+  /// Total triples indexed.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Predicate ids present, ascending.
+  const std::vector<uint64_t>& predicates() const { return predicates_; }
+
+  /// Stats for a predicate; nullptr when the predicate has no triples.
+  const PredicateStats* Stats(uint64_t p) const;
+
+  /// All subject→object postings of `p`, sorted by (subject, object).
+  /// Empty span for unknown predicates.
+  Span Subjects(uint64_t p) const;
+  /// All object→subject postings of `p`, sorted by (object, subject).
+  Span Objects(uint64_t p) const;
+
+  /// Postings of `p` with subject `s` (their values are the objects),
+  /// found by binary search within the predicate's subject list.
+  Span ObjectsOf(uint64_t p, uint64_t s) const;
+  /// Postings of `p` with object `o` (their values are the subjects).
+  Span SubjectsOf(uint64_t p, uint64_t o) const;
+
+  /// Estimated result cardinality of a triple pattern against this
+  /// index, used as the selectivity seed for join ordering. `p` is the
+  /// predicate id or 0 when the predicate slot is free; `s_bound` /
+  /// `o_bound` say whether the subject/object slots are fixed (by a
+  /// constant or an already-bound variable). Estimates derive from
+  /// PredicateStats under a uniformity assumption; a bound-but-unknown
+  /// predicate estimates 0 (nothing can match).
+  double EstimateCardinality(bool s_bound, uint64_t p, bool p_bound,
+                             bool o_bound) const;
+
+  /// Distinct subjects / objects across all predicates (exact, computed
+  /// at Build); the p-free estimate denominators.
+  uint64_t distinct_subjects() const { return distinct_subjects_; }
+  uint64_t distinct_objects() const { return distinct_objects_; }
+
+ private:
+  struct PredicateIndex {
+    std::vector<Posting> so;  ///< sorted by (subject, object)
+    std::vector<Posting> os;  ///< sorted by (object, subject)
+    PredicateStats stats;
+  };
+
+  std::unordered_map<uint64_t, PredicateIndex> by_predicate_;
+  std::vector<uint64_t> predicates_;
+  size_t size_ = 0;
+  uint64_t distinct_subjects_ = 0;
+  uint64_t distinct_objects_ = 0;
+};
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_ADJACENCY_H_

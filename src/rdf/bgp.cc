@@ -1,5 +1,8 @@
 #include "rdf/bgp.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 namespace tcmf::rdf {
 
 namespace {
@@ -52,10 +55,75 @@ void Recurse(const Graph& graph, const std::vector<TriplePattern>& patterns,
   });
 }
 
+// Estimated result cardinality of one pattern given the variables bound
+// so far. Constants resolve through the dictionary; an un-interned
+// constant estimates 0 (the pattern short-circuits the whole BGP, so it
+// should run first).
+double EstimatePattern(const Graph& graph, const TriplePattern& pat,
+                       const std::unordered_set<std::string>& bound) {
+  auto slot_bound = [&](const PatternTerm& slot) {
+    return !slot.is_var || bound.count(slot.var) > 0;
+  };
+  const bool s_bound = slot_bound(pat.s);
+  const bool o_bound = slot_bound(pat.o);
+  bool p_bound = false;
+  uint64_t pid = 0;
+  if (!pat.p.is_var) {
+    p_bound = true;
+    pid = graph.dictionary().Lookup(pat.p.term);
+    if (pid == Dictionary::kNoId) return 0.0;
+  } else if (bound.count(pat.p.var) > 0) {
+    // A predicate variable bound at runtime: its id is not known
+    // statically, so estimate with the free-predicate totals.
+    p_bound = false;
+  }
+  if (!pat.s.is_var && graph.dictionary().Lookup(pat.s.term) == 0) return 0.0;
+  if (!pat.o.is_var && graph.dictionary().Lookup(pat.o.term) == 0) return 0.0;
+  return graph.index().EstimateCardinality(s_bound, pid, p_bound, o_bound);
+}
+
 }  // namespace
+
+std::vector<size_t> PlanBgpOrder(const Graph& graph,
+                                 const std::vector<TriplePattern>& patterns) {
+  std::vector<size_t> order;
+  order.reserve(patterns.size());
+  std::vector<bool> used(patterns.size(), false);
+  std::unordered_set<std::string> bound;
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    size_t best = patterns.size();
+    double best_cost = 0.0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      double cost = EstimatePattern(graph, patterns[i], bound);
+      if (best == patterns.size() || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    auto mark = [&](const PatternTerm& slot) {
+      if (slot.is_var) bound.insert(slot.var);
+    };
+    mark(patterns[best].s);
+    mark(patterns[best].p);
+    mark(patterns[best].o);
+  }
+  return order;
+}
 
 std::vector<Binding> EvaluateBgp(const Graph& graph,
                                  const std::vector<TriplePattern>& patterns) {
+  std::vector<size_t> order = PlanBgpOrder(graph, patterns);
+  std::vector<TriplePattern> ordered;
+  ordered.reserve(patterns.size());
+  for (size_t i : order) ordered.push_back(patterns[i]);
+  return EvaluateBgpInOrder(graph, ordered);
+}
+
+std::vector<Binding> EvaluateBgpInOrder(
+    const Graph& graph, const std::vector<TriplePattern>& patterns) {
   std::vector<Binding> out;
   Binding binding;
   Recurse(graph, patterns, 0, binding, &out);

@@ -37,10 +37,32 @@ struct TriplePattern {
 /// dictionary).
 using Binding = std::unordered_map<std::string, uint64_t>;
 
-/// Evaluates a basic graph pattern by index-nested-loop joins in pattern
-/// order, backtracking over bindings. Suitable for the star and path
-/// queries the paper's workflows use.
+/// Evaluates a basic graph pattern by index-nested-loop joins with
+/// worst-case-bounded join ordering: patterns are greedily reordered
+/// smallest-estimated-cardinality-first, seeded by the adjacency index's
+/// per-predicate stats (AdjacencyIndex::EstimateCardinality) and updated
+/// as each chosen pattern's variables become bound. The result multiset
+/// of bindings is invariant under pattern order (a BGP is a join), so
+/// this returns exactly the rows EvaluateBgpInOrder does — verified by
+/// the differential suite in tests/kg_equiv_test.cc — while never paying
+/// the pathological cost of an unselective leading pattern.
+///
+/// Thread-safety: safe for concurrent callers on a graph that is not
+/// being mutated (same contract as Graph::Match).
 std::vector<Binding> EvaluateBgp(const Graph& graph,
+                                 const std::vector<TriplePattern>& patterns);
+
+/// Reference evaluator: index-nested-loop joins in the given pattern
+/// order, no reordering. Same bindings as EvaluateBgp (as a multiset);
+/// kept as the differential baseline and for callers that hand-order
+/// their patterns.
+std::vector<Binding> EvaluateBgpInOrder(
+    const Graph& graph, const std::vector<TriplePattern>& patterns);
+
+/// The join order EvaluateBgp would pick: indexes into `patterns`,
+/// evaluation-order first. Exposed for tests and plan diagnostics
+/// (docs/KG_STORE.md shows a worked example).
+std::vector<size_t> PlanBgpOrder(const Graph& graph,
                                  const std::vector<TriplePattern>& patterns);
 
 /// Decodes one bound variable from a binding; nullopt when unbound.

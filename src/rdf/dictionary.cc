@@ -3,20 +3,21 @@
 namespace tcmf::rdf {
 
 uint64_t Dictionary::Encode(const Term& term) {
-  std::string key = TermKey(term);
-  auto [it, inserted] = ids_.try_emplace(std::move(key), terms_.size() + 1);
-  if (inserted) terms_.push_back(term);
+  auto [it, inserted] = ids_.try_emplace(term, terms_.size() + 1);
+  // unordered_map is node-based: rehashing never moves elements, so the
+  // pointer into the key stays valid for the dictionary's lifetime.
+  if (inserted) terms_.push_back(&it->first);
   return it->second;
 }
 
 uint64_t Dictionary::Lookup(const Term& term) const {
-  auto it = ids_.find(TermKey(term));
+  auto it = ids_.find(term);
   return it == ids_.end() ? kNoId : it->second;
 }
 
 std::optional<Term> Dictionary::Decode(uint64_t id) const {
   if (id == kNoId || id > terms_.size()) return std::nullopt;
-  return terms_[id - 1];
+  return *terms_[id - 1];
 }
 
 EncodedTriple Dictionary::Encode(const Triple& triple) {

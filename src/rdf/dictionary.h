@@ -1,6 +1,8 @@
 #ifndef TCMF_RDF_DICTIONARY_H_
 #define TCMF_RDF_DICTIONARY_H_
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -10,9 +12,43 @@
 
 namespace tcmf::rdf {
 
+/// Hashes a Term directly over (kind, lexical, datatype) — no canonical
+/// key string is materialized, so the hot Encode/Lookup path costs one
+/// hash + one equality compare instead of a per-call allocation.
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    size_t h = std::hash<std::string>()(t.lexical);
+    // splitmix-style mix keeps IRIs and literals with equal lexical
+    // forms distinct without hashing a combined string.
+    h ^= (static_cast<size_t>(t.kind) + 0x9e3779b97f4a7c15ull) + (h << 6) +
+         (h >> 2);
+    if (!t.datatype.empty()) {
+      h ^= std::hash<std::string>()(t.datatype) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
 /// Bidirectional term <-> id dictionary (the in-memory "REDIS" side of the
 /// paper's store, Section 4.2.5). Ids are dense and start at 1; id 0 is
-/// reserved as "no term" / wildcard.
+/// reserved as "no term" / wildcard (kNoId), which is what makes encoded
+/// triple patterns with wildcard slots representable.
+///
+/// Contracts:
+///  - Encode is stable: the same term always yields the same id, and ids
+///    are assigned densely in first-sight order (1, 2, 3, ...).
+///  - Decode(Encode(t)) == t for every term, including empty lexical
+///    forms and typed literals (round-trip property).
+///  - Lookup never interns; it returns kNoId for unseen terms.
+///
+/// Complexity: Encode/Lookup are O(1) expected (one hash of the term's
+/// strings); Decode is O(1) (vector index).
+///
+/// Thread-safety: const methods (Lookup/Decode/size) are safe to call
+/// concurrently with each other. Encode mutates and requires external
+/// synchronization — the intended pattern is single-writer ingest, then
+/// any number of concurrent readers (see store::KnowledgeStore).
 class Dictionary {
  public:
   static constexpr uint64_t kNoId = 0;
@@ -32,8 +68,8 @@ class Dictionary {
   size_t size() const { return terms_.size(); }
 
  private:
-  std::unordered_map<std::string, uint64_t> ids_;
-  std::vector<Term> terms_;  ///< index = id - 1
+  std::unordered_map<Term, uint64_t, TermHash> ids_;
+  std::vector<const Term*> terms_;  ///< index = id - 1, points into ids_
 };
 
 }  // namespace tcmf::rdf

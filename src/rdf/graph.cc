@@ -1,7 +1,6 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
-#include <tuple>
 
 namespace tcmf::rdf {
 
@@ -9,101 +8,61 @@ void Graph::Add(const Triple& triple) { AddEncoded(dict_.Encode(triple)); }
 
 void Graph::AddEncoded(const EncodedTriple& triple) {
   triples_.push_back(triple);
-  indexes_dirty_ = true;
+  index_dirty_.store(true, std::memory_order_release);
 }
 
-void Graph::EnsureIndexes() const {
-  if (!indexes_dirty_) return;
-  size_t n = triples_.size();
-  spo_.resize(n);
-  pos_.resize(n);
-  osp_.resize(n);
-  for (uint32_t i = 0; i < n; ++i) spo_[i] = pos_[i] = osp_[i] = i;
-  auto key_spo = [this](uint32_t i) {
-    const EncodedTriple& t = triples_[i];
-    return std::tuple(t.s, t.p, t.o);
-  };
-  auto key_pos = [this](uint32_t i) {
-    const EncodedTriple& t = triples_[i];
-    return std::tuple(t.p, t.o, t.s);
-  };
-  auto key_osp = [this](uint32_t i) {
-    const EncodedTriple& t = triples_[i];
-    return std::tuple(t.o, t.s, t.p);
-  };
-  std::sort(spo_.begin(), spo_.end(),
-            [&](uint32_t a, uint32_t b) { return key_spo(a) < key_spo(b); });
-  std::sort(pos_.begin(), pos_.end(),
-            [&](uint32_t a, uint32_t b) { return key_pos(a) < key_pos(b); });
-  std::sort(osp_.begin(), osp_.end(),
-            [&](uint32_t a, uint32_t b) { return key_osp(a) < key_osp(b); });
-  indexes_dirty_ = false;
+void Graph::EnsureIndex() const {
+  if (!index_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (!index_dirty_.load(std::memory_order_relaxed)) return;
+  index_.Build(triples_);
+  index_dirty_.store(false, std::memory_order_release);
 }
 
-namespace {
-
-// Binary-searches the sorted permutation `index` for the range whose
-// primary key equals `key1` (and secondary equals `key2` when nonzero).
-template <typename KeyFn>
-std::pair<size_t, size_t> EqualRange(const std::vector<uint32_t>& index,
-                                     KeyFn key, uint64_t key1,
-                                     uint64_t key2) {
-  auto first = std::partition_point(
-      index.begin(), index.end(), [&](uint32_t i) {
-        auto [a, b, c] = key(i);
-        (void)c;
-        if (a != key1) return a < key1;
-        if (key2 != 0 && b != key2) return b < key2;
-        return false;
-      });
-  auto last = std::partition_point(
-      first, index.end(), [&](uint32_t i) {
-        auto [a, b, c] = key(i);
-        (void)c;
-        if (a != key1) return false;
-        if (key2 != 0 && b != key2) return b <= key2;
-        return true;
-      });
-  return {static_cast<size_t>(first - index.begin()),
-          static_cast<size_t>(last - index.begin())};
+const AdjacencyIndex& Graph::index() const {
+  EnsureIndex();
+  return index_;
 }
-
-}  // namespace
 
 void Graph::Match(uint64_t s, uint64_t p, uint64_t o,
                   const std::function<void(const EncodedTriple&)>& fn) const {
-  EnsureIndexes();
-  auto emit_if = [&](uint32_t i) {
-    const EncodedTriple& t = triples_[i];
-    if ((s == 0 || t.s == s) && (p == 0 || t.p == p) &&
-        (o == 0 || t.o == o)) {
-      fn(t);
-    }
-  };
-
-  if (s != 0) {
-    auto key = [this](uint32_t i) {
-      const EncodedTriple& t = triples_[i];
-      return std::tuple(t.s, t.p, t.o);
-    };
-    auto [lo, hi] = EqualRange(spo_, key, s, p);
-    for (size_t i = lo; i < hi; ++i) emit_if(spo_[i]);
-  } else if (p != 0) {
-    auto key = [this](uint32_t i) {
-      const EncodedTriple& t = triples_[i];
-      return std::tuple(t.p, t.o, t.s);
-    };
-    auto [lo, hi] = EqualRange(pos_, key, p, o);
-    for (size_t i = lo; i < hi; ++i) emit_if(pos_[i]);
-  } else if (o != 0) {
-    auto key = [this](uint32_t i) {
-      const EncodedTriple& t = triples_[i];
-      return std::tuple(t.o, t.s, t.p);
-    };
-    auto [lo, hi] = EqualRange(osp_, key, o, 0);
-    for (size_t i = lo; i < hi; ++i) emit_if(osp_[i]);
-  } else {
+  if (s == 0 && p == 0 && o == 0) {
     for (const EncodedTriple& t : triples_) fn(t);
+    return;
+  }
+  EnsureIndex();
+
+  if (p != 0) {
+    if (s != 0) {
+      // (s, p, ?) / (s, p, o): one postings-range lookup.
+      auto [lo, hi] = index_.ObjectsOf(p, s);
+      for (const Posting* e = lo; e != hi; ++e) {
+        if (o == 0 || e->value == o) fn({s, p, e->value});
+      }
+    } else if (o != 0) {
+      // (?, p, o): the object→subject list.
+      auto [lo, hi] = index_.SubjectsOf(p, o);
+      for (const Posting* e = lo; e != hi; ++e) fn({e->value, p, o});
+    } else {
+      // (?, p, ?): the predicate's whole subject→object list.
+      auto [lo, hi] = index_.Subjects(p);
+      for (const Posting* e = lo; e != hi; ++e) fn({e->key, p, e->value});
+    }
+    return;
+  }
+
+  // Free predicate with a bound subject and/or object: probe every
+  // predicate's postings (P is small for ontology-shaped data).
+  for (uint64_t pid : index_.predicates()) {
+    if (s != 0) {
+      auto [lo, hi] = index_.ObjectsOf(pid, s);
+      for (const Posting* e = lo; e != hi; ++e) {
+        if (o == 0 || e->value == o) fn({s, pid, e->value});
+      }
+    } else {
+      auto [lo, hi] = index_.SubjectsOf(pid, o);
+      for (const Posting* e = lo; e != hi; ++e) fn({e->value, pid, o});
+    }
   }
 }
 
@@ -123,6 +82,23 @@ std::vector<Triple> Graph::MatchDecoded(const Term* s, const Term* p,
 }
 
 size_t Graph::Count(uint64_t s, uint64_t p, uint64_t o) const {
+  if (s == 0 && p == 0 && o == 0) return triples_.size();
+  EnsureIndex();
+  if (p != 0) {
+    // Range arithmetic instead of iteration where the pattern allows.
+    if (s != 0 && o == 0) {
+      auto [lo, hi] = index_.ObjectsOf(p, s);
+      return static_cast<size_t>(hi - lo);
+    }
+    if (s == 0 && o != 0) {
+      auto [lo, hi] = index_.SubjectsOf(p, o);
+      return static_cast<size_t>(hi - lo);
+    }
+    if (s == 0 && o == 0) {
+      const PredicateStats* st = index_.Stats(p);
+      return st == nullptr ? 0 : st->triples;
+    }
+  }
   size_t n = 0;
   Match(s, p, o, [&](const EncodedTriple&) { ++n; });
   return n;

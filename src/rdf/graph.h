@@ -1,18 +1,40 @@
 #ifndef TCMF_RDF_GRAPH_H_
 #define TCMF_RDF_GRAPH_H_
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <vector>
 
+#include "rdf/adjacency.h"
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
 
 namespace tcmf::rdf {
 
-/// In-memory triple store with lazily-built SPO/POS/OSP sorted indexes.
-/// This is the knowledge-graph working set of the real-time layer; the
-/// batch store with layouts and spatio-temporal pruning lives in
-/// src/store.
+/// In-memory triple store backed by a lazily-built AdjacencyIndex:
+/// per-predicate subject→object / object→subject postings with
+/// cardinality stats. This is the knowledge-graph working set of the
+/// real-time layer; the batch store with layouts and spatio-temporal
+/// pruning lives in src/store.
+///
+/// Contracts:
+///  - Match/Count treat Dictionary::kNoId slots as wildcards and emit
+///    one callback per matching triple occurrence (multiplicity
+///    preserved; emission order is unspecified).
+///  - Adds are visible to the next Match/Count/index() call — the index
+///    rebuild is deferred and amortized over insert bursts.
+///
+/// Complexity: a pattern with a bound predicate is answered from that
+/// predicate's postings in O(log n_p + k); a bound subject or object
+/// with a free predicate probes every predicate list (O(P log n));
+/// the all-wildcard pattern scans the triples table.
+///
+/// Thread-safety: any number of threads may call the const query
+/// surface (Match/MatchDecoded/Count/index/triples) concurrently — the
+/// lazy index build behind them is double-checked-locked. Add/AddEncoded
+/// require exclusive access (single-writer ingest, then concurrent
+/// readers).
 class Graph {
  public:
   Graph() = default;
@@ -28,8 +50,8 @@ class Graph {
   const Dictionary& dictionary() const { return dict_; }
 
   /// Matches a pattern where Dictionary::kNoId slots are wildcards; calls
-  /// `fn` for every matching encoded triple. Uses whichever index fits the
-  /// bound slots.
+  /// `fn` for every matching encoded triple. Uses the adjacency list that
+  /// fits the bound slots.
   void Match(uint64_t s, uint64_t p, uint64_t o,
              const std::function<void(const EncodedTriple&)>& fn) const;
 
@@ -37,21 +59,28 @@ class Graph {
   std::vector<Triple> MatchDecoded(const Term* s, const Term* p,
                                    const Term* o) const;
 
-  /// Number of triples matching a pattern.
+  /// Number of triples matching a pattern. O(log n_p) for patterns with
+  /// a bound predicate (postings-range arithmetic, no iteration).
   size_t Count(uint64_t s, uint64_t p, uint64_t o) const;
+
+  /// The adjacency index over the current triples (built on demand).
+  /// The reference stays valid until the next Add.
+  const AdjacencyIndex& index() const;
 
   const std::vector<EncodedTriple>& triples() const { return triples_; }
 
  private:
-  enum class Order { kSpo, kPos, kOsp };
-
-  void EnsureIndexes() const;
+  void EnsureIndex() const;
 
   Dictionary dict_;
   std::vector<EncodedTriple> triples_;
-  // Sorted permutation indexes, rebuilt on demand after inserts.
-  mutable std::vector<uint32_t> spo_, pos_, osp_;
-  mutable bool indexes_dirty_ = true;
+  // Lazily (re)built adjacency index. `index_dirty_` is the fast-path
+  // flag: acquire-load pairs with the release-store after a build, so a
+  // reader that sees `false` also sees the fully-built index. The mutex
+  // serializes concurrent first builds.
+  mutable AdjacencyIndex index_;
+  mutable std::mutex index_mu_;
+  mutable std::atomic<bool> index_dirty_{true};
 };
 
 }  // namespace tcmf::rdf

@@ -22,19 +22,23 @@ bool StartsNewPart(CriticalPointType type) {
 
 SemanticTrajectoryStats BuildSemanticTrajectory(
     const std::string& prefix, uint64_t entity_id,
-    const std::vector<CriticalPoint>& critical_points, Graph* graph) {
+    const std::vector<CriticalPoint>& critical_points,
+    const std::function<void(const Triple&)>& sink) {
   SemanticTrajectoryStats stats;
   if (critical_points.empty()) return stats;
 
-  size_t before = graph->size();
+  auto emit = [&](Triple t) {
+    sink(t);
+    ++stats.triples;
+  };
   Term entity =
       Iri(StrFormat("%sobj/%llu", prefix.c_str(),
                     static_cast<unsigned long long>(entity_id)));
   Term trajectory =
       Iri(StrFormat("%strajectory/%llu", prefix.c_str(),
                     static_cast<unsigned long long>(entity_id)));
-  graph->Add({trajectory, Iri(vocab::kType), Iri(vocab::kTrajectory)});
-  graph->Add({trajectory, Iri(vocab::kOfMovingObject), entity});
+  emit({trajectory, Iri(vocab::kType), Iri(vocab::kTrajectory)});
+  emit({trajectory, Iri(vocab::kOfMovingObject), entity});
   ++stats.trajectories;
 
   size_t part_index = 0;
@@ -43,9 +47,9 @@ SemanticTrajectoryStats BuildSemanticTrajectory(
     part = Iri(StrFormat("%strajectory/%llu/part/%zu", prefix.c_str(),
                          static_cast<unsigned long long>(entity_id),
                          part_index++));
-    graph->Add({part, Iri(vocab::kType), Iri(vocab::kTrajectoryPart)});
-    graph->Add({trajectory, Iri(vocab::kHasPart), part});
-    graph->Add({part, Iri(vocab::kHasTimestamp), IntLiteral(t)});
+    emit({part, Iri(vocab::kType), Iri(vocab::kTrajectoryPart)});
+    emit({trajectory, Iri(vocab::kHasPart), part});
+    emit({part, Iri(vocab::kHasTimestamp), IntLiteral(t)});
     ++stats.parts;
   };
   open_part(critical_points.front().pos.t);
@@ -58,27 +62,33 @@ SemanticTrajectoryStats BuildSemanticTrajectory(
         "%snode/%llu/%lld", prefix.c_str(),
         static_cast<unsigned long long>(entity_id),
         static_cast<long long>(cp.pos.t)));
-    graph->Add({node, Iri(vocab::kType), Iri(vocab::kSemanticNode)});
-    graph->Add({part, Iri(vocab::kHasNode), node});
-    graph->Add({node, Iri(vocab::kHasTimestamp), IntLiteral(cp.pos.t)});
-    graph->Add({node, Iri(vocab::kAsWKT),
-                TypedLiteral(StrFormat("POINT (%.6f %.6f)", cp.pos.lon,
-                                       cp.pos.lat),
-                             vocab::kWktLiteral)});
+    emit({node, Iri(vocab::kType), Iri(vocab::kSemanticNode)});
+    emit({part, Iri(vocab::kHasNode), node});
+    emit({node, Iri(vocab::kHasTimestamp), IntLiteral(cp.pos.t)});
+    emit({node, Iri(vocab::kAsWKT),
+          TypedLiteral(StrFormat("POINT (%.6f %.6f)", cp.pos.lon, cp.pos.lat),
+                       vocab::kWktLiteral)});
     // The event annotation: what happened at this node.
     Term event = Iri(StrFormat(
         "%sevent/%llu/%lld/%s", prefix.c_str(),
         static_cast<unsigned long long>(entity_id),
         static_cast<long long>(cp.pos.t),
         synopses::CriticalPointTypeName(cp.type)));
-    graph->Add({event, Iri(vocab::kType), Iri(vocab::kEvent)});
-    graph->Add({event, Iri(vocab::kEventType),
-                Literal(synopses::CriticalPointTypeName(cp.type))});
-    graph->Add({event, Iri(vocab::kOccurs), node});
+    emit({event, Iri(vocab::kType), Iri(vocab::kEvent)});
+    emit({event, Iri(vocab::kEventType),
+          Literal(synopses::CriticalPointTypeName(cp.type))});
+    emit({event, Iri(vocab::kOccurs), node});
     ++stats.nodes;
   }
-  stats.triples = graph->size() - before;
   return stats;
+}
+
+SemanticTrajectoryStats BuildSemanticTrajectory(
+    const std::string& prefix, uint64_t entity_id,
+    const std::vector<CriticalPoint>& critical_points, Graph* graph) {
+  return BuildSemanticTrajectory(
+      prefix, entity_id, critical_points,
+      [graph](const Triple& t) { graph->Add(t); });
 }
 
 }  // namespace tcmf::rdf

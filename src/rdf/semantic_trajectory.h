@@ -1,6 +1,7 @@
 #ifndef TCMF_RDF_SEMANTIC_TRAJECTORY_H_
 #define TCMF_RDF_SEMANTIC_TRAJECTORY_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,17 @@ struct SemanticTrajectoryStats {
 };
 
 /// Builds the structured representation for one entity's critical points
-/// (time-ordered) into `graph`. `prefix` mints IRIs
-/// (<prefix>trajectory/<entity>, .../part/<n>, .../node/<t>).
+/// (time-ordered), emitting every triple through `sink`. `prefix` mints
+/// IRIs (<prefix>trajectory/<entity>, .../part/<n>, .../node/<t>). This
+/// is the core the stream stage (rdf::SemanticTrajectoryStage) drives:
+/// the sink lets triples flow into a pipeline edge, a KnowledgeStore, or
+/// a Graph without an intermediate materialization.
+SemanticTrajectoryStats BuildSemanticTrajectory(
+    const std::string& prefix, uint64_t entity_id,
+    const std::vector<synopses::CriticalPoint>& critical_points,
+    const std::function<void(const Triple&)>& sink);
+
+/// Convenience overload: emits into `graph` (delegates to the sink form).
 SemanticTrajectoryStats BuildSemanticTrajectory(
     const std::string& prefix, uint64_t entity_id,
     const std::vector<synopses::CriticalPoint>& critical_points,

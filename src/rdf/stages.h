@@ -1,0 +1,70 @@
+#ifndef TCMF_RDF_STAGES_H_
+#define TCMF_RDF_STAGES_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/rdfgen.h"
+#include "rdf/semantic_trajectory.h"
+#include "stream/pipeline.h"
+#include "stream/record.h"
+#include "synopses/critical_points.h"
+
+namespace tcmf::rdf {
+
+/// Dataflow stage helpers gluing the RDF generation framework (Section
+/// 4.2.3's RDFizers) into stream::Pipeline graphs, so enrichment runs at
+/// stream rate behind the same adaptive-batching transport as every
+/// other stage — the fused alternative to batch TripleGenerator::Run.
+/// Both helpers follow the unified `(flow, config, StageOptions)` stage
+/// signature shared with the insitu/synopses/mlog helpers.
+
+/// 1:N stage: instantiates `tmpl` over `vars` for every record —
+/// the streaming form of TripleGenerator (one record in, its template
+/// triples out). `stage.name` defaults to "rdf.generate"; adaptive
+/// batched transport by default (see docs/STREAM_TUNING.md). Pair with
+/// store::KgStoreSink to stream-populate a KnowledgeStore.
+inline stream::Flow<Triple> TripleGeneratorStage(
+    stream::Flow<stream::Record> flow, GraphTemplate tmpl,
+    VariableVector vars, stream::StageOptions stage = {}) {
+  auto generator = std::make_shared<TripleGenerator>(std::move(tmpl),
+                                                     std::move(vars));
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "rdf.generate";
+  return flow.FlatMap<Triple>(
+      [generator = std::move(generator)](const stream::Record& r) {
+        return generator->GenerateOne(r);
+      },
+      std::move(stage));
+}
+
+/// Keyed stage: accumulates each entity's critical points (per-key order
+/// is the synopses' emission order, i.e. time order) and materializes the
+/// datAcron structured-trajectory pattern at end-of-stream via
+/// BuildSemanticTrajectory's sink form — Trajectory/TrajectoryPart/
+/// SemanticNode triples flow straight into the output edge with no
+/// intermediate graph. `prefix` mints IRIs; `stage.name` defaults to
+/// "rdf.trajectory"; adaptive batched transport by default.
+inline stream::Flow<Triple> SemanticTrajectoryStage(
+    stream::Flow<synopses::CriticalPoint> flow, std::string prefix,
+    stream::StageOptions stage = {}) {
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "rdf.trajectory";
+  using State = std::vector<synopses::CriticalPoint>;
+  return flow.KeyedProcess<Triple, State>(
+      [](const synopses::CriticalPoint& cp) { return cp.pos.entity_id; },
+      [](const synopses::CriticalPoint& cp, State& state,
+         const std::function<void(Triple)>&) { state.push_back(cp); },
+      [prefix = std::move(prefix)](uint64_t key, State& state,
+                                   const std::function<void(Triple)>& emit) {
+        BuildSemanticTrajectory(prefix, key, state,
+                                [&emit](const Triple& t) { emit(t); });
+      },
+      std::move(stage));
+}
+
+}  // namespace tcmf::rdf
+
+#endif  // TCMF_RDF_STAGES_H_

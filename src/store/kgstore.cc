@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <numeric>
 #include <thread>
 
 #include "common/strings.h"
@@ -21,6 +22,25 @@ double ElapsedMs(Clock::time_point start) {
       .count();
 }
 
+// Advances `cur` within [cur, end) to the first posting with key >= s by
+// exponential (galloping) search: cheap when the next match is near —
+// the common case when both lists are subject-sorted — and O(log gap)
+// when it is far.
+const rdf::Posting* Gallop(const rdf::Posting* cur, const rdf::Posting* end,
+                           uint64_t s) {
+  if (cur == end || cur->key >= s) return cur;
+  size_t step = 1;
+  const rdf::Posting* probe = cur;
+  while (probe + step < end && (probe + step)->key < s) {
+    probe += step;
+    step *= 2;
+  }
+  const rdf::Posting* hi = (probe + step < end) ? probe + step : end;
+  return std::lower_bound(
+      probe, hi, s,
+      [](const rdf::Posting& p, uint64_t key) { return p.key < key; });
+}
+
 }  // namespace
 
 const char* StarPlanName(StarPlan plan) {
@@ -35,19 +55,37 @@ const char* StarPlanName(StarPlan plan) {
       return "property-table";
     case StarPlan::kPropertyTablePushdown:
       return "property-table+st-pushdown";
+    case StarPlan::kAdjacencyIndex:
+      return "adjacency-index";
+    case StarPlan::kAdjacencyIndexPushdown:
+      return "adjacency-index+st-pushdown";
   }
   return "unknown";
 }
 
 KnowledgeStore::KnowledgeStore(const geom::StCellEncoder& encoder,
                                size_t partitions)
-    : encoder_(encoder), partitions_(partitions == 0 ? 1 : partitions) {}
+    : encoder_(encoder), partitions_(partitions == 0 ? 1 : partitions) {
+  // Intern the vocabulary the ingest fast path and the exact st-filter
+  // compare against, so neither ever pays a per-call string lookup.
+  stcell_pid_ = dict_.Encode(rdf::Iri(rdf::vocab::kHasStCell));
+  wkt_pid_ = dict_.Encode(rdf::Iri(rdf::vocab::kAsWKT));
+  ts_pid_ = dict_.Encode(rdf::Iri(rdf::vocab::kHasTimestamp));
+}
 
 void KnowledgeStore::Add(const rdf::Triple& triple) {
   rdf::EncodedTriple enc = dict_.Encode(triple);
   partitions_[next_partition_].push_back(enc);
   next_partition_ = (next_partition_ + 1) % partitions_.size();
   ++total_triples_;
+  cum_added_.fetch_add(1, std::memory_order_relaxed);
+  // hasStCell integer literals feed the subject -> st-cell side index so
+  // streamed template ingestion keeps the pushdown plans usable.
+  if (enc.p == stcell_pid_ && triple.o.kind == rdf::Term::Kind::kLiteral) {
+    if (Result<long long> cell = ParseInt(triple.o.lexical); cell.ok()) {
+      subject_stcell_[enc.s] = static_cast<uint64_t>(cell.value());
+    }
+  }
   compiled_ = false;
 }
 
@@ -68,9 +106,12 @@ void KnowledgeStore::AddPositionNode(const rdf::Term& subject, double lon,
 
 void KnowledgeStore::Compile() {
   vertical_.clear();
+  std::vector<rdf::EncodedTriple> all;
+  all.reserve(total_triples_);
   for (const auto& partition : partitions_) {
     for (const rdf::EncodedTriple& t : partition) {
       vertical_[t.p].push_back({t.s, t.o});
+      all.push_back(t);
     }
   }
   for (auto& [p, list] : vertical_) {
@@ -78,6 +119,7 @@ void KnowledgeStore::Compile() {
       return a.s < b.s || (a.s == b.s && a.o < b.o);
     });
   }
+  adjacency_.Build(all);
   compiled_ = true;
   property_tables_.clear();
 }
@@ -135,10 +177,6 @@ bool KnowledgeStore::ExactStMatch(
   // Deliberately pays the realistic post-processing cost: fetch the WKT
   // and timestamp literals of the subject and parse them, exactly what a
   // layout without pushdown has to do for every candidate.
-  static const rdf::Term kWktPred = rdf::Iri(rdf::vocab::kAsWKT);
-  static const rdf::Term kTsPred = rdf::Iri(rdf::vocab::kHasTimestamp);
-  uint64_t wkt_pid = dict_.Lookup(kWktPred);
-  uint64_t ts_pid = dict_.Lookup(kTsPred);
   auto fetch = [&](uint64_t pid) -> const SO* {
     auto it = vertical_.find(pid);
     if (it == vertical_.end()) return nullptr;
@@ -149,8 +187,8 @@ bool KnowledgeStore::ExactStMatch(
     if (pos == list.end() || pos->s != subject) return nullptr;
     return &*pos;
   };
-  const SO* wkt = fetch(wkt_pid);
-  const SO* ts = fetch(ts_pid);
+  const SO* wkt = fetch(wkt_pid_);
+  const SO* ts = fetch(ts_pid_);
   if (wkt == nullptr || ts == nullptr) return false;
 
   std::optional<rdf::Term> wkt_term = dict_.Decode(wkt->o);
@@ -161,6 +199,16 @@ bool KnowledgeStore::ExactStMatch(
   if (!point.ok() || !t.ok()) return false;
   return box.bounds.Contains(point.value().lon, point.value().lat) &&
          t.value() >= box.t_begin && t.value() <= box.t_end;
+}
+
+StoreCounters KnowledgeStore::CountersSnapshot() const {
+  StoreCounters c;
+  c.triples_added = cum_added_.load(std::memory_order_relaxed);
+  c.star_queries = cum_queries_.load(std::memory_order_relaxed);
+  c.star_rows = cum_rows_.load(std::memory_order_relaxed);
+  c.triples_scanned = cum_scanned_.load(std::memory_order_relaxed);
+  c.st_filter_evaluations = cum_st_filters_.load(std::memory_order_relaxed);
+  return c;
 }
 
 std::vector<StarRow> KnowledgeStore::RunStar(const StarQuery& query,
@@ -174,6 +222,11 @@ std::vector<StarRow> KnowledgeStore::RunStar(const StarQuery& query,
   auto finish = [&](std::vector<StarRow> result) {
     local.rows = result.size();
     local.wall_ms = ElapsedMs(start);
+    cum_queries_.fetch_add(1, std::memory_order_relaxed);
+    cum_rows_.fetch_add(local.rows, std::memory_order_relaxed);
+    cum_scanned_.fetch_add(local.triples_scanned, std::memory_order_relaxed);
+    cum_st_filters_.fetch_add(local.st_filter_evaluations,
+                              std::memory_order_relaxed);
     if (metrics != nullptr) *metrics = local;
     return result;
   };
@@ -271,6 +324,94 @@ std::vector<StarRow> KnowledgeStore::RunStar(const StarQuery& query,
       row.objects.reserve(k);
       for (size_t slot = 0; slot < k; ++slot) {
         row.objects.push_back(table->rows[i][col_of[slot]]);
+      }
+      rows.push_back(std::move(row));
+    }
+    return finish(std::move(rows));
+  }
+
+  if (plan == StarPlan::kAdjacencyIndex ||
+      plan == StarPlan::kAdjacencyIndexPushdown) {
+    // Per-predicate sorted postings + stats from the adjacency index.
+    std::vector<rdf::AdjacencyIndex::Span> spans(k);
+    std::vector<const rdf::PredicateStats*> stats(k);
+    for (size_t i = 0; i < k; ++i) {
+      stats[i] = adjacency_.Stats(query.predicate_ids[i]);
+      if (stats[i] == nullptr) return finish({});
+      spans[i] = adjacency_.Subjects(query.predicate_ids[i]);
+    }
+
+    if (plan == StarPlan::kAdjacencyIndexPushdown &&
+        query.has_st_constraint) {
+      // Integer st-cell pre-filter, then one postings probe per slot.
+      for (const auto& [s, cell] : subject_stcell_) {
+        ++local.triples_scanned;  // side-index probe (integer compare)
+        if (!encoder_.MayIntersect(cell, query.st_box)) continue;
+        StarRow row;
+        row.subject = s;
+        row.objects.assign(k, 0);
+        bool complete = true;
+        for (size_t i = 0; i < k && complete; ++i) {
+          ++local.triples_scanned;  // one indexed probe
+          auto [lo, hi] = adjacency_.ObjectsOf(query.predicate_ids[i], s);
+          if (lo == hi) {
+            complete = false;
+          } else {
+            row.objects[i] = lo->value;  // smallest object: (s,o)-sorted
+          }
+        }
+        if (!complete) continue;
+        ++local.candidate_subjects;
+        ++local.st_filter_evaluations;
+        if (!ExactStMatch(s, query.st_box)) continue;
+        rows.push_back(std::move(row));
+      }
+      return finish(std::move(rows));
+    }
+
+    // Stats-ordered postings intersection: drive from the predicate with
+    // the fewest distinct subjects, then leapfrog the other lists with
+    // galloping cursors (monotonic — each list is walked at most once).
+    std::vector<size_t> ord(k);
+    std::iota(ord.begin(), ord.end(), 0);
+    std::sort(ord.begin(), ord.end(), [&](size_t a, size_t b) {
+      return stats[a]->distinct_subjects < stats[b]->distinct_subjects;
+    });
+    std::vector<const rdf::Posting*> cur(k);
+    for (size_t i = 0; i < k; ++i) cur[i] = spans[i].first;
+
+    const size_t driver = ord[0];
+    const rdf::Posting* d = spans[driver].first;
+    const rdf::Posting* d_end = spans[driver].second;
+    while (d != d_end) {
+      const uint64_t s = d->key;
+      const uint64_t driver_obj = d->value;  // smallest object of the run
+      // Skip the rest of the equal-subject run.
+      do {
+        ++local.triples_scanned;
+        ++d;
+      } while (d != d_end && d->key == s);
+
+      StarRow row;
+      row.subject = s;
+      row.objects.assign(k, 0);
+      row.objects[driver] = driver_obj;
+      bool complete = true;
+      for (size_t j = 1; j < k && complete; ++j) {
+        const size_t slot = ord[j];
+        ++local.triples_scanned;  // one galloping probe
+        cur[slot] = Gallop(cur[slot], spans[slot].second, s);
+        if (cur[slot] == spans[slot].second || cur[slot]->key != s) {
+          complete = false;
+        } else {
+          row.objects[slot] = cur[slot]->value;
+        }
+      }
+      if (!complete) continue;
+      ++local.candidate_subjects;
+      if (query.has_st_constraint) {
+        ++local.st_filter_evaluations;
+        if (!ExactStMatch(s, query.st_box)) continue;
       }
       rows.push_back(std::move(row));
     }

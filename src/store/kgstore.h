@@ -1,6 +1,7 @@
 #ifndef TCMF_STORE_KGSTORE_H_
 #define TCMF_STORE_KGSTORE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "common/position.h"
 #include "common/status.h"
 #include "geom/stcell.h"
+#include "rdf/adjacency.h"
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
 
@@ -16,13 +18,18 @@ namespace tcmf::store {
 
 /// Physical layout / plan selector for star queries (Section 4.2.5):
 /// the paper's "one-triples-table" vs vertical partitioning, each with or
-/// without the spatio-temporal dictionary-encoding pushdown.
+/// without the spatio-temporal dictionary-encoding pushdown, plus the
+/// adjacency-indexed layout (per-predicate sorted postings + cardinality
+/// stats, the SNIPPETS.md triplestore shape) that drives the star join
+/// from the predicate with the fewest distinct subjects.
 enum class StarPlan {
   kTriplesTableScan = 0,      ///< full scan + hash join + late st-filter
   kVerticalPartition,         ///< per-predicate merge join + late st-filter
   kVerticalPartitionPushdown, ///< integer st-cell pre-filter, then join
   kPropertyTable,             ///< pre-joined wide rows + late st-filter
   kPropertyTablePushdown,     ///< property table + integer st pre-filter
+  kAdjacencyIndex,            ///< stats-ordered postings intersection
+  kAdjacencyIndexPushdown,    ///< st-cell pre-filter + postings probes
 };
 
 const char* StarPlanName(StarPlan plan);
@@ -36,12 +43,14 @@ struct StarQuery {
 };
 
 /// One result row of a star query: the subject plus the object bound per
-/// queried predicate (first match).
+/// queried predicate (first match = smallest object id for the indexed
+/// plans; plans agree whenever subjects carry one object per predicate).
 struct StarRow {
   uint64_t subject = 0;
   std::vector<uint64_t> objects;  ///< parallel to StarQuery::predicate_ids
 };
 
+/// Per-query evaluation counters, filled by RunStar.
 struct StarQueryMetrics {
   size_t triples_scanned = 0;
   size_t candidate_subjects = 0;
@@ -50,10 +59,33 @@ struct StarQueryMetrics {
   double wall_ms = 0.0;
 };
 
+/// Cumulative, thread-safe store counters: every Add and every RunStar
+/// accumulates here regardless of which caller held the metrics pointer.
+/// This is what stage helpers (store::KgStoreSink) splice into
+/// stream::StageMetrics so Pipeline::ReportJson surfaces the store's
+/// work (the kg_* fields) — per-query StarQueryMetrics alone are
+/// invisible once the store is driven from a pipeline stage.
+struct StoreCounters {
+  uint64_t triples_added = 0;
+  uint64_t star_queries = 0;
+  uint64_t star_rows = 0;
+  uint64_t triples_scanned = 0;
+  uint64_t st_filter_evaluations = 0;
+};
+
 /// Batch knowledge-graph store: dictionary-encoded triples, partitioned,
 /// with per-layout star-join evaluation and spatio-temporal pruning via
 /// the StCellEncoder integer ids. Partition-parallel scans use a thread
 /// per partition group (the local stand-in for Spark executors).
+///
+/// Lifecycle contract: ingest (Add/AddPositionNode/LoadTriples), then
+/// Compile(), then query (RunStar). Compile builds the vertical layout
+/// and the adjacency index; adding afterwards requires re-Compile.
+///
+/// Thread-safety: ingestion and Compile are single-writer. After
+/// Compile returns, any number of threads may call RunStar /
+/// LookupPosition / CountersSnapshot concurrently (the layouts are
+/// immutable between compiles; cumulative counters are atomics).
 class KnowledgeStore {
  public:
   /// `encoder` defines the spatio-temporal discretization; `partitions`
@@ -65,7 +97,9 @@ class KnowledgeStore {
 
   /// Adds a triple. Triples whose predicate is vocab::kHasStCell with an
   /// integer-literal object also feed the subject -> st-cell side index
-  /// (the paper's dictionary-encoding of approximate positions).
+  /// (the paper's dictionary-encoding of approximate positions), so
+  /// streamed ingestion through a template that emits hasStCell keeps
+  /// the pushdown plans usable.
   void Add(const rdf::Triple& triple);
 
   /// Registers the exact position of a subject for final st filtering
@@ -75,8 +109,9 @@ class KnowledgeStore {
   void AddPositionNode(const rdf::Term& subject, double lon, double lat,
                        TimeMs t);
 
-  /// Freezes ingestion: builds the vertical-partitioning layout and sorts
-  /// runs. Must be called before RunStar.
+  /// Freezes ingestion: builds the vertical-partitioning layout, the
+  /// adjacency index (per-predicate sorted postings + cardinality
+  /// stats), and sorts runs. Must be called before RunStar.
   void Compile();
 
   /// Materializes a property table over `predicate_ids` (one wide row per
@@ -85,7 +120,10 @@ class KnowledgeStore {
   /// table's columns. Requires Compile() first.
   void BuildPropertyTable(const std::vector<uint64_t>& predicate_ids);
 
-  /// Evaluates a star query under the chosen plan.
+  /// Evaluates a star query under the chosen plan. Safe for concurrent
+  /// callers after Compile(). All plans return the same row set for the
+  /// same query (the differential invariant the test suite and the
+  /// bench gates enforce).
   std::vector<StarRow> RunStar(const StarQuery& query, StarPlan plan,
                                StarQueryMetrics* metrics) const;
 
@@ -97,6 +135,14 @@ class KnowledgeStore {
   size_t size() const { return total_triples_; }
   size_t partitions() const { return partitions_.size(); }
   const geom::StCellEncoder& encoder() const { return encoder_; }
+
+  /// The adjacency index built by Compile() (empty before). Valid until
+  /// the next Compile().
+  const rdf::AdjacencyIndex& adjacency() const { return adjacency_; }
+
+  /// Snapshot of the cumulative counters (thread-safe; see
+  /// StoreCounters).
+  StoreCounters CountersSnapshot() const;
 
   /// Exact spatio-temporal point of a subject (for verification); false
   /// when the subject has no registered position.
@@ -116,9 +162,16 @@ class KnowledgeStore {
   std::vector<std::vector<rdf::EncodedTriple>> partitions_;
   size_t total_triples_ = 0;
   size_t next_partition_ = 0;
+  /// Interned at construction: the vocabulary ids the ingest fast path
+  /// and ExactStMatch compare against (no per-call Lookup).
+  uint64_t stcell_pid_ = 0;
+  uint64_t wkt_pid_ = 0;
+  uint64_t ts_pid_ = 0;
 
   /// Vertical partitioning: predicate -> (s,o) pairs sorted by s.
   std::unordered_map<uint64_t, std::vector<SO>> vertical_;
+  /// Adjacency index over all partitions (built by Compile).
+  rdf::AdjacencyIndex adjacency_;
   /// Property tables: columns (predicate ids) + rows sorted by subject.
   struct PropertyTable {
     std::vector<uint64_t> columns;
@@ -136,6 +189,15 @@ class KnowledgeStore {
   };
   std::unordered_map<uint64_t, ExactPos> subject_pos_;
   bool compiled_ = false;
+
+  // Cumulative counters (StoreCounters). Mutable + relaxed atomics: the
+  // const query path accumulates them and concurrent RunStar callers
+  // must not race.
+  mutable std::atomic<uint64_t> cum_added_{0};
+  mutable std::atomic<uint64_t> cum_queries_{0};
+  mutable std::atomic<uint64_t> cum_rows_{0};
+  mutable std::atomic<uint64_t> cum_scanned_{0};
+  mutable std::atomic<uint64_t> cum_st_filters_{0};
 };
 
 }  // namespace tcmf::store

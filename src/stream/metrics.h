@@ -66,6 +66,17 @@ struct StageMetrics {
   uint64_t io_syncs = 0;         ///< fsync/fdatasync calls issued
   uint64_t recovered = 0;        ///< entries recovered by tail-scan on open
   uint64_t truncated_bytes = 0;  ///< torn-tail bytes truncated on open
+  // Knowledge-store counters (store::KgStoreSink stages; `kg` stays
+  // false for every other edge and the fields are omitted from ToJson).
+  // This is how StarQueryMetrics-level work becomes visible through
+  // Pipeline::ReportJson when the store is driven from a stage — the
+  // same flag-gated splice the durable mlog fields use.
+  bool kg = false;                     ///< stage fronts a KnowledgeStore
+  uint64_t kg_triples_added = 0;       ///< cumulative KnowledgeStore::Add
+  uint64_t kg_star_queries = 0;        ///< cumulative RunStar invocations
+  uint64_t kg_star_rows = 0;           ///< total star-join result rows
+  uint64_t kg_triples_scanned = 0;     ///< postings/rows visited by RunStar
+  uint64_t kg_st_filter_evaluations = 0;  ///< exact st-filter checks
   // Adaptive-batching tuner state (BatchPolicy::Adaptive edges only; see
   // src/stream/tuning.h and docs/STREAM_TUNING.md). `tuned` is false for
   // static edges and all tuner_* fields stay zero.
@@ -160,6 +171,18 @@ struct StageMetrics {
         static_cast<unsigned long long>(recovered),
         static_cast<unsigned long long>(truncated_bytes),
         tuned ? "true" : "false");
+    if (kg && n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(
+          buf + n, sizeof(buf) - n,
+          ",\"kg\":true,\"kg_triples_added\":%llu,"
+          "\"kg_star_queries\":%llu,\"kg_star_rows\":%llu,"
+          "\"kg_triples_scanned\":%llu,\"kg_st_filter_evaluations\":%llu",
+          static_cast<unsigned long long>(kg_triples_added),
+          static_cast<unsigned long long>(kg_star_queries),
+          static_cast<unsigned long long>(kg_star_rows),
+          static_cast<unsigned long long>(kg_triples_scanned),
+          static_cast<unsigned long long>(kg_st_filter_evaluations));
+    }
     if (tuned && n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
       n += std::snprintf(
           buf + n, sizeof(buf) - n,
@@ -261,6 +284,12 @@ inline StageMetrics AggregateStageMetrics(
     agg.io_syncs += m.io_syncs;
     agg.recovered += m.recovered;
     agg.truncated_bytes += m.truncated_bytes;
+    agg.kg = agg.kg || m.kg;
+    agg.kg_triples_added += m.kg_triples_added;
+    agg.kg_star_queries += m.kg_star_queries;
+    agg.kg_star_rows += m.kg_star_rows;
+    agg.kg_triples_scanned += m.kg_triples_scanned;
+    agg.kg_st_filter_evaluations += m.kg_st_filter_evaluations;
   }
   return agg;
 }
