@@ -311,6 +311,9 @@ struct BenchRow {
   stream::CapacityState capacity;  ///< source-edge elastic bound (if tuned)
   double p99_ms = -1.0;      ///< p99 staging latency (latency rows only)
   int64_t budget_ms = -1;    ///< latency-budget contract (latency rows only)
+  int hw_threads = 0;        ///< hardware threads (hw-gated rows only)
+  bool has_skew = false;     ///< worker-edge skew summary attached
+  stream::WorkerEdgeSkew skew;  ///< keyed-stage partition-edge summary
 };
 
 // One producer thread feeding one consumer (the caller's thread) through
@@ -526,6 +529,159 @@ double MeasureStagingLatencyP99(const stream::BatchPolicy& policy, int count,
   return delays_ms[(delays_ms.size() - 1) * 99 / 100];
 }
 
+// ==== Keyed-terminal fusion comparison (PR 10 acceptance rows) ====
+//
+// source -> expand(1:4, 48-byte records) -> keyed(64 keys, 4 workers).
+// Two constructions of the same graph: `two_hop` Emit()s the fused
+// prefix into its own channel and lets the keyed router pop the
+// expanded stream back out (one extra cross-thread hop carrying 4x the
+// records at 6x the width), `fused_keyed` terminates the chain in the
+// keyed stage so the prefix runs inside the partition router and that
+// hop never exists. The equivalence suite pins the outputs identical;
+// the throughput ratio is the price of the eliminated hop. The keyed
+// fold is accumulate-only (flush emits one record per key) so neither
+// the workers nor the output edge mask the transport cost under test.
+
+struct KeyedRec {
+  uint64_t key = 0;
+  double payload[5] = {0, 0, 0, 0, 0};
+};
+
+struct KeyedFusionResult {
+  double records_per_s = 0.0;
+  stream::WorkerEdgeSkew skew;
+};
+
+KeyedFusionResult MeasureKeyedFusion(bool fused, int count) {
+  constexpr size_t kCapacity = 256;
+  constexpr size_t kWorkers = 4;
+  stream::Pipeline pipeline;
+  int next = 0;
+  auto source = stream::Flow<int>::FromGenerator(
+      &pipeline,
+      [&next, count]() -> std::optional<int> {
+        if (next >= count) return std::nullopt;
+        return next++;
+      },
+      {.name = "source",
+       .capacity = kCapacity,
+       .batch = stream::BatchPolicy::Batched(64, 1)});
+  auto expand = [](const int& x) {
+    std::vector<KeyedRec> out;
+    out.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      KeyedRec r;
+      r.key = static_cast<uint64_t>((x * 4 + i) & 63);
+      r.payload[0] = static_cast<double>(x);
+      out.push_back(r);
+    }
+    return out;
+  };
+  auto key_fn = [](const KeyedRec& r) { return r.key; };
+  auto proc = [](const KeyedRec& r, double& sum,
+                 const std::function<void(double)>&) { sum += r.payload[0]; };
+  auto flush = [](uint64_t, double& sum,
+                  const std::function<void(double)>& emit) { emit(sum); };
+  double checksum = 0.0;
+  auto sink = [&checksum](const double& v) { checksum += v; };
+  stream::StageOptions keyed_opts;
+  keyed_opts.name = "keyed";
+  keyed_opts.capacity = kCapacity;
+  if (fused) {
+    source.Fuse()
+        .FlatMap<KeyedRec>(expand)
+        .KeyedProcessParallel<double, double>(key_fn, proc, kWorkers, flush,
+                                              std::move(keyed_opts))
+        .Sink(sink);
+  } else {
+    source.Fuse()
+        .FlatMap<KeyedRec>(expand)
+        .Emit({.name = "expand", .capacity = kCapacity})
+        .KeyedProcessParallel<double, double>(key_fn, proc, kWorkers, flush,
+                                              std::move(keyed_opts))
+        .Sink(sink);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  pipeline.Run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(checksum);
+  KeyedFusionResult result;
+  result.records_per_s = static_cast<double>(count) / seconds;
+  for (const stream::StageMetrics& m : pipeline.Report()) {
+    if (m.stage == "keyed") {
+      result.skew = stream::SummarizeWorkerEdges(m.worker_edges);
+    }
+  }
+  return result;
+}
+
+// Skew-aware partition-edge tuning under a hot key: 80% of the stream
+// lands on one key (one partition edge), and every hot-key record costs
+// ~20us at its worker, so the hot edge's pops blow the slow-batch
+// latency bound while the cold edges starve. The per-edge controllers
+// must back the hot edge off (hot_adjust_down > 0) while the starvation
+// gate holds the cold targets (cold_adjust_down == 0 given enough
+// cores); the uniform arm is the skew_ratio contrast.
+KeyedFusionResult MeasureKeyedSkew(bool skewed, int count) {
+  constexpr size_t kWorkers = 4;
+  stream::Pipeline pipeline;
+  int next = 0;
+  stream::BatchPolicy policy = stream::BatchPolicy::Adaptive(64, 1, 256);
+  policy.tune_every_records = 256;
+  auto source = stream::Flow<int>::FromGenerator(
+      &pipeline,
+      [&next, count]() -> std::optional<int> {
+        if (next >= count) return std::nullopt;
+        return next++;
+      },
+      {.name = "source", .capacity = 256, .batch = policy});
+  auto to_rec = [skewed](const int& x) {
+    KeyedRec r;
+    // Hot key 0 takes 80% of the skewed stream; uniform spreads 0..15.
+    r.key = skewed ? (x % 5 != 0 ? 0 : 1 + static_cast<uint64_t>(x) % 15)
+                   : static_cast<uint64_t>(x) % 16;
+    r.payload[0] = static_cast<double>(x);
+    return r;
+  };
+  auto key_fn = [](const KeyedRec& r) { return r.key; };
+  auto proc = [](const KeyedRec& r, double& sum,
+                 const std::function<void(double)>&) {
+    sum += r.payload[0];
+    if (r.key == 0) {
+      // The hot key's per-record cost: a 64-record pop at the hot edge
+      // takes milliseconds, far past the 1ms slow-batch bound.
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  };
+  auto flush = [](uint64_t, double& sum,
+                  const std::function<void(double)>& emit) { emit(sum); };
+  double checksum = 0.0;
+  stream::StageOptions keyed_opts;
+  keyed_opts.name = "keyed";
+  keyed_opts.capacity = 256;
+  source.Fuse()
+      .Map<KeyedRec>(to_rec)
+      .KeyedProcessParallel<double, double>(key_fn, proc, kWorkers, flush,
+                                            std::move(keyed_opts))
+      .Sink([&checksum](const double& v) { checksum += v; });
+  const auto t0 = std::chrono::steady_clock::now();
+  pipeline.Run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(checksum);
+  KeyedFusionResult result;
+  result.records_per_s = static_cast<double>(count) / seconds;
+  for (const stream::StageMetrics& m : pipeline.Report()) {
+    if (m.stage == "keyed") {
+      result.skew = stream::SummarizeWorkerEdges(m.worker_edges);
+    }
+  }
+  return result;
+}
+
 void RunBatchedTransportComparison(bool smoke) {
   const size_t kTransferTotal = smoke ? 200000 : 2000000;
   const int kPipelineCount = smoke ? 100000 : 500000;
@@ -711,6 +867,62 @@ void RunBatchedTransportComparison(bool smoke) {
     }
   }
 
+  // ---- keyed-terminal fusion: two-hop vs fused, uniform vs skewed ----
+  {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int count = smoke ? 100000 : 500000;
+    std::printf(
+        "\n=== keyed-terminal fusion: source->expand(1:4)->keyed(4 workers), "
+        "%d source records ===\n",
+        count);
+    std::printf("%-28s %14s %12s\n", "row", "records/s", "vs two_hop");
+    double two_hop_rate = 0.0;
+    for (const bool fused : {false, true}) {
+      KeyedFusionResult best;
+      for (int rep = 0; rep < kReps; ++rep) {
+        KeyedFusionResult r = MeasureKeyedFusion(fused, count);
+        if (r.records_per_s > best.records_per_s) best = r;
+      }
+      if (!fused) two_hop_rate = best.records_per_s;
+      BenchRow row;
+      row.name = fused ? "keyed_fusion/fused_keyed" : "keyed_fusion/two_hop";
+      row.records = static_cast<size_t>(count);
+      row.records_per_s = best.records_per_s;
+      row.hw_threads = hw;
+      rows.push_back(row);
+      std::printf("%-28s %14.0f %11.2fx\n", row.name.c_str(),
+                  best.records_per_s,
+                  two_hop_rate > 0 ? best.records_per_s / two_hop_rate : 0.0);
+    }
+
+    const int skew_count = smoke ? 8000 : 20000;
+    std::printf(
+        "\n=== skew-aware partition-edge tuning: keyed(4 workers), %d "
+        "records, hot key ~20us/record ===\n",
+        skew_count);
+    std::printf("%-28s %14s %6s %9s %9s %9s\n", "row", "records/s", "skew",
+                "hot_down", "cold_down", "targets");
+    for (const bool skewed : {false, true}) {
+      // One rep: the gates read controller counters, not throughput.
+      const KeyedFusionResult r = MeasureKeyedSkew(skewed, skew_count);
+      BenchRow row;
+      row.name = skewed ? "keyed_fusion/adaptive_skewed"
+                        : "keyed_fusion/adaptive_uniform";
+      row.records = static_cast<size_t>(skew_count);
+      row.records_per_s = r.records_per_s;
+      row.hw_threads = hw;
+      row.has_skew = true;
+      row.skew = r.skew;
+      rows.push_back(row);
+      std::printf(
+          "%-28s %14.0f %6.2f %9llu %9llu [%zu,%zu]\n", row.name.c_str(),
+          r.records_per_s, r.skew.skew_ratio,
+          static_cast<unsigned long long>(r.skew.hot_adjust_down),
+          static_cast<unsigned long long>(r.skew.cold_adjust_down),
+          r.skew.min_target, r.skew.max_target);
+    }
+  }
+
   if (std::FILE* f = std::fopen("BENCH_micro.json", "w")) {
     std::fprintf(f, "[\n");
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -748,6 +960,20 @@ void RunBatchedTransportComparison(bool smoke) {
         std::fprintf(f, ", \"p99_ms\": %.3f, \"budget_ms\": %lld",
                      rows[i].p99_ms,
                      static_cast<long long>(rows[i].budget_ms));
+      }
+      if (rows[i].hw_threads > 0) {
+        std::fprintf(f, ", \"hw_threads\": %d", rows[i].hw_threads);
+      }
+      if (rows[i].has_skew) {
+        const stream::WorkerEdgeSkew& s = rows[i].skew;
+        std::fprintf(f,
+                     ", \"skew_ratio\": %.3f, \"hot_edges\": %zu, "
+                     "\"hot_adjust_down\": %llu, \"cold_adjust_down\": %llu, "
+                     "\"min_target\": %zu, \"max_target\": %zu",
+                     s.skew_ratio, s.hot_edges,
+                     static_cast<unsigned long long>(s.hot_adjust_down),
+                     static_cast<unsigned long long>(s.cold_adjust_down),
+                     s.min_target, s.max_target);
       }
       std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
     }

@@ -44,19 +44,6 @@ inline stream::Flow<Position> CleaningStage(
       std::move(stage));
 }
 
-/// Deprecated positional form — use the StageOptions overload.
-[[deprecated("use CleaningStage(flow, options, StageOptions, cleaner_out)")]]
-inline stream::Flow<Position> CleaningStage(
-    stream::Flow<Position> flow, const StreamCleaner::Options& options,
-    size_t capacity, std::shared_ptr<StreamCleaner>* cleaner_out = nullptr,
-    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
-  stream::StageOptions stage;
-  stage.capacity = capacity;
-  stage.batch = policy;
-  return CleaningStage(std::move(flow), options, std::move(stage),
-                       cleaner_out);
-}
-
 /// Wraps AreaTransitionDetector as a 1:N dataflow stage: each position
 /// expands to the area entry/exit events it triggers. `stage.name`
 /// defaults to "insitu.area_events"; adaptive batched transport by
@@ -73,19 +60,6 @@ inline stream::Flow<AreaEvent> AreaEventStage(
         return detector->Observe(p);
       },
       std::move(stage));
-}
-
-/// Deprecated positional form — use the StageOptions overload.
-[[deprecated("use AreaEventStage(flow, areas, extent, StageOptions)")]]
-inline stream::Flow<AreaEvent> AreaEventStage(
-    stream::Flow<Position> flow, std::vector<geom::Area> areas,
-    const geom::BBox& extent, size_t capacity,
-    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
-  stream::StageOptions stage;
-  stage.capacity = capacity;
-  stage.batch = policy;
-  return AreaEventStage(std::move(flow), std::move(areas), extent,
-                        std::move(stage));
 }
 
 }  // namespace tcmf::insitu

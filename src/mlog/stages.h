@@ -78,17 +78,6 @@ inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
   });
 }
 
-/// Deprecated positional form — use the StageOptions overload.
-[[deprecated("use LogSink(flow, log, StageOptions)")]]
-inline void LogSink(stream::Flow<stream::Record> flow, Log* log,
-                    size_t batch_size, std::string name = "mlog.sink") {
-  stream::StageOptions stage;
-  stage.name = std::move(name);
-  stage.batch =
-      stream::BatchPolicy::Batched(batch_size == 0 ? 1 : batch_size);
-  LogSink(std::move(flow), log, std::move(stage));
-}
-
 /// Replay configuration for LogSource.
 struct LogSourceOptions {
   /// First offset to replay (clamped to the retention horizon). Ignored

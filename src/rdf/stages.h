@@ -47,21 +47,56 @@ inline stream::Flow<Triple> TripleGeneratorStage(
 /// SemanticNode triples flow straight into the output edge with no
 /// intermediate graph. `prefix` mints IRIs; `stage.name` defaults to
 /// "rdf.trajectory"; adaptive batched transport by default.
+namespace internal {
+
+/// Per-entity accumulation of critical points for the trajectory builder.
+using TrajectoryState = std::vector<synopses::CriticalPoint>;
+
+inline stream::KeyedProcessFn<synopses::CriticalPoint, Triple,
+                              TrajectoryState>
+TrajectoryProcess() {
+  return [](const synopses::CriticalPoint& cp, TrajectoryState& state,
+            const std::function<void(Triple)>&) { state.push_back(cp); };
+}
+
+inline stream::KeyedFlushFn<Triple, TrajectoryState> TrajectoryFlush(
+    std::string prefix) {
+  return [prefix = std::move(prefix)](
+             uint64_t key, TrajectoryState& state,
+             const std::function<void(Triple)>& emit) {
+    BuildSemanticTrajectory(prefix, key, state,
+                            [&emit](const Triple& t) { emit(t); });
+  };
+}
+
+}  // namespace internal
+
 inline stream::Flow<Triple> SemanticTrajectoryStage(
     stream::Flow<synopses::CriticalPoint> flow, std::string prefix,
     stream::StageOptions stage = {}) {
   if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
   if (stage.name.empty()) stage.name = "rdf.trajectory";
-  using State = std::vector<synopses::CriticalPoint>;
-  return flow.KeyedProcess<Triple, State>(
+  return flow.KeyedProcess<Triple, internal::TrajectoryState>(
       [](const synopses::CriticalPoint& cp) { return cp.pos.entity_id; },
-      [](const synopses::CriticalPoint& cp, State& state,
-         const std::function<void(Triple)>&) { state.push_back(cp); },
-      [prefix = std::move(prefix)](uint64_t key, State& state,
-                                   const std::function<void(Triple)>& emit) {
-        BuildSemanticTrajectory(prefix, key, state,
-                                [&emit](const Triple& t) { emit(t); });
-      },
+      internal::TrajectoryProcess(),
+      internal::TrajectoryFlush(std::move(prefix)), std::move(stage));
+}
+
+/// Fused-chain form: terminates a fused stateless prefix (e.g. a synopsis
+/// post-filter composed with `flow.Fuse()`) directly in the trajectory
+/// keyed stage; with `parallelism > 1` entities are hash-partitioned
+/// across workers and the prefix runs inside the partition router.
+template <typename In>
+stream::Flow<Triple> SemanticTrajectoryStage(
+    stream::FusedChain<In, synopses::CriticalPoint> chain, std::string prefix,
+    size_t parallelism = 1, stream::StageOptions stage = {}) {
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "rdf.trajectory";
+  return chain.template KeyedProcessParallel<Triple,
+                                             internal::TrajectoryState>(
+      [](const synopses::CriticalPoint& cp) { return cp.pos.entity_id; },
+      internal::TrajectoryProcess(),
+      parallelism, internal::TrajectoryFlush(std::move(prefix)),
       std::move(stage));
 }
 

@@ -99,6 +99,14 @@ struct StageMetrics {
   uint64_t capacity_resize_up = 0;    ///< times the bound was grown (x2)
   uint64_t capacity_resize_down = 0;  ///< times the bound was shrunk (x0.5)
   uint64_t capacity_converged = 0;    ///< stable bound (0 until converged)
+  // Partition-edge breakdown (keyed-parallel stages only; empty for every
+  // other edge). One nested snapshot per router→worker partition edge,
+  // each carrying its own tuner_*/capacity_* controller blocks; rendered
+  // by ToJson() as a "worker_edges" array plus the "skew_ratio" summary.
+  std::vector<StageMetrics> worker_edges;
+  /// Hottest partition edge's records_in over the mean across edges
+  /// (WorkerEdgeSkewRatio): 1.0 ⇒ uniform fan-out, 0 ⇒ no edges/records.
+  double skew_ratio = 0.0;
 
   /// Mean elements moved per push/pop transfer — the amortization factor
   /// the batched transport buys on this edge (1.0 ⇒ record-at-a-time).
@@ -216,16 +224,43 @@ struct StageMetrics {
       n += std::snprintf(buf + n, sizeof(buf) - n, ",\"error\":\"%s\"",
                          JsonEscape(error).c_str());
     }
-    if (n > 0 && static_cast<size_t>(n) < sizeof(buf) - 1) {
-      buf[n] = '}';
-      buf[n + 1] = '\0';
-    } else {
-      buf[sizeof(buf) - 2] = '}';
-      buf[sizeof(buf) - 1] = '\0';
+    std::string out(buf,
+                    n > 0 ? std::min(static_cast<size_t>(n), sizeof(buf) - 1)
+                          : 0);
+    if (!worker_edges.empty()) {
+      char tail[48];
+      std::snprintf(tail, sizeof(tail), ",\"skew_ratio\":%.2f", skew_ratio);
+      out += tail;
+      out += ",\"worker_edges\":[";
+      for (size_t i = 0; i < worker_edges.size(); ++i) {
+        if (i) out += ',';
+        out += worker_edges[i].ToJson();
+      }
+      out += ']';
     }
-    return buf;
+    out += '}';
+    return out;
   }
 };
+
+/// Hottest-edge load factor over a keyed stage's partition edges:
+/// max(records_in) / mean(records_in). 1.0 ⇒ perfectly uniform fan-out,
+/// K ⇒ the hottest worker saw K× the average load; 0 when there are no
+/// edges or no records yet. This is the headline number for deciding
+/// whether per-edge tuner divergence reflects key skew or noise (see
+/// stream::SummarizeWorkerEdges in tuning.h for the full breakdown).
+inline double WorkerEdgeSkewRatio(const std::vector<StageMetrics>& edges) {
+  if (edges.empty()) return 0.0;
+  uint64_t total = 0;
+  uint64_t hottest = 0;
+  for (const StageMetrics& e : edges) {
+    total += e.records_in;
+    hottest = std::max(hottest, e.records_in);
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) / edges.size();
+  return static_cast<double>(hottest) / mean;
+}
 
 /// Thread-safe first-error-wins holder shared between a stage thread and
 /// the metrics snapshot lambda registered with Pipeline::RegisterStage.
@@ -261,6 +296,10 @@ class StickyStageError {
 /// the first non-empty error wins. Controller state (tuner_*/capacity_*)
 /// is per-edge and meaningless summed, so the aggregate row reports
 /// tuned=false; read the per-shard breakdown for controller detail.
+/// Keyed stages' nested worker_edges merge positionally — shard s's
+/// partition w and shard t's partition w are the same logical edge (same
+/// Mix64 key range), so edge w of the aggregate sums edge w of every
+/// shard and the skew ratio is recomputed over the merged edges.
 inline StageMetrics AggregateStageMetrics(
     const std::string& stage_name, const std::vector<StageMetrics>& shards) {
   StageMetrics agg;
@@ -291,6 +330,21 @@ inline StageMetrics AggregateStageMetrics(
     agg.kg_triples_scanned += m.kg_triples_scanned;
     agg.kg_st_filter_evaluations += m.kg_st_filter_evaluations;
   }
+  size_t max_edges = 0;
+  for (const StageMetrics& m : shards) {
+    max_edges = std::max(max_edges, m.worker_edges.size());
+  }
+  for (size_t w = 0; w < max_edges; ++w) {
+    std::vector<StageMetrics> edge_shards;
+    std::string edge_name;
+    for (const StageMetrics& m : shards) {
+      if (w >= m.worker_edges.size()) continue;
+      if (edge_name.empty()) edge_name = m.worker_edges[w].stage;
+      edge_shards.push_back(m.worker_edges[w]);
+    }
+    agg.worker_edges.push_back(AggregateStageMetrics(edge_name, edge_shards));
+  }
+  agg.skew_ratio = WorkerEdgeSkewRatio(agg.worker_edges);
   return agg;
 }
 

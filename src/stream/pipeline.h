@@ -1,6 +1,7 @@
 #ifndef TCMF_STREAM_PIPELINE_H_
 #define TCMF_STREAM_PIPELINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -11,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -25,9 +27,9 @@ namespace tcmf::stream {
 
 /// Unified per-stage configuration for every Flow operator and stage
 /// helper — the one options struct that replaced the positional
-/// `(capacity, name)` tails (those overloads remain as [[deprecated]]
-/// delegates for one release). Designated initializers make call sites
-/// self-describing:
+/// `(capacity, name)` tails (removed after their one-release deprecation
+/// window; tools/check_deprecated_api.py keeps them from coming back).
+/// Designated initializers make call sites self-describing:
 ///
 ///   flow.Map<Out>(fn, {.name = "clean", .capacity = 256});
 ///   flow.Filter(pred, {.batch = BatchPolicy::Adaptive(),
@@ -329,6 +331,17 @@ class Pipeline {
     stages_.emplace_back(std::move(name), std::move(snap));
   }
 
+  /// Resolves a stage's final report name: empty names get the auto-name
+  /// "<op>#<index>" from the pipeline-wide counter. RegisterChannelStage
+  /// applies this itself; composite stages (KeyedProcessParallel) resolve
+  /// first so their nested worker_edges rows can share the prefix.
+  std::string ResolveStageName(const char* op, std::string name) {
+    if (name.empty()) {
+      name = std::string(op) + "#" + std::to_string(next_stage_index_++);
+    }
+    return name;
+  }
+
   /// Registers a channel as the named stage's output edge. If `name` is
   /// empty, an auto-name "<op>#<index>" is generated. When the edge is
   /// adaptive, pass its BatchTuner so stage snapshots carry the live
@@ -339,9 +352,7 @@ class Pipeline {
                                    std::shared_ptr<Channel<U>> channel,
                                    std::shared_ptr<BatchTuner> tuner =
                                        nullptr) {
-    if (name.empty()) {
-      name = std::string(op) + "#" + std::to_string(next_stage_index_++);
-    }
+    name = ResolveStageName(op, std::move(name));
     RegisterStage(name, [channel, tuner = std::move(tuner)] {
       StageMetrics m = channel->MetricsSnapshot();
       if (tuner) tuner->FillStageMetrics(&m);
@@ -406,8 +417,30 @@ using KeyedFlushFn =
     std::function<void(uint64_t key, State& state,
                        const std::function<void(Out)>& emit)>;
 
+template <typename T>
+class Flow;
+
 template <typename In, typename Cur>
 class FusedChain;
+
+namespace internal {
+
+/// Shared construction behind Flow::KeyedProcessParallel and
+/// FusedChain::KeyedProcessParallel (declared here, defined after Flow):
+/// a partition router plus `parallelism` keyed workers over per-worker
+/// partition edges, with the optional fused stateless `prefix` executed
+/// inside the router thread (nullptr = identity, the plain un-fused
+/// path).
+template <typename In, typename T, typename Out, typename State>
+Flow<Out> KeyedParallelStage(
+    Pipeline* pipeline, std::shared_ptr<Channel<In>> in,
+    std::shared_ptr<BatchTuner> upstream_tuner, const BatchPolicy& inherited,
+    std::function<void(In&&, const std::function<void(T&&)>&)> prefix,
+    std::function<uint64_t(const T&)> key_fn,
+    KeyedProcessFn<T, Out, State> process, size_t parallelism,
+    KeyedFlushFn<Out, State> flush, StageOptions opts, const char* op);
+
+}  // namespace internal
 
 /// A typed edge in the dataflow graph. Flow values are cheap handles:
 /// they share the underlying channel. Each handle also carries a
@@ -492,19 +525,6 @@ class Flow {
     return Flow<T>(pipeline, std::move(channel), policy, std::move(tuner));
   }
 
-  /// Deprecated positional form — use the StageOptions overload.
-  [[deprecated("use FromGenerator(pipeline, next, StageOptions)")]]
-  static Flow<T> FromGenerator(Pipeline* pipeline,
-                               std::function<std::optional<T>()> next,
-                               size_t capacity, std::string name = "",
-                               BatchPolicy policy = {}) {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    opts.batch = policy;
-    return FromGenerator(pipeline, std::move(next), std::move(opts));
-  }
-
   /// Source from a batch pull function: `next_batch(out, max_n)` appends
   /// up to `max_n` elements to `out` and returns how many it appended
   /// (0 = end of stream). The per-call `max_n` is the edge's live batch
@@ -544,21 +564,6 @@ class Flow {
     return Flow<T>(pipeline, std::move(channel), policy, std::move(tuner));
   }
 
-  /// Deprecated positional form — use the StageOptions overload.
-  [[deprecated("use FromBatchGenerator(pipeline, next_batch, StageOptions)")]]
-  static Flow<T> FromBatchGenerator(
-      Pipeline* pipeline,
-      std::function<size_t(std::vector<T>*, size_t)> next_batch,
-      size_t capacity, std::string name = "",
-      BatchPolicy policy = BatchPolicy::Batched()) {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    opts.batch = policy;
-    return FromBatchGenerator(pipeline, std::move(next_batch),
-                              std::move(opts));
-  }
-
   /// Source from a pre-materialized vector.
   static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
                             StageOptions opts = {}) {
@@ -571,18 +576,6 @@ class Flow {
           return (*data)[(*it)++];
         },
         std::move(opts));
-  }
-
-  /// Deprecated positional form — use the StageOptions overload.
-  [[deprecated("use FromVector(pipeline, items, StageOptions)")]]
-  static Flow<T> FromVector(Pipeline* pipeline, std::vector<T> items,
-                            size_t capacity, std::string name = "",
-                            BatchPolicy policy = {}) {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    opts.batch = policy;
-    return FromVector(pipeline, std::move(items), std::move(opts));
   }
 
   /// 1:1 transform.
@@ -605,17 +598,6 @@ class Flow {
       out->Close();
     });
     return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
-  }
-
-  /// Deprecated positional form — use the StageOptions overload.
-  template <typename Out>
-  [[deprecated("use Map(fn, StageOptions)")]]
-  Flow<Out> Map(std::function<Out(const T&)> fn, size_t capacity,
-                std::string name = "") {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return Map<Out>(std::move(fn), std::move(opts));
   }
 
   /// 1:N transform.
@@ -648,17 +630,6 @@ class Flow {
     return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
   }
 
-  /// Deprecated positional form — use the StageOptions overload.
-  template <typename Out>
-  [[deprecated("use FlatMap(fn, StageOptions)")]]
-  Flow<Out> FlatMap(std::function<std::vector<Out>(const T&)> fn,
-                    size_t capacity, std::string name = "") {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return FlatMap<Out>(std::move(fn), std::move(opts));
-  }
-
   /// Keeps elements satisfying the predicate.
   Flow<T> Filter(std::function<bool(const T&)> pred, StageOptions opts = {}) {
     const BatchPolicy policy = opts.EffectivePolicy(policy_);
@@ -683,21 +654,14 @@ class Flow {
     return Flow<T>(pipeline_, std::move(out), policy, std::move(out_tuner));
   }
 
-  /// Deprecated positional form — use the StageOptions overload.
-  [[deprecated("use Filter(pred, StageOptions)")]]
-  Flow<T> Filter(std::function<bool(const T&)> pred, size_t capacity,
-                 std::string name = "") {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return Filter(std::move(pred), std::move(opts));
-  }
-
   /// Starts a fused chain: adjacent stateless stages (Map/Filter/FlatMap)
   /// composed onto it run in ONE thread with ZERO channel crossings —
   /// `flow.Fuse().Map(f).Filter(p).Map(g).Emit()` materializes a single
-  /// "fused" stage instead of three channel-separated ones. Equivalent to
-  /// the unfused chain by construction (and by the differential harness).
+  /// "fused" stage instead of three channel-separated ones, and
+  /// `flow.Fuse().Map(f).Filter(p).KeyedProcessParallel(...)` terminates
+  /// the chain in a keyed stage whose router runs the prefix inline.
+  /// Equivalent to the unfused chain by construction (and by the
+  /// differential harness).
   FusedChain<T, T> Fuse() const;
 
   /// Keyed stateful processing with per-key state of type State.
@@ -744,24 +708,17 @@ class Flow {
     return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
   }
 
-  /// Deprecated positional form — use the StageOptions overload.
-  template <typename Out, typename State>
-  [[deprecated("use KeyedProcess(key_fn, process, flush, StageOptions)")]]
-  Flow<Out> KeyedProcess(std::function<uint64_t(const T&)> key_fn,
-                         KeyedProcessFn<T, Out, State> process,
-                         KeyedFlushFn<Out, State> flush, size_t capacity,
-                         std::string name = "") {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return KeyedProcess<Out, State>(std::move(key_fn), std::move(process),
-                                    std::move(flush), std::move(opts));
-  }
-
   /// Keyed stateful processing with `parallelism` worker threads: elements
   /// are hash-partitioned by key, each worker owns the state of its key
   /// range (the Flink keyed-stream execution model). Output order across
   /// workers is nondeterministic; per-key order is preserved.
+  ///
+  /// Each router→worker partition edge carries its own BatchTuner /
+  /// CapacityTuner (adaptive policies only): a hot partition re-targets
+  /// its own edge without moving the cold ones, and the per-edge
+  /// controller state surfaces as `worker_edges` (plus `skew_ratio`) on
+  /// this stage's row in Report()/ReportJson() — see
+  /// docs/STREAM_TUNING.md §7.
   template <typename Out, typename State>
   Flow<Out> KeyedProcessParallel(std::function<uint64_t(const T&)> key_fn,
                                  KeyedProcessFn<T, Out, State> process,
@@ -772,126 +729,10 @@ class Flow {
       return KeyedProcess<Out, State>(std::move(key_fn), std::move(process),
                                       std::move(flush), std::move(opts));
     }
-    const BatchPolicy policy = opts.EffectivePolicy(policy_);
-    auto out = std::make_shared<Channel<Out>>(opts.capacity);
-    // One tuner for the shared output edge: all workers flush at the same
-    // live target and feed the same controller (OnRecords is thread-safe).
-    auto out_tuner = internal::MakeTuner(policy, opts.capacity_tuning, out);
-    std::string stage = pipeline_->RegisterChannelStage(
-        "keyed_par", std::move(opts.name), out, out_tuner);
-    auto in = channel_;
-    auto router_in_tuner = policy.adaptive() ? tuner_ : nullptr;
-    // Partition router: one input channel per worker. Partition edges stay
-    // static (per-worker capacity tuning needs a skew-aware aggregation
-    // story first — see ROADMAP).
-    auto partitions =
-        std::make_shared<std::vector<std::shared_ptr<Channel<T>>>>();
-    for (size_t w = 0; w < parallelism; ++w) {
-      auto part = std::make_shared<Channel<T>>(opts.capacity);
-      pipeline_->RegisterChannelStage(
-          "", stage + ".part" + std::to_string(w), part);
-      partitions->push_back(std::move(part));
-    }
-    pipeline_->AddThread([in, partitions, key_fn, parallelism, policy,
-                          in_tuner = router_in_tuner] {
-      // Route through the Mix64 finalizer, not std::hash: libstdc++'s
-      // identity hash would fold structured keys (vessel IDs stepping by
-      // a multiple of `parallelism`) onto a single worker.
-      auto route = [&](T&& item) {
-        size_t w = HashPartition(key_fn(item), parallelism);
-        return (*partitions)[w]->Push(std::move(item));
-      };
-      if (!policy.batched()) {
-        while (auto item = in->Pop()) {
-          if (!route(std::move(*item))) {
-            // A worker cancelled its partition (downstream gone): stop
-            // routing and propagate the cancel to our own input.
-            in->CloseAndDrain();
-            break;
-          }
-        }
-      } else {
-        // Scatter each input batch into per-worker batches so partition
-        // edges also move amortized transfers.
-        std::vector<T> batch;
-        std::vector<std::vector<T>> scatter(parallelism);
-        batch.reserve(policy.PopMax());
-        bool open = true;
-        while (open) {
-          batch.clear();
-          const size_t want =
-              in_tuner ? in_tuner->target() : policy.PopMax();
-          const size_t n = in->PopBatch(&batch, want);
-          if (n == 0) break;
-          for (size_t i = 0; i < n; ++i) {
-            size_t w = HashPartition(key_fn(batch[i]), parallelism);
-            scatter[w].push_back(std::move(batch[i]));
-          }
-          for (size_t w = 0; w < parallelism && open; ++w) {
-            if (scatter[w].empty()) continue;
-            const size_t offered = scatter[w].size();
-            if ((*partitions)[w]->PushBatch(std::move(scatter[w])) !=
-                offered) {
-              open = false;
-            }
-            scatter[w].clear();
-          }
-        }
-        if (!open) in->CloseAndDrain();
-      }
-      for (auto& p : *partitions) p->Close();
-    });
-    // Workers share the output channel; the last one to finish closes it.
-    auto live_workers = std::make_shared<std::atomic<size_t>>(parallelism);
-    for (size_t w = 0; w < parallelism; ++w) {
-      auto my_in = (*partitions)[w];
-      pipeline_->AddThread([my_in, out, out_tuner, key_fn, process, flush,
-                            live_workers, policy] {
-        BatchEmitter<Out> emitter(out, policy, out_tuner);
-        std::unordered_map<uint64_t, State> states;
-        // Partition edges carry no tuner (they are fan-out internals);
-        // workers pop at the policy cap.
-        internal::RunStage(
-            my_in, emitter, policy, nullptr,
-            [&](T& item, BatchEmitter<Out>& em) {
-              bool ok = true;
-              auto emit = [&](Out o) {
-                if (ok && !em.Emit(std::move(o))) ok = false;
-              };
-              process(item, states[key_fn(item)], emit);
-              return ok;
-            },
-            [&](bool open, BatchEmitter<Out>& em) {
-              if (!open || !flush) return;
-              bool ok = true;
-              auto emit = [&](Out o) {
-                if (ok && !em.Emit(std::move(o))) ok = false;
-              };
-              for (auto& [key, state] : states) flush(key, state, emit);
-            });
-        if (live_workers->fetch_sub(1) == 1) out->Close();
-      });
-    }
-    return Flow<Out>(pipeline_, std::move(out), policy, std::move(out_tuner));
-  }
-
-  /// Deprecated positional form — use the StageOptions overload.
-  template <typename Out, typename State>
-  [[deprecated(
-      "use KeyedProcessParallel(key_fn, process, parallelism, flush, "
-      "StageOptions)")]]
-  Flow<Out> KeyedProcessParallel(std::function<uint64_t(const T&)> key_fn,
-                                 KeyedProcessFn<T, Out, State> process,
-                                 size_t parallelism,
-                                 KeyedFlushFn<Out, State> flush,
-                                 size_t capacity, std::string name = "") {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return KeyedProcessParallel<Out, State>(std::move(key_fn),
-                                            std::move(process), parallelism,
-                                            std::move(flush),
-                                            std::move(opts));
+    return internal::KeyedParallelStage<T, T, Out, State>(
+        pipeline_, channel_, tuner_, policy_, /*prefix=*/nullptr,
+        std::move(key_fn), std::move(process), parallelism, std::move(flush),
+        std::move(opts), "keyed_par");
   }
 
   /// Keyed event-time tumbling windows with bounded lateness: elements are
@@ -953,23 +794,6 @@ class Flow {
     });
     return Flow<Result>(pipeline_, std::move(out), policy,
                         std::move(out_tuner));
-  }
-
-  /// Deprecated positional form — use the StageOptions overload.
-  template <typename Acc>
-  [[deprecated("use KeyedTumblingWindow(..., add, StageOptions)")]]
-  Flow<std::pair<uint64_t, typename TumblingWindower<T, Acc>::WindowResult>>
-  KeyedTumblingWindow(std::function<uint64_t(const T&)> key_fn,
-                      std::function<TimeMs(const T&)> time_fn,
-                      TimeMs window_ms, TimeMs allowed_lateness_ms,
-                      std::function<void(Acc&, const T&, TimeMs)> add,
-                      size_t capacity, std::string name = "") {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return KeyedTumblingWindow<Acc>(std::move(key_fn), std::move(time_fn),
-                                    window_ms, allowed_lateness_ms,
-                                    std::move(add), std::move(opts));
   }
 
   /// Terminal: applies `fn` to every element. Runs until end-of-stream;
@@ -1056,12 +880,261 @@ class Flow {
   std::shared_ptr<BatchTuner> tuner_;  ///< this edge's controller (or null)
 };
 
+namespace internal {
+
+/// Shared keyed-parallel construction (see the declaration above Flow).
+/// `prefix` is the fused stateless chain executed INSIDE the router
+/// thread (nullptr = identity, the plain un-fused path): the router pops
+/// `In` elements from the upstream edge, runs the prefix inline, and
+/// hash-partitions the resulting `T` elements straight into the
+/// per-worker partition edges — zero channels between the upstream edge
+/// and the keyed boundary.
+///
+/// Partition-edge tuning: every router→worker edge gets its own
+/// BatchTuner/CapacityTuner (adaptive policies only). The router drives
+/// each edge's controller with the records it scatters there and each
+/// worker pops at its own edge's live target, so a hot partition's
+/// back-off (slow per-pop windows on a loaded worker) stays on its own
+/// edge while the starvation gate (BatchPolicy::
+/// backoff_max_starved_fraction) keeps the arrival-limited cold edges
+/// from shrinking in sympathy. The per-edge snapshots nest under the
+/// stage's report row as `worker_edges` (with `skew_ratio`); aggregate
+/// them with SummarizeWorkerEdges.
+///
+/// Router-input edge: the router's pop size is governed by its own
+/// controller over the upstream channel, seeded from the upstream
+/// tuner's live target — NOT by the upstream producer's tuner. The fused
+/// prefix runs inside the router, so per-pop cost is no longer what the
+/// upstream controller measured; sharing that controller would let the
+/// router's consumption profile re-target the producer's flush size.
+/// Registered as "<stage>.router_in" on adaptive policies.
+template <typename In, typename T, typename Out, typename State>
+Flow<Out> KeyedParallelStage(
+    Pipeline* pipeline, std::shared_ptr<Channel<In>> in,
+    std::shared_ptr<BatchTuner> upstream_tuner, const BatchPolicy& inherited,
+    std::function<void(In&&, const std::function<void(T&&)>&)> prefix,
+    std::function<uint64_t(const T&)> key_fn,
+    KeyedProcessFn<T, Out, State> process, size_t parallelism,
+    KeyedFlushFn<Out, State> flush, StageOptions opts, const char* op) {
+  const BatchPolicy policy = opts.EffectivePolicy(inherited);
+  auto out = std::make_shared<Channel<Out>>(opts.capacity);
+  // One tuner for the shared output edge: all workers flush at the same
+  // live target and feed the same controller (OnRecords is thread-safe).
+  auto out_tuner = MakeTuner(policy, opts.capacity_tuning, out);
+  const std::string stage = pipeline->ResolveStageName(op, std::move(opts.name));
+
+  if (parallelism <= 1) {
+    // One worker: the prefix and the keyed state machine share a single
+    // stage thread — no router, no partition edges.
+    pipeline->RegisterChannelStage(op, stage, out, out_tuner);
+    auto in_tuner = policy.adaptive() ? upstream_tuner : nullptr;
+    pipeline->AddThread([in, out, policy, in_tuner, out_tuner,
+                         prefix = std::move(prefix),
+                         key_fn = std::move(key_fn),
+                         process = std::move(process),
+                         flush = std::move(flush)] {
+      BatchEmitter<Out> emitter(out, policy, out_tuner);
+      std::unordered_map<uint64_t, State> states;
+      RunStage(
+          in, emitter, policy, in_tuner,
+          [&](In& item, BatchEmitter<Out>& em) {
+            bool ok = true;
+            auto emit = [&](Out o) {
+              if (ok && !em.Emit(std::move(o))) ok = false;
+            };
+            auto keyed = [&](T&& t) { process(t, states[key_fn(t)], emit); };
+            if constexpr (std::is_same_v<In, T>) {
+              if (!prefix) {
+                keyed(std::move(item));
+                return ok;
+              }
+            }
+            prefix(std::move(item), keyed);
+            return ok;
+          },
+          [&](bool open, BatchEmitter<Out>& em) {
+            if (!open || !flush) return;
+            bool ok = true;
+            auto emit = [&](Out o) {
+              if (ok && !em.Emit(std::move(o))) ok = false;
+            };
+            for (auto& [key, state] : states) flush(key, state, emit);
+          });
+      out->Close();
+    });
+    return Flow<Out>(pipeline, std::move(out), policy, std::move(out_tuner));
+  }
+
+  // Partition router: one input channel per worker, each edge with its
+  // own adaptive controllers.
+  auto partitions =
+      std::make_shared<std::vector<std::shared_ptr<Channel<T>>>>();
+  auto part_tuners =
+      std::make_shared<std::vector<std::shared_ptr<BatchTuner>>>();
+  for (size_t w = 0; w < parallelism; ++w) {
+    auto part = std::make_shared<Channel<T>>(opts.capacity);
+    part_tuners->push_back(MakeTuner(policy, opts.capacity_tuning, part));
+    partitions->push_back(std::move(part));
+  }
+  // One report row for the whole stage: the shared output edge plus the
+  // per-partition edges nested as worker_edges.
+  pipeline->RegisterStage(
+      stage, [out, out_tuner, partitions, part_tuners, stage] {
+        StageMetrics m = out->MetricsSnapshot();
+        if (out_tuner) out_tuner->FillStageMetrics(&m);
+        m.worker_edges.reserve(partitions->size());
+        for (size_t w = 0; w < partitions->size(); ++w) {
+          StageMetrics e = (*partitions)[w]->MetricsSnapshot();
+          e.stage = stage + ".part" + std::to_string(w);
+          if ((*part_tuners)[w]) (*part_tuners)[w]->FillStageMetrics(&e);
+          m.worker_edges.push_back(std::move(e));
+        }
+        m.skew_ratio = WorkerEdgeSkewRatio(m.worker_edges);
+        return m;
+      });
+
+  // The router's own input controller (see the doc comment above). No
+  // capacity tuner is attached: the upstream channel's bound belongs to
+  // the upstream stage's options, and only one CapacityTuner may own a
+  // channel's watermark window.
+  std::shared_ptr<BatchTuner> router_in_tuner;
+  if (policy.adaptive()) {
+    BatchPolicy seeded = policy;
+    if (upstream_tuner) {
+      seeded.max_batch = std::clamp(upstream_tuner->target(),
+                                    policy.min_batch, policy.max_batch_cap);
+    }
+    router_in_tuner = std::make_shared<BatchTuner>(
+        seeded, [in] { return in->MetricsSnapshot(); });
+    pipeline->RegisterStage(stage + ".router_in", [in, router_in_tuner] {
+      StageMetrics m = in->MetricsSnapshot();
+      router_in_tuner->FillStageMetrics(&m);
+      return m;
+    });
+  }
+
+  pipeline->AddThread([in, partitions, part_tuners, parallelism, policy,
+                       router_in_tuner, key_fn,
+                       prefix = std::move(prefix)] {
+    // Route through the Mix64 finalizer, not std::hash: libstdc++'s
+    // identity hash would fold structured keys (vessel IDs stepping by
+    // a multiple of `parallelism`) onto a single worker.
+    if (!policy.batched()) {
+      bool open = true;
+      auto route = [&](T&& t) {
+        if (!open) return;
+        const size_t w = HashPartition(key_fn(t), parallelism);
+        if (!(*partitions)[w]->Push(std::move(t))) {
+          // A worker cancelled its partition (downstream gone): stop
+          // routing and propagate the cancel to our own input.
+          open = false;
+        } else if ((*part_tuners)[w]) {
+          (*part_tuners)[w]->OnRecords(1);
+        }
+      };
+      while (open) {
+        std::optional<In> item = in->Pop();
+        if (!item.has_value()) break;
+        if constexpr (std::is_same_v<In, T>) {
+          if (!prefix) {
+            route(std::move(*item));
+            continue;
+          }
+        }
+        prefix(std::move(*item), route);
+      }
+      if (!open) in->CloseAndDrain();
+    } else {
+      // Scatter each input batch into per-worker batches so partition
+      // edges also move amortized transfers; the fused prefix runs here,
+      // between the pop and the scatter.
+      std::vector<In> batch;
+      std::vector<std::vector<T>> scatter(parallelism);
+      batch.reserve(policy.PopMax());
+      bool open = true;
+      auto stage_elem = [&](T&& t) {
+        scatter[HashPartition(key_fn(t), parallelism)].push_back(
+            std::move(t));
+      };
+      while (open) {
+        batch.clear();
+        const size_t want =
+            router_in_tuner ? router_in_tuner->target() : policy.PopMax();
+        const size_t n = in->PopBatch(&batch, want);
+        if (n == 0) break;
+        for (size_t i = 0; i < n; ++i) {
+          if constexpr (std::is_same_v<In, T>) {
+            if (!prefix) {
+              stage_elem(std::move(batch[i]));
+              continue;
+            }
+          }
+          prefix(std::move(batch[i]), stage_elem);
+        }
+        if (router_in_tuner) router_in_tuner->OnRecords(n);
+        for (size_t w = 0; w < parallelism && open; ++w) {
+          if (scatter[w].empty()) continue;
+          const size_t offered = scatter[w].size();
+          if ((*partitions)[w]->PushBatch(std::move(scatter[w])) !=
+              offered) {
+            open = false;
+          } else if ((*part_tuners)[w]) {
+            (*part_tuners)[w]->OnRecords(offered);
+          }
+          scatter[w].clear();
+        }
+      }
+      if (!open) in->CloseAndDrain();
+    }
+    for (auto& p : *partitions) p->Close();
+  });
+
+  // Workers share the output channel; the last one to finish closes it.
+  // Each worker pops its partition at that edge's own live target.
+  auto live_workers = std::make_shared<std::atomic<size_t>>(parallelism);
+  for (size_t w = 0; w < parallelism; ++w) {
+    auto my_in = (*partitions)[w];
+    auto my_tuner = (*part_tuners)[w];
+    pipeline->AddThread([my_in, my_tuner, out, out_tuner, key_fn, process,
+                         flush, live_workers, policy] {
+      BatchEmitter<Out> emitter(out, policy, out_tuner);
+      std::unordered_map<uint64_t, State> states;
+      RunStage(
+          my_in, emitter, policy, my_tuner,
+          [&](T& item, BatchEmitter<Out>& em) {
+            bool ok = true;
+            auto emit = [&](Out o) {
+              if (ok && !em.Emit(std::move(o))) ok = false;
+            };
+            process(item, states[key_fn(item)], emit);
+            return ok;
+          },
+          [&](bool open, BatchEmitter<Out>& em) {
+            if (!open || !flush) return;
+            bool ok = true;
+            auto emit = [&](Out o) {
+              if (ok && !em.Emit(std::move(o))) ok = false;
+            };
+            for (auto& [key, state] : states) flush(key, state, emit);
+          });
+      if (live_workers->fetch_sub(1) == 1) out->Close();
+    });
+  }
+  return Flow<Out>(pipeline, std::move(out), policy, std::move(out_tuner));
+}
+
+}  // namespace internal
+
 /// A chain of stateless operators fused into one stage: the composed
 /// transform runs element-at-a-time inside a single thread, so a
 /// Map→Filter→Map pipeline segment costs one channel crossing instead of
 /// three (operator fusion — the other half of the transport amortization
 /// story). Build with Flow::Fuse(), compose with Map/Filter/FlatMap, then
-/// Emit() materializes the single stage (registered as "fused").
+/// materialize: Emit() produces the single stateless stage (registered as
+/// "fused"), or terminate the chain in a keyed stage with
+/// KeyedProcessParallel — the composed prefix then runs inside the
+/// partition router itself (registered as "fused_keyed"), with zero
+/// channels between the source edge and the keyed boundary.
 ///
 /// `In` is the input type of the fused stage, `Cur` the current output
 /// type of the composed chain.
@@ -1114,6 +1187,30 @@ class FusedChain {
     return FusedChain<In, Out>(source_, std::move(next));
   }
 
+  /// Terminates the chain in a keyed-parallel stage: the composed
+  /// stateless prefix executes INSIDE the partition router thread, so the
+  /// chain costs zero channel crossings between the source edge and the
+  /// keyed boundary (Flink-style operator chaining up to the keyed
+  /// shuffle). Semantics are exactly `...Emit()` followed by
+  /// Flow::KeyedProcessParallel minus the intermediate channel: same
+  /// Mix64 partitioning, same per-key order, same flush-at-end and
+  /// cancellation contracts — the two-hop construction remains the
+  /// differential reference (tests/stream_batch_equiv_test.cc). With
+  /// `parallelism <= 1` the prefix and the keyed state machine share one
+  /// stage thread. Returns the stage's output Flow directly; keyed
+  /// terminals have no separate Emit step.
+  template <typename Out, typename State>
+  Flow<Out> KeyedProcessParallel(std::function<uint64_t(const Cur&)> key_fn,
+                                 KeyedProcessFn<Cur, Out, State> process,
+                                 size_t parallelism,
+                                 KeyedFlushFn<Out, State> flush = nullptr,
+                                 StageOptions opts = {}) const {
+    return internal::KeyedParallelStage<In, Cur, Out, State>(
+        source_.pipeline(), source_.channel(), source_.tuner(),
+        source_.batch_policy(), apply_, std::move(key_fn), std::move(process),
+        parallelism, std::move(flush), std::move(opts), "fused_keyed");
+  }
+
   /// Materializes the fused chain as one pipeline stage with one output
   /// channel, draining and emitting per the source Flow's BatchPolicy
   /// (overridable via `opts.batch` like any other operator).
@@ -1142,15 +1239,6 @@ class FusedChain {
       out->Close();
     });
     return Flow<Cur>(pipeline, std::move(out), policy, std::move(out_tuner));
-  }
-
-  /// Deprecated positional form — use the StageOptions overload.
-  [[deprecated("use Emit(StageOptions)")]]
-  Flow<Cur> Emit(size_t capacity, std::string name = "") const {
-    StageOptions opts;
-    opts.capacity = capacity;
-    opts.name = std::move(name);
-    return Emit(std::move(opts));
   }
 
  private:

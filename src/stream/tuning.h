@@ -77,6 +77,15 @@ struct BatchPolicy {
   /// compute/IO-bound, not lock-bound) and the tuner halves the target to
   /// cut batch-staging latency.
   double slow_batch_ms = 1.0;
+  /// Back-off gate: a slow-pop window only triggers back-off when the
+  /// consumer spent LESS than this fraction of the window blocked waiting
+  /// for input. A starved edge (consumer mostly parked in Pop) shows a
+  /// large wall-time-per-pop too, but that is arrival-limited, not
+  /// work-limited — shrinking its target buys nothing. The per-partition
+  /// edges of a skewed keyed fan-out rely on this: cold partitions starve
+  /// while the hot worker grinds, and without the gate every cold edge
+  /// would back off in sympathy with the hot one.
+  double backoff_max_starved_fraction = 0.5;
   /// Growth gate: the tuner only raises the target while producers
   /// actually fill batches to at least this fraction of it (a trickling
   /// edge gains nothing from a bigger target).
@@ -446,6 +455,8 @@ class BatchTuner {
     const uint64_t d_bat_out = snap.batches_out - last_.batches_out;
     const uint64_t d_blocked_ns =
         snap.producer_blocked_ns - last_.producer_blocked_ns;
+    const uint64_t d_cons_blocked_ns =
+        snap.consumer_blocked_ns - last_.consumer_blocked_ns;
     last_ = snap;
     last_time_ = now;
     if (wall_ms <= 0.0 || d_rec_in == 0) return;  // idle window: no evidence
@@ -464,10 +475,16 @@ class BatchTuner {
     if (policy_.adaptive()) {
       const size_t cur = target_.load(std::memory_order_relaxed);
       size_t next = cur;
-      if (pop_ms > policy_.slow_batch_ms) {
+      const double starved_fraction =
+          static_cast<double>(d_cons_blocked_ns) / (wall_ms * 1e6);
+      if (pop_ms > policy_.slow_batch_ms &&
+          starved_fraction < policy_.backoff_max_starved_fraction) {
         // Slow consumer: back off, or hold at the floor. Growing here
         // would only add batch-staging latency (and oscillate at
-        // min_batch).
+        // min_batch). A *starved* consumer is exempt: its pops are rare
+        // because records trickle in, not because each pop's work is
+        // heavy — the cold partitions of a skewed keyed fan-out would
+        // otherwise back off in sympathy with the hot one.
         if (cur > policy_.min_batch) {
           next = std::max(policy_.min_batch,
                           static_cast<size_t>(cur * policy_.decrease_factor));
@@ -556,6 +573,62 @@ class BatchTuner {
   double last_mean_push_ = 0.0;
   double last_pop_ms_ = 0.0;
 };
+
+/// Skew-aware aggregate over a keyed stage's partition-edge snapshots
+/// (StageMetrics::worker_edges). The per-edge controllers are independent
+/// by construction — a hot partition backs off on its own slow-pop
+/// evidence while the starvation gate (BatchPolicy::
+/// backoff_max_starved_fraction) keeps cold edges from shrinking in
+/// sympathy — so aggregation here is pure reporting: it must classify
+/// edges against the record distribution instead of averaging controller
+/// state away (a mean target over one hot and three cold edges describes
+/// no edge at all).
+struct WorkerEdgeSkew {
+  size_t edges = 0;          ///< partition edges summarized
+  size_t hot_edges = 0;      ///< edges with records_in ≥ hot_factor × mean
+  uint64_t hot_records = 0;  ///< records_in summed over the hot edges
+  double mean_records = 0.0; ///< mean records_in across all edges
+  double skew_ratio = 0.0;   ///< hottest edge / mean (WorkerEdgeSkewRatio)
+  size_t min_target = 0;     ///< smallest live tuner target across edges
+  size_t max_target = 0;     ///< largest live tuner target across edges
+  uint64_t hot_adjust_down = 0;   ///< back-offs taken by hot edges
+  uint64_t cold_adjust_down = 0;  ///< back-offs taken by cold edges
+};
+
+/// Classifies each partition edge as hot (records_in ≥ `hot_factor` ×
+/// the mean across edges) or cold and splits the controllers' back-off
+/// counts accordingly. A healthy skewed stage shows hot_adjust_down > 0
+/// with cold_adjust_down == 0: the hot worker's edge shrank its batch
+/// target (slow-pop evidence) and the cold edges held theirs.
+inline WorkerEdgeSkew SummarizeWorkerEdges(
+    const std::vector<StageMetrics>& edges, double hot_factor = 2.0) {
+  WorkerEdgeSkew s;
+  s.edges = edges.size();
+  if (edges.empty()) return s;
+  uint64_t total = 0;
+  for (const StageMetrics& e : edges) total += e.records_in;
+  s.mean_records = static_cast<double>(total) / edges.size();
+  s.skew_ratio = WorkerEdgeSkewRatio(edges);
+  for (const StageMetrics& e : edges) {
+    const bool hot = s.mean_records > 0.0 &&
+                     static_cast<double>(e.records_in) >=
+                         hot_factor * s.mean_records;
+    if (hot) {
+      ++s.hot_edges;
+      s.hot_records += e.records_in;
+      s.hot_adjust_down += e.tuner_adjust_down;
+    } else {
+      s.cold_adjust_down += e.tuner_adjust_down;
+    }
+    if (e.tuned) {
+      if (s.min_target == 0 || e.tuner_target_batch < s.min_target) {
+        s.min_target = e.tuner_target_batch;
+      }
+      s.max_target = std::max<size_t>(s.max_target, e.tuner_target_batch);
+    }
+  }
+  return s;
+}
 
 }  // namespace tcmf::stream
 

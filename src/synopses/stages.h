@@ -15,52 +15,68 @@ namespace tcmf::synopses {
 /// keyed-stream execution model). Open synopses flush at end-of-stream.
 ///
 /// Stage configuration follows the unified `(flow, config, StageOptions,
-/// ...)` helper signature: `stage.name` defaults to "synopses" (plus
-/// ".partN" edges when parallelism > 1) and `stage.batch` to the
-/// adaptive batched transport — input, partition and output edges all
-/// move amortized batch transfers, and the input/output edges carry
-/// per-edge BatchTuners that find each edge's own batch size from
-/// observed StageMetrics (pass `.batch = BatchPolicy::Batched(n)` for a
-/// pinned static size, `BatchPolicy::Single()` for record-at-a-time;
-/// `.capacity_tuning = CapacityPolicy::Adaptive()` makes the output
-/// channel bound elastic; see docs/STREAM_TUNING.md).
+/// ...)` helper signature: `stage.name` defaults to "synopses" and
+/// `stage.batch` to the adaptive batched transport — input, partition
+/// and output edges all move amortized batch transfers. With
+/// parallelism > 1 every router→worker partition edge carries its own
+/// BatchTuner, surfaced as the stage row's `worker_edges` (with
+/// `skew_ratio`) in ReportJson (pass `.batch = BatchPolicy::Batched(n)`
+/// for a pinned static size, `BatchPolicy::Single()` for
+/// record-at-a-time; `.capacity_tuning = CapacityPolicy::Adaptive()`
+/// makes the channel bounds elastic; see docs/STREAM_TUNING.md).
+namespace internal {
+
+struct SynopsesState {
+  std::unique_ptr<SynopsesGenerator> gen;
+};
+
+inline stream::KeyedProcessFn<Position, CriticalPoint, SynopsesState>
+SynopsesProcess(const SynopsesConfig& config) {
+  return [config](const Position& p, SynopsesState& state,
+                  const std::function<void(CriticalPoint)>& emit) {
+    if (!state.gen) {
+      state.gen = std::make_unique<SynopsesGenerator>(config);
+    }
+    for (auto& cp : state.gen->Observe(p)) emit(std::move(cp));
+  };
+}
+
+inline stream::KeyedFlushFn<CriticalPoint, SynopsesState> SynopsesFlush() {
+  return [](uint64_t, SynopsesState& state,
+            const std::function<void(CriticalPoint)>& emit) {
+    if (!state.gen) return;
+    for (auto& cp : state.gen->Flush()) emit(std::move(cp));
+  };
+}
+
+}  // namespace internal
+
 inline stream::Flow<CriticalPoint> SynopsesStage(
     stream::Flow<Position> flow, const SynopsesConfig& config,
     size_t parallelism = 1, stream::StageOptions stage = {}) {
-  struct State {
-    std::unique_ptr<SynopsesGenerator> gen;
-  };
   if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
   if (stage.name.empty()) stage.name = "synopses";
-  return flow.KeyedProcessParallel<CriticalPoint, State>(
+  return flow.KeyedProcessParallel<CriticalPoint, internal::SynopsesState>(
       [](const Position& p) { return p.entity_id; },
-      [config](const Position& p, State& state,
-               const std::function<void(CriticalPoint)>& emit) {
-        if (!state.gen) {
-          state.gen = std::make_unique<SynopsesGenerator>(config);
-        }
-        for (auto& cp : state.gen->Observe(p)) emit(std::move(cp));
-      },
-      parallelism,
-      [](uint64_t, State& state,
-         const std::function<void(CriticalPoint)>& emit) {
-        if (!state.gen) return;
-        for (auto& cp : state.gen->Flush()) emit(std::move(cp));
-      },
-      std::move(stage));
+      internal::SynopsesProcess(config), parallelism,
+      internal::SynopsesFlush(), std::move(stage));
 }
 
-/// Deprecated positional form — use the StageOptions overload.
-[[deprecated("use SynopsesStage(flow, config, parallelism, StageOptions)")]]
-inline stream::Flow<CriticalPoint> SynopsesStage(
-    stream::Flow<Position> flow, const SynopsesConfig& config,
-    size_t parallelism, size_t capacity,
-    stream::BatchPolicy policy = stream::BatchPolicy::Adaptive()) {
-  stream::StageOptions stage;
-  stage.capacity = capacity;
-  stage.batch = policy;
-  return SynopsesStage(std::move(flow), config, parallelism,
-                       std::move(stage));
+/// Fused-chain form: terminates a fused stateless prefix (e.g. in-situ
+/// cleaning composed with `flow.Fuse()`) directly in the synopses keyed
+/// stage — the prefix runs inside the partition router, so detection →
+/// synopsis costs zero channel crossings up to the keyed boundary.
+template <typename In>
+stream::Flow<CriticalPoint> SynopsesStage(
+    stream::FusedChain<In, Position> chain, const SynopsesConfig& config,
+    size_t parallelism = 1, stream::StageOptions stage = {}) {
+  if (!stage.batch.has_value()) stage.batch = stream::BatchPolicy::Adaptive();
+  if (stage.name.empty()) stage.name = "synopses";
+  return chain.template KeyedProcessParallel<CriticalPoint,
+                                             internal::SynopsesState>(
+      [](const Position& p) { return p.entity_id; },
+      internal::SynopsesProcess(config), parallelism,
+      internal::SynopsesFlush(), std::move(stage));
 }
 
 }  // namespace tcmf::synopses

@@ -145,27 +145,26 @@ struct WinAcc {
   uint64_t n = 0;
 };
 
+uint64_t KeyFn(const VRec& r) { return r.id; }
+
+// The keyed running-sum fold — shared verbatim by the plain, two-hop and
+// fused-keyed constructions so only the execution strategy differs.
+void KeyedSumFn(const VRec& r, double& sum,
+                const std::function<void(VRec)>& emit) {
+  sum += r.v;
+  emit(VRec{r.id, r.t, sum});
+}
+
 Flow<VRec> ApplyStateful(Flow<VRec> flow, const OpSpec& op,
                          const StageOptions& base) {
   switch (op.kind) {
     case OpKind::kKeyed:
-      return flow.KeyedProcess<VRec, double>(
-          [](const VRec& r) { return r.id; },
-          [](const VRec& r, double& sum,
-             const std::function<void(VRec)>& emit) {
-            sum += r.v;
-            emit(VRec{r.id, r.t, sum});
-          },
-          nullptr, StageOptions(base));
+      return flow.KeyedProcess<VRec, double>(KeyFn, KeyedSumFn, nullptr,
+                                             StageOptions(base));
     case OpKind::kKeyedPar:
       return flow.KeyedProcessParallel<VRec, double>(
-          [](const VRec& r) { return r.id; },
-          [](const VRec& r, double& sum,
-             const std::function<void(VRec)>& emit) {
-            sum += r.v;
-            emit(VRec{r.id, r.t, sum});
-          },
-          static_cast<size_t>(op.a), nullptr, StageOptions(base));
+          KeyFn, KeyedSumFn, static_cast<size_t>(op.a), nullptr,
+          StageOptions(base));
     case OpKind::kWindow: {
       using Result = std::pair<uint64_t,
                                TumblingWindower<VRec, WinAcc>::WindowResult>;
@@ -208,25 +207,27 @@ Flow<VRec> ApplyStatelessOp(Flow<VRec> flow, const OpSpec& op,
   }
 }
 
+/// Extends a fused chain with one stateless op (same transforms as
+/// ApplyStatelessOp, fused spelling).
+FusedChain<VRec, VRec> FuseOp(FusedChain<VRec, VRec> chain,
+                              const OpSpec& op) {
+  switch (op.kind) {
+    case OpKind::kMap:
+      return chain.Map<VRec>(MapFn);
+    case OpKind::kFilter: {
+      const int m = op.a;
+      return chain.Filter([m](const VRec& r) { return FilterFn(m, r); });
+    }
+    default:
+      return chain.FlatMap<VRec>(FlatMapFn);
+  }
+}
+
 /// Fuses a maximal run of stateless ops into one stage.
 Flow<VRec> ApplyFusedRun(Flow<VRec> flow, const std::vector<OpSpec>& ops,
                          size_t begin, size_t end, const StageOptions& base) {
   FusedChain<VRec, VRec> chain = flow.Fuse();
-  for (size_t i = begin; i < end; ++i) {
-    switch (ops[i].kind) {
-      case OpKind::kMap:
-        chain = chain.Map<VRec>(MapFn);
-        break;
-      case OpKind::kFilter: {
-        const int m = ops[i].a;
-        chain = chain.Filter([m](const VRec& r) { return FilterFn(m, r); });
-        break;
-      }
-      default:
-        chain = chain.FlatMap<VRec>(FlatMapFn);
-        break;
-    }
-  }
+  for (size_t i = begin; i < end; ++i) chain = FuseOp(chain, ops[i]);
   return chain.Emit(StageOptions(base));
 }
 
@@ -411,6 +412,150 @@ std::vector<EquivParams> SweepParams() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BatchEquivTest,
                          testing::ValuesIn(SweepParams()), ParamName);
+
+// ------------------------------------------ keyed-terminal fusion arms
+
+enum class KeyedMode { kUnfused, kTwoHop, kFusedKeyed };
+
+/// Threads `flow` through `ops` like BuildGraph, but whenever a maximal
+/// stateless run is immediately followed by a kKeyedPar op the pair is
+/// built per `mode`: every op its own stage (reference), Fuse()...Emit()
+/// then KeyedProcessParallel (the two-hop differential reference — one
+/// channel between fused stage and router), or the fused chain
+/// terminating directly in KeyedProcessParallel (the prefix executes
+/// inside the partition router; zero channels between source and
+/// router). Runs not followed by a keyed stage fuse whenever
+/// mode != kUnfused, same as BuildGraph.
+Flow<VRec> BuildKeyedFuseGraph(Flow<VRec> flow, const std::vector<OpSpec>& ops,
+                               const StageOptions& base, KeyedMode mode) {
+  size_t i = 0;
+  while (i < ops.size()) {
+    if (!Stateless(ops[i].kind)) {
+      flow = ApplyStateful(flow, ops[i], base);
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < ops.size() && Stateless(ops[j].kind)) ++j;
+    const bool keyed_next = j < ops.size() && ops[j].kind == OpKind::kKeyedPar;
+    if (mode == KeyedMode::kUnfused) {
+      for (size_t k = i; k < j; ++k) {
+        flow = ApplyStatelessOp(flow, ops[k], base);
+      }
+      i = j;
+    } else if (keyed_next && mode == KeyedMode::kFusedKeyed) {
+      FusedChain<VRec, VRec> chain = flow.Fuse();
+      for (size_t k = i; k < j; ++k) chain = FuseOp(chain, ops[k]);
+      flow = chain.KeyedProcessParallel<VRec, double>(
+          KeyFn, KeyedSumFn, static_cast<size_t>(ops[j].a), nullptr,
+          StageOptions(base));
+      i = j + 1;  // the keyed op was absorbed into the fused terminal
+    } else {
+      flow = ApplyFusedRun(flow, ops, i, j, base);
+      i = j;
+    }
+  }
+  return flow;
+}
+
+/// RunGraph analogue for the keyed-terminal arms.
+std::vector<VRec> RunKeyedGraph(const std::vector<OpSpec>& ops,
+                                const std::vector<VRec>& input,
+                                BatchPolicy policy, StageOptions base,
+                                KeyedMode mode) {
+  Pipeline pipeline;
+  std::vector<VRec> out;
+  base.name.clear();
+  StageOptions source = base;
+  source.batch = policy;
+  base.batch.reset();  // downstream edges inherit the source policy
+  Flow<VRec> flow = BuildKeyedFuseGraph(
+      Flow<VRec>::FromVector(&pipeline, input, std::move(source)), ops, base,
+      mode);
+  flow.CollectInto(&out);
+  pipeline.Run();
+  return Canon(std::move(out));
+}
+
+/// Prefixes every random graph with a guaranteed stateless-run → keyed
+/// boundary so all 60 sweep combinations exercise the fused-keyed
+/// terminal; the random suffix then adds whatever shape the seed drew
+/// (including further keyed boundaries when the dice land that way).
+std::vector<OpSpec> KeyedFuseGraph(uint64_t seed) {
+  std::vector<OpSpec> ops = {{OpKind::kMap},
+                             {OpKind::kFilter, 3},
+                             {OpKind::kFlatMap},
+                             {OpKind::kKeyedPar, 3}};
+  for (const OpSpec& op : RandomGraph(seed)) ops.push_back(op);
+  return ops;
+}
+
+class KeyedFuseEquivTest : public testing::TestWithParam<EquivParams> {};
+
+TEST_P(KeyedFuseEquivTest, FusedKeyedMatchesTwoHopAndUnfused) {
+  const EquivParams p = GetParam();
+  const std::vector<OpSpec> ops = KeyedFuseGraph(p.seed);
+  const std::vector<VRec> input = MakeVesselRecords(p.seed, 1500);
+  StageOptions cap;
+  cap.capacity = p.capacity;
+
+  const std::vector<VRec> baseline = RunKeyedGraph(
+      ops, input, BatchPolicy::Single(), cap, KeyedMode::kUnfused);
+  const std::vector<VRec> two_hop = RunKeyedGraph(
+      ops, input, BatchPolicy::Batched(p.batch, 2), cap, KeyedMode::kTwoHop);
+  const std::vector<VRec> fused_keyed =
+      RunKeyedGraph(ops, input, BatchPolicy::Batched(p.batch, -1), cap,
+                    KeyedMode::kFusedKeyed);
+  // Adaptive fused-keyed: the router-input tuner, every partition-edge
+  // tuner and the output tuner all re-target mid-run; live re-targeting
+  // on the scatter edges must be as invisible as a static batch boundary.
+  BatchPolicy adaptive = BatchPolicy::Adaptive(p.batch, 1, 1024, 2);
+  adaptive.tune_every_records = 64;
+  const std::vector<VRec> tuned =
+      RunKeyedGraph(ops, input, adaptive, cap, KeyedMode::kFusedKeyed);
+
+  ExpectSameMultiset(baseline, two_hop, "two-hop");
+  ExpectSameMultiset(baseline, fused_keyed, "fused-keyed");
+  ExpectSameMultiset(baseline, tuned, "fused-keyed-adaptive");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KeyedFuseEquivTest,
+                         testing::ValuesIn(SweepParams()), ParamName);
+
+TEST(KeyedFuseOrderTest, FusedPrefixPreservesPerKeyOrder) {
+  // Per-key sequence numbers strictly increase through a fused prefix
+  // terminating in a 4-way keyed stage; any reordering between the
+  // in-router prefix and a worker trips a violation. gtest assertions
+  // are not thread-safe off the main thread, so workers count violations
+  // in an atomic checked after Run().
+  Pipeline pipeline;
+  std::vector<VRec> input;
+  input.reserve(30000);
+  for (int64_t i = 0; i < 30000; ++i) {
+    input.push_back(
+        VRec{static_cast<uint64_t>(i % 17), i + 1, static_cast<double>(i)});
+  }
+  std::atomic<uint64_t> violations{0};
+  size_t delivered = 0;
+  Flow<VRec>::FromVector(
+      &pipeline, input, {.capacity = 64, .batch = BatchPolicy::Batched(64, 1)})
+      .Fuse()
+      .Map<VRec>([](const VRec& r) { return VRec{r.id, r.t, r.v + 1.0}; })
+      .Filter([](const VRec&) { return true; })
+      .KeyedProcessParallel<VRec, int64_t>(
+          KeyFn,
+          [&violations](const VRec& r, int64_t& last,
+                        const std::function<void(VRec)>& emit) {
+            if (r.t <= last) violations.fetch_add(1);
+            last = r.t;
+            emit(r);
+          },
+          /*parallelism=*/4, nullptr, {.capacity = 64})
+      .Sink([&delivered](const VRec&) { ++delivered; });
+  pipeline.Run();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(delivered, 30000u);
+}
 
 // A fixed graph touching every operator kind, so coverage does not depend
 // on what the seeded generator happens to draw.
@@ -719,6 +864,86 @@ TEST(BatchShutdownTest, AdaptiveCapacityWithFusionTearsDownCleanly) {
           EXPECT_GE(m.capacity, 2u);
           EXPECT_LE(m.capacity_min, m.capacity_max);
         }
+      },
+      10000);
+}
+
+TEST(KeyedFuseShutdownTest, CancelMidFusedPrefixPropagatesToSource) {
+  // The sink walks away while the router is mid-prefix: the cancel must
+  // cross the keyed boundary (worker → partition edge → router → source)
+  // and stop the infinite generator.
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::atomic<long long> generated{0};
+        size_t seen = 0;
+        Flow<long long>::FromGenerator(
+            &pipeline,
+            [&generated]() -> std::optional<long long> { return ++generated; },
+            {.capacity = 4, .batch = BatchPolicy::Batched(64, 1)})
+            .Fuse()
+            .Map<long long>([](const long long& x) { return x + 1; })
+            .Filter([](const long long& x) { return (x & 1) == 0; })
+            .KeyedProcessParallel<long long, long long>(
+                [](const long long& x) {
+                  return static_cast<uint64_t>(x % 13);
+                },
+                [](const long long& x, long long& sum,
+                   const std::function<void(long long)>& emit) {
+                  sum += x;
+                  emit(sum);
+                },
+                /*parallelism=*/4, nullptr, {.capacity = 4})
+            .SinkWhile([&seen](const long long&) { return ++seen < 100; });
+        pipeline.Run();
+        EXPECT_GE(seen, 100u);
+        EXPECT_LT(generated.load(), 1000000);
+      },
+      10000);
+}
+
+TEST(KeyedFuseShutdownTest, PerEdgeTunerTeardownUnderCancel) {
+  // Adaptive batching on every edge of the fused-keyed stage (router
+  // input, each partition edge, output) plus elastic partition
+  // capacities, then a sink that walks away almost immediately: tuner
+  // teardown must not strand the router or any worker, and the composite
+  // stage row must still surface coherent per-edge state.
+  ExpectCompletesWithin(
+      [] {
+        Pipeline pipeline;
+        std::vector<VRec> input;
+        input.reserve(200000);
+        for (int64_t i = 0; i < 200000; ++i) {
+          input.push_back(VRec{static_cast<uint64_t>(i % 31), i, 1.0});
+        }
+        BatchPolicy adaptive = BatchPolicy::Adaptive(32, 1, 256, 1);
+        adaptive.tune_every_records = 64;
+        size_t seen = 0;
+        Flow<VRec>::FromVector(&pipeline, input,
+                               {.capacity = 4, .batch = adaptive})
+            .Fuse()
+            .Map<VRec>(MapFn)
+            .KeyedProcessParallel<VRec, double>(
+                KeyFn, KeyedSumFn, /*parallelism=*/4, nullptr,
+                {.capacity = 4,
+                 .capacity_tuning = CapacityPolicy::Adaptive(2, 64)})
+            .SinkWhile([&seen](const VRec&) { return ++seen < 10; });
+        pipeline.Run();
+        EXPECT_GE(seen, 10u);
+        bool found = false;
+        for (const StageMetrics& m : pipeline.Report()) {
+          // Skip the stage's auxiliary rows (e.g. ".router_in").
+          if (m.stage.rfind("fused_keyed#", 0) != 0 ||
+              m.stage.find('.') != std::string::npos) {
+            continue;
+          }
+          found = true;
+          ASSERT_EQ(m.worker_edges.size(), 4u);
+          for (const StageMetrics& e : m.worker_edges) {
+            EXPECT_TRUE(e.tuned) << e.stage;
+          }
+        }
+        EXPECT_TRUE(found);
       },
       10000);
 }

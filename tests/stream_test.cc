@@ -629,8 +629,8 @@ TEST(PipelineTest, ParallelKeyedStrideKeysSpreadAcrossWorkers) {
   // stepping by a multiple of the parallelism all satisfy
   // key % parallelism == const, so routing with std::hash (identity in
   // libstdc++) starves every worker but one. The Mix64 router must keep
-  // every worker loaded; per-worker load is read off the ".part<w>"
-  // stage metrics.
+  // every worker loaded; per-worker load is read off the stage row's
+  // nested worker_edges snapshots.
   constexpr size_t kWorkers = 4;
   std::vector<std::pair<uint64_t, int>> input;
   for (int i = 0; i < 4000; ++i) {
@@ -655,10 +655,12 @@ TEST(PipelineTest, ParallelKeyedStrideKeysSpreadAcrossWorkers) {
   uint64_t min_load = std::numeric_limits<uint64_t>::max();
   uint64_t max_load = 0;
   for (const StageMetrics& m : pipeline.Report()) {
-    if (m.stage.rfind("stride.part", 0) != 0) continue;
-    ++workers_seen;
-    min_load = std::min(min_load, m.records_in);
-    max_load = std::max(max_load, m.records_in);
+    if (m.stage != "stride") continue;
+    for (const StageMetrics& e : m.worker_edges) {
+      ++workers_seen;
+      min_load = std::min(min_load, e.records_in);
+      max_load = std::max(max_load, e.records_in);
+    }
   }
   ASSERT_EQ(workers_seen, kWorkers);
   const double mean = static_cast<double>(input.size()) / kWorkers;

@@ -81,6 +81,11 @@ class FakeEdge {
     metrics_.batches_out += pops;
   }
 
+  /// Simulates the consumer spending `ns` of the window blocked in Pop —
+  /// the starvation evidence behind BatchPolicy::
+  /// backoff_max_starved_fraction.
+  void ConsumerBlocked(uint64_t ns) { metrics_.consumer_blocked_ns += ns; }
+
  private:
   StageMetrics metrics_;
 };
@@ -708,6 +713,164 @@ TEST(TunerPipelineTest, CapacityOnlyTuningReportsNoBatchTunerBlock) {
     EXPECT_FALSE(m.tuned) << "static batch policy must not report tuner_*";
     EXPECT_TRUE(m.capacity_tuned);
   }
+}
+
+// ------------------------------ partition-edge tuners + skew summary
+
+TEST(WorkerEdgeTunerTest, StarvedConsumerSlowPopsDoNotBackOff) {
+  // A cold partition edge of a skewed fan-out: its consumer spends the
+  // whole window parked in Pop, so the few pops it takes look slow per
+  // wall clock — but that is arrival-limited, not work-limited. The
+  // starvation gate must hold the target instead of shrinking it in
+  // sympathy with the hot edge.
+  FakeEdge edge;
+  BatchPolicy policy = BatchPolicy::Adaptive(64, 4, 64);
+  policy.slow_batch_ms = 0.0;  // any measurable pop time is "slow"
+  BatchTuner tuner(policy, edge.SnapshotFn());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(64, 1, 1);
+  // Blocked longer than any plausible window wall time: starved_fraction
+  // lands far above backoff_max_starved_fraction.
+  edge.ConsumerBlocked(uint64_t{10} * 1000 * 1000 * 1000);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 64u);
+  EXPECT_EQ(tuner.Snapshot().adjust_down, 0u);
+
+  // Same evidence WITHOUT starvation: the classic back-off must still
+  // fire (the gate only suppresses arrival-limited slowness).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  edge.Window(64, 1, 1);
+  tuner.Sample();
+  EXPECT_EQ(tuner.target(), 32u);
+  EXPECT_EQ(tuner.Snapshot().adjust_down, 1u);
+}
+
+StageMetrics MakeEdge(uint64_t records, size_t target, uint64_t down) {
+  StageMetrics m;
+  m.records_in = records;
+  m.tuned = true;
+  m.tuner_target_batch = target;
+  m.tuner_adjust_down = down;
+  return m;
+}
+
+TEST(WorkerEdgeTunerTest, SummarizeSplitsHotAndColdEdges) {
+  // One edge carries 1000 of 1300 records (≥ 2× the 325 mean): hot. Its
+  // back-offs land in hot_adjust_down; the cold straggler's lone back-off
+  // stays in cold_adjust_down so a skew report can tell them apart.
+  const std::vector<StageMetrics> edges = {
+      MakeEdge(1000, 8, 3), MakeEdge(100, 64, 0), MakeEdge(100, 64, 0),
+      MakeEdge(100, 64, 1)};
+  const WorkerEdgeSkew s = SummarizeWorkerEdges(edges);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.hot_edges, 1u);
+  EXPECT_EQ(s.hot_records, 1000u);
+  EXPECT_EQ(s.hot_adjust_down, 3u);
+  EXPECT_EQ(s.cold_adjust_down, 1u);
+  EXPECT_EQ(s.min_target, 8u);
+  EXPECT_EQ(s.max_target, 64u);
+  EXPECT_NEAR(s.mean_records, 325.0, 1e-9);
+  EXPECT_NEAR(s.skew_ratio, 1000.0 / 325.0, 1e-9);
+}
+
+TEST(WorkerEdgeTunerTest, SummarizeUniformLoadHasNoHotEdges) {
+  const std::vector<StageMetrics> edges = {MakeEdge(500, 32, 0),
+                                           MakeEdge(500, 32, 0)};
+  const WorkerEdgeSkew s = SummarizeWorkerEdges(edges);
+  EXPECT_EQ(s.hot_edges, 0u);
+  EXPECT_NEAR(s.skew_ratio, 1.0, 1e-9);
+  EXPECT_EQ(SummarizeWorkerEdges({}).edges, 0u);
+}
+
+TEST(WorkerEdgeTunerTest, FusedKeyedStageReportsPerEdgeTunerState) {
+  Pipeline pipeline;
+  BatchPolicy policy = BatchPolicy::Adaptive(8, 1, 128, 5);
+  policy.tune_every_records = 256;
+  std::vector<int> input(30000);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow =
+      Flow<int>::FromVector(&pipeline, input,
+                            {.name = "src", .capacity = 128, .batch = policy})
+          .Fuse()
+          .Map<int>([](const int& x) { return x + 1; })
+          .KeyedProcessParallel<int, long long>(
+              [](const int& x) { return static_cast<uint64_t>(x % 16); },
+              [](const int& x, long long& sum,
+                 const std::function<void(int)>& emit) {
+                sum += x;
+                emit(x);
+              },
+              4, nullptr, {.name = "par", .capacity = 128});
+  std::vector<int> out;
+  flow.CollectInto(&out);
+  pipeline.Run();
+  EXPECT_EQ(out.size(), input.size());
+  bool found = false;
+  for (const StageMetrics& m : pipeline.Report()) {
+    if (m.stage != "par") continue;
+    found = true;
+    ASSERT_EQ(m.worker_edges.size(), 4u);
+    uint64_t edge_records = 0;
+    for (const StageMetrics& e : m.worker_edges) {
+      EXPECT_TRUE(e.tuned) << e.stage;
+      EXPECT_NE(e.stage.find(".part"), std::string::npos) << e.stage;
+      edge_records += e.records_in;
+    }
+    // Every record that reached the stage crossed exactly one
+    // partition edge.
+    EXPECT_EQ(edge_records, input.size());
+    EXPECT_GE(m.skew_ratio, 1.0);
+  }
+  EXPECT_TRUE(found);
+  const std::string json = pipeline.ReportJson();
+  EXPECT_NE(json.find("\"worker_edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"skew_ratio\""), std::string::npos);
+}
+
+TEST(WorkerEdgeTunerTest, RouterInputTunerSeedsFromUpstreamTarget) {
+  // Regression: the router used to pop its input at the UPSTREAM edge's
+  // tuner verbatim, so a fused prefix that changes the per-record cost
+  // at the router was tuned against the wrong edge. The router input now
+  // gets its own controller, seeded from the upstream target (8 here)
+  // rather than the stage policy's own seed (64) — visible as the
+  // ".router_in" report row.
+  Pipeline pipeline;
+  BatchPolicy src_policy = BatchPolicy::Adaptive(8, 1, 128, 5);
+  src_policy.tune_every_records = 1 << 30;  // hold the seed all run
+  BatchPolicy stage_policy = BatchPolicy::Adaptive(64, 1, 256, 5);
+  stage_policy.tune_every_records = 1 << 30;
+  std::vector<int> input(500);
+  std::iota(input.begin(), input.end(), 0);
+  auto flow =
+      Flow<int>::FromVector(
+          &pipeline, input,
+          {.name = "src", .capacity = 64, .batch = src_policy})
+          .Fuse()
+          .Map<int>([](const int& x) { return x * 2; })
+          .KeyedProcessParallel<int, long long>(
+              [](const int& x) { return static_cast<uint64_t>(x % 5); },
+              [](const int& x, long long& sum,
+                 const std::function<void(int)>& emit) {
+                sum += x;
+                emit(x);
+              },
+              3, nullptr,
+              {.name = "par", .capacity = 64, .batch = stage_policy});
+  std::vector<int> out;
+  flow.CollectInto(&out);
+  pipeline.Run();
+  EXPECT_EQ(out.size(), input.size());
+  bool found = false;
+  for (const StageMetrics& m : pipeline.Report()) {
+    if (m.stage != "par.router_in") continue;
+    found = true;
+    EXPECT_TRUE(m.tuned);
+    EXPECT_EQ(m.tuner_target_batch, 8u)
+        << "router input must seed from the upstream target, not the "
+           "stage policy seed";
+  }
+  EXPECT_TRUE(found);
 }
 
 // ------------------------------------- shutdown under the watchdog

@@ -156,6 +156,25 @@ measurement: the channel-transfer row at batch 64 must be at least
       collapse by an order of magnitude). Relaxed to 0.10 below 4
       hardware threads, where the stage threads oversubscribe.
 
+11. **Keyed-fusion gates** — the keyed-terminal fusion rows in
+    ``BENCH_micro.json`` (same ``bench_micro --smoke`` run as gates
+    1-5):
+
+    - ``keyed_fusion/fused_keyed`` (stateless prefix running inside
+      the partition router) must beat ``keyed_fusion/two_hop`` (prefix
+      Emit()ed into its own channel, one extra cross-thread hop) by
+      ``--min-keyed-fusion-ratio`` (default 1.3; measured ~1.8 — the
+      hop carries 4x the records at 6x the width). Relaxed to a
+      no-collapse bound (>= 1.05) below 4 hardware threads;
+    - ``keyed_fusion/adaptive_skewed`` (80% of the stream on one hot
+      key, ~20us/record at its worker) must show the hot partition
+      edge backing off its own batch target (``hot_adjust_down > 0``)
+      while — given >= 4 hardware threads — the starved cold edges
+      hold theirs (``cold_adjust_down == 0``: the starvation gate in
+      BatchPolicy keeps arrival-limited slowness from shrinking them);
+    - the skewed arm's ``skew_ratio`` must exceed the uniform arm's
+      (the per-edge records_in actually resolve the imbalance).
+
 Exit status is non-zero on any failure, so it can gate CI.
 
 Usage:
@@ -178,6 +197,7 @@ Usage:
                          [--max-uniform-ratio 1.3]
                          [--min-adjacency-speedup 5.0]
                          [--min-fused-ratio 0.25]
+                         [--min-keyed-fusion-ratio 1.3]
                          [--only micro,mlog,scenario,linkdiscovery,store,rdf]
                          [--no-run]   # reuse existing BENCH_*.json files
 """
@@ -413,6 +433,65 @@ def check_latency(measured, budget_tolerance, failures):
                 "row — the budget gate is measuring nothing")
     else:
         failures.append("pipeline_latency/linger200 p99 row missing")
+
+
+def check_keyed_fusion(measured, min_keyed_fusion_ratio, failures):
+    """Gates the keyed-terminal fusion + skew-aware tuning rows (gate
+    11; part of the micro suite)."""
+    two_hop = measured.get("keyed_fusion/two_hop")
+    fused = measured.get("keyed_fusion/fused_keyed")
+    if not two_hop or not fused or not two_hop.get("records_per_s"):
+        failures.append("keyed_fusion two_hop/fused_keyed rows missing")
+        return
+    hw = fused.get("hw_threads", 0)
+    # On tiny runners the two constructions time-slice the same cores
+    # and the eliminated hop buys less; only a collapse (the fused
+    # terminal somehow SLOWER than paying an extra hop) is gated there.
+    required = min_keyed_fusion_ratio if hw >= 4 else 1.05
+    ratio = fused["records_per_s"] / two_hop["records_per_s"]
+    ok = ratio >= required
+    print(f"\nfused_keyed vs two_hop: {ratio:.2f}x "
+          f"(required >= {required:g}x on {hw} hw threads)"
+          f"{'' if ok else '  << FAIL'}")
+    if not ok:
+        failures.append(
+            f"fused keyed terminal at {ratio:.2f}x of two-hop < "
+            f"{required:g}x (hw_threads={hw})")
+
+    skewed = measured.get("keyed_fusion/adaptive_skewed")
+    uniform = measured.get("keyed_fusion/adaptive_uniform")
+    if not skewed or "hot_adjust_down" not in skewed:
+        failures.append("keyed_fusion/adaptive_skewed skew fields missing "
+                        "— the keyed stage lost its per-edge tuners")
+        return
+    hot = skewed["hot_adjust_down"]
+    cold = skewed["cold_adjust_down"]
+    print(f"skewed arm: skew_ratio={skewed['skew_ratio']:.2f} "
+          f"hot_adjust_down={hot} cold_adjust_down={cold} "
+          f"targets=[{skewed['min_target']},{skewed['max_target']}]")
+    if skewed.get("hot_edges", 0) < 1:
+        failures.append("skewed arm classified no hot partition edge")
+    if hot == 0:
+        failures.append(
+            "hot partition edge recorded no back-off under a ~1.3ms/pop "
+            "workload — per-edge tuning is not reacting to skew")
+    if hw >= 4 and cold != 0:
+        failures.append(
+            f"cold partition edges backed off {cold} times in sympathy "
+            f"with the hot edge — the starvation gate is not holding "
+            f"them (hw_threads={hw})")
+    if not uniform or "skew_ratio" not in uniform:
+        failures.append("keyed_fusion/adaptive_uniform skew row missing")
+    else:
+        ok = skewed["skew_ratio"] > uniform["skew_ratio"]
+        print(f"skew_ratio skewed={skewed['skew_ratio']:.2f} vs "
+              f"uniform={uniform['skew_ratio']:.2f} (skewed must exceed)"
+              f"{'' if ok else '  << FAIL'}")
+        if not ok:
+            failures.append(
+                f"skewed arm skew_ratio {skewed['skew_ratio']:.2f} does "
+                f"not exceed uniform {uniform['skew_ratio']:.2f} — the "
+                f"per-edge records_in do not resolve the imbalance")
 
 
 def check_mlog(rows, min_partition_speedup, failures):
@@ -817,6 +896,12 @@ def main():
              "to 0.10 below 4 hardware threads)",
     )
     parser.add_argument(
+        "--min-keyed-fusion-ratio", type=float, default=1.3,
+        help="required keyed_fusion/fused_keyed throughput as a multiple "
+             "of keyed_fusion/two_hop (default 1.3; relaxed to 1.05 "
+             "below 4 hardware threads)",
+    )
+    parser.add_argument(
         "--only", default="micro,mlog,scenario,linkdiscovery,store,rdf",
         help="comma list of bench suites to run and gate "
              "(default: micro,mlog,scenario,linkdiscovery,store,rdf)",
@@ -879,6 +964,7 @@ def main():
         check_tuner(measured, args.min_adaptive_ratio, failures)
         check_capacity(measured, args.min_capacity_ratio, failures)
         check_latency(measured, args.budget_tolerance, failures)
+        check_keyed_fusion(measured, args.min_keyed_fusion_ratio, failures)
 
         # Acceptance invariant: batching must actually amortize the lock.
         b1 = measured.get("channel_transfer/batch1")

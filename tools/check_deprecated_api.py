@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Lint: no first-party use of the deprecated positional stage APIs.
+"""Lint: no positional stage APIs — declared OR called.
 
 PR 5 replaced every positional ``(capacity, name)`` operator tail with
-the unified ``stream::StageOptions`` struct; the positional overloads
-survive only as ``[[deprecated]]`` delegates for downstream migration.
-First-party code (src/, tests/, bench/, examples/) must not call them.
+the unified ``stream::StageOptions`` struct, and PR 10 deleted the
+``[[deprecated]]`` delegate overloads outright: StageOptions is now the
+only spelling. This script enforces both halves without a configured
+build tree, so it can run first (and locally) in seconds:
 
-The *authoritative* gate is the compiler: CI configures with
-``-DTCMF_WERROR_DEPRECATED=ON``, which turns any use of a
-``[[deprecated]]`` tcmf API into a build error. This script is the
-fast pre-build complement — a source scan that catches the positional
-fingerprints without needing a configured build tree, so it can run
-first (and locally) in seconds.
+- **no declarations**: any ``[[deprecated`` attribute under ``src/`` is
+  an error — the positional shims must not be reintroduced;
+- **no call sites**: first-party code (src/, tests/, bench/, examples/)
+  must not pass positional capacity tails to the stage APIs (a guard
+  against resurrecting the overloads together with their callers).
+
+CI still configures with ``-DTCMF_WERROR_DEPRECATED=ON``; with zero
+``[[deprecated]]`` declarations left that flag is a no-op backstop.
 
 What it flags, per call to a stage API name
 (Flow operators, FusedChain::Emit, and the insitu/synopses/mlog stage
@@ -82,6 +85,18 @@ PARALLELISM_ARG = {
 # literal or a kCamelCase constant (kDefaultCapacity and friends).
 BARE_INT_RE = re.compile(r"^(?:\d+[uUlL]*|k[A-Z]\w*)$")
 STRING_ARG_RE = re.compile(r'^"')
+
+# The attribute itself: matched against comment-stripped source under
+# src/ only (docs and tests may mention it in prose; first-party
+# headers may not declare it).
+DEPRECATED_ATTR_RE = re.compile(r"\[\[\s*deprecated")
+
+
+def find_deprecated_declarations(text):
+    """Line numbers of ``[[deprecated`` attributes (comments stripped)."""
+    clean = strip_comments_and_strings(text)
+    return [clean.count("\n", 0, m.start()) + 1
+            for m in DEPRECATED_ATTR_RE.finditer(clean)]
 
 
 def strip_comments_and_strings(text):
@@ -214,19 +229,26 @@ def main():
                         f"{os.path.relpath(path, args.root)}:{line}: "
                         f"{name}(...): {why} — use the StageOptions "
                         f"overload ({{.name = ..., .capacity = ...}})")
+                if rel == "src":
+                    for line in find_deprecated_declarations(text):
+                        offences.append(
+                            f"{os.path.relpath(path, args.root)}:{line}: "
+                            f"[[deprecated]] declaration — the positional "
+                            f"shims were deleted in PR 10; StageOptions is "
+                            f"the only spelling, do not reintroduce them")
 
     print(f"check_deprecated_api: scanned {scanned} files under "
           f"{', '.join(SCAN_DIRS)}")
     if offences:
-        print("deprecated positional stage-API call sites found:",
-              file=sys.stderr)
+        print("positional stage-API offences found:", file=sys.stderr)
         for off in offences:
             print(f"  - {off}", file=sys.stderr)
-        print("(the compile gate -DTCMF_WERROR_DEPRECATED=ON rejects "
-              "these too; fix the spelling rather than the lint)",
+        print("(fix the spelling rather than the lint; StageOptions is "
+              "the only stage-configuration surface)",
               file=sys.stderr)
         return 1
-    print("check_deprecated_api OK — no positional stage-API uses")
+    print("check_deprecated_api OK — no positional stage-API uses, no "
+          "[[deprecated]] declarations")
     return 0
 
 
